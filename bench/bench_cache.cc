@@ -1,0 +1,88 @@
+// E9: user-group result cache hit rates under Zipf query mixes (paper
+// Sec. 4, "consider user groups when utilizing cached information").
+//
+// Expected shape: hit rate rises with query skew and falls as the
+// number of distinct privacy groups grows (each group owns a private
+// partition); capacity pressure lowers all curves.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/index/result_cache.h"
+
+namespace {
+
+using namespace paw;
+
+void TableE9() {
+  std::printf(
+      "=== E9: group-partitioned cache, Zipf query mix ===\n"
+      "%-8s %-8s %-10s %-10s %-10s\n",
+      "groups", "skew", "capacity", "hit-rate", "evictions");
+  constexpr int kQueries = 20000;
+  constexpr int kDistinctQueries = 200;
+  for (int groups : {1, 2, 5, 10}) {
+    for (double skew : {0.0, 0.8, 1.2}) {
+      for (size_t capacity : {size_t{64}, size_t{256}}) {
+        ResultCache cache(capacity);
+        Rng rng(static_cast<uint64_t>(groups * 100 + capacity) +
+                static_cast<uint64_t>(skew * 10));
+        for (int q = 0; q < kQueries; ++q) {
+          std::string group =
+              "g" + std::to_string(rng.Uniform(groups));
+          std::string key =
+              "q" + std::to_string(rng.Zipf(kDistinctQueries, skew));
+          if (!cache.Get(group, key).has_value()) {
+            cache.Put(group, key, "answer:" + key);
+          }
+        }
+        std::printf("%-8d %-8.1f %-10zu %-10.3f %-10lld\n", groups, skew,
+                    capacity, cache.stats().HitRate(),
+                    static_cast<long long>(cache.stats().evictions));
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_CacheGetHit(benchmark::State& state) {
+  ResultCache cache(1024);
+  cache.Put("g", "key", "value");
+  for (auto _ : state) {
+    auto v = cache.Get("g", "key");
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_CacheGetHit);
+
+void BM_CachePutEvict(benchmark::State& state) {
+  ResultCache cache(64);
+  int i = 0;
+  for (auto _ : state) {
+    cache.Put("g", "key" + std::to_string(i++ % 1000), "value");
+  }
+}
+BENCHMARK(BM_CachePutEvict);
+
+void BM_CacheMixed(benchmark::State& state) {
+  ResultCache cache(256);
+  Rng rng(1);
+  for (auto _ : state) {
+    std::string key = "q" + std::to_string(rng.Zipf(200, 1.0));
+    if (!cache.Get("g", key).has_value()) {
+      cache.Put("g", key, "answer");
+    }
+  }
+}
+BENCHMARK(BM_CacheMixed);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TableE9();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// E4: keyword search latency — full scan vs inverted-index pruning, as
+// the repository grows (paper Sec. 4, "efficient search with privacy
+// guarantees").
+//
+// Expected shape: index latency grows much more slowly than scan latency
+// with repository size; both return identical answers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/query/keyword_search.h"
+#include "src/repo/workload.h"
+
+namespace {
+
+using namespace paw;
+
+std::unique_ptr<Repository> BuildRepo(int num_specs) {
+  auto repo = std::make_unique<Repository>();
+  Rng rng(2026);
+  WorkloadParams params;
+  params.depth = 2;
+  params.modules_per_workflow = 5;
+  for (int i = 0; i < num_specs; ++i) {
+    auto spec = GenerateSpec(params, &rng, "spec" + std::to_string(i));
+    if (spec.ok()) {
+      (void)repo->AddSpecification(std::move(spec).value());
+    }
+  }
+  return repo;
+}
+
+void TableE4() {
+  std::printf(
+      "=== E4: keyword search, scan vs inverted index ===\n"
+      "%-8s %-12s %-12s %-9s %-10s\n",
+      "specs", "scan(ms)", "index(ms)", "speedup", "answers");
+  WorkloadParams params;
+  Rng qrng(7);
+  for (int num_specs : {10, 50, 100, 500}) {
+    auto repo = BuildRepo(num_specs);
+    InvertedIndex index;
+    index.Build(*repo);
+    TfIdfScorer scorer;
+    scorer.Build(index);
+
+    // A mix of 10 three-term queries (selective enough that candidate
+    // pruning matters).
+    std::vector<std::vector<std::string>> queries;
+    for (int q = 0; q < 10; ++q) {
+      queries.push_back(GenerateQuery(params, &qrng, 3));
+    }
+    KeywordSearchOptions scan_opts;
+    scan_opts.use_index = false;
+    KeywordSearchOptions index_opts;
+
+    Timer scan_timer;
+    size_t scan_answers = 0;
+    for (const auto& q : queries) {
+      auto a = KeywordSearch(*repo, nullptr, &scorer, q, 1, scan_opts);
+      if (a.ok()) scan_answers += a.value().size();
+    }
+    double scan_ms = scan_timer.ElapsedMillis();
+
+    Timer index_timer;
+    size_t index_answers = 0;
+    for (const auto& q : queries) {
+      auto a = KeywordSearch(*repo, &index, &scorer, q, 1, index_opts);
+      if (a.ok()) index_answers += a.value().size();
+    }
+    double index_ms = index_timer.ElapsedMillis();
+
+    std::printf("%-8d %-12.2f %-12.2f %-9.1f %zu/%zu\n", num_specs,
+                scan_ms, index_ms,
+                index_ms > 0 ? scan_ms / index_ms : 0.0, index_answers,
+                scan_answers);
+  }
+  std::printf("\n");
+}
+
+void BM_SearchScan(benchmark::State& state) {
+  auto repo = BuildRepo(static_cast<int>(state.range(0)));
+  TfIdfScorer scorer;
+  KeywordSearchOptions opts;
+  opts.use_index = false;
+  for (auto _ : state) {
+    auto a = KeywordSearch(*repo, nullptr, &scorer, {"kw0", "kw1"}, 1,
+                           opts);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_SearchScan)->Arg(10)->Arg(100);
+
+void BM_SearchIndexed(benchmark::State& state) {
+  auto repo = BuildRepo(static_cast<int>(state.range(0)));
+  auto index = std::make_unique<InvertedIndex>();
+  index->Build(*repo);
+  TfIdfScorer scorer;
+  scorer.Build(*index);
+  for (auto _ : state) {
+    auto a = KeywordSearch(*repo, index.get(), &scorer, {"kw0", "kw1"},
+                           1, {});
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_SearchIndexed)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_IndexBuild(benchmark::State& state) {
+  auto repo = BuildRepo(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    InvertedIndex index;
+    index.Build(*repo);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TableE4();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// E1: module privacy — hidden-weight cost vs Gamma for the exhaustive
+// optimum, the greedy heuristic, and the outputs-first baseline, on
+// random boolean modules (ref [4]'s problem).
+//
+// Expected shape: cost grows with Gamma for every algorithm;
+// optimal <= greedy <= output-only; greedy stays within a small factor
+// of optimal.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/privacy/module_privacy.h"
+
+namespace {
+
+using namespace paw;
+
+constexpr int kSeeds = 25;
+
+void TableE1() {
+  std::printf(
+      "=== E1: min-cost safe subsets (random modules, %d seeds) ===\n"
+      "%-10s %-6s %-10s %-10s %-12s %-14s\n",
+      kSeeds, "in+out", "Gamma", "optimal", "greedy", "output-only",
+      "greedy/optimal");
+  for (auto [num_in, num_out] :
+       {std::pair{2, 2}, std::pair{3, 2}, std::pair{4, 3}}) {
+    for (int64_t gamma : {2, 4, 8}) {
+      double sum_opt = 0;
+      double sum_greedy = 0;
+      double sum_out = 0;
+      int feasible = 0;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        Rng rng(static_cast<uint64_t>(seed) * 7919 + num_in * 131 +
+                num_out * 17 + static_cast<uint64_t>(gamma));
+        Relation rel = Relation::Random(&rng, num_in, num_out, 2);
+        if (rel.MaxAchievableGamma() < gamma) continue;
+        auto opt = OptimalSafeSubset(rel, gamma);
+        auto greedy = GreedySafeSubset(rel, gamma);
+        auto out_only = OutputOnlySafeSubset(rel, gamma);
+        if (!opt.ok() || !greedy.ok() || !out_only.ok()) continue;
+        ++feasible;
+        sum_opt += opt.value().cost;
+        sum_greedy += greedy.value().cost;
+        sum_out += out_only.value().cost;
+      }
+      if (feasible == 0) continue;
+      std::printf("%d+%-8d %-6lld %-10.2f %-10.2f %-12.2f %-14.3f\n",
+                  num_in, num_out, static_cast<long long>(gamma),
+                  sum_opt / feasible, sum_greedy / feasible,
+                  sum_out / feasible,
+                  sum_opt > 0 ? sum_greedy / sum_opt : 1.0);
+    }
+  }
+  std::printf("\n");
+}
+
+void TableE1b() {
+  std::printf(
+      "=== E1b: exact solvers ablation — enumeration vs branch&bound ===\n"
+      "%-8s %-16s %-16s %-10s\n",
+      "attrs", "enumerate(us)", "bnb(us)", "same-cost");
+  for (int attrs : {6, 8, 10, 12, 14}) {
+    Rng rng(1234 + static_cast<uint64_t>(attrs));
+    Relation rel = Relation::Random(&rng, attrs / 2, attrs - attrs / 2, 2);
+    constexpr int kReps = 5;
+    Timer enum_timer;
+    double enum_cost = 0;
+    for (int r = 0; r < kReps; ++r) {
+      auto sol = OptimalSafeSubset(rel, 4, /*max_attrs=*/22);
+      if (sol.ok()) enum_cost = sol.value().cost;
+    }
+    double enum_us = enum_timer.ElapsedMicros() / kReps;
+    Timer bnb_timer;
+    double bnb_cost = 0;
+    for (int r = 0; r < kReps; ++r) {
+      auto sol = BranchAndBoundSafeSubset(rel, 4);
+      if (sol.ok()) bnb_cost = sol.value().cost;
+    }
+    double bnb_us = bnb_timer.ElapsedMicros() / kReps;
+    std::printf("%-8d %-16.1f %-16.1f %-10s\n", attrs, enum_us, bnb_us,
+                std::abs(enum_cost - bnb_cost) < 1e-9 ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_OptimalSafeSubset(benchmark::State& state) {
+  int attrs = static_cast<int>(state.range(0));
+  Rng rng(42);
+  Relation rel = Relation::Random(&rng, attrs / 2, attrs - attrs / 2, 2);
+  for (auto _ : state) {
+    auto sol = OptimalSafeSubset(rel, 4);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_OptimalSafeSubset)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_GreedySafeSubset(benchmark::State& state) {
+  int attrs = static_cast<int>(state.range(0));
+  Rng rng(42);
+  Relation rel = Relation::Random(&rng, attrs / 2, attrs - attrs / 2, 2);
+  for (auto _ : state) {
+    auto sol = GreedySafeSubset(rel, 4);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_GreedySafeSubset)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_BranchAndBound(benchmark::State& state) {
+  int attrs = static_cast<int>(state.range(0));
+  Rng rng(42);
+  Relation rel = Relation::Random(&rng, attrs / 2, attrs - attrs / 2, 2);
+  for (auto _ : state) {
+    auto sol = BranchAndBoundSafeSubset(rel, 4);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_BranchAndBound)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TableE1();
+  TableE1b();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E8: lineage / reachability probes — per-query BFS vs the materialized
+// closure index (paper Sec. 4, indexing for efficient provenance search).
+//
+// Expected shape: the index answers pair probes in O(1) after a build
+// cost that grows with |V||E|; BFS wins for a handful of queries, the
+// index wins under query-heavy workloads; index memory grows
+// quadratically (bitset rows).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/graph/algorithms.h"
+#include "src/index/reachability_index.h"
+#include "src/repo/workload.h"
+
+namespace {
+
+using namespace paw;
+
+void TableE8() {
+  std::printf(
+      "=== E8: reachability probes, BFS vs closure index ===\n"
+      "%-8s %-9s %-12s %-12s %-12s %-10s\n",
+      "nodes", "edges", "bfs(us)", "probe(us)", "build(ms)", "mem(KB)");
+  Rng rng(3);
+  for (int nodes : {100, 400, 1600, 6400}) {
+    Digraph g = RandomLayeredDag(&rng, nodes / 20, 20, 0.15);
+    // Query workload: 2000 random distinct pairs (u == v is trivially
+    // reachable for BFS but irreflexive for the closure; exclude it).
+    std::vector<std::pair<NodeIndex, NodeIndex>> queries;
+    while (queries.size() < 2000) {
+      auto u = static_cast<NodeIndex>(rng.Uniform(g.num_nodes()));
+      auto v = static_cast<NodeIndex>(rng.Uniform(g.num_nodes()));
+      if (u != v) queries.emplace_back(u, v);
+    }
+
+    Timer bfs_timer;
+    int64_t bfs_hits = 0;
+    for (const auto& [u, v] : queries) bfs_hits += PathExists(g, u, v);
+    double bfs_us = bfs_timer.ElapsedMicros() / queries.size();
+
+    Timer build_timer;
+    ReachabilityIndex index(g);
+    double build_ms = build_timer.ElapsedMillis();
+
+    Timer probe_timer;
+    int64_t idx_hits = 0;
+    for (const auto& [u, v] : queries) idx_hits += index.Reaches(u, v);
+    double probe_us = probe_timer.ElapsedMicros() / queries.size();
+
+    if (bfs_hits != idx_hits) {
+      std::printf("MISMATCH bfs=%lld index=%lld\n",
+                  static_cast<long long>(bfs_hits),
+                  static_cast<long long>(idx_hits));
+    }
+    std::printf("%-8d %-9lld %-12.3f %-12.4f %-12.2f %-10.1f\n",
+                g.num_nodes(), static_cast<long long>(g.num_edges()),
+                bfs_us, probe_us, build_ms,
+                index.ApproxBytes() / 1024.0);
+  }
+  std::printf("\n");
+}
+
+void BM_BfsProbe(benchmark::State& state) {
+  Rng rng(4);
+  Digraph g = RandomLayeredDag(&rng, static_cast<int>(state.range(0)) / 20,
+                               20, 0.15);
+  NodeIndex u = 0;
+  NodeIndex v = g.num_nodes() - 1;
+  for (auto _ : state) {
+    bool r = PathExists(g, u, v);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BfsProbe)->Arg(100)->Arg(1600);
+
+void BM_IndexProbe(benchmark::State& state) {
+  Rng rng(4);
+  Digraph g = RandomLayeredDag(&rng, static_cast<int>(state.range(0)) / 20,
+                               20, 0.15);
+  ReachabilityIndex index(g);
+  NodeIndex u = 0;
+  NodeIndex v = g.num_nodes() - 1;
+  for (auto _ : state) {
+    bool r = index.Reaches(u, v);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IndexProbe)->Arg(100)->Arg(1600);
+
+void BM_IndexBuild(benchmark::State& state) {
+  Rng rng(4);
+  Digraph g = RandomLayeredDag(&rng, static_cast<int>(state.range(0)) / 20,
+                               20, 0.15);
+  for (auto _ : state) {
+    ReachabilityIndex index(g);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(100)->Arg(1600);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TableE8();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E3: unsound-view detection and repair cost (ref [9]).
+//
+// Expected shape: extraneous pairs grow with cluster size; repair always
+// reaches soundness; splits grow with the amount of unsoundness; repair
+// cost (time) grows polynomially with graph size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "src/common/random.h"
+#include "src/privacy/soundness.h"
+#include "src/repo/workload.h"
+
+namespace {
+
+using namespace paw;
+
+/// Random clustering of g into ~n/cluster_size groups (contiguous ids).
+std::pair<std::vector<NodeIndex>, NodeIndex> RandomClustering(
+    const Digraph& g, Rng* rng, int cluster_size) {
+  NodeIndex k = std::max(1, g.num_nodes() / cluster_size);
+  std::vector<NodeIndex> groups(static_cast<size_t>(g.num_nodes()));
+  for (auto& grp : groups) {
+    grp = static_cast<NodeIndex>(rng->Uniform(static_cast<uint64_t>(k)));
+  }
+  std::map<NodeIndex, NodeIndex> remap;
+  NodeIndex next = 0;
+  for (auto& grp : groups) {
+    auto [it, inserted] = remap.try_emplace(grp, next);
+    if (inserted) ++next;
+    grp = it->second;
+  }
+  return {groups, next};
+}
+
+void TableE3() {
+  std::printf(
+      "=== E3: unsound views — detection and repair (5 seeds) ===\n"
+      "%-7s %-13s %-14s %-8s %-14s\n",
+      "nodes", "cluster-size", "extraneous", "splits", "post-repair");
+  for (int nodes : {20, 40, 80}) {
+    for (int cluster_size : {2, 4, 8}) {
+      double extra_before = 0;
+      double splits = 0;
+      double extra_after = 0;
+      int runs = 0;
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed * 31 + static_cast<uint64_t>(nodes * cluster_size));
+        Digraph g = RandomLayeredDag(&rng, nodes / 5, 5, 0.3);
+        auto [groups, k] = RandomClustering(g, &rng, cluster_size);
+        auto report = CheckSoundness(g, groups, k);
+        auto repair = RepairUnsoundClustering(g, groups, k);
+        if (!report.ok() || !repair.ok()) continue;
+        ++runs;
+        extra_before += static_cast<double>(
+            report.value().extraneous.size());
+        splits += repair.value().splits;
+        extra_after += static_cast<double>(
+            repair.value().report.extraneous.size());
+      }
+      if (runs == 0) continue;
+      std::printf("%-7d %-13d %-14.1f %-8.1f %-14.1f\n", nodes,
+                  cluster_size, extra_before / runs, splits / runs,
+                  extra_after / runs);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_CheckSoundness(benchmark::State& state) {
+  int nodes = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Digraph g = RandomLayeredDag(&rng, nodes / 5, 5, 0.3);
+  auto [groups, k] = RandomClustering(g, &rng, 4);
+  for (auto _ : state) {
+    auto report = CheckSoundness(g, groups, k);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CheckSoundness)->Arg(20)->Arg(80)->Arg(160);
+
+void BM_RepairUnsound(benchmark::State& state) {
+  int nodes = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Digraph g = RandomLayeredDag(&rng, nodes / 5, 5, 0.3);
+  auto [groups, k] = RandomClustering(g, &rng, 4);
+  for (auto _ : state) {
+    auto repair = RepairUnsoundClustering(g, groups, k);
+    benchmark::DoNotOptimize(repair);
+  }
+}
+BENCHMARK(BM_RepairUnsound)->Arg(20)->Arg(80)->Arg(160);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TableE3();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// E2: structural privacy — edge deletion vs clustering at equal privacy
+// on layered random DAGs.
+//
+// Expected shape: both hide all requested pairs; deletion is always
+// sound but destroys more true reachability (lower utility) as k grows;
+// clustering preserves more truth but fabricates extraneous pairs
+// (unsound views) — the paper's central trade-off.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/common/random.h"
+#include "src/graph/transitive.h"
+#include "src/privacy/sound_clustering.h"
+#include "src/privacy/structural_privacy.h"
+#include "src/repo/workload.h"
+
+namespace {
+
+using namespace paw;
+
+std::vector<SensitivePair> PickPairs(const Digraph& g, Rng* rng, int k) {
+  TransitiveClosure tc = TransitiveClosure::Compute(g);
+  std::vector<SensitivePair> all;
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    for (NodeIndex v = 0; v < g.num_nodes(); ++v) {
+      if (u != v && tc.Reaches(u, v)) all.push_back({u, v});
+    }
+  }
+  rng->Shuffle(&all);
+  if (static_cast<int>(all.size()) > k) all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+void TableE2() {
+  std::printf(
+      "=== E2: structural privacy mechanisms (layered DAGs, 5 seeds) ===\n"
+      "%-7s %-4s | %-21s | %-21s | %-21s\n"
+      "%-7s %-4s | %-10s %-10s | %-10s %-10s | %-10s %-10s\n",
+      "", "", "edge deletion", "naive clustering", "sound clustering",
+      "nodes", "k", "utility", "edges-del", "utility", "extraneous",
+      "utility", "extraneous");
+  for (int nodes : {20, 40, 80, 160, 320}) {
+    for (int k : {1, 2, 4}) {
+      double del_util = 0;
+      double del_edges = 0;
+      double clu_util = 0;
+      double clu_extra = 0;
+      double snd_util = 0;
+      double snd_extra = 0;
+      int runs = 0;
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed * 1000 + static_cast<uint64_t>(nodes) + k);
+        Digraph g = RandomLayeredDag(&rng, nodes / 5, 5, 0.3);
+        auto pairs = PickPairs(g, &rng, k);
+        if (pairs.empty()) continue;
+        auto del = HideByEdgeDeletion(g, pairs);
+        auto clu = HideByClustering(g, pairs);
+        auto snd = HideBySoundClustering(g, pairs);
+        if (!del.ok() || !clu.ok() || !snd.ok()) continue;
+        ++runs;
+        del_util += del.value().metrics.Utility();
+        del_edges += del.value().metrics.mechanism_size;
+        clu_util += clu.value().metrics.Utility();
+        clu_extra += static_cast<double>(
+            clu.value().metrics.extraneous_pairs);
+        snd_util += snd.value().metrics.Utility();
+        snd_extra += static_cast<double>(
+            snd.value().metrics.extraneous_pairs);
+      }
+      if (runs == 0) continue;
+      std::printf(
+          "%-7d %-4d | %-10.3f %-10.1f | %-10.3f %-10.1f | %-10.3f "
+          "%-10.1f\n",
+          nodes, k, del_util / runs, del_edges / runs, clu_util / runs,
+          clu_extra / runs, snd_util / runs, snd_extra / runs);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_EdgeDeletion(benchmark::State& state) {
+  int nodes = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Digraph g = RandomLayeredDag(&rng, nodes / 5, 5, 0.3);
+  auto pairs = PickPairs(g, &rng, 2);
+  for (auto _ : state) {
+    auto result = HideByEdgeDeletion(g, pairs);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EdgeDeletion)->Arg(20)->Arg(80)->Arg(320);
+
+void BM_Clustering(benchmark::State& state) {
+  int nodes = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Digraph g = RandomLayeredDag(&rng, nodes / 5, 5, 0.3);
+  auto pairs = PickPairs(g, &rng, 2);
+  for (auto _ : state) {
+    auto result = HideByClustering(g, pairs);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Clustering)->Arg(20)->Arg(80)->Arg(320);
+
+void BM_SoundClustering(benchmark::State& state) {
+  int nodes = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Digraph g = RandomLayeredDag(&rng, nodes / 5, 5, 0.3);
+  auto pairs = PickPairs(g, &rng, 2);
+  for (auto _ : state) {
+    auto result = HideBySoundClustering(g, pairs);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SoundClustering)->Arg(20)->Arg(80);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TableE2();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

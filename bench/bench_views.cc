@@ -1,0 +1,110 @@
+// E7: view expansion cost vs hierarchy depth and prefix size (the core
+// operation behind access views, Sec. 2).
+//
+// Expected shape: expansion time grows with the number of visible
+// modules (roughly linear in the expanded size), not with the total
+// specification size; collapsed prefixes stay cheap even for deep
+// hierarchies.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/common/timer.h"
+#include "src/repo/workload.h"
+#include "src/workflow/hierarchy.h"
+#include "src/workflow/view.h"
+
+namespace {
+
+using namespace paw;
+
+struct SpecWorld {
+  std::unique_ptr<Specification> spec;
+  ExpansionHierarchy hierarchy;
+};
+
+SpecWorld BuildSpec(int depth) {
+  Rng rng(123);
+  WorkloadParams params;
+  params.depth = depth;
+  params.modules_per_workflow = 4;
+  params.composite_prob = 0.5;
+  SpecWorld world;
+  auto spec = GenerateSpec(params, &rng, "views");
+  world.spec = std::make_unique<Specification>(std::move(spec).value());
+  world.hierarchy = ExpansionHierarchy::Build(*world.spec);
+  return world;
+}
+
+void TableE7() {
+  std::printf(
+      "=== E7: view expansion cost ===\n"
+      "%-7s %-10s %-10s %-12s %-14s %-14s\n",
+      "depth", "workflows", "modules", "prefix", "visible", "expand(us)");
+  for (int depth : {1, 2, 3, 4, 5, 6, 7}) {
+    SpecWorld world = BuildSpec(depth);
+    struct Row {
+      const char* name;
+      Prefix prefix;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"root", world.hierarchy.RootPrefix()});
+    rows.push_back(
+        {"level1", world.hierarchy.AccessPrefix(*world.spec, 1)});
+    rows.push_back({"full", world.hierarchy.FullPrefix()});
+    for (const Row& row : rows) {
+      constexpr int kReps = 200;
+      Timer timer;
+      int visible = 0;
+      for (int i = 0; i < kReps; ++i) {
+        auto view = ExpandPrefix(*world.spec, world.hierarchy, row.prefix);
+        visible = view.value().num_visible();
+        benchmark::DoNotOptimize(view);
+      }
+      std::printf("%-7d %-10d %-10d %-12s %-14d %-14.2f\n", depth,
+                  world.spec->num_workflows(), world.spec->num_modules(),
+                  row.name, visible, timer.ElapsedMicros() / kReps);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_ExpandFull(benchmark::State& state) {
+  SpecWorld world = BuildSpec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto view = FullExpansion(*world.spec, world.hierarchy);
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_ExpandFull)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_ExpandRoot(benchmark::State& state) {
+  SpecWorld world = BuildSpec(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto view = ExpandPrefix(*world.spec, world.hierarchy,
+                             world.hierarchy.RootPrefix());
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_ExpandRoot)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_EnumeratePrefixes(benchmark::State& state) {
+  SpecWorld world = BuildSpec(3);
+  for (auto _ : state) {
+    auto prefixes = world.hierarchy.EnumeratePrefixes();
+    benchmark::DoNotOptimize(prefixes);
+  }
+}
+BENCHMARK(BM_EnumeratePrefixes);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TableE7();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

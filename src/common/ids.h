@@ -1,0 +1,82 @@
+#ifndef PAW_COMMON_IDS_H_
+#define PAW_COMMON_IDS_H_
+
+/// \file ids.h
+/// \brief Strongly typed integer identifiers.
+///
+/// Workflow specs, modules, executions, data items and graph nodes all use
+/// dense integer ids; wrapping them in tag-parameterized types prevents the
+/// classic bug of passing a module id where a workflow id is expected.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace paw {
+
+/// \brief A typed wrapper around a dense 32-bit id.
+///
+/// `Tag` is a phantom type; two `Id`s with different tags do not convert to
+/// each other. The value -1 (`Invalid()`) is the sentinel "no id".
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() : value_(-1) {}
+  constexpr explicit Id(int32_t value) : value_(value) {}
+
+  /// \brief The sentinel invalid id.
+  static constexpr Id Invalid() { return Id(); }
+
+  /// \brief Underlying integer value.
+  constexpr int32_t value() const { return value_; }
+
+  /// \brief True iff this id is not the invalid sentinel.
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    return os << id.value_;
+  }
+
+ private:
+  int32_t value_;
+};
+
+struct WorkflowTag {};
+struct ModuleTag {};
+struct ExecNodeTag {};
+struct DataItemTag {};
+struct ExecutionTag {};
+struct PrincipalTag {};
+
+/// Identifies a workflow (one level of a hierarchical specification).
+using WorkflowId = Id<WorkflowTag>;
+/// Identifies a module within a specification (unique across workflows).
+using ModuleId = Id<ModuleTag>;
+/// Identifies a node of an execution (provenance) graph.
+using ExecNodeId = Id<ExecNodeTag>;
+/// Identifies a data item produced during an execution.
+using DataItemId = Id<DataItemTag>;
+/// Identifies a stored execution in a repository.
+using ExecutionId = Id<ExecutionTag>;
+/// Identifies a principal (user) in the access-control registry.
+using PrincipalId = Id<PrincipalTag>;
+
+}  // namespace paw
+
+namespace std {
+template <typename Tag>
+struct hash<paw::Id<Tag>> {
+  size_t operator()(paw::Id<Tag> id) const noexcept {
+    return std::hash<int32_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // PAW_COMMON_IDS_H_

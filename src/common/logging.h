@@ -1,0 +1,67 @@
+#ifndef PAW_COMMON_LOGGING_H_
+#define PAW_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// \brief Minimal leveled logging and check macros.
+///
+/// The library is quiet by default (`kWarning`); benchmarks and examples can
+/// raise verbosity. `PAW_CHECK` is for invariant violations that indicate a
+/// bug in the library itself, never for user errors (those get `Status`).
+
+#include <sstream>
+#include <string>
+
+namespace paw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// \brief Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-collecting helper behind the PAW_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborting variant used by PAW_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PAW_LOG(level)                                                     \
+  if (::paw::LogLevel::level < ::paw::GetLogLevel()) {                     \
+  } else                                                                   \
+    ::paw::internal::LogMessage(::paw::LogLevel::level, __FILE__, __LINE__) \
+        .stream()
+
+/// Aborts with a message when `cond` is false. Library-bug assertions only.
+#define PAW_CHECK(cond)                                                  \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::paw::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+}  // namespace paw
+
+#endif  // PAW_COMMON_LOGGING_H_

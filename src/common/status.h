@@ -1,0 +1,193 @@
+#ifndef PAW_COMMON_STATUS_H_
+#define PAW_COMMON_STATUS_H_
+
+/// \file status.h
+/// \brief Error model for the paw library.
+///
+/// The library does not throw exceptions. Fallible operations return a
+/// `Status`, or a `Result<T>` when they also produce a value — the idiom
+/// used by Arrow and RocksDB. `PAW_RETURN_NOT_OK` / `PAW_ASSIGN_OR_RETURN`
+/// provide early-return plumbing.
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace paw {
+
+/// \brief Machine-readable category of a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kPermissionDenied,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Human-readable name of a status code (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation: OK, or a code plus message.
+///
+/// OK carries no allocation; error states carry a heap string. `Status` is
+/// cheap to move and cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not
+  /// be `kOk` (use the default constructor for that).
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {
+    assert(code != StatusCode::kOk || rep_ == nullptr);
+  }
+
+  /// \brief The canonical OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// \brief True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// \brief The status code; `kOk` when `ok()`.
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// \brief The error message; empty when `ok()`.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsPermissionDenied() const {
+    return code() == StatusCode::kPermissionDenied;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // nullptr <=> OK
+};
+
+/// \brief A value of type `T`, or the `Status` explaining its absence.
+///
+/// Accessing `value()` on an error result aborts in debug builds; call
+/// `ok()` first, or use `PAW_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` is a bug.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok());
+  }
+
+  /// \brief True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// \brief The status: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// \brief Borrow the contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  /// \brief Move the contained value out. Requires `ok()`.
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  /// \brief `value()` if present, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(var_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+namespace internal {
+#define PAW_CONCAT_IMPL(a, b) a##b
+#define PAW_CONCAT(a, b) PAW_CONCAT_IMPL(a, b)
+}  // namespace internal
+
+/// Evaluates `expr` (a `Status`); returns it from the enclosing function on
+/// error.
+#define PAW_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::paw::Status _paw_status = (expr);    \
+    if (!_paw_status.ok()) return _paw_status; \
+  } while (false)
+
+/// Evaluates `rexpr` (a `Result<T>`); on error returns its status from the
+/// enclosing function, otherwise assigns the value to `lhs`.
+#define PAW_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  PAW_ASSIGN_OR_RETURN_IMPL(PAW_CONCAT(_paw_result_, __LINE__), lhs, rexpr)
+
+#define PAW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace paw
+
+#endif  // PAW_COMMON_STATUS_H_

@@ -1,0 +1,79 @@
+#include "src/common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace paw {
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      cur.push_back(static_cast<char>(std::tolower(
+          static_cast<unsigned char>(ch))));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  std::string h = ToLowerAscii(haystack);
+  std::string n = ToLowerAscii(needle);
+  return h.find(n) != std::string::npos;
+}
+
+bool TokensContainPhrase(const std::vector<std::string>& text_tokens,
+                         std::string_view phrase) {
+  for (const std::string& want : Tokenize(phrase)) {
+    if (std::find(text_tokens.begin(), text_tokens.end(), want) ==
+        text_tokens.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace paw

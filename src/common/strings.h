@@ -1,0 +1,40 @@
+#ifndef PAW_COMMON_STRINGS_H_
+#define PAW_COMMON_STRINGS_H_
+
+/// \file strings.h
+/// \brief Small string utilities used across the library (tokenization for
+/// keyword search, joining for diagnostics, trimming for the serializer).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paw {
+
+/// \brief Lowercases ASCII characters in `s`.
+std::string ToLowerAscii(std::string_view s);
+
+/// \brief Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Lowercased alphanumeric word tokens of `s` ("Query OMIM" ->
+/// {"query", "omim"}). This is the tokenization used by the keyword index.
+std::vector<std::string> Tokenize(std::string_view s);
+
+/// \brief True iff `haystack` contains `needle` case-insensitively.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// \brief True iff every word token of `phrase` appears among the tokens of
+/// `text` (order-insensitive phrase match; used by keyword covering).
+bool TokensContainPhrase(const std::vector<std::string>& text_tokens,
+                         std::string_view phrase);
+
+}  // namespace paw
+
+#endif  // PAW_COMMON_STRINGS_H_

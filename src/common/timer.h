@@ -1,0 +1,35 @@
+#ifndef PAW_COMMON_TIMER_H_
+#define PAW_COMMON_TIMER_H_
+
+/// \file timer.h
+/// \brief Wall-clock stopwatch used by the benchmark harness tables.
+
+#include <chrono>
+
+namespace paw {
+
+/// \brief A steady-clock stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  /// \brief Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_COMMON_TIMER_H_

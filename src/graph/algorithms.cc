@@ -1,0 +1,293 @@
+#include "src/graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace paw {
+
+std::vector<NodeIndex> ReachableFrom(const Digraph& g, NodeIndex start) {
+  return ReachableFrom(g, std::vector<NodeIndex>{start});
+}
+
+std::vector<NodeIndex> ReachableFrom(const Digraph& g,
+                                     const std::vector<NodeIndex>& starts) {
+  std::vector<bool> seen(static_cast<size_t>(g.num_nodes()), false);
+  std::deque<NodeIndex> queue;
+  std::vector<NodeIndex> out;
+  for (NodeIndex s : starts) {
+    if (g.IsValidNode(s) && !seen[size_t(s)]) {
+      seen[size_t(s)] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    NodeIndex u = queue.front();
+    queue.pop_front();
+    out.push_back(u);
+    for (NodeIndex v : g.OutNeighbors(u)) {
+      if (!seen[size_t(v)]) {
+        seen[size_t(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeIndex> CanReach(const Digraph& g, NodeIndex target) {
+  std::vector<bool> seen(static_cast<size_t>(g.num_nodes()), false);
+  std::deque<NodeIndex> queue;
+  std::vector<NodeIndex> out;
+  if (!g.IsValidNode(target)) return out;
+  seen[size_t(target)] = true;
+  queue.push_back(target);
+  while (!queue.empty()) {
+    NodeIndex u = queue.front();
+    queue.pop_front();
+    out.push_back(u);
+    for (NodeIndex v : g.InNeighbors(u)) {
+      if (!seen[size_t(v)]) {
+        seen[size_t(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+bool PathExists(const Digraph& g, NodeIndex from, NodeIndex to) {
+  if (!g.IsValidNode(from) || !g.IsValidNode(to)) return false;
+  if (from == to) return true;
+  std::vector<bool> seen(static_cast<size_t>(g.num_nodes()), false);
+  std::deque<NodeIndex> queue{from};
+  seen[size_t(from)] = true;
+  while (!queue.empty()) {
+    NodeIndex u = queue.front();
+    queue.pop_front();
+    for (NodeIndex v : g.OutNeighbors(u)) {
+      if (v == to) return true;
+      if (!seen[size_t(v)]) {
+        seen[size_t(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+Result<std::vector<NodeIndex>> TopologicalOrder(const Digraph& g) {
+  std::vector<size_t> indegree(static_cast<size_t>(g.num_nodes()));
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    indegree[size_t(u)] = g.InDegree(u);
+  }
+  // Kahn's algorithm; the min-index queue makes the order deterministic.
+  std::priority_queue<NodeIndex, std::vector<NodeIndex>,
+                      std::greater<NodeIndex>>
+      ready;
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    if (indegree[size_t(u)] == 0) ready.push(u);
+  }
+  std::vector<NodeIndex> order;
+  order.reserve(static_cast<size_t>(g.num_nodes()));
+  while (!ready.empty()) {
+    NodeIndex u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (NodeIndex v : g.OutNeighbors(u)) {
+      if (--indegree[size_t(v)] == 0) ready.push(v);
+    }
+  }
+  if (order.size() != static_cast<size_t>(g.num_nodes())) {
+    return Status::FailedPrecondition("graph has a cycle");
+  }
+  return order;
+}
+
+bool IsAcyclic(const Digraph& g) { return TopologicalOrder(g).ok(); }
+
+std::vector<NodeIndex> Sources(const Digraph& g) {
+  std::vector<NodeIndex> out;
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    if (g.InDegree(u) == 0) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<NodeIndex> Sinks(const Digraph& g) {
+  std::vector<NodeIndex> out;
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    if (g.OutDegree(u) == 0) out.push_back(u);
+  }
+  return out;
+}
+
+int64_t CountPaths(const Digraph& g, NodeIndex from, NodeIndex to) {
+  if (!g.IsValidNode(from) || !g.IsValidNode(to)) return 0;
+  auto order = TopologicalOrder(g);
+  if (!order.ok()) return 0;
+  std::vector<int64_t> count(static_cast<size_t>(g.num_nodes()), 0);
+  count[size_t(from)] = 1;
+  for (NodeIndex u : order.value()) {
+    if (count[size_t(u)] == 0) continue;
+    for (NodeIndex v : g.OutNeighbors(u)) {
+      count[size_t(v)] =
+          std::min(kPathCountCap, count[size_t(v)] + count[size_t(u)]);
+    }
+  }
+  return count[size_t(to)];
+}
+
+Result<QuotientGraph> Quotient(const Digraph& g,
+                               const std::vector<NodeIndex>& group_of,
+                               NodeIndex num_groups) {
+  if (group_of.size() != static_cast<size_t>(g.num_nodes())) {
+    return Status::InvalidArgument("group_of size mismatch");
+  }
+  QuotientGraph q;
+  q.group_of = group_of;
+  q.graph.Resize(num_groups);
+  q.members.resize(static_cast<size_t>(num_groups));
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    NodeIndex grp = group_of[size_t(u)];
+    if (grp < 0 || grp >= num_groups) {
+      return Status::InvalidArgument("group id out of range");
+    }
+    q.members[size_t(grp)].push_back(u);
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    NodeIndex gu = group_of[size_t(u)];
+    NodeIndex gv = group_of[size_t(v)];
+    if (gu != gv && !q.graph.HasEdge(gu, gv)) {
+      Status st = q.graph.AddEdge(gu, gv);
+      PAW_CHECK(st.ok()) << st.ToString();
+    }
+  }
+  return q;
+}
+
+InducedSubgraph Induce(const Digraph& g, const std::vector<NodeIndex>& keep) {
+  InducedSubgraph sub;
+  sub.kept = keep;
+  std::sort(sub.kept.begin(), sub.kept.end());
+  sub.kept.erase(std::unique(sub.kept.begin(), sub.kept.end()),
+                 sub.kept.end());
+  std::vector<NodeIndex> new_index(static_cast<size_t>(g.num_nodes()), -1);
+  for (size_t i = 0; i < sub.kept.size(); ++i) {
+    new_index[size_t(sub.kept[i])] = static_cast<NodeIndex>(i);
+  }
+  sub.graph.Resize(static_cast<NodeIndex>(sub.kept.size()));
+  for (NodeIndex old_u : sub.kept) {
+    for (NodeIndex old_v : g.OutNeighbors(old_u)) {
+      NodeIndex nu = new_index[size_t(old_u)];
+      NodeIndex nv = new_index[size_t(old_v)];
+      if (nv >= 0) {
+        Status st = sub.graph.AddEdge(nu, nv);
+        PAW_CHECK(st.ok()) << st.ToString();
+      }
+    }
+  }
+  return sub;
+}
+
+namespace {
+
+// Edmonds-Karp on unit-capacity edges. Residual capacities are stored in a
+// dense adjacency map keyed by (u, v).
+struct FlowNetwork {
+  explicit FlowNetwork(const Digraph& g) : g(g) {
+    for (const auto& [u, v] : g.Edges()) residual[Key(u, v)] = 1;
+  }
+
+  static int64_t Key(NodeIndex u, NodeIndex v) {
+    return (int64_t(u) << 32) | uint32_t(v);
+  }
+
+  int Capacity(NodeIndex u, NodeIndex v) const {
+    auto it = residual.find(Key(u, v));
+    return it == residual.end() ? 0 : it->second;
+  }
+
+  // BFS for an augmenting path in the residual graph.
+  bool Augment(NodeIndex s, NodeIndex t) {
+    std::vector<NodeIndex> parent(static_cast<size_t>(g.num_nodes()), -1);
+    std::deque<NodeIndex> queue{s};
+    parent[size_t(s)] = s;
+    while (!queue.empty() && parent[size_t(t)] < 0) {
+      NodeIndex u = queue.front();
+      queue.pop_front();
+      auto try_push = [&](NodeIndex v) {
+        if (parent[size_t(v)] < 0 && Capacity(u, v) > 0) {
+          parent[size_t(v)] = u;
+          queue.push_back(v);
+        }
+      };
+      for (NodeIndex v : g.OutNeighbors(u)) try_push(v);
+      for (NodeIndex v : g.InNeighbors(u)) try_push(v);  // residual back edges
+    }
+    if (parent[size_t(t)] < 0) return false;
+    for (NodeIndex v = t; v != s;) {
+      NodeIndex u = parent[size_t(v)];
+      --residual[Key(u, v)];
+      ++residual[Key(v, u)];
+      v = u;
+    }
+    return true;
+  }
+
+  const Digraph& g;
+  std::unordered_map<int64_t, int> residual;
+};
+
+}  // namespace
+
+Result<std::vector<std::pair<NodeIndex, NodeIndex>>> MinEdgeCut(
+    const Digraph& g, NodeIndex s, NodeIndex t) {
+  if (!g.IsValidNode(s) || !g.IsValidNode(t)) {
+    return Status::InvalidArgument("cut endpoint out of range");
+  }
+  if (s == t) return Status::InvalidArgument("s == t");
+  FlowNetwork net(g);
+  while (net.Augment(s, t)) {
+  }
+  // Min cut = original edges from the s-side of the residual graph to the
+  // t-side.
+  std::vector<bool> s_side(static_cast<size_t>(g.num_nodes()), false);
+  std::deque<NodeIndex> queue{s};
+  s_side[size_t(s)] = true;
+  while (!queue.empty()) {
+    NodeIndex u = queue.front();
+    queue.pop_front();
+    auto visit = [&](NodeIndex v) {
+      if (!s_side[size_t(v)] && net.Capacity(u, v) > 0) {
+        s_side[size_t(v)] = true;
+        queue.push_back(v);
+      }
+    };
+    for (NodeIndex v : g.OutNeighbors(u)) visit(v);
+    for (NodeIndex v : g.InNeighbors(u)) visit(v);
+  }
+  std::vector<std::pair<NodeIndex, NodeIndex>> cut;
+  for (const auto& [u, v] : g.Edges()) {
+    if (s_side[size_t(u)] && !s_side[size_t(v)]) cut.emplace_back(u, v);
+  }
+  return cut;
+}
+
+Result<int> DagLongestPath(const Digraph& g) {
+  PAW_ASSIGN_OR_RETURN(std::vector<NodeIndex> order, TopologicalOrder(g));
+  std::vector<int> depth(static_cast<size_t>(g.num_nodes()), 0);
+  int best = 0;
+  for (NodeIndex u : order) {
+    for (NodeIndex v : g.OutNeighbors(u)) {
+      depth[size_t(v)] = std::max(depth[size_t(v)], depth[size_t(u)] + 1);
+      best = std::max(best, depth[size_t(v)]);
+    }
+  }
+  return best;
+}
+
+}  // namespace paw

@@ -1,0 +1,89 @@
+#ifndef PAW_GRAPH_ALGORITHMS_H_
+#define PAW_GRAPH_ALGORITHMS_H_
+
+/// \file algorithms.h
+/// \brief Graph algorithms shared by the workflow, provenance and privacy
+/// layers: traversal, topological order, reachability, quotients (the
+/// clustering operation of structural privacy), induced subgraphs, and the
+/// minimum edge cuts used by the edge-deletion privacy mechanism.
+
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+
+namespace paw {
+
+/// \brief Nodes reachable from `start` (inclusive) following out-edges.
+std::vector<NodeIndex> ReachableFrom(const Digraph& g, NodeIndex start);
+
+/// \brief Nodes reachable from any node of `starts` (inclusive).
+std::vector<NodeIndex> ReachableFrom(const Digraph& g,
+                                     const std::vector<NodeIndex>& starts);
+
+/// \brief Nodes that can reach `target` (inclusive) following in-edges.
+std::vector<NodeIndex> CanReach(const Digraph& g, NodeIndex target);
+
+/// \brief True iff a directed path `from -> ... -> to` exists (BFS).
+bool PathExists(const Digraph& g, NodeIndex from, NodeIndex to);
+
+/// \brief A topological order, or FailedPrecondition if `g` has a cycle.
+Result<std::vector<NodeIndex>> TopologicalOrder(const Digraph& g);
+
+/// \brief True iff `g` is acyclic.
+bool IsAcyclic(const Digraph& g);
+
+/// \brief Nodes with no in-edges, ascending.
+std::vector<NodeIndex> Sources(const Digraph& g);
+
+/// \brief Nodes with no out-edges, ascending.
+std::vector<NodeIndex> Sinks(const Digraph& g);
+
+/// \brief Number of distinct directed paths `from -> to` in a DAG.
+///
+/// Saturates at kPathCountCap to avoid overflow on dense DAGs.
+int64_t CountPaths(const Digraph& g, NodeIndex from, NodeIndex to);
+inline constexpr int64_t kPathCountCap = int64_t{1} << 62;
+
+/// \brief Result of collapsing node groups into single quotient nodes.
+struct QuotientGraph {
+  /// The collapsed graph; node q represents all original nodes u with
+  /// `group_of[u] == q`.
+  Digraph graph;
+  /// Maps each original node to its quotient node.
+  std::vector<NodeIndex> group_of;
+  /// Original members of each quotient node.
+  std::vector<std::vector<NodeIndex>> members;
+};
+
+/// \brief Collapses `g` according to `group_of` (size `num_nodes`, values
+/// in `[0, num_groups)`), dropping intra-group edges and deduplicating
+/// cross-group edges. This is the "clustering" operation of structural
+/// privacy: the quotient is what an external observer sees.
+Result<QuotientGraph> Quotient(const Digraph& g,
+                               const std::vector<NodeIndex>& group_of,
+                               NodeIndex num_groups);
+
+/// \brief Subgraph induced by `keep` (ascending remap); `node_map[i]` is the
+/// new index of old node `keep[i]`.
+struct InducedSubgraph {
+  Digraph graph;
+  std::vector<NodeIndex> kept;  // new index -> old index
+};
+InducedSubgraph Induce(const Digraph& g, const std::vector<NodeIndex>& keep);
+
+/// \brief Minimum set of edges whose removal disconnects `s` from `t`
+/// (max-flow with unit edge capacities, BFS augmentation).
+///
+/// Returns the cut edges in the original graph. Requires `s != t`; returns
+/// an empty vector when `t` is already unreachable.
+Result<std::vector<std::pair<NodeIndex, NodeIndex>>> MinEdgeCut(
+    const Digraph& g, NodeIndex s, NodeIndex t);
+
+/// \brief Longest path length (in edges) in a DAG; 0 for empty graphs.
+Result<int> DagLongestPath(const Digraph& g);
+
+}  // namespace paw
+
+#endif  // PAW_GRAPH_ALGORITHMS_H_

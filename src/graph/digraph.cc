@@ -1,0 +1,64 @@
+#include "src/graph/digraph.h"
+
+#include <algorithm>
+
+namespace paw {
+
+NodeIndex Digraph::AddNode() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeIndex>(out_.size()) - 1;
+}
+
+void Digraph::Resize(NodeIndex n) {
+  if (n > num_nodes()) {
+    out_.resize(static_cast<size_t>(n));
+    in_.resize(static_cast<size_t>(n));
+  }
+}
+
+Status Digraph::AddEdge(NodeIndex u, NodeIndex v) {
+  if (!IsValidNode(u) || !IsValidNode(v)) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self loops are not allowed");
+  }
+  if (!edge_set_.insert({u, v}).second) {
+    return Status::AlreadyExists("duplicate edge");
+  }
+  out_[size_t(u)].push_back(v);
+  in_[size_t(v)].push_back(u);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status Digraph::RemoveEdge(NodeIndex u, NodeIndex v) {
+  if (!IsValidNode(u) || !IsValidNode(v)) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (edge_set_.erase({u, v}) == 0) {
+    return Status::NotFound("edge not present");
+  }
+  auto& outs = out_[size_t(u)];
+  outs.erase(std::find(outs.begin(), outs.end(), v));
+  auto& ins = in_[size_t(v)];
+  ins.erase(std::find(ins.begin(), ins.end(), u));
+  --num_edges_;
+  return Status::OK();
+}
+
+bool Digraph::HasEdge(NodeIndex u, NodeIndex v) const {
+  return edge_set_.count({u, v}) > 0;
+}
+
+std::vector<std::pair<NodeIndex, NodeIndex>> Digraph::Edges() const {
+  std::vector<std::pair<NodeIndex, NodeIndex>> edges;
+  edges.reserve(static_cast<size_t>(num_edges_));
+  for (NodeIndex u = 0; u < num_nodes(); ++u) {
+    for (NodeIndex v : out_[size_t(u)]) edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+}  // namespace paw

@@ -1,0 +1,95 @@
+#ifndef PAW_GRAPH_DIGRAPH_H_
+#define PAW_GRAPH_DIGRAPH_H_
+
+/// \file digraph.h
+/// \brief Adjacency-list directed graph used by every layer of the library.
+///
+/// Workflow specifications, provenance graphs, view quotients and privacy
+/// transforms all reduce to operations on this structure. Nodes are dense
+/// integers `[0, num_nodes)`; parallel edges are rejected; out/in adjacency
+/// preserves insertion order (the executor's deterministic schedule relies
+/// on that, see `provenance/executor.h`).
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace paw {
+
+/// \brief Dense node index of a `Digraph`.
+using NodeIndex = int32_t;
+
+/// \brief A simple directed graph with insertion-ordered adjacency.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Constructs a graph with `n` isolated nodes.
+  explicit Digraph(NodeIndex n) { Resize(n); }
+
+  /// \brief Adds one node and returns its index.
+  NodeIndex AddNode();
+
+  /// \brief Grows the graph to exactly `n` nodes (never shrinks).
+  void Resize(NodeIndex n);
+
+  /// \brief Adds edge `u -> v`.
+  ///
+  /// Returns InvalidArgument for out-of-range endpoints or self loops and
+  /// AlreadyExists for duplicate edges.
+  Status AddEdge(NodeIndex u, NodeIndex v);
+
+  /// \brief Removes edge `u -> v`; NotFound if absent.
+  Status RemoveEdge(NodeIndex u, NodeIndex v);
+
+  /// \brief True iff edge `u -> v` exists.
+  bool HasEdge(NodeIndex u, NodeIndex v) const;
+
+  /// \brief Number of nodes.
+  NodeIndex num_nodes() const { return static_cast<NodeIndex>(out_.size()); }
+
+  /// \brief Number of edges.
+  int64_t num_edges() const { return num_edges_; }
+
+  /// \brief Successors of `u` in insertion order.
+  const std::vector<NodeIndex>& OutNeighbors(NodeIndex u) const {
+    return out_[static_cast<size_t>(u)];
+  }
+
+  /// \brief Predecessors of `u` in insertion order.
+  const std::vector<NodeIndex>& InNeighbors(NodeIndex u) const {
+    return in_[static_cast<size_t>(u)];
+  }
+
+  /// \brief Out-degree of `u`.
+  size_t OutDegree(NodeIndex u) const { return out_[size_t(u)].size(); }
+
+  /// \brief In-degree of `u`.
+  size_t InDegree(NodeIndex u) const { return in_[size_t(u)].size(); }
+
+  /// \brief All edges as (u, v) pairs, grouped by source, insertion order.
+  std::vector<std::pair<NodeIndex, NodeIndex>> Edges() const;
+
+  /// \brief True iff `u` is a valid node index.
+  bool IsValidNode(NodeIndex u) const { return u >= 0 && u < num_nodes(); }
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<NodeIndex, NodeIndex>& p) const {
+      return std::hash<int64_t>()((int64_t(p.first) << 32) |
+                                  uint32_t(p.second));
+    }
+  };
+
+  std::vector<std::vector<NodeIndex>> out_;
+  std::vector<std::vector<NodeIndex>> in_;
+  std::unordered_set<std::pair<NodeIndex, NodeIndex>, PairHash> edge_set_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace paw
+
+#endif  // PAW_GRAPH_DIGRAPH_H_

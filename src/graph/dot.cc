@@ -1,0 +1,47 @@
+#include "src/graph/dot.h"
+
+#include <sstream>
+
+namespace paw {
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const Digraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << (options.name.empty() ? "g" : options.name) << " {\n";
+  os << "  rankdir=TB;\n";
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    os << "  n" << u;
+    std::string label =
+        options.node_label ? options.node_label(u) : std::to_string(u);
+    os << " [label=\"" << Escape(label) << "\"";
+    if (options.node_attrs) {
+      std::string attrs = options.node_attrs(u);
+      if (!attrs.empty()) os << ", " << attrs;
+    }
+    os << "];\n";
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    os << "  n" << u << " -> n" << v;
+    if (options.edge_label) {
+      std::string label = options.edge_label(u, v);
+      if (!label.empty()) os << " [label=\"" << Escape(label) << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace paw

@@ -1,0 +1,34 @@
+#ifndef PAW_GRAPH_DOT_H_
+#define PAW_GRAPH_DOT_H_
+
+/// \file dot.h
+/// \brief Graphviz DOT rendering for digraphs with per-node/edge labels.
+///
+/// Examples and the figure-reproduction bench emit DOT so the reproduced
+/// figures can be inspected visually against the paper.
+
+#include <functional>
+#include <string>
+
+#include "src/graph/digraph.h"
+
+namespace paw {
+
+/// \brief Options controlling DOT output.
+struct DotOptions {
+  /// Graph name appearing in the `digraph <name> { ... }` header.
+  std::string name = "g";
+  /// Label for node `u`; defaults to the node index.
+  std::function<std::string(NodeIndex)> node_label;
+  /// Label for edge `u -> v`; empty string omits the label.
+  std::function<std::string(NodeIndex, NodeIndex)> edge_label;
+  /// Extra node attributes, e.g. `shape=box` for masked nodes.
+  std::function<std::string(NodeIndex)> node_attrs;
+};
+
+/// \brief Renders `g` in Graphviz DOT syntax.
+std::string ToDot(const Digraph& g, const DotOptions& options = {});
+
+}  // namespace paw
+
+#endif  // PAW_GRAPH_DOT_H_

@@ -1,0 +1,79 @@
+#include "src/index/inverted_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/strings.h"
+
+namespace paw {
+
+void InvertedIndex::Build(const Repository& repo) {
+  postings_.clear();
+  df_.clear();
+  num_postings_ = 0;
+  num_docs_ = repo.num_specs();
+  for (int s = 0; s < repo.num_specs(); ++s) {
+    const SpecEntry& entry = repo.entry(s);
+    std::set<std::string> seen_in_doc;
+    for (const Module& m : entry.spec.modules()) {
+      AccessLevel level = entry.spec.workflow(m.workflow).required_level;
+      // Count token occurrences in name tokens + keywords.
+      std::map<std::string, int> counts;
+      for (const std::string& t : Tokenize(m.name)) ++counts[t];
+      for (const std::string& k : m.keywords) {
+        for (const std::string& t : Tokenize(k)) ++counts[t];
+      }
+      for (const auto& [token, tf] : counts) {
+        postings_[token].push_back(Posting{s, m.id, level, tf});
+        ++num_postings_;
+        seen_in_doc.insert(token);
+      }
+    }
+    for (const std::string& t : seen_in_doc) ++df_[t];
+  }
+}
+
+const std::vector<Posting>& InvertedIndex::Lookup(
+    const std::string& token) const {
+  static const std::vector<Posting> kEmpty;
+  auto it = postings_.find(token);
+  return it == postings_.end() ? kEmpty : it->second;
+}
+
+std::vector<int> InvertedIndex::CandidateSpecs(
+    const std::vector<std::string>& terms, AccessLevel level) const {
+  std::vector<int> result;
+  bool first = true;
+  for (const std::string& term : terms) {
+    for (const std::string& token : Tokenize(term)) {
+      std::set<int> specs_with_token;
+      for (const Posting& p : Lookup(token)) {
+        if (p.level <= level) specs_with_token.insert(p.spec_id);
+      }
+      if (first) {
+        result.assign(specs_with_token.begin(), specs_with_token.end());
+        first = false;
+      } else {
+        std::vector<int> merged;
+        std::set_intersection(result.begin(), result.end(),
+                              specs_with_token.begin(),
+                              specs_with_token.end(),
+                              std::back_inserter(merged));
+        result = std::move(merged);
+      }
+      if (result.empty()) return result;
+    }
+  }
+  if (first) {
+    // No terms: every spec is a candidate.
+    for (int s = 0; s < num_docs_; ++s) result.push_back(s);
+  }
+  return result;
+}
+
+int InvertedIndex::DocumentFrequency(const std::string& token) const {
+  auto it = df_.find(token);
+  return it == df_.end() ? 0 : it->second;
+}
+
+}  // namespace paw

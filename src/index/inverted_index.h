@@ -1,0 +1,66 @@
+#ifndef PAW_INDEX_INVERTED_INDEX_H_
+#define PAW_INDEX_INVERTED_INDEX_H_
+
+/// \file inverted_index.h
+/// \brief Privacy-annotated keyword index (paper Sec. 4, "we must manage
+/// an index with different user views").
+///
+/// Each posting carries the access level at which its module becomes
+/// visible (the required level of the containing workflow), so one shared
+/// index serves every privilege class: lookups filter postings by the
+/// caller's level instead of maintaining per-level repositories.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/repo/repository.h"
+
+namespace paw {
+
+/// \brief One keyword occurrence.
+struct Posting {
+  int spec_id = -1;
+  ModuleId module;
+  /// Level required to see this module.
+  AccessLevel level = 0;
+  /// Occurrences of the token in the module's name + keywords.
+  int tf = 0;
+};
+
+/// \brief Token -> postings over a whole repository.
+class InvertedIndex {
+ public:
+  /// \brief (Re)builds the index from scratch.
+  void Build(const Repository& repo);
+
+  /// \brief Postings of `token` (already lowercased by tokenization).
+  const std::vector<Posting>& Lookup(const std::string& token) const;
+
+  /// \brief Spec ids that contain every token of every term at a level
+  /// visible to `level` (candidate pruning for keyword search).
+  std::vector<int> CandidateSpecs(const std::vector<std::string>& terms,
+                                  AccessLevel level) const;
+
+  /// \brief Number of specs containing `token` at any level (df for IDF).
+  int DocumentFrequency(const std::string& token) const;
+
+  /// \brief Number of indexed specs.
+  int num_docs() const { return num_docs_; }
+
+  int64_t num_tokens() const {
+    return static_cast<int64_t>(postings_.size());
+  }
+  int64_t num_postings() const { return num_postings_; }
+
+ private:
+  std::map<std::string, std::vector<Posting>> postings_;
+  std::map<std::string, int> df_;
+  int num_docs_ = 0;
+  int64_t num_postings_ = 0;
+};
+
+}  // namespace paw
+
+#endif  // PAW_INDEX_INVERTED_INDEX_H_

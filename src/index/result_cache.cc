@@ -1,0 +1,53 @@
+#include "src/index/result_cache.h"
+
+#include <algorithm>
+
+namespace paw {
+
+ResultCache::ResultCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::optional<std::string> ResultCache::Get(const std::string& group,
+                                            const std::string& key) {
+  auto it = entries_.find(FullKey(group, key));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void ResultCache::Put(const std::string& group, const std::string& key,
+                      std::string value) {
+  std::string full = FullKey(group, key);
+  auto it = entries_.find(full);
+  if (it != entries_.end()) {
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    entries_.erase(victim.full_key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{full, std::move(value)});
+  entries_[full] = lru_.begin();
+}
+
+void ResultCache::InvalidateGroup(const std::string& group) {
+  std::string prefix = group + "\x1f";
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->full_key.compare(0, prefix.size(), prefix) == 0) {
+      entries_.erase(it->full_key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace paw

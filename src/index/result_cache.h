@@ -1,0 +1,72 @@
+#ifndef PAW_INDEX_RESULT_CACHE_H_
+#define PAW_INDEX_RESULT_CACHE_H_
+
+/// \file result_cache.h
+/// \brief Per-user-group LRU answer cache (paper Sec. 4, "consider user
+/// groups when utilizing cached information during query processing").
+///
+/// Two principals may share a cached answer only when they share a privacy
+/// context, so the cache key space is partitioned by group tag (which the
+/// engine derives from group *and* access level). Experiment E9 measures
+/// hit rates under Zipf query mixes.
+
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace paw {
+
+/// \brief Hit/miss statistics.
+struct CacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+
+  double HitRate() const {
+    int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// \brief An LRU map from (group, key) to serialized answers.
+class ResultCache {
+ public:
+  /// Creates a cache holding at most `capacity` entries (>= 1).
+  explicit ResultCache(size_t capacity);
+
+  /// \brief Returns the cached answer, refreshing recency; nullopt on miss.
+  std::optional<std::string> Get(const std::string& group,
+                                 const std::string& key);
+
+  /// \brief Inserts/overwrites an answer, evicting the LRU entry if full.
+  void Put(const std::string& group, const std::string& key,
+           std::string value);
+
+  /// \brief Drops every entry of one group (e.g. after a policy change).
+  void InvalidateGroup(const std::string& group);
+
+  size_t size() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string full_key;
+    std::string value;
+  };
+
+  static std::string FullKey(const std::string& group,
+                             const std::string& key) {
+    return group + "\x1f" + key;
+  }
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_INDEX_RESULT_CACHE_H_

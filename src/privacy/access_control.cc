@@ -1,0 +1,41 @@
+#include "src/privacy/access_control.h"
+
+namespace paw {
+
+Result<PrincipalId> AccessControl::AddPrincipal(std::string name,
+                                                AccessLevel level,
+                                                std::string group) {
+  if (level < 0) return Status::InvalidArgument("negative access level");
+  for (const Principal& p : principals_) {
+    if (p.name == name) {
+      return Status::AlreadyExists("principal '" + name + "' exists");
+    }
+  }
+  PrincipalId id(static_cast<int32_t>(principals_.size()));
+  principals_.push_back(
+      Principal{id, std::move(name), level, std::move(group)});
+  return id;
+}
+
+Result<Principal> AccessControl::Get(PrincipalId id) const {
+  if (id.value() < 0 || id.value() >= size()) {
+    return Status::NotFound("unknown principal");
+  }
+  return principals_[static_cast<size_t>(id.value())];
+}
+
+Result<Principal> AccessControl::Find(std::string_view name) const {
+  for (const Principal& p : principals_) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("no principal named '" + std::string(name) + "'");
+}
+
+Result<Prefix> AccessControl::AccessViewFor(
+    PrincipalId id, const Specification& spec,
+    const ExpansionHierarchy& hierarchy) const {
+  PAW_ASSIGN_OR_RETURN(Principal p, Get(id));
+  return hierarchy.AccessPrefix(spec, p.level);
+}
+
+}  // namespace paw

@@ -1,0 +1,38 @@
+#include "src/privacy/data_privacy.h"
+
+namespace paw {
+
+MaskingReport ComputeMasking(const Execution& exec, const DataPolicy& policy,
+                             AccessLevel level) {
+  MaskingReport report;
+  report.visible.resize(static_cast<size_t>(exec.num_items()));
+  for (const DataItem& d : exec.items()) {
+    bool ok = policy.LevelOf(d.label) <= level;
+    report.visible[static_cast<size_t>(d.id.value())] = ok;
+    if (ok) {
+      ++report.num_visible;
+    } else {
+      ++report.num_masked;
+    }
+  }
+  return report;
+}
+
+std::string RenderValue(const Execution& exec, DataItemId d,
+                        const DataPolicy& policy, AccessLevel level) {
+  const DataItem& item = exec.item(d);
+  return policy.LevelOf(item.label) <= level ? item.value : kMaskedValue;
+}
+
+double HidingCost(const std::vector<std::string>& hidden_labels,
+                  const std::map<std::string, double>& label_weights,
+                  double default_weight) {
+  double cost = 0;
+  for (const std::string& label : hidden_labels) {
+    auto it = label_weights.find(label);
+    cost += it == label_weights.end() ? default_weight : it->second;
+  }
+  return cost;
+}
+
+}  // namespace paw

@@ -1,0 +1,49 @@
+#ifndef PAW_PRIVACY_DATA_PRIVACY_H_
+#define PAW_PRIVACY_DATA_PRIVACY_H_
+
+/// \file data_privacy.h
+/// \brief Value masking for sensitive intermediate data (paper Sec. 3,
+/// "data privacy" — the "fairly standard requirement").
+///
+/// Items whose label requires a higher level than the observer's are shown
+/// with their identity (d7) but a masked value, so provenance structure
+/// stays queryable while contents stay hidden. Weighted variants support
+/// the module-privacy optimizer, where hiding different data has different
+/// utility cost.
+
+#include <string>
+#include <vector>
+
+#include "src/privacy/policy.h"
+#include "src/provenance/execution.h"
+
+namespace paw {
+
+/// \brief The placeholder shown instead of hidden values.
+inline constexpr const char* kMaskedValue = "<masked>";
+
+/// \brief Per-item visibility of an execution for an observer level.
+struct MaskingReport {
+  /// visible[i] == true iff item i's value may be shown.
+  std::vector<bool> visible;
+  int num_masked = 0;
+  int num_visible = 0;
+};
+
+/// \brief Computes which item values an observer at `level` may see.
+MaskingReport ComputeMasking(const Execution& exec, const DataPolicy& policy,
+                             AccessLevel level);
+
+/// \brief The value of `d` as rendered for an observer at `level`.
+std::string RenderValue(const Execution& exec, DataItemId d,
+                        const DataPolicy& policy, AccessLevel level);
+
+/// \brief Utility lost by hiding `hidden_labels` when each label has the
+/// given weight (missing labels weigh `default_weight`).
+double HidingCost(const std::vector<std::string>& hidden_labels,
+                  const std::map<std::string, double>& label_weights,
+                  double default_weight = 1.0);
+
+}  // namespace paw
+
+#endif  // PAW_PRIVACY_DATA_PRIVACY_H_

@@ -1,0 +1,83 @@
+#include "src/privacy/dp_counters.h"
+
+#include <cmath>
+
+#include "src/graph/algorithms.h"
+
+namespace paw {
+
+double LaplaceNoise::Sample() {
+  // Inverse CDF: u uniform in (-1/2, 1/2); x = -b * sgn(u) * ln(1-2|u|).
+  double u = rng_.UniformDouble() - 0.5;
+  double sign = u < 0 ? -1.0 : 1.0;
+  double mag = std::min(0.999999999999, 2.0 * std::abs(u));
+  return -b_ * sign * std::log1p(-mag);
+}
+
+Result<int64_t> ProvenanceCounter::CountModuleActivations(
+    const std::string& code) const {
+  int64_t count = 0;
+  for (int e = 0; e < repo_->num_executions(); ++e) {
+    const Execution& exec = repo_->execution(ExecutionId(e)).exec;
+    for (const ExecNode& n : exec.nodes()) {
+      if ((n.kind == ExecNodeKind::kAtomic ||
+           n.kind == ExecNodeKind::kBegin) &&
+          exec.spec().module(n.module).code == code) {
+        ++count;
+        break;  // per-execution membership, not activation multiplicity
+      }
+    }
+  }
+  return count;
+}
+
+Result<int64_t> ProvenanceCounter::CountLabelProductions(
+    const std::string& label) const {
+  int64_t count = 0;
+  for (int e = 0; e < repo_->num_executions(); ++e) {
+    const Execution& exec = repo_->execution(ExecutionId(e)).exec;
+    for (const DataItem& d : exec.items()) {
+      if (d.label == label) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+Result<int64_t> ProvenanceCounter::CountContributions(
+    const std::string& src_code, const std::string& dst_code) const {
+  int64_t count = 0;
+  for (int e = 0; e < repo_->num_executions(); ++e) {
+    const Execution& exec = repo_->execution(ExecutionId(e)).exec;
+    // Locate activations of each module in this execution.
+    ExecNodeId src, dst;
+    for (const ExecNode& n : exec.nodes()) {
+      if (n.kind != ExecNodeKind::kAtomic &&
+          n.kind != ExecNodeKind::kBegin) {
+        continue;
+      }
+      const std::string& code = exec.spec().module(n.module).code;
+      if (code == src_code && !src.valid()) src = n.id;
+      if (code == dst_code && !dst.valid()) dst = n.id;
+    }
+    if (src.valid() && dst.valid() &&
+        PathExists(exec.graph(), src.value(), dst.value())) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Result<double> ProvenanceCounter::Noisy(int64_t exact_count, double epsilon,
+                                        uint64_t query_id) const {
+  if (epsilon <= 0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  // Counting queries have sensitivity 1 w.r.t. one execution.
+  LaplaceNoise noise(1.0 / epsilon, seed_ ^ (query_id * 0x9e3779b9ULL));
+  return static_cast<double>(exact_count) + noise.Sample();
+}
+
+}  // namespace paw

@@ -1,0 +1,387 @@
+#include "src/privacy/module_privacy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace paw {
+namespace {
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > Relation::kGammaCap / b) return Relation::kGammaCap;
+  return a * b;
+}
+
+}  // namespace
+
+Result<Relation> Relation::Create(std::vector<RelationAttribute> inputs,
+                                  std::vector<RelationAttribute> outputs) {
+  if (outputs.empty()) {
+    return Status::InvalidArgument("relation needs >= 1 output attribute");
+  }
+  std::set<std::string> names;
+  for (const auto& a : inputs) {
+    if (a.domain < 2) {
+      return Status::InvalidArgument("attribute domain must be >= 2: " +
+                                     a.name);
+    }
+    if (!names.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute " + a.name);
+    }
+  }
+  for (const auto& a : outputs) {
+    if (a.domain < 2) {
+      return Status::InvalidArgument("attribute domain must be >= 2: " +
+                                     a.name);
+    }
+    if (!names.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute " + a.name);
+    }
+  }
+  Relation rel;
+  rel.inputs_ = std::move(inputs);
+  rel.outputs_ = std::move(outputs);
+  return rel;
+}
+
+Result<Relation> Relation::FromFunction(
+    std::vector<RelationAttribute> inputs,
+    std::vector<RelationAttribute> outputs,
+    const std::function<std::vector<int>(const std::vector<int>&)>& fn,
+    int64_t max_rows) {
+  PAW_ASSIGN_OR_RETURN(Relation rel, Create(inputs, outputs));
+  int64_t combos = 1;
+  for (const auto& a : rel.inputs_) {
+    combos = SatMul(combos, a.domain);
+    if (combos > max_rows) {
+      return Status::OutOfRange("input space exceeds max_rows");
+    }
+  }
+  std::vector<int> x(rel.inputs_.size(), 0);
+  for (int64_t i = 0; i < combos; ++i) {
+    std::vector<int> y = fn(x);
+    PAW_RETURN_NOT_OK(rel.AddRow(x, y));
+    // Odometer increment.
+    for (size_t d = 0; d < x.size(); ++d) {
+      if (++x[d] < rel.inputs_[d].domain) break;
+      x[d] = 0;
+    }
+  }
+  return rel;
+}
+
+Relation Relation::Random(Rng* rng, int num_inputs, int num_outputs,
+                          int domain) {
+  std::vector<RelationAttribute> ins;
+  std::vector<RelationAttribute> outs;
+  for (int i = 0; i < num_inputs; ++i) {
+    ins.push_back({"i" + std::to_string(i), domain,
+                   1.0 + rng->UniformDouble() * 3.0});
+  }
+  for (int i = 0; i < num_outputs; ++i) {
+    outs.push_back({"o" + std::to_string(i), domain,
+                    1.0 + rng->UniformDouble() * 3.0});
+  }
+  auto result = FromFunction(
+      ins, outs,
+      [&](const std::vector<int>&) {
+        std::vector<int> y(static_cast<size_t>(num_outputs));
+        for (auto& v : y) v = static_cast<int>(rng->Uniform(domain));
+        return y;
+      });
+  PAW_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Status Relation::AddRow(std::vector<int> input_values,
+                        std::vector<int> output_values) {
+  if (input_values.size() != inputs_.size() ||
+      output_values.size() != outputs_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < input_values.size(); ++i) {
+    if (input_values[i] < 0 || input_values[i] >= inputs_[i].domain) {
+      return Status::OutOfRange("input value out of domain");
+    }
+  }
+  for (size_t i = 0; i < output_values.size(); ++i) {
+    if (output_values[i] < 0 || output_values[i] >= outputs_[i].domain) {
+      return Status::OutOfRange("output value out of domain");
+    }
+  }
+  for (const auto& row : rows_) {
+    bool same = true;
+    for (size_t i = 0; i < input_values.size(); ++i) {
+      if (row[i] != input_values[i]) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return Status::AlreadyExists("duplicate input tuple");
+  }
+  std::vector<int> row = std::move(input_values);
+  row.insert(row.end(), output_values.begin(), output_values.end());
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const RelationAttribute& Relation::attribute(int i) const {
+  if (i < num_inputs()) return inputs_[static_cast<size_t>(i)];
+  return outputs_[static_cast<size_t>(i - num_inputs())];
+}
+
+Result<int64_t> Relation::MinPossibleOutputs(
+    const std::vector<bool>& hidden) const {
+  if (hidden.size() != static_cast<size_t>(num_attributes())) {
+    return Status::InvalidArgument("hidden flag arity mismatch");
+  }
+  if (rows_.empty()) {
+    return Status::FailedPrecondition("relation has no rows");
+  }
+  // Multiplier from hidden output columns: each contributes its full
+  // domain of completions.
+  int64_t hidden_out_product = 1;
+  for (int i = num_inputs(); i < num_attributes(); ++i) {
+    if (hidden[static_cast<size_t>(i)]) {
+      hidden_out_product = SatMul(hidden_out_product, attribute(i).domain);
+    }
+  }
+  // Group rows by visible input projection; count distinct visible output
+  // projections per group.
+  std::map<std::vector<int>, std::set<std::vector<int>>> groups;
+  for (const auto& row : rows_) {
+    std::vector<int> vin;
+    std::vector<int> vout;
+    for (int i = 0; i < num_inputs(); ++i) {
+      if (!hidden[static_cast<size_t>(i)]) {
+        vin.push_back(row[static_cast<size_t>(i)]);
+      }
+    }
+    for (int i = num_inputs(); i < num_attributes(); ++i) {
+      if (!hidden[static_cast<size_t>(i)]) {
+        vout.push_back(row[static_cast<size_t>(i)]);
+      }
+    }
+    groups[std::move(vin)].insert(std::move(vout));
+  }
+  int64_t min_out = kGammaCap;
+  for (const auto& [vin, vouts] : groups) {
+    int64_t candidates =
+        SatMul(static_cast<int64_t>(vouts.size()), hidden_out_product);
+    min_out = std::min(min_out, candidates);
+  }
+  return min_out;
+}
+
+Result<bool> Relation::IsGammaPrivate(const std::vector<bool>& hidden,
+                                      int64_t gamma) const {
+  PAW_ASSIGN_OR_RETURN(int64_t min_out, MinPossibleOutputs(hidden));
+  return min_out >= gamma;
+}
+
+double Relation::CostOf(const std::vector<bool>& hidden) const {
+  double cost = 0;
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (hidden[static_cast<size_t>(i)]) cost += attribute(i).weight;
+  }
+  return cost;
+}
+
+int64_t Relation::MaxAchievableGamma() const {
+  int64_t p = 1;
+  for (const auto& a : outputs_) p = SatMul(p, a.domain);
+  return p;
+}
+
+Result<HidingSolution> OptimalSafeSubset(const Relation& rel, int64_t gamma,
+                                         int max_attrs) {
+  const int n = rel.num_attributes();
+  if (n > max_attrs) {
+    return Status::FailedPrecondition(
+        "too many attributes for exhaustive search");
+  }
+  HidingSolution best;
+  best.feasible = false;
+  for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
+    std::vector<bool> hidden(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) hidden[size_t(i)] = (mask >> i) & 1;
+    double cost = rel.CostOf(hidden);
+    if (best.feasible && cost >= best.cost) continue;
+    PAW_ASSIGN_OR_RETURN(int64_t got, rel.MinPossibleOutputs(hidden));
+    if (got >= gamma) {
+      best.hidden = hidden;
+      best.cost = cost;
+      best.achieved_gamma = got;
+      best.feasible = true;
+    }
+  }
+  if (!best.feasible) {
+    best.hidden.assign(static_cast<size_t>(n), true);
+    best.cost = rel.CostOf(best.hidden);
+    PAW_ASSIGN_OR_RETURN(best.achieved_gamma,
+                         rel.MinPossibleOutputs(best.hidden));
+  }
+  return best;
+}
+
+Result<HidingSolution> GreedySafeSubset(const Relation& rel, int64_t gamma) {
+  const int n = rel.num_attributes();
+  HidingSolution sol;
+  sol.hidden.assign(static_cast<size_t>(n), false);
+  PAW_ASSIGN_OR_RETURN(int64_t current, rel.MinPossibleOutputs(sol.hidden));
+  while (current < gamma) {
+    int best_attr = -1;
+    double best_ratio = -1;
+    int64_t best_gain_gamma = current;
+    for (int i = 0; i < n; ++i) {
+      if (sol.hidden[size_t(i)]) continue;
+      sol.hidden[size_t(i)] = true;
+      PAW_ASSIGN_OR_RETURN(int64_t got, rel.MinPossibleOutputs(sol.hidden));
+      sol.hidden[size_t(i)] = false;
+      double gain = std::log2(static_cast<double>(got)) -
+                    std::log2(static_cast<double>(current));
+      double ratio = gain / rel.attribute(i).weight;
+      if (got > current &&
+          (ratio > best_ratio ||
+           (ratio == best_ratio && best_attr >= 0 &&
+            rel.attribute(i).weight < rel.attribute(best_attr).weight))) {
+        best_ratio = ratio;
+        best_attr = i;
+        best_gain_gamma = got;
+      }
+    }
+    if (best_attr < 0) {
+      // No single attribute improves the minimum; hide the cheapest
+      // remaining output (never decreases privacy, guarantees progress
+      // towards the hide-everything bound).
+      double cheapest = -1;
+      for (int i = rel.num_inputs(); i < n; ++i) {
+        if (!sol.hidden[size_t(i)] &&
+            (best_attr < 0 || rel.attribute(i).weight < cheapest)) {
+          best_attr = i;
+          cheapest = rel.attribute(i).weight;
+        }
+      }
+      if (best_attr < 0) break;  // everything hidden; infeasible
+      sol.hidden[size_t(best_attr)] = true;
+      PAW_ASSIGN_OR_RETURN(current, rel.MinPossibleOutputs(sol.hidden));
+      continue;
+    }
+    sol.hidden[size_t(best_attr)] = true;
+    current = best_gain_gamma;
+  }
+  sol.achieved_gamma = current;
+  sol.feasible = current >= gamma;
+  sol.cost = rel.CostOf(sol.hidden);
+  return sol;
+}
+
+namespace {
+
+/// Depth-first branch and bound over attribute indices.
+class BnbSolver {
+ public:
+  BnbSolver(const Relation& rel, int64_t gamma) : rel_(rel), gamma_(gamma) {
+    const int n = rel.num_attributes();
+    hidden_.assign(static_cast<size_t>(n), false);
+    // Branch on expensive attributes first: excluding them early keeps
+    // subtree costs low and tightens the cost bound sooner.
+    order_.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) order_[static_cast<size_t>(i)] = i;
+    std::sort(order_.begin(), order_.end(), [&](int x, int y) {
+      return rel.attribute(x).weight > rel.attribute(y).weight;
+    });
+  }
+
+  Result<HidingSolution> Solve() {
+    // Incumbent: greedy (always feasible when the problem is).
+    PAW_ASSIGN_OR_RETURN(HidingSolution greedy,
+                         GreedySafeSubset(rel_, gamma_));
+    best_ = greedy;
+    if (!greedy.feasible) return greedy;  // infeasible problem
+    PAW_RETURN_NOT_OK(Recurse(0, 0.0));
+    return best_;
+  }
+
+ private:
+  Status Recurse(size_t depth, double cost) {
+    if (cost >= best_.cost) return Status::OK();  // cost bound
+    // Privacy bound: can the remaining attributes still reach Gamma?
+    std::vector<bool> optimistic = hidden_;
+    for (size_t d = depth; d < order_.size(); ++d) {
+      optimistic[static_cast<size_t>(order_[d])] = true;
+    }
+    PAW_ASSIGN_OR_RETURN(int64_t ceiling,
+                         rel_.MinPossibleOutputs(optimistic));
+    if (ceiling < gamma_) return Status::OK();  // dead branch
+
+    PAW_ASSIGN_OR_RETURN(int64_t achieved,
+                         rel_.MinPossibleOutputs(hidden_));
+    if (achieved >= gamma_) {
+      best_.hidden = hidden_;
+      best_.cost = cost;
+      best_.achieved_gamma = achieved;
+      best_.feasible = true;
+      return Status::OK();  // any superset only costs more
+    }
+    if (depth == order_.size()) return Status::OK();
+
+    int attr = order_[depth];
+    // Branch 1: hide attr.
+    hidden_[static_cast<size_t>(attr)] = true;
+    PAW_RETURN_NOT_OK(
+        Recurse(depth + 1, cost + rel_.attribute(attr).weight));
+    // Branch 2: keep attr visible.
+    hidden_[static_cast<size_t>(attr)] = false;
+    return Recurse(depth + 1, cost);
+  }
+
+  const Relation& rel_;
+  int64_t gamma_;
+  std::vector<int> order_;
+  std::vector<bool> hidden_;
+  HidingSolution best_;
+};
+
+}  // namespace
+
+Result<HidingSolution> BranchAndBoundSafeSubset(const Relation& rel,
+                                                int64_t gamma,
+                                                int max_attrs) {
+  if (rel.num_attributes() > max_attrs) {
+    return Status::FailedPrecondition(
+        "too many attributes for branch and bound");
+  }
+  BnbSolver solver(rel, gamma);
+  return solver.Solve();
+}
+
+Result<HidingSolution> OutputOnlySafeSubset(const Relation& rel,
+                                            int64_t gamma) {
+  const int n = rel.num_attributes();
+  HidingSolution sol;
+  sol.hidden.assign(static_cast<size_t>(n), false);
+  // Output attribute indices by increasing weight.
+  std::vector<int> outs;
+  for (int i = rel.num_inputs(); i < n; ++i) outs.push_back(i);
+  std::sort(outs.begin(), outs.end(), [&](int a, int b) {
+    return rel.attribute(a).weight < rel.attribute(b).weight;
+  });
+  PAW_ASSIGN_OR_RETURN(int64_t current, rel.MinPossibleOutputs(sol.hidden));
+  for (int i : outs) {
+    if (current >= gamma) break;
+    sol.hidden[size_t(i)] = true;
+    PAW_ASSIGN_OR_RETURN(current, rel.MinPossibleOutputs(sol.hidden));
+  }
+  sol.achieved_gamma = current;
+  sol.feasible = current >= gamma;
+  sol.cost = rel.CostOf(sol.hidden);
+  return sol;
+}
+
+}  // namespace paw

@@ -1,0 +1,42 @@
+#include "src/privacy/policy.h"
+
+namespace paw {
+
+Status ValidatePolicy(const Specification& spec, const PolicySet& policy) {
+  if (policy.data.default_level < 0) {
+    return Status::InvalidArgument("negative default data level");
+  }
+  for (const auto& [label, level] : policy.data.label_level) {
+    if (level < 0) {
+      return Status::InvalidArgument("negative level for label " + label);
+    }
+  }
+  for (const ModulePrivacyRequirement& req : policy.module_reqs) {
+    if (req.gamma < 2) {
+      return Status::InvalidArgument("module privacy needs gamma >= 2 for " +
+                                     req.module_code);
+    }
+    if (req.required_level < 0) {
+      return Status::InvalidArgument("negative level for " + req.module_code);
+    }
+    PAW_ASSIGN_OR_RETURN(ModuleId m, spec.FindModule(req.module_code));
+    if (spec.module(m).kind != ModuleKind::kAtomic &&
+        spec.module(m).kind != ModuleKind::kComposite) {
+      return Status::InvalidArgument(
+          "module privacy applies to atomic/composite modules, not I/O");
+    }
+  }
+  for (const StructuralPrivacyRequirement& req : policy.structural_reqs) {
+    PAW_ASSIGN_OR_RETURN(ModuleId s, spec.FindModule(req.src_code));
+    PAW_ASSIGN_OR_RETURN(ModuleId d, spec.FindModule(req.dst_code));
+    if (s == d) {
+      return Status::InvalidArgument("structural pair must be distinct");
+    }
+    if (req.required_level < 0) {
+      return Status::InvalidArgument("negative level for structural pair");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace paw

@@ -1,0 +1,70 @@
+#ifndef PAW_PRIVACY_POLICY_H_
+#define PAW_PRIVACY_POLICY_H_
+
+/// \file policy.h
+/// \brief Declarative privacy policies over the three component kinds the
+/// paper distinguishes: data, modules, and workflow structure (Sec. 3).
+///
+/// Policies are attached to a specification in a repository and enforced
+/// by the query layer: data items above a principal's level are masked,
+/// module-privacy requirements drive intermediate-data hiding, and
+/// structural requirements drive edge-deletion / clustering transforms.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief Data privacy: per-label sensitivity levels.
+struct DataPolicy {
+  /// Minimum level required to see values with a given label.
+  std::map<std::string, AccessLevel> label_level;
+  /// Level for labels not listed (0 = public).
+  AccessLevel default_level = 0;
+
+  /// \brief Level required for `label`.
+  AccessLevel LevelOf(const std::string& label) const {
+    auto it = label_level.find(label);
+    return it == label_level.end() ? default_level : it->second;
+  }
+};
+
+/// \brief Module privacy: the module's input-output behaviour must stay
+/// Gamma-ambiguous to observers below `required_level` (paper Sec. 3 and
+/// ref [4]).
+struct ModulePrivacyRequirement {
+  /// Code of the private module ("M1").
+  std::string module_code;
+  /// Minimum number of output candidates every input must retain.
+  int64_t gamma = 2;
+  /// Observers at or above this level see everything.
+  AccessLevel required_level = 1;
+};
+
+/// \brief Structural privacy: the fact that `src` contributes to `dst`
+/// must not be inferable by observers below `required_level`.
+struct StructuralPrivacyRequirement {
+  std::string src_code;
+  std::string dst_code;
+  AccessLevel required_level = 1;
+};
+
+/// \brief All privacy requirements attached to one specification.
+struct PolicySet {
+  DataPolicy data;
+  std::vector<ModulePrivacyRequirement> module_reqs;
+  std::vector<StructuralPrivacyRequirement> structural_reqs;
+};
+
+/// \brief Validates that a policy references only modules that exist and
+/// uses sane parameters (gamma >= 2, levels >= 0).
+Status ValidatePolicy(const Specification& spec, const PolicySet& policy);
+
+}  // namespace paw
+
+#endif  // PAW_PRIVACY_POLICY_H_

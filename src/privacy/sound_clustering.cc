@@ -1,0 +1,156 @@
+#include "src/privacy/sound_clustering.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/graph/algorithms.h"
+#include "src/privacy/soundness.h"
+
+namespace paw {
+
+std::vector<NodeIndex> PathInterval(const Digraph& g, NodeIndex u,
+                                    NodeIndex v) {
+  // w lies on a u ~> v path iff u ~> w and w ~> v (including endpoints).
+  std::vector<bool> from_u(static_cast<size_t>(g.num_nodes()), false);
+  for (NodeIndex w : ReachableFrom(g, u)) from_u[static_cast<size_t>(w)] =
+      true;
+  std::vector<NodeIndex> interval;
+  for (NodeIndex w : CanReach(g, v)) {
+    if (from_u[static_cast<size_t>(w)]) interval.push_back(w);
+  }
+  if (std::find(interval.begin(), interval.end(), u) == interval.end()) {
+    interval.push_back(u);
+  }
+  if (std::find(interval.begin(), interval.end(), v) == interval.end()) {
+    interval.push_back(v);
+  }
+  std::sort(interval.begin(), interval.end());
+  return interval;
+}
+
+namespace {
+
+/// Compacts group ids to [0, k) and returns k.
+NodeIndex Compact(std::vector<NodeIndex>* group_of) {
+  std::map<NodeIndex, NodeIndex> remap;
+  NodeIndex next = 0;
+  for (NodeIndex& g : *group_of) {
+    auto [it, inserted] = remap.try_emplace(g, next);
+    if (inserted) ++next;
+    g = it->second;
+  }
+  return next;
+}
+
+}  // namespace
+
+Result<SoundClusteringResult> HideBySoundClustering(
+    const Digraph& g, const std::vector<SensitivePair>& pairs) {
+  for (const SensitivePair& p : pairs) {
+    if (!g.IsValidNode(p.src) || !g.IsValidNode(p.dst)) {
+      return Status::InvalidArgument("sensitive pair out of range");
+    }
+    if (p.src == p.dst) {
+      return Status::InvalidArgument("sensitive pair must be distinct");
+    }
+  }
+
+  SoundClusteringResult result;
+  // Union-find seeded by path intervals.
+  std::vector<NodeIndex> parent(static_cast<size_t>(g.num_nodes()));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<NodeIndex(NodeIndex)> find = [&](NodeIndex x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  auto unite = [&](NodeIndex a, NodeIndex b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[static_cast<size_t>(a)] = b;
+  };
+  for (const SensitivePair& p : pairs) {
+    std::vector<NodeIndex> interval = PathInterval(g, p.src, p.dst);
+    for (NodeIndex w : interval) unite(p.src, w);
+  }
+
+  auto materialize = [&]() {
+    result.group_of.assign(static_cast<size_t>(g.num_nodes()), 0);
+    for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+      result.group_of[static_cast<size_t>(u)] = find(u);
+    }
+    result.num_groups = Compact(&result.group_of);
+  };
+  materialize();
+
+  // Grow until sound. Each iteration absorbs >= 1 node into a
+  // non-singleton cluster, so at most n iterations run.
+  for (int guard = 0; guard <= g.num_nodes() + 1; ++guard) {
+    PAW_ASSIGN_OR_RETURN(
+        SoundnessReport report,
+        CheckSoundness(g, result.group_of, result.num_groups));
+    if (report.sound) {
+      PAW_ASSIGN_OR_RETURN(result.metrics,
+                           EvaluateClustering(g, result.group_of,
+                                              result.num_groups, pairs));
+      return result;
+    }
+    // Extraneous (x, y): x and y are visible singletons whose witness
+    // quotient path must pass through >= 1 multi-member cluster (an
+    // all-singleton quotient path would be a real path). Absorbing x
+    // into the first such cluster removes x from the visible set, so
+    // this witness — and every witness starting at x — disappears.
+    auto [x, y] = report.extraneous.front();
+    PAW_ASSIGN_OR_RETURN(
+        QuotientGraph q,
+        Quotient(g, result.group_of, result.num_groups));
+    NodeIndex gx = result.group_of[static_cast<size_t>(x)];
+    NodeIndex gy = result.group_of[static_cast<size_t>(y)];
+    // BFS for the witness path in the quotient.
+    std::vector<NodeIndex> parent_of(
+        static_cast<size_t>(q.graph.num_nodes()), -1);
+    std::vector<NodeIndex> queue{gx};
+    parent_of[static_cast<size_t>(gx)] = gx;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      for (NodeIndex w : q.graph.OutNeighbors(queue[head])) {
+        if (parent_of[static_cast<size_t>(w)] < 0) {
+          parent_of[static_cast<size_t>(w)] = queue[head];
+          queue.push_back(w);
+        }
+      }
+    }
+    if (parent_of[static_cast<size_t>(gy)] < 0) {
+      return Status::Internal("extraneous pair without quotient path");
+    }
+    std::vector<NodeIndex> path;
+    for (NodeIndex cur = gy; cur != gx;
+         cur = parent_of[static_cast<size_t>(cur)]) {
+      path.push_back(cur);
+    }
+    path.push_back(gx);
+    std::reverse(path.begin(), path.end());
+    NodeIndex target_cluster = -1;
+    for (NodeIndex grp : path) {
+      if (q.members[static_cast<size_t>(grp)].size() > 1) {
+        target_cluster = grp;
+        break;
+      }
+    }
+    if (target_cluster < 0) {
+      return Status::Internal(
+          "unsound witness path is all-singleton (impossible)");
+    }
+    unite(x, q.members[static_cast<size_t>(target_cluster)].front());
+    ++result.growth_steps;
+    materialize();
+  }
+  return Status::Internal("sound clustering failed to converge");
+}
+
+}  // namespace paw

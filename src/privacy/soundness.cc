@@ -1,0 +1,131 @@
+#include "src/privacy/soundness.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/logging.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/transitive.h"
+
+namespace paw {
+namespace {
+
+/// Shortest path in `g` from s to t (inclusive); empty if none.
+std::vector<NodeIndex> ShortestPath(const Digraph& g, NodeIndex s,
+                                    NodeIndex t) {
+  std::vector<NodeIndex> parent(static_cast<size_t>(g.num_nodes()), -1);
+  std::deque<NodeIndex> queue{s};
+  parent[static_cast<size_t>(s)] = s;
+  while (!queue.empty()) {
+    NodeIndex u = queue.front();
+    queue.pop_front();
+    if (u == t) break;
+    for (NodeIndex v : g.OutNeighbors(u)) {
+      if (parent[static_cast<size_t>(v)] < 0) {
+        parent[static_cast<size_t>(v)] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (parent[static_cast<size_t>(t)] < 0) return {};
+  std::vector<NodeIndex> path;
+  for (NodeIndex v = t; v != s; v = parent[static_cast<size_t>(v)]) {
+    path.push_back(v);
+  }
+  path.push_back(s);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+Result<SoundnessReport> CheckSoundness(
+    const Digraph& g, const std::vector<NodeIndex>& group_of,
+    NodeIndex num_groups) {
+  PAW_ASSIGN_OR_RETURN(QuotientGraph q, Quotient(g, group_of, num_groups));
+  TransitiveClosure real = TransitiveClosure::Compute(g);
+  TransitiveClosure quot = TransitiveClosure::Compute(q.graph);
+  SoundnessReport report;
+  // Unsoundness is judged between *visible* nodes: members of singleton
+  // clusters. Nodes inside a multi-member cluster are anonymous in the
+  // view, so no path can be (mis)attributed to them (ref [9]).
+  auto visible = [&](NodeIndex u) {
+    return q.members[static_cast<size_t>(
+                         group_of[static_cast<size_t>(u)])].size() == 1;
+  };
+  for (NodeIndex a = 0; a < g.num_nodes(); ++a) {
+    if (!visible(a)) continue;
+    for (NodeIndex b = 0; b < g.num_nodes(); ++b) {
+      if (a == b || !visible(b)) continue;
+      NodeIndex ga = group_of[static_cast<size_t>(a)];
+      NodeIndex gb = group_of[static_cast<size_t>(b)];
+      if (quot.Reaches(ga, gb) && !real.Reaches(a, b)) {
+        report.extraneous.emplace_back(a, b);
+      }
+    }
+  }
+  report.sound = report.extraneous.empty();
+  return report;
+}
+
+Result<RepairResult> RepairUnsoundClustering(
+    const Digraph& g, const std::vector<NodeIndex>& group_of,
+    NodeIndex num_groups) {
+  RepairResult result;
+  result.group_of = group_of;
+  result.num_groups = num_groups;
+
+  PAW_ASSIGN_OR_RETURN(std::vector<NodeIndex> topo, TopologicalOrder(g));
+  std::vector<int> rank(static_cast<size_t>(g.num_nodes()));
+  for (size_t i = 0; i < topo.size(); ++i) {
+    rank[static_cast<size_t>(topo[i])] = static_cast<int>(i);
+  }
+
+  for (;;) {
+    PAW_ASSIGN_OR_RETURN(
+        SoundnessReport report,
+        CheckSoundness(g, result.group_of, result.num_groups));
+    if (report.sound) {
+      result.report = std::move(report);
+      return result;
+    }
+    PAW_ASSIGN_OR_RETURN(
+        QuotientGraph q, Quotient(g, result.group_of, result.num_groups));
+
+    // Witness path of the first extraneous pair.
+    auto [a, b] = report.extraneous.front();
+    NodeIndex ga = result.group_of[static_cast<size_t>(a)];
+    NodeIndex gb = result.group_of[static_cast<size_t>(b)];
+    std::vector<NodeIndex> path = ShortestPath(q.graph, ga, gb);
+    if (path.empty()) {
+      return Status::Internal("extraneous pair without quotient path");
+    }
+    // Largest multi-member cluster on the path. At least one exists:
+    // an all-singleton path would be a real path in g.
+    NodeIndex victim = -1;
+    size_t victim_size = 1;
+    for (NodeIndex grp : path) {
+      size_t sz = q.members[static_cast<size_t>(grp)].size();
+      if (sz > victim_size) {
+        victim_size = sz;
+        victim = grp;
+      }
+    }
+    if (victim < 0) {
+      return Status::Internal(
+          "unsound view with all-singleton witness path");
+    }
+    // Split the victim into two topologically contiguous halves.
+    std::vector<NodeIndex> members = q.members[static_cast<size_t>(victim)];
+    std::sort(members.begin(), members.end(), [&](NodeIndex x, NodeIndex y) {
+      return rank[static_cast<size_t>(x)] < rank[static_cast<size_t>(y)];
+    });
+    NodeIndex new_group = result.num_groups++;
+    for (size_t i = members.size() / 2; i < members.size(); ++i) {
+      result.group_of[static_cast<size_t>(members[i])] = new_group;
+    }
+    ++result.splits;
+  }
+}
+
+}  // namespace paw

@@ -1,0 +1,58 @@
+#ifndef PAW_PRIVACY_SOUNDNESS_H_
+#define PAW_PRIVACY_SOUNDNESS_H_
+
+/// \file soundness.h
+/// \brief Unsound-view detection and repair (paper Sec. 3/4, ref [9]).
+///
+/// A clustering-based view is *unsound* when the quotient graph lets an
+/// observer infer a path between visible nodes that does not exist in the
+/// underlying graph ("we may now infer incorrect provenance information,
+/// e.g., that there is a path from M10 to M14"). This module detects the
+/// extraneous pairs exactly (closure comparison) and repairs unsound
+/// clusterings by greedily splitting offending clusters along the
+/// topological order, trading privacy back for correctness.
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+
+namespace paw {
+
+/// \brief Outcome of a soundness check.
+struct SoundnessReport {
+  bool sound = true;
+  /// Extraneous node pairs (a, b): inferable from the view, false in `g`.
+  std::vector<std::pair<NodeIndex, NodeIndex>> extraneous;
+};
+
+/// \brief Checks whether the clustering `group_of` of `g` is sound.
+Result<SoundnessReport> CheckSoundness(const Digraph& g,
+                                       const std::vector<NodeIndex>& group_of,
+                                       NodeIndex num_groups);
+
+/// \brief Result of repairing an unsound clustering.
+struct RepairResult {
+  std::vector<NodeIndex> group_of;
+  NodeIndex num_groups = 0;
+  /// Number of cluster splits performed.
+  int splits = 0;
+  /// Post-repair report (sound unless the input graph was pathological).
+  SoundnessReport report;
+};
+
+/// \brief Splits clusters until the view is sound.
+///
+/// Greedy strategy: while an extraneous pair exists, find a shortest
+/// quotient path witnessing it, take the largest multi-member cluster on
+/// that path, and split it into two topologically contiguous halves.
+/// Terminates because every split increases the cluster count; at the
+/// all-singleton clustering the quotient equals `g` and is sound.
+Result<RepairResult> RepairUnsoundClustering(
+    const Digraph& g, const std::vector<NodeIndex>& group_of,
+    NodeIndex num_groups);
+
+}  // namespace paw
+
+#endif  // PAW_PRIVACY_SOUNDNESS_H_

@@ -1,0 +1,146 @@
+#include "src/privacy/structural_privacy.h"
+
+#include <functional>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/graph/transitive.h"
+
+namespace paw {
+namespace {
+
+Status CheckPairs(const Digraph& g, const std::vector<SensitivePair>& pairs) {
+  for (const SensitivePair& p : pairs) {
+    if (!g.IsValidNode(p.src) || !g.IsValidNode(p.dst)) {
+      return Status::InvalidArgument("sensitive pair out of range");
+    }
+    if (p.src == p.dst) {
+      return Status::InvalidArgument("sensitive pair must be distinct");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EdgeDeletionResult> HideByEdgeDeletion(
+    const Digraph& g, const std::vector<SensitivePair>& pairs) {
+  PAW_RETURN_NOT_OK(CheckPairs(g, pairs));
+  EdgeDeletionResult result;
+  result.published = g;
+  for (const SensitivePair& p : pairs) {
+    if (!PathExists(result.published, p.src, p.dst)) continue;
+    PAW_ASSIGN_OR_RETURN(auto cut,
+                         MinEdgeCut(result.published, p.src, p.dst));
+    for (const auto& [u, v] : cut) {
+      PAW_RETURN_NOT_OK(result.published.RemoveEdge(u, v));
+      result.deleted.emplace_back(u, v);
+    }
+  }
+
+  TransitiveClosure before = TransitiveClosure::Compute(g);
+  TransitiveClosure after = TransitiveClosure::Compute(result.published);
+  result.metrics.original_pairs = before.CountPairs();
+  result.metrics.preserved_pairs = after.CountPairs();
+  result.metrics.extraneous_pairs = 0;  // deletion cannot fabricate paths
+  result.metrics.requested_sensitive = static_cast<int>(pairs.size());
+  for (const SensitivePair& p : pairs) {
+    if (!after.Reaches(p.src, p.dst)) ++result.metrics.hidden_sensitive;
+  }
+  result.metrics.mechanism_size = static_cast<int>(result.deleted.size());
+  return result;
+}
+
+Result<StructuralPrivacyMetrics> EvaluateClustering(
+    const Digraph& g, const std::vector<NodeIndex>& group_of,
+    NodeIndex num_groups, const std::vector<SensitivePair>& pairs) {
+  PAW_RETURN_NOT_OK(CheckPairs(g, pairs));
+  PAW_ASSIGN_OR_RETURN(QuotientGraph q, Quotient(g, group_of, num_groups));
+  TransitiveClosure real = TransitiveClosure::Compute(g);
+  TransitiveClosure quot = TransitiveClosure::Compute(q.graph);
+
+  StructuralPrivacyMetrics metrics;
+  metrics.original_pairs = real.CountPairs();
+  metrics.requested_sensitive = static_cast<int>(pairs.size());
+
+  // Inferable pairs concern *visible* nodes only: members of singleton
+  // clusters. Nodes swallowed by a multi-member cluster are anonymous to
+  // the observer (ref [9] defines unsoundness over view nodes), so pairs
+  // touching them are neither preserved nor extraneous.
+  const NodeIndex n = g.num_nodes();
+  std::vector<size_t> cluster_size(static_cast<size_t>(num_groups), 0);
+  for (NodeIndex u = 0; u < n; ++u) {
+    ++cluster_size[static_cast<size_t>(group_of[static_cast<size_t>(u)])];
+  }
+  auto visible = [&](NodeIndex u) {
+    return cluster_size[static_cast<size_t>(
+               group_of[static_cast<size_t>(u)])] == 1;
+  };
+  for (NodeIndex a = 0; a < n; ++a) {
+    if (!visible(a)) continue;
+    for (NodeIndex b = 0; b < n; ++b) {
+      if (a == b || !visible(b)) continue;
+      NodeIndex ga = group_of[static_cast<size_t>(a)];
+      NodeIndex gb = group_of[static_cast<size_t>(b)];
+      bool truly = real.Reaches(a, b);
+      bool inferred = quot.Reaches(ga, gb);
+      if (inferred && truly) ++metrics.preserved_pairs;
+      if (inferred && !truly) ++metrics.extraneous_pairs;
+    }
+  }
+  for (const SensitivePair& p : pairs) {
+    NodeIndex gs = group_of[static_cast<size_t>(p.src)];
+    NodeIndex gd = group_of[static_cast<size_t>(p.dst)];
+    bool hidden = (gs == gd) || !quot.Reaches(gs, gd);
+    if (hidden) ++metrics.hidden_sensitive;
+  }
+  for (NodeIndex grp = 0; grp < num_groups; ++grp) {
+    if (q.members[static_cast<size_t>(grp)].size() > 1) {
+      ++metrics.mechanism_size;
+    }
+  }
+  return metrics;
+}
+
+Result<ClusteringResult> HideByClustering(
+    const Digraph& g, const std::vector<SensitivePair>& pairs) {
+  PAW_RETURN_NOT_OK(CheckPairs(g, pairs));
+  // Union-find over nodes; each pair merges its endpoints.
+  std::vector<NodeIndex> parent(static_cast<size_t>(g.num_nodes()));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<NodeIndex(NodeIndex)> find = [&](NodeIndex x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const SensitivePair& p : pairs) {
+    NodeIndex a = find(p.src);
+    NodeIndex b = find(p.dst);
+    if (a != b) parent[static_cast<size_t>(a)] = b;
+  }
+
+  ClusteringResult result;
+  result.group_of.assign(static_cast<size_t>(g.num_nodes()), -1);
+  NodeIndex next = 0;
+  std::vector<NodeIndex> rep_group(static_cast<size_t>(g.num_nodes()), -1);
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    NodeIndex r = find(u);
+    if (rep_group[static_cast<size_t>(r)] < 0) {
+      rep_group[static_cast<size_t>(r)] = next++;
+    }
+    result.group_of[static_cast<size_t>(u)] =
+        rep_group[static_cast<size_t>(r)];
+  }
+  result.num_groups = next;
+  PAW_ASSIGN_OR_RETURN(result.quotient,
+                       Quotient(g, result.group_of, result.num_groups));
+  PAW_ASSIGN_OR_RETURN(
+      result.metrics,
+      EvaluateClustering(g, result.group_of, result.num_groups, pairs));
+  return result;
+}
+
+}  // namespace paw

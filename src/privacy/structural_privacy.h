@@ -1,0 +1,100 @@
+#ifndef PAW_PRIVACY_STRUCTURAL_PRIVACY_H_
+#define PAW_PRIVACY_STRUCTURAL_PRIVACY_H_
+
+/// \file structural_privacy.h
+/// \brief Hiding reachability facts in provenance graphs (paper Sec. 3).
+///
+/// The goal is to keep private that module M contributes to the output of
+/// module M'. The paper contrasts two mechanisms on the W3 example:
+///
+///  1. *Edge deletion*: remove edges until no path M -> M' remains. Never
+///     fabricates provenance but may destroy additional true paths (e.g.
+///     deleting M13->M11 also hides M12 ~> M11).
+///  2. *Clustering*: merge nodes into composite modules so the pair's
+///     reachability becomes invisible. Never destroys truth at the
+///     boundary but may fabricate paths (M10 ~> M14 through the
+///     {M11, M13} cluster) — an *unsound view* (see soundness.h).
+///
+/// Both mechanisms report the same metric set so experiment E2 can compare
+/// them at equal privacy.
+
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/algorithms.h"
+#include "src/graph/digraph.h"
+
+namespace paw {
+
+/// \brief An ordered pair whose reachability must be hidden.
+struct SensitivePair {
+  NodeIndex src;
+  NodeIndex dst;
+};
+
+/// \brief Quality of a published (privacy-transformed) graph.
+struct StructuralPrivacyMetrics {
+  /// Reachable (u, v) pairs in the original graph.
+  int64_t original_pairs = 0;
+  /// True pairs still inferable from the published artifact.
+  int64_t preserved_pairs = 0;
+  /// False pairs inferable from the published artifact (clustering only;
+  /// deletion cannot fabricate).
+  int64_t extraneous_pairs = 0;
+  /// Sensitive pairs successfully hidden.
+  int hidden_sensitive = 0;
+  /// Sensitive pairs requested.
+  int requested_sensitive = 0;
+  /// Mechanism size: edges deleted, or non-singleton clusters formed.
+  int mechanism_size = 0;
+
+  /// \brief Fraction of true reachability information preserved.
+  double Utility() const {
+    return original_pairs == 0
+               ? 1.0
+               : static_cast<double>(preserved_pairs) /
+                     static_cast<double>(original_pairs);
+  }
+  /// \brief True iff the published artifact fabricates nothing.
+  bool Sound() const { return extraneous_pairs == 0; }
+};
+
+/// \brief Result of the edge-deletion mechanism.
+struct EdgeDeletionResult {
+  /// The published graph (same node set, fewer edges).
+  Digraph published;
+  /// Edges removed, in removal order.
+  std::vector<std::pair<NodeIndex, NodeIndex>> deleted;
+  StructuralPrivacyMetrics metrics;
+};
+
+/// \brief Hides every pair by deleting a minimum edge cut per pair
+/// (processed in order, each cut computed on the current graph).
+Result<EdgeDeletionResult> HideByEdgeDeletion(
+    const Digraph& g, const std::vector<SensitivePair>& pairs);
+
+/// \brief Result of the clustering mechanism.
+struct ClusteringResult {
+  /// Cluster id per node.
+  std::vector<NodeIndex> group_of;
+  NodeIndex num_groups = 0;
+  /// The published quotient graph.
+  QuotientGraph quotient;
+  StructuralPrivacyMetrics metrics;
+};
+
+/// \brief Hides every pair by placing src and dst in one cluster
+/// (overlapping pairs merge transitively, union-find style).
+Result<ClusteringResult> HideByClustering(
+    const Digraph& g, const std::vector<SensitivePair>& pairs);
+
+/// \brief Metrics for an arbitrary clustering of `g` (exposed for the
+/// soundness-repair experiments).
+Result<StructuralPrivacyMetrics> EvaluateClustering(
+    const Digraph& g, const std::vector<NodeIndex>& group_of,
+    NodeIndex num_groups, const std::vector<SensitivePair>& pairs);
+
+}  // namespace paw
+
+#endif  // PAW_PRIVACY_STRUCTURAL_PRIVACY_H_

@@ -1,0 +1,216 @@
+#include "src/privacy/workflow_privacy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paw {
+namespace {
+
+/// Hidden flags for one module's relation under a hidden label set.
+std::vector<bool> FlagsFor(const Relation& rel,
+                           const std::set<std::string>& hidden) {
+  std::vector<bool> flags(static_cast<size_t>(rel.num_attributes()));
+  for (int i = 0; i < rel.num_attributes(); ++i) {
+    flags[static_cast<size_t>(i)] = hidden.count(rel.attribute(i).name) > 0;
+  }
+  return flags;
+}
+
+Result<std::vector<int64_t>> AchievedPerModule(
+    const WorkflowPrivacyProblem& problem,
+    const std::set<std::string>& hidden) {
+  std::vector<int64_t> achieved;
+  achieved.reserve(problem.modules.size());
+  for (const PrivateModuleSpec& m : problem.modules) {
+    PAW_ASSIGN_OR_RETURN(
+        int64_t got, m.relation.MinPossibleOutputs(FlagsFor(m.relation,
+                                                            hidden)));
+    achieved.push_back(got);
+  }
+  return achieved;
+}
+
+double TotalShortfall(const WorkflowPrivacyProblem& problem,
+                      const std::vector<int64_t>& achieved) {
+  // Sum over modules of the remaining log2 gap to Gamma; 0 means solved.
+  double total = 0;
+  for (size_t i = 0; i < problem.modules.size(); ++i) {
+    double need = std::log2(static_cast<double>(problem.modules[i].gamma));
+    double got = std::log2(static_cast<double>(achieved[i]));
+    total += std::max(0.0, need - got);
+  }
+  return total;
+}
+
+WorkflowHidingSolution Finish(const WorkflowPrivacyProblem& problem,
+                              std::set<std::string> hidden,
+                              std::vector<int64_t> achieved) {
+  WorkflowHidingSolution sol;
+  sol.hidden_labels = std::move(hidden);
+  sol.achieved = std::move(achieved);
+  sol.feasible = true;
+  for (size_t i = 0; i < problem.modules.size(); ++i) {
+    if (sol.achieved[i] < problem.modules[i].gamma) sol.feasible = false;
+  }
+  sol.cost = 0;
+  for (const std::string& l : sol.hidden_labels) {
+    sol.cost += problem.WeightOf(l);
+  }
+  return sol;
+}
+
+}  // namespace
+
+std::vector<std::string> WorkflowPrivacyProblem::AllLabels() const {
+  std::set<std::string> labels;
+  for (const PrivateModuleSpec& m : modules) {
+    for (int i = 0; i < m.relation.num_attributes(); ++i) {
+      labels.insert(m.relation.attribute(i).name);
+    }
+  }
+  return {labels.begin(), labels.end()};
+}
+
+double WorkflowPrivacyProblem::WeightOf(const std::string& label) const {
+  auto it = label_weights.find(label);
+  return it == label_weights.end() ? 1.0 : it->second;
+}
+
+Result<bool> SatisfiesAll(const WorkflowPrivacyProblem& problem,
+                          const std::set<std::string>& hidden) {
+  PAW_ASSIGN_OR_RETURN(std::vector<int64_t> achieved,
+                       AchievedPerModule(problem, hidden));
+  for (size_t i = 0; i < problem.modules.size(); ++i) {
+    if (achieved[i] < problem.modules[i].gamma) return false;
+  }
+  return true;
+}
+
+Result<WorkflowHidingSolution> GreedyWorkflowHiding(
+    const WorkflowPrivacyProblem& problem) {
+  std::vector<std::string> labels = problem.AllLabels();
+  std::set<std::string> hidden;
+  PAW_ASSIGN_OR_RETURN(std::vector<int64_t> achieved,
+                       AchievedPerModule(problem, hidden));
+  double shortfall = TotalShortfall(problem, achieved);
+  while (shortfall > 0) {
+    std::string best_label;
+    double best_ratio = -1;
+    std::vector<int64_t> best_achieved;
+    for (const std::string& l : labels) {
+      if (hidden.count(l)) continue;
+      hidden.insert(l);
+      auto got = AchievedPerModule(problem, hidden);
+      hidden.erase(l);
+      PAW_RETURN_NOT_OK(got.status());
+      double gain = shortfall - TotalShortfall(problem, got.value());
+      double ratio = gain / problem.WeightOf(l);
+      if (gain > 0 && ratio > best_ratio) {
+        best_ratio = ratio;
+        best_label = l;
+        best_achieved = std::move(got).value();
+      }
+    }
+    if (best_label.empty()) {
+      // No single label helps: hide the cheapest remaining one (output
+      // hiding is monotone, so this cannot hurt; if nothing remains the
+      // problem is infeasible).
+      for (const std::string& l : labels) {
+        if (!hidden.count(l) &&
+            (best_label.empty() ||
+             problem.WeightOf(l) < problem.WeightOf(best_label))) {
+          best_label = l;
+        }
+      }
+      if (best_label.empty()) break;
+      hidden.insert(best_label);
+      PAW_ASSIGN_OR_RETURN(achieved, AchievedPerModule(problem, hidden));
+      shortfall = TotalShortfall(problem, achieved);
+      continue;
+    }
+    hidden.insert(best_label);
+    achieved = std::move(best_achieved);
+    shortfall = TotalShortfall(problem, achieved);
+  }
+  return Finish(problem, std::move(hidden), std::move(achieved));
+}
+
+Result<WorkflowHidingSolution> ExhaustiveWorkflowHiding(
+    const WorkflowPrivacyProblem& problem, int max_labels) {
+  std::vector<std::string> labels = problem.AllLabels();
+  const int n = static_cast<int>(labels.size());
+  if (n > max_labels) {
+    return Status::FailedPrecondition(
+        "too many labels for exhaustive search");
+  }
+  bool found = false;
+  double best_cost = 0;
+  std::set<std::string> best_hidden;
+  std::vector<int64_t> best_achieved;
+  for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
+    std::set<std::string> hidden;
+    double cost = 0;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) {
+        hidden.insert(labels[static_cast<size_t>(i)]);
+        cost += problem.WeightOf(labels[static_cast<size_t>(i)]);
+      }
+    }
+    if (found && cost >= best_cost) continue;
+    PAW_ASSIGN_OR_RETURN(std::vector<int64_t> achieved,
+                         AchievedPerModule(problem, hidden));
+    bool ok = true;
+    for (size_t i = 0; i < problem.modules.size(); ++i) {
+      if (achieved[i] < problem.modules[i].gamma) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      found = true;
+      best_cost = cost;
+      best_hidden = std::move(hidden);
+      best_achieved = std::move(achieved);
+    }
+  }
+  if (!found) {
+    // Report the hide-everything outcome as the (infeasible) answer.
+    std::set<std::string> all(labels.begin(), labels.end());
+    PAW_ASSIGN_OR_RETURN(std::vector<int64_t> achieved,
+                         AchievedPerModule(problem, all));
+    return Finish(problem, std::move(all), std::move(achieved));
+  }
+  return Finish(problem, std::move(best_hidden), std::move(best_achieved));
+}
+
+DataPolicy ApplyHidingToPolicy(const DataPolicy& base,
+                               const WorkflowHidingSolution& solution,
+                               AccessLevel enforcement_level) {
+  DataPolicy out = base;
+  for (const std::string& label : solution.hidden_labels) {
+    AccessLevel current = out.LevelOf(label);
+    if (current < enforcement_level) {
+      out.label_level[label] = enforcement_level;
+    }
+  }
+  return out;
+}
+
+Result<WorkflowHidingSolution> PerModuleUnionHiding(
+    const WorkflowPrivacyProblem& problem) {
+  std::set<std::string> hidden;
+  for (const PrivateModuleSpec& m : problem.modules) {
+    PAW_ASSIGN_OR_RETURN(HidingSolution sol,
+                         GreedySafeSubset(m.relation, m.gamma));
+    for (int i = 0; i < m.relation.num_attributes(); ++i) {
+      if (sol.hidden[static_cast<size_t>(i)]) {
+        hidden.insert(m.relation.attribute(i).name);
+      }
+    }
+  }
+  PAW_ASSIGN_OR_RETURN(std::vector<int64_t> achieved,
+                       AchievedPerModule(problem, hidden));
+  return Finish(problem, std::move(hidden), std::move(achieved));
+}
+
+}  // namespace paw

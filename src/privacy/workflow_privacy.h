@@ -1,0 +1,90 @@
+#ifndef PAW_PRIVACY_WORKFLOW_PRIVACY_H_
+#define PAW_PRIVACY_WORKFLOW_PRIVACY_H_
+
+/// \file workflow_privacy.h
+/// \brief Workflow-level module privacy: hiding shared intermediate data
+/// (paper Sec. 3, "the approach that we take in [4] is to hide a carefully
+/// chosen subset of intermediate data").
+///
+/// In a workflow, a data label is simultaneously an output attribute of
+/// its producer and an input attribute of its consumers, so hiding it
+/// serves several modules at the cost of one. Given per-module relations
+/// (attributes named by data labels) and Gamma requirements, the problem
+/// is to pick a minimum-weight label set whose hiding makes every private
+/// module Gamma-private. We provide greedy, exhaustive, and a
+/// solve-each-module-separately baseline that ignores sharing.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/privacy/module_privacy.h"
+#include "src/privacy/policy.h"
+
+namespace paw {
+
+/// \brief One private module inside the workflow-level problem.
+struct PrivateModuleSpec {
+  /// Module code, for reporting.
+  std::string code;
+  /// The module's relation; attribute *names are data labels*.
+  Relation relation;
+  /// Required Gamma for this module.
+  int64_t gamma = 2;
+};
+
+/// \brief The workflow-level hiding problem.
+struct WorkflowPrivacyProblem {
+  std::vector<PrivateModuleSpec> modules;
+  /// Weight (utility cost) of hiding each label; labels absent from the
+  /// map weigh 1.
+  std::map<std::string, double> label_weights;
+
+  /// \brief All labels mentioned by any module relation, sorted.
+  std::vector<std::string> AllLabels() const;
+
+  /// \brief Weight of one label.
+  double WeightOf(const std::string& label) const;
+};
+
+/// \brief A workflow-level hiding decision.
+struct WorkflowHidingSolution {
+  std::set<std::string> hidden_labels;
+  double cost = 0;
+  bool feasible = false;
+  /// Achieved Gamma per module, parallel to `problem.modules`.
+  std::vector<int64_t> achieved;
+};
+
+/// \brief True iff hiding `hidden` satisfies every module's Gamma.
+Result<bool> SatisfiesAll(const WorkflowPrivacyProblem& problem,
+                          const std::set<std::string>& hidden);
+
+/// \brief Greedy joint optimization: repeatedly hide the label with the
+/// best total-privacy-gain / weight ratio.
+Result<WorkflowHidingSolution> GreedyWorkflowHiding(
+    const WorkflowPrivacyProblem& problem);
+
+/// \brief Exhaustive optimum over label subsets (<= `max_labels` labels).
+Result<WorkflowHidingSolution> ExhaustiveWorkflowHiding(
+    const WorkflowPrivacyProblem& problem, int max_labels = 20);
+
+/// \brief Baseline ignoring sharing: solve each module with
+/// `GreedySafeSubset` in isolation and take the union of hidden labels.
+Result<WorkflowHidingSolution> PerModuleUnionHiding(
+    const WorkflowPrivacyProblem& problem);
+
+/// \brief Enforcement bridge to the query layer: raises the data-policy
+/// level of every hidden label to at least `enforcement_level`, so the
+/// engine's masking hides exactly the data the module-privacy optimizer
+/// chose (paper Sec. 3: module privacy is *implemented* by hiding
+/// intermediate data).
+DataPolicy ApplyHidingToPolicy(const DataPolicy& base,
+                               const WorkflowHidingSolution& solution,
+                               AccessLevel enforcement_level);
+
+}  // namespace paw
+
+#endif  // PAW_PRIVACY_WORKFLOW_PRIVACY_H_

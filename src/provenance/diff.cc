@@ -1,0 +1,84 @@
+#include "src/provenance/diff.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/algorithms.h"
+
+namespace paw {
+
+Result<ExecutionDiff> DiffExecutions(const Execution& a,
+                                     const Execution& b) {
+  if (&a.spec() != &b.spec()) {
+    return Status::FailedPrecondition(
+        "executions instantiate different specifications");
+  }
+  if (a.num_nodes() != b.num_nodes() || a.num_items() != b.num_items()) {
+    return Status::FailedPrecondition(
+        "executions have different structure");
+  }
+  for (int i = 0; i < a.num_nodes(); ++i) {
+    const ExecNode& na = a.node(ExecNodeId(i));
+    const ExecNode& nb = b.node(ExecNodeId(i));
+    if (na.kind != nb.kind || na.module != nb.module ||
+        na.process_id != nb.process_id) {
+      return Status::FailedPrecondition(
+          "executions diverge structurally at node " + std::to_string(i));
+    }
+  }
+
+  ExecutionDiff diff;
+  diff.comparable = true;
+  for (int i = 0; i < a.num_items(); ++i) {
+    const DataItem& da = a.item(DataItemId(i));
+    const DataItem& db = b.item(DataItemId(i));
+    if (da.value == db.value) continue;
+    ItemDivergence d;
+    d.item = da.id;
+    d.label = da.label;
+    d.value_a = da.value;
+    d.value_b = db.value;
+    d.producer_process = a.node(da.producer).process_id;
+    diff.divergences.push_back(std::move(d));
+  }
+  if (diff.divergences.empty()) return diff;
+
+  // First diverging activation in schedule order. A divergence produced
+  // by the input node (process -1) means the *inputs* differed, which
+  // dominates any downstream activation.
+  bool inputs_diverged = false;
+  int first = -1;
+  for (const ItemDivergence& d : diff.divergences) {
+    if (d.producer_process < 0) {
+      inputs_diverged = true;
+      continue;
+    }
+    if (first < 0 || d.producer_process < first) {
+      first = d.producer_process;
+    }
+  }
+  diff.first_divergent_process = inputs_diverged ? -1 : first;
+
+  // Blast radius: everything reachable from the earliest divergent
+  // producer (or from the input node when inputs differed).
+  ExecNodeId origin;
+  if (diff.first_divergent_process >= 0) {
+    PAW_ASSIGN_OR_RETURN(origin,
+                         a.FindByProcess(diff.first_divergent_process));
+  } else {
+    for (const ExecNode& n : a.nodes()) {
+      if (n.kind == ExecNodeKind::kInput) origin = n.id;
+    }
+  }
+  if (origin.valid()) {
+    std::set<int> processes;
+    for (NodeIndex w : ReachableFrom(a.graph(), origin.value())) {
+      int p = a.node(ExecNodeId(w)).process_id;
+      if (p >= 0) processes.insert(p);
+    }
+    diff.affected_processes.assign(processes.begin(), processes.end());
+  }
+  return diff;
+}
+
+}  // namespace paw

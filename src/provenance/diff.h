@@ -1,0 +1,58 @@
+#ifndef PAW_PROVENANCE_DIFF_H_
+#define PAW_PROVENANCE_DIFF_H_
+
+/// \file diff.h
+/// \brief Execution comparison for debugging workflows (paper Sec. 1:
+/// "Finding erroneous or suspect data, a user may then ask provenance
+/// queries to determine what downstream data might have been affected,
+/// or to understand how the process failed").
+///
+/// Two executions of the same specification share the deterministic
+/// schedule (same process ids), so they can be compared activation by
+/// activation. The diff reports which data items diverged and, crucially,
+/// the *first* diverging activation in schedule order — the natural
+/// debugging entry point — plus the downstream blast radius of that
+/// divergence.
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/provenance/execution.h"
+
+namespace paw {
+
+/// \brief One diverging data item position.
+struct ItemDivergence {
+  DataItemId item;  // id valid in both executions (same schedule)
+  std::string label;
+  std::string value_a;
+  std::string value_b;
+  /// Process id of the producer (-1 when produced by the input node).
+  int producer_process = -1;
+};
+
+/// \brief Result of comparing two executions of one specification.
+struct ExecutionDiff {
+  /// True iff node counts/kinds/items all match structurally.
+  bool comparable = false;
+  /// All diverging items, in item-id order.
+  std::vector<ItemDivergence> divergences;
+  /// The first diverging activation in schedule order; -1 if none or if
+  /// the divergence starts at the workflow inputs.
+  int first_divergent_process = -1;
+  /// Process ids transitively downstream of the first divergence.
+  std::vector<int> affected_processes;
+
+  bool identical() const { return comparable && divergences.empty(); }
+};
+
+/// \brief Compares two executions of the same specification.
+///
+/// FailedPrecondition when the executions have different specifications
+/// or structures (different schedules cannot be aligned).
+Result<ExecutionDiff> DiffExecutions(const Execution& a, const Execution& b);
+
+}  // namespace paw
+
+#endif  // PAW_PROVENANCE_DIFF_H_

@@ -1,0 +1,144 @@
+#include "src/provenance/exec_view.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/graph/dot.h"
+
+namespace paw {
+
+const std::vector<DataItemId>& ExecView::ItemsOn(NodeIndex u,
+                                                 NodeIndex v) const {
+  static const std::vector<DataItemId> kEmpty;
+  auto it = edge_items_.find({u, v});
+  return it == edge_items_.end() ? kEmpty : it->second;
+}
+
+Result<NodeIndex> ExecView::ViewNodeOf(ExecNodeId n) const {
+  if (n.value() < 0 ||
+      n.value() >= static_cast<int32_t>(view_of_.size())) {
+    return Status::InvalidArgument("exec node out of range");
+  }
+  return view_of_[static_cast<size_t>(n.value())];
+}
+
+std::string ExecView::NodeLabel(NodeIndex i) const {
+  const ExecViewNode& n = node(i);
+  if (n.collapsed) {
+    return "S" + std::to_string(n.process_id) + ":" +
+           exec_->spec().module(n.module).code;
+  }
+  return exec_->NodeLabel(n.rep);
+}
+
+std::string ExecView::ToDot(const std::string& graph_name) const {
+  DotOptions opts;
+  opts.name = graph_name;
+  opts.node_label = [this](NodeIndex u) { return NodeLabel(u); };
+  opts.edge_label = [this](NodeIndex u, NodeIndex v) {
+    std::string out;
+    for (DataItemId d : ItemsOn(u, v)) {
+      if (!out.empty()) out += ",";
+      out += Execution::ItemName(d);
+    }
+    return out;
+  };
+  opts.node_attrs = [this](NodeIndex u) -> std::string {
+    return node(u).collapsed ? "shape=box3d" : "";
+  };
+  return paw::ToDot(graph_, opts);
+}
+
+Result<ExecView> CollapseExecution(const Execution& exec,
+                                   const ExpansionHierarchy& hierarchy,
+                                   const Prefix& prefix) {
+  if (!hierarchy.IsValidPrefix(prefix)) {
+    return Status::InvalidArgument("invalid prefix");
+  }
+  const Specification& spec = exec.spec();
+
+  // Representative of node n: the begin node of the *outermost* enclosing
+  // activation (including n itself when n is a begin/end pair) whose
+  // expansion is outside the prefix; n itself when fully visible.
+  auto representative = [&](ExecNodeId n) -> ExecNodeId {
+    // Build chain outermost -> innermost.
+    std::vector<ExecNodeId> chain;
+    ExecNodeId cur = exec.node(n).enclosing;
+    while (cur.valid()) {
+      chain.push_back(cur);
+      cur = exec.node(cur).enclosing;
+    }
+    std::reverse(chain.begin(), chain.end());
+    const ExecNode& node = exec.node(n);
+    if (node.kind == ExecNodeKind::kBegin ||
+        node.kind == ExecNodeKind::kEnd) {
+      // The begin/end pair collapses with its own activation.
+      ExecNodeId begin = n;
+      if (node.kind == ExecNodeKind::kEnd) {
+        // Find the matching begin: same module & process id.
+        for (const ExecNode& cand : exec.nodes()) {
+          if (cand.kind == ExecNodeKind::kBegin &&
+              cand.process_id == node.process_id) {
+            begin = cand.id;
+            break;
+          }
+        }
+      }
+      chain.push_back(begin);
+    }
+    for (ExecNodeId b : chain) {
+      WorkflowId expansion = spec.module(exec.node(b).module).expansion;
+      if (!prefix.count(expansion)) return b;
+    }
+    return n;
+  };
+
+  ExecView view;
+  view.exec_ = &exec;
+  view.view_of_.assign(static_cast<size_t>(exec.num_nodes()), -1);
+
+  std::map<int32_t, NodeIndex> group_index;  // representative -> view node
+  for (int32_t i = 0; i < exec.num_nodes(); ++i) {
+    ExecNodeId rep = representative(ExecNodeId(i));
+    auto it = group_index.find(rep.value());
+    NodeIndex vi;
+    if (it == group_index.end()) {
+      vi = view.graph_.AddNode();
+      group_index[rep.value()] = vi;
+      ExecViewNode vn;
+      vn.rep = rep;
+      const ExecNode& rn = exec.node(rep);
+      vn.module = rn.module;
+      vn.process_id = rn.process_id;
+      // A representative that is a begin node stands for a swallowed
+      // activation exactly when its expansion is outside the prefix.
+      vn.collapsed =
+          rn.kind == ExecNodeKind::kBegin &&
+          !prefix.count(spec.module(rn.module).expansion);
+      view.nodes_.push_back(vn);
+    } else {
+      vi = it->second;
+      view.nodes_[static_cast<size_t>(vi)].collapsed = true;
+    }
+    view.view_of_[static_cast<size_t>(i)] = vi;
+  }
+
+  for (const auto& [u, v] : exec.graph().Edges()) {
+    NodeIndex vu = view.view_of_[static_cast<size_t>(u)];
+    NodeIndex vv = view.view_of_[static_cast<size_t>(v)];
+    if (vu == vv) continue;
+    if (!view.graph_.HasEdge(vu, vv)) {
+      Status st = view.graph_.AddEdge(vu, vv);
+      PAW_CHECK(st.ok()) << st.ToString();
+    }
+    auto& items = view.edge_items_[{vu, vv}];
+    for (DataItemId d : exec.ItemsOn(ExecNodeId(u), ExecNodeId(v))) {
+      if (std::find(items.begin(), items.end(), d) == items.end()) {
+        items.push_back(d);
+      }
+    }
+  }
+  return view;
+}
+
+}  // namespace paw

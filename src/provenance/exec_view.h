@@ -1,0 +1,84 @@
+#ifndef PAW_PROVENANCE_EXEC_VIEW_H_
+#define PAW_PROVENANCE_EXEC_VIEW_H_
+
+/// \file exec_view.h
+/// \brief Views of provenance graphs under hierarchy prefixes (Fig. 2).
+///
+/// An execution view collapses every composite activation whose expansion
+/// lies outside the prefix into a single node: begin, end and everything
+/// between disappear into one box, and the items entering/leaving it stay
+/// on the boundary edges. With the prefix {W1}, the Fig. 4 execution
+/// collapses to the four-node graph of Fig. 2.
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/provenance/execution.h"
+#include "src/workflow/hierarchy.h"
+
+namespace paw {
+
+/// \brief A node of a collapsed execution view.
+struct ExecViewNode {
+  /// True when the node stands for an entire composite activation.
+  bool collapsed = false;
+  /// For plain nodes: the underlying exec node. For collapsed nodes: the
+  /// begin node of the collapsed activation.
+  ExecNodeId rep;
+  /// The module shown (the composite for collapsed nodes).
+  ModuleId module;
+  /// Process id of the shown activation (-1 for I/O).
+  int process_id = -1;
+};
+
+/// \brief A provenance graph as seen through a prefix.
+class ExecView {
+ public:
+  /// \brief Number of visible nodes.
+  NodeIndex num_nodes() const { return graph_.num_nodes(); }
+
+  /// \brief Visible node metadata.
+  const ExecViewNode& node(NodeIndex i) const {
+    return nodes_[static_cast<size_t>(i)];
+  }
+
+  /// \brief The collapsed digraph.
+  const Digraph& graph() const { return graph_; }
+
+  /// \brief The underlying execution.
+  const Execution& execution() const { return *exec_; }
+
+  /// \brief Items on visible edge `u -> v` (union over collapsed edges).
+  const std::vector<DataItemId>& ItemsOn(NodeIndex u, NodeIndex v) const;
+
+  /// \brief View node showing exec node `n`; NotFound when out of range.
+  Result<NodeIndex> ViewNodeOf(ExecNodeId n) const;
+
+  /// \brief Display label, e.g. "S1:M1" for a collapsed activation.
+  std::string NodeLabel(NodeIndex i) const;
+
+  /// \brief Graphviz rendering in the style of Fig. 2.
+  std::string ToDot(const std::string& graph_name = "exec_view") const;
+
+ private:
+  friend Result<ExecView> CollapseExecution(const Execution&,
+                                            const ExpansionHierarchy&,
+                                            const Prefix&);
+
+  const Execution* exec_ = nullptr;
+  Digraph graph_;
+  std::vector<ExecViewNode> nodes_;
+  std::vector<NodeIndex> view_of_;  // exec node -> view node
+  std::map<std::pair<NodeIndex, NodeIndex>, std::vector<DataItemId>>
+      edge_items_;
+};
+
+/// \brief Collapses `exec` under `prefix` (valid for the spec's hierarchy).
+Result<ExecView> CollapseExecution(const Execution& exec,
+                                   const ExpansionHierarchy& hierarchy,
+                                   const Prefix& prefix);
+
+}  // namespace paw
+
+#endif  // PAW_PROVENANCE_EXEC_VIEW_H_

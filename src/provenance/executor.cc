@@ -1,0 +1,355 @@
+#include "src/provenance/executor.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace paw {
+namespace {
+
+// FNV-1a, used by the default module function to derive stable values.
+uint64_t Fnv1a(std::string_view s, uint64_t h = 1469598103934665603ULL) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string ShortHex(uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// The executor proper; one instance per Execute() call.
+class Executor {
+ public:
+  Executor(const Specification& spec, const FunctionRegistry& fns)
+      : spec_(spec), fns_(fns), exec_(spec) {}
+
+  Result<Execution> Run(const ValueMap& inputs) {
+    InitStates();
+
+    // The root behaves like a started workflow instance with no output
+    // request and no begin node.
+    WorkflowState& root = wf_states_[size_t(spec_.root().value())];
+    root.started = true;
+
+    // Fire the input node first, then any sourceless root modules.
+    const Workflow& rw = spec_.workflow(spec_.root());
+    ModuleId input_module;
+    for (ModuleId mid : rw.modules) {
+      if (spec_.module(mid).kind == ModuleKind::kInput) input_module = mid;
+    }
+    PAW_CHECK(input_module.valid()) << "validated spec lost its input node";
+    PAW_RETURN_NOT_OK(FireInput(input_module, inputs));
+    for (ModuleId mid : rw.modules) {
+      ModuleState& ms = mod_states_[size_t(mid.value())];
+      if (!ms.fired && ms.edges_total == 0 &&
+          spec_.module(mid).kind != ModuleKind::kInput) {
+        PAW_RETURN_NOT_OK(Fire(mid));
+      }
+    }
+
+    for (const Module& m : spec_.modules()) {
+      if (!mod_states_[size_t(m.id.value())].fired) {
+        return Status::Internal("module " + m.code +
+                                " never became ready (disconnected input?)");
+      }
+    }
+    return std::move(exec_);
+  }
+
+ private:
+  struct ModuleState {
+    size_t edges_total = 0;
+    size_t edges_delivered = 0;
+    bool fired = false;
+    ValueMap inputs;
+    // Pending provenance edges: (source exec node, items).
+    std::vector<std::pair<ExecNodeId, std::vector<DataItemId>>> pending;
+  };
+
+  struct WorkflowState {
+    bool started = false;
+    /// Output labels the enclosing composite expects from this instance.
+    std::vector<std::string> request;
+    /// (producing exec node, label, item) routed to the end node.
+    std::vector<std::tuple<ExecNodeId, std::string, DataItemId>>
+        sink_outputs;
+    /// Begin node of the activation running this workflow (invalid for
+    /// the root).
+    ExecNodeId begin;
+  };
+
+  void InitStates() {
+    mod_states_.resize(static_cast<size_t>(spec_.num_modules()));
+    wf_states_.resize(static_cast<size_t>(spec_.num_workflows()));
+    for (const Workflow& w : spec_.workflows()) {
+      for (const DataflowEdge& e : w.edges) {
+        ++mod_states_[size_t(e.dst.value())].edges_total;
+      }
+      // Entry modules of non-root workflows receive one virtual delivery
+      // from the begin node.
+      if (w.id != spec_.root()) {
+        for (ModuleId mid : spec_.EntryModules(w.id)) {
+          ++mod_states_[size_t(mid.value())].edges_total;
+        }
+      }
+    }
+  }
+
+  bool IsExit(ModuleId m) const { return spec_.OutEdges(m).empty(); }
+
+  Status FireInput(ModuleId m, const ValueMap& inputs) {
+    ModuleState& ms = mod_states_[size_t(m.value())];
+    ms.fired = true;
+    ExecNodeId node = exec_.AddNode(ExecNodeKind::kInput, m, -1,
+                                    ExecNodeId::Invalid());
+    // Create the items of every out-edge before delivering any of them:
+    // delivery cascades depth-first, and item ids must follow creation
+    // order at the producing node (Fig. 4 numbering).
+    std::vector<const DataflowEdge*> out = spec_.OutEdges(m);
+    std::vector<std::vector<DataItemId>> per_edge(out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      for (const std::string& label : out[i]->labels) {
+        auto it = inputs.find(label);
+        if (it == inputs.end()) {
+          return Status::InvalidArgument("missing workflow input '" + label +
+                                         "'");
+        }
+        per_edge[i].push_back(exec_.AddItem(label, node, it->second));
+      }
+    }
+    for (size_t i = 0; i < out.size(); ++i) {
+      PAW_RETURN_NOT_OK(Deliver(out[i]->dst, node, per_edge[i]));
+    }
+    return Status::OK();
+  }
+
+  Status Deliver(ModuleId to, ExecNodeId from,
+                 const std::vector<DataItemId>& items) {
+    ModuleState& ms = mod_states_[size_t(to.value())];
+    ms.pending.emplace_back(from, items);
+    for (DataItemId d : items) {
+      const DataItem& item = exec_.item(d);
+      auto [it, inserted] = ms.inputs.try_emplace(item.label, item.value);
+      if (!inserted) it->second += "|" + item.value;
+    }
+    ++ms.edges_delivered;
+    WorkflowState& ws =
+        wf_states_[size_t(spec_.module(to).workflow.value())];
+    if (ms.edges_delivered == ms.edges_total && ws.started && !ms.fired) {
+      return Fire(to);
+    }
+    return Status::OK();
+  }
+
+  /// Labels this module must produce: its out-edge labels, plus the
+  /// enclosing request when it is an exit module of a non-root workflow.
+  std::vector<std::string> NeededOutputs(ModuleId m) const {
+    std::vector<std::string> needed;
+    auto add = [&needed](const std::string& l) {
+      if (std::find(needed.begin(), needed.end(), l) == needed.end()) {
+        needed.push_back(l);
+      }
+    };
+    for (const DataflowEdge* e : spec_.OutEdges(m)) {
+      for (const std::string& l : e->labels) add(l);
+    }
+    WorkflowId w = spec_.module(m).workflow;
+    if (w != spec_.root() && IsExit(m)) {
+      for (const std::string& l : wf_states_[size_t(w.value())].request) {
+        add(l);
+      }
+    }
+    return needed;
+  }
+
+  Status Fire(ModuleId mid) {
+    ModuleState& ms = mod_states_[size_t(mid.value())];
+    ms.fired = true;
+    const Module& m = spec_.module(mid);
+    WorkflowState& ws = wf_states_[size_t(m.workflow.value())];
+    ExecNodeId enclosing = ws.begin;  // invalid at root level
+
+    switch (m.kind) {
+      case ModuleKind::kInput:
+        return Status::Internal("input node fired through Deliver");
+      case ModuleKind::kOutput: {
+        ExecNodeId node =
+            exec_.AddNode(ExecNodeKind::kOutput, mid, -1, enclosing);
+        for (const auto& [from, items] : ms.pending) {
+          PAW_RETURN_NOT_OK(exec_.AddFlow(from, node, items));
+        }
+        return Status::OK();
+      }
+      case ModuleKind::kAtomic:
+        return FireAtomic(mid, &ms, &ws, enclosing);
+      case ModuleKind::kComposite:
+        return FireComposite(mid, &ms, &ws, enclosing);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Status FireAtomic(ModuleId mid, ModuleState* ms, WorkflowState* ws,
+                    ExecNodeId enclosing) {
+    const Module& m = spec_.module(mid);
+    ExecNodeId node = exec_.AddNode(ExecNodeKind::kAtomic, mid,
+                                    next_process_++, enclosing);
+    for (const auto& [from, items] : ms->pending) {
+      PAW_RETURN_NOT_OK(exec_.AddFlow(from, node, items));
+    }
+    std::vector<std::string> needed = NeededOutputs(mid);
+    ValueMap outs = fns_.Lookup(m.code)(ms->inputs, needed);
+    for (const std::string& l : needed) {
+      if (!outs.count(l)) {
+        return Status::Internal("module " + m.code +
+                                " did not produce output '" + l + "'");
+      }
+    }
+    // Two-phase as in FireInput: create all items, then deliver.
+    std::vector<const DataflowEdge*> out = spec_.OutEdges(mid);
+    std::vector<std::vector<DataItemId>> per_edge(out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      for (const std::string& label : out[i]->labels) {
+        per_edge[i].push_back(exec_.AddItem(label, node, outs.at(label)));
+      }
+    }
+    if (m.workflow != spec_.root() && IsExit(mid)) {
+      for (const std::string& label : ws->request) {
+        DataItemId d = exec_.AddItem(label, node, outs.at(label));
+        ws->sink_outputs.emplace_back(node, label, d);
+      }
+    }
+    for (size_t i = 0; i < out.size(); ++i) {
+      PAW_RETURN_NOT_OK(Deliver(out[i]->dst, node, per_edge[i]));
+    }
+    return Status::OK();
+  }
+
+  Status FireComposite(ModuleId mid, ModuleState* ms, WorkflowState* ws,
+                       ExecNodeId enclosing) {
+    const Module& m = spec_.module(mid);
+    const int process = next_process_++;
+    ExecNodeId begin =
+        exec_.AddNode(ExecNodeKind::kBegin, mid, process, enclosing);
+    for (const auto& [from, items] : ms->pending) {
+      PAW_RETURN_NOT_OK(exec_.AddFlow(from, begin, items));
+    }
+    std::vector<DataItemId> feed;
+    for (const auto& [from, items] : ms->pending) {
+      for (DataItemId d : items) {
+        if (std::find(feed.begin(), feed.end(), d) == feed.end()) {
+          feed.push_back(d);
+        }
+      }
+    }
+
+    WorkflowState& sub = wf_states_[size_t(m.expansion.value())];
+    sub.started = true;
+    sub.begin = begin;
+    sub.request = NeededOutputs(mid);
+    if (!sub.request.empty()) {
+      if (spec_.ExitModules(m.expansion).size() != 1) {
+        return Status::FailedPrecondition(
+            "workflow " + spec_.workflow(m.expansion).code +
+            " needs exactly one exit module to return data");
+      }
+    }
+    for (ModuleId entry : spec_.EntryModules(m.expansion)) {
+      PAW_RETURN_NOT_OK(Deliver(entry, begin, feed));
+    }
+    for (ModuleId inner : spec_.workflow(m.expansion).modules) {
+      if (!mod_states_[size_t(inner.value())].fired) {
+        return Status::Internal(
+            "subworkflow module " + spec_.module(inner).code +
+            " did not fire (disconnected from entries?)");
+      }
+    }
+
+    ExecNodeId end =
+        exec_.AddNode(ExecNodeKind::kEnd, mid, process, enclosing);
+    std::map<std::string, DataItemId> collected;
+    for (const auto& [from, label, item] : sub.sink_outputs) {
+      PAW_RETURN_NOT_OK(exec_.AddFlow(from, end, {item}));
+      collected[label] = item;
+    }
+
+    for (const DataflowEdge* e : spec_.OutEdges(mid)) {
+      std::vector<DataItemId> items;
+      for (const std::string& label : e->labels) {
+        auto it = collected.find(label);
+        if (it == collected.end()) {
+          return Status::Internal("composite " + m.code +
+                                  " produced no '" + label + "'");
+        }
+        items.push_back(it->second);
+      }
+      PAW_RETURN_NOT_OK(Deliver(e->dst, end, items));
+    }
+    if (m.workflow != spec_.root() && IsExit(mid)) {
+      for (const std::string& label : ws->request) {
+        auto it = collected.find(label);
+        if (it == collected.end()) {
+          return Status::Internal("composite " + m.code +
+                                  " produced no requested '" + label + "'");
+        }
+        ws->sink_outputs.emplace_back(end, label, it->second);
+      }
+    }
+    return Status::OK();
+  }
+
+  const Specification& spec_;
+  const FunctionRegistry& fns_;
+  Execution exec_;
+  std::vector<ModuleState> mod_states_;
+  std::vector<WorkflowState> wf_states_;
+  int next_process_ = 1;
+};
+
+}  // namespace
+
+void FunctionRegistry::Register(std::string module_code, ModuleFn fn) {
+  fns_[std::move(module_code)] = std::move(fn);
+}
+
+ValueMap FunctionRegistry::DefaultFn(
+    const std::string& module_code, const ValueMap& inputs,
+    const std::vector<std::string>& output_labels) {
+  uint64_t h = Fnv1a(module_code);
+  for (const auto& [label, value] : inputs) {
+    h = Fnv1a(label, h);
+    h = Fnv1a(value, h);
+  }
+  ValueMap out;
+  for (const std::string& label : output_labels) {
+    out[label] = ShortHex(Fnv1a(label, h));
+  }
+  return out;
+}
+
+ModuleFn FunctionRegistry::Lookup(const std::string& module_code) const {
+  auto it = fns_.find(module_code);
+  if (it != fns_.end()) return it->second;
+  std::string code = module_code;
+  return [code](const ValueMap& inputs,
+                const std::vector<std::string>& output_labels) {
+    return DefaultFn(code, inputs, output_labels);
+  };
+}
+
+Result<Execution> Execute(const Specification& spec,
+                          const FunctionRegistry& fns,
+                          const ValueMap& inputs) {
+  Executor executor(spec, fns);
+  return executor.Run(inputs);
+}
+
+}  // namespace paw

@@ -1,0 +1,77 @@
+#ifndef PAW_PROVENANCE_EXECUTOR_H_
+#define PAW_PROVENANCE_EXECUTOR_H_
+
+/// \file executor.h
+/// \brief Simulated workflow execution producing provenance graphs.
+///
+/// The executor runs a specification with pluggable module functions and a
+/// *deterministic depth-first data-propagation schedule*: when a node
+/// finishes, its out-edges are followed in specification insertion order
+/// and any module that becomes ready fires immediately. Composite modules
+/// execute like procedure calls (begin node, subworkflow, end node). This
+/// schedule reproduces the activation numbering S1..S15 of the paper's
+/// Fig. 4 exactly (see tests/disease_test.cc).
+///
+/// Data model: one item is created per (out-edge, label) pair at firing
+/// time, so items fan out with distinct identities while begin/end nodes
+/// only forward; this matches the paper's "each data item is the output of
+/// exactly one module execution".
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/provenance/execution.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief Label -> value bindings at a module boundary.
+///
+/// When two in-edges deliver the same label (e.g. M6 and M7 both feed
+/// "disorders" into M8 in Fig. 1), the values are concatenated with '|'.
+using ValueMap = std::map<std::string, std::string>;
+
+/// \brief A simulated module function: consumes the input bindings and
+/// must produce a value for every label in `output_labels`.
+using ModuleFn = std::function<ValueMap(
+    const ValueMap& inputs, const std::vector<std::string>& output_labels)>;
+
+/// \brief Registry of module functions keyed by module code.
+///
+/// Modules without a registered function use the default: a deterministic
+/// digest of the module code, label and inputs — enough to make provenance
+/// values distinct and replayable.
+class FunctionRegistry {
+ public:
+  /// \brief Installs `fn` for the module with the given code.
+  void Register(std::string module_code, ModuleFn fn);
+
+  /// \brief The function for `module_code` (default when unregistered).
+  ModuleFn Lookup(const std::string& module_code) const;
+
+  /// \brief The deterministic default function.
+  static ValueMap DefaultFn(const std::string& module_code,
+                            const ValueMap& inputs,
+                            const std::vector<std::string>& output_labels);
+
+ private:
+  std::map<std::string, ModuleFn> fns_;
+};
+
+/// \brief Runs `spec` on `inputs` (bindings for every label leaving the
+/// root input node I).
+///
+/// Fails with InvalidArgument when an input label is missing, and with
+/// FailedPrecondition when a non-root workflow whose output is demanded
+/// has more than one exit module (the procedure-call semantics needs a
+/// unique return point).
+Result<Execution> Execute(const Specification& spec,
+                          const FunctionRegistry& fns,
+                          const ValueMap& inputs);
+
+}  // namespace paw
+
+#endif  // PAW_PROVENANCE_EXECUTOR_H_

@@ -1,0 +1,77 @@
+#include "src/provenance/lineage.h"
+
+#include <algorithm>
+
+namespace paw {
+namespace {
+
+LineageResult BuildResult(const Execution& exec,
+                          std::vector<NodeIndex> cone) {
+  std::sort(cone.begin(), cone.end());
+  LineageResult result;
+  InducedSubgraph sub = Induce(exec.graph(), cone);
+  result.subgraph = std::move(sub.graph);
+  result.nodes.reserve(sub.kept.size());
+  for (NodeIndex n : sub.kept) result.nodes.push_back(ExecNodeId(n));
+  // Items: those flowing on any edge inside the cone.
+  std::vector<bool> in_cone(static_cast<size_t>(exec.num_nodes()), false);
+  for (NodeIndex n : sub.kept) in_cone[static_cast<size_t>(n)] = true;
+  std::vector<bool> seen_item(static_cast<size_t>(exec.num_items()), false);
+  for (NodeIndex u : sub.kept) {
+    for (NodeIndex v : exec.graph().OutNeighbors(u)) {
+      if (!in_cone[static_cast<size_t>(v)]) continue;
+      for (DataItemId d : exec.ItemsOn(ExecNodeId(u), ExecNodeId(v))) {
+        if (!seen_item[static_cast<size_t>(d.value())]) {
+          seen_item[static_cast<size_t>(d.value())] = true;
+          result.items.push_back(d);
+        }
+      }
+    }
+  }
+  std::sort(result.items.begin(), result.items.end());
+  return result;
+}
+
+}  // namespace
+
+Result<LineageResult> ProvenanceOf(const Execution& exec, DataItemId d) {
+  if (d.value() < 0 || d.value() >= exec.num_items()) {
+    return Status::InvalidArgument("unknown data item");
+  }
+  ExecNodeId producer = exec.item(d).producer;
+  std::vector<NodeIndex> cone = CanReach(exec.graph(), producer.value());
+  return BuildResult(exec, std::move(cone));
+}
+
+Result<LineageResult> ProvenanceOfNode(const Execution& exec,
+                                       ExecNodeId node) {
+  if (node.value() < 0 || node.value() >= exec.num_nodes()) {
+    return Status::InvalidArgument("unknown exec node");
+  }
+  std::vector<NodeIndex> cone = CanReach(exec.graph(), node.value());
+  return BuildResult(exec, std::move(cone));
+}
+
+Result<LineageResult> AffectedBy(const Execution& exec, DataItemId d) {
+  if (d.value() < 0 || d.value() >= exec.num_items()) {
+    return Status::InvalidArgument("unknown data item");
+  }
+  // Start from the consumers of d (the producer itself is not "affected").
+  std::vector<NodeIndex> starts;
+  const Digraph& g = exec.graph();
+  ExecNodeId producer = exec.item(d).producer;
+  for (NodeIndex v : g.OutNeighbors(producer.value())) {
+    const auto& items = exec.ItemsOn(producer, ExecNodeId(v));
+    if (std::find(items.begin(), items.end(), d) != items.end()) {
+      starts.push_back(v);
+    }
+  }
+  std::vector<NodeIndex> cone = ReachableFrom(g, starts);
+  return BuildResult(exec, std::move(cone));
+}
+
+bool Contributes(const Execution& exec, ExecNodeId src, ExecNodeId dst) {
+  return PathExists(exec.graph(), src.value(), dst.value());
+}
+
+}  // namespace paw

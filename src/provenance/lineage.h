@@ -1,0 +1,51 @@
+#ifndef PAW_PROVENANCE_LINEAGE_H_
+#define PAW_PROVENANCE_LINEAGE_H_
+
+/// \file lineage.h
+/// \brief Provenance queries over executions (paper Secs. 1-2).
+///
+/// "The provenance of a data item d in an execution E is the subgraph
+/// induced by the set of paths from the start node to the end node of E
+/// that produced d as output" — implemented as the ancestor cone of d's
+/// producer. The dual query ("what downstream data might have been
+/// affected?") is the descendant cone.
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/algorithms.h"
+#include "src/provenance/execution.h"
+
+namespace paw {
+
+/// \brief A provenance (sub)graph: the answer to a lineage query.
+struct LineageResult {
+  /// Exec nodes of the cone, by original id, in ascending order.
+  std::vector<ExecNodeId> nodes;
+  /// Induced subgraph over `nodes` (index i <-> nodes[i]).
+  Digraph subgraph;
+  /// Data items flowing inside the cone.
+  std::vector<DataItemId> items;
+};
+
+/// \brief Upstream provenance of item `d`: every node and item that
+/// contributed to producing it.
+Result<LineageResult> ProvenanceOf(const Execution& exec, DataItemId d);
+
+/// \brief Upstream provenance of an activation: every node and item
+/// that contributed to `node` (the answer to "return the provenance
+/// information for the latter" in the paper's exemplar query).
+Result<LineageResult> ProvenanceOfNode(const Execution& exec,
+                                       ExecNodeId node);
+
+/// \brief Downstream impact of item `d`: every node that consumed it
+/// directly or transitively, and every item they produced.
+Result<LineageResult> AffectedBy(const Execution& exec, DataItemId d);
+
+/// \brief True iff activation `src` contributed (via some path) to
+/// activation `dst` in this execution.
+bool Contributes(const Execution& exec, ExecNodeId src, ExecNodeId dst);
+
+}  // namespace paw
+
+#endif  // PAW_PROVENANCE_LINEAGE_H_

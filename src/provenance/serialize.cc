@@ -1,0 +1,198 @@
+#include "src/provenance/serialize.h"
+
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace paw {
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+/// Splits a line into fields; quoted fields may contain spaces.
+Result<std::vector<std::string>> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quote = false;
+  bool any = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quote) {
+      if (c == '\\' && i + 1 < line.size()) {
+        cur.push_back(line[++i]);
+      } else if (c == '"') {
+        in_quote = false;
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quote = true;
+      any = true;
+    } else if (c == ' ' || c == '\t') {
+      if (any || !cur.empty()) out.push_back(cur);
+      cur.clear();
+      any = false;
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quote) return Status::InvalidArgument("unterminated quote");
+  if (any || !cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool KeyValue(const std::string& field, std::string_view key,
+              std::string* value) {
+  if (field.size() > key.size() + 1 &&
+      field.compare(0, key.size(), key) == 0 && field[key.size()] == '=') {
+    *value = field.substr(key.size() + 1);
+    if (value->size() >= 2 && value->front() == '"' &&
+        value->back() == '"') {
+      *value = value->substr(1, value->size() - 2);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string SerializeExecution(const Execution& exec) {
+  std::ostringstream os;
+  os << "execution spec=" << Quote(exec.spec().name()) << "\n";
+  for (const ExecNode& n : exec.nodes()) {
+    os << "node " << n.id.value() << " " << ExecNodeKindName(n.kind) << " "
+       << exec.spec().module(n.module).code << " process=" << n.process_id
+       << " enclosing=" << n.enclosing.value() << "\n";
+  }
+  for (const DataItem& d : exec.items()) {
+    os << "item " << d.id.value() << " label=" << Quote(d.label)
+       << " producer=" << d.producer.value() << " value=" << Quote(d.value)
+       << "\n";
+  }
+  for (const auto& [u, v] : exec.graph().Edges()) {
+    os << "flow " << u << " " << v << " items=\"";
+    const auto& items = exec.ItemsOn(ExecNodeId(u), ExecNodeId(v));
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i) os << ";";
+      os << items[i].value();
+    }
+    os << "\"\n";
+  }
+  return os.str();
+}
+
+Result<Execution> ParseExecution(const std::string& text,
+                                 const Specification& spec) {
+  Execution exec(spec);
+  bool header_seen = false;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string line(Trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    PAW_ASSIGN_OR_RETURN(std::vector<std::string> f, Fields(line));
+    if (f.empty()) continue;
+    const std::string& tag = f[0];
+    if (tag == "execution") {
+      std::string name;
+      if (f.size() < 2 || !KeyValue(f[1], "spec", &name)) {
+        return Status::InvalidArgument("execution: missing spec=");
+      }
+      if (name != spec.name()) {
+        return Status::InvalidArgument(
+            "execution belongs to spec '" + name + "', not '" +
+            spec.name() + "'");
+      }
+      header_seen = true;
+    } else if (tag == "node") {
+      if (!header_seen) {
+        return Status::InvalidArgument("node before execution header");
+      }
+      if (f.size() < 6) return Status::InvalidArgument("node: bad arity");
+      int32_t id = std::atoi(f[1].c_str());
+      if (id != exec.num_nodes()) {
+        return Status::InvalidArgument("node ids must be dense");
+      }
+      ExecNodeKind kind;
+      if (f[2] == "input") {
+        kind = ExecNodeKind::kInput;
+      } else if (f[2] == "output") {
+        kind = ExecNodeKind::kOutput;
+      } else if (f[2] == "atomic") {
+        kind = ExecNodeKind::kAtomic;
+      } else if (f[2] == "begin") {
+        kind = ExecNodeKind::kBegin;
+      } else if (f[2] == "end") {
+        kind = ExecNodeKind::kEnd;
+      } else {
+        return Status::InvalidArgument("node: bad kind " + f[2]);
+      }
+      PAW_ASSIGN_OR_RETURN(ModuleId module, spec.FindModule(f[3]));
+      std::string v;
+      if (!KeyValue(f[4], "process", &v)) {
+        return Status::InvalidArgument("node: missing process=");
+      }
+      int process = std::atoi(v.c_str());
+      if (!KeyValue(f[5], "enclosing", &v)) {
+        return Status::InvalidArgument("node: missing enclosing=");
+      }
+      int32_t enclosing = std::atoi(v.c_str());
+      if (enclosing >= exec.num_nodes()) {
+        return Status::InvalidArgument("node: forward enclosing ref");
+      }
+      exec.AddNode(kind, module, process,
+                   enclosing < 0 ? ExecNodeId() : ExecNodeId(enclosing));
+    } else if (tag == "item") {
+      if (f.size() < 5) return Status::InvalidArgument("item: bad arity");
+      int32_t id = std::atoi(f[1].c_str());
+      if (id != exec.num_items()) {
+        return Status::InvalidArgument("item ids must be dense");
+      }
+      std::string label, producer_str, value;
+      if (!KeyValue(f[2], "label", &label) ||
+          !KeyValue(f[3], "producer", &producer_str) ||
+          !KeyValue(f[4], "value", &value)) {
+        return Status::InvalidArgument("item: bad fields");
+      }
+      int32_t producer = std::atoi(producer_str.c_str());
+      if (producer < 0 || producer >= exec.num_nodes()) {
+        return Status::InvalidArgument("item: producer out of range");
+      }
+      exec.AddItem(label, ExecNodeId(producer), value);
+    } else if (tag == "flow") {
+      if (f.size() < 4) return Status::InvalidArgument("flow: bad arity");
+      int32_t u = std::atoi(f[1].c_str());
+      int32_t v = std::atoi(f[2].c_str());
+      std::string items_str;
+      if (!KeyValue(f[3], "items", &items_str)) {
+        return Status::InvalidArgument("flow: missing items=");
+      }
+      std::vector<DataItemId> items;
+      if (!items_str.empty()) {
+        for (const std::string& part : Split(items_str, ';')) {
+          int32_t d = std::atoi(part.c_str());
+          if (d < 0 || d >= exec.num_items()) {
+            return Status::InvalidArgument("flow: item out of range");
+          }
+          items.push_back(DataItemId(d));
+        }
+      }
+      PAW_RETURN_NOT_OK(exec.AddFlow(ExecNodeId(u), ExecNodeId(v), items));
+    } else {
+      return Status::InvalidArgument("unknown directive: " + tag);
+    }
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument("missing execution header");
+  }
+  return exec;
+}
+
+}  // namespace paw

@@ -1,0 +1,197 @@
+#include "src/query/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/strings.h"
+#include "src/privacy/data_privacy.h"
+#include "src/provenance/lineage.h"
+
+namespace paw {
+namespace {
+
+/// Serializes keyword answers for the result cache.
+std::string SerializeAnswers(const Repository& repo,
+                             const std::vector<KeywordAnswer>& answers) {
+  std::ostringstream os;
+  for (const KeywordAnswer& a : answers) {
+    os << repo.entry(a.spec_id).spec.name() << "|";
+    for (WorkflowId w : a.prefix) {
+      os << repo.entry(a.spec_id).spec.workflow(w).code << ",";
+    }
+    os << "|" << a.score << ";";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Repository& repo, const AccessControl& acl,
+                         EngineOptions options)
+    : repo_(repo),
+      acl_(acl),
+      options_(options),
+      cache_(options.cache_capacity) {
+  RefreshIndexes();
+}
+
+void QueryEngine::RefreshIndexes() {
+  index_.Build(repo_);
+  scorer_.Build(index_);
+}
+
+Result<std::string> QueryEngine::CacheGroup(PrincipalId principal) const {
+  PAW_ASSIGN_OR_RETURN(Principal p, acl_.Get(principal));
+  return p.group + "@" + std::to_string(p.level);
+}
+
+Result<std::vector<KeywordAnswer>> QueryEngine::Search(
+    PrincipalId principal, const std::vector<std::string>& terms) {
+  PAW_ASSIGN_OR_RETURN(Principal p, acl_.Get(principal));
+  PAW_ASSIGN_OR_RETURN(std::string group, CacheGroup(principal));
+  std::string key = "kw:" + Join(terms, ",");
+  // The cache stores a serialized digest to validate reuse; answers are
+  // recomputed only on miss.
+  bool cached = cache_.Get(group, key).has_value();
+  PAW_ASSIGN_OR_RETURN(
+      std::vector<KeywordAnswer> answers,
+      KeywordSearch(repo_, &index_, &scorer_, terms, p.level,
+                    options_.search));
+  if (!cached) {
+    cache_.Put(group, key, SerializeAnswers(repo_, answers));
+  }
+  return answers;
+}
+
+Result<LineageAnswer> QueryEngine::RenderCone(
+    const SpecEntry& spec_entry, const Execution& exec,
+    const Principal& p, const std::vector<ExecNodeId>& cone_nodes,
+    DataItemId item) const {
+  // 1. Structural zoom-out from the principal's access view.
+  PAW_ASSIGN_OR_RETURN(
+      ExecZoomOutResult zoomed,
+      ZoomOutExecution(exec, spec_entry.hierarchy, spec_entry.policy,
+                       p.level));
+
+  // 2. Restrict to the cone.
+  std::vector<bool> in_cone(static_cast<size_t>(exec.num_nodes()), false);
+  for (ExecNodeId n : cone_nodes) {
+    in_cone[static_cast<size_t>(n.value())] = true;
+  }
+  std::vector<bool> view_in_cone(
+      static_cast<size_t>(zoomed.view.num_nodes()), false);
+  for (int32_t i = 0; i < exec.num_nodes(); ++i) {
+    if (!in_cone[static_cast<size_t>(i)]) continue;
+    PAW_ASSIGN_OR_RETURN(NodeIndex v,
+                         zoomed.view.ViewNodeOf(ExecNodeId(i)));
+    view_in_cone[static_cast<size_t>(v)] = true;
+  }
+
+  // 3. Render with data masking.
+  LineageAnswer answer;
+  answer.prefix = zoomed.final_prefix;
+  answer.zoom_steps = zoomed.steps;
+  const DataPolicy& data_policy = spec_entry.policy.data;
+  for (const auto& [u, v] : zoomed.view.graph().Edges()) {
+    if (!view_in_cone[static_cast<size_t>(u)] ||
+        !view_in_cone[static_cast<size_t>(v)]) {
+      continue;
+    }
+    std::ostringstream row;
+    row << zoomed.view.NodeLabel(u) << " -> " << zoomed.view.NodeLabel(v)
+        << " [";
+    bool first = true;
+    for (DataItemId d : zoomed.view.ItemsOn(u, v)) {
+      if (!first) row << ", ";
+      first = false;
+      row << Execution::ItemName(d) << "="
+          << RenderValue(exec, d, data_policy, p.level);
+    }
+    row << "]";
+    answer.rows.push_back(row.str());
+  }
+  // The queried item itself (its carrying edge leaves the ancestor cone,
+  // so it would otherwise be absent from the rows).
+  if (item.valid()) {
+    PAW_ASSIGN_OR_RETURN(
+        NodeIndex producer_view,
+        zoomed.view.ViewNodeOf(exec.item(item).producer));
+    answer.rows.push_back(
+        Execution::ItemName(item) + " = " +
+        RenderValue(exec, item, data_policy, p.level) + " (produced by " +
+        zoomed.view.NodeLabel(producer_view) + ")");
+  }
+  return answer;
+}
+
+Result<LineageAnswer> QueryEngine::Lineage(PrincipalId principal,
+                                           ExecutionId exec_id,
+                                           DataItemId item) {
+  PAW_ASSIGN_OR_RETURN(Principal p, acl_.Get(principal));
+  if (exec_id.value() < 0 || exec_id.value() >= repo_.num_executions()) {
+    return Status::NotFound("unknown execution");
+  }
+  const ExecutionEntry& entry = repo_.execution(exec_id);
+  const SpecEntry& spec_entry = repo_.entry(entry.spec_id);
+  const Execution& exec = entry.exec;
+  if (item.value() < 0 || item.value() >= exec.num_items()) {
+    return Status::NotFound("unknown data item");
+  }
+  PAW_ASSIGN_OR_RETURN(LineageResult cone, ProvenanceOf(exec, item));
+  return RenderCone(spec_entry, exec, p, cone.nodes, item);
+}
+
+Result<std::vector<QueryEngine::ExecutionSearchResult>>
+QueryEngine::SearchExecutions(PrincipalId principal,
+                              const StructuralPattern& pattern,
+                              int provenance_var) {
+  PAW_ASSIGN_OR_RETURN(Principal p, acl_.Get(principal));
+  if (provenance_var < 0 ||
+      provenance_var >= static_cast<int>(pattern.vars.size())) {
+    return Status::InvalidArgument("provenance_var out of range");
+  }
+  std::vector<ExecutionSearchResult> results;
+  for (int e = 0; e < repo_.num_executions(); ++e) {
+    const ExecutionEntry& entry = repo_.execution(ExecutionId(e));
+    const SpecEntry& spec_entry = repo_.entry(entry.spec_id);
+    const Execution& exec = entry.exec;
+    // Visibility: only modules inside the principal's access view may
+    // participate in a match.
+    Prefix access =
+        spec_entry.hierarchy.AccessPrefix(spec_entry.spec, p.level);
+    auto visible = [&](ModuleId m) {
+      return access.count(spec_entry.spec.module(m).workflow) > 0;
+    };
+    PAW_ASSIGN_OR_RETURN(std::vector<ExecutionMatch> matches,
+                         MatchExecution(exec, pattern, visible));
+    if (matches.empty()) continue;
+    ExecutionSearchResult hit;
+    hit.exec_id = ExecutionId(e);
+    hit.match = matches.front();
+    hit.num_matches = static_cast<int>(matches.size());
+    ExecNodeId target =
+        hit.match.binding[static_cast<size_t>(provenance_var)];
+    PAW_ASSIGN_OR_RETURN(LineageResult cone,
+                         ProvenanceOfNode(exec, target));
+    PAW_ASSIGN_OR_RETURN(
+        hit.provenance,
+        RenderCone(spec_entry, exec, p, cone.nodes, DataItemId()));
+    results.push_back(std::move(hit));
+  }
+  return results;
+}
+
+Result<std::vector<PatternMatch>> QueryEngine::Structural(
+    PrincipalId principal, int spec_id, const StructuralPattern& pattern) {
+  PAW_ASSIGN_OR_RETURN(Principal p, acl_.Get(principal));
+  if (spec_id < 0 || spec_id >= repo_.num_specs()) {
+    return Status::NotFound("unknown spec");
+  }
+  const SpecEntry& entry = repo_.entry(spec_id);
+  Prefix access = entry.hierarchy.AccessPrefix(entry.spec, p.level);
+  PAW_ASSIGN_OR_RETURN(
+      SpecView view, ExpandPrefix(entry.spec, entry.hierarchy, access));
+  return MatchPattern(view, pattern);
+}
+
+}  // namespace paw

@@ -1,0 +1,115 @@
+#ifndef PAW_QUERY_ENGINE_H_
+#define PAW_QUERY_ENGINE_H_
+
+/// \file engine.h
+/// \brief The privacy-preserving query engine facade (paper Sec. 4).
+///
+/// Combines the repository, access control, indexes, ranking, masking and
+/// zoom-out into the interface a search UI would call. Every entry point
+/// takes a principal; answers never reveal anything beyond the
+/// principal's access view and the spec's policy. Group-partitioned LRU
+/// caching accelerates repeated queries within one privacy context.
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/index/inverted_index.h"
+#include "src/index/result_cache.h"
+#include "src/privacy/access_control.h"
+#include "src/query/keyword_search.h"
+#include "src/query/structural_query.h"
+#include "src/query/zoom_out.h"
+#include "src/repo/repository.h"
+
+namespace paw {
+
+/// \brief Engine construction options.
+struct EngineOptions {
+  size_t cache_capacity = 256;
+  KeywordSearchOptions search;
+};
+
+/// \brief A lineage answer rendered for one principal.
+struct LineageAnswer {
+  /// The prefix the answer was rendered at (after zoom-out).
+  Prefix prefix;
+  /// Zoom-out steps taken for structural privacy.
+  int zoom_steps = 0;
+  /// Rendered provenance rows: "node -> node [item=value,...]" with
+  /// masked values for labels above the principal's level.
+  std::vector<std::string> rows;
+};
+
+/// \brief Privacy-preserving query engine over one repository.
+class QueryEngine {
+ public:
+  QueryEngine(const Repository& repo, const AccessControl& acl,
+              EngineOptions options = {});
+
+  /// \brief Rebuilds indexes after repository changes.
+  void RefreshIndexes();
+
+  /// \brief Keyword search at the principal's level; cached per
+  /// (group, level).
+  Result<std::vector<KeywordAnswer>> Search(
+      PrincipalId principal, const std::vector<std::string>& terms);
+
+  /// \brief Upstream provenance of one data item, rendered through the
+  /// principal's access view with masking and structural zoom-out.
+  Result<LineageAnswer> Lineage(PrincipalId principal, ExecutionId exec_id,
+                                DataItemId item);
+
+  /// \brief Structural pattern query against the principal's view of one
+  /// specification.
+  Result<std::vector<PatternMatch>> Structural(
+      PrincipalId principal, int spec_id, const StructuralPattern& pattern);
+
+  /// \brief One hit of an execution search.
+  struct ExecutionSearchResult {
+    ExecutionId exec_id;
+    /// The first match found (bindings per pattern variable).
+    ExecutionMatch match;
+    int num_matches = 0;
+    /// Rendered provenance of the activation bound to `provenance_var`.
+    LineageAnswer provenance;
+  };
+
+  /// \brief The paper's exemplar query (Sec. 4): find executions where
+  /// the pattern holds — e.g. "Expand SNP Set was executed before Query
+  /// OMIM" — and return the provenance information for the activation
+  /// bound to `provenance_var`. Matching is confined to modules inside
+  /// the principal's access view; provenance rows are masked and
+  /// zoomed-out like `Lineage` answers.
+  Result<std::vector<ExecutionSearchResult>> SearchExecutions(
+      PrincipalId principal, const StructuralPattern& pattern,
+      int provenance_var);
+
+  const CacheStats& cache_stats() const { return cache_.stats(); }
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  /// Cache partition tag: group + level (two principals share answers
+  /// only when both match).
+  Result<std::string> CacheGroup(PrincipalId principal) const;
+
+  /// Shared answer rendering: zoom out for structural policy, restrict
+  /// to `cone_nodes`, mask values; `item` (when valid) is appended as an
+  /// explicit final row.
+  Result<LineageAnswer> RenderCone(const SpecEntry& spec_entry,
+                                   const Execution& exec,
+                                   const Principal& principal,
+                                   const std::vector<ExecNodeId>& cone_nodes,
+                                   DataItemId item) const;
+
+  const Repository& repo_;
+  const AccessControl& acl_;
+  EngineOptions options_;
+  InvertedIndex index_;
+  TfIdfScorer scorer_;
+  ResultCache cache_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_QUERY_ENGINE_H_

@@ -1,0 +1,192 @@
+#include "src/query/keyword_search.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace paw {
+namespace {
+
+/// Token bag of a module (name + keywords).
+std::vector<std::string> TokenBag(const Module& m) {
+  std::vector<std::string> bag = Tokenize(m.name);
+  for (const std::string& k : m.keywords) {
+    for (const std::string& t : Tokenize(k)) bag.push_back(t);
+  }
+  return bag;
+}
+
+bool ModuleCovers(const Module& m, const std::string& term) {
+  return TokensContainPhrase(TokenBag(m), term);
+}
+
+/// True iff every term is covered by some visible module of `view`.
+bool ViewCovers(const Specification& spec, const SpecView& view,
+                const std::vector<std::string>& terms) {
+  for (const std::string& term : terms) {
+    bool covered = false;
+    for (ModuleId mid : view.visible_modules()) {
+      if (ModuleCovers(spec.module(mid), term)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+/// Prefixes admissible at `level`: every non-root member within level.
+bool PrefixAdmissible(const Specification& spec, const Prefix& prefix,
+                      AccessLevel level) {
+  for (WorkflowId w : prefix) {
+    if (spec.workflow(w).required_level > level) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ModuleId> MatchingModules(const Specification& spec,
+                                      const SpecView& view,
+                                      const std::string& term) {
+  std::vector<ModuleId> out;
+  for (ModuleId mid : view.visible_modules()) {
+    if (ModuleCovers(spec.module(mid), term)) out.push_back(mid);
+  }
+  return out;
+}
+
+Result<std::vector<Prefix>> MinimalCoveringPrefixes(
+    const Specification& spec, const ExpansionHierarchy& hierarchy,
+    const std::vector<std::string>& terms, AccessLevel level,
+    int max_enumerated) {
+  // Enumerate the lattice smallest-first; a covering prefix is kept only
+  // if no kept prefix is a subset of it.
+  auto all = hierarchy.EnumeratePrefixes(/*max_workflows=*/20);
+  if (!all.ok()) {
+    PAW_ASSIGN_OR_RETURN(Prefix greedy,
+                         GreedyCoveringPrefix(spec, hierarchy, terms, level));
+    return std::vector<Prefix>{greedy};
+  }
+  if (static_cast<int>(all.value().size()) > max_enumerated) {
+    PAW_ASSIGN_OR_RETURN(Prefix greedy,
+                         GreedyCoveringPrefix(spec, hierarchy, terms, level));
+    return std::vector<Prefix>{greedy};
+  }
+  std::vector<Prefix> minimal;
+  for (const Prefix& p : all.value()) {
+    if (!PrefixAdmissible(spec, p, level)) continue;
+    bool dominated = false;
+    for (const Prefix& kept : minimal) {
+      if (std::includes(p.begin(), p.end(), kept.begin(), kept.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    PAW_ASSIGN_OR_RETURN(SpecView view, ExpandPrefix(spec, hierarchy, p));
+    if (ViewCovers(spec, view, terms)) minimal.push_back(p);
+  }
+  return minimal;
+}
+
+Result<Prefix> GreedyCoveringPrefix(const Specification& spec,
+                                    const ExpansionHierarchy& hierarchy,
+                                    const std::vector<std::string>& terms,
+                                    AccessLevel level) {
+  Prefix prefix = hierarchy.RootPrefix();
+  for (int round = 0; round < spec.num_workflows() + 1; ++round) {
+    PAW_ASSIGN_OR_RETURN(SpecView view,
+                         ExpandPrefix(spec, hierarchy, prefix));
+    // Find an uncovered term.
+    std::string uncovered;
+    for (const std::string& term : terms) {
+      if (MatchingModules(spec, view, term).empty()) {
+        uncovered = term;
+        break;
+      }
+    }
+    if (uncovered.empty()) return prefix;
+    // Expand the shallowest admissible workflow containing a module that
+    // covers the term.
+    WorkflowId best;
+    int best_depth = 1 << 30;
+    for (const Module& m : spec.modules()) {
+      if (!ModuleCovers(m, uncovered)) continue;
+      WorkflowId w = m.workflow;
+      if (prefix.count(w)) continue;  // already expanded; placeholder issue
+      // Admissibility of the whole ancestor chain.
+      Prefix closed = hierarchy.Close({w});
+      if (!PrefixAdmissible(spec, closed, level)) continue;
+      if (hierarchy.Depth(w) < best_depth) {
+        best_depth = hierarchy.Depth(w);
+        best = w;
+      }
+    }
+    if (!best.valid()) {
+      return Status::NotFound("term '" + uncovered +
+                              "' cannot be covered at this access level");
+    }
+    Prefix closed = hierarchy.Close({best});
+    prefix.insert(closed.begin(), closed.end());
+  }
+  return Status::Internal("greedy cover failed to converge");
+}
+
+Result<std::vector<KeywordAnswer>> KeywordSearch(
+    const Repository& repo, const InvertedIndex* index,
+    const TfIdfScorer* scorer, const std::vector<std::string>& terms,
+    AccessLevel level, const KeywordSearchOptions& options) {
+  std::vector<int> candidates;
+  if (options.use_index && index != nullptr) {
+    candidates = index->CandidateSpecs(terms, level);
+  } else {
+    for (int s = 0; s < repo.num_specs(); ++s) candidates.push_back(s);
+  }
+
+  std::vector<KeywordAnswer> answers;
+  for (int s : candidates) {
+    const SpecEntry& entry = repo.entry(s);
+    auto minimal =
+        MinimalCoveringPrefixes(entry.spec, entry.hierarchy, terms, level,
+                                options.max_enumerated_prefixes);
+    if (!minimal.ok()) continue;  // spec not coverable at this level
+    for (const Prefix& p : minimal.value()) {
+      PAW_ASSIGN_OR_RETURN(SpecView view,
+                           ExpandPrefix(entry.spec, entry.hierarchy, p));
+      KeywordAnswer answer;
+      answer.spec_id = s;
+      answer.prefix = p;
+      answer.view_size = static_cast<int>(view.num_visible());
+      for (const std::string& term : terms) {
+        for (ModuleId m : MatchingModules(entry.spec, view, term)) {
+          if (std::find(answer.matched.begin(), answer.matched.end(), m) ==
+              answer.matched.end()) {
+            answer.matched.push_back(m);
+          }
+        }
+      }
+      if (answer.matched.empty()) continue;
+      answer.score = scorer != nullptr
+                         ? scorer->ScoreAnswer(entry.spec, answer.matched,
+                                               terms)
+                         : static_cast<double>(answer.matched.size());
+      answers.push_back(std::move(answer));
+    }
+  }
+  std::sort(answers.begin(), answers.end(),
+            [](const KeywordAnswer& a, const KeywordAnswer& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.view_size != b.view_size) {
+                return a.view_size < b.view_size;
+              }
+              return a.spec_id < b.spec_id;
+            });
+  if (static_cast<int>(answers.size()) > options.max_results) {
+    answers.resize(static_cast<size_t>(options.max_results));
+  }
+  return answers;
+}
+
+}  // namespace paw

@@ -1,0 +1,97 @@
+#include "src/query/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace paw {
+
+double TfIdfScorer::Idf(const std::string& token) const {
+  if (index_ == nullptr) return 1.0;
+  double n = index_->num_docs();
+  double df = index_->DocumentFrequency(token);
+  return std::log(1.0 + n / (1.0 + df));
+}
+
+double TfIdfScorer::ScoreModule(const Specification& spec, ModuleId m,
+                                const std::string& term) const {
+  const Module& mod = spec.module(m);
+  std::vector<std::string> bag = Tokenize(mod.name);
+  for (const std::string& k : mod.keywords) {
+    for (const std::string& t : Tokenize(k)) bag.push_back(t);
+  }
+  double score = 0;
+  for (const std::string& token : Tokenize(term)) {
+    int tf = static_cast<int>(std::count(bag.begin(), bag.end(), token));
+    if (tf > 0) score += (1.0 + std::log(static_cast<double>(tf))) *
+                         Idf(token);
+  }
+  return score;
+}
+
+double TfIdfScorer::ScoreAnswer(const Specification& spec,
+                                const std::vector<ModuleId>& visible,
+                                const std::vector<std::string>& terms) const {
+  double total = 0;
+  for (const std::string& term : terms) {
+    double best = 0;
+    for (ModuleId m : visible) {
+      best = std::max(best, ScoreModule(spec, m, term));
+    }
+    total += best;
+  }
+  return total;
+}
+
+std::vector<double> BucketizeScores(const std::vector<double>& scores,
+                                    double width) {
+  if (width <= 0) return scores;
+  std::vector<double> out;
+  out.reserve(scores.size());
+  for (double s : scores) {
+    out.push_back(std::floor(s / width) * width);
+  }
+  return out;
+}
+
+int DistinguishableClasses(const std::vector<double>& scores) {
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return static_cast<int>(sorted.size());
+}
+
+double KendallTau(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 1.0;
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  int64_t ties_a = 0;
+  int64_t ties_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double da = a[i] - a[j];
+      double db = b[i] - b[j];
+      if (da == 0 && db == 0) continue;
+      if (da == 0) {
+        ++ties_a;
+      } else if (db == 0) {
+        ++ties_b;
+      } else if ((da > 0) == (db > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  double denom = std::sqrt(static_cast<double>(concordant + discordant +
+                                               ties_a)) *
+                 std::sqrt(static_cast<double>(concordant + discordant +
+                                               ties_b));
+  if (denom == 0) return 1.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+}  // namespace paw

@@ -1,0 +1,65 @@
+#ifndef PAW_QUERY_RANKING_H_
+#define PAW_QUERY_RANKING_H_
+
+/// \file ranking.h
+/// \brief TF-IDF ranking and its privacy-aware variant (paper Sec. 4,
+/// "Impact of Ranking on Privacy Preservation").
+///
+/// The paper observes that exact TF-IDF scores leak term-frequency
+/// information about values a user is not allowed to see, and that random
+/// noise would ruin provenance reproducibility. The privacy-aware variant
+/// here is *deterministic score bucketing*: scores are quantized so that
+/// at most `ceil(range/width)` frequency classes remain distinguishable.
+/// Experiment E6 sweeps the bucket width to chart the ranking-quality /
+/// leakage trade-off.
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/index/inverted_index.h"
+#include "src/repo/repository.h"
+
+namespace paw {
+
+/// \brief TF-IDF scorer over a repository.
+class TfIdfScorer {
+ public:
+  /// \brief Prepares document frequencies from `index`.
+  void Build(const InvertedIndex& index) { index_ = &index; }
+
+  /// \brief idf(token) = ln(1 + N / (1 + df)).
+  double Idf(const std::string& token) const;
+
+  /// \brief Score of a module for a term: sum over the term's tokens of
+  /// tf(token, module) * idf(token).
+  double ScoreModule(const Specification& spec, ModuleId m,
+                     const std::string& term) const;
+
+  /// \brief Score of an answer showing `visible` modules for `terms`:
+  /// for each term, the best visible module's score.
+  double ScoreAnswer(const Specification& spec,
+                     const std::vector<ModuleId>& visible,
+                     const std::vector<std::string>& terms) const;
+
+ private:
+  const InvertedIndex* index_ = nullptr;
+};
+
+/// \brief Quantizes each score down to a multiple of `width` (width <= 0
+/// returns the input unchanged).
+std::vector<double> BucketizeScores(const std::vector<double>& scores,
+                                    double width);
+
+/// \brief Number of distinct values in `scores` — the count of frequency
+/// classes an adversary can distinguish (the leakage proxy of E6).
+int DistinguishableClasses(const std::vector<double>& scores);
+
+/// \brief Kendall tau-b correlation between two score vectors' induced
+/// rankings, in [-1, 1]; ties handled by tau-b normalization. Returns 1
+/// for fewer than two items or all-tied inputs.
+double KendallTau(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace paw
+
+#endif  // PAW_QUERY_RANKING_H_

@@ -1,0 +1,142 @@
+#include "src/query/structural_query.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/common/strings.h"
+#include "src/graph/transitive.h"
+
+namespace paw {
+namespace {
+
+Status CheckPattern(const StructuralPattern& pattern) {
+  if (pattern.vars.empty()) {
+    return Status::InvalidArgument("pattern needs >= 1 variable");
+  }
+  const int n = static_cast<int>(pattern.vars.size());
+  for (const PatternEdge& e : pattern.edges) {
+    if (e.from_var < 0 || e.from_var >= n || e.to_var < 0 || e.to_var >= n) {
+      return Status::InvalidArgument("pattern edge variable out of range");
+    }
+    if (e.from_var == e.to_var) {
+      return Status::InvalidArgument("pattern edge must join distinct vars");
+    }
+  }
+  return Status::OK();
+}
+
+bool ModuleMatches(const Module& m, const std::string& term) {
+  if (term.empty()) return true;
+  std::vector<std::string> bag = Tokenize(m.name);
+  for (const std::string& k : m.keywords) {
+    for (const std::string& t : Tokenize(k)) bag.push_back(t);
+  }
+  return TokensContainPhrase(bag, term);
+}
+
+/// Generic backtracking matcher over a digraph with per-variable
+/// candidate lists and a reachability oracle.
+template <typename EmitFn>
+void Backtrack(const Digraph& g, const TransitiveClosure& tc,
+               const std::vector<std::vector<NodeIndex>>& candidates,
+               const std::vector<PatternEdge>& edges, EmitFn emit) {
+  const size_t n = candidates.size();
+  std::vector<NodeIndex> binding(n, -1);
+
+  std::function<void(size_t)> recurse = [&](size_t var) {
+    if (var == n) {
+      emit(binding);
+      return;
+    }
+    for (NodeIndex cand : candidates[var]) {
+      // Distinctness: a module/activation binds at most one variable.
+      bool used = false;
+      for (size_t i = 0; i < var; ++i) {
+        if (binding[i] == cand) {
+          used = true;
+          break;
+        }
+      }
+      if (used) continue;
+      binding[var] = cand;
+      bool ok = true;
+      for (const PatternEdge& e : edges) {
+        size_t a = static_cast<size_t>(e.from_var);
+        size_t b = static_cast<size_t>(e.to_var);
+        if (a > var || b > var) continue;  // not yet bound
+        if (binding[a] < 0 || binding[b] < 0) continue;
+        bool satisfied = e.transitive
+                             ? tc.Reaches(binding[a], binding[b])
+                             : g.HasEdge(binding[a], binding[b]);
+        if (!satisfied) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) recurse(var + 1);
+      binding[var] = -1;
+    }
+  };
+  recurse(0);
+}
+
+}  // namespace
+
+Result<std::vector<PatternMatch>> MatchPattern(
+    const SpecView& view, const StructuralPattern& pattern) {
+  PAW_RETURN_NOT_OK(CheckPattern(pattern));
+  const Specification& spec = view.spec();
+  std::vector<std::vector<NodeIndex>> candidates(pattern.vars.size());
+  for (size_t v = 0; v < pattern.vars.size(); ++v) {
+    for (NodeIndex i = 0; i < view.num_visible(); ++i) {
+      if (ModuleMatches(spec.module(view.visible(i)),
+                        pattern.vars[v].term)) {
+        candidates[v].push_back(i);
+      }
+    }
+  }
+  TransitiveClosure tc = TransitiveClosure::Compute(view.graph());
+  std::vector<PatternMatch> matches;
+  Backtrack(view.graph(), tc, candidates, pattern.edges,
+            [&](const std::vector<NodeIndex>& binding) {
+              PatternMatch match;
+              for (NodeIndex i : binding) {
+                match.binding.push_back(view.visible(i));
+              }
+              matches.push_back(std::move(match));
+            });
+  return matches;
+}
+
+Result<std::vector<ExecutionMatch>> MatchExecution(
+    const Execution& exec, const StructuralPattern& pattern,
+    const std::function<bool(ModuleId)>& module_visible) {
+  PAW_RETURN_NOT_OK(CheckPattern(pattern));
+  const Specification& spec = exec.spec();
+  std::vector<std::vector<NodeIndex>> candidates(pattern.vars.size());
+  for (size_t v = 0; v < pattern.vars.size(); ++v) {
+    for (const ExecNode& n : exec.nodes()) {
+      // Activations only: atomic nodes and composite begin nodes.
+      if (n.kind != ExecNodeKind::kAtomic && n.kind != ExecNodeKind::kBegin) {
+        continue;
+      }
+      if (module_visible && !module_visible(n.module)) continue;
+      if (ModuleMatches(spec.module(n.module), pattern.vars[v].term)) {
+        candidates[v].push_back(n.id.value());
+      }
+    }
+  }
+  TransitiveClosure tc = TransitiveClosure::Compute(exec.graph());
+  std::vector<ExecutionMatch> matches;
+  Backtrack(exec.graph(), tc, candidates, pattern.edges,
+            [&](const std::vector<NodeIndex>& binding) {
+              ExecutionMatch match;
+              for (NodeIndex i : binding) {
+                match.binding.push_back(ExecNodeId(i));
+              }
+              matches.push_back(std::move(match));
+            });
+  return matches;
+}
+
+}  // namespace paw

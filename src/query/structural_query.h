@@ -1,0 +1,70 @@
+#ifndef PAW_QUERY_STRUCTURAL_QUERY_H_
+#define PAW_QUERY_STRUCTURAL_QUERY_H_
+
+/// \file structural_query.h
+/// \brief Conjunctive structural patterns over views and executions
+/// (paper Sec. 4; BP-QL-flavoured, ref [1]).
+///
+/// A pattern binds variables to modules via keyword predicates and
+/// constrains pairs of variables with either a direct dataflow edge or a
+/// transitive path ("find executions where Expand SNP Set was executed
+/// before Query OMIM"). Evaluation is backtracking search over candidate
+/// nodes with reachability probes.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/provenance/execution.h"
+#include "src/workflow/view.h"
+
+namespace paw {
+
+/// \brief One pattern variable: matches modules whose token bag contains
+/// every token of `term` (empty term matches anything).
+struct NodePredicate {
+  std::string term;
+};
+
+/// \brief A binary constraint between two pattern variables.
+struct PatternEdge {
+  int from_var = 0;
+  int to_var = 0;
+  /// false: direct edge required; true: any non-empty path.
+  bool transitive = true;
+};
+
+/// \brief A conjunctive structural pattern.
+struct StructuralPattern {
+  std::vector<NodePredicate> vars;
+  std::vector<PatternEdge> edges;
+};
+
+/// \brief One match: a module per pattern variable.
+struct PatternMatch {
+  std::vector<ModuleId> binding;
+};
+
+/// \brief Matches `pattern` against the visible graph of a view.
+Result<std::vector<PatternMatch>> MatchPattern(
+    const SpecView& view, const StructuralPattern& pattern);
+
+/// \brief One match against an execution: an activation per variable.
+struct ExecutionMatch {
+  std::vector<ExecNodeId> binding;
+};
+
+/// \brief Matches `pattern` against the activations of an execution
+/// (atomic nodes and composite begin nodes).
+///
+/// `module_visible`, when set, restricts candidates to modules it
+/// accepts — the hook the engine uses to confine matching to a
+/// principal's access view.
+Result<std::vector<ExecutionMatch>> MatchExecution(
+    const Execution& exec, const StructuralPattern& pattern,
+    const std::function<bool(ModuleId)>& module_visible = nullptr);
+
+}  // namespace paw
+
+#endif  // PAW_QUERY_STRUCTURAL_QUERY_H_

@@ -1,0 +1,68 @@
+#ifndef PAW_QUERY_ZOOM_OUT_H_
+#define PAW_QUERY_ZOOM_OUT_H_
+
+/// \file zoom_out.h
+/// \brief Zoom-out evaluation: coarsen an answer until it is
+/// policy-compliant (paper Sec. 4, "gradually 'zoom-out' the view by
+/// hiding details of composite modules and sensitive data, until privacy
+/// is achieved").
+///
+/// Two enforcement passes:
+///  1. *Level zoom-out*: remove from the answer prefix every workflow the
+///     observer may not expand (deepest first), re-expanding after each
+///     step.
+///  2. *Structural zoom-out*: while a protected reachability fact is
+///     still visible in the collapsed execution view, zoom out the
+///     deepest workflow on the witness path's activations.
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/privacy/policy.h"
+#include "src/provenance/exec_view.h"
+#include "src/provenance/execution.h"
+#include "src/workflow/view.h"
+
+namespace paw {
+
+/// \brief A coarsened specification view plus audit trail.
+struct ZoomOutResult {
+  Prefix final_prefix;
+  int steps = 0;
+  SpecView view;
+};
+
+/// \brief Coarsens `initial` until every member workflow is within
+/// `level`; returns the re-expanded view.
+Result<ZoomOutResult> ZoomOutToLevel(const Specification& spec,
+                                     const ExpansionHierarchy& hierarchy,
+                                     const Prefix& initial,
+                                     AccessLevel level);
+
+/// \brief A coarsened execution view plus audit trail.
+struct ExecZoomOutResult {
+  Prefix final_prefix;
+  int steps = 0;
+  ExecView view;
+};
+
+/// \brief Coarsens an execution view until every structural requirement
+/// binding at `level` is hidden: the source and destination activations
+/// either share a collapsed node or have no visible path.
+///
+/// Starts from the access prefix for `level` and zooms out further if
+/// needed; gives up (PermissionDenied) only if even the root-level view
+/// leaks, which cannot happen for pairs inside one composite but can for
+/// root-level pairs — callers then fall back to edge deletion.
+Result<ExecZoomOutResult> ZoomOutExecution(
+    const Execution& exec, const ExpansionHierarchy& hierarchy,
+    const PolicySet& policy, AccessLevel level);
+
+/// \brief True iff the structural requirement `src ~> dst` is inferable
+/// from the collapsed view (helper shared with tests/benches).
+Result<bool> StructuralFactVisible(const ExecView& view,
+                                   ModuleId src, ModuleId dst);
+
+}  // namespace paw
+
+#endif  // PAW_QUERY_ZOOM_OUT_H_

@@ -1,0 +1,174 @@
+#include "src/repo/disease.h"
+
+#include "src/workflow/builder.h"
+
+namespace paw {
+
+Result<Specification> BuildDiseaseSpec() {
+  SpecBuilder b("disease susceptibility");
+  WorkflowId w1 = b.AddWorkflow("W1", "Personalized Disease Susceptibility",
+                                /*required_level=*/0);
+  WorkflowId w2 = b.AddWorkflow("W2", "Determine Genetic Susceptibility",
+                                /*required_level=*/1);
+  WorkflowId w3 = b.AddWorkflow("W3", "Evaluate Disorder Risk",
+                                /*required_level=*/1);
+  WorkflowId w4 = b.AddWorkflow("W4", "Consult External Databases",
+                                /*required_level=*/2);
+  PAW_RETURN_NOT_OK(b.SetRoot(w1));
+
+  // --- W1 (Fig. 1, outer dotted box) ---
+  ModuleId i = b.AddInput(w1);
+  ModuleId m1 = b.AddModule(w1, "M1", "Determine Genetic Susceptibility");
+  ModuleId m2 = b.AddModule(w1, "M2", "Evaluate Disorder Risk");
+  ModuleId o = b.AddOutput(w1);
+  PAW_RETURN_NOT_OK(b.MakeComposite(m1, w2));
+  PAW_RETURN_NOT_OK(b.MakeComposite(m2, w3));
+  PAW_RETURN_NOT_OK(b.Connect(i, m1, {"SNPs", "ethnicity"}));
+  PAW_RETURN_NOT_OK(
+      b.Connect(i, m2, {"lifestyle", "family history", "physical symptoms"}));
+  PAW_RETURN_NOT_OK(b.Connect(m1, m2, {"disorders"}));
+  PAW_RETURN_NOT_OK(b.Connect(m2, o, {"prognosis"}));
+
+  // --- W2 = tau(M1) ---
+  ModuleId m3 = b.AddModule(w2, "M3", "Expand SNP Set");
+  ModuleId m4 = b.AddModule(w2, "M4", "Consult External Databases");
+  PAW_RETURN_NOT_OK(b.MakeComposite(m4, w4));
+  PAW_RETURN_NOT_OK(b.Connect(m3, m4, {"SNPs"}));
+
+  // --- W4 = tau(M4) ---
+  ModuleId m5 = b.AddModule(w4, "M5", "Generate Database Queries");
+  ModuleId m6 = b.AddModule(w4, "M6", "Query OMIM");
+  ModuleId m7 = b.AddModule(w4, "M7", "Query PubMed");
+  ModuleId m8 = b.AddModule(w4, "M8", "Combine Disorder Sets");
+  PAW_RETURN_NOT_OK(b.Connect(m5, m6, {"query"}));
+  PAW_RETURN_NOT_OK(b.Connect(m5, m7, {"query"}));
+  PAW_RETURN_NOT_OK(b.Connect(m6, m8, {"disorders"}));
+  PAW_RETURN_NOT_OK(b.Connect(m7, m8, {"disorders"}));
+
+  // --- W3 = tau(M2) ---
+  // Edge insertion order drives the executor's DFS and reproduces the
+  // Fig. 4 activation order M9, M12, M13, M14, M10, M11, M15.
+  ModuleId m9 = b.AddModule(w3, "M9", "Reformat");
+  ModuleId m10 = b.AddModule(w3, "M10", "Search Private Datasets");
+  ModuleId m11 = b.AddModule(w3, "M11", "Update Private Datasets");
+  ModuleId m12 = b.AddModule(w3, "M12", "Generate Queries");
+  ModuleId m13 = b.AddModule(w3, "M13", "Search PubMed Central");
+  ModuleId m14 = b.AddModule(w3, "M14", "Summarize Articles");
+  ModuleId m15 = b.AddModule(w3, "M15", "Combine");
+  PAW_RETURN_NOT_OK(b.AddKeywords(m15, {"notes", "summary"}));
+  PAW_RETURN_NOT_OK(b.Connect(m9, m12, {"notes"}));
+  PAW_RETURN_NOT_OK(b.Connect(m9, m10, {"notes"}));
+  PAW_RETURN_NOT_OK(b.Connect(m12, m13, {"query"}));
+  PAW_RETURN_NOT_OK(b.Connect(m13, m14, {"result"}));
+  PAW_RETURN_NOT_OK(b.Connect(m13, m11, {"result"}));
+  PAW_RETURN_NOT_OK(b.Connect(m14, m15, {"summary"}));
+  PAW_RETURN_NOT_OK(b.Connect(m10, m11, {"notes"}));
+  PAW_RETURN_NOT_OK(b.Connect(m11, m15, {"notes"}));
+
+  return std::move(b).Build();
+}
+
+FunctionRegistry BuildDiseaseFunctions() {
+  FunctionRegistry fns;
+  fns.Register("M1", [](const ValueMap&, const std::vector<std::string>&) {
+    return ValueMap{};  // composite; never called
+  });
+  fns.Register("M3",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{
+                     {"SNPs", "expanded(" + in.at("SNPs") + ")"}};
+               });
+  fns.Register("M5",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{{"query", "q[" + in.at("SNPs") + "]"}};
+               });
+  fns.Register("M6",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{
+                     {"disorders", "omim{" + in.at("query") + "}"}};
+               });
+  fns.Register("M7",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{
+                     {"disorders", "pubmed{" + in.at("query") + "}"}};
+               });
+  fns.Register("M8",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{
+                     {"disorders", "combined{" + in.at("disorders") + "}"}};
+               });
+  fns.Register("M9",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{
+                     {"notes", "notes{" + in.at("disorders") + "}"}};
+               });
+  fns.Register("M12",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{{"query", "lit-q{" + in.at("notes") + "}"}};
+               });
+  fns.Register("M13",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{
+                     {"result", "pmc{" + in.at("query") + "}"}};
+               });
+  fns.Register("M14",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{
+                     {"summary", "summary{" + in.at("result") + "}"}};
+               });
+  fns.Register("M10",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{
+                     {"notes", "private{" + in.at("notes") + "}"}};
+               });
+  fns.Register("M11",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{
+                     {"notes", "updated{" + in.at("notes") + "}"}};
+               });
+  fns.Register("M15",
+               [](const ValueMap& in, const std::vector<std::string>&) {
+                 return ValueMap{{"prognosis", "risk{" + in.at("summary") +
+                                                   "+" + in.at("notes") +
+                                                   "}"}};
+               });
+  return fns;
+}
+
+ValueMap DiseaseInputs() {
+  return ValueMap{{"SNPs", "rs429358,rs7412"},
+                  {"ethnicity", "ceu"},
+                  {"lifestyle", "nonsmoker"},
+                  {"family history", "cad"},
+                  {"physical symptoms", "fatigue"}};
+}
+
+PolicySet DiseasePolicy() {
+  PolicySet policy;
+  // Data privacy (Sec. 3): genetic inputs and inferred disorders are
+  // highly sensitive; literature queries are public.
+  policy.data.label_level = {
+      {"SNPs", 2},           {"ethnicity", 1},
+      {"lifestyle", 1},      {"family history", 2},
+      {"physical symptoms", 1}, {"disorders", 2},
+      {"prognosis", 2},      {"notes", 1},
+      {"result", 0},         {"summary", 0},
+      {"query", 0},
+  };
+  // Module privacy: M1's genetic-susceptibility mapping must stay
+  // 4-ambiguous to everyone below level 2.
+  policy.module_reqs.push_back(
+      ModulePrivacyRequirement{"M1", /*gamma=*/4, /*required_level=*/2});
+  // Structural privacy: that PubMed Central results (M13) update the
+  // private DB (M11) must be hidden below level 2.
+  policy.structural_reqs.push_back(
+      StructuralPrivacyRequirement{"M13", "M11", /*required_level=*/2});
+  return policy;
+}
+
+Result<Execution> RunDiseaseExecution(const Specification& spec) {
+  FunctionRegistry fns = BuildDiseaseFunctions();
+  return Execute(spec, fns, DiseaseInputs());
+}
+
+}  // namespace paw

@@ -1,0 +1,52 @@
+#ifndef PAW_REPO_DISEASE_H_
+#define PAW_REPO_DISEASE_H_
+
+/// \file disease.h
+/// \brief The paper's running example: the personalized disease
+/// susceptibility workflow of Fig. 1, its canonical execution (Fig. 4),
+/// and the privacy policy discussed in Sec. 3.
+///
+/// Reconstruction (see DESIGN.md for the full argument):
+///
+///   W1 (root):  I -> M1 -> M2 -> O, plus I -> M2
+///   W2 = expansion of M1 "Determine Genetic Susceptibility":
+///        M3 "Expand SNP Set" -> M4 "Consult External Databases"
+///   W4 = expansion of M4: M5 "Generate Database Queries" -> {M6 "Query
+///        OMIM", M7 "Query PubMed"} -> M8 "Combine Disorder Sets"
+///   W3 = expansion of M2 "Evaluate Disorder Risk":
+///        M9 "Reformat" -> {M12 "Generate Queries" -> M13 "Search PubMed
+///        Central" -> M14 "Summarize Articles", M10 "Search Private
+///        Datasets"}; M13 -> M11 "Update Private Datasets"; M10 -> M11;
+///        {M14, M11} -> M15 "Combine"
+///
+/// Under the library's deterministic executor this yields exactly the
+/// process ids S1..S15 and data items d0..d19 of Fig. 4.
+
+#include "src/common/status.h"
+#include "src/privacy/policy.h"
+#include "src/provenance/executor.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief Builds the Fig. 1 specification (validated).
+Result<Specification> BuildDiseaseSpec();
+
+/// \brief Simulated module functions with readable values ("d5" becomes
+/// an expanded SNP list, "prognosis" a risk estimate, ...).
+FunctionRegistry BuildDiseaseFunctions();
+
+/// \brief The canonical patient inputs used by Fig. 4.
+ValueMap DiseaseInputs();
+
+/// \brief The Sec. 3 privacy policy: genetic data is sensitive (levels on
+/// "disorders", "SNPs", ...), M1 requires module privacy, and the
+/// M13 ~> M11 structural fact must be hidden from low-privilege users.
+PolicySet DiseasePolicy();
+
+/// \brief Runs the canonical execution (Fig. 4).
+Result<Execution> RunDiseaseExecution(const Specification& spec);
+
+}  // namespace paw
+
+#endif  // PAW_REPO_DISEASE_H_

@@ -1,0 +1,84 @@
+#include "src/repo/repository.h"
+
+#include "src/workflow/validate.h"
+
+namespace paw {
+
+Result<int> Repository::AddSpecification(Specification spec,
+                                         PolicySet policy) {
+  PAW_RETURN_NOT_OK(ValidateSpecification(spec));
+  PAW_RETURN_NOT_OK(ValidatePolicy(spec, policy));
+  auto entry = std::make_unique<SpecEntry>();
+  entry->id = static_cast<int>(specs_.size());
+  entry->spec = std::move(spec);
+  entry->hierarchy = ExpansionHierarchy::Build(entry->spec);
+  entry->policy = std::move(policy);
+  specs_.push_back(std::move(entry));
+  return specs_.back()->id;
+}
+
+Result<ExecutionId> Repository::AddExecution(int spec_id, Execution exec) {
+  if (spec_id < 0 || spec_id >= num_specs()) {
+    return Status::NotFound("unknown spec id");
+  }
+  if (&exec.spec() != &specs_[static_cast<size_t>(spec_id)]->spec) {
+    return Status::InvalidArgument(
+        "execution does not belong to the given specification");
+  }
+  auto entry = std::make_unique<ExecutionEntry>(ExecutionEntry{
+      ExecutionId(static_cast<int32_t>(execs_.size())), spec_id,
+      std::move(exec)});
+  execs_.push_back(std::move(entry));
+  return execs_.back()->id;
+}
+
+Result<int> Repository::FindSpec(std::string_view name) const {
+  for (const auto& e : specs_) {
+    if (e->spec.name() == name) return e->id;
+  }
+  return Status::NotFound("no spec named '" + std::string(name) + "'");
+}
+
+std::vector<ExecutionId> Repository::ExecutionsOf(int spec_id) const {
+  std::vector<ExecutionId> out;
+  for (const auto& e : execs_) {
+    if (e->spec_id == spec_id) out.push_back(e->id);
+  }
+  return out;
+}
+
+int64_t Repository::ApproxBytes() const {
+  int64_t total = 0;
+  for (const auto& e : specs_) {
+    total += static_cast<int64_t>(sizeof(SpecEntry));
+    for (const Module& m : e->spec.modules()) {
+      total += static_cast<int64_t>(sizeof(Module) + m.code.size() +
+                                    m.name.size());
+      for (const auto& k : m.keywords) {
+        total += static_cast<int64_t>(k.size());
+      }
+    }
+    for (const Workflow& w : e->spec.workflows()) {
+      total += static_cast<int64_t>(sizeof(Workflow) + w.code.size() +
+                                    w.name.size());
+      for (const DataflowEdge& edge : w.edges) {
+        total += static_cast<int64_t>(sizeof(DataflowEdge));
+        for (const auto& l : edge.labels) {
+          total += static_cast<int64_t>(l.size());
+        }
+      }
+    }
+  }
+  for (const auto& e : execs_) {
+    total += static_cast<int64_t>(sizeof(ExecutionEntry));
+    total += static_cast<int64_t>(e->exec.num_nodes()) *
+             static_cast<int64_t>(sizeof(ExecNode));
+    for (const DataItem& d : e->exec.items()) {
+      total += static_cast<int64_t>(sizeof(DataItem) + d.label.size() +
+                                    d.value.size());
+    }
+  }
+  return total;
+}
+
+}  // namespace paw

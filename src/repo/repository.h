@@ -1,0 +1,77 @@
+#ifndef PAW_REPO_REPOSITORY_H_
+#define PAW_REPO_REPOSITORY_H_
+
+/// \file repository.h
+/// \brief The provenance-aware workflow repository (paper Sec. 1).
+///
+/// Stores workflow specifications (with their expansion hierarchies and
+/// privacy policies) and provenance graphs of their executions. Address
+/// stability: entries live behind unique_ptr, so views and executions may
+/// hold pointers to their specifications across insertions.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/privacy/policy.h"
+#include "src/provenance/execution.h"
+#include "src/workflow/hierarchy.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief A stored specification with its derived hierarchy and policy.
+struct SpecEntry {
+  int id = -1;
+  Specification spec;
+  ExpansionHierarchy hierarchy;
+  PolicySet policy;
+};
+
+/// \brief A stored execution.
+struct ExecutionEntry {
+  ExecutionId id;
+  int spec_id = -1;
+  Execution exec;
+};
+
+/// \brief In-memory repository of specifications and executions.
+class Repository {
+ public:
+  /// \brief Stores a specification (with optional policy); returns its id.
+  Result<int> AddSpecification(Specification spec, PolicySet policy = {});
+
+  /// \brief Stores an execution of spec `spec_id`.
+  Result<ExecutionId> AddExecution(int spec_id, Execution exec);
+
+  int num_specs() const { return static_cast<int>(specs_.size()); }
+  int num_executions() const { return static_cast<int>(execs_.size()); }
+
+  /// \brief Entry accessor; id must be in range.
+  const SpecEntry& entry(int id) const {
+    return *specs_[static_cast<size_t>(id)];
+  }
+
+  /// \brief Execution accessor; id must be in range.
+  const ExecutionEntry& execution(ExecutionId id) const {
+    return *execs_[static_cast<size_t>(id.value())];
+  }
+
+  /// \brief Entry lookup by specification name.
+  Result<int> FindSpec(std::string_view name) const;
+
+  /// \brief Executions of one specification.
+  std::vector<ExecutionId> ExecutionsOf(int spec_id) const;
+
+  /// \brief Rough memory footprint in bytes (for the E5 space accounting).
+  int64_t ApproxBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<SpecEntry>> specs_;
+  std::vector<std::unique_ptr<ExecutionEntry>> execs_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_REPO_REPOSITORY_H_

@@ -1,0 +1,160 @@
+#include "src/repo/workload.h"
+
+#include "src/common/logging.h"
+#include "src/provenance/executor.h"
+#include "src/workflow/builder.h"
+
+namespace paw {
+namespace {
+
+/// Recursively emits one workflow level and its composite children.
+/// Returns nothing; modules/edges go through the builder.
+class SpecGen {
+ public:
+  SpecGen(const WorkloadParams& params, Rng* rng, SpecBuilder* builder)
+      : params_(params), rng_(rng), b_(builder) {}
+
+  void EmitRoot() {
+    WorkflowId w = b_->AddWorkflow("W0", "root", 0);
+    (void)b_->SetRoot(w);
+    ModuleId in = b_->AddInput(w);
+    std::vector<ModuleId> chain = EmitModules(w, /*depth=*/0);
+    ModuleId out = b_->AddOutput(w);
+    (void)b_->Connect(in, chain.front(), {NewLabel()});
+    ConnectChain(w, chain);
+    (void)b_->Connect(chain.back(), out, {NewLabel()});
+  }
+
+ private:
+  std::vector<ModuleId> EmitModules(WorkflowId w, int depth) {
+    std::vector<ModuleId> modules;
+    int count = std::max(2, params_.modules_per_workflow);
+    for (int i = 0; i < count; ++i) {
+      std::string code = "M" + std::to_string(next_module_++);
+      ModuleId m =
+          b_->AddModule(w, code, "Step " + code, KeywordsForModule());
+      modules.push_back(m);
+      if (depth < params_.depth && rng_->Bernoulli(params_.composite_prob)) {
+        WorkflowId sub = b_->AddWorkflow(
+            "W" + std::to_string(next_workflow_++),
+            "internals of " + code,
+            std::min(depth + 1, params_.max_level));
+        (void)b_->MakeComposite(m, sub);
+        std::vector<ModuleId> chain = EmitModules(sub, depth + 1);
+        ConnectChain(sub, chain);
+      }
+    }
+    return modules;
+  }
+
+  void ConnectChain(WorkflowId, const std::vector<ModuleId>& chain) {
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      (void)b_->Connect(chain[i], chain[i + 1], {NewLabel()});
+    }
+    // Extra forward skip edges (never breaking single entry/exit).
+    for (size_t i = 0; i + 2 < chain.size(); ++i) {
+      for (size_t j = i + 2; j < chain.size(); ++j) {
+        if (rng_->Bernoulli(params_.skip_prob)) {
+          (void)b_->Connect(chain[i], chain[j], {NewLabel()});
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> KeywordsForModule() {
+    std::vector<std::string> kws;
+    for (int k = 0; k < params_.keywords_per_module; ++k) {
+      size_t id = rng_->Zipf(static_cast<size_t>(params_.vocabulary),
+                             params_.zipf_skew);
+      kws.push_back("kw" + std::to_string(id));
+    }
+    return kws;
+  }
+
+  std::string NewLabel() { return "data" + std::to_string(next_label_++); }
+
+  const WorkloadParams& params_;
+  Rng* rng_;
+  SpecBuilder* b_;
+  int next_module_ = 1;
+  int next_workflow_ = 1;
+  int next_label_ = 0;
+};
+
+}  // namespace
+
+Result<Specification> GenerateSpec(const WorkloadParams& params, Rng* rng,
+                                   const std::string& name) {
+  SpecBuilder builder(name);
+  SpecGen gen(params, rng, &builder);
+  gen.EmitRoot();
+  return std::move(builder).Build();
+}
+
+Result<Execution> GenerateExecution(const Specification& spec, Rng* rng) {
+  // Bind every label leaving the root input node.
+  ValueMap inputs;
+  const Workflow& root = spec.workflow(spec.root());
+  for (ModuleId mid : root.modules) {
+    if (spec.module(mid).kind != ModuleKind::kInput) continue;
+    for (const DataflowEdge* e : spec.OutEdges(mid)) {
+      for (const std::string& label : e->labels) {
+        inputs[label] = "v" + std::to_string(rng->Uniform(1000));
+      }
+    }
+  }
+  FunctionRegistry fns;
+  return Execute(spec, fns, inputs);
+}
+
+std::vector<std::string> GenerateQuery(const WorkloadParams& params,
+                                       Rng* rng, int num_terms) {
+  std::vector<std::string> terms;
+  for (int i = 0; i < num_terms; ++i) {
+    size_t id = rng->Zipf(static_cast<size_t>(params.vocabulary),
+                          params.zipf_skew);
+    terms.push_back("kw" + std::to_string(id));
+  }
+  return terms;
+}
+
+Digraph RandomDag(Rng* rng, int n, double edge_prob) {
+  Digraph g(n);
+  for (NodeIndex i = 0; i < n; ++i) {
+    for (NodeIndex j = i + 1; j < n; ++j) {
+      if (rng->Bernoulli(edge_prob)) {
+        Status st = g.AddEdge(i, j);
+        PAW_CHECK(st.ok()) << st.ToString();
+      }
+    }
+  }
+  return g;
+}
+
+Digraph RandomLayeredDag(Rng* rng, int layers, int width, double edge_prob) {
+  Digraph g(layers * width);
+  auto node = [width](int layer, int i) {
+    return static_cast<NodeIndex>(layer * width + i);
+  };
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int j = 0; j < width; ++j) {
+      bool any = false;
+      for (int i = 0; i < width; ++i) {
+        if (rng->Bernoulli(edge_prob)) {
+          Status st = g.AddEdge(node(l, i), node(l + 1, j));
+          PAW_CHECK(st.ok()) << st.ToString();
+          any = true;
+        }
+      }
+      if (!any) {
+        // Guarantee connectivity into the next layer.
+        NodeIndex src = node(l, static_cast<int>(rng->Uniform(width)));
+        Status st = g.AddEdge(src, node(l + 1, j));
+        PAW_CHECK(st.ok()) << st.ToString();
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace paw

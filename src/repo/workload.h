@@ -1,0 +1,66 @@
+#ifndef PAW_REPO_WORKLOAD_H_
+#define PAW_REPO_WORKLOAD_H_
+
+/// \file workload.h
+/// \brief Synthetic workload generation for tests and benchmarks.
+///
+/// Substitutes for the workflow repositories the paper assumes (myGrid /
+/// life-science collections): seeded generators produce hierarchical
+/// specifications with chain-plus-skip dataflow (every non-root workflow
+/// keeps a unique entry and exit so the executor's procedure-call
+/// semantics apply), Zipf-distributed keywords, depth-based access levels,
+/// plus random DAGs for the structural-privacy experiments.
+
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+#include "src/provenance/execution.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief Knobs of the specification generator.
+struct WorkloadParams {
+  /// Maximum expansion-hierarchy depth below the root.
+  int depth = 2;
+  /// Modules per workflow level (>= 2).
+  int modules_per_workflow = 5;
+  /// Probability that an eligible module becomes composite.
+  double composite_prob = 0.35;
+  /// Probability of each possible extra forward (skip) edge.
+  double skip_prob = 0.2;
+  /// Keyword vocabulary size ("kw0".."kwN-1").
+  int vocabulary = 50;
+  /// Zipf skew of keyword assignment (0 = uniform).
+  double zipf_skew = 1.1;
+  /// Keywords per module.
+  int keywords_per_module = 2;
+  /// Workflows at depth d get required_level min(d, max_level).
+  int max_level = 3;
+};
+
+/// \brief Generates a random specification named `name`.
+Result<Specification> GenerateSpec(const WorkloadParams& params, Rng* rng,
+                                   const std::string& name);
+
+/// \brief Runs a generated spec on random inputs with default functions.
+Result<Execution> GenerateExecution(const Specification& spec, Rng* rng);
+
+/// \brief A random keyword query of `num_terms` Zipf-drawn terms.
+std::vector<std::string> GenerateQuery(const WorkloadParams& params,
+                                       Rng* rng, int num_terms);
+
+/// \brief Random DAG with `n` nodes; each forward pair (i, j) becomes an
+/// edge with probability `edge_prob` (workload for E2/E3).
+Digraph RandomDag(Rng* rng, int n, double edge_prob);
+
+/// \brief Layered random DAG (`layers` x `width`), denser and deeper than
+/// `RandomDag`; every node in layer l+1 gets >= 1 predecessor in layer l.
+Digraph RandomLayeredDag(Rng* rng, int layers, int width, double edge_prob);
+
+}  // namespace paw
+
+#endif  // PAW_REPO_WORKLOAD_H_

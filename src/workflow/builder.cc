@@ -1,0 +1,133 @@
+#include "src/workflow/builder.h"
+
+#include "src/common/strings.h"
+#include "src/workflow/validate.h"
+
+namespace paw {
+
+SpecBuilder::SpecBuilder(std::string name) { spec_.name_ = std::move(name); }
+
+WorkflowId SpecBuilder::AddWorkflow(std::string code, std::string name,
+                                    AccessLevel required_level) {
+  WorkflowId id(static_cast<int32_t>(spec_.workflows_.size()));
+  Workflow w;
+  w.id = id;
+  w.code = std::move(code);
+  w.name = std::move(name);
+  w.required_level = required_level;
+  spec_.workflows_.push_back(std::move(w));
+  if (!spec_.root_.valid()) spec_.root_ = id;
+  return id;
+}
+
+Status SpecBuilder::SetRoot(WorkflowId w) {
+  if (w.value() < 0 ||
+      w.value() >= static_cast<int32_t>(spec_.workflows_.size())) {
+    return Status::InvalidArgument("SetRoot: unknown workflow");
+  }
+  spec_.root_ = w;
+  return Status::OK();
+}
+
+ModuleId SpecBuilder::AddModule(WorkflowId w, std::string code,
+                                std::string name,
+                                std::vector<std::string> keywords) {
+  ModuleId id(static_cast<int32_t>(spec_.modules_.size()));
+  Module m;
+  m.id = id;
+  m.code = std::move(code);
+  m.name = std::move(name);
+  m.kind = ModuleKind::kAtomic;
+  m.workflow = w;
+  m.keywords = keywords.empty() ? Tokenize(m.name) : std::move(keywords);
+  spec_.modules_.push_back(std::move(m));
+  if (w.value() >= 0 &&
+      w.value() < static_cast<int32_t>(spec_.workflows_.size())) {
+    spec_.workflows_[static_cast<size_t>(w.value())].modules.push_back(id);
+  } else {
+    deferred_errors_.push_back(
+        Status::InvalidArgument("AddModule: unknown workflow"));
+  }
+  return id;
+}
+
+ModuleId SpecBuilder::AddInput(WorkflowId w, std::string code) {
+  ModuleId id = AddModule(w, std::move(code), "Input", {"input"});
+  spec_.modules_[static_cast<size_t>(id.value())].kind = ModuleKind::kInput;
+  return id;
+}
+
+ModuleId SpecBuilder::AddOutput(WorkflowId w, std::string code) {
+  ModuleId id = AddModule(w, std::move(code), "Output", {"output"});
+  spec_.modules_[static_cast<size_t>(id.value())].kind = ModuleKind::kOutput;
+  return id;
+}
+
+Status SpecBuilder::MakeComposite(ModuleId m, WorkflowId expansion) {
+  if (m.value() < 0 ||
+      m.value() >= static_cast<int32_t>(spec_.modules_.size())) {
+    return Status::InvalidArgument("MakeComposite: unknown module");
+  }
+  if (expansion.value() < 0 ||
+      expansion.value() >= static_cast<int32_t>(spec_.workflows_.size())) {
+    return Status::InvalidArgument("MakeComposite: unknown workflow");
+  }
+  Module& mod = spec_.modules_[static_cast<size_t>(m.value())];
+  if (mod.kind == ModuleKind::kInput || mod.kind == ModuleKind::kOutput) {
+    return Status::InvalidArgument("I/O nodes cannot be composite");
+  }
+  mod.kind = ModuleKind::kComposite;
+  mod.expansion = expansion;
+  return Status::OK();
+}
+
+Status SpecBuilder::Connect(ModuleId src, ModuleId dst,
+                            std::vector<std::string> labels) {
+  auto bad = [&](const std::string& msg) {
+    Status st = Status::InvalidArgument(msg);
+    deferred_errors_.push_back(st);
+    return st;
+  };
+  if (src.value() < 0 ||
+      src.value() >= static_cast<int32_t>(spec_.modules_.size()) ||
+      dst.value() < 0 ||
+      dst.value() >= static_cast<int32_t>(spec_.modules_.size())) {
+    return bad("Connect: unknown module endpoint");
+  }
+  if (labels.empty()) return bad("Connect: edge must carry >= 1 label");
+  const Module& a = spec_.modules_[static_cast<size_t>(src.value())];
+  const Module& b = spec_.modules_[static_cast<size_t>(dst.value())];
+  if (a.workflow != b.workflow) {
+    return bad("Connect: endpoints in different workflows (" + a.code +
+               " vs " + b.code + ")");
+  }
+  Workflow& w = spec_.workflows_[static_cast<size_t>(a.workflow.value())];
+  for (const DataflowEdge& e : w.edges) {
+    if (e.src == src && e.dst == dst) {
+      return bad("Connect: duplicate edge " + a.code + "->" + b.code);
+    }
+  }
+  w.edges.push_back(DataflowEdge{src, dst, std::move(labels)});
+  return Status::OK();
+}
+
+Status SpecBuilder::AddKeywords(ModuleId m,
+                                const std::vector<std::string>& keywords) {
+  if (m.value() < 0 ||
+      m.value() >= static_cast<int32_t>(spec_.modules_.size())) {
+    return Status::InvalidArgument("AddKeywords: unknown module");
+  }
+  Module& mod = spec_.modules_[static_cast<size_t>(m.value())];
+  for (const std::string& k : keywords) {
+    mod.keywords.push_back(ToLowerAscii(k));
+  }
+  return Status::OK();
+}
+
+Result<Specification> SpecBuilder::Build() && {
+  if (!deferred_errors_.empty()) return deferred_errors_.front();
+  PAW_RETURN_NOT_OK(ValidateSpecification(spec_));
+  return std::move(spec_);
+}
+
+}  // namespace paw

@@ -1,0 +1,80 @@
+#ifndef PAW_WORKFLOW_BUILDER_H_
+#define PAW_WORKFLOW_BUILDER_H_
+
+/// \file builder.h
+/// \brief Fluent construction of validated workflow specifications.
+///
+/// Example (a two-level specification):
+/// \code
+///   SpecBuilder b("demo");
+///   WorkflowId w1 = b.AddWorkflow("W1", "top", /*required_level=*/0);
+///   ModuleId in = b.AddInput(w1);
+///   ModuleId m1 = b.AddModule(w1, "M1", "Align Reads");
+///   ModuleId out = b.AddOutput(w1);
+///   WorkflowId w2 = b.AddWorkflow("W2", "align internals", 1);
+///   b.MakeComposite(m1, w2);
+///   ModuleId m2 = b.AddModule(w2, "M2", "Trim");
+///   b.Connect(in, m1, {"reads"});
+///   b.Connect(m1, out, {"alignment"});
+///   Result<Specification> spec = std::move(b).Build();
+/// \endcode
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief Incrementally builds a `Specification`; `Build()` validates.
+class SpecBuilder {
+ public:
+  /// Creates a builder for a specification with the given name.
+  explicit SpecBuilder(std::string name);
+
+  /// \brief Adds a workflow level. The first workflow added becomes the
+  /// root unless `SetRoot` overrides it.
+  WorkflowId AddWorkflow(std::string code, std::string name = "",
+                         AccessLevel required_level = 0);
+
+  /// \brief Chooses the root workflow.
+  Status SetRoot(WorkflowId w);
+
+  /// \brief Adds an atomic module to `w`.
+  ///
+  /// `keywords` defaults to the word tokens of `name` when empty.
+  ModuleId AddModule(WorkflowId w, std::string code, std::string name,
+                     std::vector<std::string> keywords = {});
+
+  /// \brief Adds the distinguished input node (code "I").
+  ModuleId AddInput(WorkflowId w, std::string code = "I");
+
+  /// \brief Adds the distinguished output node (code "O").
+  ModuleId AddOutput(WorkflowId w, std::string code = "O");
+
+  /// \brief Declares `m` composite, defined by workflow `expansion`
+  /// (the tau edge of Fig. 1).
+  Status MakeComposite(ModuleId m, WorkflowId expansion);
+
+  /// \brief Adds dataflow edge `src -> dst` carrying `labels`.
+  ///
+  /// Both endpoints must belong to the same workflow; `labels` must be
+  /// non-empty.
+  Status Connect(ModuleId src, ModuleId dst, std::vector<std::string> labels);
+
+  /// \brief Appends extra search keywords to module `m`.
+  Status AddKeywords(ModuleId m, const std::vector<std::string>& keywords);
+
+  /// \brief Finishes construction. Runs `ValidateSpecification`; on error
+  /// the builder's partial state is discarded.
+  Result<Specification> Build() &&;
+
+ private:
+  Specification spec_;
+  std::vector<Status> deferred_errors_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_WORKFLOW_BUILDER_H_

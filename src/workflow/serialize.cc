@@ -1,0 +1,259 @@
+#include "src/workflow/serialize.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/workflow/builder.h"
+
+namespace paw {
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string JoinSemis(const std::vector<std::string>& parts) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ";";
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Splits a line into fields; double-quoted fields may contain spaces and
+/// escaped quotes. `key=value` stays one field.
+Result<std::vector<std::string>> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quote = false;
+  bool any = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quote) {
+      if (c == '\\' && i + 1 < line.size()) {
+        cur.push_back(line[++i]);
+      } else if (c == '"') {
+        in_quote = false;
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quote = true;
+      any = true;
+    } else if (c == ' ' || c == '\t') {
+      if (any || !cur.empty()) out.push_back(cur);
+      cur.clear();
+      any = false;
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quote) return Status::InvalidArgument("unterminated quote: " + line);
+  if (any || !cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Returns the value of `key=` within `field`, or empty if not matching.
+bool KeyValue(const std::string& field, std::string_view key,
+              std::string* value) {
+  if (field.size() > key.size() + 1 &&
+      field.compare(0, key.size(), key) == 0 && field[key.size()] == '=') {
+    *value = field.substr(key.size() + 1);
+    // Strip one layer of quotes if present (Fields already unquotes fully
+    // quoted fields, but key="v" keeps the quotes inside the field).
+    if (value->size() >= 2 && value->front() == '"' &&
+        value->back() == '"') {
+      *value = value->substr(1, value->size() - 2);
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Serialize(const Specification& spec) {
+  std::ostringstream os;
+  os << "spec " << Quote(spec.name()) << "\n";
+  for (const Workflow& w : spec.workflows()) {
+    os << "workflow " << w.code << " " << Quote(w.name)
+       << " level=" << w.required_level;
+    if (w.id == spec.root()) os << " root";
+    os << "\n";
+  }
+  for (const Workflow& w : spec.workflows()) {
+    for (ModuleId mid : w.modules) {
+      const Module& m = spec.module(mid);
+      os << "module " << m.code << " " << w.code << " "
+         << ModuleKindName(m.kind) << " " << Quote(m.name);
+      if (m.kind == ModuleKind::kComposite) {
+        os << " expands=" << spec.workflow(m.expansion).code;
+      }
+      if (!m.keywords.empty()) {
+        os << " keywords=" << Quote(JoinSemis(m.keywords));
+      }
+      os << "\n";
+    }
+  }
+  for (const Workflow& w : spec.workflows()) {
+    for (const DataflowEdge& e : w.edges) {
+      os << "edge " << spec.module(e.src).code << " "
+         << spec.module(e.dst).code << " labels="
+         << Quote(JoinSemis(e.labels)) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Result<Specification> ParseSpecification(const std::string& text) {
+  struct ModuleLine {
+    std::string code, wf, kind, name, expands;
+    std::vector<std::string> keywords;
+  };
+  struct EdgeLine {
+    std::string src, dst;
+    std::vector<std::string> labels;
+  };
+  std::string spec_name;
+  struct WorkflowLine {
+    std::string code, name;
+    AccessLevel level = 0;
+    bool root = false;
+  };
+  std::vector<WorkflowLine> wf_lines;
+  std::vector<ModuleLine> mod_lines;
+  std::vector<EdgeLine> edge_lines;
+
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string line(Trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    PAW_ASSIGN_OR_RETURN(std::vector<std::string> f, Fields(line));
+    if (f.empty()) continue;
+    const std::string& tag = f[0];
+    if (tag == "spec") {
+      if (f.size() < 2) return Status::InvalidArgument("spec: missing name");
+      spec_name = f[1];
+    } else if (tag == "workflow") {
+      if (f.size() < 3) {
+        return Status::InvalidArgument("workflow: need code and name");
+      }
+      WorkflowLine w;
+      w.code = f[1];
+      w.name = f[2];
+      for (size_t i = 3; i < f.size(); ++i) {
+        std::string v;
+        if (KeyValue(f[i], "level", &v)) {
+          w.level = std::atoi(v.c_str());
+        } else if (f[i] == "root") {
+          w.root = true;
+        } else {
+          return Status::InvalidArgument("workflow: bad field " + f[i]);
+        }
+      }
+      wf_lines.push_back(std::move(w));
+    } else if (tag == "module") {
+      if (f.size() < 5) {
+        return Status::InvalidArgument(
+            "module: need code, workflow, kind, name");
+      }
+      ModuleLine m;
+      m.code = f[1];
+      m.wf = f[2];
+      m.kind = f[3];
+      m.name = f[4];
+      for (size_t i = 5; i < f.size(); ++i) {
+        std::string v;
+        if (KeyValue(f[i], "expands", &v)) {
+          m.expands = v;
+        } else if (KeyValue(f[i], "keywords", &v)) {
+          m.keywords = Split(v, ';');
+        } else {
+          return Status::InvalidArgument("module: bad field " + f[i]);
+        }
+      }
+      mod_lines.push_back(std::move(m));
+    } else if (tag == "edge") {
+      if (f.size() < 4) {
+        return Status::InvalidArgument("edge: need src, dst, labels");
+      }
+      EdgeLine e;
+      e.src = f[1];
+      e.dst = f[2];
+      std::string v;
+      if (!KeyValue(f[3], "labels", &v)) {
+        return Status::InvalidArgument("edge: missing labels=");
+      }
+      e.labels = Split(v, ';');
+      edge_lines.push_back(std::move(e));
+    } else {
+      return Status::InvalidArgument("unknown directive: " + tag);
+    }
+  }
+
+  SpecBuilder builder(spec_name);
+  std::map<std::string, WorkflowId> wf_ids;
+  for (const auto& w : wf_lines) {
+    if (wf_ids.count(w.code)) {
+      return Status::InvalidArgument("duplicate workflow " + w.code);
+    }
+    wf_ids[w.code] = builder.AddWorkflow(w.code, w.name, w.level);
+  }
+  for (const auto& w : wf_lines) {
+    if (w.root) PAW_RETURN_NOT_OK(builder.SetRoot(wf_ids.at(w.code)));
+  }
+  std::map<std::string, ModuleId> mod_ids;
+  for (const auto& m : mod_lines) {
+    auto wit = wf_ids.find(m.wf);
+    if (wit == wf_ids.end()) {
+      return Status::InvalidArgument("module " + m.code +
+                                     ": unknown workflow " + m.wf);
+    }
+    if (mod_ids.count(m.code)) {
+      return Status::InvalidArgument("duplicate module " + m.code);
+    }
+    ModuleId id;
+    if (m.kind == "input") {
+      id = builder.AddInput(wit->second, m.code);
+    } else if (m.kind == "output") {
+      id = builder.AddOutput(wit->second, m.code);
+    } else if (m.kind == "atomic" || m.kind == "composite") {
+      id = builder.AddModule(wit->second, m.code, m.name, m.keywords);
+    } else {
+      return Status::InvalidArgument("module " + m.code + ": bad kind " +
+                                     m.kind);
+    }
+    mod_ids[m.code] = id;
+  }
+  for (const auto& m : mod_lines) {
+    if (m.kind == "composite") {
+      auto wit = wf_ids.find(m.expands);
+      if (wit == wf_ids.end()) {
+        return Status::InvalidArgument("module " + m.code +
+                                       ": unknown expansion " + m.expands);
+      }
+      PAW_RETURN_NOT_OK(builder.MakeComposite(mod_ids.at(m.code),
+                                              wit->second));
+    }
+  }
+  for (const auto& e : edge_lines) {
+    auto sit = mod_ids.find(e.src);
+    auto dit = mod_ids.find(e.dst);
+    if (sit == mod_ids.end() || dit == mod_ids.end()) {
+      return Status::InvalidArgument("edge references unknown module: " +
+                                     e.src + "->" + e.dst);
+    }
+    PAW_RETURN_NOT_OK(builder.Connect(sit->second, dit->second, e.labels));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace paw

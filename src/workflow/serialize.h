@@ -1,0 +1,38 @@
+#ifndef PAW_WORKFLOW_SERIALIZE_H_
+#define PAW_WORKFLOW_SERIALIZE_H_
+
+/// \file serialize.h
+/// \brief Line-oriented text format for specifications.
+///
+/// Repositories exchange specifications in a small readable format:
+///
+/// \code
+///   spec "disease susceptibility"
+///   workflow W1 "top" level=0 root
+///   workflow W2 "genetics" level=1
+///   module I W1 input "Input"
+///   module M1 W1 composite "Determine Genetic Susceptibility" expands=W2
+///   module M3 W2 atomic "Expand SNP Set" keywords="snp;expand"
+///   edge I M1 labels="SNPs;ethnicity"
+/// \endcode
+///
+/// `Serialize` always emits workflows, then modules, then edges, so the
+/// output parses in one logical order; `ParseSpecification` accepts any
+/// line order and `# comments`. Round-trip is exact (asserted by tests).
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief Renders `spec` in the text format above.
+std::string Serialize(const Specification& spec);
+
+/// \brief Parses the text format; validates the result.
+Result<Specification> ParseSpecification(const std::string& text);
+
+}  // namespace paw
+
+#endif  // PAW_WORKFLOW_SERIALIZE_H_

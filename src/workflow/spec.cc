@@ -1,0 +1,121 @@
+#include "src/workflow/spec.h"
+
+#include "src/common/logging.h"
+
+namespace paw {
+
+std::string_view ModuleKindName(ModuleKind kind) {
+  switch (kind) {
+    case ModuleKind::kAtomic:
+      return "atomic";
+    case ModuleKind::kComposite:
+      return "composite";
+    case ModuleKind::kInput:
+      return "input";
+    case ModuleKind::kOutput:
+      return "output";
+  }
+  return "?";
+}
+
+Result<ModuleId> Specification::FindModule(std::string_view code) const {
+  for (const Module& m : modules_) {
+    if (m.code == code) return m.id;
+  }
+  return Status::NotFound("no module with code '" + std::string(code) + "'");
+}
+
+Result<WorkflowId> Specification::FindWorkflow(std::string_view code) const {
+  for (const Workflow& w : workflows_) {
+    if (w.code == code) return w.id;
+  }
+  return Status::NotFound("no workflow with code '" + std::string(code) +
+                          "'");
+}
+
+std::vector<const DataflowEdge*> Specification::OutEdges(ModuleId m) const {
+  std::vector<const DataflowEdge*> out;
+  const Workflow& w = workflow(module(m).workflow);
+  for (const DataflowEdge& e : w.edges) {
+    if (e.src == m) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const DataflowEdge*> Specification::InEdges(ModuleId m) const {
+  std::vector<const DataflowEdge*> in;
+  const Workflow& w = workflow(module(m).workflow);
+  for (const DataflowEdge& e : w.edges) {
+    if (e.dst == m) in.push_back(&e);
+  }
+  return in;
+}
+
+std::vector<ModuleId> Specification::EntryModules(WorkflowId wid) const {
+  const Workflow& w = workflow(wid);
+  std::vector<ModuleId> entries;
+  for (ModuleId m : w.modules) {
+    bool has_in = false;
+    for (const DataflowEdge& e : w.edges) {
+      if (e.dst == m) {
+        has_in = true;
+        break;
+      }
+    }
+    if (!has_in) entries.push_back(m);
+  }
+  return entries;
+}
+
+std::vector<ModuleId> Specification::ExitModules(WorkflowId wid) const {
+  const Workflow& w = workflow(wid);
+  std::vector<ModuleId> exits;
+  for (ModuleId m : w.modules) {
+    bool has_out = false;
+    for (const DataflowEdge& e : w.edges) {
+      if (e.src == m) {
+        has_out = true;
+        break;
+      }
+    }
+    if (!has_out) exits.push_back(m);
+  }
+  return exits;
+}
+
+Specification::LocalGraph Specification::BuildLocalGraph(WorkflowId wid)
+    const {
+  const Workflow& w = workflow(wid);
+  LocalGraph local;
+  local.graph.Resize(static_cast<NodeIndex>(w.modules.size()));
+  local.local_to_module = w.modules;
+  for (size_t i = 0; i < w.modules.size(); ++i) {
+    local.module_to_local[w.modules[i]] = static_cast<NodeIndex>(i);
+  }
+  for (const DataflowEdge& e : w.edges) {
+    NodeIndex u = local.module_to_local.at(e.src);
+    NodeIndex v = local.module_to_local.at(e.dst);
+    Status st = local.graph.AddEdge(u, v);
+    PAW_CHECK(st.ok()) << st.ToString();
+  }
+  return local;
+}
+
+ModuleId Specification::ParentModuleOf(WorkflowId w) const {
+  for (const Module& m : modules_) {
+    if (m.kind == ModuleKind::kComposite && m.expansion == w) return m.id;
+  }
+  return ModuleId::Invalid();
+}
+
+int64_t Specification::TotalEdgeLabels() const {
+  int64_t total = 0;
+  for (const Workflow& w : workflows_) {
+    for (const DataflowEdge& e : w.edges) {
+      total += static_cast<int64_t>(e.labels.size());
+    }
+  }
+  return total;
+}
+
+}  // namespace paw

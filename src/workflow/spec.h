@@ -1,0 +1,163 @@
+#ifndef PAW_WORKFLOW_SPEC_H_
+#define PAW_WORKFLOW_SPEC_H_
+
+/// \file spec.h
+/// \brief Hierarchical workflow specifications (paper Sec. 2).
+///
+/// A specification is a forest of simple workflow graphs connected by
+/// tau-expansion edges: nodes are modules, edges carry the names of the data
+/// that flow between them, and a *composite* module is defined by another
+/// workflow of the same specification. The tau edges induce the expansion
+/// hierarchy of Fig. 3; prefixes of that hierarchy define views (see
+/// `view.h`).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/graph/digraph.h"
+
+namespace paw {
+
+/// \brief Access level: 0 is public; greater values are more privileged.
+using AccessLevel = int;
+
+/// \brief The role a module plays in its workflow.
+enum class ModuleKind {
+  /// An executable step with a concrete function.
+  kAtomic,
+  /// A module defined by a subworkflow (tau expansion).
+  kComposite,
+  /// The distinguished input node `I` (root workflow only).
+  kInput,
+  /// The distinguished output node `O` (root workflow only).
+  kOutput,
+};
+
+/// \brief Short printable name of a module kind ("atomic", ...).
+std::string_view ModuleKindName(ModuleKind kind);
+
+/// \brief A module of a workflow specification.
+struct Module {
+  ModuleId id;
+  /// Short code such as "M1"; unique within the specification.
+  std::string code;
+  /// Display name such as "Determine Genetic Susceptibility".
+  std::string name;
+  ModuleKind kind = ModuleKind::kAtomic;
+  /// The workflow that contains this module.
+  WorkflowId workflow;
+  /// For composite modules: the workflow defining it; invalid otherwise.
+  WorkflowId expansion;
+  /// Search keywords. Defaults to the word tokens of `name`.
+  std::vector<std::string> keywords;
+};
+
+/// \brief A labelled dataflow edge between two modules of one workflow.
+struct DataflowEdge {
+  ModuleId src;
+  ModuleId dst;
+  /// Names of the data passed along this edge, e.g. {"SNPs", "ethnicity"}.
+  std::vector<std::string> labels;
+};
+
+/// \brief One level of a hierarchical specification: a simple DAG.
+struct Workflow {
+  WorkflowId id;
+  /// Short code such as "W1"; unique within the specification.
+  std::string code;
+  std::string name;
+  /// Minimum access level required to expand (see) the inside of this
+  /// workflow. The root workflow must be level 0.
+  AccessLevel required_level = 0;
+  /// Modules in insertion order.
+  std::vector<ModuleId> modules;
+  /// Edges in insertion order (the executor's deterministic schedule
+  /// follows this order).
+  std::vector<DataflowEdge> edges;
+};
+
+/// \brief A complete hierarchical workflow specification.
+///
+/// Instances are produced by `SpecBuilder` (builder.h) which enforces the
+/// structural invariants; the accessors here assume a validated spec.
+class Specification {
+ public:
+  /// \brief Human-readable specification name.
+  const std::string& name() const { return name_; }
+
+  /// \brief The root workflow (the top-most dotted box, W1 in Fig. 1).
+  WorkflowId root() const { return root_; }
+
+  /// \brief Number of workflows.
+  int num_workflows() const { return static_cast<int>(workflows_.size()); }
+
+  /// \brief Number of modules across all workflows.
+  int num_modules() const { return static_cast<int>(modules_.size()); }
+
+  /// \brief Workflow accessor; id must be valid.
+  const Workflow& workflow(WorkflowId id) const {
+    return workflows_[static_cast<size_t>(id.value())];
+  }
+
+  /// \brief Module accessor; id must be valid.
+  const Module& module(ModuleId id) const {
+    return modules_[static_cast<size_t>(id.value())];
+  }
+
+  /// \brief All workflows in id order.
+  const std::vector<Workflow>& workflows() const { return workflows_; }
+
+  /// \brief All modules in id order.
+  const std::vector<Module>& modules() const { return modules_; }
+
+  /// \brief Module lookup by code ("M1"); NotFound if absent.
+  Result<ModuleId> FindModule(std::string_view code) const;
+
+  /// \brief Workflow lookup by code ("W2"); NotFound if absent.
+  Result<WorkflowId> FindWorkflow(std::string_view code) const;
+
+  /// \brief In-workflow dataflow edges leaving `m`, insertion order.
+  std::vector<const DataflowEdge*> OutEdges(ModuleId m) const;
+
+  /// \brief In-workflow dataflow edges entering `m`, insertion order.
+  std::vector<const DataflowEdge*> InEdges(ModuleId m) const;
+
+  /// \brief Modules of workflow `w` with no incoming in-workflow edge.
+  std::vector<ModuleId> EntryModules(WorkflowId w) const;
+
+  /// \brief Modules of workflow `w` with no outgoing in-workflow edge.
+  std::vector<ModuleId> ExitModules(WorkflowId w) const;
+
+  /// \brief The digraph of one workflow level over local indices.
+  ///
+  /// `local_of[i]` gives the ModuleId of local node `i` (the order of
+  /// `Workflow::modules`).
+  struct LocalGraph {
+    Digraph graph;
+    std::vector<ModuleId> local_to_module;
+    std::unordered_map<ModuleId, NodeIndex> module_to_local;
+  };
+  LocalGraph BuildLocalGraph(WorkflowId w) const;
+
+  /// \brief The composite module that `w` expands, or invalid for the root.
+  ModuleId ParentModuleOf(WorkflowId w) const;
+
+  /// \brief Total label-count of all dataflow edges (diagnostics).
+  int64_t TotalEdgeLabels() const;
+
+ private:
+  friend class SpecBuilder;
+  friend class SpecParser;
+
+  std::string name_;
+  WorkflowId root_;
+  std::vector<Workflow> workflows_;
+  std::vector<Module> modules_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_WORKFLOW_SPEC_H_

@@ -1,0 +1,137 @@
+#include "src/workflow/validate.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/graph/algorithms.h"
+
+namespace paw {
+
+Status ValidateSpecification(const Specification& spec) {
+  if (!spec.root().valid() ||
+      spec.root().value() >= spec.num_workflows()) {
+    return Status::FailedPrecondition("specification has no valid root");
+  }
+  if (spec.workflow(spec.root()).required_level != 0) {
+    return Status::FailedPrecondition("root workflow must be level 0");
+  }
+
+  // Unique codes.
+  std::unordered_set<std::string> codes;
+  for (const Module& m : spec.modules()) {
+    if (!codes.insert("m:" + m.code).second) {
+      return Status::FailedPrecondition("duplicate module code " + m.code);
+    }
+  }
+  for (const Workflow& w : spec.workflows()) {
+    if (!codes.insert("w:" + w.code).second) {
+      return Status::FailedPrecondition("duplicate workflow code " + w.code);
+    }
+  }
+
+  // Per-workflow checks.
+  for (const Workflow& w : spec.workflows()) {
+    if (w.modules.empty()) {
+      return Status::FailedPrecondition("workflow " + w.code + " is empty");
+    }
+    int inputs = 0;
+    int outputs = 0;
+    for (ModuleId mid : w.modules) {
+      const Module& m = spec.module(mid);
+      if (m.workflow != w.id) {
+        return Status::Internal("module/workflow cross-link broken for " +
+                                m.code);
+      }
+      if (m.kind == ModuleKind::kInput) ++inputs;
+      if (m.kind == ModuleKind::kOutput) ++outputs;
+      if (m.kind == ModuleKind::kComposite) {
+        if (!m.expansion.valid() ||
+            m.expansion.value() >= spec.num_workflows()) {
+          return Status::FailedPrecondition("composite " + m.code +
+                                            " has no expansion");
+        }
+        if (m.expansion == spec.root()) {
+          return Status::FailedPrecondition(
+              "root workflow cannot be an expansion");
+        }
+      }
+      if ((m.kind == ModuleKind::kInput || m.kind == ModuleKind::kOutput) &&
+          w.id != spec.root()) {
+        return Status::FailedPrecondition(
+            "I/O node " + m.code + " outside the root workflow");
+      }
+    }
+    if (w.id == spec.root() && (inputs != 1 || outputs != 1)) {
+      return Status::FailedPrecondition(
+          "root workflow must have exactly one input and one output node");
+    }
+
+    std::unordered_set<int32_t> members;
+    for (ModuleId mid : w.modules) members.insert(mid.value());
+    for (const DataflowEdge& e : w.edges) {
+      if (!members.count(e.src.value()) || !members.count(e.dst.value())) {
+        return Status::FailedPrecondition("edge endpoint outside workflow " +
+                                          w.code);
+      }
+      if (e.labels.empty()) {
+        return Status::FailedPrecondition("unlabelled edge in " + w.code);
+      }
+      if (spec.module(e.dst).kind == ModuleKind::kInput) {
+        return Status::FailedPrecondition("edge into input node in " +
+                                          w.code);
+      }
+      if (spec.module(e.src).kind == ModuleKind::kOutput) {
+        return Status::FailedPrecondition("edge out of output node in " +
+                                          w.code);
+      }
+    }
+
+    Specification::LocalGraph local = spec.BuildLocalGraph(w.id);
+    if (!IsAcyclic(local.graph)) {
+      return Status::FailedPrecondition("workflow " + w.code +
+                                        " has a dataflow cycle");
+    }
+  }
+
+  // Expansion structure: every non-root workflow is the expansion of
+  // exactly one composite module, and the parent map is acyclic.
+  std::unordered_map<int32_t, int> expanded_by;
+  for (const Module& m : spec.modules()) {
+    if (m.kind == ModuleKind::kComposite) {
+      ++expanded_by[m.expansion.value()];
+    }
+  }
+  for (const Workflow& w : spec.workflows()) {
+    if (w.id == spec.root()) continue;
+    auto it = expanded_by.find(w.id.value());
+    if (it == expanded_by.end()) {
+      return Status::FailedPrecondition("workflow " + w.code +
+                                        " is not reachable by tau edges");
+    }
+    if (it->second > 1) {
+      return Status::FailedPrecondition("workflow " + w.code +
+                                        " expands multiple modules");
+    }
+  }
+  for (const Workflow& w : spec.workflows()) {
+    // Walk ancestors; a cycle would loop forever, so bound by #workflows.
+    WorkflowId cur = w.id;
+    for (int steps = 0; steps <= spec.num_workflows(); ++steps) {
+      if (cur == spec.root()) break;
+      ModuleId parent = spec.ParentModuleOf(cur);
+      if (!parent.valid()) {
+        return Status::FailedPrecondition("workflow " +
+                                          spec.workflow(cur).code +
+                                          " detached from hierarchy");
+      }
+      cur = spec.module(parent).workflow;
+      if (steps == spec.num_workflows()) {
+        return Status::FailedPrecondition("tau expansion cycle detected");
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace paw

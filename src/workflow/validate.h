@@ -1,0 +1,29 @@
+#ifndef PAW_WORKFLOW_VALIDATE_H_
+#define PAW_WORKFLOW_VALIDATE_H_
+
+/// \file validate.h
+/// \brief Structural invariants of a hierarchical specification.
+///
+/// Checked invariants:
+///  - a valid root exists; its required level is 0;
+///  - every workflow graph is a DAG with at least one module;
+///  - I/O nodes appear only in the root; the root has exactly one of each;
+///  - tau expansions form a tree rooted at the root workflow (every
+///    non-root workflow is the expansion of exactly one composite module,
+///    and no workflow is its own ancestor);
+///  - every composite module has a valid expansion;
+///  - edges stay within one workflow, carry at least one label, and do not
+///    enter inputs or leave outputs;
+///  - module/workflow codes are unique.
+
+#include "src/common/status.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief Verifies all invariants above; OK when `spec` is well-formed.
+Status ValidateSpecification(const Specification& spec);
+
+}  // namespace paw
+
+#endif  // PAW_WORKFLOW_VALIDATE_H_

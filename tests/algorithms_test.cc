@@ -1,0 +1,172 @@
+// Tests for graph algorithms: traversal, topology, quotients, cuts.
+
+#include "src/graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace paw {
+namespace {
+
+Digraph Diamond() {
+  // 0 -> {1,2} -> 3
+  Digraph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3).ok());
+  return g;
+}
+
+TEST(AlgorithmsTest, ReachableFromSingle) {
+  Digraph g = Diamond();
+  auto r = ReachableFrom(g, 0);
+  EXPECT_EQ(r.size(), 4u);
+  auto r1 = ReachableFrom(g, 1);
+  std::sort(r1.begin(), r1.end());
+  EXPECT_EQ(r1, (std::vector<NodeIndex>{1, 3}));
+}
+
+TEST(AlgorithmsTest, CanReach) {
+  Digraph g = Diamond();
+  auto r = CanReach(g, 3);
+  EXPECT_EQ(r.size(), 4u);
+  auto r2 = CanReach(g, 2);
+  std::sort(r2.begin(), r2.end());
+  EXPECT_EQ(r2, (std::vector<NodeIndex>{0, 2}));
+}
+
+TEST(AlgorithmsTest, PathExists) {
+  Digraph g = Diamond();
+  EXPECT_TRUE(PathExists(g, 0, 3));
+  EXPECT_FALSE(PathExists(g, 3, 0));
+  EXPECT_FALSE(PathExists(g, 1, 2));
+  EXPECT_TRUE(PathExists(g, 2, 2));  // trivial
+}
+
+TEST(AlgorithmsTest, TopologicalOrderIsValid) {
+  Digraph g = Diamond();
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.ok());
+  std::vector<int> pos(4);
+  for (size_t i = 0; i < order.value().size(); ++i) {
+    pos[static_cast<size_t>(order.value()[i])] = static_cast<int>(i);
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_LT(pos[static_cast<size_t>(u)], pos[static_cast<size_t>(v)]);
+  }
+}
+
+TEST(AlgorithmsTest, TopologicalOrderRejectsCycle) {
+  Digraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  EXPECT_FALSE(TopologicalOrder(g).ok());
+  EXPECT_FALSE(IsAcyclic(g));
+  EXPECT_TRUE(IsAcyclic(Diamond()));
+}
+
+TEST(AlgorithmsTest, SourcesAndSinks) {
+  Digraph g = Diamond();
+  EXPECT_EQ(Sources(g), (std::vector<NodeIndex>{0}));
+  EXPECT_EQ(Sinks(g), (std::vector<NodeIndex>{3}));
+}
+
+TEST(AlgorithmsTest, CountPathsDiamond) {
+  Digraph g = Diamond();
+  EXPECT_EQ(CountPaths(g, 0, 3), 2);
+  EXPECT_EQ(CountPaths(g, 0, 0), 1);
+  EXPECT_EQ(CountPaths(g, 3, 0), 0);
+}
+
+TEST(AlgorithmsTest, CountPathsLadderGrowsExponentially) {
+  // k stacked diamonds: 2^k paths.
+  const int k = 10;
+  Digraph g(3 * k + 1);
+  for (int i = 0; i < k; ++i) {
+    NodeIndex base = 3 * i;
+    ASSERT_TRUE(g.AddEdge(base, base + 1).ok());
+    ASSERT_TRUE(g.AddEdge(base, base + 2).ok());
+    ASSERT_TRUE(g.AddEdge(base + 1, base + 3).ok());
+    ASSERT_TRUE(g.AddEdge(base + 2, base + 3).ok());
+  }
+  EXPECT_EQ(CountPaths(g, 0, 3 * k), 1 << k);
+}
+
+TEST(AlgorithmsTest, QuotientDiamond) {
+  Digraph g = Diamond();
+  // Merge {1,2} into group 1: 0 -> {1,2} -> 3 becomes 0 -> m -> 3.
+  std::vector<NodeIndex> groups{0, 1, 1, 2};
+  auto q = Quotient(g, groups, 3);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().graph.num_nodes(), 3);
+  EXPECT_EQ(q.value().graph.num_edges(), 2);
+  EXPECT_TRUE(q.value().graph.HasEdge(0, 1));
+  EXPECT_TRUE(q.value().graph.HasEdge(1, 2));
+  EXPECT_EQ(q.value().members[1],
+            (std::vector<NodeIndex>{1, 2}));
+}
+
+TEST(AlgorithmsTest, QuotientRejectsBadInput) {
+  Digraph g = Diamond();
+  EXPECT_FALSE(Quotient(g, {0, 1}, 2).ok());                // size mismatch
+  EXPECT_FALSE(Quotient(g, {0, 1, 5, 2}, 3).ok());          // out of range
+}
+
+TEST(AlgorithmsTest, InduceSubgraph) {
+  Digraph g = Diamond();
+  InducedSubgraph sub = Induce(g, {0, 1, 3});
+  EXPECT_EQ(sub.graph.num_nodes(), 3);
+  EXPECT_EQ(sub.kept, (std::vector<NodeIndex>{0, 1, 3}));
+  EXPECT_TRUE(sub.graph.HasEdge(0, 1));   // 0->1
+  EXPECT_TRUE(sub.graph.HasEdge(1, 2));   // 1->3
+  EXPECT_EQ(sub.graph.num_edges(), 2);    // 0->2,2->3 dropped
+}
+
+TEST(AlgorithmsTest, MinEdgeCutDiamondNeedsTwo) {
+  Digraph g = Diamond();
+  auto cut = MinEdgeCut(g, 0, 3);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut.value().size(), 2u);
+  // Removing the cut must disconnect.
+  Digraph h = g;
+  for (const auto& [u, v] : cut.value()) {
+    ASSERT_TRUE(h.RemoveEdge(u, v).ok());
+  }
+  EXPECT_FALSE(PathExists(h, 0, 3));
+}
+
+TEST(AlgorithmsTest, MinEdgeCutChainNeedsOne) {
+  Digraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  auto cut = MinEdgeCut(g, 0, 3);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut.value().size(), 1u);
+}
+
+TEST(AlgorithmsTest, MinEdgeCutUnreachableIsEmpty) {
+  Digraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto cut = MinEdgeCut(g, 2, 0);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_TRUE(cut.value().empty());
+}
+
+TEST(AlgorithmsTest, MinEdgeCutRejectsSameEndpoints) {
+  Digraph g(2);
+  EXPECT_FALSE(MinEdgeCut(g, 1, 1).ok());
+}
+
+TEST(AlgorithmsTest, DagLongestPath) {
+  Digraph g = Diamond();
+  auto d = DagLongestPath(g);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), 2);
+}
+
+}  // namespace
+}  // namespace paw

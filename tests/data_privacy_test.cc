@@ -1,0 +1,97 @@
+// Tests for data-privacy masking.
+
+#include "src/privacy/data_privacy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class DataPrivacyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<Specification>(std::move(spec).value());
+    auto exec = RunDiseaseExecution(*spec_);
+    ASSERT_TRUE(exec.ok());
+    exec_ = std::make_unique<Execution>(std::move(exec).value());
+    policy_ = DiseasePolicy();
+  }
+
+  std::unique_ptr<Specification> spec_;
+  std::unique_ptr<Execution> exec_;
+  PolicySet policy_;
+};
+
+TEST_F(DataPrivacyTest, Level0SeesOnlyPublicLabels) {
+  MaskingReport r = ComputeMasking(*exec_, policy_.data, 0);
+  // Public labels: query (x3 items: d6,d7,d13), result (d14,d15),
+  // summary (d16) = 6 visible items.
+  EXPECT_EQ(r.num_visible, 6);
+  EXPECT_EQ(r.num_masked, 14);
+  EXPECT_TRUE(r.visible[6]);    // d6 query
+  EXPECT_TRUE(r.visible[16]);   // d16 summary
+  EXPECT_FALSE(r.visible[0]);   // d0 SNPs
+  EXPECT_FALSE(r.visible[19]);  // d19 prognosis
+}
+
+TEST_F(DataPrivacyTest, Level2SeesEverything) {
+  MaskingReport r = ComputeMasking(*exec_, policy_.data, 2);
+  EXPECT_EQ(r.num_masked, 0);
+  EXPECT_EQ(r.num_visible, exec_->num_items());
+}
+
+TEST_F(DataPrivacyTest, MaskingIsMonotoneInLevel) {
+  MaskingReport r0 = ComputeMasking(*exec_, policy_.data, 0);
+  MaskingReport r1 = ComputeMasking(*exec_, policy_.data, 1);
+  MaskingReport r2 = ComputeMasking(*exec_, policy_.data, 2);
+  EXPECT_LE(r0.num_visible, r1.num_visible);
+  EXPECT_LE(r1.num_visible, r2.num_visible);
+  for (int i = 0; i < exec_->num_items(); ++i) {
+    if (r0.visible[static_cast<size_t>(i)]) {
+      EXPECT_TRUE(r1.visible[static_cast<size_t>(i)]);
+    }
+    if (r1.visible[static_cast<size_t>(i)]) {
+      EXPECT_TRUE(r2.visible[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST_F(DataPrivacyTest, RenderValueMasksByLevel) {
+  // d0 = SNPs requires level 2.
+  EXPECT_EQ(RenderValue(*exec_, DataItemId(0), policy_.data, 0),
+            kMaskedValue);
+  EXPECT_EQ(RenderValue(*exec_, DataItemId(0), policy_.data, 2),
+            "rs429358,rs7412");
+  // d16 = summary is public.
+  EXPECT_NE(RenderValue(*exec_, DataItemId(16), policy_.data, 0),
+            kMaskedValue);
+}
+
+TEST_F(DataPrivacyTest, HidingCost) {
+  std::map<std::string, double> weights{{"a", 2.0}, {"b", 0.5}};
+  EXPECT_DOUBLE_EQ(HidingCost({"a", "b"}, weights), 2.5);
+  EXPECT_DOUBLE_EQ(HidingCost({"a", "zzz"}, weights), 3.0);  // default 1
+  EXPECT_DOUBLE_EQ(HidingCost({}, weights), 0.0);
+  EXPECT_DOUBLE_EQ(HidingCost({"x"}, weights, 0.25), 0.25);
+}
+
+TEST_F(DataPrivacyTest, DefaultLevelApplies) {
+  DataPolicy open;
+  open.default_level = 0;
+  MaskingReport r = ComputeMasking(*exec_, open, 0);
+  EXPECT_EQ(r.num_masked, 0);
+
+  DataPolicy strict;
+  strict.default_level = 5;
+  MaskingReport r2 = ComputeMasking(*exec_, strict, 4);
+  EXPECT_EQ(r2.num_visible, 0);
+}
+
+}  // namespace
+}  // namespace paw

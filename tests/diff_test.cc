@@ -1,0 +1,122 @@
+// Tests for execution diffing (the paper's debugging use case).
+
+#include "src/provenance/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class DiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<Specification>(std::move(spec).value());
+    fns_ = BuildDiseaseFunctions();
+  }
+
+  Execution Run(ValueMap inputs) {
+    auto exec = Execute(*spec_, fns_, inputs);
+    EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+    return std::move(exec).value();
+  }
+
+  std::unique_ptr<Specification> spec_;
+  FunctionRegistry fns_;
+};
+
+TEST_F(DiffTest, IdenticalRunsDiffEmpty) {
+  Execution a = Run(DiseaseInputs());
+  Execution b = Run(DiseaseInputs());
+  auto diff = DiffExecutions(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff.value().identical());
+  EXPECT_TRUE(diff.value().divergences.empty());
+}
+
+TEST_F(DiffTest, ChangedInputPropagatesThroughGeneticArm) {
+  Execution a = Run(DiseaseInputs());
+  ValueMap inputs = DiseaseInputs();
+  inputs["SNPs"] = "rs0000";
+  Execution b = Run(inputs);
+  auto diff = DiffExecutions(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff.value().identical());
+  // d0 (the SNPs) diverges, and so does everything derived from it;
+  // d1..d4 (ethnicity, lifestyle, ...) do not.
+  std::vector<int32_t> diverged;
+  for (const auto& d : diff.value().divergences) {
+    diverged.push_back(d.item.value());
+  }
+  EXPECT_NE(std::find(diverged.begin(), diverged.end(), 0),
+            diverged.end());
+  EXPECT_EQ(std::find(diverged.begin(), diverged.end(), 1),
+            diverged.end());
+  EXPECT_EQ(std::find(diverged.begin(), diverged.end(), 2),
+            diverged.end());
+  // The prognosis d19 is affected.
+  EXPECT_NE(std::find(diverged.begin(), diverged.end(), 19),
+            diverged.end());
+  // Divergence starts at the inputs, so the first divergent *process*
+  // is -1 and the blast radius covers all 15 activations.
+  EXPECT_EQ(diff.value().first_divergent_process, -1);
+  EXPECT_EQ(diff.value().affected_processes.size(), 15u);
+}
+
+TEST_F(DiffTest, ChangedModuleLocalizesFault) {
+  // Simulate a buggy new version of M14 (Summarize Articles).
+  Execution a = Run(DiseaseInputs());
+  FunctionRegistry patched = BuildDiseaseFunctions();
+  patched.Register("M14", [](const ValueMap&,
+                             const std::vector<std::string>&) {
+    return ValueMap{{"summary", "BUGGY"}};
+  });
+  auto b = Execute(*spec_, patched, DiseaseInputs());
+  ASSERT_TRUE(b.ok());
+  auto diff = DiffExecutions(a, b.value());
+  ASSERT_TRUE(diff.ok());
+  // First divergence is exactly M14's activation, S12.
+  EXPECT_EQ(diff.value().first_divergent_process, 12);
+  // Affected: S12 (M14), S15 (M15), and the enclosing composite S8 (M2)
+  // whose end node forwards the corrupted prognosis.
+  EXPECT_EQ(diff.value().affected_processes,
+            (std::vector<int>{8, 12, 15}));
+  // The divergent items are d16 (summary) and d19 (prognosis).
+  std::vector<int32_t> diverged;
+  for (const auto& d : diff.value().divergences) {
+    diverged.push_back(d.item.value());
+  }
+  EXPECT_EQ(diverged, (std::vector<int32_t>{16, 19}));
+}
+
+TEST_F(DiffTest, DivergenceRecordsBothValues) {
+  Execution a = Run(DiseaseInputs());
+  ValueMap inputs = DiseaseInputs();
+  inputs["SNPs"] = "rsX";
+  Execution b = Run(inputs);
+  auto diff = DiffExecutions(a, b);
+  ASSERT_TRUE(diff.ok());
+  const ItemDivergence& d0 = diff.value().divergences.front();
+  EXPECT_EQ(d0.item.value(), 0);
+  EXPECT_EQ(d0.label, "SNPs");
+  EXPECT_EQ(d0.value_a, "rs429358,rs7412");
+  EXPECT_EQ(d0.value_b, "rsX");
+}
+
+TEST_F(DiffTest, RejectsForeignExecutions) {
+  Execution a = Run(DiseaseInputs());
+  auto other_spec = BuildDiseaseSpec();
+  ASSERT_TRUE(other_spec.ok());
+  auto b = Execute(other_spec.value(), fns_, DiseaseInputs());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(DiffExecutions(a, b.value()).ok());
+}
+
+}  // namespace
+}  // namespace paw

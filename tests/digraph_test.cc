@@ -1,0 +1,95 @@
+// Tests for the core digraph container.
+
+#include "src/graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace paw {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_FALSE(g.IsValidNode(0));
+}
+
+TEST(DigraphTest, AddNodesAndEdges) {
+  Digraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(2), 1u);
+}
+
+TEST(DigraphTest, AddNodeGrows) {
+  Digraph g;
+  NodeIndex a = g.AddNode();
+  NodeIndex b = g.AddNode();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_TRUE(g.AddEdge(a, b).ok());
+}
+
+TEST(DigraphTest, RejectsSelfLoop) {
+  Digraph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 0).IsInvalidArgument());
+}
+
+TEST(DigraphTest, RejectsOutOfRange) {
+  Digraph g(2);
+  EXPECT_TRUE(g.AddEdge(0, 5).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(-1, 0).IsInvalidArgument());
+}
+
+TEST(DigraphTest, RejectsDuplicateEdge) {
+  Digraph g(2);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_TRUE(g.AddEdge(0, 1).IsAlreadyExists());
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(DigraphTest, RemoveEdge) {
+  Digraph g(3);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.RemoveEdge(0, 1).IsNotFound());
+}
+
+TEST(DigraphTest, AdjacencyPreservesInsertionOrder) {
+  Digraph g(4);
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  EXPECT_EQ(g.OutNeighbors(0), (std::vector<NodeIndex>{3, 1, 2}));
+}
+
+TEST(DigraphTest, EdgesEnumeration) {
+  Digraph g(3);
+  ASSERT_TRUE(g.AddEdge(2, 0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  // Grouped by source node index.
+  EXPECT_EQ(edges[0], std::make_pair(NodeIndex(0), NodeIndex(1)));
+  EXPECT_EQ(edges[1], std::make_pair(NodeIndex(2), NodeIndex(0)));
+}
+
+TEST(DigraphTest, ResizeNeverShrinks) {
+  Digraph g(5);
+  g.Resize(3);
+  EXPECT_EQ(g.num_nodes(), 5);
+  g.Resize(8);
+  EXPECT_EQ(g.num_nodes(), 8);
+}
+
+}  // namespace
+}  // namespace paw

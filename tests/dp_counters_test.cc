@@ -1,0 +1,96 @@
+// Tests for differentially private provenance counters (paper Sec. 5).
+
+#include "src/privacy/dp_counters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/repo/disease.h"
+#include "src/repo/workload.h"
+
+namespace paw {
+namespace {
+
+class DpCountersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Ten executions of the disease workflow with varying inputs.
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_id_ = repo_.AddSpecification(std::move(spec).value()).value();
+    FunctionRegistry fns = BuildDiseaseFunctions();
+    for (int i = 0; i < 10; ++i) {
+      ValueMap inputs = DiseaseInputs();
+      inputs["SNPs"] = "rs" + std::to_string(i);
+      auto exec = Execute(repo_.entry(spec_id_).spec, fns, inputs);
+      ASSERT_TRUE(exec.ok());
+      ASSERT_TRUE(repo_.AddExecution(spec_id_, std::move(exec).value())
+                      .ok());
+    }
+  }
+
+  Repository repo_;
+  int spec_id_ = -1;
+};
+
+TEST_F(DpCountersTest, ExactCounts) {
+  ProvenanceCounter counter(repo_, 1);
+  EXPECT_EQ(counter.CountModuleActivations("M6").value(), 10);
+  EXPECT_EQ(counter.CountModuleActivations("M404").value(), 0);
+  EXPECT_EQ(counter.CountLabelProductions("prognosis").value(), 10);
+  EXPECT_EQ(counter.CountLabelProductions("unicorn").value(), 0);
+  // M13 contributes to M11 in every run; the converse never holds.
+  EXPECT_EQ(counter.CountContributions("M13", "M11").value(), 10);
+  EXPECT_EQ(counter.CountContributions("M11", "M13").value(), 0);
+}
+
+TEST_F(DpCountersTest, NoisyCountRejectsBadEpsilon) {
+  ProvenanceCounter counter(repo_, 1);
+  EXPECT_FALSE(counter.Noisy(10, 0, 1).ok());
+  EXPECT_FALSE(counter.Noisy(10, -1, 1).ok());
+}
+
+TEST_F(DpCountersTest, NoiseShrinksWithEpsilon) {
+  ProvenanceCounter counter(repo_, 7);
+  // Mean absolute error over many queries at two budgets.
+  auto mae = [&](double epsilon) {
+    double total = 0;
+    constexpr int kQueries = 500;
+    for (uint64_t q = 0; q < kQueries; ++q) {
+      double noisy = counter.Noisy(10, epsilon, q).value();
+      total += std::abs(noisy - 10.0);
+    }
+    return total / kQueries;
+  };
+  double loose = mae(0.1);   // expected MAE = 1/eps = 10
+  double tight = mae(10.0);  // expected MAE = 0.1
+  EXPECT_GT(loose, tight * 5);
+  EXPECT_NEAR(tight, 0.1, 0.1);
+  EXPECT_NEAR(loose, 10.0, 5.0);
+}
+
+TEST_F(DpCountersTest, NoiseIsSeedDeterministic) {
+  ProvenanceCounter a(repo_, 42);
+  ProvenanceCounter b(repo_, 42);
+  ProvenanceCounter c(repo_, 43);
+  EXPECT_EQ(a.Noisy(5, 1.0, 9).value(), b.Noisy(5, 1.0, 9).value());
+  EXPECT_NE(a.Noisy(5, 1.0, 9).value(), c.Noisy(5, 1.0, 9).value());
+}
+
+TEST(LaplaceNoiseTest, RoughlyCentredAndScaled) {
+  LaplaceNoise noise(2.0, 11);
+  double sum = 0;
+  double abs_sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    double x = noise.Sample();
+    sum += x;
+    abs_sum += std::abs(x);
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.1);       // mean 0
+  EXPECT_NEAR(abs_sum / kSamples, 2.0, 0.15);  // E|X| = b
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,178 @@
+// Tests for the privacy-preserving query engine facade.
+
+#include "src/query/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/privacy/data_privacy.h"
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_id_ =
+        repo_.AddSpecification(std::move(spec).value(), DiseasePolicy())
+            .value();
+    auto exec = RunDiseaseExecution(repo_.entry(spec_id_).spec);
+    ASSERT_TRUE(exec.ok());
+    exec_id_ = repo_.AddExecution(spec_id_, std::move(exec).value()).value();
+
+    public_user_ = acl_.AddPrincipal("public", 0, "anon").value();
+    analyst_ = acl_.AddPrincipal("analyst", 1, "lab").value();
+    owner_ = acl_.AddPrincipal("owner", 2, "lab").value();
+
+    engine_ = std::make_unique<QueryEngine>(repo_, acl_);
+  }
+
+  Repository repo_;
+  AccessControl acl_;
+  int spec_id_ = -1;
+  ExecutionId exec_id_;
+  PrincipalId public_user_, analyst_, owner_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(EngineTest, SearchRespectsLevels) {
+  auto for_owner = engine_->Search(owner_, {"database queries"});
+  ASSERT_TRUE(for_owner.ok());
+  EXPECT_EQ(for_owner.value().size(), 1u);
+
+  auto for_public = engine_->Search(public_user_, {"database queries"});
+  ASSERT_TRUE(for_public.ok());
+  EXPECT_TRUE(for_public.value().empty());
+}
+
+TEST_F(EngineTest, SearchCachePartitionedByGroupAndLevel) {
+  ASSERT_TRUE(engine_->Search(owner_, {"reformat"}).ok());
+  EXPECT_EQ(engine_->cache_stats().misses, 1);
+  ASSERT_TRUE(engine_->Search(owner_, {"reformat"}).ok());
+  EXPECT_EQ(engine_->cache_stats().hits, 1);
+  // The analyst shares the group but not the level: separate partition.
+  ASSERT_TRUE(engine_->Search(analyst_, {"reformat"}).ok());
+  EXPECT_EQ(engine_->cache_stats().misses, 2);
+}
+
+TEST_F(EngineTest, LineageMasksSensitiveValues) {
+  // d19 = prognosis; the analyst (level 1) may see structure but not
+  // level-2 values like disorders or prognosis.
+  auto answer = engine_->Lineage(analyst_, exec_id_, DataItemId(19));
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  bool saw_masked = false;
+  for (const std::string& row : answer.value().rows) {
+    if (row.find(kMaskedValue) != std::string::npos) saw_masked = true;
+    // Raw genetic values must never appear.
+    EXPECT_EQ(row.find("rs429358"), std::string::npos) << row;
+  }
+  EXPECT_TRUE(saw_masked);
+}
+
+TEST_F(EngineTest, LineageForOwnerShowsValues) {
+  auto answer = engine_->Lineage(owner_, exec_id_, DataItemId(19));
+  ASSERT_TRUE(answer.ok());
+  bool saw_value = false;
+  for (const std::string& row : answer.value().rows) {
+    if (row.find("risk{") != std::string::npos) saw_value = true;
+  }
+  EXPECT_TRUE(saw_value);
+  EXPECT_EQ(answer.value().zoom_steps, 0);
+}
+
+TEST_F(EngineTest, LineageZoomsOutForStructuralPolicy) {
+  // Analyst at level 1 would see M13 ~> M11 via W3; the engine must zoom
+  // the answer out of W3.
+  auto answer = engine_->Lineage(analyst_, exec_id_, DataItemId(19));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GT(answer.value().zoom_steps, 0);
+  const Specification& spec = repo_.entry(spec_id_).spec;
+  WorkflowId w3 = spec.FindWorkflow("W3").value();
+  EXPECT_FALSE(answer.value().prefix.count(w3));
+  for (const std::string& row : answer.value().rows) {
+    EXPECT_EQ(row.find("M13"), std::string::npos) << row;
+  }
+}
+
+TEST_F(EngineTest, StructuralQueryAtAccessView) {
+  StructuralPattern pattern;
+  pattern.vars = {{"expand snp"}, {"consult external"}};
+  pattern.edges = {{0, 1, true}};
+  // The analyst (level 1) sees W2's contents: M3 -> M4.
+  auto matches = engine_->Structural(analyst_, spec_id_, pattern);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches.value().size(), 1u);
+  // The public user sees only the root view; M3 is invisible.
+  auto none = engine_->Structural(public_user_, spec_id_, pattern);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().empty());
+}
+
+TEST_F(EngineTest, SearchExecutionsPaperExemplarQuery) {
+  // "find executions where Expand SNP Set was executed before Query
+  // OMIM and return the provenance information for the latter."
+  StructuralPattern pattern;
+  pattern.vars = {{"expand snp"}, {"query omim"}};
+  pattern.edges = {{0, 1, /*transitive=*/true}};
+  auto hits = engine_->SearchExecutions(owner_, pattern,
+                                        /*provenance_var=*/1);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  ASSERT_EQ(hits.value().size(), 1u);
+  const auto& hit = hits.value()[0];
+  EXPECT_EQ(hit.exec_id, exec_id_);
+  EXPECT_EQ(hit.num_matches, 1);
+  // The provenance of Query OMIM covers the genetic arm but not W3.
+  bool mentions_m5 = false;
+  for (const std::string& row : hit.provenance.rows) {
+    if (row.find("M5") != std::string::npos) mentions_m5 = true;
+    EXPECT_EQ(row.find("M9"), std::string::npos) << row;
+  }
+  EXPECT_TRUE(mentions_m5);
+}
+
+TEST_F(EngineTest, SearchExecutionsRespectsAccessViews) {
+  StructuralPattern pattern;
+  pattern.vars = {{"expand snp"}, {"query omim"}};
+  pattern.edges = {{0, 1, true}};
+  // M3 and M6 live in W2 (level 1) and W4 (level 2): invisible to the
+  // public user and partially invisible to the analyst.
+  auto for_public = engine_->SearchExecutions(public_user_, pattern, 1);
+  ASSERT_TRUE(for_public.ok());
+  EXPECT_TRUE(for_public.value().empty());
+  auto for_analyst = engine_->SearchExecutions(analyst_, pattern, 1);
+  ASSERT_TRUE(for_analyst.ok());
+  EXPECT_TRUE(for_analyst.value().empty());  // Query OMIM needs level 2
+  auto for_owner = engine_->SearchExecutions(owner_, pattern, 1);
+  ASSERT_TRUE(for_owner.ok());
+  EXPECT_EQ(for_owner.value().size(), 1u);
+}
+
+TEST_F(EngineTest, SearchExecutionsValidatesVarIndex) {
+  StructuralPattern pattern;
+  pattern.vars = {{"x"}};
+  EXPECT_FALSE(engine_->SearchExecutions(owner_, pattern, 3).ok());
+  EXPECT_FALSE(engine_->SearchExecutions(owner_, pattern, -1).ok());
+}
+
+TEST_F(EngineTest, ErrorsOnUnknownIds) {
+  EXPECT_FALSE(engine_->Search(PrincipalId(42), {"x"}).ok());
+  EXPECT_FALSE(
+      engine_->Lineage(owner_, ExecutionId(9), DataItemId(0)).ok());
+  EXPECT_FALSE(
+      engine_->Lineage(owner_, exec_id_, DataItemId(999)).ok());
+  StructuralPattern pattern;
+  pattern.vars = {{"x"}};
+  EXPECT_FALSE(engine_->Structural(owner_, 7, pattern).ok());
+}
+
+TEST_F(EngineTest, IndexIsBuilt) {
+  EXPECT_GT(engine_->index().num_tokens(), 0);
+  EXPECT_EQ(engine_->index().num_docs(), 1);
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,109 @@
+// Tests for provenance-graph serialization.
+
+#include "src/provenance/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/repo/disease.h"
+#include "src/repo/workload.h"
+#include "src/workflow/builder.h"
+
+namespace paw {
+namespace {
+
+class ExecSerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<Specification>(std::move(spec).value());
+    auto exec = RunDiseaseExecution(*spec_);
+    ASSERT_TRUE(exec.ok());
+    exec_ = std::make_unique<Execution>(std::move(exec).value());
+  }
+
+  std::unique_ptr<Specification> spec_;
+  std::unique_ptr<Execution> exec_;
+};
+
+TEST_F(ExecSerializeTest, RoundTripIsExact) {
+  std::string text = SerializeExecution(*exec_);
+  auto parsed = ParseExecution(text, *spec_);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SerializeExecution(parsed.value()), text);
+  EXPECT_EQ(parsed.value().num_nodes(), exec_->num_nodes());
+  EXPECT_EQ(parsed.value().num_items(), exec_->num_items());
+  EXPECT_EQ(parsed.value().graph().num_edges(),
+            exec_->graph().num_edges());
+}
+
+TEST_F(ExecSerializeTest, RoundTripPreservesSemantics) {
+  auto parsed = ParseExecution(SerializeExecution(*exec_), *spec_);
+  ASSERT_TRUE(parsed.ok());
+  const Execution& p = parsed.value();
+  // Process ids and labels intact.
+  for (int s = 1; s <= 15; ++s) {
+    EXPECT_EQ(p.NodeLabel(p.FindByProcess(s).value()),
+              exec_->NodeLabel(exec_->FindByProcess(s).value()));
+  }
+  // Items intact, including values with special characters.
+  for (int i = 0; i < p.num_items(); ++i) {
+    EXPECT_EQ(p.item(DataItemId(i)).label,
+              exec_->item(DataItemId(i)).label);
+    EXPECT_EQ(p.item(DataItemId(i)).value,
+              exec_->item(DataItemId(i)).value);
+  }
+  // Enclosing chains intact (needed for exec views).
+  for (int i = 0; i < p.num_nodes(); ++i) {
+    EXPECT_EQ(p.node(ExecNodeId(i)).enclosing,
+              exec_->node(ExecNodeId(i)).enclosing);
+  }
+}
+
+TEST_F(ExecSerializeTest, RejectsWrongSpec) {
+  std::string text = SerializeExecution(*exec_);
+  SpecBuilder b("other");
+  WorkflowId w = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w);
+  ModuleId o = b.AddOutput(w);
+  ASSERT_TRUE(b.Connect(i, o, {"x"}).ok());
+  auto other = std::move(b).Build();
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(ParseExecution(text, other.value()).ok());
+}
+
+TEST_F(ExecSerializeTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseExecution("gibberish\n", *spec_).ok());
+  EXPECT_FALSE(ParseExecution("node 0 atomic M1 process=1 enclosing=-1\n",
+                              *spec_)
+                   .ok());  // node before header
+  std::string bad_module =
+      "execution spec=\"disease susceptibility\"\n"
+      "node 0 atomic M404 process=1 enclosing=-1\n";
+  EXPECT_FALSE(ParseExecution(bad_module, *spec_).ok());
+  std::string bad_ids =
+      "execution spec=\"disease susceptibility\"\n"
+      "node 5 atomic M3 process=1 enclosing=-1\n";
+  EXPECT_FALSE(ParseExecution(bad_ids, *spec_).ok());
+}
+
+TEST(ExecSerializeGeneratedTest, GeneratedExecutionsRoundTrip) {
+  Rng rng(2027);
+  WorkloadParams params;
+  params.depth = 2;
+  for (int trial = 0; trial < 5; ++trial) {
+    auto spec = GenerateSpec(params, &rng, "g" + std::to_string(trial));
+    ASSERT_TRUE(spec.ok());
+    auto exec = GenerateExecution(spec.value(), &rng);
+    ASSERT_TRUE(exec.ok());
+    std::string text = SerializeExecution(exec.value());
+    auto parsed = ParseExecution(text, spec.value());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(SerializeExecution(parsed.value()), text);
+  }
+}
+
+}  // namespace
+}  // namespace paw

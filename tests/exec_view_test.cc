@@ -1,0 +1,130 @@
+// Tests for execution views beyond the Fig. 2 case covered in
+// disease_test: intermediate prefixes, full prefix, item unions.
+
+#include "src/provenance/exec_view.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/graph/algorithms.h"
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class ExecViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<Specification>(std::move(spec).value());
+    h_ = ExpansionHierarchy::Build(*spec_);
+    auto exec = RunDiseaseExecution(*spec_);
+    ASSERT_TRUE(exec.ok());
+    exec_ = std::make_unique<Execution>(std::move(exec).value());
+  }
+
+  WorkflowId W(const std::string& code) {
+    return spec_->FindWorkflow(code).value();
+  }
+
+  std::vector<std::string> Labels(const ExecView& v) {
+    std::vector<std::string> out;
+    for (NodeIndex i = 0; i < v.num_nodes(); ++i) {
+      out.push_back(v.NodeLabel(i));
+    }
+    return out;
+  }
+
+  std::unique_ptr<Specification> spec_;
+  ExpansionHierarchy h_;
+  std::unique_ptr<Execution> exec_;
+};
+
+TEST_F(ExecViewTest, FullPrefixShowsEverything) {
+  auto view = CollapseExecution(*exec_, h_, h_.FullPrefix());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().num_nodes(), exec_->num_nodes());
+  for (NodeIndex i = 0; i < view.value().num_nodes(); ++i) {
+    EXPECT_FALSE(view.value().node(i).collapsed);
+  }
+}
+
+TEST_F(ExecViewTest, PrefixW1W2CollapsesM4AndM2) {
+  auto view = CollapseExecution(*exec_, h_, {W("W1"), W("W2")});
+  ASSERT_TRUE(view.ok());
+  // Visible: I, O, M1 begin/end, S2:M3, S3:M4 (collapsed), S8:M2
+  // (collapsed) = 7 nodes.
+  EXPECT_EQ(view.value().num_nodes(), 7);
+  auto labels = Labels(view.value());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "S3:M4"),
+            labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "S8:M2"),
+            labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "S1:M1 begin"),
+            labels.end());
+  // No W4 internals visible.
+  EXPECT_EQ(std::find(labels.begin(), labels.end(), "S4:M5"),
+            labels.end());
+}
+
+TEST_F(ExecViewTest, CollapsedNodeAbsorbsBoundaryItems) {
+  auto view = CollapseExecution(*exec_, h_, {W("W1"), W("W2")});
+  ASSERT_TRUE(view.ok());
+  const ExecView& v = view.value();
+  NodeIndex m3 = -1, m4 = -1;
+  for (NodeIndex i = 0; i < v.num_nodes(); ++i) {
+    if (v.NodeLabel(i) == "S2:M3") m3 = i;
+    if (v.NodeLabel(i) == "S3:M4") m4 = i;
+  }
+  ASSERT_GE(m3, 0);
+  ASSERT_GE(m4, 0);
+  // d5 flows M3 -> collapsed M4.
+  const auto& items = v.ItemsOn(m3, m4);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].value(), 5);
+  EXPECT_TRUE(v.node(m4).collapsed);
+  EXPECT_EQ(v.node(m4).process_id, 3);
+}
+
+TEST_F(ExecViewTest, ViewNodeOfMapsInternals) {
+  auto view = CollapseExecution(*exec_, h_, {W("W1")});
+  ASSERT_TRUE(view.ok());
+  // M5's activation (S4) maps into the collapsed M1 supernode (S1).
+  ExecNodeId m5 = exec_->FindByProcess(4).value();
+  auto vn = view.value().ViewNodeOf(m5);
+  ASSERT_TRUE(vn.ok());
+  EXPECT_EQ(view.value().NodeLabel(vn.value()), "S1:M1");
+  EXPECT_TRUE(view.value().node(vn.value()).collapsed);
+}
+
+TEST_F(ExecViewTest, NoSelfEdgesAfterCollapse) {
+  auto prefixes = h_.EnumeratePrefixes();
+  ASSERT_TRUE(prefixes.ok());
+  for (const Prefix& p : prefixes.value()) {
+    auto view = CollapseExecution(*exec_, h_, p);
+    ASSERT_TRUE(view.ok());
+    for (const auto& [u, v] : view.value().graph().Edges()) {
+      EXPECT_NE(u, v);
+    }
+    EXPECT_TRUE(IsAcyclic(view.value().graph()));
+  }
+}
+
+TEST_F(ExecViewTest, InvalidPrefixRejected) {
+  EXPECT_FALSE(CollapseExecution(*exec_, h_, {W("W2")}).ok());
+}
+
+TEST_F(ExecViewTest, DotRendering) {
+  auto view = CollapseExecution(*exec_, h_, {W("W1")});
+  ASSERT_TRUE(view.ok());
+  std::string dot = view.value().ToDot("fig2");
+  EXPECT_NE(dot.find("digraph fig2"), std::string::npos);
+  EXPECT_NE(dot.find("S1:M1"), std::string::npos);
+  EXPECT_NE(dot.find("d19"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paw

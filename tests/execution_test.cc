@@ -1,0 +1,123 @@
+// Tests for the Execution container itself.
+
+#include "src/provenance/execution.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workflow/builder.h"
+
+namespace paw {
+namespace {
+
+class ExecutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SpecBuilder b("exec-spec");
+    WorkflowId w = b.AddWorkflow("W1", "top");
+    ModuleId i = b.AddInput(w);
+    ModuleId m = b.AddModule(w, "M1", "step");
+    ModuleId o = b.AddOutput(w);
+    ASSERT_TRUE(b.Connect(i, m, {"x"}).ok());
+    ASSERT_TRUE(b.Connect(m, o, {"y"}).ok());
+    auto spec = std::move(b).Build();
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<Specification>(std::move(spec).value());
+  }
+
+  std::unique_ptr<Specification> spec_;
+};
+
+TEST_F(ExecutionTest, NodesItemsFlows) {
+  Execution e(*spec_);
+  ModuleId i = spec_->FindModule("I").value();
+  ModuleId m = spec_->FindModule("M1").value();
+  ExecNodeId ni = e.AddNode(ExecNodeKind::kInput, i, -1,
+                            ExecNodeId::Invalid());
+  ExecNodeId nm = e.AddNode(ExecNodeKind::kAtomic, m, 1,
+                            ExecNodeId::Invalid());
+  DataItemId d = e.AddItem("x", ni, "val");
+  ASSERT_TRUE(e.AddFlow(ni, nm, {d}).ok());
+  EXPECT_EQ(e.num_nodes(), 2);
+  EXPECT_EQ(e.num_items(), 1);
+  EXPECT_EQ(e.ItemsOn(ni, nm), (std::vector<DataItemId>{d}));
+  EXPECT_TRUE(e.ItemsOn(nm, ni).empty());
+  EXPECT_EQ(e.item(d).label, "x");
+  EXPECT_EQ(e.item(d).producer, ni);
+}
+
+TEST_F(ExecutionTest, AddFlowMergesItems) {
+  Execution e(*spec_);
+  ModuleId i = spec_->FindModule("I").value();
+  ModuleId m = spec_->FindModule("M1").value();
+  ExecNodeId a = e.AddNode(ExecNodeKind::kInput, i, -1,
+                           ExecNodeId::Invalid());
+  ExecNodeId b = e.AddNode(ExecNodeKind::kAtomic, m, 1,
+                           ExecNodeId::Invalid());
+  DataItemId d0 = e.AddItem("x", a, "v0");
+  DataItemId d1 = e.AddItem("x", a, "v1");
+  ASSERT_TRUE(e.AddFlow(a, b, {d0}).ok());
+  ASSERT_TRUE(e.AddFlow(a, b, {d1, d0}).ok());  // d0 deduplicated
+  EXPECT_EQ(e.ItemsOn(a, b), (std::vector<DataItemId>{d0, d1}));
+  EXPECT_EQ(e.graph().num_edges(), 1);
+}
+
+TEST_F(ExecutionTest, AddFlowRejectsBadEndpoints) {
+  Execution e(*spec_);
+  EXPECT_TRUE(e.AddFlow(ExecNodeId(0), ExecNodeId(1), {})
+                  .IsInvalidArgument());
+}
+
+TEST_F(ExecutionTest, NodeLabels) {
+  Execution e(*spec_);
+  ModuleId i = spec_->FindModule("I").value();
+  ModuleId m = spec_->FindModule("M1").value();
+  ExecNodeId ni = e.AddNode(ExecNodeKind::kInput, i, -1,
+                            ExecNodeId::Invalid());
+  ExecNodeId nb = e.AddNode(ExecNodeKind::kBegin, m, 2,
+                            ExecNodeId::Invalid());
+  ExecNodeId ne = e.AddNode(ExecNodeKind::kEnd, m, 2, ExecNodeId::Invalid());
+  ExecNodeId na = e.AddNode(ExecNodeKind::kAtomic, m, 3,
+                            ExecNodeId::Invalid());
+  EXPECT_EQ(e.NodeLabel(ni), "I");
+  EXPECT_EQ(e.NodeLabel(nb), "S2:M1 begin");
+  EXPECT_EQ(e.NodeLabel(ne), "S2:M1 end");
+  EXPECT_EQ(e.NodeLabel(na), "S3:M1");
+  EXPECT_EQ(Execution::ItemName(DataItemId(7)), "d7");
+}
+
+TEST_F(ExecutionTest, FindHelpers) {
+  Execution e(*spec_);
+  ModuleId m = spec_->FindModule("M1").value();
+  ExecNodeId n = e.AddNode(ExecNodeKind::kAtomic, m, 5,
+                           ExecNodeId::Invalid());
+  DataItemId d = e.AddItem("y", n, "v");
+  EXPECT_EQ(e.FindByProcess(5).value(), n);
+  EXPECT_FALSE(e.FindByProcess(6).ok());
+  EXPECT_EQ(e.FindItemByLabel("y").value(), d);
+  EXPECT_FALSE(e.FindItemByLabel("zzz").ok());
+  EXPECT_EQ(e.ItemsProducedBy(n), (std::vector<DataItemId>{d}));
+}
+
+TEST_F(ExecutionTest, ExecNodeKindNames) {
+  EXPECT_EQ(ExecNodeKindName(ExecNodeKind::kInput), "input");
+  EXPECT_EQ(ExecNodeKindName(ExecNodeKind::kBegin), "begin");
+  EXPECT_EQ(ExecNodeKindName(ExecNodeKind::kEnd), "end");
+}
+
+TEST_F(ExecutionTest, DotContainsItems) {
+  Execution e(*spec_);
+  ModuleId i = spec_->FindModule("I").value();
+  ModuleId m = spec_->FindModule("M1").value();
+  ExecNodeId a = e.AddNode(ExecNodeKind::kInput, i, -1,
+                           ExecNodeId::Invalid());
+  ExecNodeId b = e.AddNode(ExecNodeKind::kAtomic, m, 1,
+                           ExecNodeId::Invalid());
+  DataItemId d = e.AddItem("x", a, "v");
+  ASSERT_TRUE(e.AddFlow(a, b, {d}).ok());
+  std::string dot = e.ToDot();
+  EXPECT_NE(dot.find("d0"), std::string::npos);
+  EXPECT_NE(dot.find("S1:M1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paw

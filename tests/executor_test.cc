@@ -1,0 +1,207 @@
+// Tests for the deterministic executor on specs other than the paper's
+// (the paper example itself is locked by disease_test).
+
+#include "src/provenance/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/workflow/builder.h"
+
+namespace paw {
+namespace {
+
+Result<Specification> LinearSpec() {
+  SpecBuilder b("linear");
+  WorkflowId w = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w);
+  ModuleId a = b.AddModule(w, "A", "first");
+  ModuleId c = b.AddModule(w, "C", "second");
+  ModuleId o = b.AddOutput(w);
+  PAW_RETURN_NOT_OK(b.Connect(i, a, {"x"}));
+  PAW_RETURN_NOT_OK(b.Connect(a, c, {"y"}));
+  PAW_RETURN_NOT_OK(b.Connect(c, o, {"z"}));
+  return std::move(b).Build();
+}
+
+TEST(ExecutorTest, LinearRun) {
+  auto spec = LinearSpec();
+  ASSERT_TRUE(spec.ok());
+  FunctionRegistry fns;
+  auto exec = Execute(spec.value(), fns, {{"x", "input-value"}});
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec.value().num_nodes(), 4);  // I, A, C, O
+  EXPECT_EQ(exec.value().num_items(), 3);  // x, y, z
+  // Process ids 1, 2 on A, C.
+  EXPECT_EQ(exec.value().FindByProcess(1).ok(), true);
+  EXPECT_EQ(exec.value().FindByProcess(2).ok(), true);
+}
+
+TEST(ExecutorTest, MissingInputRejected) {
+  auto spec = LinearSpec();
+  ASSERT_TRUE(spec.ok());
+  FunctionRegistry fns;
+  auto exec = Execute(spec.value(), fns, {});
+  EXPECT_FALSE(exec.ok());
+  EXPECT_TRUE(exec.status().IsInvalidArgument());
+}
+
+TEST(ExecutorTest, RegisteredFunctionIsUsed) {
+  auto spec = LinearSpec();
+  ASSERT_TRUE(spec.ok());
+  FunctionRegistry fns;
+  fns.Register("A", [](const ValueMap& in,
+                       const std::vector<std::string>& outs) {
+    ValueMap result;
+    for (const auto& label : outs) {
+      result[label] = "A(" + in.at("x") + ")";
+    }
+    return result;
+  });
+  auto exec = Execute(spec.value(), fns, {{"x", "v"}});
+  ASSERT_TRUE(exec.ok());
+  auto y = exec.value().FindItemByLabel("y");
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(exec.value().item(y.value()).value, "A(v)");
+}
+
+TEST(ExecutorTest, DefaultFunctionIsDeterministic) {
+  auto spec = LinearSpec();
+  ASSERT_TRUE(spec.ok());
+  FunctionRegistry fns;
+  auto e1 = Execute(spec.value(), fns, {{"x", "v"}});
+  auto e2 = Execute(spec.value(), fns, {{"x", "v"}});
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  for (int i = 0; i < e1.value().num_items(); ++i) {
+    EXPECT_EQ(e1.value().item(DataItemId(i)).value,
+              e2.value().item(DataItemId(i)).value);
+  }
+  auto e3 = Execute(spec.value(), fns, {{"x", "different"}});
+  ASSERT_TRUE(e3.ok());
+  EXPECT_NE(e1.value().item(DataItemId(1)).value,
+            e3.value().item(DataItemId(1)).value);
+}
+
+TEST(ExecutorTest, DuplicateLabelInputsConcatenate) {
+  // Two edges with the same label into one module (M8-style combine).
+  SpecBuilder b("merge");
+  WorkflowId w = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w);
+  ModuleId a = b.AddModule(w, "A", "left");
+  ModuleId c = b.AddModule(w, "C", "right");
+  ModuleId m = b.AddModule(w, "M", "merge");
+  ModuleId o = b.AddOutput(w);
+  ASSERT_TRUE(b.Connect(i, a, {"x"}).ok());
+  ASSERT_TRUE(b.Connect(i, c, {"w"}).ok());
+  ASSERT_TRUE(b.Connect(a, m, {"common"}).ok());
+  ASSERT_TRUE(b.Connect(c, m, {"common"}).ok());
+  ASSERT_TRUE(b.Connect(m, o, {"out"}).ok());
+  auto spec = std::move(b).Build();
+  ASSERT_TRUE(spec.ok());
+  FunctionRegistry fns;
+  fns.Register("A", [](const ValueMap&, const std::vector<std::string>&) {
+    return ValueMap{{"common", "left"}};
+  });
+  fns.Register("C", [](const ValueMap&, const std::vector<std::string>&) {
+    return ValueMap{{"common", "right"}};
+  });
+  fns.Register("M", [](const ValueMap& in,
+                       const std::vector<std::string>&) {
+    return ValueMap{{"out", in.at("common")}};
+  });
+  auto exec = Execute(spec.value(), fns, {{"x", "1"}, {"w", "2"}});
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  auto out = exec.value().FindItemByLabel("out");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(exec.value().item(out.value()).value, "left|right");
+}
+
+TEST(ExecutorTest, NestedCompositeProcessNumbers) {
+  // W1: I -> C1 -> O; C1 expands to W2: A -> C2; C2 expands to W3: B.
+  SpecBuilder b("nested");
+  WorkflowId w1 = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w1);
+  ModuleId c1 = b.AddModule(w1, "C1", "outer composite");
+  ModuleId o = b.AddOutput(w1);
+  ASSERT_TRUE(b.Connect(i, c1, {"x"}).ok());
+  ASSERT_TRUE(b.Connect(c1, o, {"z"}).ok());
+  WorkflowId w2 = b.AddWorkflow("W2", "middle");
+  ASSERT_TRUE(b.MakeComposite(c1, w2).ok());
+  ModuleId a = b.AddModule(w2, "A", "step");
+  ModuleId c2 = b.AddModule(w2, "C2", "inner composite");
+  ASSERT_TRUE(b.Connect(a, c2, {"y"}).ok());
+  WorkflowId w3 = b.AddWorkflow("W3", "inner");
+  ASSERT_TRUE(b.MakeComposite(c2, w3).ok());
+  b.AddModule(w3, "B", "leaf");
+  auto spec = std::move(b).Build();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  FunctionRegistry fns;
+  auto exec = Execute(spec.value(), fns, {{"x", "v"}});
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  const Execution& e = exec.value();
+  // Activation order: C1 (S1), A (S2), C2 (S3), B (S4).
+  EXPECT_EQ(e.spec().module(e.node(e.FindByProcess(1).value()).module).code,
+            "C1");
+  EXPECT_EQ(e.spec().module(e.node(e.FindByProcess(2).value()).module).code,
+            "A");
+  EXPECT_EQ(e.spec().module(e.node(e.FindByProcess(3).value()).module).code,
+            "C2");
+  EXPECT_EQ(e.spec().module(e.node(e.FindByProcess(4).value()).module).code,
+            "B");
+  // Nodes: I, O, A, B atomic + 2 begin/end pairs = 8.
+  EXPECT_EQ(e.num_nodes(), 8);
+  // Enclosing chain: B's node sits inside C2's activation inside C1's.
+  ExecNodeId b_node = e.FindByProcess(4).value();
+  ExecNodeId c2_begin = e.FindByProcess(3).value();
+  ExecNodeId c1_begin = e.FindByProcess(1).value();
+  EXPECT_EQ(e.node(b_node).enclosing, c2_begin);
+  EXPECT_EQ(e.node(c2_begin).enclosing, c1_begin);
+  EXPECT_FALSE(e.node(c1_begin).enclosing.valid());
+}
+
+TEST(ExecutorTest, MultiExitSubworkflowRejectedWhenOutputNeeded) {
+  SpecBuilder b("multiexit");
+  WorkflowId w1 = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w1);
+  ModuleId c = b.AddModule(w1, "C", "composite");
+  ModuleId o = b.AddOutput(w1);
+  ASSERT_TRUE(b.Connect(i, c, {"x"}).ok());
+  ASSERT_TRUE(b.Connect(c, o, {"z"}).ok());
+  WorkflowId w2 = b.AddWorkflow("W2", "two exits");
+  ASSERT_TRUE(b.MakeComposite(c, w2).ok());
+  ModuleId a = b.AddModule(w2, "A", "entry");
+  ModuleId e1 = b.AddModule(w2, "E1", "exit one");
+  ModuleId e2 = b.AddModule(w2, "E2", "exit two");
+  ASSERT_TRUE(b.Connect(a, e1, {"m"}).ok());
+  ASSERT_TRUE(b.Connect(a, e2, {"n"}).ok());
+  auto spec = std::move(b).Build();
+  ASSERT_TRUE(spec.ok());
+  FunctionRegistry fns;
+  auto exec = Execute(spec.value(), fns, {{"x", "v"}});
+  EXPECT_FALSE(exec.ok());
+  EXPECT_TRUE(exec.status().IsFailedPrecondition());
+}
+
+TEST(ExecutorTest, FunctionMissingOutputIsInternalError) {
+  auto spec = LinearSpec();
+  ASSERT_TRUE(spec.ok());
+  FunctionRegistry fns;
+  fns.Register("A", [](const ValueMap&, const std::vector<std::string>&) {
+    return ValueMap{};  // produces nothing
+  });
+  auto exec = Execute(spec.value(), fns, {{"x", "v"}});
+  EXPECT_FALSE(exec.ok());
+  EXPECT_TRUE(exec.status().IsInternal());
+}
+
+TEST(ExecutorTest, DefaultFnCoversAllLabels) {
+  ValueMap out = FunctionRegistry::DefaultFn("X", {{"a", "1"}},
+                                             {"p", "q", "r"});
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.at("p").size(), 8u);  // short hex digest
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,103 @@
+// Tests for the privacy-annotated inverted keyword index.
+
+#include "src/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "src/repo/disease.h"
+#include "src/repo/workload.h"
+
+namespace paw {
+namespace {
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    ASSERT_TRUE(repo_.AddSpecification(std::move(spec).value(),
+                                       DiseasePolicy())
+                    .ok());
+    index_.Build(repo_);
+  }
+
+  Repository repo_;
+  InvertedIndex index_;
+};
+
+TEST_F(InvertedIndexTest, TokensIndexed) {
+  EXPECT_GT(index_.num_tokens(), 0);
+  EXPECT_GT(index_.num_postings(), 0);
+  EXPECT_EQ(index_.num_docs(), 1);
+  // "disorder" appears in M2 (Evaluate Disorder Risk) and M8 (Combine
+  // Disorder Sets).
+  const auto& postings = index_.Lookup("disorder");
+  EXPECT_EQ(postings.size(), 2u);
+}
+
+TEST_F(InvertedIndexTest, PostingLevelsComeFromWorkflow) {
+  const SpecEntry& entry = repo_.entry(0);
+  for (const Posting& p : index_.Lookup("omim")) {
+    // M6 lives in W4, level 2.
+    EXPECT_EQ(p.level, 2);
+    EXPECT_EQ(entry.spec.module(p.module).code, "M6");
+  }
+  for (const Posting& p : index_.Lookup("genetic")) {
+    // M1's placeholder lives in W1, level 0.
+    EXPECT_EQ(p.level, 0);
+  }
+}
+
+TEST_F(InvertedIndexTest, CandidateSpecsFilterByLevel) {
+  // "omim" only exists at level 2.
+  EXPECT_TRUE(index_.CandidateSpecs({"omim"}, 0).empty());
+  EXPECT_TRUE(index_.CandidateSpecs({"omim"}, 1).empty());
+  EXPECT_EQ(index_.CandidateSpecs({"omim"}, 2),
+            (std::vector<int>{0}));
+  // "genetic" is public.
+  EXPECT_EQ(index_.CandidateSpecs({"genetic"}, 0),
+            (std::vector<int>{0}));
+}
+
+TEST_F(InvertedIndexTest, CandidateSpecsIntersectTerms) {
+  EXPECT_EQ(index_.CandidateSpecs({"genetic", "disorder"}, 0),
+            (std::vector<int>{0}));
+  EXPECT_TRUE(index_.CandidateSpecs({"genetic", "nonexistent"}, 0).empty());
+}
+
+TEST_F(InvertedIndexTest, MultiTokenTermsRequireAllTokens) {
+  EXPECT_EQ(index_.CandidateSpecs({"disorder risk"}, 0),
+            (std::vector<int>{0}));
+  EXPECT_TRUE(index_.CandidateSpecs({"disorder unicorn"}, 0).empty());
+}
+
+TEST_F(InvertedIndexTest, UnknownTokenEmpty) {
+  EXPECT_TRUE(index_.Lookup("zebra").empty());
+  EXPECT_EQ(index_.DocumentFrequency("zebra"), 0);
+  EXPECT_EQ(index_.DocumentFrequency("disorder"), 1);
+}
+
+TEST_F(InvertedIndexTest, NoTermsMeansAllSpecs) {
+  EXPECT_EQ(index_.CandidateSpecs({}, 0), (std::vector<int>{0}));
+}
+
+TEST(InvertedIndexMultiSpecTest, DfCountsSpecsNotOccurrences) {
+  Repository repo;
+  Rng rng(3);
+  WorkloadParams params;
+  params.vocabulary = 5;  // force keyword collisions across specs
+  for (int i = 0; i < 4; ++i) {
+    auto spec = GenerateSpec(params, &rng, "spec" + std::to_string(i));
+    ASSERT_TRUE(spec.ok());
+    ASSERT_TRUE(repo.AddSpecification(std::move(spec).value()).ok());
+  }
+  InvertedIndex index;
+  index.Build(repo);
+  EXPECT_EQ(index.num_docs(), 4);
+  // kw0 (the most popular Zipf keyword) should be in most specs.
+  EXPECT_GE(index.DocumentFrequency("kw0"), 2);
+  EXPECT_LE(index.DocumentFrequency("kw0"), 4);
+}
+
+}  // namespace
+}  // namespace paw

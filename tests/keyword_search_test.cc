@@ -1,0 +1,148 @@
+// Tests for keyword search with minimal views — including the exact
+// Fig. 5 reproduction.
+
+#include "src/query/keyword_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class KeywordSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    ASSERT_TRUE(
+        repo_.AddSpecification(std::move(spec).value(), DiseasePolicy())
+            .ok());
+    index_.Build(repo_);
+    scorer_.Build(index_);
+  }
+
+  const Specification& spec() { return repo_.entry(0).spec; }
+  const ExpansionHierarchy& hierarchy() {
+    return repo_.entry(0).hierarchy;
+  }
+  WorkflowId W(const std::string& code) {
+    return spec().FindWorkflow(code).value();
+  }
+
+  Repository repo_;
+  InvertedIndex index_;
+  TfIdfScorer scorer_;
+};
+
+TEST_F(KeywordSearchTest, Fig5MinimalViewForDatabaseQueriesDisorderRisk) {
+  // The Fig. 5 query: the terms force expansion down to W4 (which holds
+  // "Generate Database Queries") while M2 covers "disorder risk" as a
+  // collapsed placeholder -> minimal view {W1, W2, W4}.
+  auto minimal = MinimalCoveringPrefixes(
+      spec(), hierarchy(), {"database queries", "disorder risk"},
+      /*level=*/2);
+  ASSERT_TRUE(minimal.ok()) << minimal.status().ToString();
+  ASSERT_EQ(minimal.value().size(), 1u);
+  EXPECT_EQ(minimal.value()[0], (Prefix{W("W1"), W("W2"), W("W4")}));
+}
+
+TEST_F(KeywordSearchTest, PlaceholderCoverageKeepsViewsSmall) {
+  // "databases" matches the *composite* M4 placeholder already at
+  // {W1, W2}: minimal view stops there.
+  auto minimal = MinimalCoveringPrefixes(
+      spec(), hierarchy(), {"external databases"}, /*level=*/2);
+  ASSERT_TRUE(minimal.ok());
+  ASSERT_EQ(minimal.value().size(), 1u);
+  EXPECT_EQ(minimal.value()[0], (Prefix{W("W1"), W("W2")}));
+}
+
+TEST_F(KeywordSearchTest, RootTermNeedsNoExpansion) {
+  auto minimal = MinimalCoveringPrefixes(
+      spec(), hierarchy(), {"genetic susceptibility"}, /*level=*/2);
+  ASSERT_TRUE(minimal.ok());
+  ASSERT_EQ(minimal.value().size(), 1u);
+  EXPECT_EQ(minimal.value()[0], (Prefix{W("W1")}));
+}
+
+TEST_F(KeywordSearchTest, AccessLevelPrunesAnswers) {
+  // "omim" lives in W4 (level 2); a level-0 observer gets nothing.
+  auto minimal =
+      MinimalCoveringPrefixes(spec(), hierarchy(), {"omim"}, /*level=*/0);
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_TRUE(minimal.value().empty());
+  auto minimal2 =
+      MinimalCoveringPrefixes(spec(), hierarchy(), {"omim"}, /*level=*/2);
+  ASSERT_TRUE(minimal2.ok());
+  EXPECT_EQ(minimal2.value().size(), 1u);
+}
+
+TEST_F(KeywordSearchTest, MultipleIncomparableMinimalViews) {
+  // "reformat" is in W3; "expand snp" in W2: one minimal view needs both.
+  auto minimal = MinimalCoveringPrefixes(
+      spec(), hierarchy(), {"reformat", "expand snp"}, /*level=*/2);
+  ASSERT_TRUE(minimal.ok());
+  ASSERT_EQ(minimal.value().size(), 1u);
+  EXPECT_EQ(minimal.value()[0], (Prefix{W("W1"), W("W2"), W("W3")}));
+}
+
+TEST_F(KeywordSearchTest, UncoverableTermYieldsNoViews) {
+  auto minimal = MinimalCoveringPrefixes(
+      spec(), hierarchy(), {"quantum chromodynamics"}, /*level=*/2);
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_TRUE(minimal.value().empty());
+}
+
+TEST_F(KeywordSearchTest, GreedyCoverAgreesOnPaperQuery) {
+  auto greedy = GreedyCoveringPrefix(
+      spec(), hierarchy(), {"database queries", "disorder risk"},
+      /*level=*/2);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  EXPECT_EQ(greedy.value(), (Prefix{W("W1"), W("W2"), W("W4")}));
+}
+
+TEST_F(KeywordSearchTest, GreedyRejectsUncoverable) {
+  auto greedy = GreedyCoveringPrefix(spec(), hierarchy(),
+                                     {"no such term"}, /*level=*/2);
+  EXPECT_FALSE(greedy.ok());
+}
+
+TEST_F(KeywordSearchTest, RepositorySearchRanksAndFilters) {
+  auto answers = KeywordSearch(repo_, &index_, &scorer_,
+                               {"database queries", "disorder risk"},
+                               /*level=*/2);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers.value().size(), 1u);
+  const KeywordAnswer& a = answers.value()[0];
+  EXPECT_EQ(a.spec_id, 0);
+  EXPECT_EQ(a.prefix, (Prefix{W("W1"), W("W2"), W("W4")}));
+  EXPECT_GT(a.score, 0);
+  // Matched modules include M5 and M2.
+  std::vector<std::string> codes;
+  for (ModuleId m : a.matched) codes.push_back(spec().module(m).code);
+  EXPECT_NE(std::find(codes.begin(), codes.end(), "M5"), codes.end());
+  EXPECT_NE(std::find(codes.begin(), codes.end(), "M2"), codes.end());
+}
+
+TEST_F(KeywordSearchTest, SearchWithoutIndexScansEverything) {
+  KeywordSearchOptions options;
+  options.use_index = false;
+  auto answers = KeywordSearch(repo_, nullptr, &scorer_, {"reformat"},
+                               /*level=*/2, options);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers.value().size(), 1u);
+}
+
+TEST_F(KeywordSearchTest, LevelZeroSeesOnlyRootAnswers) {
+  auto answers =
+      KeywordSearch(repo_, &index_, &scorer_, {"disorder risk"},
+                    /*level=*/0);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers.value().size(), 1u);
+  EXPECT_EQ(answers.value()[0].prefix, (Prefix{W("W1")}));
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,120 @@
+// Tests for lineage queries ("what produced d / what did d affect").
+
+#include "src/provenance/lineage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class LineageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<Specification>(std::move(spec).value());
+    auto exec = RunDiseaseExecution(*spec_);
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    exec_ = std::make_unique<Execution>(std::move(exec).value());
+  }
+
+  bool ConeContainsModule(const LineageResult& r, const std::string& code) {
+    for (ExecNodeId n : r.nodes) {
+      if (spec_->module(exec_->node(n).module).code == code) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Specification> spec_;
+  std::unique_ptr<Execution> exec_;
+};
+
+TEST_F(LineageTest, ProvenanceOfPrognosisIsWholeRun) {
+  // d19 (prognosis) depends on everything upstream of its producer M15:
+  // all 20 nodes minus the downstream M2.end and O.
+  auto r = ProvenanceOf(*exec_, DataItemId(19));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().nodes.size(), 18u);
+  EXPECT_TRUE(ConeContainsModule(r.value(), "M3"));
+  EXPECT_TRUE(ConeContainsModule(r.value(), "M10"));
+}
+
+TEST_F(LineageTest, ProvenanceOfDisordersExcludesW3) {
+  // d10 (combined disorders from M8) must not include any W3 module.
+  auto r = ProvenanceOf(*exec_, DataItemId(10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ConeContainsModule(r.value(), "M5"));
+  EXPECT_TRUE(ConeContainsModule(r.value(), "M6"));
+  EXPECT_TRUE(ConeContainsModule(r.value(), "M7"));
+  EXPECT_TRUE(ConeContainsModule(r.value(), "M8"));
+  EXPECT_FALSE(ConeContainsModule(r.value(), "M9"));
+  EXPECT_FALSE(ConeContainsModule(r.value(), "M15"));
+  EXPECT_FALSE(ConeContainsModule(r.value(), "O"));
+}
+
+TEST_F(LineageTest, ProvenanceItemsAreUpstreamOnly) {
+  auto r = ProvenanceOf(*exec_, DataItemId(10));
+  ASSERT_TRUE(r.ok());
+  // d19 is downstream of d10, so it cannot appear in d10's provenance.
+  EXPECT_EQ(std::find(r.value().items.begin(), r.value().items.end(),
+                      DataItemId(19)),
+            r.value().items.end());
+  // d5 (expanded SNPs) is upstream of d10.
+  EXPECT_NE(std::find(r.value().items.begin(), r.value().items.end(),
+                      DataItemId(5)),
+            r.value().items.end());
+}
+
+TEST_F(LineageTest, AffectedByInputReachesEverything) {
+  // d0 (the SNPs) ultimately affects the prognosis and O.
+  auto r = AffectedBy(*exec_, DataItemId(0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ConeContainsModule(r.value(), "M3"));
+  EXPECT_TRUE(ConeContainsModule(r.value(), "M15"));
+  EXPECT_TRUE(ConeContainsModule(r.value(), "O"));
+  // The producer itself (I) is not "affected".
+  EXPECT_FALSE(ConeContainsModule(r.value(), "I"));
+}
+
+TEST_F(LineageTest, AffectedBySummaryIsNarrow) {
+  // d16 (the article summary from M14) only flows into M15 and beyond.
+  auto d16 = exec_->item(DataItemId(16));
+  ASSERT_EQ(d16.label, "summary");
+  auto r = AffectedBy(*exec_, DataItemId(16));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(ConeContainsModule(r.value(), "M15"));
+  EXPECT_FALSE(ConeContainsModule(r.value(), "M10"));
+  EXPECT_FALSE(ConeContainsModule(r.value(), "M13"));
+}
+
+TEST_F(LineageTest, SubgraphIsConsistent) {
+  auto r = ProvenanceOf(*exec_, DataItemId(10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<size_t>(r.value().subgraph.num_nodes()),
+            r.value().nodes.size());
+  // The cone is closed under predecessors: sources of the subgraph are
+  // also sources of the execution (only I here).
+  EXPECT_TRUE(IsAcyclic(r.value().subgraph));
+}
+
+TEST_F(LineageTest, RejectsBadItem) {
+  EXPECT_FALSE(ProvenanceOf(*exec_, DataItemId(999)).ok());
+  EXPECT_FALSE(AffectedBy(*exec_, DataItemId(-1)).ok());
+}
+
+TEST_F(LineageTest, Contributes) {
+  ExecNodeId m3 = exec_->FindByProcess(2).value();   // M3
+  ExecNodeId m8 = exec_->FindByProcess(7).value();   // M8
+  ExecNodeId m10 = exec_->FindByProcess(13).value(); // M10
+  EXPECT_TRUE(Contributes(*exec_, m3, m8));
+  EXPECT_FALSE(Contributes(*exec_, m8, m3));
+  EXPECT_FALSE(Contributes(*exec_, m10, m8));
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,274 @@
+// Tests for standalone module privacy (Gamma-privacy, ref [4]).
+
+#include "src/privacy/module_privacy.h"
+
+#include <gtest/gtest.h>
+
+namespace paw {
+namespace {
+
+/// XOR module: two boolean inputs, one boolean output.
+Relation XorRelation() {
+  auto rel = Relation::FromFunction(
+      {{"a", 2, 1.0}, {"b", 2, 1.0}}, {{"y", 2, 1.0}},
+      [](const std::vector<int>& x) {
+        return std::vector<int>{x[0] ^ x[1]};
+      });
+  EXPECT_TRUE(rel.ok());
+  return std::move(rel).value();
+}
+
+/// Identity on one ternary input.
+Relation IdentityRelation() {
+  auto rel = Relation::FromFunction(
+      {{"x", 3, 1.0}}, {{"y", 3, 1.0}},
+      [](const std::vector<int>& x) { return std::vector<int>{x[0]}; });
+  EXPECT_TRUE(rel.ok());
+  return std::move(rel).value();
+}
+
+/// Constant module: output independent of input.
+Relation ConstantRelation() {
+  auto rel = Relation::FromFunction(
+      {{"x", 2, 1.0}}, {{"y", 2, 1.0}},
+      [](const std::vector<int>&) { return std::vector<int>{1}; });
+  EXPECT_TRUE(rel.ok());
+  return std::move(rel).value();
+}
+
+TEST(RelationTest, FromFunctionTabulatesFullDomain) {
+  Relation rel = XorRelation();
+  EXPECT_EQ(rel.num_rows(), 4);
+  EXPECT_EQ(rel.num_inputs(), 2);
+  EXPECT_EQ(rel.num_outputs(), 1);
+  EXPECT_EQ(rel.num_attributes(), 3);
+  EXPECT_EQ(rel.attribute(2).name, "y");
+  EXPECT_FALSE(rel.IsInput(2));
+  EXPECT_TRUE(rel.IsInput(0));
+}
+
+TEST(RelationTest, CreateRejectsBadShapes) {
+  EXPECT_FALSE(Relation::Create({{"a", 2, 1.0}}, {}).ok());        // no out
+  EXPECT_FALSE(Relation::Create({{"a", 1, 1.0}}, {{"y", 2, 1.0}}).ok());
+  EXPECT_FALSE(
+      Relation::Create({{"a", 2, 1.0}}, {{"a", 2, 1.0}}).ok());    // dup
+}
+
+TEST(RelationTest, AddRowValidation) {
+  auto rel = Relation::Create({{"a", 2, 1.0}}, {{"y", 2, 1.0}});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(rel.value().AddRow({0}, {1}).ok());
+  EXPECT_TRUE(rel.value().AddRow({0}, {0}).IsAlreadyExists());
+  EXPECT_TRUE(rel.value().AddRow({5}, {0}).IsOutOfRange());
+  EXPECT_TRUE(rel.value().AddRow({1, 1}, {0}).IsInvalidArgument());
+}
+
+TEST(RelationTest, NoHidingMeansNoPrivacyForFunctions) {
+  Relation rel = XorRelation();
+  std::vector<bool> none(3, false);
+  auto min_out = rel.MinPossibleOutputs(none);
+  ASSERT_TRUE(min_out.ok());
+  EXPECT_EQ(min_out.value(), 1);  // fully determined
+}
+
+TEST(RelationTest, HidingTheOutputGivesFullAmbiguity) {
+  Relation rel = XorRelation();
+  std::vector<bool> hide_out{false, false, true};
+  EXPECT_EQ(rel.MinPossibleOutputs(hide_out).value(), 2);
+  EXPECT_TRUE(rel.IsGammaPrivate(hide_out, 2).value());
+}
+
+TEST(RelationTest, XorHidingOneInputSufficesForGamma2) {
+  // XOR with one input hidden: each visible input value maps to both
+  // output values -> two distinct visible output projections.
+  Relation rel = XorRelation();
+  std::vector<bool> hide_a{true, false, false};
+  EXPECT_EQ(rel.MinPossibleOutputs(hide_a).value(), 2);
+}
+
+TEST(RelationTest, IdentityNeedsOutputHiding) {
+  // For identity, hiding the input alone gives OUT(x) = all 3 values
+  // (3 distinct visible output projections in the single group).
+  Relation rel = IdentityRelation();
+  EXPECT_EQ(rel.MinPossibleOutputs({true, false}).value(), 3);
+  // Hiding the output alone also gives 3 (domain completions).
+  EXPECT_EQ(rel.MinPossibleOutputs({false, true}).value(), 3);
+  EXPECT_EQ(rel.MaxAchievableGamma(), 3);
+}
+
+TEST(RelationTest, ConstantModuleIsNeverInputPrivate) {
+  // A constant module reveals its output regardless of input hiding.
+  Relation rel = ConstantRelation();
+  EXPECT_EQ(rel.MinPossibleOutputs({true, false}).value(), 1);
+  // Only output hiding helps.
+  EXPECT_EQ(rel.MinPossibleOutputs({false, true}).value(), 2);
+}
+
+TEST(RelationTest, CostSumsWeights) {
+  auto rel = Relation::Create({{"a", 2, 2.0}, {"b", 2, 3.0}},
+                              {{"y", 2, 5.0}});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_DOUBLE_EQ(rel.value().CostOf({true, false, true}), 7.0);
+  EXPECT_DOUBLE_EQ(rel.value().CostOf({false, false, false}), 0.0);
+}
+
+TEST(SafeSubsetTest, OptimalPicksCheapestSufficientSet) {
+  // XOR with expensive output, cheap inputs: hiding either input gives
+  // Gamma 2 at cost 1; hiding the output costs 10.
+  auto rel = Relation::FromFunction(
+      {{"a", 2, 1.0}, {"b", 2, 1.5}}, {{"y", 2, 10.0}},
+      [](const std::vector<int>& x) {
+        return std::vector<int>{x[0] ^ x[1]};
+      });
+  ASSERT_TRUE(rel.ok());
+  auto sol = OptimalSafeSubset(rel.value(), 2);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol.value().feasible);
+  EXPECT_DOUBLE_EQ(sol.value().cost, 1.0);
+  EXPECT_TRUE(sol.value().hidden[0]);   // hide cheap input a
+  EXPECT_FALSE(sol.value().hidden[2]);  // keep the output
+}
+
+TEST(SafeSubsetTest, GreedyNeverBeatsOptimal) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation rel = Relation::Random(&rng, 3, 2, 2);
+    for (int64_t gamma : {2, 4}) {
+      auto opt = OptimalSafeSubset(rel, gamma);
+      auto greedy = GreedySafeSubset(rel, gamma);
+      ASSERT_TRUE(opt.ok());
+      ASSERT_TRUE(greedy.ok());
+      EXPECT_TRUE(opt.value().feasible);
+      EXPECT_TRUE(greedy.value().feasible);
+      EXPECT_GE(greedy.value().cost, opt.value().cost - 1e-9)
+          << "trial " << trial << " gamma " << gamma;
+      EXPECT_GE(greedy.value().achieved_gamma, gamma);
+    }
+  }
+}
+
+TEST(SafeSubsetTest, OutputOnlyIsFeasibleWhenOutputsSuffice) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation rel = Relation::Random(&rng, 2, 3, 2);
+    auto sol = OutputOnlySafeSubset(rel, 8);  // 2^3 = max
+    ASSERT_TRUE(sol.ok());
+    EXPECT_TRUE(sol.value().feasible);
+    // Only output attributes hidden.
+    for (int i = 0; i < rel.num_inputs(); ++i) {
+      EXPECT_FALSE(sol.value().hidden[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(SafeSubsetTest, InfeasibleGammaReported) {
+  Relation rel = XorRelation();  // max achievable = 2
+  auto sol = OptimalSafeSubset(rel, 4);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol.value().feasible);
+  auto greedy = GreedySafeSubset(rel, 4);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_FALSE(greedy.value().feasible);
+}
+
+TEST(SafeSubsetTest, HidingIsMonotoneInPrivacy) {
+  // Property: adding a hidden attribute never decreases min |OUT(x)|.
+  Rng rng(99);
+  for (int trial = 0; trial < 15; ++trial) {
+    Relation rel = Relation::Random(&rng, 3, 2, 2);
+    std::vector<bool> hidden(5, false);
+    int64_t prev = rel.MinPossibleOutputs(hidden).value();
+    for (int i = 0; i < 5; ++i) {
+      hidden[static_cast<size_t>(i)] = true;
+      int64_t cur = rel.MinPossibleOutputs(hidden).value();
+      EXPECT_GE(cur, prev) << "trial " << trial << " attr " << i;
+      prev = cur;
+    }
+    EXPECT_EQ(prev, rel.MaxAchievableGamma());
+  }
+}
+
+TEST(SafeSubsetTest, BranchAndBoundMatchesExhaustiveOptimum) {
+  Rng rng(314);
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation rel = Relation::Random(&rng, 3, 3, 2);
+    for (int64_t gamma : {2, 4, 8}) {
+      auto exhaustive = OptimalSafeSubset(rel, gamma);
+      auto bnb = BranchAndBoundSafeSubset(rel, gamma);
+      ASSERT_TRUE(exhaustive.ok());
+      ASSERT_TRUE(bnb.ok());
+      EXPECT_EQ(exhaustive.value().feasible, bnb.value().feasible)
+          << "trial " << trial << " gamma " << gamma;
+      if (exhaustive.value().feasible) {
+        EXPECT_NEAR(exhaustive.value().cost, bnb.value().cost, 1e-9)
+            << "trial " << trial << " gamma " << gamma;
+        EXPECT_GE(bnb.value().achieved_gamma, gamma);
+      }
+    }
+  }
+}
+
+TEST(SafeSubsetTest, BranchAndBoundScalesPastEnumerationLimit) {
+  Rng rng(99);
+  Relation rel = Relation::Random(&rng, 4, 4, 2);
+  // Enumeration is told to refuse; branch and bound still solves.
+  EXPECT_FALSE(OptimalSafeSubset(rel, 4, /*max_attrs=*/6).ok());
+  auto bnb = BranchAndBoundSafeSubset(rel, 4);
+  ASSERT_TRUE(bnb.ok());
+  EXPECT_TRUE(bnb.value().feasible);
+}
+
+TEST(SafeSubsetTest, BranchAndBoundReportsInfeasible) {
+  Relation rel = XorRelation();
+  auto bnb = BranchAndBoundSafeSubset(rel, 100);
+  ASSERT_TRUE(bnb.ok());
+  EXPECT_FALSE(bnb.value().feasible);
+}
+
+TEST(SafeSubsetTest, RejectsArityMismatch) {
+  Relation rel = XorRelation();
+  EXPECT_FALSE(rel.MinPossibleOutputs({true}).ok());
+}
+
+TEST(SafeSubsetTest, OptimalRefusesHugeSearch) {
+  auto rel = Relation::Create(
+      {{"a", 2, 1.0}, {"b", 2, 1.0}}, {{"y", 2, 1.0}});
+  ASSERT_TRUE(rel.ok());
+  ASSERT_TRUE(rel.value().AddRow({0, 0}, {0}).ok());
+  EXPECT_FALSE(OptimalSafeSubset(rel.value(), 2, /*max_attrs=*/2).ok());
+}
+
+// Parameterized sweep: on random modules, all three algorithms reach the
+// requested Gamma whenever it is achievable.
+class SafeSubsetSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int64_t>> {};
+
+TEST_P(SafeSubsetSweep, AllAlgorithmsReachGamma) {
+  auto [num_in, num_out, gamma] = GetParam();
+  Rng rng(static_cast<uint64_t>(num_in * 100 + num_out * 10 +
+                                static_cast<int>(gamma)));
+  Relation rel = Relation::Random(&rng, num_in, num_out, 2);
+  if (rel.MaxAchievableGamma() < gamma) GTEST_SKIP();
+  for (bool use_optimal : {true, false}) {
+    auto sol = use_optimal ? OptimalSafeSubset(rel, gamma, 22)
+                           : GreedySafeSubset(rel, gamma);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_TRUE(sol.value().feasible);
+    EXPECT_GE(sol.value().achieved_gamma, gamma);
+    // Verify the reported gamma against a recomputation.
+    EXPECT_EQ(rel.MinPossibleOutputs(sol.value().hidden).value(),
+              sol.value().achieved_gamma);
+  }
+  auto out_only = OutputOnlySafeSubset(rel, gamma);
+  ASSERT_TRUE(out_only.ok());
+  EXPECT_TRUE(out_only.value().feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SafeSubsetSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(int64_t{2}, int64_t{4})));
+
+}  // namespace
+}  // namespace paw

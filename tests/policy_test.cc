@@ -1,0 +1,113 @@
+// Tests for policy validation and the access-control registry.
+
+#include "src/privacy/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/privacy/access_control.h"
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::move(spec).value();
+  }
+  Specification spec_;
+};
+
+TEST_F(PolicyTest, DiseasePolicyIsValid) {
+  EXPECT_TRUE(ValidatePolicy(spec_, DiseasePolicy()).ok());
+}
+
+TEST_F(PolicyTest, EmptyPolicyIsValid) {
+  EXPECT_TRUE(ValidatePolicy(spec_, PolicySet{}).ok());
+}
+
+TEST_F(PolicyTest, RejectsGammaBelowTwo) {
+  PolicySet p;
+  p.module_reqs.push_back({"M1", /*gamma=*/1, /*required_level=*/1});
+  EXPECT_FALSE(ValidatePolicy(spec_, p).ok());
+}
+
+TEST_F(PolicyTest, RejectsUnknownModule) {
+  PolicySet p;
+  p.module_reqs.push_back({"M99", 2, 1});
+  EXPECT_TRUE(ValidatePolicy(spec_, p).IsNotFound());
+}
+
+TEST_F(PolicyTest, RejectsModulePrivacyOnIO) {
+  PolicySet p;
+  p.module_reqs.push_back({"I", 2, 1});
+  EXPECT_FALSE(ValidatePolicy(spec_, p).ok());
+}
+
+TEST_F(PolicyTest, RejectsDegenerateStructuralPair) {
+  PolicySet p;
+  p.structural_reqs.push_back({"M13", "M13", 1});
+  EXPECT_FALSE(ValidatePolicy(spec_, p).ok());
+}
+
+TEST_F(PolicyTest, RejectsNegativeLevels) {
+  PolicySet p;
+  p.data.label_level["x"] = -1;
+  EXPECT_FALSE(ValidatePolicy(spec_, p).ok());
+  PolicySet q;
+  q.data.default_level = -2;
+  EXPECT_FALSE(ValidatePolicy(spec_, q).ok());
+}
+
+TEST_F(PolicyTest, DataPolicyLevelLookup) {
+  DataPolicy d;
+  d.label_level["SNPs"] = 2;
+  d.default_level = 1;
+  EXPECT_EQ(d.LevelOf("SNPs"), 2);
+  EXPECT_EQ(d.LevelOf("unlisted"), 1);
+}
+
+TEST(AccessControlTest, RegisterAndFind) {
+  AccessControl acl;
+  auto alice = acl.AddPrincipal("alice", 2, "lab-a");
+  ASSERT_TRUE(alice.ok());
+  auto bob = acl.AddPrincipal("bob", 0, "public");
+  ASSERT_TRUE(bob.ok());
+  EXPECT_EQ(acl.size(), 2);
+  EXPECT_EQ(acl.Get(alice.value()).value().level, 2);
+  EXPECT_EQ(acl.Find("bob").value().group, "public");
+  EXPECT_TRUE(acl.Find("carol").status().IsNotFound());
+  EXPECT_TRUE(acl.Get(PrincipalId(99)).status().IsNotFound());
+}
+
+TEST(AccessControlTest, RejectsDuplicatesAndNegativeLevels) {
+  AccessControl acl;
+  ASSERT_TRUE(acl.AddPrincipal("alice", 1).ok());
+  EXPECT_TRUE(acl.AddPrincipal("alice", 2).status().IsAlreadyExists());
+  EXPECT_TRUE(acl.AddPrincipal("eve", -1).status().IsInvalidArgument());
+}
+
+TEST(AccessControlTest, AccessViewMatchesLevels) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  ExpansionHierarchy h = ExpansionHierarchy::Build(spec.value());
+  AccessControl acl;
+  PrincipalId pub = acl.AddPrincipal("public-user", 0).value();
+  PrincipalId analyst = acl.AddPrincipal("analyst", 1).value();
+  PrincipalId owner = acl.AddPrincipal("owner", 2).value();
+
+  auto w = [&](const std::string& code) {
+    return spec.value().FindWorkflow(code).value();
+  };
+  EXPECT_EQ(acl.AccessViewFor(pub, spec.value(), h).value(),
+            (Prefix{w("W1")}));
+  EXPECT_EQ(acl.AccessViewFor(analyst, spec.value(), h).value(),
+            (Prefix{w("W1"), w("W2"), w("W3")}));
+  EXPECT_EQ(acl.AccessViewFor(owner, spec.value(), h).value(),
+            h.FullPrefix());
+}
+
+}  // namespace
+}  // namespace paw

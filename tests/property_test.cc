@@ -1,0 +1,222 @@
+// Cross-layer property tests over many generated worlds: invariants
+// that tie the workflow, provenance, privacy and query layers together.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "src/graph/transitive.h"
+#include "src/privacy/data_privacy.h"
+#include "src/query/keyword_search.h"
+#include "src/query/zoom_out.h"
+#include "src/repo/workload.h"
+#include "src/workflow/serialize.h"
+#include "src/workflow/validate.h"
+#include "src/workflow/view.h"
+
+namespace paw {
+namespace {
+
+WorkloadParams DeepParams() {
+  WorkloadParams params;
+  params.depth = 3;
+  params.modules_per_workflow = 4;
+  params.composite_prob = 0.5;
+  return params;
+}
+
+class WorldProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorldProperty, SerializationRoundTripsGeneratedSpecs) {
+  Rng rng(GetParam());
+  auto spec = GenerateSpec(DeepParams(), &rng, "roundtrip");
+  ASSERT_TRUE(spec.ok());
+  std::string text = Serialize(spec.value());
+  auto parsed = ParseSpecification(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(Serialize(parsed.value()), text);
+  EXPECT_EQ(parsed.value().num_modules(), spec.value().num_modules());
+  EXPECT_EQ(parsed.value().num_workflows(),
+            spec.value().num_workflows());
+  EXPECT_TRUE(ValidateSpecification(parsed.value()).ok());
+}
+
+TEST_P(WorldProperty, AccessPrefixesAreMonotoneInLevel) {
+  Rng rng(GetParam() + 10);
+  auto spec = GenerateSpec(DeepParams(), &rng, "monotone");
+  ASSERT_TRUE(spec.ok());
+  ExpansionHierarchy h = ExpansionHierarchy::Build(spec.value());
+  Prefix prev;
+  for (AccessLevel level = 0; level <= 5; ++level) {
+    Prefix cur = h.AccessPrefix(spec.value(), level);
+    EXPECT_TRUE(h.IsValidPrefix(cur)) << "level " << level;
+    if (level > 0) {
+      EXPECT_TRUE(std::includes(cur.begin(), cur.end(), prev.begin(),
+                                prev.end()))
+          << "higher level lost workflows at level " << level;
+    }
+    prev = cur;
+  }
+}
+
+TEST_P(WorldProperty, ViewVisibleAtomicsGrowWithPrefix) {
+  // Expanding more workflows can only reveal more atomic modules
+  // (composites swap for their contents; atomics never disappear).
+  Rng rng(GetParam() + 20);
+  auto spec = GenerateSpec(DeepParams(), &rng, "growth");
+  ASSERT_TRUE(spec.ok());
+  ExpansionHierarchy h = ExpansionHierarchy::Build(spec.value());
+  auto prefixes = h.EnumeratePrefixes();
+  if (!prefixes.ok()) GTEST_SKIP();  // hierarchy too large
+  for (const Prefix& p : prefixes.value()) {
+    auto view = ExpandPrefix(spec.value(), h, p);
+    ASSERT_TRUE(view.ok());
+    std::set<int32_t> atomics;
+    for (ModuleId m : view.value().visible_modules()) {
+      if (spec.value().module(m).kind == ModuleKind::kAtomic) {
+        atomics.insert(m.value());
+      }
+    }
+    // Compare against every sub-prefix in the enumeration.
+    for (const Prefix& q : prefixes.value()) {
+      if (q.size() >= p.size() ||
+          !std::includes(p.begin(), p.end(), q.begin(), q.end())) {
+        continue;
+      }
+      auto sub = ExpandPrefix(spec.value(), h, q);
+      ASSERT_TRUE(sub.ok());
+      for (ModuleId m : sub.value().visible_modules()) {
+        if (spec.value().module(m).kind == ModuleKind::kAtomic) {
+          EXPECT_TRUE(atomics.count(m.value()))
+              << "atomic " << spec.value().module(m).code
+              << " vanished under a larger prefix";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(WorldProperty, ViewReachabilityIsSoundForAtomics) {
+  // If two atomic modules are connected in some prefix view, they are
+  // connected in the full expansion (prefix views fabricate nothing).
+  Rng rng(GetParam() + 30);
+  auto spec = GenerateSpec(DeepParams(), &rng, "vsound");
+  ASSERT_TRUE(spec.ok());
+  ExpansionHierarchy h = ExpansionHierarchy::Build(spec.value());
+  auto prefixes = h.EnumeratePrefixes();
+  if (!prefixes.ok()) GTEST_SKIP();
+  auto full = FullExpansion(spec.value(), h);
+  ASSERT_TRUE(full.ok());
+  TransitiveClosure full_tc = TransitiveClosure::Compute(
+      full.value().graph());
+  for (const Prefix& p : prefixes.value()) {
+    auto view = ExpandPrefix(spec.value(), h, p);
+    ASSERT_TRUE(view.ok());
+    TransitiveClosure view_tc =
+        TransitiveClosure::Compute(view.value().graph());
+    for (NodeIndex a = 0; a < view.value().num_visible(); ++a) {
+      for (NodeIndex b = 0; b < view.value().num_visible(); ++b) {
+        if (a == b || !view_tc.Reaches(a, b)) continue;
+        ModuleId ma = view.value().visible(a);
+        ModuleId mb = view.value().visible(b);
+        if (spec.value().module(ma).kind != ModuleKind::kAtomic ||
+            spec.value().module(mb).kind != ModuleKind::kAtomic) {
+          continue;
+        }
+        auto fa = full.value().IndexOf(ma);
+        auto fb = full.value().IndexOf(mb);
+        ASSERT_TRUE(fa.ok());
+        ASSERT_TRUE(fb.ok());
+        EXPECT_TRUE(full_tc.Reaches(fa.value(), fb.value()))
+            << spec.value().module(ma).code << " ~> "
+            << spec.value().module(mb).code;
+      }
+    }
+  }
+}
+
+TEST_P(WorldProperty, KeywordAnswersShrinkWithLowerLevels) {
+  // Privacy monotonicity of search: every answer available at level L
+  // is coverable at level L+1 too (more privilege never removes
+  // answers; it may refine them).
+  Rng rng(GetParam() + 40);
+  WorkloadParams params = DeepParams();
+  auto spec = GenerateSpec(params, &rng, "kwmono");
+  ASSERT_TRUE(spec.ok());
+  ExpansionHierarchy h = ExpansionHierarchy::Build(spec.value());
+  for (int trial = 0; trial < 5; ++trial) {
+    auto terms = GenerateQuery(params, &rng, 2);
+    bool coverable_low =
+        !MinimalCoveringPrefixes(spec.value(), h, terms, 0)
+             .value_or(std::vector<Prefix>{})
+             .empty();
+    bool coverable_high =
+        !MinimalCoveringPrefixes(spec.value(), h, terms, 10)
+             .value_or(std::vector<Prefix>{})
+             .empty();
+    if (coverable_low) {
+      EXPECT_TRUE(coverable_high)
+          << "answer disappeared with more privilege";
+    }
+  }
+}
+
+TEST_P(WorldProperty, ZoomOutNeverExpandsBeyondAccessView) {
+  Rng rng(GetParam() + 50);
+  WorkloadParams params = DeepParams();
+  params.max_level = 3;
+  auto spec = GenerateSpec(params, &rng, "zo");
+  ASSERT_TRUE(spec.ok());
+  ExpansionHierarchy h = ExpansionHierarchy::Build(spec.value());
+  auto exec = GenerateExecution(spec.value(), &rng);
+  ASSERT_TRUE(exec.ok());
+  PolicySet policy;
+  for (AccessLevel level = 0; level <= 3; ++level) {
+    auto result = ZoomOutExecution(exec.value(), h, policy, level);
+    ASSERT_TRUE(result.ok());
+    Prefix access = h.AccessPrefix(spec.value(), level);
+    EXPECT_TRUE(std::includes(access.begin(), access.end(),
+                              result.value().final_prefix.begin(),
+                              result.value().final_prefix.end()))
+        << "zoom-out revealed workflows beyond the access view";
+  }
+}
+
+TEST_P(WorldProperty, MaskingNeverLeaksAboveLevel) {
+  Rng rng(GetParam() + 60);
+  auto spec = GenerateSpec(DeepParams(), &rng, "mask");
+  ASSERT_TRUE(spec.ok());
+  auto exec = GenerateExecution(spec.value(), &rng);
+  ASSERT_TRUE(exec.ok());
+  // Random policy over the labels that actually occur.
+  DataPolicy policy;
+  for (const DataItem& d : exec.value().items()) {
+    if (rng.Bernoulli(0.5)) {
+      policy.label_level[d.label] =
+          static_cast<AccessLevel>(rng.Uniform(4));
+    }
+  }
+  for (AccessLevel level = 0; level <= 3; ++level) {
+    MaskingReport report = ComputeMasking(exec.value(), policy, level);
+    for (const DataItem& d : exec.value().items()) {
+      bool visible = report.visible[static_cast<size_t>(d.id.value())];
+      EXPECT_EQ(visible, policy.LevelOf(d.label) <= level)
+          << "item d" << d.id.value();
+      std::string rendered =
+          RenderValue(exec.value(), d.id, policy, level);
+      if (!visible) {
+        EXPECT_EQ(rendered, kMaskedValue);
+      } else {
+        EXPECT_EQ(rendered, d.value);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,119 @@
+// Tests for TF-IDF ranking and the privacy-aware bucketing variant.
+
+#include "src/query/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class RankingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    ASSERT_TRUE(repo_.AddSpecification(std::move(spec).value()).ok());
+    index_.Build(repo_);
+    scorer_.Build(index_);
+  }
+
+  Repository repo_;
+  InvertedIndex index_;
+  TfIdfScorer scorer_;
+};
+
+TEST_F(RankingTest, MatchingModuleOutscoresNonMatching) {
+  const Specification& spec = repo_.entry(0).spec;
+  ModuleId m2 = spec.FindModule("M2").value();   // Evaluate Disorder Risk
+  ModuleId m6 = spec.FindModule("M6").value();   // Query OMIM
+  EXPECT_GT(scorer_.ScoreModule(spec, m2, "disorder risk"), 0);
+  EXPECT_EQ(scorer_.ScoreModule(spec, m6, "disorder risk"), 0);
+}
+
+TEST_F(RankingTest, AnswerScoreTakesBestPerTerm) {
+  const Specification& spec = repo_.entry(0).spec;
+  ModuleId m2 = spec.FindModule("M2").value();
+  ModuleId m5 = spec.FindModule("M5").value();
+  double both = scorer_.ScoreAnswer(spec, {m2, m5},
+                                    {"disorder risk", "database queries"});
+  double one = scorer_.ScoreAnswer(spec, {m2},
+                                   {"disorder risk", "database queries"});
+  EXPECT_GT(both, one);
+}
+
+TEST_F(RankingTest, IdfWithoutIndexIsNeutral) {
+  TfIdfScorer bare;
+  EXPECT_DOUBLE_EQ(bare.Idf("anything"), 1.0);
+}
+
+TEST(BucketizeTest, WidthZeroIsIdentity) {
+  std::vector<double> scores{1.2, 3.4, 5.6};
+  EXPECT_EQ(BucketizeScores(scores, 0), scores);
+  EXPECT_EQ(BucketizeScores(scores, -1), scores);
+}
+
+TEST(BucketizeTest, QuantizesDownward) {
+  std::vector<double> scores{0.4, 1.1, 1.9, 2.0};
+  EXPECT_EQ(BucketizeScores(scores, 1.0),
+            (std::vector<double>{0, 1, 1, 2}));
+}
+
+TEST(BucketizeTest, WiderBucketsFewerClasses) {
+  std::vector<double> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(i * 0.37);
+  int classes_fine = DistinguishableClasses(BucketizeScores(scores, 0.5));
+  int classes_coarse = DistinguishableClasses(BucketizeScores(scores, 8.0));
+  EXPECT_GT(classes_fine, classes_coarse);
+  EXPECT_EQ(DistinguishableClasses(BucketizeScores(scores, 1e9)), 1);
+  EXPECT_EQ(DistinguishableClasses(scores), 100);
+}
+
+TEST(KendallTauTest, PerfectAgreement) {
+  std::vector<double> a{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(KendallTau(a, a), 1.0);
+}
+
+TEST(KendallTauTest, PerfectDisagreement) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(KendallTau(a, b), -1.0);
+}
+
+TEST(KendallTauTest, TiesReduceCorrelationGracefully) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{1, 1, 2, 2};  // coarsened version of a
+  double tau = KendallTau(a, b);
+  EXPECT_GT(tau, 0.0);
+  EXPECT_LT(tau, 1.0);
+}
+
+TEST(KendallTauTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(KendallTau({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1.0}, {2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(KendallTau({1, 1, 1}, {2, 2, 2}), 1.0);  // all tied
+}
+
+TEST(KendallTauTest, BucketingDegradesTauMonotonically) {
+  // Property: coarser buckets cannot *increase* agreement with the true
+  // ranking (modulo floating noise), and leakage classes shrink.
+  std::vector<double> truth;
+  for (int i = 0; i < 60; ++i) {
+    truth.push_back(i * 0.731 + (i % 7) * 0.05);
+  }
+  double prev_tau = 1.0;
+  int prev_classes = DistinguishableClasses(truth);
+  for (double width : {0.1, 0.5, 2.0, 8.0, 32.0}) {
+    std::vector<double> bucketed = BucketizeScores(truth, width);
+    double tau = KendallTau(truth, bucketed);
+    int classes = DistinguishableClasses(bucketed);
+    EXPECT_LE(tau, prev_tau + 1e-9) << "width " << width;
+    EXPECT_LE(classes, prev_classes) << "width " << width;
+    prev_tau = tau;
+    prev_classes = classes;
+  }
+}
+
+}  // namespace
+}  // namespace paw

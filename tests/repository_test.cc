@@ -1,0 +1,104 @@
+// Tests for the repository.
+
+#include "src/repo/repository.h"
+
+#include <gtest/gtest.h>
+
+#include "src/repo/disease.h"
+#include "src/repo/workload.h"
+
+namespace paw {
+namespace {
+
+TEST(RepositoryTest, AddAndRetrieveSpec) {
+  Repository repo;
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  auto id = repo.AddSpecification(std::move(spec).value(), DiseasePolicy());
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 0);
+  EXPECT_EQ(repo.num_specs(), 1);
+  EXPECT_EQ(repo.entry(0).spec.name(), "disease susceptibility");
+  EXPECT_EQ(repo.entry(0).hierarchy.size(), 4);
+  EXPECT_EQ(repo.entry(0).policy.module_reqs.size(), 1u);
+}
+
+TEST(RepositoryTest, FindSpecByName) {
+  Repository repo;
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(repo.AddSpecification(std::move(spec).value()).ok());
+  EXPECT_EQ(repo.FindSpec("disease susceptibility").value(), 0);
+  EXPECT_TRUE(repo.FindSpec("nope").status().IsNotFound());
+}
+
+TEST(RepositoryTest, RejectsInvalidPolicy) {
+  Repository repo;
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  PolicySet bad;
+  bad.module_reqs.push_back({"M404", 2, 1});
+  EXPECT_FALSE(repo.AddSpecification(std::move(spec).value(), bad).ok());
+  EXPECT_EQ(repo.num_specs(), 0);
+}
+
+TEST(RepositoryTest, StoresExecutions) {
+  Repository repo;
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  int sid = repo.AddSpecification(std::move(spec).value()).value();
+  auto exec = RunDiseaseExecution(repo.entry(sid).spec);
+  ASSERT_TRUE(exec.ok());
+  auto eid = repo.AddExecution(sid, std::move(exec).value());
+  ASSERT_TRUE(eid.ok());
+  EXPECT_EQ(repo.num_executions(), 1);
+  EXPECT_EQ(repo.execution(eid.value()).spec_id, sid);
+  EXPECT_EQ(repo.ExecutionsOf(sid).size(), 1u);
+  EXPECT_TRUE(repo.ExecutionsOf(99).empty());
+}
+
+TEST(RepositoryTest, RejectsForeignExecution) {
+  Repository repo;
+  auto spec1 = BuildDiseaseSpec();
+  auto spec2 = BuildDiseaseSpec();
+  ASSERT_TRUE(spec1.ok());
+  ASSERT_TRUE(spec2.ok());
+  int s1 = repo.AddSpecification(std::move(spec1).value()).value();
+  int s2 = repo.AddSpecification(std::move(spec2).value()).value();
+  auto exec = RunDiseaseExecution(repo.entry(s1).spec);
+  ASSERT_TRUE(exec.ok());
+  // Execution of s1's spec cannot be filed under s2.
+  EXPECT_FALSE(repo.AddExecution(s2, std::move(exec).value()).ok());
+}
+
+TEST(RepositoryTest, AddressStabilityAcrossInsertions) {
+  Repository repo;
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  int sid = repo.AddSpecification(std::move(spec).value()).value();
+  const Specification* before = &repo.entry(sid).spec;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    auto s = GenerateSpec(WorkloadParams{}, &rng, "s" + std::to_string(i));
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(repo.AddSpecification(std::move(s).value()).ok());
+  }
+  EXPECT_EQ(before, &repo.entry(sid).spec);
+}
+
+TEST(RepositoryTest, ApproxBytesGrows) {
+  Repository repo;
+  int64_t empty = repo.ApproxBytes();
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  int sid = repo.AddSpecification(std::move(spec).value()).value();
+  int64_t with_spec = repo.ApproxBytes();
+  EXPECT_GT(with_spec, empty);
+  auto exec = RunDiseaseExecution(repo.entry(sid).spec);
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(repo.AddExecution(sid, std::move(exec).value()).ok());
+  EXPECT_GT(repo.ApproxBytes(), with_spec);
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,145 @@
+// Tests for the text serialization format (round-trip and error paths).
+
+#include "src/workflow/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/repo/disease.h"
+#include "src/workflow/builder.h"
+
+namespace paw {
+namespace {
+
+TEST(SerializeTest, DiseaseSpecRoundTrip) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  std::string text = Serialize(spec.value());
+  auto parsed = ParseSpecification(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Round trip is textually stable.
+  EXPECT_EQ(Serialize(parsed.value()), text);
+  EXPECT_EQ(parsed.value().name(), "disease susceptibility");
+  EXPECT_EQ(parsed.value().num_workflows(), 4);
+  EXPECT_EQ(parsed.value().num_modules(), 17);
+}
+
+TEST(SerializeTest, PreservesStructure) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  auto parsed = ParseSpecification(Serialize(spec.value()));
+  ASSERT_TRUE(parsed.ok());
+  const Specification& p = parsed.value();
+  ModuleId m1 = p.FindModule("M1").value();
+  EXPECT_EQ(p.module(m1).kind, ModuleKind::kComposite);
+  EXPECT_EQ(p.workflow(p.module(m1).expansion).code, "W2");
+  EXPECT_EQ(p.workflow(p.FindWorkflow("W4").value()).required_level, 2);
+  auto out = p.OutEdges(p.FindModule("I").value());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->labels,
+            (std::vector<std::string>{"SNPs", "ethnicity"}));
+}
+
+TEST(SerializeTest, ParsesCommentsAndBlankLines) {
+  std::string text =
+      "# a comment\n"
+      "spec \"demo\"\n"
+      "\n"
+      "workflow W1 \"top\" level=0 root\n"
+      "module I W1 input \"Input\"\n"
+      "module M1 W1 atomic \"Do Work\" keywords=\"alpha;beta\"\n"
+      "module O W1 output \"Output\"\n"
+      "edge I M1 labels=\"x\"\n"
+      "edge M1 O labels=\"y\"\n";
+  auto parsed = ParseSpecification(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ModuleId m1 = parsed.value().FindModule("M1").value();
+  EXPECT_EQ(parsed.value().module(m1).keywords,
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(SerializeTest, QuotedNamesWithSpaces) {
+  std::string text =
+      "spec \"with spaces\"\n"
+      "workflow W1 \"outer level\" level=0 root\n"
+      "module I W1 input \"Input\"\n"
+      "module M1 W1 atomic \"Align And Sort Reads\"\n"
+      "module O W1 output \"Output\"\n"
+      "edge I M1 labels=\"raw reads;sample sheet\"\n"
+      "edge M1 O labels=\"result\"\n";
+  auto parsed = ParseSpecification(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto out = parsed.value().OutEdges(parsed.value().FindModule("I").value());
+  EXPECT_EQ(out[0]->labels,
+            (std::vector<std::string>{"raw reads", "sample sheet"}));
+}
+
+TEST(SerializeTest, RejectsUnknownDirective) {
+  EXPECT_FALSE(ParseSpecification("bogus line here\n").ok());
+}
+
+TEST(SerializeTest, RejectsUnknownWorkflowReference) {
+  std::string text =
+      "spec \"bad\"\n"
+      "workflow W1 \"top\" level=0 root\n"
+      "module M1 W9 atomic \"orphan\"\n";
+  EXPECT_FALSE(ParseSpecification(text).ok());
+}
+
+TEST(SerializeTest, RejectsUnknownEdgeEndpoint) {
+  std::string text =
+      "spec \"bad\"\n"
+      "workflow W1 \"top\" level=0 root\n"
+      "module I W1 input \"Input\"\n"
+      "module O W1 output \"Output\"\n"
+      "edge I M9 labels=\"x\"\n";
+  EXPECT_FALSE(ParseSpecification(text).ok());
+}
+
+TEST(SerializeTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseSpecification("spec \"oops\n").ok());
+}
+
+TEST(SerializeTest, RejectsDuplicateModule) {
+  std::string text =
+      "spec \"bad\"\n"
+      "workflow W1 \"top\" level=0 root\n"
+      "module I W1 input \"Input\"\n"
+      "module I W1 input \"Input\"\n";
+  EXPECT_FALSE(ParseSpecification(text).ok());
+}
+
+TEST(SerializeTest, ValidationRunsAfterParse) {
+  // Parses fine syntactically but has no output node.
+  std::string text =
+      "spec \"bad\"\n"
+      "workflow W1 \"top\" level=0 root\n"
+      "module I W1 input \"Input\"\n"
+      "module M1 W1 atomic \"step\"\n"
+      "edge I M1 labels=\"x\"\n";
+  auto parsed = ParseSpecification(text);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsFailedPrecondition());
+}
+
+TEST(SerializeTest, GeneratedSpecRoundTrips) {
+  SpecBuilder b("generated");
+  WorkflowId w1 = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w1);
+  ModuleId m1 = b.AddModule(w1, "M1", "outer");
+  ModuleId o = b.AddOutput(w1);
+  WorkflowId w2 = b.AddWorkflow("W2", "inner", 1);
+  ModuleId m2 = b.AddModule(w2, "M2", "leaf \"quoted\" name");
+  (void)m2;
+  EXPECT_TRUE(b.MakeComposite(m1, w2).ok());
+  EXPECT_TRUE(b.Connect(i, m1, {"in"}).ok());
+  EXPECT_TRUE(b.Connect(m1, o, {"out"}).ok());
+  auto spec = std::move(b).Build();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  std::string text = Serialize(spec.value());
+  auto parsed = ParseSpecification(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(Serialize(parsed.value()), text);
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,138 @@
+// Tests for unsound-view detection and repair (ref [9]).
+
+#include "src/privacy/soundness.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/random.h"
+#include "src/privacy/structural_privacy.h"
+#include "src/repo/disease.h"
+#include "src/repo/workload.h"
+
+namespace paw {
+namespace {
+
+/// W3 graph + name map (the paper's running example for unsoundness).
+struct W3 {
+  Digraph graph;
+  std::map<std::string, NodeIndex> idx;
+  static W3 Build() {
+    auto spec = BuildDiseaseSpec();
+    EXPECT_TRUE(spec.ok());
+    auto local = spec.value().BuildLocalGraph(
+        spec.value().FindWorkflow("W3").value());
+    W3 f;
+    f.graph = local.graph;
+    for (const auto& [mid, index] : local.module_to_local) {
+      f.idx[spec.value().module(mid).code] = index;
+    }
+    return f;
+  }
+};
+
+std::vector<NodeIndex> SingletonGroups(int n) {
+  std::vector<NodeIndex> g(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) g[static_cast<size_t>(i)] = i;
+  return g;
+}
+
+TEST(SoundnessTest, SingletonClusteringIsSound) {
+  W3 f = W3::Build();
+  auto report = CheckSoundness(f.graph, SingletonGroups(f.graph.num_nodes()),
+                               f.graph.num_nodes());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().sound);
+  EXPECT_TRUE(report.value().extraneous.empty());
+}
+
+TEST(SoundnessTest, PaperClusterM11M13DetectedUnsound) {
+  W3 f = W3::Build();
+  std::vector<NodeIndex> groups = SingletonGroups(f.graph.num_nodes());
+  // Merge M11 and M13 into M11's group; compact group ids.
+  groups[size_t(f.idx["M13"])] = groups[size_t(f.idx["M11"])];
+  // Renumber to [0, k).
+  std::map<NodeIndex, NodeIndex> remap;
+  NodeIndex next = 0;
+  for (auto& g : groups) {
+    auto [it, inserted] = remap.try_emplace(g, next);
+    if (inserted) ++next;
+    g = it->second;
+  }
+  auto report = CheckSoundness(f.graph, groups, next);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().sound);
+  // The fabricated pair M10 ~> M14 must be among the extraneous ones.
+  bool found = false;
+  for (const auto& [a, b] : report.value().extraneous) {
+    if (a == f.idx["M10"] && b == f.idx["M14"]) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SoundnessTest, RepairRestoresSoundness) {
+  W3 f = W3::Build();
+  auto clustering =
+      HideByClustering(f.graph, {{f.idx["M13"], f.idx["M11"]}});
+  ASSERT_TRUE(clustering.ok());
+  ASSERT_FALSE(clustering.value().metrics.Sound());
+  auto repaired = RepairUnsoundClustering(
+      f.graph, clustering.value().group_of, clustering.value().num_groups);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired.value().report.sound);
+  EXPECT_GT(repaired.value().splits, 0);
+}
+
+TEST(SoundnessTest, RepairOnSoundInputIsNoOp) {
+  W3 f = W3::Build();
+  auto repaired = RepairUnsoundClustering(
+      f.graph, SingletonGroups(f.graph.num_nodes()), f.graph.num_nodes());
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired.value().splits, 0);
+  EXPECT_TRUE(repaired.value().report.sound);
+}
+
+TEST(SoundnessTest, ExtraneousPairsMatchEvaluateClustering) {
+  W3 f = W3::Build();
+  auto clustering =
+      HideByClustering(f.graph, {{f.idx["M13"], f.idx["M11"]}});
+  ASSERT_TRUE(clustering.ok());
+  auto report = CheckSoundness(f.graph, clustering.value().group_of,
+                               clustering.value().num_groups);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(static_cast<int64_t>(report.value().extraneous.size()),
+            clustering.value().metrics.extraneous_pairs);
+}
+
+// Property sweep: repair always terminates sound on random clusterings
+// of random DAGs, and never increases extraneous pairs.
+class RepairSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepairSweep, RepairAlwaysEndsSound) {
+  Rng rng(GetParam());
+  Digraph g = RandomLayeredDag(&rng, 4, 4, 0.3);
+  // Random clustering into ~n/3 groups.
+  NodeIndex k = g.num_nodes() / 3 + 1;
+  std::vector<NodeIndex> groups(static_cast<size_t>(g.num_nodes()));
+  for (auto& grp : groups) grp = static_cast<NodeIndex>(rng.Uniform(k));
+  // Make group ids contiguous (some may be unused).
+  std::map<NodeIndex, NodeIndex> remap;
+  NodeIndex next = 0;
+  for (auto& grp : groups) {
+    auto [it, inserted] = remap.try_emplace(grp, next);
+    if (inserted) ++next;
+    grp = it->second;
+  }
+  auto repaired = RepairUnsoundClustering(g, groups, next);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_TRUE(repaired.value().report.sound);
+  // Group count can only grow (splits).
+  EXPECT_GE(repaired.value().num_groups, next);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace paw

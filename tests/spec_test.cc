@@ -1,0 +1,213 @@
+// Tests for specification construction and validation.
+
+#include "src/workflow/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workflow/builder.h"
+#include "src/workflow/validate.h"
+
+namespace paw {
+namespace {
+
+Result<Specification> TinySpec() {
+  SpecBuilder b("tiny");
+  WorkflowId w = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w);
+  ModuleId m = b.AddModule(w, "M1", "Align Reads");
+  ModuleId o = b.AddOutput(w);
+  EXPECT_TRUE(b.Connect(i, m, {"reads"}).ok());
+  EXPECT_TRUE(b.Connect(m, o, {"alignment"}).ok());
+  return std::move(b).Build();
+}
+
+TEST(SpecTest, TinySpecBuilds) {
+  auto spec = TinySpec();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().name(), "tiny");
+  EXPECT_EQ(spec.value().num_workflows(), 1);
+  EXPECT_EQ(spec.value().num_modules(), 3);
+}
+
+TEST(SpecTest, FindByCode) {
+  auto spec = TinySpec();
+  ASSERT_TRUE(spec.ok());
+  auto m = spec.value().FindModule("M1");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(spec.value().module(m.value()).name, "Align Reads");
+  EXPECT_TRUE(spec.value().FindModule("M99").status().IsNotFound());
+  EXPECT_TRUE(spec.value().FindWorkflow("W1").ok());
+  EXPECT_TRUE(spec.value().FindWorkflow("W9").status().IsNotFound());
+}
+
+TEST(SpecTest, KeywordsDefaultToNameTokens) {
+  auto spec = TinySpec();
+  ASSERT_TRUE(spec.ok());
+  ModuleId m = spec.value().FindModule("M1").value();
+  EXPECT_EQ(spec.value().module(m).keywords,
+            (std::vector<std::string>{"align", "reads"}));
+}
+
+TEST(SpecTest, InOutEdges) {
+  auto spec = TinySpec();
+  ASSERT_TRUE(spec.ok());
+  ModuleId m = spec.value().FindModule("M1").value();
+  auto in = spec.value().InEdges(m);
+  auto out = spec.value().OutEdges(m);
+  ASSERT_EQ(in.size(), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(in[0]->labels, (std::vector<std::string>{"reads"}));
+  EXPECT_EQ(out[0]->labels, (std::vector<std::string>{"alignment"}));
+}
+
+TEST(SpecTest, EntryExitModules) {
+  auto spec = TinySpec();
+  ASSERT_TRUE(spec.ok());
+  WorkflowId w = spec.value().root();
+  auto entries = spec.value().EntryModules(w);
+  auto exits = spec.value().ExitModules(w);
+  ASSERT_EQ(entries.size(), 1u);
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_EQ(spec.value().module(entries[0]).kind, ModuleKind::kInput);
+  EXPECT_EQ(spec.value().module(exits[0]).kind, ModuleKind::kOutput);
+}
+
+TEST(SpecTest, LocalGraphMirrorsEdges) {
+  auto spec = TinySpec();
+  ASSERT_TRUE(spec.ok());
+  auto local = spec.value().BuildLocalGraph(spec.value().root());
+  EXPECT_EQ(local.graph.num_nodes(), 3);
+  EXPECT_EQ(local.graph.num_edges(), 2);
+}
+
+TEST(SpecValidationTest, RejectsCycle) {
+  SpecBuilder b("cyclic");
+  WorkflowId w = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w);
+  ModuleId m1 = b.AddModule(w, "M1", "a");
+  ModuleId m2 = b.AddModule(w, "M2", "b");
+  ModuleId o = b.AddOutput(w);
+  EXPECT_TRUE(b.Connect(i, m1, {"x"}).ok());
+  EXPECT_TRUE(b.Connect(m1, m2, {"x"}).ok());
+  EXPECT_TRUE(b.Connect(m2, m1, {"x"}).ok());
+  EXPECT_TRUE(b.Connect(m2, o, {"x"}).ok());
+  auto spec = std::move(b).Build();
+  EXPECT_FALSE(spec.ok());
+  EXPECT_TRUE(spec.status().IsFailedPrecondition());
+}
+
+TEST(SpecValidationTest, RejectsMissingIO) {
+  SpecBuilder b("noio");
+  WorkflowId w = b.AddWorkflow("W1", "top");
+  b.AddModule(w, "M1", "a");
+  auto spec = std::move(b).Build();
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(SpecValidationTest, RejectsIOInSubworkflow) {
+  SpecBuilder b("io-sub");
+  WorkflowId w1 = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w1);
+  ModuleId m = b.AddModule(w1, "M1", "comp");
+  ModuleId o = b.AddOutput(w1);
+  EXPECT_TRUE(b.Connect(i, m, {"x"}).ok());
+  EXPECT_TRUE(b.Connect(m, o, {"y"}).ok());
+  WorkflowId w2 = b.AddWorkflow("W2", "sub");
+  EXPECT_TRUE(b.MakeComposite(m, w2).ok());
+  b.AddInput(w2, "I2");
+  auto spec = std::move(b).Build();
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(SpecValidationTest, RejectsDetachedWorkflow) {
+  SpecBuilder b("detached");
+  WorkflowId w1 = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w1);
+  ModuleId m = b.AddModule(w1, "M1", "a");
+  ModuleId o = b.AddOutput(w1);
+  EXPECT_TRUE(b.Connect(i, m, {"x"}).ok());
+  EXPECT_TRUE(b.Connect(m, o, {"y"}).ok());
+  WorkflowId w2 = b.AddWorkflow("W2", "orphan");
+  b.AddModule(w2, "M2", "b");
+  auto spec = std::move(b).Build();
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(SpecValidationTest, RejectsSharedExpansion) {
+  SpecBuilder b("shared");
+  WorkflowId w1 = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w1);
+  ModuleId m1 = b.AddModule(w1, "M1", "a");
+  ModuleId m2 = b.AddModule(w1, "M2", "b");
+  ModuleId o = b.AddOutput(w1);
+  EXPECT_TRUE(b.Connect(i, m1, {"x"}).ok());
+  EXPECT_TRUE(b.Connect(m1, m2, {"y"}).ok());
+  EXPECT_TRUE(b.Connect(m2, o, {"z"}).ok());
+  WorkflowId w2 = b.AddWorkflow("W2", "sub");
+  b.AddModule(w2, "M3", "c");
+  EXPECT_TRUE(b.MakeComposite(m1, w2).ok());
+  EXPECT_TRUE(b.MakeComposite(m2, w2).ok());  // same expansion twice
+  auto spec = std::move(b).Build();
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(SpecValidationTest, RejectsEdgeAcrossWorkflows) {
+  SpecBuilder b("cross");
+  WorkflowId w1 = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w1);
+  ModuleId m1 = b.AddModule(w1, "M1", "a");
+  ModuleId o = b.AddOutput(w1);
+  EXPECT_TRUE(b.Connect(i, m1, {"x"}).ok());
+  EXPECT_TRUE(b.Connect(m1, o, {"y"}).ok());
+  WorkflowId w2 = b.AddWorkflow("W2", "sub");
+  ModuleId m2 = b.AddModule(w2, "M2", "b");
+  EXPECT_TRUE(b.MakeComposite(m1, w2).ok());
+  EXPECT_TRUE(b.Connect(m1, m2, {"z"}).IsInvalidArgument());
+}
+
+TEST(SpecValidationTest, RejectsUnlabelledEdge) {
+  SpecBuilder b("nolabel");
+  WorkflowId w = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w);
+  ModuleId m = b.AddModule(w, "M1", "a");
+  EXPECT_TRUE(b.Connect(i, m, {}).IsInvalidArgument());
+}
+
+TEST(SpecValidationTest, RejectsDuplicateCodes) {
+  SpecBuilder b("dup");
+  WorkflowId w = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w);
+  ModuleId m1 = b.AddModule(w, "M1", "a");
+  b.AddModule(w, "M1", "b");  // duplicate code
+  ModuleId o = b.AddOutput(w);
+  EXPECT_TRUE(b.Connect(i, m1, {"x"}).ok());
+  EXPECT_TRUE(b.Connect(m1, o, {"y"}).ok());
+  auto spec = std::move(b).Build();
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(SpecValidationTest, RejectsEdgeIntoInput) {
+  SpecBuilder b("into-input");
+  WorkflowId w = b.AddWorkflow("W1", "top");
+  ModuleId i = b.AddInput(w);
+  ModuleId m = b.AddModule(w, "M1", "a");
+  ModuleId o = b.AddOutput(w);
+  EXPECT_TRUE(b.Connect(i, m, {"x"}).ok());
+  EXPECT_TRUE(b.Connect(m, o, {"y"}).ok());
+  EXPECT_TRUE(b.Connect(m, i, {"z"}).ok());  // builder allows; validate rejects
+  auto spec = std::move(b).Build();
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(SpecValidationTest, RootLevelMustBeZero) {
+  SpecBuilder b("lvl");
+  WorkflowId w = b.AddWorkflow("W1", "top", /*required_level=*/2);
+  ModuleId i = b.AddInput(w);
+  ModuleId o = b.AddOutput(w);
+  EXPECT_TRUE(b.Connect(i, o, {"x"}).ok());
+  auto spec = std::move(b).Build();
+  EXPECT_FALSE(spec.ok());
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,108 @@
+// Tests for the Status/Result error model.
+
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace paw {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualValued) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.message(), "missing");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kPermissionDenied),
+            "PermissionDenied");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailingHelper() { return Status::OutOfRange("deep"); }
+
+Status UsesReturnNotOk() {
+  PAW_RETURN_NOT_OK(FailingHelper());
+  return Status::Internal("should not reach");
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk().IsOutOfRange());
+}
+
+Result<int> GiveSeven() { return 7; }
+
+Result<int> UsesAssignOrReturn() {
+  PAW_ASSIGN_OR_RETURN(int v, GiveSeven());
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  Result<int> r = UsesAssignOrReturn();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 8);
+}
+
+Result<int> FailSeven() { return Status::Internal("seven failed"); }
+
+Result<int> UsesAssignOrReturnError() {
+  PAW_ASSIGN_OR_RETURN(int v, FailSeven());
+  return v;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> r = UsesAssignOrReturnError();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+}  // namespace
+}  // namespace paw

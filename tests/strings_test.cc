@@ -1,0 +1,62 @@
+// Tests for string utilities (tokenization feeds the keyword index).
+
+#include "src/common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace paw {
+namespace {
+
+TEST(StringsTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("Query OMIM"), "query omim");
+  EXPECT_EQ(ToLowerAscii(""), "");
+  EXPECT_EQ(ToLowerAscii("123-ABC"), "123-abc");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a;b;;c", ';'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ';'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("solo", ';'), (std::vector<std::string>{"solo"}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, TokenizeSplitsOnNonAlnum) {
+  EXPECT_EQ(Tokenize("Determine Genetic Susceptibility"),
+            (std::vector<std::string>{"determine", "genetic",
+                                      "susceptibility"}));
+  EXPECT_EQ(Tokenize("Query-OMIM (v2)"),
+            (std::vector<std::string>{"query", "omim", "v2"}));
+  EXPECT_TRUE(Tokenize("---").empty());
+}
+
+TEST(StringsTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Disorder Risks", "disorder"));
+  EXPECT_TRUE(ContainsIgnoreCase("Disorder Risks", "RISK"));
+  EXPECT_FALSE(ContainsIgnoreCase("Disorder", "database"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(StringsTest, TokensContainPhrase) {
+  std::vector<std::string> bag = Tokenize("Evaluate Disorder Risk");
+  EXPECT_TRUE(TokensContainPhrase(bag, "disorder risk"));
+  EXPECT_TRUE(TokensContainPhrase(bag, "RISK disorder"));  // order-free
+  EXPECT_TRUE(TokensContainPhrase(bag, "evaluate"));
+  EXPECT_FALSE(TokensContainPhrase(bag, "disorder database"));
+  EXPECT_TRUE(TokensContainPhrase(bag, ""));  // empty phrase is trivial
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,202 @@
+// Tests for structural privacy: edge deletion vs clustering, on both the
+// paper's W3 example and random DAGs.
+
+#include "src/privacy/structural_privacy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/random.h"
+#include "src/graph/transitive.h"
+#include "src/repo/disease.h"
+#include "src/repo/workload.h"
+
+namespace paw {
+namespace {
+
+/// W3's local graph with the module->index map, as in Sec. 3.
+struct W3Fixture {
+  Digraph graph;
+  std::map<std::string, NodeIndex> idx;
+
+  static W3Fixture Build() {
+    auto spec = BuildDiseaseSpec();
+    EXPECT_TRUE(spec.ok());
+    WorkflowId w3 = spec.value().FindWorkflow("W3").value();
+    auto local = spec.value().BuildLocalGraph(w3);
+    W3Fixture f;
+    f.graph = local.graph;
+    for (const auto& [mid, index] : local.module_to_local) {
+      f.idx[spec.value().module(mid).code] = index;
+    }
+    return f;
+  }
+};
+
+TEST(EdgeDeletionTest, PaperExampleDeletesM13M11) {
+  W3Fixture f = W3Fixture::Build();
+  // Hide that M13 contributes to M11 ("delete the edge M13 -> M11").
+  auto result = HideByEdgeDeletion(
+      f.graph, {{f.idx["M13"], f.idx["M11"]}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().deleted.size(), 1u);
+  EXPECT_EQ(result.value().deleted[0],
+            std::make_pair(f.idx["M13"], f.idx["M11"]));
+  EXPECT_EQ(result.value().metrics.hidden_sensitive, 1);
+  EXPECT_TRUE(result.value().metrics.Sound());
+  // Collateral damage the paper predicts: the M12 ~> M11 path is gone.
+  EXPECT_FALSE(
+      PathExists(result.value().published, f.idx["M12"], f.idx["M11"]));
+  // preserved < original (information was lost beyond the target pair).
+  EXPECT_LT(result.value().metrics.preserved_pairs,
+            result.value().metrics.original_pairs);
+}
+
+TEST(ClusteringTest, PaperExampleClusterM11M13IsUnsound) {
+  W3Fixture f = W3Fixture::Build();
+  auto result =
+      HideByClustering(f.graph, {{f.idx["M13"], f.idx["M11"]}});
+  ASSERT_TRUE(result.ok());
+  // The pair is hidden (same cluster) ...
+  EXPECT_EQ(result.value().metrics.hidden_sensitive, 1);
+  EXPECT_EQ(result.value().group_of[size_t(f.idx["M13"])],
+            result.value().group_of[size_t(f.idx["M11"])]);
+  // ... but the view fabricates M10 ~> M14 (the paper's example).
+  EXPECT_FALSE(result.value().metrics.Sound());
+  NodeIndex g10 = result.value().group_of[size_t(f.idx["M10"])];
+  NodeIndex g14 = result.value().group_of[size_t(f.idx["M14"])];
+  TransitiveClosure quot =
+      TransitiveClosure::Compute(result.value().quotient.graph);
+  EXPECT_TRUE(quot.Reaches(g10, g14));
+  EXPECT_FALSE(PathExists(f.graph, f.idx["M10"], f.idx["M14"]));
+}
+
+TEST(ClusteringTest, MechanismTradeOffOnPaperExample) {
+  // The fundamental trade-off on the paper's example: deletion stays
+  // sound but destroys true reachability; clustering fabricates paths
+  // but never destroys a true fact among the nodes that stay visible.
+  W3Fixture f = W3Fixture::Build();
+  std::vector<SensitivePair> pairs{{f.idx["M13"], f.idx["M11"]}};
+  auto del = HideByEdgeDeletion(f.graph, pairs);
+  auto clu = HideByClustering(f.graph, pairs);
+  ASSERT_TRUE(del.ok());
+  ASSERT_TRUE(clu.ok());
+  // Deletion: sound, but truth was lost.
+  EXPECT_EQ(del.value().metrics.extraneous_pairs, 0);
+  EXPECT_LT(del.value().metrics.preserved_pairs,
+            del.value().metrics.original_pairs);
+  // Clustering: unsound, but every true pair among visible nodes
+  // survives. Count those pairs directly.
+  EXPECT_GT(clu.value().metrics.extraneous_pairs, 0);
+  TransitiveClosure tc = TransitiveClosure::Compute(f.graph);
+  std::vector<size_t> cluster_size(
+      static_cast<size_t>(clu.value().num_groups), 0);
+  for (NodeIndex u = 0; u < f.graph.num_nodes(); ++u) {
+    ++cluster_size[static_cast<size_t>(
+        clu.value().group_of[static_cast<size_t>(u)])];
+  }
+  int64_t visible_true_pairs = 0;
+  for (NodeIndex a = 0; a < f.graph.num_nodes(); ++a) {
+    for (NodeIndex b = 0; b < f.graph.num_nodes(); ++b) {
+      if (a == b || !tc.Reaches(a, b)) continue;
+      bool va = cluster_size[static_cast<size_t>(
+                    clu.value().group_of[static_cast<size_t>(a)])] == 1;
+      bool vb = cluster_size[static_cast<size_t>(
+                    clu.value().group_of[static_cast<size_t>(b)])] == 1;
+      if (va && vb) ++visible_true_pairs;
+    }
+  }
+  EXPECT_EQ(clu.value().metrics.preserved_pairs, visible_true_pairs);
+}
+
+TEST(EdgeDeletionTest, AlreadyUnreachablePairCostsNothing) {
+  W3Fixture f = W3Fixture::Build();
+  auto result = HideByEdgeDeletion(
+      f.graph, {{f.idx["M10"], f.idx["M14"]}});  // no such path
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().deleted.empty());
+  EXPECT_EQ(result.value().metrics.hidden_sensitive, 1);
+  EXPECT_EQ(result.value().metrics.preserved_pairs,
+            result.value().metrics.original_pairs);
+}
+
+TEST(EdgeDeletionTest, MultiplePairsAllHidden) {
+  Rng rng(11);
+  Digraph g = RandomLayeredDag(&rng, 5, 4, 0.4);
+  std::vector<SensitivePair> pairs{{0, 19}, {1, 18}, {2, 17}};
+  auto result = HideByEdgeDeletion(g, pairs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().metrics.hidden_sensitive, 3);
+  for (const SensitivePair& p : pairs) {
+    EXPECT_FALSE(PathExists(result.value().published, p.src, p.dst));
+  }
+}
+
+TEST(ClusteringTest, OverlappingPairsMergeTransitively) {
+  Digraph g(5);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4).ok());
+  auto result = HideByClustering(g, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(result.ok());
+  // 0, 1, 2 end up in one cluster.
+  EXPECT_EQ(result.value().group_of[0], result.value().group_of[1]);
+  EXPECT_EQ(result.value().group_of[1], result.value().group_of[2]);
+  EXPECT_EQ(result.value().num_groups, 3);
+  EXPECT_EQ(result.value().metrics.mechanism_size, 1);
+}
+
+TEST(StructuralPrivacyTest, RejectsBadPairs) {
+  Digraph g(3);
+  EXPECT_FALSE(HideByEdgeDeletion(g, {{0, 0}}).ok());
+  EXPECT_FALSE(HideByEdgeDeletion(g, {{0, 9}}).ok());
+  EXPECT_FALSE(HideByClustering(g, {{-1, 1}}).ok());
+}
+
+TEST(StructuralPrivacyTest, MetricsUtilityBounds) {
+  Rng rng(5);
+  Digraph g = RandomDag(&rng, 25, 0.15);
+  auto result = HideByEdgeDeletion(g, {{0, 24}});
+  ASSERT_TRUE(result.ok());
+  double u = result.value().metrics.Utility();
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+// Property sweep over random DAGs: both mechanisms always hide every
+// requested pair; deletion is always sound; clustering hides by
+// construction.
+class MechanismSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MechanismSweep, BothMechanismsHideAllPairs) {
+  Rng rng(GetParam());
+  Digraph g = RandomLayeredDag(&rng, 4, 5, 0.35);
+  // Pick reachable pairs to make the task non-trivial.
+  TransitiveClosure tc = TransitiveClosure::Compute(g);
+  std::vector<SensitivePair> pairs;
+  for (NodeIndex u = 0; u < g.num_nodes() && pairs.size() < 3; ++u) {
+    for (NodeIndex v = u + 1; v < g.num_nodes() && pairs.size() < 3; ++v) {
+      if (tc.Reaches(u, v) && !g.HasEdge(u, v)) pairs.push_back({u, v});
+    }
+  }
+  if (pairs.empty()) GTEST_SKIP();
+
+  auto del = HideByEdgeDeletion(g, pairs);
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del.value().metrics.hidden_sensitive,
+            static_cast<int>(pairs.size()));
+  EXPECT_EQ(del.value().metrics.extraneous_pairs, 0);
+
+  auto clu = HideByClustering(g, pairs);
+  ASSERT_TRUE(clu.ok());
+  EXPECT_EQ(clu.value().metrics.hidden_sensitive,
+            static_cast<int>(pairs.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MechanismSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,153 @@
+// Tests for structural pattern matching over views and executions.
+
+#include "src/query/structural_query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class StructuralQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<Specification>(std::move(spec).value());
+    h_ = ExpansionHierarchy::Build(*spec_);
+    auto exec = RunDiseaseExecution(*spec_);
+    ASSERT_TRUE(exec.ok());
+    exec_ = std::make_unique<Execution>(std::move(exec).value());
+  }
+
+  std::unique_ptr<Specification> spec_;
+  ExpansionHierarchy h_;
+  std::unique_ptr<Execution> exec_;
+};
+
+TEST_F(StructuralQueryTest, PaperQueryExpandSnpBeforeQueryOmim) {
+  // "find executions where Expand SNP Set was executed before Query OMIM"
+  StructuralPattern pattern;
+  pattern.vars = {{"expand snp"}, {"query omim"}};
+  pattern.edges = {{0, 1, /*transitive=*/true}};
+  auto matches = MatchExecution(*exec_, pattern);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches.value().size(), 1u);
+  const ExecutionMatch& m = matches.value()[0];
+  EXPECT_EQ(exec_->NodeLabel(m.binding[0]), "S2:M3");
+  EXPECT_EQ(exec_->NodeLabel(m.binding[1]), "S5:M6");
+}
+
+TEST_F(StructuralQueryTest, NoMatchWhenOrderReversed) {
+  StructuralPattern pattern;
+  pattern.vars = {{"query omim"}, {"expand snp"}};
+  pattern.edges = {{0, 1, true}};
+  auto matches = MatchExecution(*exec_, pattern);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_TRUE(matches.value().empty());
+}
+
+TEST_F(StructuralQueryTest, DirectEdgeVsTransitive) {
+  auto view = FullExpansion(*spec_, h_);
+  ASSERT_TRUE(view.ok());
+  // M3 -> M5 is a direct edge in the full expansion.
+  StructuralPattern direct;
+  direct.vars = {{"expand snp"}, {"generate database queries"}};
+  direct.edges = {{0, 1, /*transitive=*/false}};
+  auto m1 = MatchPattern(view.value(), direct);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1.value().size(), 1u);
+  // M3 -> M8 only transitively.
+  StructuralPattern indirect;
+  indirect.vars = {{"expand snp"}, {"combine disorder"}};
+  indirect.edges = {{0, 1, false}};
+  auto m2 = MatchPattern(view.value(), indirect);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_TRUE(m2.value().empty());
+  indirect.edges = {{0, 1, true}};
+  auto m3 = MatchPattern(view.value(), indirect);
+  ASSERT_TRUE(m3.ok());
+  EXPECT_EQ(m3.value().size(), 1u);
+}
+
+TEST_F(StructuralQueryTest, EmptyTermMatchesEverything) {
+  auto view = ExpandPrefix(*spec_, h_, h_.RootPrefix());
+  ASSERT_TRUE(view.ok());
+  StructuralPattern pattern;
+  pattern.vars = {{""}};
+  auto matches = MatchPattern(view.value(), pattern);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches.value().size(), 4u);  // I, M1, M2, O
+}
+
+TEST_F(StructuralQueryTest, ThreeVariableChain) {
+  auto view = FullExpansion(*spec_, h_);
+  ASSERT_TRUE(view.ok());
+  // "generate queries" matches both M5 (Generate Database Queries) and
+  // M12 (Generate Queries); both reach M13 in the full expansion.
+  StructuralPattern pattern;
+  pattern.vars = {{"generate queries"}, {"search pubmed central"},
+                  {"summarize"}};
+  pattern.edges = {{0, 1, true}, {1, 2, true}};
+  auto matches = MatchPattern(view.value(), pattern);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches.value().size(), 2u);
+  std::vector<std::string> firsts;
+  for (const PatternMatch& m : matches.value()) {
+    firsts.push_back(spec_->module(m.binding[0]).code);
+    EXPECT_EQ(spec_->module(m.binding[1]).code, "M13");
+    EXPECT_EQ(spec_->module(m.binding[2]).code, "M14");
+  }
+  std::sort(firsts.begin(), firsts.end());
+  EXPECT_EQ(firsts, (std::vector<std::string>{"M12", "M5"}));
+}
+
+TEST_F(StructuralQueryTest, DistinctBindingEnforced) {
+  auto view = FullExpansion(*spec_, h_);
+  ASSERT_TRUE(view.ok());
+  // Both variables match "query pubmed" modules (M7, M13); without an
+  // edge constraint we get ordered pairs of *distinct* nodes.
+  StructuralPattern pattern;
+  pattern.vars = {{"pubmed"}, {"pubmed"}};
+  auto matches = MatchPattern(view.value(), pattern);
+  ASSERT_TRUE(matches.ok());
+  // M7 "Query PubMed" and M13 "Search PubMed Central": 2 ordered pairs.
+  EXPECT_EQ(matches.value().size(), 2u);
+  for (const PatternMatch& m : matches.value()) {
+    EXPECT_NE(m.binding[0], m.binding[1]);
+  }
+}
+
+TEST_F(StructuralQueryTest, PatternValidation) {
+  auto view = FullExpansion(*spec_, h_);
+  ASSERT_TRUE(view.ok());
+  StructuralPattern empty;
+  EXPECT_FALSE(MatchPattern(view.value(), empty).ok());
+  StructuralPattern bad_edge;
+  bad_edge.vars = {{"a"}};
+  bad_edge.edges = {{0, 5, true}};
+  EXPECT_FALSE(MatchPattern(view.value(), bad_edge).ok());
+  StructuralPattern self_edge;
+  self_edge.vars = {{"a"}};
+  self_edge.edges = {{0, 0, true}};
+  EXPECT_FALSE(MatchPattern(view.value(), self_edge).ok());
+}
+
+TEST_F(StructuralQueryTest, ExecutionMatchSeesCompositeActivations) {
+  // The composite M1 is an activation (begin node) and can be matched.
+  StructuralPattern pattern;
+  pattern.vars = {{"determine genetic"}, {"evaluate disorder"}};
+  pattern.edges = {{0, 1, true}};
+  auto matches = MatchExecution(*exec_, pattern);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches.value().size(), 1u);
+  EXPECT_EQ(exec_->NodeLabel(matches.value()[0].binding[0]),
+            "S1:M1 begin");
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,163 @@
+// Tests for workflow-level module privacy (shared-label hiding).
+
+#include "src/privacy/workflow_privacy.h"
+
+#include <gtest/gtest.h>
+
+namespace paw {
+namespace {
+
+Relation MakeRelation(std::vector<RelationAttribute> ins,
+                      std::vector<RelationAttribute> outs,
+                      const std::function<std::vector<int>(
+                          const std::vector<int>&)>& fn) {
+  auto rel = Relation::FromFunction(std::move(ins), std::move(outs), fn);
+  EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+  return std::move(rel).value();
+}
+
+/// A two-module chain: M_a maps x->m (xor of two inputs), M_b maps m->y
+/// (identity). The shared label "m" serves both.
+WorkflowPrivacyProblem ChainProblem(int64_t gamma) {
+  WorkflowPrivacyProblem problem;
+  problem.modules.push_back(PrivateModuleSpec{
+      "Ma",
+      MakeRelation({{"x0", 2, 1.0}, {"x1", 2, 1.0}}, {{"m", 2, 1.0}},
+                   [](const std::vector<int>& x) {
+                     return std::vector<int>{x[0] ^ x[1]};
+                   }),
+      gamma});
+  problem.modules.push_back(PrivateModuleSpec{
+      "Mb",
+      MakeRelation({{"m", 2, 1.0}}, {{"y", 2, 1.0}},
+                   [](const std::vector<int>& x) {
+                     return std::vector<int>{x[0]};
+                   }),
+      gamma});
+  return problem;
+}
+
+TEST(WorkflowPrivacyTest, AllLabelsCollected) {
+  WorkflowPrivacyProblem p = ChainProblem(2);
+  EXPECT_EQ(p.AllLabels(),
+            (std::vector<std::string>{"m", "x0", "x1", "y"}));
+}
+
+TEST(WorkflowPrivacyTest, WeightsDefaultToOne) {
+  WorkflowPrivacyProblem p = ChainProblem(2);
+  p.label_weights["m"] = 3.5;
+  EXPECT_DOUBLE_EQ(p.WeightOf("m"), 3.5);
+  EXPECT_DOUBLE_EQ(p.WeightOf("x0"), 1.0);
+}
+
+TEST(WorkflowPrivacyTest, SharingBeatsPerModuleUnion) {
+  // Hiding {m, y} makes both modules 2-private: Ma hides its output m;
+  // Mb hides both its attrs. Per-module union must hide >= as much.
+  WorkflowPrivacyProblem p = ChainProblem(2);
+  auto joint = ExhaustiveWorkflowHiding(p);
+  auto naive = PerModuleUnionHiding(p);
+  ASSERT_TRUE(joint.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_TRUE(joint.value().feasible);
+  EXPECT_TRUE(naive.value().feasible);
+  EXPECT_LE(joint.value().cost, naive.value().cost + 1e-9);
+}
+
+TEST(WorkflowPrivacyTest, ExhaustiveIsLowerBoundForGreedy) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    WorkflowPrivacyProblem p;
+    // Three random modules over a small shared label pool.
+    std::vector<std::string> pool{"a", "b", "c", "d", "e"};
+    for (int m = 0; m < 3; ++m) {
+      std::vector<RelationAttribute> ins{
+          {pool[rng.Uniform(2)], 2, 1.0 + rng.UniformDouble()}};
+      std::vector<RelationAttribute> outs{
+          {pool[2 + rng.Uniform(3)], 2, 1.0 + rng.UniformDouble()}};
+      if (ins[0].name == outs[0].name) outs[0].name = "z" +
+                                                      std::to_string(m);
+      auto rel = Relation::FromFunction(
+          ins, outs, [&rng](const std::vector<int>&) {
+            return std::vector<int>{static_cast<int>(rng.Uniform(2))};
+          });
+      ASSERT_TRUE(rel.ok());
+      p.modules.push_back(
+          PrivateModuleSpec{"M" + std::to_string(m),
+                            std::move(rel).value(), 2});
+    }
+    auto exact = ExhaustiveWorkflowHiding(p);
+    auto greedy = GreedyWorkflowHiding(p);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_TRUE(exact.value().feasible);
+    EXPECT_TRUE(greedy.value().feasible);
+    EXPECT_GE(greedy.value().cost, exact.value().cost - 1e-9);
+    // Both must actually satisfy the constraints.
+    EXPECT_TRUE(SatisfiesAll(p, exact.value().hidden_labels).value());
+    EXPECT_TRUE(SatisfiesAll(p, greedy.value().hidden_labels).value());
+  }
+}
+
+TEST(WorkflowPrivacyTest, AchievedVectorMatchesModules) {
+  WorkflowPrivacyProblem p = ChainProblem(2);
+  auto sol = GreedyWorkflowHiding(p);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol.value().achieved.size(), 2u);
+  EXPECT_GE(sol.value().achieved[0], 2);
+  EXPECT_GE(sol.value().achieved[1], 2);
+}
+
+TEST(WorkflowPrivacyTest, InfeasibleGammaDetected) {
+  WorkflowPrivacyProblem p = ChainProblem(1000);  // > 2^1 outputs
+  auto sol = ExhaustiveWorkflowHiding(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol.value().feasible);
+  auto greedy = GreedyWorkflowHiding(p);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_FALSE(greedy.value().feasible);
+}
+
+TEST(WorkflowPrivacyTest, ExhaustiveRefusesHugeLabelSets) {
+  WorkflowPrivacyProblem p = ChainProblem(2);
+  EXPECT_FALSE(ExhaustiveWorkflowHiding(p, /*max_labels=*/2).ok());
+}
+
+TEST(WorkflowPrivacyTest, ApplyHidingRaisesLabelLevels) {
+  WorkflowPrivacyProblem p = ChainProblem(2);
+  auto sol = GreedyWorkflowHiding(p);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_TRUE(sol.value().feasible);
+  DataPolicy base;
+  base.label_level["m"] = 1;  // pre-existing lower level
+  DataPolicy raised = ApplyHidingToPolicy(base, sol.value(), 3);
+  for (const std::string& label : sol.value().hidden_labels) {
+    EXPECT_GE(raised.LevelOf(label), 3) << label;
+  }
+  // Labels not hidden keep their base level.
+  for (const std::string& label : p.AllLabels()) {
+    if (!sol.value().hidden_labels.count(label)) {
+      EXPECT_EQ(raised.LevelOf(label), base.LevelOf(label)) << label;
+    }
+  }
+}
+
+TEST(WorkflowPrivacyTest, ApplyHidingNeverLowersLevels) {
+  WorkflowHidingSolution sol;
+  sol.hidden_labels = {"x"};
+  DataPolicy base;
+  base.label_level["x"] = 9;
+  DataPolicy raised = ApplyHidingToPolicy(base, sol, 3);
+  EXPECT_EQ(raised.LevelOf("x"), 9);
+}
+
+TEST(WorkflowPrivacyTest, EmptyProblemTriviallyFeasible) {
+  WorkflowPrivacyProblem p;
+  auto sol = GreedyWorkflowHiding(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol.value().feasible);
+  EXPECT_TRUE(sol.value().hidden_labels.empty());
+  EXPECT_DOUBLE_EQ(sol.value().cost, 0.0);
+}
+
+}  // namespace
+}  // namespace paw

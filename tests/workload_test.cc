@@ -1,0 +1,105 @@
+// Tests for the synthetic workload generators.
+
+#include "src/repo/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/algorithms.h"
+#include "src/workflow/hierarchy.h"
+#include "src/workflow/validate.h"
+
+namespace paw {
+namespace {
+
+TEST(WorkloadTest, GeneratedSpecsValidate) {
+  Rng rng(42);
+  WorkloadParams params;
+  params.depth = 3;
+  params.modules_per_workflow = 6;
+  for (int i = 0; i < 10; ++i) {
+    auto spec = GenerateSpec(params, &rng, "gen" + std::to_string(i));
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    EXPECT_TRUE(ValidateSpecification(spec.value()).ok());
+  }
+}
+
+TEST(WorkloadTest, GenerationIsSeedDeterministic) {
+  WorkloadParams params;
+  Rng r1(7), r2(7);
+  auto s1 = GenerateSpec(params, &r1, "x");
+  auto s2 = GenerateSpec(params, &r2, "x");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1.value().num_modules(), s2.value().num_modules());
+  EXPECT_EQ(s1.value().num_workflows(), s2.value().num_workflows());
+}
+
+TEST(WorkloadTest, DepthZeroIsFlat) {
+  WorkloadParams params;
+  params.depth = 0;
+  params.composite_prob = 1.0;  // irrelevant at depth 0
+  Rng rng(3);
+  auto spec = GenerateSpec(params, &rng, "flat");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().num_workflows(), 1);
+}
+
+TEST(WorkloadTest, CompositeProbOneMaximizesDepth) {
+  WorkloadParams params;
+  params.depth = 2;
+  params.composite_prob = 1.0;
+  params.modules_per_workflow = 2;
+  Rng rng(4);
+  auto spec = GenerateSpec(params, &rng, "deep");
+  ASSERT_TRUE(spec.ok());
+  ExpansionHierarchy h = ExpansionHierarchy::Build(spec.value());
+  EXPECT_EQ(h.Height(), 2);
+}
+
+TEST(WorkloadTest, GeneratedExecutionsRun) {
+  WorkloadParams params;
+  params.depth = 2;
+  Rng rng(11);
+  for (int i = 0; i < 5; ++i) {
+    auto spec = GenerateSpec(params, &rng, "run" + std::to_string(i));
+    ASSERT_TRUE(spec.ok());
+    auto exec = GenerateExecution(spec.value(), &rng);
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    EXPECT_GT(exec.value().num_nodes(), 0);
+    EXPECT_GT(exec.value().num_items(), 0);
+    EXPECT_TRUE(IsAcyclic(exec.value().graph()));
+  }
+}
+
+TEST(WorkloadTest, QueriesDrawFromVocabulary) {
+  WorkloadParams params;
+  params.vocabulary = 10;
+  Rng rng(5);
+  auto terms = GenerateQuery(params, &rng, 3);
+  EXPECT_EQ(terms.size(), 3u);
+  for (const std::string& t : terms) {
+    EXPECT_EQ(t.rfind("kw", 0), 0u);
+  }
+}
+
+TEST(WorkloadTest, RandomDagIsAcyclic) {
+  Rng rng(8);
+  for (double p : {0.05, 0.3, 0.8}) {
+    Digraph g = RandomDag(&rng, 30, p);
+    EXPECT_TRUE(IsAcyclic(g)) << "p=" << p;
+  }
+}
+
+TEST(WorkloadTest, LayeredDagConnectsAllLayers) {
+  Rng rng(9);
+  Digraph g = RandomLayeredDag(&rng, 5, 4, 0.2);
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_TRUE(IsAcyclic(g));
+  // Every node beyond layer 0 has an in-edge.
+  for (NodeIndex u = 4; u < 20; ++u) {
+    EXPECT_GE(g.InDegree(u), 1u) << "node " << u;
+  }
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,126 @@
+// Tests for zoom-out evaluation (level and structural coarsening).
+
+#include "src/query/zoom_out.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+class ZoomOutTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    spec_ = std::make_unique<Specification>(std::move(spec).value());
+    h_ = ExpansionHierarchy::Build(*spec_);
+    auto exec = RunDiseaseExecution(*spec_);
+    ASSERT_TRUE(exec.ok());
+    exec_ = std::make_unique<Execution>(std::move(exec).value());
+    policy_ = DiseasePolicy();
+  }
+
+  WorkflowId W(const std::string& code) {
+    return spec_->FindWorkflow(code).value();
+  }
+  ModuleId M(const std::string& code) {
+    return spec_->FindModule(code).value();
+  }
+
+  std::unique_ptr<Specification> spec_;
+  ExpansionHierarchy h_;
+  std::unique_ptr<Execution> exec_;
+  PolicySet policy_;
+};
+
+TEST_F(ZoomOutTest, LevelZoomOutRemovesForbiddenWorkflows) {
+  // A full-expansion answer handed to a level-1 observer must zoom out W4.
+  auto result = ZoomOutToLevel(*spec_, h_, h_.FullPrefix(), /*level=*/1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().final_prefix,
+            (Prefix{W("W1"), W("W2"), W("W3")}));
+  EXPECT_EQ(result.value().steps, 1);
+  // M4 shows as a collapsed box in the final view.
+  EXPECT_TRUE(result.value().view.IndexOf(M("M4")).ok());
+  EXPECT_FALSE(result.value().view.IndexOf(M("M5")).ok());
+}
+
+TEST_F(ZoomOutTest, LevelZeroCollapsesToRoot) {
+  auto result = ZoomOutToLevel(*spec_, h_, h_.FullPrefix(), /*level=*/0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().final_prefix, h_.RootPrefix());
+  EXPECT_EQ(result.value().steps, 3);  // W4, then W2, then W3 (or W3 first)
+}
+
+TEST_F(ZoomOutTest, CompliantPrefixUntouched) {
+  auto result = ZoomOutToLevel(*spec_, h_, {W("W1")}, /*level=*/0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().steps, 0);
+  EXPECT_EQ(result.value().final_prefix, h_.RootPrefix());
+}
+
+TEST_F(ZoomOutTest, StructuralFactVisibleAtFullView) {
+  auto view = CollapseExecution(*exec_, h_, h_.FullPrefix());
+  ASSERT_TRUE(view.ok());
+  auto visible = StructuralFactVisible(view.value(), M("M13"), M("M11"));
+  ASSERT_TRUE(visible.ok());
+  EXPECT_TRUE(visible.value());
+}
+
+TEST_F(ZoomOutTest, StructuralFactHiddenAtRootView) {
+  auto view = CollapseExecution(*exec_, h_, h_.RootPrefix());
+  ASSERT_TRUE(view.ok());
+  // M13 and M11 both collapse inside S8:M2 -> the fact is invisible.
+  auto visible = StructuralFactVisible(view.value(), M("M13"), M("M11"));
+  ASSERT_TRUE(visible.ok());
+  EXPECT_FALSE(visible.value());
+}
+
+TEST_F(ZoomOutTest, ZoomOutExecutionEnforcesPolicyAtLevel1) {
+  // Level-1 observers may expand W3, which would reveal M13 ~> M11; the
+  // structural requirement (required_level 2) forces a zoom-out of W3.
+  auto result = ZoomOutExecution(*exec_, h_, policy_, /*level=*/1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().steps, 0);
+  EXPECT_FALSE(result.value().final_prefix.count(W("W3")));
+  auto visible =
+      StructuralFactVisible(result.value().view, M("M13"), M("M11"));
+  ASSERT_TRUE(visible.ok());
+  EXPECT_FALSE(visible.value());
+}
+
+TEST_F(ZoomOutTest, ClearedObserverSeesEverything) {
+  auto result = ZoomOutExecution(*exec_, h_, policy_, /*level=*/2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().steps, 0);
+  EXPECT_EQ(result.value().final_prefix, h_.FullPrefix());
+}
+
+TEST_F(ZoomOutTest, Level0AlreadyCompliant) {
+  auto result = ZoomOutExecution(*exec_, h_, policy_, /*level=*/0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().steps, 0);
+  EXPECT_EQ(result.value().final_prefix, h_.RootPrefix());
+}
+
+TEST_F(ZoomOutTest, RootLevelStructuralLeakIsDenied) {
+  // A sensitive pair at the root level (M1 ~> M2) cannot be hidden by
+  // zooming: the engine reports PermissionDenied so callers fall back to
+  // edge deletion.
+  PolicySet p;
+  p.structural_reqs.push_back({"M1", "M2", /*required_level=*/5});
+  auto result = ZoomOutExecution(*exec_, h_, p, /*level=*/0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsPermissionDenied());
+}
+
+TEST_F(ZoomOutTest, InvalidPrefixRejected) {
+  EXPECT_FALSE(ZoomOutToLevel(*spec_, h_, {W("W2")}, 1).ok());
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,0 +1,174 @@
+// pawctl — command-line front end for the paw library.
+//
+// Usage:
+//   pawctl demo                          write the paper's example spec
+//                                        to stdout (text format)
+//   pawctl validate <spec.paw>           parse + validate a spec file
+//   pawctl show <spec.paw>               print workflows, modules, tau edges
+//   pawctl run <spec.paw> [k=v ...]      execute with the given inputs
+//                                        (defaults for missing labels),
+//                                        print the provenance graph
+//   pawctl search <spec.paw> <level> <term> [term ...]
+//                                        minimal-view keyword search at an
+//                                        access level
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/provenance/executor.h"
+#include "src/provenance/serialize.h"
+#include "src/query/keyword_search.h"
+#include "src/repo/disease.h"
+#include "src/workflow/hierarchy.h"
+#include "src/workflow/serialize.h"
+#include "src/workflow/view.h"
+
+using namespace paw;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<Specification> LoadSpec(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(std::string("cannot open ") + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSpecification(buffer.str());
+}
+
+int CmdDemo() {
+  auto spec = BuildDiseaseSpec();
+  if (!spec.ok()) return Fail(spec.status());
+  std::fputs(Serialize(spec.value()).c_str(), stdout);
+  return 0;
+}
+
+int CmdValidate(const char* path) {
+  auto spec = LoadSpec(path);
+  if (!spec.ok()) return Fail(spec.status());
+  std::printf("OK: %s (%d workflows, %d modules)\n",
+              spec.value().name().c_str(), spec.value().num_workflows(),
+              spec.value().num_modules());
+  return 0;
+}
+
+int CmdShow(const char* path) {
+  auto spec = LoadSpec(path);
+  if (!spec.ok()) return Fail(spec.status());
+  ExpansionHierarchy h = ExpansionHierarchy::Build(spec.value());
+  std::printf("spec \"%s\"\n", spec.value().name().c_str());
+  for (const Workflow& w : spec.value().workflows()) {
+    std::printf("%*s%s \"%s\" level=%d\n", 2 * h.Depth(w.id), "",
+                w.code.c_str(), w.name.c_str(), w.required_level);
+    for (ModuleId mid : w.modules) {
+      const Module& m = spec.value().module(mid);
+      std::printf("%*s  %-5s %-30s", 2 * h.Depth(w.id), "",
+                  m.code.c_str(), m.name.c_str());
+      if (m.kind == ModuleKind::kComposite) {
+        std::printf(" -> %s",
+                    spec.value().workflow(m.expansion).code.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int CmdRun(const char* path, int argc, char** argv) {
+  auto spec = LoadSpec(path);
+  if (!spec.ok()) return Fail(spec.status());
+  // Inputs: defaults for every root-input label, overridden by k=v args.
+  ValueMap inputs;
+  for (ModuleId mid : spec.value().workflow(spec.value().root()).modules) {
+    if (spec.value().module(mid).kind != ModuleKind::kInput) continue;
+    for (const DataflowEdge* e : spec.value().OutEdges(mid)) {
+      for (const std::string& label : e->labels) {
+        inputs[label] = "<" + label + ">";
+      }
+    }
+  }
+  for (int i = 0; i < argc; ++i) {
+    const char* eq = std::strchr(argv[i], '=');
+    if (eq == nullptr) {
+      std::fprintf(stderr, "error: input must be label=value: %s\n",
+                   argv[i]);
+      return 1;
+    }
+    inputs[std::string(argv[i], static_cast<size_t>(eq - argv[i]))] =
+        eq + 1;
+  }
+  FunctionRegistry fns;
+  auto exec = Execute(spec.value(), fns, inputs);
+  if (!exec.ok()) return Fail(exec.status());
+  std::fputs(SerializeExecution(exec.value()).c_str(), stdout);
+  return 0;
+}
+
+int CmdSearch(const char* path, const char* level_str, int argc,
+              char** argv) {
+  auto spec = LoadSpec(path);
+  if (!spec.ok()) return Fail(spec.status());
+  AccessLevel level = std::atoi(level_str);
+  std::vector<std::string> terms;
+  for (int i = 0; i < argc; ++i) terms.emplace_back(argv[i]);
+  ExpansionHierarchy h = ExpansionHierarchy::Build(spec.value());
+  auto minimal = MinimalCoveringPrefixes(spec.value(), h, terms, level);
+  if (!minimal.ok()) return Fail(minimal.status());
+  if (minimal.value().empty()) {
+    std::printf("no view at level %d covers the query\n", level);
+    return 0;
+  }
+  for (const Prefix& p : minimal.value()) {
+    std::printf("minimal view {");
+    for (WorkflowId w : p) {
+      std::printf(" %s", spec.value().workflow(w).code.c_str());
+    }
+    std::printf(" }:\n");
+    auto view = ExpandPrefix(spec.value(), h, p);
+    if (!view.ok()) return Fail(view.status());
+    for (const std::string& term : terms) {
+      for (ModuleId m : MatchingModules(spec.value(), view.value(), term)) {
+        std::printf("  '%s' matched by %s \"%s\"\n", term.c_str(),
+                    spec.value().module(m).code.c_str(),
+                    spec.value().module(m).name.c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pawctl demo\n"
+               "       pawctl validate <spec.paw>\n"
+               "       pawctl show <spec.paw>\n"
+               "       pawctl run <spec.paw> [label=value ...]\n"
+               "       pawctl search <spec.paw> <level> <term> ...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "demo") return CmdDemo();
+  if (cmd == "validate" && argc >= 3) return CmdValidate(argv[2]);
+  if (cmd == "show" && argc >= 3) return CmdShow(argv[2]);
+  if (cmd == "run" && argc >= 3) {
+    return CmdRun(argv[2], argc - 3, argv + 3);
+  }
+  if (cmd == "search" && argc >= 5) {
+    return CmdSearch(argv[2], argv[3], argc - 4, argv + 4);
+  }
+  return Usage();
+}
