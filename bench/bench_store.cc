@@ -1,0 +1,230 @@
+// E10: persistent store costs — append throughput, recovery time as a
+// function of log length, and the effect of snapshot + compaction.
+//
+// Expected shape: appends are cheap and flat (buffered writes; fsync
+// dominates when enabled); recovery time grows linearly with the WAL
+// suffix length and collapses after compaction because the snapshot is
+// loaded once instead of replaying per-record text payloads.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/common/crc32.h"
+#include "src/common/timer.h"
+#include "src/repo/disease.h"
+#include "src/store/codec.h"
+#include "src/store/persistent_repository.h"
+#include "src/store/record.h"
+#include "src/store/wal.h"
+
+namespace {
+
+using namespace paw;
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("paw_bench_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// A store seeded with the disease spec; returns the spec id.
+int SeedSpec(PersistentRepository* store) {
+  auto spec = BuildDiseaseSpec();
+  auto id = store->AddSpecification(std::move(spec).value(),
+                                    DiseasePolicy());
+  return id.value();
+}
+
+Execution MakeExecution(const PersistentRepository& store, int spec_id) {
+  return RunDiseaseExecution(store.repo().entry(spec_id).spec).value();
+}
+
+void TableAppendThroughput() {
+  std::printf(
+      "=== E10a: WAL append throughput (disease executions) ===\n"
+      "%-8s %-8s %-10s %-12s %-12s %-12s\n",
+      "sync", "verify", "records", "total-MB", "records/s", "MB/s");
+  for (int mode = 0; mode < 3; ++mode) {
+    const bool sync = mode == 2;
+    const bool verify = mode != 1;
+    const int records = sync ? 200 : 5000;
+    const std::string dir = FreshDir("append_" + std::to_string(mode));
+    StoreOptions options;
+    options.sync_each_append = sync;
+    options.verify_payloads = verify;
+    auto store = PersistentRepository::Init(dir, options);
+    if (!store.ok()) continue;
+    int spec_id = SeedSpec(&store.value());
+    Timer timer;
+    for (int i = 0; i < records; ++i) {
+      store.value()
+          .AddExecution(spec_id, MakeExecution(store.value(), spec_id))
+          .value();
+    }
+    store.value().Sync();
+    const double secs = timer.ElapsedMicros() / 1e6;
+    const double mb =
+        static_cast<double>(fs::file_size(dir + "/wal.log")) / 1e6;
+    std::printf("%-8s %-8s %-10d %-12.2f %-12.0f %-12.1f\n",
+                sync ? "yes" : "no", verify ? "yes" : "no", records, mb,
+                records / secs, mb / secs);
+    fs::remove_all(dir);
+  }
+  std::printf("\n");
+}
+
+void TableRecoveryVsLogLength() {
+  std::printf(
+      "=== E10b: recovery time vs WAL length ===\n"
+      "%-10s %-12s %-12s %-14s\n",
+      "records", "wal-KB", "open-ms", "ms/record");
+  for (int records : {100, 500, 2000}) {
+    const std::string dir =
+        FreshDir("recovery_" + std::to_string(records));
+    {
+      auto store = PersistentRepository::Init(dir);
+      int spec_id = SeedSpec(&store.value());
+      for (int i = 0; i < records; ++i) {
+        store.value()
+            .AddExecution(spec_id, MakeExecution(store.value(), spec_id))
+            .value();
+      }
+      store.value().Sync();
+    }
+    const double wal_kb =
+        static_cast<double>(fs::file_size(dir + "/wal.log")) / 1e3;
+    Timer timer;
+    auto reopened = PersistentRepository::Open(dir);
+    const double ms = timer.ElapsedMillis();
+    if (!reopened.ok()) continue;
+    std::printf("%-10d %-12.1f %-12.2f %-14.4f\n", records, wal_kb, ms,
+                ms / records);
+    fs::remove_all(dir);
+  }
+  std::printf("\n");
+}
+
+void TableSnapshotEffect() {
+  std::printf(
+      "=== E10c: snapshot + compaction effect (1000 executions) ===\n"
+      "%-14s %-14s %-12s %-14s\n",
+      "state", "snapshot-KB", "wal-KB", "open-ms");
+  const std::string dir = FreshDir("snapshot");
+  {
+    auto store = PersistentRepository::Init(dir);
+    int spec_id = SeedSpec(&store.value());
+    for (int i = 0; i < 1000; ++i) {
+      store.value()
+          .AddExecution(spec_id, MakeExecution(store.value(), spec_id))
+          .value();
+    }
+    store.value().Sync();
+  }
+  auto wal_kb = [&] {
+    return static_cast<double>(fs::file_size(dir + "/wal.log")) / 1e3;
+  };
+  {
+    Timer timer;
+    auto reopened = PersistentRepository::Open(dir);
+    const double ms = timer.ElapsedMillis();
+    std::printf("%-14s %-14s %-12.1f %-14.2f\n", "log-only", "-",
+                wal_kb(), ms);
+    reopened.value().Compact();
+  }
+  double snapshot_kb = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snapshot-", 0) == 0) {
+      snapshot_kb = static_cast<double>(entry.file_size()) / 1e3;
+    }
+  }
+  {
+    Timer timer;
+    auto reopened = PersistentRepository::Open(dir);
+    const double ms = timer.ElapsedMillis();
+    std::printf("%-14s %-14.1f %-12.1f %-14.2f\n", "compacted",
+                snapshot_kb, wal_kb(), ms);
+  }
+  fs::remove_all(dir);
+  std::printf("\n");
+}
+
+void BM_RecordEncode(benchmark::State& state) {
+  const std::string payload(1024, 'p');
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    AppendRecord(RecordType::kExecution, payload, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_RecordEncode);
+
+void BM_RecordDecode(benchmark::State& state) {
+  std::string buf;
+  AppendRecord(RecordType::kExecution, std::string(1024, 'p'), &buf);
+  for (auto _ : state) {
+    RecordReader reader(buf);
+    Record record;
+    benchmark::DoNotOptimize(reader.Next(&record));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_RecordDecode);
+
+void BM_Crc32(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+void BM_WalAppend(benchmark::State& state) {
+  const std::string dir = FreshDir("bm_wal_append");
+  auto wal = WriteAheadLog::Create(dir + "/wal.log", 0);
+  const std::string payload(1024, 'p');
+  for (auto _ : state) {
+    wal.value().Append(RecordType::kExecution, payload);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_StoreAddExecution(benchmark::State& state) {
+  const std::string dir = FreshDir("bm_store_add");
+  auto store = PersistentRepository::Init(dir);
+  int spec_id = SeedSpec(&store.value());
+  for (auto _ : state) {
+    state.PauseTiming();
+    Execution exec = MakeExecution(store.value(), spec_id);
+    state.ResumeTiming();
+    store.value().AddExecution(spec_id, std::move(exec)).value();
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_StoreAddExecution)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TableAppendThroughput();
+  TableRecoveryVsLogLength();
+  TableSnapshotEffect();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace paw {
+namespace {
+
+/// Four lookup tables: table[0] is the classic byte-at-a-time table for
+/// polynomial 0xEDB88320 (reflected 0x04C11DB7); table[k] advances a byte
+/// through k additional zero bytes, enabling 4-byte steps.
+struct Crc32Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  constexpr Crc32Tables() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+constexpr Crc32Tables kTables;
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~crc;
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = kTables.t[3][c & 0xFFu] ^ kTables.t[2][(c >> 8) & 0xFFu] ^
+        kTables.t[1][(c >> 16) & 0xFFu] ^ kTables.t[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n--) {
+    c = (c >> 8) ^ kTables.t[0][(c ^ *p++) & 0xFFu];
+  }
+  return ~c;
+}
+
+}  // namespace paw

@@ -1,0 +1,198 @@
+#include "src/common/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace paw {
+namespace {
+
+namespace fs = std::filesystem;
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " " + path + ": " + std::strerror(errno));
+}
+
+/// fsync the directory containing `path` so a rename within it is durable.
+Status SyncParentDir(const std::string& path) {
+  fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", parent.string());
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync dir", parent.string());
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("read failed: " + path);
+  return buffer.str();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return ErrnoStatus("write", tmp);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("fsync", tmp);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("rename", path);
+  }
+  return SyncParentDir(path);
+}
+
+Status EnsureDir(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::Internal("mkdir " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec)) names.push_back(it->path().filename());
+  }
+  // Internal, not NotFound: callers (e.g. snapshot discovery) treat
+  // NotFound as "nothing there", which must not swallow I/O errors.
+  if (ec) return Status::Internal("list " + dir + ": " + ec.message());
+  return names;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) return Status::Internal("remove " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Result<AppendOnlyFile> AppendOnlyFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fstat", path);
+  }
+  return AppendOnlyFile(path, fd, static_cast<int64_t>(st.st_size));
+}
+
+AppendOnlyFile::AppendOnlyFile(AppendOnlyFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      size_(other.size_),
+      buffer_(std::move(other.buffer_)),
+      error_(std::move(other.error_)) {
+  other.fd_ = -1;
+}
+
+AppendOnlyFile& AppendOnlyFile::operator=(AppendOnlyFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    size_ = other.size_;
+    buffer_ = std::move(other.buffer_);
+    error_ = std::move(other.error_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+AppendOnlyFile::~AppendOnlyFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendOnlyFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+  PAW_RETURN_NOT_OK(error_);
+  buffer_.append(data.data(), data.size());
+  size_ += static_cast<int64_t>(data.size());
+  // Keep the user-space buffer bounded; large appends go straight out.
+  if (buffer_.size() >= 1 << 16) return Flush();
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Flush() {
+  if (fd_ < 0) return Status::FailedPrecondition("file closed: " + path_);
+  PAW_RETURN_NOT_OK(error_);
+  const char* p = buffer_.data();
+  size_t left = buffer_.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A partial write may have reached the disk; the file state is
+      // unknown, so poison the handle rather than risk re-writing
+      // buffered bytes after a later frame.
+      error_ = ErrnoStatus("write", path_);
+      return error_;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Sync() {
+  PAW_RETURN_NOT_OK(Flush());
+  if (::fdatasync(fd_) != 0) {
+    error_ = ErrnoStatus("fdatasync", path_);
+    return error_;
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, int64_t size) {
+  std::error_code ec;
+  auto current = fs::file_size(path, ec);
+  if (ec) return Status::NotFound("stat " + path + ": " + ec.message());
+  if (static_cast<int64_t>(current) < size) {
+    return Status::InvalidArgument("truncate would extend " + path);
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace paw

@@ -1,0 +1,95 @@
+#ifndef PAW_COMMON_FILE_IO_H_
+#define PAW_COMMON_FILE_IO_H_
+
+/// \file file_io.h
+/// \brief File-system helpers for the persistent store.
+///
+/// Thin Status-returning wrappers over POSIX I/O: whole-file reads,
+/// atomic (write-temp-then-rename) file replacement, and an append-only
+/// file handle with explicit Flush/Sync for the write-ahead log. All
+/// paths are interpreted by the host file system; callers pass
+/// directories they own.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace paw {
+
+/// \brief Reads the entire file at `path`.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Writes `data` to `path`, replacing any existing file
+/// atomically: the bytes go to `path.tmp`, are fsync'd, and the temp
+/// file is renamed over `path`. Readers see the old or the new file,
+/// never a prefix.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// \brief Creates directory `path` (parents included); ok if it exists.
+Status EnsureDir(const std::string& path);
+
+/// \brief True iff `path` names an existing file or directory.
+bool PathExists(const std::string& path);
+
+/// \brief Names (not paths) of regular files directly under `dir`.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// \brief Deletes the file at `path`; ok if it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+/// \brief An append-only file descriptor (the WAL's backing handle).
+///
+/// Appends buffer in user space; `Flush` pushes them to the OS and
+/// `Sync` additionally fdatasync's to stable storage. Movable, not
+/// copyable; the descriptor closes on destruction (without syncing).
+///
+/// A failed write poisons the handle: after any I/O error every
+/// further `Append`/`Flush`/`Sync` returns that error, because a
+/// partial write leaves the file in an unknown state and retrying
+/// would interleave old buffered bytes with new frames. Callers
+/// recover by reopening (the WAL's torn-tail repair cleans the file).
+class AppendOnlyFile {
+ public:
+  /// \brief Opens `path` for appending, creating it if absent.
+  static Result<AppendOnlyFile> Open(const std::string& path);
+
+  AppendOnlyFile(AppendOnlyFile&& other) noexcept;
+  AppendOnlyFile& operator=(AppendOnlyFile&& other) noexcept;
+  AppendOnlyFile(const AppendOnlyFile&) = delete;
+  AppendOnlyFile& operator=(const AppendOnlyFile&) = delete;
+  ~AppendOnlyFile();
+
+  /// \brief Buffers `data` for append.
+  Status Append(std::string_view data);
+
+  /// \brief Writes buffered data to the OS.
+  Status Flush();
+
+  /// \brief Flush + fdatasync: data is durable when this returns OK.
+  Status Sync();
+
+  /// \brief Bytes appended so far (file offset after Flush).
+  int64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendOnlyFile(std::string path, int fd, int64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  std::string path_;
+  int fd_ = -1;
+  int64_t size_ = 0;
+  std::string buffer_;
+  Status error_;  // sticky; non-OK poisons the handle
+};
+
+/// \brief Truncates the file at `path` to `size` bytes (torn-tail
+/// repair). Fails if the file is shorter than `size`.
+Status TruncateFile(const std::string& path, int64_t size);
+
+}  // namespace paw
+
+#endif  // PAW_COMMON_FILE_IO_H_

@@ -76,4 +76,60 @@ bool TokensContainPhrase(const std::vector<std::string>& text_tokens,
   return true;
 }
 
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+Result<std::vector<std::string>> SplitFields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quote = false;
+  bool any = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quote) {
+      if (c == '\\' && i + 1 < line.size()) {
+        cur.push_back(line[++i]);
+      } else if (c == '"') {
+        in_quote = false;
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quote = true;
+      any = true;
+    } else if (c == ' ' || c == '\t') {
+      if (any || !cur.empty()) out.push_back(cur);
+      cur.clear();
+      any = false;
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quote) return Status::InvalidArgument("unterminated quote: " + line);
+  if (any || !cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool KeyValueField(const std::string& field, std::string_view key,
+                   std::string* value) {
+  // >=: `key=` carries a legitimately empty value (e.g. an execution
+  // item whose value is "" serializes as `value=""`).
+  if (field.size() >= key.size() + 1 &&
+      field.compare(0, key.size(), key) == 0 && field[key.size()] == '=') {
+    // SplitFields has already consumed the syntactic quotes of
+    // key="v" fields; any quotes still present are data and must
+    // survive (round-trip of values like "\"x\"").
+    *value = field.substr(key.size() + 1);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace paw

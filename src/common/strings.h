@@ -9,6 +9,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace paw {
 
 /// \brief Lowercases ASCII characters in `s`.
@@ -34,6 +36,24 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
 /// `text` (order-insensitive phrase match; used by keyword covering).
 bool TokensContainPhrase(const std::vector<std::string>& text_tokens,
                          std::string_view phrase);
+
+// ---- Line-oriented field syntax (shared by the text serializers) ----
+//
+// The spec, provenance and policy serializers all emit lines of
+// whitespace-separated fields where double-quoted fields may contain
+// spaces and backslash-escaped quotes, and `key=value` stays one field.
+
+/// \brief Wraps `s` in double quotes, escaping `"` and `\`.
+std::string QuoteField(const std::string& s);
+
+/// \brief Splits a serializer line into fields (see syntax above).
+Result<std::vector<std::string>> SplitFields(const std::string& line);
+
+/// \brief If `field` is `key=value`, stores the value (possibly
+/// empty) and returns true; otherwise leaves `value` alone and
+/// returns false.
+bool KeyValueField(const std::string& field, std::string_view key,
+                   std::string* value);
 
 }  // namespace paw
 

@@ -1,0 +1,82 @@
+#include "src/privacy/policy_text.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/strings.h"
+
+namespace paw {
+
+std::string SerializePolicy(const PolicySet& policy) {
+  std::ostringstream os;
+  if (policy.data.default_level != 0) {
+    os << "policy default_level=" << policy.data.default_level << "\n";
+  }
+  for (const auto& [label, level] : policy.data.label_level) {
+    os << "label " << QuoteField(label) << " level=" << level << "\n";
+  }
+  for (const ModulePrivacyRequirement& r : policy.module_reqs) {
+    os << "module " << r.module_code << " gamma=" << r.gamma
+       << " level=" << r.required_level << "\n";
+  }
+  for (const StructuralPrivacyRequirement& r : policy.structural_reqs) {
+    os << "structural " << r.src_code << " " << r.dst_code
+       << " level=" << r.required_level << "\n";
+  }
+  return os.str();
+}
+
+Result<PolicySet> ParsePolicy(const std::string& text,
+                              const Specification& spec) {
+  PolicySet policy;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string line(Trim(raw));
+    if (line.empty() || line[0] == '#') continue;
+    PAW_ASSIGN_OR_RETURN(std::vector<std::string> f, SplitFields(line));
+    if (f.empty()) continue;
+    const std::string& tag = f[0];
+    std::string v;
+    if (tag == "policy") {
+      if (f.size() < 2 || !KeyValueField(f[1], "default_level", &v)) {
+        return Status::InvalidArgument("policy: need default_level=");
+      }
+      policy.data.default_level = std::atoi(v.c_str());
+    } else if (tag == "label") {
+      if (f.size() < 3 || !KeyValueField(f[2], "level", &v)) {
+        return Status::InvalidArgument("label: need name and level=");
+      }
+      policy.data.label_level[f[1]] = std::atoi(v.c_str());
+    } else if (tag == "module") {
+      if (f.size() < 4) {
+        return Status::InvalidArgument("module: need code, gamma=, level=");
+      }
+      ModulePrivacyRequirement r;
+      r.module_code = f[1];
+      if (!KeyValueField(f[2], "gamma", &v)) {
+        return Status::InvalidArgument("module: missing gamma=");
+      }
+      r.gamma = std::atoll(v.c_str());
+      if (!KeyValueField(f[3], "level", &v)) {
+        return Status::InvalidArgument("module: missing level=");
+      }
+      r.required_level = std::atoi(v.c_str());
+      policy.module_reqs.push_back(std::move(r));
+    } else if (tag == "structural") {
+      if (f.size() < 4 || !KeyValueField(f[3], "level", &v)) {
+        return Status::InvalidArgument(
+            "structural: need src, dst, level=");
+      }
+      StructuralPrivacyRequirement r;
+      r.src_code = f[1];
+      r.dst_code = f[2];
+      r.required_level = std::atoi(v.c_str());
+      policy.structural_reqs.push_back(std::move(r));
+    } else {
+      return Status::InvalidArgument("unknown policy directive: " + tag);
+    }
+  }
+  PAW_RETURN_NOT_OK(ValidatePolicy(spec, policy));
+  return policy;
+}
+
+}  // namespace paw

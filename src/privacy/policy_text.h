@@ -1,0 +1,39 @@
+#ifndef PAW_PRIVACY_POLICY_TEXT_H_
+#define PAW_PRIVACY_POLICY_TEXT_H_
+
+/// \file policy_text.h
+/// \brief Text format for privacy policies.
+///
+/// The persistent store writes a specification's `PolicySet` next to the
+/// spec itself, in the same line-oriented field syntax as the other
+/// serializers:
+///
+/// \code
+///   policy default_level=0
+///   label "intermediate disorders" level=2
+///   module M1 gamma=4 level=1
+///   structural M3 M5 level=2
+/// \endcode
+///
+/// `SerializePolicy` of an all-default `PolicySet` is the empty string;
+/// parsing validates against the owning specification. Round-trip is
+/// exact (asserted by tests).
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/privacy/policy.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief Renders `policy` in the text format above.
+std::string SerializePolicy(const PolicySet& policy);
+
+/// \brief Parses the text format and validates against `spec`.
+Result<PolicySet> ParsePolicy(const std::string& text,
+                              const Specification& spec);
+
+}  // namespace paw
+
+#endif  // PAW_PRIVACY_POLICY_TEXT_H_

@@ -5,77 +5,18 @@
 #include "src/common/strings.h"
 
 namespace paw {
-namespace {
-
-std::string Quote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out += "\"";
-  return out;
-}
-
-/// Splits a line into fields; quoted fields may contain spaces.
-Result<std::vector<std::string>> Fields(const std::string& line) {
-  std::vector<std::string> out;
-  std::string cur;
-  bool in_quote = false;
-  bool any = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
-    if (in_quote) {
-      if (c == '\\' && i + 1 < line.size()) {
-        cur.push_back(line[++i]);
-      } else if (c == '"') {
-        in_quote = false;
-      } else {
-        cur.push_back(c);
-      }
-    } else if (c == '"') {
-      in_quote = true;
-      any = true;
-    } else if (c == ' ' || c == '\t') {
-      if (any || !cur.empty()) out.push_back(cur);
-      cur.clear();
-      any = false;
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (in_quote) return Status::InvalidArgument("unterminated quote");
-  if (any || !cur.empty()) out.push_back(cur);
-  return out;
-}
-
-bool KeyValue(const std::string& field, std::string_view key,
-              std::string* value) {
-  if (field.size() > key.size() + 1 &&
-      field.compare(0, key.size(), key) == 0 && field[key.size()] == '=') {
-    *value = field.substr(key.size() + 1);
-    if (value->size() >= 2 && value->front() == '"' &&
-        value->back() == '"') {
-      *value = value->substr(1, value->size() - 2);
-    }
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 std::string SerializeExecution(const Execution& exec) {
   std::ostringstream os;
-  os << "execution spec=" << Quote(exec.spec().name()) << "\n";
+  os << "execution spec=" << QuoteField(exec.spec().name()) << "\n";
   for (const ExecNode& n : exec.nodes()) {
     os << "node " << n.id.value() << " " << ExecNodeKindName(n.kind) << " "
        << exec.spec().module(n.module).code << " process=" << n.process_id
        << " enclosing=" << n.enclosing.value() << "\n";
   }
   for (const DataItem& d : exec.items()) {
-    os << "item " << d.id.value() << " label=" << Quote(d.label)
-       << " producer=" << d.producer.value() << " value=" << Quote(d.value)
+    os << "item " << d.id.value() << " label=" << QuoteField(d.label)
+       << " producer=" << d.producer.value() << " value=" << QuoteField(d.value)
        << "\n";
   }
   for (const auto& [u, v] : exec.graph().Edges()) {
@@ -97,12 +38,12 @@ Result<Execution> ParseExecution(const std::string& text,
   for (const std::string& raw : Split(text, '\n')) {
     std::string line(Trim(raw));
     if (line.empty() || line[0] == '#') continue;
-    PAW_ASSIGN_OR_RETURN(std::vector<std::string> f, Fields(line));
+    PAW_ASSIGN_OR_RETURN(std::vector<std::string> f, SplitFields(line));
     if (f.empty()) continue;
     const std::string& tag = f[0];
     if (tag == "execution") {
       std::string name;
-      if (f.size() < 2 || !KeyValue(f[1], "spec", &name)) {
+      if (f.size() < 2 || !KeyValueField(f[1], "spec", &name)) {
         return Status::InvalidArgument("execution: missing spec=");
       }
       if (name != spec.name()) {
@@ -136,11 +77,11 @@ Result<Execution> ParseExecution(const std::string& text,
       }
       PAW_ASSIGN_OR_RETURN(ModuleId module, spec.FindModule(f[3]));
       std::string v;
-      if (!KeyValue(f[4], "process", &v)) {
+      if (!KeyValueField(f[4], "process", &v)) {
         return Status::InvalidArgument("node: missing process=");
       }
       int process = std::atoi(v.c_str());
-      if (!KeyValue(f[5], "enclosing", &v)) {
+      if (!KeyValueField(f[5], "enclosing", &v)) {
         return Status::InvalidArgument("node: missing enclosing=");
       }
       int32_t enclosing = std::atoi(v.c_str());
@@ -156,9 +97,9 @@ Result<Execution> ParseExecution(const std::string& text,
         return Status::InvalidArgument("item ids must be dense");
       }
       std::string label, producer_str, value;
-      if (!KeyValue(f[2], "label", &label) ||
-          !KeyValue(f[3], "producer", &producer_str) ||
-          !KeyValue(f[4], "value", &value)) {
+      if (!KeyValueField(f[2], "label", &label) ||
+          !KeyValueField(f[3], "producer", &producer_str) ||
+          !KeyValueField(f[4], "value", &value)) {
         return Status::InvalidArgument("item: bad fields");
       }
       int32_t producer = std::atoi(producer_str.c_str());
@@ -171,7 +112,7 @@ Result<Execution> ParseExecution(const std::string& text,
       int32_t u = std::atoi(f[1].c_str());
       int32_t v = std::atoi(f[2].c_str());
       std::string items_str;
-      if (!KeyValue(f[3], "items", &items_str)) {
+      if (!KeyValueField(f[3], "items", &items_str)) {
         return Status::InvalidArgument("flow: missing items=");
       }
       std::vector<DataItemId> items;

@@ -27,7 +27,7 @@ Result<ExecutionId> Repository::AddExecution(int spec_id, Execution exec) {
   }
   auto entry = std::make_unique<ExecutionEntry>(ExecutionEntry{
       ExecutionId(static_cast<int32_t>(execs_.size())), spec_id,
-      std::move(exec)});
+      std::move(exec), PersistMeta{}});
   execs_.push_back(std::move(entry));
   return execs_.back()->id;
 }
@@ -47,10 +47,36 @@ std::vector<ExecutionId> Repository::ExecutionsOf(int spec_id) const {
   return out;
 }
 
+namespace {
+
+int64_t PolicyBytes(const PolicySet& policy) {
+  int64_t total = 0;
+  for (const auto& [label, level] : policy.data.label_level) {
+    total += static_cast<int64_t>(sizeof(level) + label.size());
+  }
+  for (const ModulePrivacyRequirement& r : policy.module_reqs) {
+    total += static_cast<int64_t>(sizeof(r) + r.module_code.size());
+  }
+  for (const StructuralPrivacyRequirement& r : policy.structural_reqs) {
+    total += static_cast<int64_t>(sizeof(r) + r.src_code.size() +
+                                  r.dst_code.size());
+  }
+  return total;
+}
+
+int64_t PersistBytes(const PersistMeta& meta) {
+  return static_cast<int64_t>(meta.locator.size());
+}
+
+}  // namespace
+
 int64_t Repository::ApproxBytes() const {
   int64_t total = 0;
   for (const auto& e : specs_) {
     total += static_cast<int64_t>(sizeof(SpecEntry));
+    total += static_cast<int64_t>(e->spec.name().size());
+    total += PolicyBytes(e->policy);
+    total += PersistBytes(e->persist);
     for (const Module& m : e->spec.modules()) {
       total += static_cast<int64_t>(sizeof(Module) + m.code.size() +
                                     m.name.size());
@@ -71,6 +97,7 @@ int64_t Repository::ApproxBytes() const {
   }
   for (const auto& e : execs_) {
     total += static_cast<int64_t>(sizeof(ExecutionEntry));
+    total += PersistBytes(e->persist);
     total += static_cast<int64_t>(e->exec.num_nodes()) *
              static_cast<int64_t>(sizeof(ExecNode));
     for (const DataItem& d : e->exec.items()) {

@@ -21,12 +21,32 @@
 
 namespace paw {
 
+/// \brief Durability metadata stamped by the persistent store layer
+/// (src/store/persistent_repository.h) on entries it has logged.
+///
+/// Entries added to a plain in-memory `Repository` keep the defaults:
+/// lsn 0 and an empty locator mean "volatile, never persisted".
+struct PersistMeta {
+  /// LSN of the record that persisted this entry. For entries
+  /// recovered from a snapshot this is the snapshot's covered LSN (an
+  /// upper bound of the original append LSN, which snapshots do not
+  /// retain).
+  uint64_t lsn = 0;
+  /// CRC32 of the serialized record payload (integrity auditing).
+  uint32_t payload_crc = 0;
+  /// Serialized payload size in bytes.
+  uint32_t payload_bytes = 0;
+  /// Human-readable origin, e.g. "wal:42" or "snapshot:42".
+  std::string locator;
+};
+
 /// \brief A stored specification with its derived hierarchy and policy.
 struct SpecEntry {
   int id = -1;
   Specification spec;
   ExpansionHierarchy hierarchy;
   PolicySet policy;
+  PersistMeta persist;
 };
 
 /// \brief A stored execution.
@@ -34,6 +54,7 @@ struct ExecutionEntry {
   ExecutionId id;
   int spec_id = -1;
   Execution exec;
+  PersistMeta persist;
 };
 
 /// \brief In-memory repository of specifications and executions.
@@ -64,7 +85,22 @@ class Repository {
   /// \brief Executions of one specification.
   std::vector<ExecutionId> ExecutionsOf(int spec_id) const;
 
+  /// \brief Stamps durability metadata on a spec entry; id must be in
+  /// range. Called by the persistent store layer after logging.
+  void SetSpecPersist(int id, PersistMeta meta) {
+    specs_[static_cast<size_t>(id)]->persist = std::move(meta);
+  }
+
+  /// \brief Stamps durability metadata on an execution entry.
+  void SetExecutionPersist(ExecutionId id, PersistMeta meta) {
+    execs_[static_cast<size_t>(id.value())]->persist = std::move(meta);
+  }
+
   /// \brief Rough memory footprint in bytes (for the E5 space accounting).
+  ///
+  /// Counts per-entry heap payloads: spec modules/workflows/edges, the
+  /// spec name, the policy set, execution nodes/items, and the
+  /// persistence metadata locators. Monotone in repository growth.
   int64_t ApproxBytes() const;
 
  private:

@@ -1,0 +1,105 @@
+#include "src/store/codec.h"
+
+#include "src/common/crc32.h"
+#include "src/privacy/policy_text.h"
+#include "src/provenance/serialize.h"
+#include "src/workflow/serialize.h"
+
+namespace paw {
+
+std::string EncodeSpecPayload(const Specification& spec,
+                              const PolicySet& policy) {
+  const std::string spec_text = Serialize(spec);
+  const std::string policy_text = SerializePolicy(policy);
+  std::string out;
+  out.reserve(spec_text.size() + policy_text.size() + 8);
+  PutFixed32(&out, static_cast<uint32_t>(spec_text.size()));
+  out += spec_text;
+  PutFixed32(&out, static_cast<uint32_t>(policy_text.size()));
+  out += policy_text;
+  return out;
+}
+
+Result<DecodedSpec> DecodeSpecPayload(std::string_view payload) {
+  size_t pos = 0;
+  uint32_t spec_len = 0, policy_len = 0;
+  std::string_view spec_text, policy_text;
+  if (!GetFixed32(payload, &pos, &spec_len) ||
+      !GetBytes(payload, &pos, spec_len, &spec_text) ||
+      !GetFixed32(payload, &pos, &policy_len) ||
+      !GetBytes(payload, &pos, policy_len, &policy_text) ||
+      pos != payload.size()) {
+    return Status::InvalidArgument("malformed spec payload");
+  }
+  DecodedSpec out;
+  PAW_ASSIGN_OR_RETURN(out.spec,
+                       ParseSpecification(std::string(spec_text)));
+  PAW_ASSIGN_OR_RETURN(out.policy,
+                       ParsePolicy(std::string(policy_text), out.spec));
+  return out;
+}
+
+std::string EncodeExecutionPayload(int spec_id, const Execution& exec) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(spec_id));
+  out += SerializeExecution(exec);
+  return out;
+}
+
+Status DecodeExecutionPayload(std::string_view payload, int* spec_id,
+                              std::string* exec_text) {
+  size_t pos = 0;
+  uint32_t id = 0;
+  if (!GetFixed32(payload, &pos, &id)) {
+    return Status::InvalidArgument("malformed execution payload");
+  }
+  *spec_id = static_cast<int>(id);
+  exec_text->assign(payload.substr(pos));
+  return Status::OK();
+}
+
+Status ApplyRecord(const Record& record, Repository* repo) {
+  switch (record.type) {
+    case RecordType::kSpec: {
+      PAW_ASSIGN_OR_RETURN(DecodedSpec decoded,
+                           DecodeSpecPayload(record.payload));
+      return repo
+          ->AddSpecification(std::move(decoded.spec),
+                             std::move(decoded.policy))
+          .status();
+    }
+    case RecordType::kExecution: {
+      int spec_id = -1;
+      std::string exec_text;
+      PAW_RETURN_NOT_OK(
+          DecodeExecutionPayload(record.payload, &spec_id, &exec_text));
+      if (spec_id < 0 || spec_id >= repo->num_specs()) {
+        return Status::InvalidArgument(
+            "execution record references unknown spec " +
+            std::to_string(spec_id));
+      }
+      PAW_ASSIGN_OR_RETURN(
+          Execution exec,
+          ParseExecution(exec_text, repo->entry(spec_id).spec));
+      return repo->AddExecution(spec_id, std::move(exec)).status();
+    }
+    case RecordType::kWalHeader:
+    case RecordType::kSnapshotHeader:
+      return Status::InvalidArgument(
+          std::string("cannot apply record of type ") +
+          std::string(RecordTypeName(record.type)));
+  }
+  return Status::InvalidArgument("unknown record type");
+}
+
+PersistMeta MakePersistMeta(uint64_t lsn, std::string_view payload,
+                            std::string_view origin) {
+  PersistMeta meta;
+  meta.lsn = lsn;
+  meta.payload_crc = Crc32(payload);
+  meta.payload_bytes = static_cast<uint32_t>(payload.size());
+  meta.locator = std::string(origin) + ":" + std::to_string(lsn);
+  return meta;
+}
+
+}  // namespace paw

@@ -1,0 +1,64 @@
+#ifndef PAW_STORE_CODEC_H_
+#define PAW_STORE_CODEC_H_
+
+/// \file codec.h
+/// \brief Payload layouts for `kSpec` and `kExecution` records.
+///
+/// Payloads reuse the existing *text* serializers — a spec payload
+/// embeds the `Serialize()` text plus the `SerializePolicy()` text, an
+/// execution payload embeds `SerializeExecution()` text — framed with
+/// fixed-width lengths so the store never needs to re-tokenize:
+///
+/// \code
+///   spec payload:       u32 spec_len | spec text | u32 policy_len | policy text
+///   execution payload:  u32 spec_id  | execution text
+/// \endcode
+///
+/// `ApplyRecord` replays one decoded record into a `Repository`; it is
+/// the single code path used by both snapshot loading and WAL replay,
+/// so recovered state is bit-identical to freshly ingested state.
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/privacy/policy.h"
+#include "src/provenance/execution.h"
+#include "src/repo/repository.h"
+#include "src/store/record.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief Builds a `kSpec` payload from a spec and its policy.
+std::string EncodeSpecPayload(const Specification& spec,
+                              const PolicySet& policy);
+
+/// \brief Decodes a `kSpec` payload back into a spec + policy.
+struct DecodedSpec {
+  Specification spec;
+  PolicySet policy;
+};
+Result<DecodedSpec> DecodeSpecPayload(std::string_view payload);
+
+/// \brief Builds a `kExecution` payload for an execution of `spec_id`.
+std::string EncodeExecutionPayload(int spec_id, const Execution& exec);
+
+/// \brief Splits a `kExecution` payload into its spec id and the
+/// execution text (parsed later against the owning spec).
+Status DecodeExecutionPayload(std::string_view payload, int* spec_id,
+                              std::string* exec_text);
+
+/// \brief Replays one `kSpec` / `kExecution` record into `repo`.
+///
+/// Entries are assigned the next dense id, so replaying records in
+/// append order reproduces the original id assignment exactly.
+Status ApplyRecord(const Record& record, Repository* repo);
+
+/// \brief Durability metadata for an entry persisted as `payload` at
+/// `lsn`; `origin` is the locator prefix ("wal" or "snapshot").
+PersistMeta MakePersistMeta(uint64_t lsn, std::string_view payload,
+                            std::string_view origin);
+
+}  // namespace paw
+
+#endif  // PAW_STORE_CODEC_H_

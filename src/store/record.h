@@ -1,0 +1,113 @@
+#ifndef PAW_STORE_RECORD_H_
+#define PAW_STORE_RECORD_H_
+
+/// \file record.h
+/// \brief The binary record format shared by the WAL and snapshots.
+///
+/// A record is a length-prefixed, CRC-checksummed frame:
+///
+/// \code
+///   +----------------+----------------+------+-------------------+
+///   | payload_len u32| crc32      u32 | type | payload bytes ... |
+///   +----------------+----------------+------+-------------------+
+///        little-endian     over type+payload   payload_len bytes
+/// \endcode
+///
+/// The CRC covers the type byte and the payload, so a frame whose
+/// length field survived a crash but whose body did not is still
+/// rejected. `RecordReader` walks a buffer and classifies the end of
+/// data as either a clean end (buffer exhausted exactly at a record
+/// boundary) or a *torn tail* (trailing bytes that do not form a whole,
+/// checksummed record — the signature of a crash mid-append).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace paw {
+
+/// \brief What a store record contains.
+enum class RecordType : uint8_t {
+  /// WAL file header: payload = fixed64 base LSN.
+  kWalHeader = 1,
+  /// A specification + its policy (see codec.h for the payload layout).
+  kSpec = 2,
+  /// An execution of a stored spec (see codec.h).
+  kExecution = 3,
+  /// Snapshot file header: payload = fixed64 covered LSN.
+  kSnapshotHeader = 4,
+};
+
+/// \brief Short name of a record type ("spec", "execution", ...).
+std::string_view RecordTypeName(RecordType type);
+
+/// \brief A decoded record.
+struct Record {
+  RecordType type = RecordType::kSpec;
+  std::string payload;
+};
+
+/// \brief Frame header size: u32 length + u32 crc + u8 type.
+inline constexpr size_t kRecordHeaderSize = 9;
+
+/// \brief Upper bound on a single payload; longer lengths are treated
+/// as corruption rather than allocated.
+inline constexpr uint32_t kMaxPayloadLen = 1u << 30;
+
+/// \brief Appends the frame for (`type`, `payload`) to `out`.
+void AppendRecord(RecordType type, std::string_view payload,
+                  std::string* out);
+
+// Little-endian fixed-width integers, used inside payloads.
+void PutFixed32(std::string* out, uint32_t v);
+void PutFixed64(std::string* out, uint64_t v);
+/// \brief Reads a fixed32 at `*offset`, advancing it; false on overrun.
+bool GetFixed32(std::string_view buf, size_t* offset, uint32_t* v);
+bool GetFixed64(std::string_view buf, size_t* offset, uint64_t* v);
+/// \brief Reads `len` bytes at `*offset`, advancing it; false on overrun.
+bool GetBytes(std::string_view buf, size_t* offset, size_t len,
+              std::string_view* v);
+
+/// \brief Outcome of one `RecordReader::Next` call.
+enum class ReadOutcome {
+  /// A whole, checksum-valid record was produced.
+  kRecord,
+  /// The buffer ended exactly at a record boundary.
+  kEndOfData,
+  /// Trailing bytes do not form a valid record (crash mid-append or
+  /// corruption); `RecordReader::tail_error()` says why.
+  kTornTail,
+};
+
+/// \brief Sequential reader over a buffer of records.
+class RecordReader {
+ public:
+  explicit RecordReader(std::string_view buf) : buf_(buf) {}
+
+  /// \brief Decodes the next record. After `kTornTail` or `kEndOfData`
+  /// every further call returns the same outcome.
+  ReadOutcome Next(Record* out);
+
+  /// \brief Bytes consumed by whole valid records (the safe prefix a
+  /// torn file may be truncated to).
+  size_t valid_bytes() const { return offset_; }
+
+  /// \brief Bytes after the valid prefix (0 unless the tail is torn).
+  size_t dropped_bytes() const { return buf_.size() - offset_; }
+
+  /// \brief Why the tail was rejected (empty unless `kTornTail`).
+  const std::string& tail_error() const { return tail_error_; }
+
+ private:
+  std::string_view buf_;
+  size_t offset_ = 0;
+  bool done_ = false;
+  ReadOutcome final_ = ReadOutcome::kEndOfData;
+  std::string tail_error_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_STORE_RECORD_H_

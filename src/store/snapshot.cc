@@ -1,0 +1,134 @@
+#include "src/store/snapshot.h"
+
+#include <cstdio>
+
+#include "src/common/file_io.h"
+#include "src/store/codec.h"
+#include "src/store/record.h"
+
+namespace paw {
+namespace {
+
+constexpr std::string_view kPrefix = "snapshot-";
+constexpr std::string_view kSuffix = ".paws";
+
+/// Parses "snapshot-<20 digits>.paws" into its LSN; false otherwise.
+bool ParseSnapshotName(const std::string& name, uint64_t* lsn) {
+  if (name.size() != kPrefix.size() + 20 + kSuffix.size()) return false;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return false;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = kPrefix.size(); i < kPrefix.size() + 20; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *lsn = value;
+  return true;
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snapshot-%020llu.paws",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+Result<SnapshotInfo> WriteSnapshot(const std::string& dir,
+                                   const Repository& repo, uint64_t lsn) {
+  std::string stream;
+  std::string header_payload;
+  PutFixed64(&header_payload, lsn);
+  AppendRecord(RecordType::kSnapshotHeader, header_payload, &stream);
+  for (int id = 0; id < repo.num_specs(); ++id) {
+    const SpecEntry& entry = repo.entry(id);
+    AppendRecord(RecordType::kSpec,
+                 EncodeSpecPayload(entry.spec, entry.policy), &stream);
+  }
+  for (int id = 0; id < repo.num_executions(); ++id) {
+    const ExecutionEntry& entry = repo.execution(ExecutionId(id));
+    AppendRecord(RecordType::kExecution,
+                 EncodeExecutionPayload(entry.spec_id, entry.exec),
+                 &stream);
+  }
+  SnapshotInfo info;
+  info.lsn = lsn;
+  info.path = dir + "/" + SnapshotFileName(lsn);
+  PAW_RETURN_NOT_OK(AtomicWriteFile(info.path, stream));
+  return info;
+}
+
+Result<SnapshotInfo> FindLatestSnapshot(const std::string& dir) {
+  PAW_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir));
+  SnapshotInfo best;
+  bool found = false;
+  for (const std::string& name : names) {
+    uint64_t lsn = 0;
+    if (!ParseSnapshotName(name, &lsn)) continue;
+    if (!found || lsn > best.lsn) {
+      best.lsn = lsn;
+      best.path = dir + "/" + name;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no snapshot under " + dir);
+  return best;
+}
+
+Result<uint64_t> LoadSnapshot(const std::string& path, Repository* repo) {
+  if (repo->num_specs() != 0 || repo->num_executions() != 0) {
+    return Status::FailedPrecondition(
+        "LoadSnapshot requires an empty repository");
+  }
+  PAW_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  RecordReader reader(contents);
+  Record record;
+  ReadOutcome outcome = reader.Next(&record);
+  if (outcome != ReadOutcome::kRecord ||
+      record.type != RecordType::kSnapshotHeader) {
+    return Status::FailedPrecondition("not a snapshot file: " + path);
+  }
+  uint64_t lsn = 0;
+  {
+    size_t pos = 0;
+    if (!GetFixed64(record.payload, &pos, &lsn) ||
+        pos != record.payload.size()) {
+      return Status::FailedPrecondition("corrupt snapshot header: " + path);
+    }
+  }
+  while ((outcome = reader.Next(&record)) == ReadOutcome::kRecord) {
+    PAW_RETURN_NOT_OK(ApplyRecord(record, repo));
+    // Stamp durability metadata on the entry just applied. A snapshot
+    // does not retain per-record append LSNs, so entries carry the
+    // covering snapshot's LSN (an upper bound of the original one).
+    PersistMeta meta = MakePersistMeta(lsn, record.payload, "snapshot");
+    if (record.type == RecordType::kSpec) {
+      repo->SetSpecPersist(repo->num_specs() - 1, std::move(meta));
+    } else if (record.type == RecordType::kExecution) {
+      repo->SetExecutionPersist(
+          ExecutionId(repo->num_executions() - 1), std::move(meta));
+    }
+  }
+  if (outcome == ReadOutcome::kTornTail) {
+    return Status::Internal("corrupt snapshot " + path + ": " +
+                            reader.tail_error());
+  }
+  return lsn;
+}
+
+Status RemoveSnapshotsBefore(const std::string& dir, uint64_t keep_lsn) {
+  PAW_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir));
+  for (const std::string& name : names) {
+    uint64_t lsn = 0;
+    if (ParseSnapshotName(name, &lsn) && lsn < keep_lsn) {
+      PAW_RETURN_NOT_OK(RemoveFileIfExists(dir + "/" + name));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace paw

@@ -1,0 +1,83 @@
+#include "src/store/wal.h"
+
+namespace paw {
+
+Result<WriteAheadLog> WriteAheadLog::Create(const std::string& path,
+                                            uint64_t base_lsn,
+                                            Options options) {
+  std::string header_payload;
+  PutFixed64(&header_payload, base_lsn);
+  std::string frame;
+  AppendRecord(RecordType::kWalHeader, header_payload, &frame);
+  // Temp-write + rename: replacing an existing log (compaction) leaves
+  // either the old log or the new header-only log, never a hybrid.
+  PAW_RETURN_NOT_OK(AtomicWriteFile(path, frame));
+  PAW_ASSIGN_OR_RETURN(AppendOnlyFile file, AppendOnlyFile::Open(path));
+  return WriteAheadLog(std::move(file), base_lsn, base_lsn, options);
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
+                                          WalReplay* replay,
+                                          Options options) {
+  PAW_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  RecordReader reader(contents);
+  Record record;
+  ReadOutcome outcome = reader.Next(&record);
+  if (outcome != ReadOutcome::kRecord ||
+      record.type != RecordType::kWalHeader) {
+    return Status::FailedPrecondition("not a WAL file: " + path);
+  }
+  {
+    size_t pos = 0;
+    uint64_t base = 0;
+    if (!GetFixed64(record.payload, &pos, &base) ||
+        pos != record.payload.size()) {
+      return Status::FailedPrecondition("corrupt WAL header: " + path);
+    }
+    replay->base_lsn = base;
+  }
+  replay->records.clear();
+  replay->torn_tail = false;
+  replay->dropped_bytes = 0;
+  replay->tail_error.clear();
+  while ((outcome = reader.Next(&record)) == ReadOutcome::kRecord) {
+    replay->records.push_back(std::move(record));
+  }
+  if (outcome == ReadOutcome::kTornTail) {
+    replay->torn_tail = true;
+    replay->dropped_bytes = reader.dropped_bytes();
+    replay->tail_error = reader.tail_error();
+    // Repair: drop the tail so the next append starts a clean frame.
+    PAW_RETURN_NOT_OK(
+        TruncateFile(path, static_cast<int64_t>(reader.valid_bytes())));
+  }
+  PAW_ASSIGN_OR_RETURN(AppendOnlyFile file, AppendOnlyFile::Open(path));
+  const uint64_t last = replay->base_lsn + replay->records.size();
+  return WriteAheadLog(std::move(file), replay->base_lsn, last, options);
+}
+
+Status WriteAheadLog::Append(RecordType type, std::string_view payload) {
+  // A frame longer than kMaxPayloadLen would be written fine but
+  // rejected as "implausible" on replay, deleting it (and everything
+  // after it) via torn-tail repair — refuse it up front instead.
+  if (payload.size() > kMaxPayloadLen) {
+    return Status::InvalidArgument(
+        "record payload too large: " + std::to_string(payload.size()) +
+        " bytes (max " + std::to_string(kMaxPayloadLen) + ")");
+  }
+  std::string frame;
+  frame.reserve(kRecordHeaderSize + payload.size());
+  AppendRecord(type, payload, &frame);
+  PAW_RETURN_NOT_OK(file_.Append(frame));
+  if (options_.sync_each_append) {
+    PAW_RETURN_NOT_OK(file_.Sync());
+  } else {
+    PAW_RETURN_NOT_OK(file_.Flush());
+  }
+  ++last_lsn_;
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() { return file_.Sync(); }
+
+}  // namespace paw

@@ -1,0 +1,103 @@
+#ifndef PAW_STORE_WAL_H_
+#define PAW_STORE_WAL_H_
+
+/// \file wal.h
+/// \brief Append-only write-ahead log with torn-tail recovery.
+///
+/// The log is a flat file of records (record.h). The first record is
+/// always a `kWalHeader` whose payload holds the file's *base LSN*: the
+/// number of records that had already been folded into a snapshot when
+/// this log file was started. Record `i` (0-based, header excluded)
+/// therefore has LSN `base + i + 1`, and LSNs stay monotonic across
+/// compactions even though compaction replaces the file.
+///
+/// `Open` replays the existing file before allowing appends: a torn
+/// tail (crash mid-append) is detected via the per-record checksums,
+/// reported in `WalReplay`, and physically truncated away so the next
+/// append lands on a clean boundary.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/file_io.h"
+#include "src/common/status.h"
+#include "src/store/record.h"
+
+namespace paw {
+
+/// \brief What `WriteAheadLog::Open` found in an existing log file.
+struct WalReplay {
+  /// LSN of the last record already covered by a snapshot when the
+  /// file was started.
+  uint64_t base_lsn = 0;
+  /// Whole, checksum-valid records after the header, in append order.
+  std::vector<Record> records;
+  /// True when the file ended in a torn (partially written) record.
+  bool torn_tail = false;
+  /// Bytes of torn tail dropped by repair truncation.
+  uint64_t dropped_bytes = 0;
+  /// Human-readable reason the tail was rejected.
+  std::string tail_error;
+};
+
+/// \brief Knobs of the write-ahead log.
+struct WalOptions {
+  /// fdatasync after every append (durable but slow); off by default
+  /// — callers batch with explicit `Sync()`.
+  bool sync_each_append = false;
+};
+
+/// \brief The write-ahead log of one store directory.
+class WriteAheadLog {
+ public:
+  using Options = WalOptions;
+
+  /// \brief Creates (or truncates) `path` as an empty log whose first
+  /// record will carry `base_lsn`.
+  static Result<WriteAheadLog> Create(const std::string& path,
+                                      uint64_t base_lsn,
+                                      Options options = {});
+
+  /// \brief Opens an existing log, replays it into `*replay`, repairs
+  /// any torn tail, and positions for append.
+  static Result<WriteAheadLog> Open(const std::string& path,
+                                    WalReplay* replay,
+                                    Options options = {});
+
+  /// \brief Appends one record; its LSN is `last_lsn()` after return.
+  Status Append(RecordType type, std::string_view payload);
+
+  /// \brief Pushes appended bytes to stable storage.
+  Status Sync();
+
+  /// \brief LSN of the most recently appended record (== total records
+  /// ever logged by this store, across compactions). `base_lsn()` when
+  /// the file is empty.
+  uint64_t last_lsn() const { return last_lsn_; }
+
+  /// \brief Base LSN recorded in this file's header.
+  uint64_t base_lsn() const { return base_lsn_; }
+
+  /// \brief Current file size in bytes (including buffered appends).
+  int64_t size_bytes() const { return file_.size(); }
+
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  WriteAheadLog(AppendOnlyFile file, uint64_t base_lsn, uint64_t last_lsn,
+                Options options)
+      : file_(std::move(file)),
+        base_lsn_(base_lsn),
+        last_lsn_(last_lsn),
+        options_(options) {}
+
+  AppendOnlyFile file_;
+  uint64_t base_lsn_ = 0;
+  uint64_t last_lsn_ = 0;
+  Options options_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_STORE_WAL_H_

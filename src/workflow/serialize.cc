@@ -10,16 +10,6 @@
 namespace paw {
 namespace {
 
-std::string Quote(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out += "\"";
-  return out;
-}
-
 std::string JoinSemis(const std::vector<std::string>& parts) {
   std::string out;
   for (size_t i = 0; i < parts.size(); ++i) {
@@ -29,63 +19,13 @@ std::string JoinSemis(const std::vector<std::string>& parts) {
   return out;
 }
 
-/// Splits a line into fields; double-quoted fields may contain spaces and
-/// escaped quotes. `key=value` stays one field.
-Result<std::vector<std::string>> Fields(const std::string& line) {
-  std::vector<std::string> out;
-  std::string cur;
-  bool in_quote = false;
-  bool any = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
-    if (in_quote) {
-      if (c == '\\' && i + 1 < line.size()) {
-        cur.push_back(line[++i]);
-      } else if (c == '"') {
-        in_quote = false;
-      } else {
-        cur.push_back(c);
-      }
-    } else if (c == '"') {
-      in_quote = true;
-      any = true;
-    } else if (c == ' ' || c == '\t') {
-      if (any || !cur.empty()) out.push_back(cur);
-      cur.clear();
-      any = false;
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (in_quote) return Status::InvalidArgument("unterminated quote: " + line);
-  if (any || !cur.empty()) out.push_back(cur);
-  return out;
-}
-
-/// Returns the value of `key=` within `field`, or empty if not matching.
-bool KeyValue(const std::string& field, std::string_view key,
-              std::string* value) {
-  if (field.size() > key.size() + 1 &&
-      field.compare(0, key.size(), key) == 0 && field[key.size()] == '=') {
-    *value = field.substr(key.size() + 1);
-    // Strip one layer of quotes if present (Fields already unquotes fully
-    // quoted fields, but key="v" keeps the quotes inside the field).
-    if (value->size() >= 2 && value->front() == '"' &&
-        value->back() == '"') {
-      *value = value->substr(1, value->size() - 2);
-    }
-    return true;
-  }
-  return false;
-}
-
 }  // namespace
 
 std::string Serialize(const Specification& spec) {
   std::ostringstream os;
-  os << "spec " << Quote(spec.name()) << "\n";
+  os << "spec " << QuoteField(spec.name()) << "\n";
   for (const Workflow& w : spec.workflows()) {
-    os << "workflow " << w.code << " " << Quote(w.name)
+    os << "workflow " << w.code << " " << QuoteField(w.name)
        << " level=" << w.required_level;
     if (w.id == spec.root()) os << " root";
     os << "\n";
@@ -94,12 +34,12 @@ std::string Serialize(const Specification& spec) {
     for (ModuleId mid : w.modules) {
       const Module& m = spec.module(mid);
       os << "module " << m.code << " " << w.code << " "
-         << ModuleKindName(m.kind) << " " << Quote(m.name);
+         << ModuleKindName(m.kind) << " " << QuoteField(m.name);
       if (m.kind == ModuleKind::kComposite) {
         os << " expands=" << spec.workflow(m.expansion).code;
       }
       if (!m.keywords.empty()) {
-        os << " keywords=" << Quote(JoinSemis(m.keywords));
+        os << " keywords=" << QuoteField(JoinSemis(m.keywords));
       }
       os << "\n";
     }
@@ -108,7 +48,7 @@ std::string Serialize(const Specification& spec) {
     for (const DataflowEdge& e : w.edges) {
       os << "edge " << spec.module(e.src).code << " "
          << spec.module(e.dst).code << " labels="
-         << Quote(JoinSemis(e.labels)) << "\n";
+         << QuoteField(JoinSemis(e.labels)) << "\n";
     }
   }
   return os.str();
@@ -136,7 +76,7 @@ Result<Specification> ParseSpecification(const std::string& text) {
   for (const std::string& raw : Split(text, '\n')) {
     std::string line(Trim(raw));
     if (line.empty() || line[0] == '#') continue;
-    PAW_ASSIGN_OR_RETURN(std::vector<std::string> f, Fields(line));
+    PAW_ASSIGN_OR_RETURN(std::vector<std::string> f, SplitFields(line));
     if (f.empty()) continue;
     const std::string& tag = f[0];
     if (tag == "spec") {
@@ -151,7 +91,7 @@ Result<Specification> ParseSpecification(const std::string& text) {
       w.name = f[2];
       for (size_t i = 3; i < f.size(); ++i) {
         std::string v;
-        if (KeyValue(f[i], "level", &v)) {
+        if (KeyValueField(f[i], "level", &v)) {
           w.level = std::atoi(v.c_str());
         } else if (f[i] == "root") {
           w.root = true;
@@ -172,10 +112,10 @@ Result<Specification> ParseSpecification(const std::string& text) {
       m.name = f[4];
       for (size_t i = 5; i < f.size(); ++i) {
         std::string v;
-        if (KeyValue(f[i], "expands", &v)) {
+        if (KeyValueField(f[i], "expands", &v)) {
           m.expands = v;
-        } else if (KeyValue(f[i], "keywords", &v)) {
-          m.keywords = Split(v, ';');
+        } else if (KeyValueField(f[i], "keywords", &v)) {
+          if (!v.empty()) m.keywords = Split(v, ';');
         } else {
           return Status::InvalidArgument("module: bad field " + f[i]);
         }
@@ -189,10 +129,10 @@ Result<Specification> ParseSpecification(const std::string& text) {
       e.src = f[1];
       e.dst = f[2];
       std::string v;
-      if (!KeyValue(f[3], "labels", &v)) {
+      if (!KeyValueField(f[3], "labels", &v)) {
         return Status::InvalidArgument("edge: missing labels=");
       }
-      e.labels = Split(v, ';');
+      if (!v.empty()) e.labels = Split(v, ';');
       edge_lines.push_back(std::move(e));
     } else {
       return Status::InvalidArgument("unknown directive: " + tag);

@@ -1,0 +1,87 @@
+// Tests for the policy text serializer.
+
+#include "src/privacy/policy_text.h"
+
+#include <gtest/gtest.h>
+
+#include "src/repo/disease.h"
+
+namespace paw {
+namespace {
+
+TEST(PolicyTextTest, EmptyPolicySerializesEmpty) {
+  EXPECT_EQ(SerializePolicy(PolicySet{}), "");
+}
+
+TEST(PolicyTextTest, ParseEmptyYieldsDefaults) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  auto policy = ParsePolicy("", spec.value());
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy.value().data.default_level, 0);
+  EXPECT_TRUE(policy.value().data.label_level.empty());
+  EXPECT_TRUE(policy.value().module_reqs.empty());
+  EXPECT_TRUE(policy.value().structural_reqs.empty());
+}
+
+TEST(PolicyTextTest, DiseasePolicyRoundTripIsExact) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  PolicySet policy = DiseasePolicy();
+  const std::string text = SerializePolicy(policy);
+  auto parsed = ParsePolicy(text, spec.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SerializePolicy(parsed.value()), text);
+}
+
+TEST(PolicyTextTest, FullPolicyRoundTrip) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  PolicySet policy;
+  policy.data.default_level = 1;
+  policy.data.label_level["label with spaces"] = 3;
+  policy.data.label_level["SNPs"] = 2;
+  policy.module_reqs.push_back({"M1", 4, 2});
+  policy.structural_reqs.push_back({"M3", "M5", 1});
+  const std::string text = SerializePolicy(policy);
+  auto parsed = ParsePolicy(text, spec.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const PolicySet& p = parsed.value();
+  EXPECT_EQ(p.data.default_level, 1);
+  EXPECT_EQ(p.data.LevelOf("label with spaces"), 3);
+  EXPECT_EQ(p.data.LevelOf("SNPs"), 2);
+  ASSERT_EQ(p.module_reqs.size(), 1u);
+  EXPECT_EQ(p.module_reqs[0].module_code, "M1");
+  EXPECT_EQ(p.module_reqs[0].gamma, 4);
+  EXPECT_EQ(p.module_reqs[0].required_level, 2);
+  ASSERT_EQ(p.structural_reqs.size(), 1u);
+  EXPECT_EQ(p.structural_reqs[0].src_code, "M3");
+  EXPECT_EQ(p.structural_reqs[0].dst_code, "M5");
+  EXPECT_EQ(SerializePolicy(p), text);
+}
+
+TEST(PolicyTextTest, RejectsUnknownModule) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  auto parsed = ParsePolicy("module M404 gamma=2 level=1\n", spec.value());
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(PolicyTextTest, RejectsMalformedLine) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(ParsePolicy("frobnicate all", spec.value()).ok());
+  EXPECT_FALSE(ParsePolicy("module M1", spec.value()).ok());
+}
+
+TEST(PolicyTextTest, AcceptsCommentsAndBlankLines) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  auto parsed = ParsePolicy("# a comment\n\nlabel \"x\" level=1\n",
+                            spec.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().data.LevelOf("x"), 1);
+}
+
+}  // namespace
+}  // namespace paw

@@ -100,5 +100,73 @@ TEST(RepositoryTest, ApproxBytesGrows) {
   EXPECT_GT(repo.ApproxBytes(), with_spec);
 }
 
+TEST(RepositoryTest, ApproxBytesMonotonicAcrossInsertions) {
+  Repository repo;
+  Rng rng(7);
+  int64_t last = repo.ApproxBytes();
+  for (int i = 0; i < 5; ++i) {
+    auto spec = GenerateSpec(WorkloadParams{}, &rng, "s" + std::to_string(i));
+    ASSERT_TRUE(spec.ok());
+    int sid = repo.AddSpecification(std::move(spec).value()).value();
+    int64_t after_spec = repo.ApproxBytes();
+    EXPECT_GT(after_spec, last) << "spec " << i;
+    last = after_spec;
+    for (int j = 0; j < 3; ++j) {
+      auto exec = GenerateExecution(repo.entry(sid).spec, &rng);
+      ASSERT_TRUE(exec.ok());
+      ASSERT_TRUE(repo.AddExecution(sid, std::move(exec).value()).ok());
+      int64_t after_exec = repo.ApproxBytes();
+      EXPECT_GT(after_exec, last) << "spec " << i << " exec " << j;
+      last = after_exec;
+    }
+  }
+}
+
+TEST(RepositoryTest, ApproxBytesCountsPolicyHeap) {
+  auto spec1 = BuildDiseaseSpec();
+  auto spec2 = BuildDiseaseSpec();
+  ASSERT_TRUE(spec1.ok());
+  ASSERT_TRUE(spec2.ok());
+  Repository plain;
+  ASSERT_TRUE(plain.AddSpecification(std::move(spec1).value()).ok());
+  Repository with_policy;
+  ASSERT_TRUE(with_policy
+                  .AddSpecification(std::move(spec2).value(),
+                                    DiseasePolicy())
+                  .ok());
+  // The same spec with a non-empty policy accounts strictly larger.
+  EXPECT_GT(with_policy.ApproxBytes(), plain.ApproxBytes());
+}
+
+TEST(RepositoryTest, ApproxBytesCountsPersistMetadata) {
+  Repository repo;
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  int sid = repo.AddSpecification(std::move(spec).value()).value();
+  auto exec = RunDiseaseExecution(repo.entry(sid).spec);
+  ASSERT_TRUE(exec.ok());
+  ExecutionId eid = repo.AddExecution(sid, std::move(exec).value()).value();
+
+  int64_t volatile_bytes = repo.ApproxBytes();
+  // Fresh entries are volatile: no locator yet.
+  EXPECT_EQ(repo.entry(sid).persist.lsn, 0u);
+  EXPECT_TRUE(repo.entry(sid).persist.locator.empty());
+
+  PersistMeta meta;
+  meta.lsn = 1;
+  meta.payload_crc = 0xABCD1234u;
+  meta.payload_bytes = 512;
+  meta.locator = "wal:1";
+  repo.SetSpecPersist(sid, meta);
+  int64_t with_spec_meta = repo.ApproxBytes();
+  EXPECT_GT(with_spec_meta, volatile_bytes);
+
+  meta.lsn = 2;
+  meta.locator = "wal:2";
+  repo.SetExecutionPersist(eid, meta);
+  EXPECT_GT(repo.ApproxBytes(), with_spec_meta);
+  EXPECT_EQ(repo.execution(eid).persist.locator, "wal:2");
+}
+
 }  // namespace
 }  // namespace paw

@@ -58,5 +58,57 @@ TEST(StringsTest, TokensContainPhrase) {
   EXPECT_TRUE(TokensContainPhrase(bag, ""));  // empty phrase is trivial
 }
 
+TEST(FieldsTest, QuoteFieldEscapes) {
+  EXPECT_EQ(QuoteField("plain"), "\"plain\"");
+  EXPECT_EQ(QuoteField("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(QuoteField("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(QuoteField(""), "\"\"");
+}
+
+TEST(FieldsTest, SplitFieldsBasics) {
+  auto f = SplitFields("alpha beta\tgamma");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value(),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+}
+
+TEST(FieldsTest, SplitFieldsQuoted) {
+  auto f = SplitFields("module M1 \"a name with spaces\" key=\"v w\"");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value(),
+            (std::vector<std::string>{"module", "M1",
+                                      "a name with spaces", "key=v w"}));
+}
+
+TEST(FieldsTest, SplitFieldsRejectsUnterminatedQuote) {
+  EXPECT_FALSE(SplitFields("oops \"no closing").ok());
+}
+
+TEST(FieldsTest, KeyValueFieldMatches) {
+  std::string v;
+  EXPECT_TRUE(KeyValueField("level=3", "level", &v));
+  EXPECT_EQ(v, "3");
+  EXPECT_FALSE(KeyValueField("level=3", "leve", &v));
+  EXPECT_FALSE(KeyValueField("level", "level", &v));
+  // `key=` is a present-but-empty value (items can have value "").
+  v = "sentinel";
+  EXPECT_TRUE(KeyValueField("level=", "level", &v));
+  EXPECT_EQ(v, "");
+}
+
+TEST(FieldsTest, QuoteEdgedValueRoundTrips) {
+  // A *data* value that itself begins and ends with a double quote
+  // must survive serialize -> split -> key=value extraction unchanged
+  // (regression: an extra unquoting layer used to strip it to `x`).
+  const std::string data = "\"x\"";
+  const std::string line = "item value=" + QuoteField(data);
+  auto f = SplitFields(line);
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f.value().size(), 2u);
+  std::string v;
+  ASSERT_TRUE(KeyValueField(f.value()[1], "value", &v));
+  EXPECT_EQ(v, data);
+}
+
 }  // namespace
 }  // namespace paw

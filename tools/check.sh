@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Single CI entry point: tier-1 configure/build/test plus a pawctl
+# smoke test of the demo pipeline and the persistent store round trip.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== pawctl smoke =="
+PAWCTL="$BUILD_DIR/pawctl"
+"$PAWCTL" demo | "$PAWCTL" validate /dev/stdin
+
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$PAWCTL" demo > "$SMOKE_DIR/demo.paw"
+"$PAWCTL" init "$SMOKE_DIR/store"
+"$PAWCTL" ingest "$SMOKE_DIR/store" "$SMOKE_DIR/demo.paw" runs=10
+"$PAWCTL" compact "$SMOKE_DIR/store"
+"$PAWCTL" ingest "$SMOKE_DIR/store" "$SMOKE_DIR/demo.paw" runs=5
+"$PAWCTL" open "$SMOKE_DIR/store"
+
+echo "== OK =="

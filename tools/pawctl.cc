@@ -11,6 +11,15 @@
 //   pawctl search <spec.paw> <level> <term> [term ...]
 //                                        minimal-view keyword search at an
 //                                        access level
+//
+// Persistent store commands (see tools/README.md, "Store format"):
+//   pawctl init <dir>                    create an empty store directory
+//   pawctl open <dir>                    recover a store, print its stats
+//   pawctl ingest <dir> <spec.paw> [runs=N]
+//                                        add a spec (reused if already
+//                                        stored under the same name) and
+//                                        run N executions into the store
+//   pawctl compact <dir>                 snapshot + truncate the log
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +31,7 @@
 #include "src/provenance/serialize.h"
 #include "src/query/keyword_search.h"
 #include "src/repo/disease.h"
+#include "src/store/persistent_repository.h"
 #include "src/workflow/hierarchy.h"
 #include "src/workflow/serialize.h"
 #include "src/workflow/view.h"
@@ -83,19 +93,26 @@ int CmdShow(const char* path) {
   return 0;
 }
 
+// Placeholder bindings "<label><suffix>" for every root-input label.
+ValueMap DefaultInputs(const Specification& spec,
+                       const std::string& suffix = "") {
+  ValueMap inputs;
+  for (ModuleId mid : spec.workflow(spec.root()).modules) {
+    if (spec.module(mid).kind != ModuleKind::kInput) continue;
+    for (const DataflowEdge* e : spec.OutEdges(mid)) {
+      for (const std::string& label : e->labels) {
+        inputs[label] = "<" + label + suffix + ">";
+      }
+    }
+  }
+  return inputs;
+}
+
 int CmdRun(const char* path, int argc, char** argv) {
   auto spec = LoadSpec(path);
   if (!spec.ok()) return Fail(spec.status());
   // Inputs: defaults for every root-input label, overridden by k=v args.
-  ValueMap inputs;
-  for (ModuleId mid : spec.value().workflow(spec.value().root()).modules) {
-    if (spec.value().module(mid).kind != ModuleKind::kInput) continue;
-    for (const DataflowEdge* e : spec.value().OutEdges(mid)) {
-      for (const std::string& label : e->labels) {
-        inputs[label] = "<" + label + ">";
-      }
-    }
-  }
+  ValueMap inputs = DefaultInputs(spec.value());
   for (int i = 0; i < argc; ++i) {
     const char* eq = std::strchr(argv[i], '=');
     if (eq == nullptr) {
@@ -146,13 +163,123 @@ int CmdSearch(const char* path, const char* level_str, int argc,
   return 0;
 }
 
+void PrintStoreStats(const PersistentRepository& store) {
+  const auto& r = store.recovery();
+  std::printf("store %s\n", store.dir().c_str());
+  std::printf("  specs:       %d\n", store.repo().num_specs());
+  std::printf("  executions:  %d\n", store.repo().num_executions());
+  std::printf("  lsn:         %llu\n",
+              static_cast<unsigned long long>(store.lsn()));
+  std::printf("  wal suffix:  %llu record(s) past snapshot lsn %llu\n",
+              static_cast<unsigned long long>(store.records_since_snapshot()),
+              static_cast<unsigned long long>(r.snapshot_lsn));
+  std::printf("  approx mem:  %lld bytes\n",
+              static_cast<long long>(store.repo().ApproxBytes()));
+  std::printf("  recovery:    %llu replayed, %llu skipped\n",
+              static_cast<unsigned long long>(r.records_replayed),
+              static_cast<unsigned long long>(r.records_skipped));
+  if (r.torn_tail) {
+    std::printf("  torn tail:   dropped %llu byte(s): %s\n",
+                static_cast<unsigned long long>(r.dropped_bytes),
+                r.tail_error.c_str());
+  }
+}
+
+int CmdInit(const char* dir) {
+  auto store = PersistentRepository::Init(dir);
+  if (!store.ok()) return Fail(store.status());
+  std::printf("initialized empty store in %s\n", dir);
+  return 0;
+}
+
+int CmdOpen(const char* dir) {
+  auto store = PersistentRepository::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  PrintStoreStats(store.value());
+  return 0;
+}
+
+int CmdIngest(const char* dir, const char* path, int argc, char** argv) {
+  int runs = 1;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "runs=", 5) == 0) {
+      char* end = nullptr;
+      long parsed = std::strtol(argv[i] + 5, &end, 10);
+      if (end == argv[i] + 5 || *end != '\0' || parsed < 0 ||
+          parsed > 1000000) {
+        std::fprintf(stderr,
+                     "error: runs must be an integer in [0, 1000000]: %s\n",
+                     argv[i]);
+        return 1;
+      }
+      runs = static_cast<int>(parsed);
+    } else {
+      std::fprintf(stderr, "error: unknown ingest option %s\n", argv[i]);
+      return 1;
+    }
+  }
+  auto store = PersistentRepository::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  auto parsed = LoadSpec(path);
+  if (!parsed.ok()) return Fail(parsed.status());
+
+  // Reuse a previously ingested spec of the same name, else store it.
+  int spec_id;
+  auto existing = store.value().repo().FindSpec(parsed.value().name());
+  if (existing.ok()) {
+    spec_id = existing.value();
+    std::printf("spec \"%s\" already stored as id %d\n",
+                parsed.value().name().c_str(), spec_id);
+  } else {
+    auto added =
+        store.value().AddSpecification(std::move(parsed).value());
+    if (!added.ok()) return Fail(added.status());
+    spec_id = added.value();
+    std::printf("stored spec as id %d\n", spec_id);
+  }
+
+  const Specification& spec = store.value().repo().entry(spec_id).spec;
+  FunctionRegistry fns;
+  for (int i = 0; i < runs; ++i) {
+    // Inputs varied per run so repeated ingests do not produce
+    // identical provenance.
+    ValueMap inputs = DefaultInputs(spec, "#" + std::to_string(i));
+    auto exec = Execute(spec, fns, inputs);
+    if (!exec.ok()) return Fail(exec.status());
+    auto eid = store.value().AddExecution(spec_id, std::move(exec).value());
+    if (!eid.ok()) return Fail(eid.status());
+  }
+  auto synced = store.value().Sync();
+  if (!synced.ok()) return Fail(synced);
+  std::printf("ingested %d execution(s) of spec %d; store lsn now %llu\n",
+              runs, spec_id,
+              static_cast<unsigned long long>(store.value().lsn()));
+  return 0;
+}
+
+int CmdCompact(const char* dir) {
+  auto store = PersistentRepository::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  const uint64_t before = store.value().records_since_snapshot();
+  auto compacted = store.value().Compact();
+  if (!compacted.ok()) return Fail(compacted);
+  std::printf("compacted %s: folded %llu record(s) into snapshot lsn %llu\n",
+              dir, static_cast<unsigned long long>(before),
+              static_cast<unsigned long long>(store.value().lsn()));
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: pawctl demo\n"
                "       pawctl validate <spec.paw>\n"
                "       pawctl show <spec.paw>\n"
                "       pawctl run <spec.paw> [label=value ...]\n"
-               "       pawctl search <spec.paw> <level> <term> ...\n");
+               "       pawctl search <spec.paw> <level> <term> ...\n"
+               "       pawctl init <dir>\n"
+               "       pawctl open <dir>\n"
+               "       pawctl ingest <dir> <spec.paw> [runs=N]\n"
+               "       pawctl compact <dir>\n");
   return 2;
 }
 
@@ -170,5 +297,11 @@ int main(int argc, char** argv) {
   if (cmd == "search" && argc >= 5) {
     return CmdSearch(argv[2], argv[3], argc - 4, argv + 4);
   }
+  if (cmd == "init" && argc >= 3) return CmdInit(argv[2]);
+  if (cmd == "open" && argc >= 3) return CmdOpen(argv[2]);
+  if (cmd == "ingest" && argc >= 4) {
+    return CmdIngest(argv[2], argv[3], argc - 4, argv + 4);
+  }
+  if (cmd == "compact" && argc >= 3) return CmdCompact(argv[2]);
   return Usage();
 }
