@@ -1,0 +1,42 @@
+#include "src/common/fault_injection.h"
+
+#include "src/common/file_io.h"
+
+namespace paw {
+
+Result<FaultyFile> FaultyFile::Capture(const std::string& path) {
+  PAW_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return FaultyFile(path, std::move(contents));
+}
+
+Status FaultyFile::Restore() const {
+  // AtomicWriteFile so the injected image itself is never torn: each
+  // sweep iteration starts from a well-defined file state.
+  return AtomicWriteFile(path_, pristine_);
+}
+
+Status FaultyFile::TruncateAt(uint64_t size) const {
+  if (size > pristine_.size()) {
+    return Status::InvalidArgument(
+        "TruncateAt(" + std::to_string(size) + ") exceeds pristine size " +
+        std::to_string(pristine_.size()));
+  }
+  return AtomicWriteFile(
+      path_, std::string_view(pristine_).substr(0, static_cast<size_t>(size)));
+}
+
+Status FaultyFile::FlipBit(uint64_t offset, int bit) const {
+  if (offset >= pristine_.size()) {
+    return Status::InvalidArgument(
+        "FlipBit offset " + std::to_string(offset) + " out of range");
+  }
+  if (bit < 0 || bit > 7) {
+    return Status::InvalidArgument("FlipBit bit must be in [0, 7]");
+  }
+  std::string damaged = pristine_;
+  damaged[static_cast<size_t>(offset)] =
+      static_cast<char>(damaged[static_cast<size_t>(offset)] ^ (1 << bit));
+  return AtomicWriteFile(path_, damaged);
+}
+
+}  // namespace paw

@@ -1,0 +1,61 @@
+#ifndef PAW_COMMON_FAULT_INJECTION_H_
+#define PAW_COMMON_FAULT_INJECTION_H_
+
+/// \file fault_injection.h
+/// \brief Crash/corruption injection over store files (test harness).
+///
+/// `FaultyFile` captures a pristine copy of a file (typically a WAL just
+/// written by a healthy store) and can then repeatedly reproduce crash
+/// artifacts from it:
+///
+///  - `TruncateAt(k)`  — the file as a crash mid-append would leave it:
+///                       exactly the first `k` bytes;
+///  - `FlipBit(k, b)`  — silent media corruption: pristine contents with
+///                       bit `b` of byte `k` inverted.
+///
+/// Each injection first restores the pristine bytes, so a test can sweep
+/// every byte offset of the same capture without re-building the store.
+/// Lives in src/common (not tests/) so crash sweeps in tests, benches,
+/// and future fsck tooling share one implementation.
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace paw {
+
+/// \brief Replays crash/corruption faults against a captured file.
+class FaultyFile {
+ public:
+  /// \brief Snapshots the current contents of `path` as the pristine
+  /// image all faults are derived from.
+  static Result<FaultyFile> Capture(const std::string& path);
+
+  /// \brief Rewrites the pristine contents.
+  Status Restore() const;
+
+  /// \brief Leaves only the first `size` bytes (crash mid-append).
+  /// `size` must not exceed the pristine length.
+  Status TruncateAt(uint64_t size) const;
+
+  /// \brief Inverts bit `bit` (0..7) of byte `offset` (corruption).
+  Status FlipBit(uint64_t offset, int bit) const;
+
+  /// \brief Pristine length in bytes.
+  int64_t size() const { return static_cast<int64_t>(pristine_.size()); }
+
+  const std::string& path() const { return path_; }
+  const std::string& pristine() const { return pristine_; }
+
+ private:
+  FaultyFile(std::string path, std::string pristine)
+      : path_(std::move(path)), pristine_(std::move(pristine)) {}
+
+  std::string path_;
+  std::string pristine_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,82 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace paw {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++outstanding_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping so submitted work is never
+      // silently dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int num_threads, int n,
+                 const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, n));
+  // A shared counter instead of one queue entry per index: workers pull
+  // the next index until exhausted, which balances uneven task costs
+  // (e.g. shards of very different WAL lengths).
+  std::atomic<int> next(0);
+  for (int w = 0; w < pool.num_threads(); ++w) {
+    pool.Submit([&next, n, &fn] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace paw

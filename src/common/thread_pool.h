@@ -1,0 +1,70 @@
+#ifndef PAW_COMMON_THREAD_POOL_H_
+#define PAW_COMMON_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// \brief A small fixed-size worker pool for shard-parallel store work.
+///
+/// The sharded store (src/store/sharded_repository.h) fans recovery and
+/// compaction out across shard directories; each unit of work is
+/// independent, so the pool is deliberately minimal: submit closures,
+/// wait for the queue to drain. Tasks must not throw — the library is
+/// Status-based, so tasks report failures through captured state.
+///
+/// `ParallelFor` is the common entry point: it runs `fn(0..n-1)` on up
+/// to `num_threads` workers and — crucially for reproducibility tests —
+/// degrades to a plain serial loop when `num_threads <= 1`, so a
+/// single-threaded run involves no threads at all.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paw {
+
+/// \brief Fixed-size pool of worker threads with a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Waits for in-flight tasks, then joins the workers. Tasks still
+  /// queued but not started are executed before shutdown (the pool
+  /// drains; it never drops work).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until every submitted task has finished running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for tasks
+  std::condition_variable done_cv_;  // Wait() waits for drain
+  int outstanding_ = 0;              // queued + running tasks
+  bool stop_ = false;
+};
+
+/// \brief Runs `fn(i)` for `i` in `[0, n)` on up to `num_threads`
+/// workers; returns after all calls complete. With `num_threads <= 1`
+/// (or `n <= 1`) the calls run serially on the calling thread, in
+/// index order.
+void ParallelFor(int num_threads, int n,
+                 const std::function<void(int)>& fn);
+
+}  // namespace paw
+
+#endif  // PAW_COMMON_THREAD_POOL_H_

@@ -12,6 +12,9 @@ namespace {
 constexpr std::string_view kMarkerName = "PAWSTORE";
 constexpr std::string_view kMarkerContents = "pawstore 1\n";
 constexpr std::string_view kWalName = "wal.log";
+// Manifest of a *sharded* store root (src/store/sharded_repository.h);
+// a single-directory store must never be created inside one.
+constexpr std::string_view kShardManifestName = "PAWSHARDS";
 
 std::string MarkerPath(const std::string& dir) {
   return dir + "/" + std::string(kMarkerName);
@@ -21,6 +24,20 @@ std::string WalPath(const std::string& dir) {
   return dir + "/" + std::string(kWalName);
 }
 
+/// Deletes `<name>.tmp` leftovers of interrupted `AtomicWriteFile`
+/// calls (a crash between temp write and rename, e.g. mid-compaction
+/// snapshot). They are never valid store state — the rename is the
+/// commit point — so reclaiming them on open is always safe.
+Status RemoveStaleTempFiles(const std::string& dir) {
+  PAW_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir));
+  for (const std::string& name : names) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      PAW_RETURN_NOT_OK(RemoveFileIfExists(dir + "/" + name));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<PersistentRepository> PersistentRepository::Init(
@@ -28,6 +45,11 @@ Result<PersistentRepository> PersistentRepository::Init(
   PAW_RETURN_NOT_OK(EnsureDir(dir));
   if (PathExists(MarkerPath(dir))) {
     return Status::AlreadyExists(dir + " already contains a paw store");
+  }
+  if (PathExists(dir + "/" + std::string(kShardManifestName))) {
+    return Status::AlreadyExists(
+        dir + " is a sharded store root; init its shards via "
+        "ShardedRepository");
   }
   PAW_RETURN_NOT_OK(AtomicWriteFile(MarkerPath(dir), kMarkerContents));
   WriteAheadLog::Options wal_options;
@@ -46,6 +68,12 @@ Result<PersistentRepository> PersistentRepository::Open(
     return Status::FailedPrecondition(dir + " is not a paw store (bad " +
                                       std::string(kMarkerName) + ")");
   }
+
+  // A crash between AtomicWriteFile's temp write and rename (snapshot
+  // mid-compaction, marker, manifest) leaves a `*.tmp` behind; reclaim
+  // it before snapshot discovery so it can never accumulate or be
+  // mistaken for store state.
+  PAW_RETURN_NOT_OK(RemoveStaleTempFiles(dir));
 
   RecoveryInfo recovery;
   Repository repo;

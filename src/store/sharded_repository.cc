@@ -1,0 +1,272 @@
+#include "src/store/sharded_repository.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/crc32.h"
+#include "src/common/file_io.h"
+#include "src/common/strings.h"
+#include "src/common/thread_pool.h"
+
+namespace paw {
+namespace {
+
+constexpr std::string_view kManifestName = "PAWSHARDS";
+constexpr std::string_view kManifestMagic = "pawshards 1";
+// Bits reserved for the per-shard physical LSN inside an
+// epoch-prefixed LSN: 2^40 records per shard per epoch.
+constexpr int kEpochShift = 40;
+// Largest epoch the manifest may carry. One epoch burns per open, so
+// at this bound a store survives ~8.4M open cycles; Open refuses the
+// bump past it with a clean error instead of writing a manifest the
+// reader would reject (which would brick the store).
+constexpr uint64_t kMaxEpoch = (uint64_t{1} << 23) - 1;
+
+/// Strict integer field parse: the whole of `v` must be digits within
+/// [0, `max`]. The manifest gates every open, so trailing junk or an
+/// overflowing value is corruption, not something to round down.
+bool ParseManifestUint(const std::string& v, uint64_t max, uint64_t* out) {
+  if (v.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size() || parsed > max) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + std::string(kManifestName);
+}
+
+std::string ShardPath(const std::string& dir, int shard) {
+  return dir + "/" + ShardedRepository::ShardDirName(shard);
+}
+
+std::string RenderManifest(const ShardManifest& m) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s\nshards=%d\nepoch=%llu\n",
+                std::string(kManifestMagic).c_str(), m.shards,
+                static_cast<unsigned long long>(m.epoch));
+  return buf;
+}
+
+}  // namespace
+
+Result<ShardManifest> ReadShardManifest(const std::string& dir) {
+  auto contents = ReadFileToString(ManifestPath(dir));
+  if (!contents.ok()) {
+    return Status::NotFound(dir + " has no " + std::string(kManifestName) +
+                            " manifest");
+  }
+  std::vector<std::string> lines = Split(contents.value(), '\n');
+  if (lines.empty() || Trim(lines[0]) != kManifestMagic) {
+    return Status::FailedPrecondition(dir + " is not a sharded paw store");
+  }
+  ShardManifest manifest;
+  bool have_shards = false, have_epoch = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string line(Trim(lines[i]));
+    if (line.empty()) continue;
+    std::string v;
+    uint64_t parsed = 0;
+    if (KeyValueField(line, "shards", &v)) {
+      if (!ParseManifestUint(
+              v, static_cast<uint64_t>(ShardedRepository::kMaxShards),
+              &parsed)) {
+        return Status::FailedPrecondition("bad manifest shards= in " + dir);
+      }
+      manifest.shards = static_cast<int>(parsed);
+      have_shards = true;
+    } else if (KeyValueField(line, "epoch", &v)) {
+      if (!ParseManifestUint(v, kMaxEpoch, &parsed)) {
+        return Status::FailedPrecondition("bad manifest epoch= in " + dir);
+      }
+      manifest.epoch = parsed;
+      have_epoch = true;
+    } else {
+      return Status::FailedPrecondition("bad manifest line: " + line);
+    }
+  }
+  if (!have_shards || !have_epoch || manifest.shards < 1 ||
+      manifest.epoch == 0) {
+    return Status::FailedPrecondition("corrupt manifest in " + dir);
+  }
+  return manifest;
+}
+
+Status WriteShardManifest(const std::string& dir,
+                          const ShardManifest& manifest) {
+  return AtomicWriteFile(ManifestPath(dir), RenderManifest(manifest));
+}
+
+int ShardedRepository::ShardOf(std::string_view spec_name, int num_shards) {
+  return static_cast<int>(Crc32(spec_name) %
+                          static_cast<uint32_t>(num_shards));
+}
+
+std::string ShardedRepository::ShardDirName(int shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%04d", shard);
+  return buf;
+}
+
+uint64_t ShardedRepository::EpochLsn(uint64_t epoch, uint64_t lsn) {
+  return (epoch << kEpochShift) | lsn;
+}
+
+bool ShardedRepository::IsShardedStore(const std::string& dir) {
+  return PathExists(ManifestPath(dir));
+}
+
+Result<ShardedRepository> ShardedRepository::Init(const std::string& dir,
+                                                  int num_shards,
+                                                  Options options) {
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "shard count must be in [1, " + std::to_string(kMaxShards) +
+        "]: " + std::to_string(num_shards));
+  }
+  PAW_RETURN_NOT_OK(EnsureDir(dir));
+  if (IsShardedStore(dir)) {
+    return Status::AlreadyExists(dir + " already contains a sharded store");
+  }
+  if (PathExists(dir + "/PAWSTORE")) {
+    return Status::AlreadyExists(
+        dir + " already contains a single-directory paw store");
+  }
+  // Manifest first (epoch 1), then the shards: the manifest is the
+  // double-init guard, and a crash mid-init leaves a store that fails
+  // to open (missing shard) rather than one that half-exists.
+  PAW_RETURN_NOT_OK(WriteShardManifest(dir, {num_shards, /*epoch=*/1}));
+  ShardedRepository store(dir, options);
+  store.epoch_ = 1;
+  store.recovery_.epoch = 1;
+  store.shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    PAW_ASSIGN_OR_RETURN(PersistentRepository shard,
+                         PersistentRepository::Init(ShardPath(dir, i),
+                                                    options));
+    store.shards_.push_back(
+        std::make_unique<PersistentRepository>(std::move(shard)));
+  }
+  return store;
+}
+
+Result<ShardedRepository> ShardedRepository::Open(const std::string& dir,
+                                                  Options options,
+                                                  int threads) {
+  PAW_ASSIGN_OR_RETURN(ShardManifest manifest, ReadShardManifest(dir));
+  // Claim the next epoch *before* any shard is touched; after a crash
+  // anywhere past this point, the next open claims a larger epoch, so
+  // epoch-prefixed LSNs never repeat even if shard recovery rolls a
+  // physical LSN back.
+  if (manifest.epoch >= kMaxEpoch) {
+    // Refuse rather than write a manifest the reader would reject: the
+    // data stays intact and the error is actionable.
+    return Status::FailedPrecondition(
+        dir + " has exhausted its epoch space (" +
+        std::to_string(kMaxEpoch) + " opens)");
+  }
+  manifest.epoch += 1;
+  PAW_RETURN_NOT_OK(WriteShardManifest(dir, manifest));
+
+  ShardedRepository store(dir, options);
+  store.epoch_ = manifest.epoch;
+  store.recovery_.epoch = manifest.epoch;
+  store.recovery_.threads = std::max(1, std::min(threads, manifest.shards));
+  store.shards_.resize(static_cast<size_t>(manifest.shards));
+
+  // Recover shards in parallel; each task touches only its own slot.
+  std::vector<Status> statuses(static_cast<size_t>(manifest.shards));
+  ParallelFor(store.recovery_.threads, manifest.shards, [&](int i) {
+    auto shard = PersistentRepository::Open(ShardPath(dir, i), options);
+    if (!shard.ok()) {
+      statuses[static_cast<size_t>(i)] = shard.status();
+      return;
+    }
+    store.shards_[static_cast<size_t>(i)] =
+        std::make_unique<PersistentRepository>(std::move(shard).value());
+  });
+  for (int i = 0; i < manifest.shards; ++i) {
+    if (!statuses[static_cast<size_t>(i)].ok()) {
+      return Status(statuses[static_cast<size_t>(i)].code(),
+                    ShardDirName(i) + ": " +
+                        statuses[static_cast<size_t>(i)].message());
+    }
+    const auto& info = store.shards_[static_cast<size_t>(i)]->recovery();
+    store.recovery_.records_replayed += info.records_replayed;
+    store.recovery_.records_skipped += info.records_skipped;
+    store.recovery_.dropped_bytes += info.dropped_bytes;
+    if (info.torn_tail) ++store.recovery_.torn_shards;
+  }
+  return store;
+}
+
+Result<ShardedRepository::SpecRef> ShardedRepository::AddSpecification(
+    Specification spec, PolicySet policy) {
+  const int shard = ShardOf(spec.name(), num_shards());
+  PAW_ASSIGN_OR_RETURN(int id,
+                       shards_[static_cast<size_t>(shard)]->AddSpecification(
+                           std::move(spec), std::move(policy)));
+  return SpecRef{shard, id};
+}
+
+Result<ExecutionId> ShardedRepository::AddExecution(SpecRef ref,
+                                                    Execution exec) {
+  if (ref.shard < 0 || ref.shard >= num_shards()) {
+    return Status::NotFound("unknown shard " + std::to_string(ref.shard));
+  }
+  return shards_[static_cast<size_t>(ref.shard)]->AddExecution(
+      ref.id, std::move(exec));
+}
+
+Result<ShardedRepository::SpecRef> ShardedRepository::FindSpec(
+    std::string_view name) const {
+  const int shard = ShardOf(name, num_shards());
+  PAW_ASSIGN_OR_RETURN(int id,
+                       shards_[static_cast<size_t>(shard)]->repo().FindSpec(
+                           name));
+  return SpecRef{shard, id};
+}
+
+Status ShardedRepository::Compact(int threads) {
+  std::vector<Status> statuses(shards_.size());
+  ParallelFor(std::max(1, std::min(threads, num_shards())), num_shards(),
+              [&](int i) {
+                statuses[static_cast<size_t>(i)] =
+                    shards_[static_cast<size_t>(i)]->Compact();
+              });
+  for (int i = 0; i < num_shards(); ++i) {
+    if (!statuses[static_cast<size_t>(i)].ok()) {
+      return Status(statuses[static_cast<size_t>(i)].code(),
+                    ShardDirName(i) + ": " +
+                        statuses[static_cast<size_t>(i)].message());
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedRepository::Sync() {
+  for (auto& shard : shards_) {
+    PAW_RETURN_NOT_OK(shard->Sync());
+  }
+  return Status::OK();
+}
+
+int ShardedRepository::num_specs() const {
+  int total = 0;
+  for (const auto& shard : shards_) total += shard->repo().num_specs();
+  return total;
+}
+
+int ShardedRepository::num_executions() const {
+  int total = 0;
+  for (const auto& shard : shards_) total += shard->repo().num_executions();
+  return total;
+}
+
+}  // namespace paw

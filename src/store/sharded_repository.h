@@ -1,0 +1,183 @@
+#ifndef PAW_STORE_SHARDED_REPOSITORY_H_
+#define PAW_STORE_SHARDED_REPOSITORY_H_
+
+/// \file sharded_repository.h
+/// \brief N-way sharded persistent store with parallel recovery.
+///
+/// Partitions specifications (and the executions that belong to them)
+/// across `N` shard directories, each an independent single-directory
+/// `PersistentRepository` with its own WAL and snapshot. Layout:
+///
+/// \code
+///   <dir>/PAWSHARDS                 manifest (text):
+///                                     pawshards 1
+///                                     shards=<N>
+///                                     epoch=<E>
+///   <dir>/shard-0000/               full paw store (PAWSTORE, wal.log,
+///   ...                             snapshot-<lsn>.paws)
+///   <dir>/shard-<N-1 zero-padded>/
+/// \endcode
+///
+/// **Routing.** A specification lives on shard
+/// `Crc32(spec name) % N`; the shard count is fixed at `Init` and
+/// recorded in the manifest, so routing is deterministic across
+/// restarts. Executions ride with their specification, preserving the
+/// invariant that an execution's spec lives in the same `Repository` —
+/// so every existing query/privacy primitive runs unchanged against a
+/// shard's `repo()`.
+///
+/// **LSNs and epochs.** Each shard keeps its own monotonic LSN exactly
+/// as a single-directory store does. There is deliberately no global
+/// append counter (that would re-serialize writers); instead the
+/// manifest carries a store-wide *epoch* that `Open` atomically bumps
+/// before touching any shard. A record is globally identified by the
+/// epoch-prefixed LSN `EpochLsn(epoch, lsn)` = `epoch << 40 | lsn`:
+/// within a shard LSNs order appends, and the epoch prefix keeps ids
+/// unique across crash-recovery cycles even when torn-tail repair rolls
+/// a shard's physical LSN back (a re-issued physical LSN after repair
+/// belongs to a strictly larger epoch). Note the epoch only *names*
+/// store generations — the write path does not re-read the manifest,
+/// so two live handles to the same store are still undefined behavior
+/// (as with the single-directory store); external coordination that
+/// wants to fence stale writers can compare their recorded epoch
+/// against the manifest, but nothing in-process does so yet.
+///
+/// **Recovery and compaction** fan out across shards on a small thread
+/// pool (`src/common/thread_pool.h`); shards are independent, so the
+/// result is bit-identical regardless of thread count (asserted by
+/// tests/sharded_store_test.cc).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/persistent_repository.h"
+
+namespace paw {
+
+/// \brief Contents of the `PAWSHARDS` manifest.
+struct ShardManifest {
+  int shards = 0;
+  uint64_t epoch = 0;
+};
+
+/// \brief Reads `<dir>/PAWSHARDS`; NotFound when absent,
+/// FailedPrecondition when malformed.
+Result<ShardManifest> ReadShardManifest(const std::string& dir);
+
+/// \brief Atomically (re)writes `<dir>/PAWSHARDS`.
+Status WriteShardManifest(const std::string& dir,
+                          const ShardManifest& manifest);
+
+/// \brief Durable repository partitioned across shard directories.
+class ShardedRepository {
+ public:
+  using Options = StoreOptions;
+
+  /// \brief Upper bound on the shard count — a typo guard shared with
+  /// pawctl; each shard costs a directory, a WAL fd, and a recovery
+  /// task.
+  static constexpr int kMaxShards = 1024;
+
+  /// \brief Identifies a stored spec: the shard it routes to and its
+  /// dense id *within that shard's* repository.
+  struct SpecRef {
+    int shard = -1;
+    int id = -1;
+    bool operator==(const SpecRef&) const = default;
+  };
+
+  /// \brief Aggregate of what `Open` did across shards.
+  struct RecoveryStats {
+    /// Epoch claimed by this open (already written to the manifest).
+    uint64_t epoch = 0;
+    /// Threads the recovery actually used.
+    int threads = 1;
+    /// Sums of the per-shard `PersistentRepository::RecoveryInfo`.
+    uint64_t records_replayed = 0;
+    uint64_t records_skipped = 0;
+    uint64_t dropped_bytes = 0;
+    /// Shards whose WAL ended in a torn record.
+    int torn_shards = 0;
+  };
+
+  /// \brief Creates an empty sharded store of `num_shards` shards
+  /// (manifest epoch 1). Fails if `dir` already holds a sharded or
+  /// single-directory store.
+  static Result<ShardedRepository> Init(const std::string& dir,
+                                        int num_shards,
+                                        Options options = {});
+
+  /// \brief Recovers every shard, using up to `threads` workers. Bumps
+  /// the manifest epoch before opening any shard.
+  static Result<ShardedRepository> Open(const std::string& dir,
+                                        Options options = {},
+                                        int threads = 1);
+
+  /// \brief Routes by spec name and durably stores the specification.
+  Result<SpecRef> AddSpecification(Specification spec,
+                                   PolicySet policy = {});
+
+  /// \brief Durably stores an execution of the spec at `ref`. The
+  /// execution must have been built against
+  /// `shard(ref.shard).repo().entry(ref.id).spec`.
+  Result<ExecutionId> AddExecution(SpecRef ref, Execution exec);
+
+  /// \brief Locates a stored spec by name (routed, then looked up).
+  Result<SpecRef> FindSpec(std::string_view name) const;
+
+  /// \brief Snapshots + truncates every shard, up to `threads` at a
+  /// time. Returns the first shard error, if any.
+  Status Compact(int threads = 1);
+
+  /// \brief Forces every shard's logged records to stable storage.
+  Status Sync();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  PersistentRepository& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  const PersistentRepository& shard(int i) const {
+    return *shards_[static_cast<size_t>(i)];
+  }
+
+  /// \brief Spec / execution totals across shards.
+  int num_specs() const;
+  int num_executions() const;
+
+  /// \brief Store generation claimed by this handle (see file comment).
+  uint64_t epoch() const { return epoch_; }
+
+  /// \brief How the last `Open` rebuilt state (zeros after `Init`,
+  /// except `epoch`).
+  const RecoveryStats& recovery() const { return recovery_; }
+
+  const std::string& dir() const { return dir_; }
+
+  /// \brief Shard a spec name routes to (Crc32 mod `num_shards`).
+  static int ShardOf(std::string_view spec_name, int num_shards);
+
+  /// \brief Directory name of shard `i` ("shard-0007").
+  static std::string ShardDirName(int shard);
+
+  /// \brief Epoch-prefixed global LSN (`epoch << 40 | lsn`).
+  static uint64_t EpochLsn(uint64_t epoch, uint64_t lsn);
+
+  /// \brief True iff `dir` holds a sharded-store manifest.
+  static bool IsShardedStore(const std::string& dir);
+
+ private:
+  ShardedRepository(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string dir_;
+  Options options_;
+  std::vector<std::unique_ptr<PersistentRepository>> shards_;
+  uint64_t epoch_ = 0;
+  RecoveryStats recovery_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_STORE_SHARDED_REPOSITORY_H_

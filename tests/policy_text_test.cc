@@ -1,10 +1,17 @@
-// Tests for the policy text serializer.
+// Tests for the policy text serializer, including seeded-random
+// round-trip properties over hostile label strings (quotes,
+// backslashes, '=', empty).
 
 #include "src/privacy/policy_text.h"
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
 #include "src/repo/disease.h"
+#include "src/workflow/spec.h"
 
 namespace paw {
 namespace {
@@ -72,6 +79,96 @@ TEST(PolicyTextTest, RejectsMalformedLine) {
   ASSERT_TRUE(spec.ok());
   EXPECT_FALSE(ParsePolicy("frobnicate all", spec.value()).ok());
   EXPECT_FALSE(ParsePolicy("module M1", spec.value()).ok());
+}
+
+TEST(PolicyTextTest, HostileLabelsRoundTrip) {
+  // The quoting layer must carry every printable oddity: embedded and
+  // edge double quotes, backslashes, '=', '#', and the empty string.
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  PolicySet policy;
+  for (const std::string& label :
+       {std::string(""), std::string("\"quoted\""), std::string("a=b=c"),
+        std::string("back\\slash"), std::string("  padded  "),
+        std::string("# not a comment"), std::string("mix \\\" of both")}) {
+    policy.data.label_level[label] = 2;
+  }
+  const std::string text = SerializePolicy(policy);
+  auto parsed = ParsePolicy(text, spec.value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().data.label_level, policy.data.label_level);
+  EXPECT_EQ(SerializePolicy(parsed.value()), text);
+}
+
+/// Random label built from an alphabet weighted toward the characters
+/// the field syntax treats specially.
+std::string RandomLabel(Rng* rng) {
+  static constexpr char kAlphabet[] = "ab \"\\=#xyz";
+  const size_t len = static_cast<size_t>(rng->Uniform(12));
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+// Property: any policy whose labels are drawn from the hostile
+// alphabet and whose module/structural requirements reference real
+// modules serializes to text that parses back to the same policy, and
+// re-serializes to identical bytes.
+TEST(PolicyTextFuzzTest, RandomPoliciesRoundTripExactly) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  // Codes of modules that module-privacy requirements may target
+  // (atomic or composite, never I/O).
+  std::vector<std::string> codes;
+  for (const Module& m : spec.value().modules()) {
+    if (m.kind == ModuleKind::kAtomic || m.kind == ModuleKind::kComposite) {
+      codes.push_back(m.code);
+    }
+  }
+  ASSERT_GE(codes.size(), 2u);
+
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    PolicySet policy;
+    policy.data.default_level = static_cast<int>(rng.Uniform(4));
+    const int labels = static_cast<int>(rng.Uniform(6));
+    for (int i = 0; i < labels; ++i) {
+      policy.data.label_level[RandomLabel(&rng)] =
+          static_cast<int>(rng.Uniform(5));
+    }
+    const int mods = static_cast<int>(rng.Uniform(4));
+    for (int i = 0; i < mods; ++i) {
+      ModulePrivacyRequirement r;
+      r.module_code = codes[rng.Uniform(codes.size())];
+      r.gamma = static_cast<int64_t>(rng.UniformInt(2, 64));
+      r.required_level = static_cast<int>(rng.Uniform(4));
+      policy.module_reqs.push_back(std::move(r));
+    }
+    const int structs = static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < structs; ++i) {
+      StructuralPrivacyRequirement r;
+      r.src_code = codes[rng.Uniform(codes.size())];
+      do {
+        r.dst_code = codes[rng.Uniform(codes.size())];
+      } while (r.dst_code == r.src_code);
+      r.required_level = static_cast<int>(rng.Uniform(4));
+      policy.structural_reqs.push_back(std::move(r));
+    }
+
+    const std::string text = SerializePolicy(policy);
+    auto parsed = ParsePolicy(text, spec.value());
+    ASSERT_TRUE(parsed.ok())
+        << "seed=" << seed << ": " << parsed.status().ToString()
+        << "\ntext:\n" << text;
+    EXPECT_EQ(parsed.value().data.default_level, policy.data.default_level)
+        << "seed=" << seed;
+    EXPECT_EQ(parsed.value().data.label_level, policy.data.label_level)
+        << "seed=" << seed;
+    EXPECT_EQ(parsed.value().module_reqs.size(), policy.module_reqs.size());
+    EXPECT_EQ(SerializePolicy(parsed.value()), text) << "seed=" << seed;
+  }
 }
 
 TEST(PolicyTextTest, AcceptsCommentsAndBlankLines) {

@@ -1,0 +1,406 @@
+// Tests for the sharded persistent store: manifest + epoch handling,
+// deterministic routing, restart round trips, parallel-vs-serial
+// recovery equivalence, parallel compaction, and per-shard crash
+// isolation.
+
+#include "src/store/sharded_repository.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/common/file_io.h"
+#include "src/privacy/policy_text.h"
+#include "src/provenance/serialize.h"
+#include "src/repo/disease.h"
+#include "src/repo/workload.h"
+#include "src/workflow/serialize.h"
+
+namespace paw {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("paw_sharded_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Serialized view of every entry across all shards, shard-major, for
+/// byte-for-byte comparisons.
+struct Snapshotted {
+  std::vector<std::string> specs;
+  std::vector<std::string> policies;
+  std::vector<std::string> execs;
+};
+
+Snapshotted Dump(const ShardedRepository& store) {
+  Snapshotted out;
+  for (int s = 0; s < store.num_shards(); ++s) {
+    const Repository& repo = store.shard(s).repo();
+    for (int id = 0; id < repo.num_specs(); ++id) {
+      out.specs.push_back(Serialize(repo.entry(id).spec));
+      out.policies.push_back(SerializePolicy(repo.entry(id).policy));
+    }
+    for (int id = 0; id < repo.num_executions(); ++id) {
+      out.execs.push_back(
+          SerializeExecution(repo.execution(ExecutionId(id)).exec));
+    }
+  }
+  return out;
+}
+
+void ExpectSameBytes(const Snapshotted& a, const Snapshotted& b) {
+  EXPECT_EQ(a.specs, b.specs);
+  EXPECT_EQ(a.policies, b.policies);
+  EXPECT_EQ(a.execs, b.execs);
+}
+
+/// Seeds `store` with `num_specs` generated specs and `execs_per_spec`
+/// executions each; returns the refs.
+std::vector<ShardedRepository::SpecRef> Seed(ShardedRepository* store,
+                                             int num_specs,
+                                             int execs_per_spec,
+                                             uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<ShardedRepository::SpecRef> refs;
+  for (int i = 0; i < num_specs; ++i) {
+    auto spec =
+        GenerateSpec(WorkloadParams{}, &rng, "spec" + std::to_string(i));
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    auto ref = store->AddSpecification(std::move(spec).value());
+    EXPECT_TRUE(ref.ok()) << ref.status().ToString();
+    refs.push_back(ref.value());
+  }
+  for (const auto& ref : refs) {
+    const Specification& spec =
+        store->shard(ref.shard).repo().entry(ref.id).spec;
+    for (int i = 0; i < execs_per_spec; ++i) {
+      auto exec = GenerateExecution(spec, &rng);
+      EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+      EXPECT_TRUE(store->AddExecution(ref, std::move(exec).value()).ok());
+    }
+  }
+  EXPECT_TRUE(store->Sync().ok());
+  return refs;
+}
+
+TEST(ShardedStoreTest, InitCreatesManifestAndShards) {
+  const std::string dir = TestDir("init");
+  auto store = ShardedRepository::Init(dir, 4);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(ShardedRepository::IsShardedStore(dir));
+  EXPECT_EQ(store.value().num_shards(), 4);
+  EXPECT_EQ(store.value().epoch(), 1u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(PathExists(dir + "/" + ShardedRepository::ShardDirName(i) +
+                           "/PAWSTORE"));
+  }
+  auto manifest = ReadShardManifest(dir);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().shards, 4);
+  EXPECT_EQ(manifest.value().epoch, 1u);
+}
+
+TEST(ShardedStoreTest, DoubleInitFails) {
+  const std::string dir = TestDir("double_init");
+  ASSERT_TRUE(ShardedRepository::Init(dir, 2).ok());
+  EXPECT_TRUE(ShardedRepository::Init(dir, 2).status().IsAlreadyExists());
+  // A different shard count does not sneak past the guard either.
+  EXPECT_TRUE(ShardedRepository::Init(dir, 8).status().IsAlreadyExists());
+}
+
+TEST(ShardedStoreTest, InitRefusesSingleStoreDirAndViceVersa) {
+  const std::string single = TestDir("kind_single");
+  ASSERT_TRUE(PersistentRepository::Init(single).ok());
+  EXPECT_TRUE(
+      ShardedRepository::Init(single, 4).status().IsAlreadyExists());
+
+  const std::string sharded = TestDir("kind_sharded");
+  ASSERT_TRUE(ShardedRepository::Init(sharded, 4).ok());
+  EXPECT_TRUE(
+      PersistentRepository::Init(sharded).status().IsAlreadyExists());
+}
+
+TEST(ShardedStoreTest, RejectsBadShardCounts) {
+  EXPECT_TRUE(ShardedRepository::Init(TestDir("zero"), 0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ShardedRepository::Init(TestDir("neg"), -3)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ShardedRepository::Init(TestDir("huge"), 100000)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ShardedStoreTest, RoutingIsDeterministicAndInRange) {
+  for (int shards : {1, 2, 4, 16}) {
+    for (const char* name : {"alpha", "beta", "", "disease susceptibility"}) {
+      const int s = ShardedRepository::ShardOf(name, shards);
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardedRepository::ShardOf(name, shards));
+    }
+  }
+}
+
+TEST(ShardedStoreTest, SpecsLandOnTheirRoutedShardAndAreFound) {
+  const std::string dir = TestDir("routing");
+  auto store = ShardedRepository::Init(dir, 4);
+  ASSERT_TRUE(store.ok());
+  auto refs = Seed(&store.value(), 8, 1);
+  ASSERT_EQ(refs.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const std::string name = "spec" + std::to_string(i);
+    EXPECT_EQ(refs[static_cast<size_t>(i)].shard,
+              ShardedRepository::ShardOf(name, 4));
+    auto found = store.value().FindSpec(name);
+    ASSERT_TRUE(found.ok()) << name;
+    EXPECT_EQ(found.value(), refs[static_cast<size_t>(i)]);
+  }
+  EXPECT_FALSE(store.value().FindSpec("nonexistent").ok());
+  EXPECT_EQ(store.value().num_specs(), 8);
+  EXPECT_EQ(store.value().num_executions(), 8);
+}
+
+TEST(ShardedStoreTest, ContentsSurviveReopenByteForByte) {
+  const std::string dir = TestDir("reopen");
+  Snapshotted before;
+  {
+    auto store = ShardedRepository::Init(dir, 4);
+    ASSERT_TRUE(store.ok());
+    Seed(&store.value(), 6, 3);
+    before = Dump(store.value());
+  }
+  auto reopened = ShardedRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().num_specs(), 6);
+  EXPECT_EQ(reopened.value().num_executions(), 18);
+  EXPECT_EQ(reopened.value().recovery().records_replayed, 24u);
+  EXPECT_EQ(reopened.value().recovery().torn_shards, 0);
+  ExpectSameBytes(Dump(reopened.value()), before);
+}
+
+// Satellite: recovery with 1 thread and N threads must produce
+// identical repository contents.
+TEST(ShardedStoreTest, ParallelRecoveryMatchesSerialRecovery) {
+  const std::string dir = TestDir("parallel_recovery");
+  {
+    auto store = ShardedRepository::Init(dir, 4);
+    ASSERT_TRUE(store.ok());
+    Seed(&store.value(), 8, 4);
+  }
+  Snapshotted serial_dump;
+  std::vector<uint64_t> serial_lsns;
+  {
+    auto serial = ShardedRepository::Open(dir, {}, /*threads=*/1);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_EQ(serial.value().recovery().threads, 1);
+    serial_dump = Dump(serial.value());
+    for (int i = 0; i < 4; ++i) {
+      serial_lsns.push_back(serial.value().shard(i).lsn());
+    }
+  }
+  auto parallel = ShardedRepository::Open(dir, {}, /*threads=*/4);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(parallel.value().recovery().threads, 4);
+  ExpectSameBytes(Dump(parallel.value()), serial_dump);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(parallel.value().shard(i).lsn(),
+              serial_lsns[static_cast<size_t>(i)])
+        << "shard " << i;
+    // Per-shard ids are dense and shard-local, so they are identical
+    // too (Dump compares them implicitly via order).
+  }
+  EXPECT_EQ(parallel.value().num_specs(), 8);
+  EXPECT_EQ(parallel.value().num_executions(), 32);
+}
+
+TEST(ShardedStoreTest, EpochBumpsOnEveryOpen) {
+  const std::string dir = TestDir("epoch");
+  {
+    auto store = ShardedRepository::Init(dir, 2);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(store.value().epoch(), 1u);
+  }
+  for (uint64_t expected = 2; expected <= 4; ++expected) {
+    auto store = ShardedRepository::Open(dir);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(store.value().epoch(), expected);
+    auto manifest = ReadShardManifest(dir);
+    ASSERT_TRUE(manifest.ok());
+    EXPECT_EQ(manifest.value().epoch, expected);
+  }
+}
+
+TEST(ShardedStoreTest, EpochLsnIsMonotonicAcrossGenerations) {
+  // Even if torn-tail repair rolls a shard's physical LSN back, the
+  // bumped epoch keeps the composite id strictly growing.
+  EXPECT_GT(ShardedRepository::EpochLsn(2, 1),
+            ShardedRepository::EpochLsn(1, 1000000));
+  EXPECT_GT(ShardedRepository::EpochLsn(3, 5),
+            ShardedRepository::EpochLsn(3, 4));
+  EXPECT_EQ(ShardedRepository::EpochLsn(1, 0), uint64_t{1} << 40);
+}
+
+TEST(ShardedStoreTest, ParallelCompactionCoversEveryShard) {
+  const std::string dir = TestDir("compact");
+  Snapshotted before;
+  {
+    auto store = ShardedRepository::Init(dir, 4);
+    ASSERT_TRUE(store.ok());
+    Seed(&store.value(), 8, 2);
+    before = Dump(store.value());
+    ASSERT_TRUE(store.value().Compact(/*threads=*/4).ok());
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(store.value().shard(i).records_since_snapshot(), 0u)
+          << "shard " << i;
+    }
+  }
+  auto reopened = ShardedRepository::Open(dir, {}, 4);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // Everything comes back from snapshots; no WAL replay needed.
+  EXPECT_EQ(reopened.value().recovery().records_replayed, 0u);
+  ExpectSameBytes(Dump(reopened.value()), before);
+}
+
+// Satellite edge case: compacting a store that has never seen a write.
+TEST(ShardedStoreTest, CompactOnEmptyStoreIsHarmless) {
+  const std::string dir = TestDir("compact_empty");
+  {
+    auto store = ShardedRepository::Init(dir, 3);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value().Compact(/*threads=*/3).ok());
+    ASSERT_TRUE(store.value().Compact().ok());  // idempotent
+  }
+  auto reopened = ShardedRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().num_specs(), 0);
+  EXPECT_EQ(reopened.value().num_executions(), 0);
+  // And the store still accepts writes afterwards.
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(reopened.value()
+                  .AddSpecification(std::move(spec).value(), DiseasePolicy())
+                  .ok());
+}
+
+TEST(ShardedStoreTest, TornShardIsRepairedWithoutDisturbingOthers) {
+  const std::string dir = TestDir("torn_shard");
+  std::vector<int> counts_before;
+  int torn_shard = -1;
+  {
+    auto store = ShardedRepository::Init(dir, 4);
+    ASSERT_TRUE(store.ok());
+    auto refs = Seed(&store.value(), 8, 2);
+    torn_shard = refs[0].shard;
+    for (int i = 0; i < 4; ++i) {
+      counts_before.push_back(store.value().shard(i).repo().num_executions());
+    }
+  }
+  // Crash: tear a few bytes off one shard's WAL tail.
+  const std::string wal =
+      dir + "/" + ShardedRepository::ShardDirName(torn_shard) + "/wal.log";
+  {
+    std::error_code ec;
+    const auto size = fs::file_size(wal, ec);
+    ASSERT_FALSE(ec);
+    ASSERT_TRUE(TruncateFile(wal, static_cast<int64_t>(size) - 3).ok());
+  }
+  auto reopened = ShardedRepository::Open(dir, {}, 4);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().recovery().torn_shards, 1);
+  EXPECT_TRUE(reopened.value().shard(torn_shard).recovery().torn_tail);
+  for (int i = 0; i < 4; ++i) {
+    const int expected = counts_before[static_cast<size_t>(i)] -
+                         (i == torn_shard ? 1 : 0);
+    EXPECT_EQ(reopened.value().shard(i).repo().num_executions(), expected)
+        << "shard " << i;
+    if (i != torn_shard) {
+      EXPECT_FALSE(reopened.value().shard(i).recovery().torn_tail);
+    }
+  }
+}
+
+TEST(ShardedStoreTest, AddExecutionValidatesShardRef) {
+  const std::string dir = TestDir("bad_ref");
+  auto store = ShardedRepository::Init(dir, 2);
+  ASSERT_TRUE(store.ok());
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  auto exec = RunDiseaseExecution(spec.value());
+  ASSERT_TRUE(exec.ok());
+  EXPECT_TRUE(store.value()
+                  .AddExecution({-1, 0}, Execution(spec.value()))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(store.value()
+                  .AddExecution({5, 0}, Execution(spec.value()))
+                  .status()
+                  .IsNotFound());
+  // Valid shard, unknown local id.
+  EXPECT_FALSE(store.value().AddExecution({0, 3}, std::move(exec).value()).ok());
+}
+
+TEST(ShardedStoreTest, OpenFailsCleanlyOnMissingShard) {
+  const std::string dir = TestDir("missing_shard");
+  ASSERT_TRUE(ShardedRepository::Init(dir, 3).ok());
+  fs::remove_all(dir + "/" + ShardedRepository::ShardDirName(1));
+  auto reopened = ShardedRepository::Open(dir);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_NE(reopened.status().message().find("shard-0001"),
+            std::string::npos);
+}
+
+TEST(ShardedStoreTest, OpenRefusesToBumpPastEpochCap) {
+  // At the epoch cap, Open must fail cleanly *without* writing a
+  // manifest the reader would reject — the store data stays intact.
+  const std::string dir = TestDir("epoch_cap");
+  ASSERT_TRUE(ShardedRepository::Init(dir, 2).ok());
+  const uint64_t cap = (uint64_t{1} << 23) - 1;
+  ASSERT_TRUE(WriteShardManifest(dir, {2, cap}).ok());
+  auto opened = ShardedRepository::Open(dir);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsFailedPrecondition());
+  EXPECT_NE(opened.status().message().find("epoch space"),
+            std::string::npos);
+  // The manifest was not touched and still parses.
+  auto manifest = ReadShardManifest(dir);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().epoch, cap);
+  // One step below the cap, Open still works and lands exactly on it.
+  ASSERT_TRUE(WriteShardManifest(dir, {2, cap - 1}).ok());
+  auto reopened = ShardedRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().epoch(), cap);
+}
+
+TEST(ShardedStoreTest, OpenRejectsCorruptManifest) {
+  const std::string dir = TestDir("bad_manifest");
+  ASSERT_TRUE(ShardedRepository::Init(dir, 2).ok());
+  ASSERT_TRUE(AtomicWriteFile(dir + "/PAWSHARDS", "pawshards 1\nshards=0\n")
+                  .ok());
+  EXPECT_FALSE(ShardedRepository::Open(dir).ok());
+  ASSERT_TRUE(AtomicWriteFile(dir + "/PAWSHARDS", "not a manifest\n").ok());
+  EXPECT_FALSE(ShardedRepository::Open(dir).ok());
+  // Trailing junk and overflowing values are corruption, not numbers.
+  for (const char* body :
+       {"shards=2garbage\nepoch=1\n", "shards=2\nepoch=1xyz\n",
+        "shards=99999999999\nepoch=1\n", "shards=2\nepoch=\n",
+        "shards=2\nepoch=99999999999999999999999\n"}) {
+    ASSERT_TRUE(
+        AtomicWriteFile(dir + "/PAWSHARDS",
+                        std::string("pawshards 1\n") + body).ok());
+    auto opened = ShardedRepository::Open(dir);
+    EXPECT_FALSE(opened.ok()) << body;
+    EXPECT_TRUE(opened.status().IsFailedPrecondition()) << body;
+  }
+}
+
+}  // namespace
+}  // namespace paw

@@ -13,11 +13,13 @@
 #include <vector>
 
 #include "src/common/file_io.h"
+#include "src/common/random.h"
 #include "src/privacy/policy_text.h"
 #include "src/provenance/executor.h"
 #include "src/provenance/serialize.h"
 #include "src/repo/disease.h"
 #include "src/repo/workload.h"
+#include "src/store/codec.h"
 #include "src/store/snapshot.h"
 #include "src/store/wal.h"
 #include "src/workflow/builder.h"
@@ -545,6 +547,124 @@ TEST(StoreTest, RejectsForeignExecutionWithoutLogging) {
   EXPECT_FALSE(store.value().AddExecution(7, Execution(other.value())).ok());
   // Rejected operations must not grow the log.
   EXPECT_EQ(store.value().lsn(), lsn_before);
+}
+
+// Satellite edge case: compacting a store that has never seen a write
+// must leave it reopenable (snapshot at LSN 0, empty log).
+TEST(StoreTest, CompactOnEmptyStoreIsReopenable) {
+  const std::string dir = TestDir("compact_empty");
+  {
+    auto store = PersistentRepository::Init(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value().Compact().ok());
+    ASSERT_TRUE(store.value().Compact().ok());  // idempotent
+    EXPECT_EQ(store.value().records_since_snapshot(), 0u);
+  }
+  auto reopened = PersistentRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().repo().num_specs(), 0);
+  EXPECT_EQ(reopened.value().lsn(), 0u);
+  // Still writable afterwards.
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(
+      reopened.value().AddSpecification(std::move(spec).value()).ok());
+}
+
+// Satellite edge case: a crash between a snapshot's temp write and its
+// rename leaves `snapshot-<lsn>.paws.tmp` behind. It must never be
+// picked up as a snapshot, and Open reclaims it.
+TEST(StoreTest, StaleSnapshotTempFileIsIgnoredAndReclaimed) {
+  const std::string dir = TestDir("stale_tmp");
+  {
+    auto store = PersistentRepository::Init(dir);
+    ASSERT_TRUE(store.ok());
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    ASSERT_TRUE(
+        store.value().AddSpecification(std::move(spec).value()).ok());
+    ASSERT_TRUE(store.value().Sync().ok());
+  }
+  // Simulate the crash artifact: a half-written snapshot at a *higher*
+  // LSN than anything durable, plus junk bytes inside.
+  const std::string tmp =
+      dir + "/" + SnapshotFileName(999) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    out << "half-written snapshot bytes";
+  }
+  ASSERT_TRUE(PathExists(tmp));
+
+  auto reopened = PersistentRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // The store recovered from the WAL, not the junk.
+  EXPECT_EQ(reopened.value().repo().num_specs(), 1);
+  EXPECT_EQ(reopened.value().recovery().snapshot_lsn, 0u);
+  EXPECT_EQ(reopened.value().recovery().records_replayed, 1u);
+  // And the leftover was reclaimed.
+  EXPECT_FALSE(PathExists(tmp));
+  // Compaction still lands on the correct LSN afterwards.
+  ASSERT_TRUE(reopened.value().Compact().ok());
+  auto latest = FindLatestSnapshot(dir);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().lsn, 1u);
+}
+
+// Property: seeded-random specs and policies round-trip through the
+// kSpec payload codec byte-for-byte.
+TEST(StoreFuzzTest, SpecPayloadsRoundTripExactly) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Rng rng(seed);
+    auto spec = GenerateSpec(WorkloadParams{}, &rng,
+                             "fuzz" + std::to_string(seed));
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    // A policy referencing real modules, with a hostile label thrown in.
+    PolicySet policy;
+    policy.data.default_level = static_cast<int>(rng.Uniform(3));
+    policy.data.label_level["nasty \"=\\ label"] =
+        static_cast<int>(rng.Uniform(4));
+    for (const Module& m : spec.value().modules()) {
+      if (m.kind != ModuleKind::kAtomic) continue;
+      if (!rng.Bernoulli(0.2)) continue;
+      policy.module_reqs.push_back(
+          {m.code, static_cast<int64_t>(rng.UniformInt(2, 8)),
+           static_cast<int>(rng.Uniform(3))});
+    }
+    const std::string payload = EncodeSpecPayload(spec.value(), policy);
+    auto decoded = DecodeSpecPayload(payload);
+    ASSERT_TRUE(decoded.ok())
+        << "seed=" << seed << ": " << decoded.status().ToString();
+    EXPECT_EQ(EncodeSpecPayload(decoded.value().spec,
+                                decoded.value().policy),
+              payload)
+        << "seed=" << seed;
+    EXPECT_EQ(Serialize(decoded.value().spec), Serialize(spec.value()));
+  }
+}
+
+// Property: seeded-random executions round-trip through the kExecution
+// payload codec byte-for-byte, including quote-edged and empty values.
+TEST(StoreFuzzTest, ExecutionPayloadsRoundTripExactly) {
+  Rng rng(4242);
+  auto spec = GenerateSpec(WorkloadParams{}, &rng, "fuzz-exec");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  for (int trial = 0; trial < 20; ++trial) {
+    auto exec = GenerateExecution(spec.value(), &rng);
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    const int spec_id = static_cast<int>(rng.Uniform(1000));
+    const std::string payload =
+        EncodeExecutionPayload(spec_id, exec.value());
+    int decoded_id = -1;
+    std::string exec_text;
+    ASSERT_TRUE(
+        DecodeExecutionPayload(payload, &decoded_id, &exec_text).ok());
+    EXPECT_EQ(decoded_id, spec_id);
+    auto replayed = ParseExecution(exec_text, spec.value());
+    ASSERT_TRUE(replayed.ok())
+        << "trial=" << trial << ": " << replayed.status().ToString();
+    EXPECT_EQ(EncodeExecutionPayload(spec_id, replayed.value()), payload)
+        << "trial=" << trial;
+  }
 }
 
 TEST(StoreTest, WalRecordsCarryMonotonicLsns) {

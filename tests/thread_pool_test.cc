@@ -1,0 +1,83 @@
+// Tests for the worker pool behind shard-parallel recovery/compaction.
+
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace paw {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // no Wait(): shutdown must still run everything
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(97);
+    ParallelFor(threads, 97, [&hits](int i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (int i = 0; i < 97; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, SerialModeRunsInIndexOrder) {
+  std::vector<int> order;
+  ParallelFor(1, 10, [&order](int i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ParallelForTest, HandlesZeroAndMoreThreadsThanWork) {
+  ParallelFor(4, 0, [](int) { FAIL() << "no work expected"; });
+  std::atomic<int> counter{0};
+  ParallelFor(16, 2, [&counter](int) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace paw

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Single CI entry point: tier-1 configure/build/test plus a pawctl
-# smoke test of the demo pipeline and the persistent store round trip.
+# Single CI entry point: tier-1 configure/build/test, a pawctl smoke
+# test of the demo pipeline and both store layouts (single + sharded,
+# including a kill-and-reopen crash drill), and an ASan+UBSan build of
+# the store/crash test binaries.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,5 +31,29 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 "$PAWCTL" compact "$SMOKE_DIR/store"
 "$PAWCTL" ingest "$SMOKE_DIR/store" "$SMOKE_DIR/demo.paw" runs=5
 "$PAWCTL" open "$SMOKE_DIR/store"
+
+echo "== pawctl sharded smoke =="
+"$PAWCTL" init "$SMOKE_DIR/shards" shards=4
+"$PAWCTL" ingest "$SMOKE_DIR/shards" "$SMOKE_DIR/demo.paw" runs=8
+"$PAWCTL" compact "$SMOKE_DIR/shards" threads=4
+"$PAWCTL" ingest "$SMOKE_DIR/shards" "$SMOKE_DIR/demo.paw" runs=4
+# Kill-and-reopen drill: tear bytes off the tail of the busiest shard's
+# WAL (a crash mid-append) and require recovery to repair and report it.
+TORN_WAL="$(ls -S "$SMOKE_DIR"/shards/shard-*/wal.log | head -1)"
+truncate -s -3 "$TORN_WAL"
+"$PAWCTL" open "$SMOKE_DIR/shards" threads=4 | tee "$SMOKE_DIR/open.out"
+grep -q "torn tail" "$SMOKE_DIR/open.out"
+# The repaired store keeps accepting writes.
+"$PAWCTL" ingest "$SMOKE_DIR/shards" "$SMOKE_DIR/demo.paw" runs=2
+
+echo "== asan+ubsan store tests =="
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
+cmake -B "$ASAN_BUILD_DIR" -S . -DPAW_SANITIZE=ON
+SAN_TESTS=(store_test sharded_store_test crash_injection_test record_test thread_pool_test)
+cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target "${SAN_TESTS[@]}"
+for t in "${SAN_TESTS[@]}"; do
+  echo "-- $t (asan+ubsan)"
+  "$ASAN_BUILD_DIR/$t" --gtest_brief=1
+done
 
 echo "== OK =="

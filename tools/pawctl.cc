@@ -13,13 +13,19 @@
 //                                        access level
 //
 // Persistent store commands (see tools/README.md, "Store format"):
-//   pawctl init <dir>                    create an empty store directory
-//   pawctl open <dir>                    recover a store, print its stats
+//   pawctl init <dir> [shards=N]         create an empty store directory;
+//                                        with shards=N, a sharded store of
+//                                        N shard subdirectories
+//   pawctl open <dir> [threads=N]        recover a store (shards in
+//                                        parallel), print its stats
 //   pawctl ingest <dir> <spec.paw> [runs=N]
 //                                        add a spec (reused if already
 //                                        stored under the same name) and
 //                                        run N executions into the store
-//   pawctl compact <dir>                 snapshot + truncate the log
+//   pawctl compact <dir> [threads=N]     snapshot + truncate the log(s)
+//
+// open/ingest/compact auto-detect whether <dir> is a single-directory
+// or a sharded store.
 
 #include <cstdio>
 #include <cstring>
@@ -32,6 +38,7 @@
 #include "src/query/keyword_search.h"
 #include "src/repo/disease.h"
 #include "src/store/persistent_repository.h"
+#include "src/store/sharded_repository.h"
 #include "src/workflow/hierarchy.h"
 #include "src/workflow/serialize.h"
 #include "src/workflow/view.h"
@@ -163,6 +170,26 @@ int CmdSearch(const char* path, const char* level_str, int argc,
   return 0;
 }
 
+/// Parses a `key=N` option into `*out`; returns false (with a message)
+/// when `arg` has the key but a value outside `[lo, hi]`. `*matched`
+/// says whether the key was present at all.
+bool ParseIntOption(const char* arg, const char* key, long lo, long hi,
+                    long* out, bool* matched) {
+  const size_t key_len = std::strlen(key);
+  *matched = std::strncmp(arg, key, key_len) == 0 && arg[key_len] == '=';
+  if (!*matched) return true;
+  char* end = nullptr;
+  long parsed = std::strtol(arg + key_len + 1, &end, 10);
+  if (end == arg + key_len + 1 || *end != '\0' || parsed < lo ||
+      parsed > hi) {
+    std::fprintf(stderr, "error: %s must be an integer in [%ld, %ld]: %s\n",
+                 key, lo, hi, arg);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
 void PrintStoreStats(const PersistentRepository& store) {
   const auto& r = store.recovery();
   std::printf("store %s\n", store.dir().c_str());
@@ -185,44 +212,173 @@ void PrintStoreStats(const PersistentRepository& store) {
   }
 }
 
-int CmdInit(const char* dir) {
+void PrintShardedStats(const ShardedRepository& store) {
+  const auto& r = store.recovery();
+  std::printf("sharded store %s\n", store.dir().c_str());
+  std::printf("  shards:      %d\n", store.num_shards());
+  std::printf("  epoch:       %llu\n",
+              static_cast<unsigned long long>(store.epoch()));
+  std::printf("  specs:       %d\n", store.num_specs());
+  std::printf("  executions:  %d\n", store.num_executions());
+  std::printf("  recovery:    %llu replayed, %llu skipped (%d thread(s))\n",
+              static_cast<unsigned long long>(r.records_replayed),
+              static_cast<unsigned long long>(r.records_skipped), r.threads);
+  if (r.torn_shards > 0) {
+    std::printf("  torn tails:  %d shard(s), %llu byte(s) dropped\n",
+                r.torn_shards,
+                static_cast<unsigned long long>(r.dropped_bytes));
+  }
+  for (int i = 0; i < store.num_shards(); ++i) {
+    const PersistentRepository& shard = store.shard(i);
+    std::printf("  %s: %d spec(s), %d execution(s), lsn %llu (global %llu)%s\n",
+                ShardedRepository::ShardDirName(i).c_str(),
+                shard.repo().num_specs(), shard.repo().num_executions(),
+                static_cast<unsigned long long>(shard.lsn()),
+                static_cast<unsigned long long>(
+                    ShardedRepository::EpochLsn(store.epoch(), shard.lsn())),
+                shard.recovery().torn_tail ? " [torn tail repaired]" : "");
+  }
+}
+
+int CmdInit(const char* dir, int argc, char** argv) {
+  long shards = 0;
+  for (int i = 0; i < argc; ++i) {
+    bool matched = false;
+    if (!ParseIntOption(argv[i], "shards", 1, ShardedRepository::kMaxShards,
+                        &shards, &matched)) {
+      return 1;
+    }
+    if (!matched) {
+      std::fprintf(stderr, "error: unknown init option %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (shards > 0) {
+    auto store = ShardedRepository::Init(dir, static_cast<int>(shards));
+    if (!store.ok()) return Fail(store.status());
+    std::printf("initialized empty sharded store in %s (%ld shard(s))\n",
+                dir, shards);
+    return 0;
+  }
   auto store = PersistentRepository::Init(dir);
   if (!store.ok()) return Fail(store.status());
   std::printf("initialized empty store in %s\n", dir);
   return 0;
 }
 
-int CmdOpen(const char* dir) {
+/// Parses the optional `threads=N` argument shared by open/compact.
+int ParseThreads(int argc, char** argv, long* threads) {
+  for (int i = 0; i < argc; ++i) {
+    bool matched = false;
+    if (!ParseIntOption(argv[i], "threads", 1, 256, threads, &matched)) {
+      return 1;
+    }
+    if (!matched) {
+      std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int CmdOpen(const char* dir, int argc, char** argv) {
+  long threads = 1;
+  if (int rc = ParseThreads(argc, argv, &threads); rc != 0) return rc;
+  if (ShardedRepository::IsShardedStore(dir)) {
+    auto store = ShardedRepository::Open(dir, {}, static_cast<int>(threads));
+    if (!store.ok()) return Fail(store.status());
+    PrintShardedStats(store.value());
+    return 0;
+  }
   auto store = PersistentRepository::Open(dir);
   if (!store.ok()) return Fail(store.status());
   PrintStoreStats(store.value());
   return 0;
 }
 
+/// Runs `runs` executions of `spec` through `add_exec` (shared by the
+/// single and sharded ingest paths). Inputs are varied per run so
+/// repeated ingests do not produce identical provenance.
+template <typename AddExec>
+int RunIngest(const Specification& spec, int runs, AddExec&& add_exec) {
+  FunctionRegistry fns;
+  for (int i = 0; i < runs; ++i) {
+    std::string suffix = "#";
+    suffix += std::to_string(i);
+    ValueMap inputs = DefaultInputs(spec, suffix);
+    auto exec = Execute(spec, fns, inputs);
+    if (!exec.ok()) return Fail(exec.status());
+    auto eid = add_exec(std::move(exec).value());
+    if (!eid.ok()) return Fail(eid.status());
+  }
+  return 0;
+}
+
+int CmdIngestSharded(const char* dir, Specification parsed, int runs,
+                     long threads) {
+  auto store = ShardedRepository::Open(dir, {}, static_cast<int>(threads));
+  if (!store.ok()) return Fail(store.status());
+  // Reuse a previously ingested spec of the same name, else store it.
+  ShardedRepository::SpecRef ref;
+  auto existing = store.value().FindSpec(parsed.name());
+  if (existing.ok()) {
+    ref = existing.value();
+    std::printf("spec \"%s\" already stored as %s id %d\n",
+                parsed.name().c_str(),
+                ShardedRepository::ShardDirName(ref.shard).c_str(), ref.id);
+  } else {
+    auto added = store.value().AddSpecification(std::move(parsed));
+    if (!added.ok()) return Fail(added.status());
+    ref = added.value();
+    std::printf("stored spec as %s id %d\n",
+                ShardedRepository::ShardDirName(ref.shard).c_str(), ref.id);
+  }
+  const Specification& spec =
+      store.value().shard(ref.shard).repo().entry(ref.id).spec;
+  if (int rc = RunIngest(spec, runs, [&](Execution exec) {
+        return store.value().AddExecution(ref, std::move(exec));
+      });
+      rc != 0) {
+    return rc;
+  }
+  auto synced = store.value().Sync();
+  if (!synced.ok()) return Fail(synced);
+  std::printf(
+      "ingested %d execution(s); %s lsn now %llu (epoch %llu, global %llu)\n",
+      runs, ShardedRepository::ShardDirName(ref.shard).c_str(),
+      static_cast<unsigned long long>(store.value().shard(ref.shard).lsn()),
+      static_cast<unsigned long long>(store.value().epoch()),
+      static_cast<unsigned long long>(ShardedRepository::EpochLsn(
+          store.value().epoch(), store.value().shard(ref.shard).lsn())));
+  return 0;
+}
+
 int CmdIngest(const char* dir, const char* path, int argc, char** argv) {
-  int runs = 1;
+  long runs = 1;
+  long threads = 1;
   for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], "runs=", 5) == 0) {
-      char* end = nullptr;
-      long parsed = std::strtol(argv[i] + 5, &end, 10);
-      if (end == argv[i] + 5 || *end != '\0' || parsed < 0 ||
-          parsed > 1000000) {
-        std::fprintf(stderr,
-                     "error: runs must be an integer in [0, 1000000]: %s\n",
-                     argv[i]);
-        return 1;
-      }
-      runs = static_cast<int>(parsed);
-    } else {
+    bool matched = false;
+    if (!ParseIntOption(argv[i], "runs", 0, 1000000, &runs, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseIntOption(argv[i], "threads", 1, 256, &threads, &matched)) {
+      return 1;
+    }
+    if (!matched) {
       std::fprintf(stderr, "error: unknown ingest option %s\n", argv[i]);
       return 1;
     }
   }
-  auto store = PersistentRepository::Open(dir);
-  if (!store.ok()) return Fail(store.status());
   auto parsed = LoadSpec(path);
   if (!parsed.ok()) return Fail(parsed.status());
+  if (ShardedRepository::IsShardedStore(dir)) {
+    return CmdIngestSharded(dir, std::move(parsed).value(),
+                            static_cast<int>(runs), threads);
+  }
 
+  auto store = PersistentRepository::Open(dir);
+  if (!store.ok()) return Fail(store.status());
   // Reuse a previously ingested spec of the same name, else store it.
   int spec_id;
   auto existing = store.value().repo().FindSpec(parsed.value().name());
@@ -239,25 +395,39 @@ int CmdIngest(const char* dir, const char* path, int argc, char** argv) {
   }
 
   const Specification& spec = store.value().repo().entry(spec_id).spec;
-  FunctionRegistry fns;
-  for (int i = 0; i < runs; ++i) {
-    // Inputs varied per run so repeated ingests do not produce
-    // identical provenance.
-    ValueMap inputs = DefaultInputs(spec, "#" + std::to_string(i));
-    auto exec = Execute(spec, fns, inputs);
-    if (!exec.ok()) return Fail(exec.status());
-    auto eid = store.value().AddExecution(spec_id, std::move(exec).value());
-    if (!eid.ok()) return Fail(eid.status());
+  if (int rc = RunIngest(spec, static_cast<int>(runs), [&](Execution exec) {
+        return store.value().AddExecution(spec_id, std::move(exec));
+      });
+      rc != 0) {
+    return rc;
   }
   auto synced = store.value().Sync();
   if (!synced.ok()) return Fail(synced);
-  std::printf("ingested %d execution(s) of spec %d; store lsn now %llu\n",
+  std::printf("ingested %ld execution(s) of spec %d; store lsn now %llu\n",
               runs, spec_id,
               static_cast<unsigned long long>(store.value().lsn()));
   return 0;
 }
 
-int CmdCompact(const char* dir) {
+int CmdCompact(const char* dir, int argc, char** argv) {
+  long threads = 1;
+  if (int rc = ParseThreads(argc, argv, &threads); rc != 0) return rc;
+  if (ShardedRepository::IsShardedStore(dir)) {
+    auto store = ShardedRepository::Open(dir, {}, static_cast<int>(threads));
+    if (!store.ok()) return Fail(store.status());
+    uint64_t before = 0;
+    for (int i = 0; i < store.value().num_shards(); ++i) {
+      before += store.value().shard(i).records_since_snapshot();
+    }
+    auto compacted = store.value().Compact(static_cast<int>(threads));
+    if (!compacted.ok()) return Fail(compacted);
+    std::printf(
+        "compacted %s: folded %llu record(s) into %d shard snapshot(s) "
+        "(%ld thread(s))\n",
+        dir, static_cast<unsigned long long>(before),
+        store.value().num_shards(), threads);
+    return 0;
+  }
   auto store = PersistentRepository::Open(dir);
   if (!store.ok()) return Fail(store.status());
   const uint64_t before = store.value().records_since_snapshot();
@@ -276,10 +446,10 @@ int Usage() {
                "       pawctl show <spec.paw>\n"
                "       pawctl run <spec.paw> [label=value ...]\n"
                "       pawctl search <spec.paw> <level> <term> ...\n"
-               "       pawctl init <dir>\n"
-               "       pawctl open <dir>\n"
-               "       pawctl ingest <dir> <spec.paw> [runs=N]\n"
-               "       pawctl compact <dir>\n");
+               "       pawctl init <dir> [shards=N]\n"
+               "       pawctl open <dir> [threads=N]\n"
+               "       pawctl ingest <dir> <spec.paw> [runs=N] [threads=N]\n"
+               "       pawctl compact <dir> [threads=N]\n");
   return 2;
 }
 
@@ -297,11 +467,17 @@ int main(int argc, char** argv) {
   if (cmd == "search" && argc >= 5) {
     return CmdSearch(argv[2], argv[3], argc - 4, argv + 4);
   }
-  if (cmd == "init" && argc >= 3) return CmdInit(argv[2]);
-  if (cmd == "open" && argc >= 3) return CmdOpen(argv[2]);
+  if (cmd == "init" && argc >= 3) {
+    return CmdInit(argv[2], argc - 3, argv + 3);
+  }
+  if (cmd == "open" && argc >= 3) {
+    return CmdOpen(argv[2], argc - 3, argv + 3);
+  }
   if (cmd == "ingest" && argc >= 4) {
     return CmdIngest(argv[2], argv[3], argc - 4, argv + 4);
   }
-  if (cmd == "compact" && argc >= 3) return CmdCompact(argv[2]);
+  if (cmd == "compact" && argc >= 3) {
+    return CmdCompact(argv[2], argc - 3, argv + 3);
+  }
   return Usage();
 }
