@@ -1,16 +1,27 @@
 // E10: persistent store costs — append throughput, recovery time as a
-// function of log length, and the effect of snapshot + compaction.
+// function of log length, snapshot + compaction effect, sharded
+// recovery, binary-vs-text codec replay (E10e), and concurrent ingest
+// through the group-commit WAL + per-shard writer queues (E10f).
 //
 // Expected shape: appends are cheap and flat (buffered writes; fsync
 // dominates when enabled); recovery time grows linearly with the WAL
-// suffix length and collapses after compaction because the snapshot is
-// loaded once instead of replaying per-record text payloads.
+// suffix length; binary payload replay is parse-free and beats text
+// replay well past 2x; and with durability on, N concurrent appenders
+// share one fsync per commit group instead of paying one each.
+//
+// Every experiment also lands in BENCH_store.json (in the working
+// directory, or $BENCH_JSON) as machine-readable per-experiment
+// metrics so CI can track the perf trajectory. `--smoke` runs scaled-
+// down tables only (no google-benchmark micro benches).
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/crc32.h"
@@ -37,6 +48,54 @@ std::string FreshDir(const std::string& name) {
   return dir.string();
 }
 
+/// Collects one flat JSON object per experiment row and writes the
+/// BENCH_store.json artifact consumed by tools/check.sh.
+class BenchJson {
+ public:
+  class Row {
+   public:
+    explicit Row(std::string experiment) {
+      json_ = "{\"experiment\":\"" + experiment + "\"";
+    }
+    Row& Str(const char* key, const std::string& value) {
+      json_ += std::string(",\"") + key + "\":\"" + value + "\"";
+      return *this;
+    }
+    Row& Num(const char* key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      json_ += std::string(",\"") + key + "\":" + buf;
+      return *this;
+    }
+    std::string Finish() const { return json_ + "}"; }
+
+   private:
+    std::string json_;
+  };
+
+  void Add(const Row& row) { rows_.push_back(row.Finish()); }
+
+  void Write(const std::string& path) const {
+    std::string out = "{\"bench\":\"store\",\"experiments\":[\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += "  " + rows_[i] + (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out += "]}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu experiment rows)\n", path.c_str(),
+                rows_.size());
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
 /// A store seeded with the disease spec; returns the spec id.
 int SeedSpec(PersistentRepository* store) {
   auto spec = BuildDiseaseSpec();
@@ -49,7 +108,7 @@ Execution MakeExecution(const PersistentRepository& store, int spec_id) {
   return RunDiseaseExecution(store.repo().entry(spec_id).spec).value();
 }
 
-void TableAppendThroughput() {
+void TableAppendThroughput(int scale, BenchJson* json) {
   std::printf(
       "=== E10a: WAL append throughput (disease executions) ===\n"
       "%-8s %-8s %-10s %-12s %-12s %-12s\n",
@@ -57,7 +116,7 @@ void TableAppendThroughput() {
   for (int mode = 0; mode < 3; ++mode) {
     const bool sync = mode == 2;
     const bool verify = mode != 1;
-    const int records = sync ? 200 : 5000;
+    const int records = (sync ? 200 : 5000) / scale;
     const std::string dir = FreshDir("append_" + std::to_string(mode));
     StoreOptions options;
     options.sync_each_append = sync;
@@ -78,17 +137,24 @@ void TableAppendThroughput() {
     std::printf("%-8s %-8s %-10d %-12.2f %-12.0f %-12.1f\n",
                 sync ? "yes" : "no", verify ? "yes" : "no", records, mb,
                 records / secs, mb / secs);
+    json->Add(BenchJson::Row("e10a")
+                  .Str("sync", sync ? "each" : "batch")
+                  .Str("verify", verify ? "on" : "off")
+                  .Num("records", records)
+                  .Num("ops_per_sec", records / secs)
+                  .Num("mb_per_sec", mb / secs));
     fs::remove_all(dir);
   }
   std::printf("\n");
 }
 
-void TableRecoveryVsLogLength() {
+void TableRecoveryVsLogLength(int scale, BenchJson* json) {
   std::printf(
       "=== E10b: recovery time vs WAL length ===\n"
       "%-10s %-12s %-12s %-14s\n",
       "records", "wal-KB", "open-ms", "ms/record");
-  for (int records : {100, 500, 2000}) {
+  for (int base : {100, 500, 2000}) {
+    const int records = base / scale;
     const std::string dir =
         FreshDir("recovery_" + std::to_string(records));
     {
@@ -109,21 +175,26 @@ void TableRecoveryVsLogLength() {
     if (!reopened.ok()) continue;
     std::printf("%-10d %-12.1f %-12.2f %-14.4f\n", records, wal_kb, ms,
                 ms / records);
+    json->Add(BenchJson::Row("e10b")
+                  .Num("records", records)
+                  .Num("open_ms", ms)
+                  .Num("ms_per_record", ms / records));
     fs::remove_all(dir);
   }
   std::printf("\n");
 }
 
-void TableSnapshotEffect() {
+void TableSnapshotEffect(int scale, BenchJson* json) {
+  const int records = 1000 / scale;
   std::printf(
-      "=== E10c: snapshot + compaction effect (1000 executions) ===\n"
+      "=== E10c: snapshot + compaction effect (%d executions) ===\n"
       "%-14s %-14s %-12s %-14s\n",
-      "state", "snapshot-KB", "wal-KB", "open-ms");
+      records, "state", "snapshot-KB", "wal-KB", "open-ms");
   const std::string dir = FreshDir("snapshot");
   {
     auto store = PersistentRepository::Init(dir);
     int spec_id = SeedSpec(&store.value());
-    for (int i = 0; i < 1000; ++i) {
+    for (int i = 0; i < records; ++i) {
       store.value()
           .AddExecution(spec_id, MakeExecution(store.value(), spec_id))
           .value();
@@ -139,6 +210,11 @@ void TableSnapshotEffect() {
     const double ms = timer.ElapsedMillis();
     std::printf("%-14s %-14s %-12.1f %-14.2f\n", "log-only", "-",
                 wal_kb(), ms);
+    json->Add(BenchJson::Row("e10c")
+                  .Str("state", "log-only")
+                  .Num("records", records)
+                  .Num("open_ms", ms)
+                  .Num("ms_per_record", ms / records));
     reopened.value().Compact();
   }
   double snapshot_kb = 0;
@@ -154,14 +230,20 @@ void TableSnapshotEffect() {
     const double ms = timer.ElapsedMillis();
     std::printf("%-14s %-14.1f %-12.1f %-14.2f\n", "compacted",
                 snapshot_kb, wal_kb(), ms);
+    json->Add(BenchJson::Row("e10c")
+                  .Str("state", "compacted")
+                  .Num("records", records)
+                  .Num("open_ms", ms)
+                  .Num("ms_per_record", ms / records));
   }
   fs::remove_all(dir);
   std::printf("\n");
 }
 
-/// A minimal one-workflow spec so E10d's 10k-record logs ingest and
+/// A minimal one-workflow spec so the 10k-record logs ingest and
 /// replay quickly; recovery cost is then dominated by per-record
-/// framing + parse, the component sharding parallelizes.
+/// framing + parse, the component sharding and the binary codec
+/// attack.
 Specification MakeBenchSpec(const std::string& name) {
   SpecBuilder b(name);
   WorkflowId w = b.AddWorkflow("W1", "top", 0);
@@ -174,46 +256,50 @@ Specification MakeBenchSpec(const std::string& name) {
   return std::move(b).Build().value();
 }
 
+/// Fills `dir` (single-directory store) with `kSpecs` bench specs and
+/// `records` executions round-robin.
+void FillSingleStore(const std::string& dir, StoreOptions options,
+                     int num_specs, int records) {
+  FunctionRegistry fns;
+  auto store = PersistentRepository::Init(dir, options);
+  for (int i = 0; i < num_specs; ++i) {
+    store.value()
+        .AddSpecification(MakeBenchSpec("bench" + std::to_string(i)))
+        .value();
+  }
+  for (int i = 0; i < records; ++i) {
+    const int sid = i % num_specs;
+    std::string value = "v";
+    value += std::to_string(i);
+    auto exec =
+        Execute(store.value().repo().entry(sid).spec, fns, {{"x", value}});
+    store.value().AddExecution(sid, std::move(exec).value()).value();
+  }
+  store.value().Sync();
+}
+
 // E10d acceptance: recovery of a >= 10k-record log, sharded 4 ways and
 // recovered with 4 threads, versus the equivalent single-directory
 // store. Speedup scales with available cores (shards recover
 // independently); on a single-core host the sharded numbers show the
 // fan-out overhead instead.
-void TableShardedRecovery() {
+void TableShardedRecovery(int scale, BenchJson* json) {
   constexpr int kShards = 4;
   constexpr int kSpecs = 8;
-  constexpr int kRecords = 10000;
+  const int records = 10000 / scale;
   std::printf(
       "=== E10d: sharded vs single recovery (%d specs, %d records) ===\n"
       "%-20s %-10s %-10s %-12s %-10s\n",
-      kSpecs, kRecords, "layout", "shards", "threads", "open-ms",
+      kSpecs, records, "layout", "shards", "threads", "open-ms",
       "speedup");
   StoreOptions options;
   options.verify_payloads = false;  // ingest path; inputs are known-good
 
-  std::vector<std::string> names;
-  for (int i = 0; i < kSpecs; ++i) {
-    names.push_back("shardbench" + std::to_string(i));
-  }
   FunctionRegistry fns;
 
   // Single-directory baseline.
   const std::string single_dir = FreshDir("e10d_single");
-  {
-    auto store = PersistentRepository::Init(single_dir, options);
-    for (int i = 0; i < kSpecs; ++i) {
-      store.value().AddSpecification(MakeBenchSpec(names[static_cast<size_t>(i)])).value();
-    }
-    for (int i = 0; i < kRecords; ++i) {
-      const int sid = i % kSpecs;
-      std::string value = "v";
-      value += std::to_string(i);
-      auto exec = Execute(store.value().repo().entry(sid).spec, fns,
-                          {{"x", value}});
-      store.value().AddExecution(sid, std::move(exec).value()).value();
-    }
-    store.value().Sync();
-  }
+  FillSingleStore(single_dir, options, kSpecs, records);
   // Time Open only (destruction excluded), the same span the sharded
   // rows measure.
   double single_ms = 0;
@@ -229,6 +315,12 @@ void TableShardedRecovery() {
   }
   std::printf("%-20s %-10d %-10d %-12.1f %-10s\n", "single", 1, 1,
               single_ms, "1.00x");
+  json->Add(BenchJson::Row("e10d")
+                .Str("layout", "single")
+                .Num("threads", 1)
+                .Num("records", records)
+                .Num("open_ms", single_ms)
+                .Num("ms_per_record", single_ms / records));
 
   // Sharded store with identical contents.
   const std::string sharded_dir = FreshDir("e10d_sharded");
@@ -236,10 +328,12 @@ void TableShardedRecovery() {
     auto store = ShardedRepository::Init(sharded_dir, kShards, options);
     std::vector<ShardedRepository::SpecRef> refs;
     for (int i = 0; i < kSpecs; ++i) {
-      refs.push_back(
-          store.value().AddSpecification(MakeBenchSpec(names[static_cast<size_t>(i)])).value());
+      refs.push_back(store.value()
+                         .AddSpecification(
+                             MakeBenchSpec("bench" + std::to_string(i)))
+                         .value());
     }
-    for (int i = 0; i < kRecords; ++i) {
+    for (int i = 0; i < records; ++i) {
       const auto& ref = refs[static_cast<size_t>(i % kSpecs)];
       std::string value = "v";
       value += std::to_string(i);
@@ -263,9 +357,236 @@ void TableShardedRecovery() {
     std::snprintf(speedup, sizeof(speedup), "%.2fx", single_ms / ms);
     std::printf("%-20s %-10d %-10d %-12.1f %-10s\n", "sharded", kShards,
                 threads, ms, speedup);
+    json->Add(BenchJson::Row("e10d")
+                  .Str("layout", "sharded")
+                  .Num("threads", threads)
+                  .Num("records", records)
+                  .Num("open_ms", ms)
+                  .Num("ms_per_record", ms / records)
+                  .Num("speedup_vs_single", single_ms / ms));
   }
   fs::remove_all(single_dir);
   fs::remove_all(sharded_dir);
+  std::printf("\n");
+}
+
+// E10e acceptance: replay of the E10d workload stored with v1 text
+// payloads versus v2 binary payloads. Binary replay decodes varints
+// and raw strings instead of re-tokenizing the line-oriented text
+// formats; the target is >= 2x.
+void TableCodecReplay(int scale, BenchJson* json) {
+  constexpr int kSpecs = 8;
+  const int records = 10000 / scale;
+  std::printf(
+      "=== E10e: binary vs text payload replay (%d records) ===\n"
+      "%-10s %-12s %-12s %-14s %-10s\n",
+      records, "codec", "wal-MB", "open-ms", "ms/record", "speedup");
+  StoreOptions options;
+  options.verify_payloads = false;
+  double text_ms = 0;
+  for (PayloadCodec codec : {PayloadCodec::kText, PayloadCodec::kBinary}) {
+    options.codec = codec;
+    const std::string dir =
+        FreshDir(std::string("e10e_") +
+                 std::string(PayloadCodecName(codec)));
+    FillSingleStore(dir, options, kSpecs, records);
+    const double wal_mb =
+        static_cast<double>(fs::file_size(dir + "/wal.log")) / 1e6;
+    Timer timer;
+    auto reopened = PersistentRepository::Open(dir, options);
+    const double ms = timer.ElapsedMillis();
+    if (!reopened.ok()) {
+      std::printf("E10e open (%s) failed: %s\n",
+                  std::string(PayloadCodecName(codec)).c_str(),
+                  reopened.status().ToString().c_str());
+      continue;
+    }
+    const double speedup = codec == PayloadCodec::kText
+                               ? 1.0
+                               : (text_ms > 0 ? text_ms / ms : 0);
+    if (codec == PayloadCodec::kText) text_ms = ms;
+    char speedup_str[32];
+    std::snprintf(speedup_str, sizeof(speedup_str), "%.2fx", speedup);
+    std::printf("%-10s %-12.2f %-12.1f %-14.4f %-10s\n",
+                std::string(PayloadCodecName(codec)).c_str(), wal_mb, ms,
+                ms / records, speedup_str);
+    json->Add(BenchJson::Row("e10e")
+                  .Str("codec", std::string(PayloadCodecName(codec)))
+                  .Num("records", records)
+                  .Num("wal_mb", wal_mb)
+                  .Num("open_ms", ms)
+                  .Num("ms_per_record", ms / records)
+                  .Num("speedup_vs_text", speedup));
+    fs::remove_all(dir);
+  }
+  std::printf("\n");
+}
+
+// E10f acceptance: concurrent ingest. Two mechanisms are measured:
+//
+//   wal rows:   T caller threads append raw 1 KB records to ONE
+//               group-commit WAL with sync_each_append — concurrent
+//               appenders share a single fsync per commit group, so
+//               durable throughput scales with callers even on one
+//               core (fsync time is I/O wait, not CPU).
+//   store rows: the E10d workload ingested into a single-directory
+//               store (1 caller thread, the old code path) versus a
+//               4-shard store with writer_threads=4 draining per-shard
+//               queues fed by AddExecutionAsync. With sync=each the
+//               queue drain group-commits durability (one fsync per
+//               drained batch).
+void TableConcurrentIngest(int scale, BenchJson* json) {
+  std::printf("=== E10f: concurrent ingest ===\n");
+
+  // ---- Group-commit WAL, durable appends, 1 vs 4 caller threads ----
+  std::printf("%-28s %-10s %-10s %-12s %-10s\n", "mode", "threads",
+              "records", "ops/s", "speedup");
+  const int wal_records = 800 / scale * 4;
+  const std::string payload(1024, 'p');
+  double wal_single_ops = 0;
+  for (int threads : {1, 4}) {
+    const std::string dir = FreshDir("e10f_wal");
+    WalOptions wal_options;
+    wal_options.sync_each_append = true;
+    auto wal = WriteAheadLog::Create(dir + "/wal.log", 0, wal_options);
+    const int per_thread = wal_records / threads;
+    Timer timer;
+    std::vector<std::thread> callers;
+    for (int t = 0; t < threads; ++t) {
+      callers.emplace_back([&wal, per_thread, &payload] {
+        for (int i = 0; i < per_thread; ++i) {
+          wal.value().Append(RecordType::kExecutionV2, payload).value();
+        }
+      });
+    }
+    for (auto& c : callers) c.join();
+    const double secs = timer.ElapsedMicros() / 1e6;
+    const double ops = wal_records / secs;
+    if (threads == 1) wal_single_ops = ops;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  ops / wal_single_ops);
+    std::printf("%-28s %-10d %-10d %-12.0f %-10s\n",
+                "wal sync-each (group)", threads, wal_records, ops,
+                speedup);
+    json->Add(BenchJson::Row("e10f")
+                  .Str("mode", "wal-group-commit-sync")
+                  .Num("threads", threads)
+                  .Num("records", wal_records)
+                  .Num("ops_per_sec", ops)
+                  .Num("speedup_vs_single", ops / wal_single_ops));
+    fs::remove_all(dir);
+  }
+
+  // ---- Store-level ingest: single-dir caller thread vs sharded
+  //      writer queues, buffered and durable variants ----
+  constexpr int kShards = 4;
+  constexpr int kSpecs = 8;
+  FunctionRegistry fns;
+  for (const bool durable : {false, true}) {
+    const int records = (durable ? 2000 : 10000) / scale;
+    StoreOptions options;
+    options.verify_payloads = false;
+    options.sync_each_append = durable;
+
+    // Baseline: one caller appending synchronously to one store.
+    double single_ops = 0;
+    {
+      const std::string dir = FreshDir("e10f_single");
+      auto store = PersistentRepository::Init(dir, options);
+      for (int i = 0; i < kSpecs; ++i) {
+        store.value()
+            .AddSpecification(MakeBenchSpec("bench" + std::to_string(i)))
+            .value();
+      }
+      std::vector<Execution> execs;
+      execs.reserve(static_cast<size_t>(records));
+      for (int i = 0; i < records; ++i) {
+        execs.push_back(
+            Execute(store.value().repo().entry(i % kSpecs).spec, fns,
+                    {{"x", "v" + std::to_string(i)}})
+                .value());
+      }
+      Timer timer;
+      for (int i = 0; i < records; ++i) {
+        store.value()
+            .AddExecution(i % kSpecs, std::move(execs[static_cast<size_t>(i)]))
+            .value();
+      }
+      store.value().Sync();
+      single_ops = records / (timer.ElapsedMicros() / 1e6);
+      fs::remove_all(dir);
+    }
+    std::printf("%-28s %-10d %-10d %-12.0f %-10s\n",
+                durable ? "store single sync-each" : "store single",
+                1, records, single_ops, "1.00x");
+    json->Add(BenchJson::Row("e10f")
+                  .Str("mode", durable ? "store-single-sync"
+                                       : "store-single")
+                  .Num("threads", 1)
+                  .Num("records", records)
+                  .Num("ops_per_sec", single_ops)
+                  .Num("speedup_vs_single", 1.0));
+
+    // Sharded writer queues fed asynchronously by one caller.
+    {
+      const std::string dir = FreshDir("e10f_sharded");
+      StoreOptions sharded_options = options;
+      sharded_options.writer_threads = kShards;
+      auto store =
+          ShardedRepository::Init(dir, kShards, sharded_options);
+      std::vector<ShardedRepository::SpecRef> refs;
+      for (int i = 0; i < kSpecs; ++i) {
+        refs.push_back(store.value()
+                           .AddSpecification(MakeBenchSpec(
+                               "bench" + std::to_string(i)))
+                           .value());
+      }
+      std::vector<Execution> execs;
+      execs.reserve(static_cast<size_t>(records));
+      for (int i = 0; i < records; ++i) {
+        const auto& ref = refs[static_cast<size_t>(i % kSpecs)];
+        execs.push_back(
+            Execute(store.value().shard(ref.shard).repo().entry(ref.id).spec,
+                    fns, {{"x", "v" + std::to_string(i)}})
+                .value());
+      }
+      Timer timer;
+      std::vector<std::future<Result<ExecutionId>>> futures;
+      futures.reserve(static_cast<size_t>(records));
+      for (int i = 0; i < records; ++i) {
+        futures.push_back(store.value().AddExecutionAsync(
+            refs[static_cast<size_t>(i % kSpecs)],
+            std::move(execs[static_cast<size_t>(i)])));
+      }
+      store.value().Drain();
+      const Status synced = store.value().Sync();
+      const double ops = records / (timer.ElapsedMicros() / 1e6);
+      if (!synced.ok()) {
+        std::printf("E10f sharded sync failed: %s\n",
+                    synced.ToString().c_str());
+      }
+      int failed = 0;
+      for (auto& f : futures) {
+        if (!f.get().ok()) ++failed;
+      }
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx", ops / single_ops);
+      std::printf("%-28s %-10d %-10d %-12.0f %-10s%s\n",
+                  durable ? "store sharded-queues sync"
+                          : "store sharded-queues",
+                  kShards, records, ops, speedup,
+                  failed ? " [FAILURES]" : "");
+      json->Add(BenchJson::Row("e10f")
+                    .Str("mode", durable ? "store-sharded-queues-sync"
+                                         : "store-sharded-queues")
+                    .Num("threads", kShards)
+                    .Num("records", records)
+                    .Num("ops_per_sec", ops)
+                    .Num("speedup_vs_single", ops / single_ops));
+      fs::remove_all(dir);
+    }
+  }
   std::printf("\n");
 }
 
@@ -305,12 +626,23 @@ void BM_Crc32(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096)->Arg(1 << 16);
 
+void BM_Crc32Bytewise(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Crc32UpdateBytewise(0, data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32Bytewise)->Arg(4096);
+
 void BM_WalAppend(benchmark::State& state) {
   const std::string dir = FreshDir("bm_wal_append");
   auto wal = WriteAheadLog::Create(dir + "/wal.log", 0);
   const std::string payload(1024, 'p');
   for (auto _ : state) {
-    wal.value().Append(RecordType::kExecution, payload);
+    wal.value().Append(RecordType::kExecution, payload).value();
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(payload.size()));
@@ -335,10 +667,23 @@ BENCHMARK(BM_StoreAddExecution)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  TableAppendThroughput();
-  TableRecoveryVsLogLength();
-  TableSnapshotEffect();
-  TableShardedRecovery();
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // Smoke mode (tools/check.sh) scales record counts down 5x and skips
+  // the google-benchmark micro benches; the JSON is written either way.
+  const int scale = smoke ? 5 : 1;
+  BenchJson json;
+  TableAppendThroughput(scale, &json);
+  TableRecoveryVsLogLength(scale, &json);
+  TableSnapshotEffect(scale, &json);
+  TableShardedRecovery(scale, &json);
+  TableCodecReplay(scale, &json);
+  TableConcurrentIngest(scale, &json);
+  const char* json_path = std::getenv("BENCH_JSON");
+  json.Write(json_path != nullptr ? json_path : "BENCH_store.json");
+  if (smoke) return 0;
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,11 +5,11 @@
 namespace paw {
 namespace {
 
-/// Four lookup tables: table[0] is the classic byte-at-a-time table for
+/// Eight lookup tables: table[0] is the classic byte-at-a-time table for
 /// polynomial 0xEDB88320 (reflected 0x04C11DB7); table[k] advances a byte
-/// through k additional zero bytes, enabling 4-byte steps.
+/// through k additional zero bytes, enabling 8-byte steps (slicing-by-8).
 struct Crc32Tables {
-  std::array<std::array<uint32_t, 256>, 4> t;
+  std::array<std::array<uint32_t, 256>, 8> t;
 
   constexpr Crc32Tables() : t{} {
     for (uint32_t i = 0; i < 256; ++i) {
@@ -19,30 +19,46 @@ struct Crc32Tables {
       }
       t[0][i] = c;
     }
-    for (uint32_t i = 0; i < 256; ++i) {
-      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
-      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
-      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
     }
   }
 };
 
 constexpr Crc32Tables kTables;
 
+inline uint32_t Load32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
 }  // namespace
 
 uint32_t Crc32Update(uint32_t crc, const void* data, size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
   uint32_t c = ~crc;
-  while (n >= 4) {
-    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-         (static_cast<uint32_t>(p[2]) << 16) |
-         (static_cast<uint32_t>(p[3]) << 24);
-    c = kTables.t[3][c & 0xFFu] ^ kTables.t[2][(c >> 8) & 0xFFu] ^
-        kTables.t[1][(c >> 16) & 0xFFu] ^ kTables.t[0][c >> 24];
-    p += 4;
-    n -= 4;
+  while (n >= 8) {
+    const uint32_t lo = Load32(p) ^ c;
+    const uint32_t hi = Load32(p + 4);
+    c = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+        kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+        kTables.t[3][hi & 0xFFu] ^ kTables.t[2][(hi >> 8) & 0xFFu] ^
+        kTables.t[1][(hi >> 16) & 0xFFu] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
   }
+  while (n--) {
+    c = (c >> 8) ^ kTables.t[0][(c ^ *p++) & 0xFFu];
+  }
+  return ~c;
+}
+
+uint32_t Crc32UpdateBytewise(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~crc;
   while (n--) {
     c = (c >> 8) ^ kTables.t[0][(c ^ *p++) & 0xFFu];
   }

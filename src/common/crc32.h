@@ -7,7 +7,9 @@
 /// Every record the persistent store writes carries a CRC over its type
 /// and payload so that torn or bit-rotted tails are detected on replay
 /// rather than silently parsed. The implementation is a table-driven
-/// slicing-by-4 variant: fast enough that appends stay I/O-bound.
+/// slicing-by-8 variant (checksumming shows up in both append and
+/// replay profiles); the classic byte-at-a-time form is kept as a
+/// reference implementation for equivalence testing.
 
 #include <cstddef>
 #include <cstdint>
@@ -20,6 +22,11 @@ namespace paw {
 /// Start from `0` (or a previous return value) and feed chunks in order;
 /// the result is independent of the chunking.
 uint32_t Crc32Update(uint32_t crc, const void* data, size_t n);
+
+/// \brief Reference byte-at-a-time implementation. Produces identical
+/// results to `Crc32Update` (asserted by tests/crc32_test.cc); kept for
+/// auditability, not used on hot paths.
+uint32_t Crc32UpdateBytewise(uint32_t crc, const void* data, size_t n);
 
 /// \brief CRC-32 of a complete buffer.
 inline uint32_t Crc32(std::string_view data) {

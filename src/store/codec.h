@@ -2,21 +2,53 @@
 #define PAW_STORE_CODEC_H_
 
 /// \file codec.h
-/// \brief Payload layouts for `kSpec` and `kExecution` records.
+/// \brief Payload layouts for spec and execution records, v1 and v2.
 ///
-/// Payloads reuse the existing *text* serializers — a spec payload
-/// embeds the `Serialize()` text plus the `SerializePolicy()` text, an
-/// execution payload embeds `SerializeExecution()` text — framed with
-/// fixed-width lengths so the store never needs to re-tokenize:
+/// **v1 (text)** payloads embed the human-readable serializers — a spec
+/// payload carries `Serialize()` text plus `SerializePolicy()` text, an
+/// execution payload carries `SerializeExecution()` text — framed with
+/// fixed-width lengths:
 ///
 /// \code
-///   spec payload:       u32 spec_len | spec text | u32 policy_len | policy text
-///   execution payload:  u32 spec_id  | execution text
+///   kSpec:       u32 spec_len | spec text | u32 policy_len | policy text
+///   kExecution:  u32 spec_id  | execution text
 /// \endcode
 ///
-/// `ApplyRecord` replays one decoded record into a `Repository`; it is
-/// the single code path used by both snapshot loading and WAL replay,
-/// so recovered state is bit-identical to freshly ingested state.
+/// **v2 (binary)** payloads are length-prefixed binary: varint ids and
+/// counts, raw (unescaped, unquoted) string bytes. Replay re-tokenizes
+/// nothing — module references are dense indices, not codes — which is
+/// what makes binary replay parse-free (bench_store E10e):
+///
+/// \code
+///   kSpecV2:
+///     str name | varint n_workflows | varint root
+///     n_workflows x { str code | str name | zigzag level }
+///     varint n_modules
+///     n_modules x { str code | varint workflow | u8 kind | str name |
+///                   varint expansion+1 | varint n_keywords | str... }
+///     varint n_edges
+///     n_edges x { varint src | varint dst | varint n_labels | str... }
+///     zigzag default_level | varint n_labels x { str label | zigzag lv }
+///     varint n_module_reqs x { str code | zigzag64 gamma | zigzag lv }
+///     varint n_structural x { str src | str dst | zigzag lv }
+///
+///   kExecutionV2:
+///     varint spec_id | varint n_nodes
+///     n_nodes x { u8 kind | varint module | zigzag process |
+///                 varint enclosing+1 }
+///     varint n_items x { str label | varint producer | str value }
+///     varint n_flows x { varint from | varint to |
+///                        varint n_item_ids | varint item_id... }
+/// \endcode
+///
+/// where `str` is a varint byte length followed by the raw bytes. The
+/// binary format carries arbitrary bytes (raw newlines, semicolons, any
+/// UTF-8) that the line-oriented text format cannot.
+///
+/// `ApplyRecord` replays one decoded record of either version into a
+/// `Repository`; it is the single code path used by both snapshot
+/// loading and WAL replay, so recovered state is bit-identical to
+/// freshly ingested state.
 
 #include <string>
 
@@ -29,7 +61,23 @@
 
 namespace paw {
 
-/// \brief Builds a `kSpec` payload from a spec and its policy.
+/// \brief Which payload format the store writes. Both are always
+/// readable; the knob controls appends and snapshot rewrites only.
+enum class PayloadCodec {
+  /// v2 binary payloads (`kSpecV2` / `kExecutionV2`): compact and
+  /// parse-free on replay. The default.
+  kBinary,
+  /// v1 text payloads (`kSpec` / `kExecution`): human-recoverable with
+  /// a hex editor, but re-tokenized on every replay.
+  kText,
+};
+
+/// \brief Short name of a payload codec ("binary" / "text").
+std::string_view PayloadCodecName(PayloadCodec codec);
+
+// ---- v1 text payloads -------------------------------------------------------
+
+/// \brief Builds a v1 `kSpec` payload from a spec and its policy.
 std::string EncodeSpecPayload(const Specification& spec,
                               const PolicySet& policy);
 
@@ -40,15 +88,46 @@ struct DecodedSpec {
 };
 Result<DecodedSpec> DecodeSpecPayload(std::string_view payload);
 
-/// \brief Builds a `kExecution` payload for an execution of `spec_id`.
+/// \brief Builds a v1 `kExecution` payload for an execution of `spec_id`.
 std::string EncodeExecutionPayload(int spec_id, const Execution& exec);
 
-/// \brief Splits a `kExecution` payload into its spec id and the
+/// \brief A v1 `kExecution` payload split into its spec id and the
 /// execution text (parsed later against the owning spec).
-Status DecodeExecutionPayload(std::string_view payload, int* spec_id,
-                              std::string* exec_text);
+struct DecodedExecutionText {
+  int spec_id = -1;
+  std::string exec_text;
+};
+Result<DecodedExecutionText> DecodeExecutionPayload(
+    std::string_view payload);
 
-/// \brief Replays one `kSpec` / `kExecution` record into `repo`.
+// ---- v2 binary payloads -----------------------------------------------------
+
+/// \brief Builds a v2 `kSpecV2` payload from a spec and its policy.
+std::string EncodeSpecPayloadV2(const Specification& spec,
+                                const PolicySet& policy);
+
+/// \brief Decodes a `kSpecV2` payload; validates the rebuilt spec and
+/// policy exactly as ingest does.
+Result<DecodedSpec> DecodeSpecPayloadV2(std::string_view payload);
+
+/// \brief Builds a v2 `kExecutionV2` payload for an execution of
+/// `spec_id`.
+std::string EncodeExecutionPayloadV2(int spec_id, const Execution& exec);
+
+/// \brief Decodes a v2 execution payload against its owning spec.
+Result<Execution> DecodeExecutionPayloadV2(std::string_view payload,
+                                           const Specification& spec);
+
+/// \brief Reads just the spec id of a `kExecution` / `kExecutionV2`
+/// payload (replay needs it to locate the owning spec before the body
+/// can be decoded). Rejects ids outside [0, INT32_MAX].
+Result<int> DecodeExecutionSpecId(RecordType type,
+                                  std::string_view payload);
+
+// ---- Replay -----------------------------------------------------------------
+
+/// \brief Replays one spec / execution record (either version) into
+/// `repo`.
 ///
 /// Entries are assigned the next dense id, so replaying records in
 /// append order reproduces the original id assignment exactly.

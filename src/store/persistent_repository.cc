@@ -10,7 +10,12 @@ namespace paw {
 namespace {
 
 constexpr std::string_view kMarkerName = "PAWSTORE";
-constexpr std::string_view kMarkerContents = "pawstore 1\n";
+/// v1: every record is a text payload. v2: records may also be binary
+/// (kSpecV2 / kExecutionV2). Both are readable by this build; the
+/// marker exists so a hypothetical v1-only reader fails loudly on a
+/// store that may contain records it cannot parse.
+constexpr std::string_view kMarkerV1 = "pawstore 1\n";
+constexpr std::string_view kMarkerV2 = "pawstore 2\n";
 constexpr std::string_view kWalName = "wal.log";
 // Manifest of a *sharded* store root (src/store/sharded_repository.h);
 // a single-directory store must never be created inside one.
@@ -51,23 +56,37 @@ Result<PersistentRepository> PersistentRepository::Init(
         dir + " is a sharded store root; init its shards via "
         "ShardedRepository");
   }
-  PAW_RETURN_NOT_OK(AtomicWriteFile(MarkerPath(dir), kMarkerContents));
+  const bool binary = options.codec == PayloadCodec::kBinary;
+  PAW_RETURN_NOT_OK(
+      AtomicWriteFile(MarkerPath(dir), binary ? kMarkerV2 : kMarkerV1));
   WriteAheadLog::Options wal_options;
   wal_options.sync_each_append = options.sync_each_append;
   PAW_ASSIGN_OR_RETURN(
       WriteAheadLog wal,
       WriteAheadLog::Create(WalPath(dir), /*base_lsn=*/0, wal_options));
-  return PersistentRepository(dir, std::move(wal), options);
+  PersistentRepository store(dir, std::move(wal), options);
+  store.format_version_ = binary ? 2 : 1;
+  return store;
 }
 
 Result<PersistentRepository> PersistentRepository::Open(
     const std::string& dir, Options options) {
   PAW_ASSIGN_OR_RETURN(std::string marker,
                        ReadFileToString(MarkerPath(dir)));
-  if (marker != kMarkerContents) {
+  int format_version = 0;
+  if (marker == kMarkerV1) {
+    format_version = 1;
+  } else if (marker == kMarkerV2) {
+    format_version = 2;
+  } else {
     return Status::FailedPrecondition(dir + " is not a paw store (bad " +
                                       std::string(kMarkerName) + ")");
   }
+  // Version negotiation: opening a v1 store with the binary codec
+  // upgrades the marker to v2 — but only after recovery succeeds (see
+  // below), so a failed or diagnostic open never mutates the store.
+  const bool upgrade_marker =
+      format_version == 1 && options.codec == PayloadCodec::kBinary;
 
   // A crash between AtomicWriteFile's temp write and rename (snapshot
   // mid-compaction, marker, manifest) leaves a `*.tmp` behind; reclaim
@@ -107,7 +126,8 @@ Result<PersistentRepository> PersistentRepository::Open(
     PAW_RETURN_NOT_OK(ApplyRecord(replay.records[i], &repo));
     ++recovery.records_replayed;
     // Stamp the replayed entry (the newest spec or execution).
-    if (replay.records[i].type == RecordType::kSpec) {
+    if (replay.records[i].type == RecordType::kSpec ||
+        replay.records[i].type == RecordType::kSpecV2) {
       repo.SetSpecPersist(
           repo.num_specs() - 1,
           MakePersistMeta(record_lsn, replay.records[i].payload, "wal"));
@@ -118,9 +138,17 @@ Result<PersistentRepository> PersistentRepository::Open(
     }
   }
 
+  // Recovery succeeded; commit the marker bump before handing out a
+  // handle that could append a binary record to a v1-marked store.
+  if (upgrade_marker) {
+    PAW_RETURN_NOT_OK(AtomicWriteFile(MarkerPath(dir), kMarkerV2));
+    format_version = 2;
+  }
+
   PersistentRepository store(dir, std::move(wal), options);
   store.repo_ = std::move(repo);
   store.snapshot_lsn_ = recovery.snapshot_lsn;
+  store.format_version_ = format_version;
   store.recovery_ = std::move(recovery);
   return store;
 }
@@ -131,45 +159,59 @@ Result<int> PersistentRepository::AddSpecification(Specification spec,
   // replay with errors.
   PAW_RETURN_NOT_OK(ValidateSpecification(spec));
   PAW_RETURN_NOT_OK(ValidatePolicy(spec, policy));
-  const std::string payload = EncodeSpecPayload(spec, policy);
+  const bool binary = options_.codec == PayloadCodec::kBinary;
+  const std::string payload = binary ? EncodeSpecPayloadV2(spec, policy)
+                                     : EncodeSpecPayload(spec, policy);
   // Round-trip verify: validation does not constrain everything the
-  // text format does (e.g. module codes with whitespace serialize
-  // unquoted and fail to reparse), so prove the payload replays to
-  // the same bytes before it can reach the log. One ambiguity is a
-  // byte-stable *semantic* change the comparison cannot see — ';' is
-  // the list separator in labels=/keywords=, so "age;zip" replays as
-  // two labels yet re-serializes identically — and needs its own
-  // check.
+  // payload format does, so prove the payload replays to the same
+  // bytes before it can reach the log. For the *text* codec that
+  // catches e.g. module codes with whitespace (serialize unquoted,
+  // fail to reparse); one ambiguity there is a byte-stable *semantic*
+  // change the comparison cannot see — ';' is the list separator in
+  // labels=/keywords=, so "age;zip" replays as two labels yet
+  // re-serializes identically — and needs its own check. The binary
+  // codec carries raw bytes, so only the generic round trip applies.
   if (options_.verify_payloads) {
-    for (const Workflow& w : spec.workflows()) {
-      for (const DataflowEdge& e : w.edges) {
-        for (const std::string& label : e.labels) {
-          if (label.find(';') != std::string::npos) {
+    if (!binary) {
+      for (const Workflow& w : spec.workflows()) {
+        for (const DataflowEdge& e : w.edges) {
+          for (const std::string& label : e.labels) {
+            if (label.find(';') != std::string::npos) {
+              return Status::InvalidArgument(
+                  "edge label contains the list separator ';': " + label);
+            }
+          }
+        }
+      }
+      for (const Module& m : spec.modules()) {
+        for (const std::string& keyword : m.keywords) {
+          if (keyword.find(';') != std::string::npos) {
             return Status::InvalidArgument(
-                "edge label contains the list separator ';': " + label);
+                "module keyword contains the list separator ';': " +
+                keyword);
           }
         }
       }
     }
-    for (const Module& m : spec.modules()) {
-      for (const std::string& keyword : m.keywords) {
-        if (keyword.find(';') != std::string::npos) {
-          return Status::InvalidArgument(
-              "module keyword contains the list separator ';': " +
-              keyword);
-        }
-      }
-    }
-    auto decoded = DecodeSpecPayload(payload);
+    auto decoded =
+        binary ? DecodeSpecPayloadV2(payload) : DecodeSpecPayload(payload);
     PAW_RETURN_NOT_OK(decoded.status());
-    if (EncodeSpecPayload(decoded.value().spec, decoded.value().policy) !=
-        payload) {
+    const std::string reencoded =
+        binary ? EncodeSpecPayloadV2(decoded.value().spec,
+                                     decoded.value().policy)
+               : EncodeSpecPayload(decoded.value().spec,
+                                   decoded.value().policy);
+    if (reencoded != payload) {
       return Status::InvalidArgument(
-          "specification does not survive the text format round-trip");
+          std::string("specification does not survive the ") +
+          std::string(PayloadCodecName(options_.codec)) +
+          " format round-trip");
     }
   }
-  PAW_RETURN_NOT_OK(wal_.Append(RecordType::kSpec, payload));
-  const uint64_t record_lsn = wal_.last_lsn();
+  PAW_ASSIGN_OR_RETURN(
+      const uint64_t record_lsn,
+      wal_.Append(binary ? RecordType::kSpecV2 : RecordType::kSpec,
+                  payload));
   auto id = repo_.AddSpecification(std::move(spec), std::move(policy));
   if (!id.ok()) {
     return Status::Internal("logged spec failed to apply: " +
@@ -190,23 +232,37 @@ Result<ExecutionId> PersistentRepository::AddExecution(int spec_id,
     return Status::InvalidArgument(
         "execution does not belong to the given specification");
   }
-  const std::string payload = EncodeExecutionPayload(spec_id, exec);
+  const bool binary = options_.codec == PayloadCodec::kBinary;
+  const std::string payload = binary
+                                  ? EncodeExecutionPayloadV2(spec_id, exec)
+                                  : EncodeExecutionPayload(spec_id, exec);
   // Round-trip verify (see AddSpecification): e.g. an item value
-  // holding a raw newline would break the line-oriented payload.
+  // holding a raw newline would break the line-oriented text payload.
   if (options_.verify_payloads) {
-    int decoded_spec_id = -1;
-    std::string exec_text;
-    PAW_RETURN_NOT_OK(
-        DecodeExecutionPayload(payload, &decoded_spec_id, &exec_text));
-    auto replayed = ParseExecution(exec_text, repo_.entry(spec_id).spec);
-    PAW_RETURN_NOT_OK(replayed.status());
-    if (SerializeExecution(replayed.value()) != exec_text) {
-      return Status::InvalidArgument(
-          "execution does not survive the text format round-trip");
+    if (binary) {
+      auto replayed =
+          DecodeExecutionPayloadV2(payload, repo_.entry(spec_id).spec);
+      PAW_RETURN_NOT_OK(replayed.status());
+      if (EncodeExecutionPayloadV2(spec_id, replayed.value()) != payload) {
+        return Status::InvalidArgument(
+            "execution does not survive the binary format round-trip");
+      }
+    } else {
+      PAW_ASSIGN_OR_RETURN(DecodedExecutionText decoded,
+                           DecodeExecutionPayload(payload));
+      auto replayed =
+          ParseExecution(decoded.exec_text, repo_.entry(spec_id).spec);
+      PAW_RETURN_NOT_OK(replayed.status());
+      if (SerializeExecution(replayed.value()) != decoded.exec_text) {
+        return Status::InvalidArgument(
+            "execution does not survive the text format round-trip");
+      }
     }
   }
-  PAW_RETURN_NOT_OK(wal_.Append(RecordType::kExecution, payload));
-  const uint64_t record_lsn = wal_.last_lsn();
+  PAW_ASSIGN_OR_RETURN(
+      const uint64_t record_lsn,
+      wal_.Append(binary ? RecordType::kExecutionV2 : RecordType::kExecution,
+                  payload));
   auto id = repo_.AddExecution(spec_id, std::move(exec));
   if (!id.ok()) {
     return Status::Internal("logged execution failed to apply: " +
@@ -222,7 +278,10 @@ Status PersistentRepository::Compact() {
   // Make everything the snapshot will cover durable first.
   PAW_RETURN_NOT_OK(wal_.Sync());
   const uint64_t covered = wal_.last_lsn();
-  PAW_RETURN_NOT_OK(WriteSnapshot(dir_, repo_, covered).status());
+  // Snapshot records are re-encoded with the configured codec, so
+  // compacting is also how a v1 store's records upgrade to binary.
+  PAW_RETURN_NOT_OK(
+      WriteSnapshot(dir_, repo_, covered, options_.codec).status());
   // Start a fresh log. A crash before this point leaves the old log in
   // place; recovery then skips records the new snapshot already covers.
   WriteAheadLog::Options wal_options;

@@ -8,7 +8,9 @@
 /// snapshot + write-ahead-log design. A store directory holds:
 ///
 /// \code
-///   <dir>/PAWSTORE                  format marker ("pawstore 1")
+///   <dir>/PAWSTORE                  format marker ("pawstore 2"; v1
+///                                   stores carry "pawstore 1" and are
+///                                   upgraded on first binary-codec open)
 ///   <dir>/wal.log                   record log (wal.h)
 ///   <dir>/snapshot-<lsn>.paws       latest full snapshot (snapshot.h)
 /// \endcode
@@ -25,24 +27,34 @@
 
 #include "src/common/status.h"
 #include "src/repo/repository.h"
+#include "src/store/codec.h"
 #include "src/store/wal.h"
 
 namespace paw {
 
 /// \brief Knobs of the persistent store.
 struct StoreOptions {
-  /// fdatasync after every append; off by default (use `Sync()` to
-  /// batch durability points).
+  /// fdatasync before an append returns; off by default (use `Sync()`
+  /// to batch durability points). Concurrent appenders share one fsync
+  /// per commit group (wal.h).
   bool sync_each_append = false;
   /// When > 0, `Compact()` runs automatically after this many WAL
   /// records accumulate past the last snapshot.
   uint64_t snapshot_every = 0;
   /// Decode-verify every payload before it reaches the WAL, proving
-  /// the record will replay (catches values the text format cannot
-  /// carry, e.g. raw newlines). Costs one parse per append (~2.5x on
-  /// AddExecution, see bench_store); disable only for ingest paths
-  /// whose inputs are already known to round-trip.
+  /// the record will replay (for the text codec this catches values
+  /// the line-oriented format cannot carry, e.g. raw newlines). Costs
+  /// one decode per append; disable only for ingest paths whose
+  /// inputs are already known to round-trip.
   bool verify_payloads = true;
+  /// Payload format for new records and snapshot rewrites. Opening a
+  /// v1 (text-format) store with the binary codec upgrades the store's
+  /// format marker to v2; both payload versions remain readable.
+  PayloadCodec codec = PayloadCodec::kBinary;
+  /// Used by `ShardedRepository` only: size of the writer pool that
+  /// drains per-shard append queues (0 = synchronous appends on the
+  /// caller thread, no pool).
+  int writer_threads = 0;
 };
 
 /// \brief Durable provenance-aware workflow repository.
@@ -108,6 +120,10 @@ class PersistentRepository {
   /// \brief How the last `Open` rebuilt state (zeros after `Init`).
   const RecoveryInfo& recovery() const { return recovery_; }
 
+  /// \brief On-disk format version from the `PAWSTORE` marker: 1 means
+  /// every record is a v1 text payload, 2 means records may be binary.
+  int format_version() const { return format_version_; }
+
   const std::string& dir() const { return dir_; }
 
  private:
@@ -123,6 +139,7 @@ class PersistentRepository {
   WriteAheadLog wal_;
   Options options_;
   uint64_t snapshot_lsn_ = 0;
+  int format_version_ = 2;
   RecoveryInfo recovery_;
 };
 

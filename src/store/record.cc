@@ -14,6 +14,10 @@ std::string_view RecordTypeName(RecordType type) {
       return "execution";
     case RecordType::kSnapshotHeader:
       return "snapshot-header";
+    case RecordType::kSpecV2:
+      return "spec-v2";
+    case RecordType::kExecutionV2:
+      return "execution-v2";
   }
   return "unknown";
 }
@@ -49,6 +53,64 @@ bool GetFixed64(std::string_view buf, size_t* offset, uint64_t* v) {
     return false;
   }
   *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
+void PutVarint32(std::string* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint64(std::string_view buf, size_t* offset, uint64_t* v) {
+  uint64_t result = 0;
+  size_t pos = *offset;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (pos >= buf.size()) return false;
+    const uint8_t byte = static_cast<uint8_t>(buf[pos++]);
+    // The tenth byte may only carry the single remaining bit.
+    if (shift == 63 && (byte & 0xFE) != 0) return false;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *offset = pos;
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(std::string_view buf, size_t* offset, uint32_t* v) {
+  size_t pos = *offset;
+  uint64_t wide = 0;
+  if (!GetVarint64(buf, &pos, &wide) || wide > 0xFFFFFFFFull) return false;
+  *offset = pos;
+  *v = static_cast<uint32_t>(wide);
+  return true;
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutVarint32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+bool GetLengthPrefixed(std::string_view buf, size_t* offset,
+                       std::string_view* v) {
+  size_t pos = *offset;
+  uint32_t len = 0;
+  if (!GetVarint32(buf, &pos, &len) || len > kMaxPayloadLen) return false;
+  if (!GetBytes(buf, &pos, len, v)) return false;
+  *offset = pos;
   return true;
 }
 

@@ -32,12 +32,16 @@ namespace paw {
 enum class RecordType : uint8_t {
   /// WAL file header: payload = fixed64 base LSN.
   kWalHeader = 1,
-  /// A specification + its policy (see codec.h for the payload layout).
+  /// A specification + its policy, v1 *text* payload (see codec.h).
   kSpec = 2,
-  /// An execution of a stored spec (see codec.h).
+  /// An execution of a stored spec, v1 *text* payload (see codec.h).
   kExecution = 3,
   /// Snapshot file header: payload = fixed64 covered LSN.
   kSnapshotHeader = 4,
+  /// A specification + its policy, v2 *binary* payload (see codec.h).
+  kSpecV2 = 5,
+  /// An execution of a stored spec, v2 *binary* payload (see codec.h).
+  kExecutionV2 = 6,
 };
 
 /// \brief Short name of a record type ("spec", "execution", ...).
@@ -69,6 +73,37 @@ bool GetFixed64(std::string_view buf, size_t* offset, uint64_t* v);
 /// \brief Reads `len` bytes at `*offset`, advancing it; false on overrun.
 bool GetBytes(std::string_view buf, size_t* offset, size_t len,
               std::string_view* v);
+
+// LEB128 varints, used inside v2 binary payloads. `Get*` fail on
+// overrun and on encodings wider than the target type.
+void PutVarint32(std::string* out, uint32_t v);
+void PutVarint64(std::string* out, uint64_t v);
+bool GetVarint32(std::string_view buf, size_t* offset, uint32_t* v);
+bool GetVarint64(std::string_view buf, size_t* offset, uint64_t* v);
+
+/// \brief ZigZag mapping for signed fields that can be small negatives
+/// (process ids, access levels): -1 -> 1, 0 -> 0, 1 -> 2, ...
+inline uint32_t ZigZag32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^
+         static_cast<uint32_t>(v >> 31);
+}
+inline int32_t UnZigZag32(uint32_t v) {
+  return static_cast<int32_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+inline uint64_t ZigZag64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t UnZigZag64(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// \brief Appends a varint length + raw bytes (the v2 string framing).
+void PutLengthPrefixed(std::string* out, std::string_view s);
+/// \brief Reads a length-prefixed string at `*offset`; false on
+/// overrun or implausible length.
+bool GetLengthPrefixed(std::string_view buf, size_t* offset,
+                       std::string_view* v);
 
 /// \brief Outcome of one `RecordReader::Next` call.
 enum class ReadOutcome {

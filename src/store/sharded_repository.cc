@@ -149,10 +149,11 @@ Result<ShardedRepository> ShardedRepository::Init(const std::string& dir,
   for (int i = 0; i < num_shards; ++i) {
     PAW_ASSIGN_OR_RETURN(PersistentRepository shard,
                          PersistentRepository::Init(ShardPath(dir, i),
-                                                    options));
+                                                    store.ShardOptions()));
     store.shards_.push_back(
         std::make_unique<PersistentRepository>(std::move(shard)));
   }
+  store.StartWriterPool();
   return store;
 }
 
@@ -181,9 +182,11 @@ Result<ShardedRepository> ShardedRepository::Open(const std::string& dir,
   store.shards_.resize(static_cast<size_t>(manifest.shards));
 
   // Recover shards in parallel; each task touches only its own slot.
+  const Options shard_options = store.ShardOptions();
   std::vector<Status> statuses(static_cast<size_t>(manifest.shards));
   ParallelFor(store.recovery_.threads, manifest.shards, [&](int i) {
-    auto shard = PersistentRepository::Open(ShardPath(dir, i), options);
+    auto shard = PersistentRepository::Open(ShardPath(dir, i),
+                                            shard_options);
     if (!shard.ok()) {
       statuses[static_cast<size_t>(i)] = shard.status();
       return;
@@ -203,11 +206,95 @@ Result<ShardedRepository> ShardedRepository::Open(const std::string& dir,
     store.recovery_.dropped_bytes += info.dropped_bytes;
     if (info.torn_tail) ++store.recovery_.torn_shards;
   }
+  store.StartWriterPool();
   return store;
+}
+
+StoreOptions ShardedRepository::ShardOptions() const {
+  Options shard_options = options_;
+  shard_options.writer_threads = 0;
+  if (options_.writer_threads > 0) {
+    // Durability is group-committed at the drain level: one Sync per
+    // drained batch instead of one fdatasync per record (see the
+    // writer-queue notes in the header).
+    shard_options.sync_each_append = false;
+  }
+  return shard_options;
+}
+
+void ShardedRepository::StartWriterPool() {
+  if (options_.writer_threads <= 0) return;
+  writer_ = std::make_unique<WriterState>(
+      num_shards(), std::min(options_.writer_threads, num_shards()));
+}
+
+void ShardedRepository::Enqueue(
+    int shard,
+    std::function<std::function<void(const Status&)>()> op) {
+  WriterState* ws = writer_.get();
+  ShardQueue* q = &ws->queues[static_cast<size_t>(shard)];
+  {
+    std::lock_guard<std::mutex> lock(ws->mu);
+    ++ws->pending_ops;
+  }
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(q->mu);
+    q->ops.push_back(std::move(op));
+    if (!q->scheduled) {
+      q->scheduled = true;
+      schedule = true;
+    }
+  }
+  if (!schedule) return;
+  PersistentRepository* target = shards_[static_cast<size_t>(shard)].get();
+  const bool group_sync = options_.sync_each_append;
+  // The drain task captures only heap-stable pointers (queue slots and
+  // shards live behind unique_ptr), so moving the ShardedRepository
+  // around does not invalidate an in-flight drain.
+  ws->pool.Submit([ws, q, target, group_sync] {
+    for (;;) {
+      std::deque<std::function<std::function<void(const Status&)>()>> batch;
+      {
+        std::lock_guard<std::mutex> lock(q->mu);
+        if (q->ops.empty()) {
+          q->scheduled = false;
+          return;
+        }
+        batch.swap(q->ops);
+      }
+      // Apply the whole batch with buffered appends, then make it
+      // durable with a single fdatasync, then acknowledge: a waiter's
+      // future never completes before its record is where the store's
+      // durability mode promises.
+      std::vector<std::function<void(const Status&)>> completions;
+      completions.reserve(batch.size());
+      for (auto& op : batch) completions.push_back(op());
+      const Status sync = group_sync ? target->Sync() : Status::OK();
+      for (auto& done : completions) done(sync);
+      {
+        std::lock_guard<std::mutex> lock(ws->mu);
+        ws->pending_ops -= static_cast<int64_t>(batch.size());
+        if (ws->pending_ops == 0) ws->drained_cv.notify_all();
+      }
+    }
+  });
+}
+
+void ShardedRepository::Drain() {
+  if (writer_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(writer_->mu);
+  writer_->drained_cv.wait(lock,
+                           [this] { return writer_->pending_ops == 0; });
 }
 
 Result<ShardedRepository::SpecRef> ShardedRepository::AddSpecification(
     Specification spec, PolicySet policy) {
+  if (writer_ != nullptr) {
+    // Route through the shard queue so the shard stays single-writer
+    // even when async appends are in flight.
+    return AddSpecificationAsync(std::move(spec), std::move(policy)).get();
+  }
   const int shard = ShardOf(spec.name(), num_shards());
   PAW_ASSIGN_OR_RETURN(int id,
                        shards_[static_cast<size_t>(shard)]->AddSpecification(
@@ -220,8 +307,78 @@ Result<ExecutionId> ShardedRepository::AddExecution(SpecRef ref,
   if (ref.shard < 0 || ref.shard >= num_shards()) {
     return Status::NotFound("unknown shard " + std::to_string(ref.shard));
   }
+  if (writer_ != nullptr) {
+    return AddExecutionAsync(ref, std::move(exec)).get();
+  }
   return shards_[static_cast<size_t>(ref.shard)]->AddExecution(
       ref.id, std::move(exec));
+}
+
+std::future<Result<ShardedRepository::SpecRef>>
+ShardedRepository::AddSpecificationAsync(Specification spec,
+                                         PolicySet policy) {
+  const int shard = ShardOf(spec.name(), num_shards());
+  auto promise =
+      std::make_shared<std::promise<Result<SpecRef>>>();
+  std::future<Result<SpecRef>> future = promise->get_future();
+  PersistentRepository* target = shards_[static_cast<size_t>(shard)].get();
+  if (writer_ == nullptr) {
+    auto id = target->AddSpecification(std::move(spec), std::move(policy));
+    promise->set_value(id.ok() ? Result<SpecRef>(SpecRef{shard, id.value()})
+                               : Result<SpecRef>(id.status()));
+    return future;
+  }
+  // Payloads travel behind shared_ptr because std::function requires a
+  // copyable callable; nothing is actually copied at runtime.
+  auto spec_ptr = std::make_shared<Specification>(std::move(spec));
+  auto policy_ptr = std::make_shared<PolicySet>(std::move(policy));
+  Enqueue(shard, [target, shard, promise, spec_ptr, policy_ptr]()
+              -> std::function<void(const Status&)> {
+    auto id = target->AddSpecification(std::move(*spec_ptr),
+                                       std::move(*policy_ptr));
+    auto result = std::make_shared<Result<SpecRef>>(
+        id.ok() ? Result<SpecRef>(SpecRef{shard, id.value()})
+                : Result<SpecRef>(id.status()));
+    return [promise, result](const Status& sync) {
+      if (result->ok() && !sync.ok()) {
+        promise->set_value(sync);
+      } else {
+        promise->set_value(std::move(*result));
+      }
+    };
+  });
+  return future;
+}
+
+std::future<Result<ExecutionId>> ShardedRepository::AddExecutionAsync(
+    SpecRef ref, Execution exec) {
+  auto promise = std::make_shared<std::promise<Result<ExecutionId>>>();
+  std::future<Result<ExecutionId>> future = promise->get_future();
+  if (ref.shard < 0 || ref.shard >= num_shards()) {
+    promise->set_value(
+        Status::NotFound("unknown shard " + std::to_string(ref.shard)));
+    return future;
+  }
+  PersistentRepository* target =
+      shards_[static_cast<size_t>(ref.shard)].get();
+  if (writer_ == nullptr) {
+    promise->set_value(target->AddExecution(ref.id, std::move(exec)));
+    return future;
+  }
+  auto exec_ptr = std::make_shared<Execution>(std::move(exec));
+  Enqueue(ref.shard, [target, ref, promise, exec_ptr]()
+              -> std::function<void(const Status&)> {
+    auto result = std::make_shared<Result<ExecutionId>>(
+        target->AddExecution(ref.id, std::move(*exec_ptr)));
+    return [promise, result](const Status& sync) {
+      if (result->ok() && !sync.ok()) {
+        promise->set_value(sync);
+      } else {
+        promise->set_value(std::move(*result));
+      }
+    };
+  });
+  return future;
 }
 
 Result<ShardedRepository::SpecRef> ShardedRepository::FindSpec(
@@ -234,6 +391,8 @@ Result<ShardedRepository::SpecRef> ShardedRepository::FindSpec(
 }
 
 Status ShardedRepository::Compact(int threads) {
+  // Queued appends must land before the snapshot cut.
+  Drain();
   std::vector<Status> statuses(shards_.size());
   ParallelFor(std::max(1, std::min(threads, num_shards())), num_shards(),
               [&](int i) {
@@ -251,6 +410,7 @@ Status ShardedRepository::Compact(int threads) {
 }
 
 Status ShardedRepository::Sync() {
+  Drain();
   for (auto& shard : shards_) {
     PAW_RETURN_NOT_OK(shard->Sync());
   }

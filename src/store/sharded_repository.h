@@ -46,14 +46,47 @@
 /// pool (`src/common/thread_pool.h`); shards are independent, so the
 /// result is bit-identical regardless of thread count (asserted by
 /// tests/sharded_store_test.cc).
+///
+/// **Per-shard writer queues.** With `Options::writer_threads > 0`,
+/// appends are routed through one FIFO queue per shard and drained by
+/// a shared writer pool, so ingest fans out across shards instead of
+/// serializing on the caller thread. `AddSpecificationAsync` /
+/// `AddExecutionAsync` enqueue and return a future; the synchronous
+/// `AddSpecification` / `AddExecution` also go through the queue (and
+/// wait), which keeps every shard single-writer — at most one drain
+/// task runs per shard at a time, and ops within a shard apply in
+/// enqueue order. When the store was opened with `sync_each_append`,
+/// the drain group-commits durability: it applies every queued op of
+/// the batch with buffered writes, issues **one** fdatasync, and only
+/// then completes the futures — N queued appends cost one fsync
+/// instead of N. With `writer_threads == 0` (default) no pool exists
+/// and every call is synchronous on the caller thread, exactly as
+/// before.
+///
+/// **Concurrency contract.** Any number of threads may enqueue
+/// appends concurrently. Everything else — reading shard state
+/// (`shard(i)`, `repo()`, `FindSpec`, `num_specs`), `Compact`, and
+/// `Sync` — requires quiescence: no append may be in flight and no
+/// other thread may enqueue until the call returns. `Drain()` (and a
+/// resolved future) is the barrier callers use to establish that;
+/// `Compact`/`Sync` drain internally, but that only covers ops
+/// enqueued *before* the call — enqueueing concurrently with them is
+/// undefined behavior, exactly like the pre-existing two-live-handles
+/// caveat.
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/store/persistent_repository.h"
 
 namespace paw {
@@ -126,6 +159,22 @@ class ShardedRepository {
   /// `shard(ref.shard).repo().entry(ref.id).spec`.
   Result<ExecutionId> AddExecution(SpecRef ref, Execution exec);
 
+  /// \brief Enqueues the specification onto its shard's writer queue
+  /// and returns immediately; the result arrives via the future. With
+  /// `writer_threads == 0` the append runs inline (the future is
+  /// already ready on return).
+  std::future<Result<SpecRef>> AddSpecificationAsync(Specification spec,
+                                                     PolicySet policy = {});
+
+  /// \brief Enqueues an execution append; see `AddSpecificationAsync`.
+  std::future<Result<ExecutionId>> AddExecutionAsync(SpecRef ref,
+                                                     Execution exec);
+
+  /// \brief Blocks until every enqueued append has been applied (and,
+  /// under `sync_each_append`, made durable). No-op without a writer
+  /// pool.
+  void Drain();
+
   /// \brief Locates a stored spec by name (routed, then looked up).
   Result<SpecRef> FindSpec(std::string_view name) const;
 
@@ -168,14 +217,55 @@ class ShardedRepository {
   static bool IsShardedStore(const std::string& dir);
 
  private:
+  /// One shard's append queue. Heap-held (array behind unique_ptr) so
+  /// drain tasks can hold stable pointers across moves of the owner.
+  struct ShardQueue {
+    std::mutex mu;
+    /// Each op performs the append and returns a completion that is
+    /// invoked *after* the batch's group sync with the sync status.
+    std::deque<std::function<std::function<void(const Status&)>()>> ops;
+    /// True while a drain task for this queue is scheduled or running;
+    /// guarantees the single-writer-per-shard invariant.
+    bool scheduled = false;
+  };
+
+  /// Writer-pool state shared by all queues. `pool` is declared last
+  /// so its destructor (which drains in-flight tasks) runs while the
+  /// queues and counters are still alive.
+  struct WriterState {
+    explicit WriterState(int num_shards, int threads)
+        : queues(std::make_unique<ShardQueue[]>(
+              static_cast<size_t>(num_shards))),
+          pool(threads) {}
+
+    std::unique_ptr<ShardQueue[]> queues;
+    std::mutex mu;
+    std::condition_variable drained_cv;
+    int64_t pending_ops = 0;  // enqueued but not yet completed
+    ThreadPool pool;
+  };
+
   ShardedRepository(std::string dir, Options options)
       : dir_(std::move(dir)), options_(options) {}
+
+  /// Spins up the writer pool when `options_.writer_threads > 0`.
+  void StartWriterPool();
+
+  /// Enqueues `op` on shard `shard`'s queue and schedules a drain.
+  void Enqueue(
+      int shard,
+      std::function<std::function<void(const Status&)>()> op);
+
+  /// Store options as passed down to individual shards (per-append
+  /// sync is lifted to the batch level when a writer pool exists).
+  Options ShardOptions() const;
 
   std::string dir_;
   Options options_;
   std::vector<std::unique_ptr<PersistentRepository>> shards_;
   uint64_t epoch_ = 0;
   RecoveryStats recovery_;
+  std::unique_ptr<WriterState> writer_;  // after shards_: destroyed first
 };
 
 }  // namespace paw

@@ -39,21 +39,27 @@ std::string SnapshotFileName(uint64_t lsn) {
 }
 
 Result<SnapshotInfo> WriteSnapshot(const std::string& dir,
-                                   const Repository& repo, uint64_t lsn) {
+                                   const Repository& repo, uint64_t lsn,
+                                   PayloadCodec codec) {
+  const bool binary = codec == PayloadCodec::kBinary;
   std::string stream;
   std::string header_payload;
   PutFixed64(&header_payload, lsn);
   AppendRecord(RecordType::kSnapshotHeader, header_payload, &stream);
   for (int id = 0; id < repo.num_specs(); ++id) {
     const SpecEntry& entry = repo.entry(id);
-    AppendRecord(RecordType::kSpec,
-                 EncodeSpecPayload(entry.spec, entry.policy), &stream);
+    AppendRecord(binary ? RecordType::kSpecV2 : RecordType::kSpec,
+                 binary ? EncodeSpecPayloadV2(entry.spec, entry.policy)
+                        : EncodeSpecPayload(entry.spec, entry.policy),
+                 &stream);
   }
   for (int id = 0; id < repo.num_executions(); ++id) {
     const ExecutionEntry& entry = repo.execution(ExecutionId(id));
-    AppendRecord(RecordType::kExecution,
-                 EncodeExecutionPayload(entry.spec_id, entry.exec),
-                 &stream);
+    AppendRecord(
+        binary ? RecordType::kExecutionV2 : RecordType::kExecution,
+        binary ? EncodeExecutionPayloadV2(entry.spec_id, entry.exec)
+               : EncodeExecutionPayload(entry.spec_id, entry.exec),
+        &stream);
   }
   SnapshotInfo info;
   info.lsn = lsn;
@@ -106,9 +112,11 @@ Result<uint64_t> LoadSnapshot(const std::string& path, Repository* repo) {
     // does not retain per-record append LSNs, so entries carry the
     // covering snapshot's LSN (an upper bound of the original one).
     PersistMeta meta = MakePersistMeta(lsn, record.payload, "snapshot");
-    if (record.type == RecordType::kSpec) {
+    if (record.type == RecordType::kSpec ||
+        record.type == RecordType::kSpecV2) {
       repo->SetSpecPersist(repo->num_specs() - 1, std::move(meta));
-    } else if (record.type == RecordType::kExecution) {
+    } else if (record.type == RecordType::kExecution ||
+               record.type == RecordType::kExecutionV2) {
       repo->SetExecutionPersist(
           ExecutionId(repo->num_executions() - 1), std::move(meta));
     }

@@ -21,6 +21,7 @@
 
 #include "src/common/status.h"
 #include "src/repo/repository.h"
+#include "src/store/codec.h"
 
 namespace paw {
 
@@ -36,9 +37,12 @@ struct SnapshotInfo {
 std::string SnapshotFileName(uint64_t lsn);
 
 /// \brief Writes a snapshot of `repo` covering `lsn` into `dir`
-/// (atomically). Returns the new snapshot's info.
+/// (atomically), re-encoding every record with `codec`. Returns the
+/// new snapshot's info. Compacting with the default binary codec is
+/// how a v1 store's records get upgraded to v2 payloads.
 Result<SnapshotInfo> WriteSnapshot(const std::string& dir,
-                                   const Repository& repo, uint64_t lsn);
+                                   const Repository& repo, uint64_t lsn,
+                                   PayloadCodec codec = PayloadCodec::kBinary);
 
 /// \brief Highest-LSN snapshot under `dir`; NotFound when none exists.
 Result<SnapshotInfo> FindLatestSnapshot(const std::string& dir);

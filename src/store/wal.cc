@@ -56,7 +56,8 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
   return WriteAheadLog(std::move(file), replay->base_lsn, last, options);
 }
 
-Status WriteAheadLog::Append(RecordType type, std::string_view payload) {
+Result<uint64_t> WriteAheadLog::Append(RecordType type,
+                                       std::string_view payload) {
   // A frame longer than kMaxPayloadLen would be written fine but
   // rejected as "implausible" on replay, deleting it (and everything
   // after it) via torn-tail repair — refuse it up front instead.
@@ -68,16 +69,81 @@ Status WriteAheadLog::Append(RecordType type, std::string_view payload) {
   std::string frame;
   frame.reserve(kRecordHeaderSize + payload.size());
   AppendRecord(type, payload, &frame);
-  PAW_RETURN_NOT_OK(file_.Append(frame));
-  if (options_.sync_each_append) {
-    PAW_RETURN_NOT_OK(file_.Sync());
-  } else {
-    PAW_RETURN_NOT_OK(file_.Flush());
+
+  Rep* r = rep_.get();
+  std::unique_lock<std::mutex> lock(r->mu);
+  if (!r->error.ok()) return r->error;
+  // Stage the frame and note which commit group it belongs to. LSNs
+  // are assigned in staging order == buffer order == file order.
+  const uint64_t lsn =
+      r->last_lsn.fetch_add(1, std::memory_order_acq_rel) + 1;
+  r->pending += frame;
+  const uint64_t my_seq = r->next_batch_seq;
+
+  while (r->committed_seq < my_seq) {
+    if (!r->error.ok()) return r->error;
+    if (!r->writer_active) {
+      // Become the leader: take everything staged so far (our frame
+      // plus any concurrent arrivals) and commit it as one batch.
+      r->writer_active = true;
+      const uint64_t batch_seq = r->next_batch_seq++;
+      std::string batch;
+      batch.swap(r->pending);
+      lock.unlock();
+      Status s = r->file.Append(batch);
+      if (s.ok()) {
+        s = r->options.sync_each_append ? r->file.Sync() : r->file.Flush();
+      }
+      lock.lock();
+      r->writer_active = false;
+      if (!s.ok()) {
+        r->error = s;
+        r->cv.notify_all();
+        return s;
+      }
+      r->committed_seq = batch_seq;
+      r->size_bytes.fetch_add(static_cast<int64_t>(batch.size()),
+                              std::memory_order_acq_rel);
+      r->cv.notify_all();
+    } else {
+      r->cv.wait(lock);
+    }
   }
-  ++last_lsn_;
-  return Status::OK();
+  return lsn;
 }
 
-Status WriteAheadLog::Sync() { return file_.Sync(); }
+Status WriteAheadLog::Sync() {
+  Rep* r = rep_.get();
+  std::unique_lock<std::mutex> lock(r->mu);
+  if (!r->error.ok()) return r->error;
+  // Take the writer slot; flush any staged frames (their appenders are
+  // followers of this batch) and fsync in one go.
+  while (r->writer_active) {
+    r->cv.wait(lock);
+    if (!r->error.ok()) return r->error;
+  }
+  r->writer_active = true;
+  const bool have_batch = !r->pending.empty();
+  const uint64_t batch_seq = have_batch ? r->next_batch_seq++ : 0;
+  std::string batch;
+  batch.swap(r->pending);
+  lock.unlock();
+  Status s = have_batch ? r->file.Append(batch) : Status::OK();
+  if (s.ok()) s = r->file.Sync();
+  lock.lock();
+  r->writer_active = false;
+  if (!s.ok()) {
+    r->error = s;
+    r->cv.notify_all();
+    return s;
+  }
+  if (have_batch) {
+    r->committed_seq = batch_seq;
+    r->size_bytes.fetch_add(static_cast<int64_t>(batch.size()),
+                            std::memory_order_acq_rel);
+  }
+  r->cv.notify_all();
+  return s;
+}
 
 }  // namespace paw

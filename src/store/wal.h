@@ -2,7 +2,8 @@
 #define PAW_STORE_WAL_H_
 
 /// \file wal.h
-/// \brief Append-only write-ahead log with torn-tail recovery.
+/// \brief Append-only write-ahead log with torn-tail recovery and
+/// group commit.
 ///
 /// The log is a flat file of records (record.h). The first record is
 /// always a `kWalHeader` whose payload holds the file's *base LSN*: the
@@ -15,8 +16,23 @@
 /// tail (crash mid-append) is detected via the per-record checksums,
 /// reported in `WalReplay`, and physically truncated away so the next
 /// append lands on a clean boundary.
+///
+/// **Group commit.** `Append` and `Sync` are thread-safe. Concurrent
+/// appenders stage frames into a shared buffer under a mutex; one
+/// caller becomes the *leader* and writes every staged frame in a
+/// single `write()` (plus a single `fdatasync` when
+/// `sync_each_append`), while the others wait as followers and return
+/// as soon as the batch containing their frame commits. LSNs are
+/// assigned in staging order, which is also file order, so replay
+/// reconstructs the same assignment. A caller's record is on stable
+/// storage when `Append` returns iff `sync_each_append` is set; with N
+/// concurrent appenders the N fsyncs collapse into one per batch.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,8 +59,9 @@ struct WalReplay {
 
 /// \brief Knobs of the write-ahead log.
 struct WalOptions {
-  /// fdatasync after every append (durable but slow); off by default
-  /// — callers batch with explicit `Sync()`.
+  /// fdatasync before `Append` returns (durable; one fsync per commit
+  /// *group*, not per record); off by default — callers batch with
+  /// explicit `Sync()`.
   bool sync_each_append = false;
 };
 
@@ -65,37 +82,74 @@ class WriteAheadLog {
                                     WalReplay* replay,
                                     Options options = {});
 
-  /// \brief Appends one record; its LSN is `last_lsn()` after return.
-  Status Append(RecordType type, std::string_view payload);
+  /// \brief Appends one record and returns its LSN. Thread-safe;
+  /// concurrent calls are group-committed (see file comment). After an
+  /// I/O error the log is poisoned and every further call returns that
+  /// error (recover by reopening).
+  Result<uint64_t> Append(RecordType type, std::string_view payload);
 
-  /// \brief Pushes appended bytes to stable storage.
+  /// \brief Pushes appended bytes to stable storage. Thread-safe.
   Status Sync();
 
-  /// \brief LSN of the most recently appended record (== total records
+  /// \brief LSN of the most recently staged record (== total records
   /// ever logged by this store, across compactions). `base_lsn()` when
-  /// the file is empty.
-  uint64_t last_lsn() const { return last_lsn_; }
+  /// the file is empty. Under concurrent appends this is a snapshot;
+  /// use the LSN returned by `Append` for the caller's own record.
+  uint64_t last_lsn() const {
+    return rep_->last_lsn.load(std::memory_order_acquire);
+  }
 
   /// \brief Base LSN recorded in this file's header.
-  uint64_t base_lsn() const { return base_lsn_; }
+  uint64_t base_lsn() const { return rep_->base_lsn; }
 
-  /// \brief Current file size in bytes (including buffered appends).
-  int64_t size_bytes() const { return file_.size(); }
+  /// \brief Committed file size in bytes (excludes frames still being
+  /// staged by in-flight appends).
+  int64_t size_bytes() const {
+    return rep_->size_bytes.load(std::memory_order_acquire);
+  }
 
-  const std::string& path() const { return file_.path(); }
+  const std::string& path() const { return rep_->path; }
 
  private:
+  /// Heap-held so the log stays movable while carrying a mutex, and so
+  /// waiting followers keep a stable address to block on.
+  struct Rep {
+    Rep(AppendOnlyFile f, uint64_t base, uint64_t last, Options opts)
+        : file(std::move(f)),
+          path(file.path()),
+          base_lsn(base),
+          options(opts),
+          last_lsn(last),
+          size_bytes(file.size()) {}
+
+    AppendOnlyFile file;
+    std::string path;
+    uint64_t base_lsn;
+    Options options;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<uint64_t> last_lsn;
+    std::atomic<int64_t> size_bytes;
+    /// Frames staged but not yet handed to the file.
+    std::string pending;
+    /// Commit-group bookkeeping: a staged frame belongs to batch
+    /// `next_batch_seq`; the leader that cuts a batch takes that seq
+    /// and bumps it, and `committed_seq` trails behind as batches land.
+    uint64_t next_batch_seq = 1;
+    uint64_t committed_seq = 0;
+    /// True while some thread is doing file I/O (leader or Sync).
+    bool writer_active = false;
+    /// Sticky: a failed write poisons the log (mirrors AppendOnlyFile).
+    Status error;
+  };
+
   WriteAheadLog(AppendOnlyFile file, uint64_t base_lsn, uint64_t last_lsn,
                 Options options)
-      : file_(std::move(file)),
-        base_lsn_(base_lsn),
-        last_lsn_(last_lsn),
-        options_(options) {}
+      : rep_(std::make_unique<Rep>(std::move(file), base_lsn, last_lsn,
+                                   options)) {}
 
-  AppendOnlyFile file_;
-  uint64_t base_lsn_ = 0;
-  uint64_t last_lsn_ = 0;
-  Options options_;
+  std::unique_ptr<Rep> rep_;
 };
 
 }  // namespace paw

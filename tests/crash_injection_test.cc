@@ -72,11 +72,14 @@ struct SweptStore {
   std::vector<size_t> boundaries;
 };
 
-SweptStore BuildSweptStore(const std::string& name, int executions) {
+SweptStore BuildSweptStore(const std::string& name, int executions,
+                           PayloadCodec codec = PayloadCodec::kBinary) {
   SweptStore out;
   out.dir = TestDir(name);
   {
-    auto store = PersistentRepository::Init(out.dir);
+    StoreOptions options;
+    options.codec = codec;
+    auto store = PersistentRepository::Init(out.dir, options);
     EXPECT_TRUE(store.ok()) << store.status().ToString();
     auto sid = store.value().AddSpecification(TinySpec());
     EXPECT_TRUE(sid.ok()) << sid.status().ToString();
@@ -164,9 +167,10 @@ TEST(FaultyFileTest, RestoreTruncateFlipRoundTrip) {
 }
 
 // The tentpole sweep: truncate the WAL at every byte offset, including
-// every record boundary, and recover.
-TEST(CrashInjectionTest, TruncationSweepRecoversCleanPrefixAtEveryCut) {
-  SweptStore swept = BuildSweptStore("trunc_sweep", 3);
+// every record boundary, and recover. Runs against both payload
+// codecs — the torn-tail contract is codec-independent.
+void RunTruncationSweep(PayloadCodec codec, const std::string& name) {
+  SweptStore swept = BuildSweptStore(name, 3, codec);
   const size_t header_end = swept.boundaries[0];
   const size_t size = static_cast<size_t>(swept.wal->size());
 
@@ -196,6 +200,14 @@ TEST(CrashInjectionTest, TruncationSweepRecoversCleanPrefixAtEveryCut) {
           << context;
     }
   }
+}
+
+TEST(CrashInjectionTest, TruncationSweepRecoversCleanPrefixBinaryCodec) {
+  RunTruncationSweep(PayloadCodec::kBinary, "trunc_sweep_bin");
+}
+
+TEST(CrashInjectionTest, TruncationSweepRecoversCleanPrefixTextCodec) {
+  RunTruncationSweep(PayloadCodec::kText, "trunc_sweep_text");
 }
 
 // A torn store must not only recover — it must keep working. Spot-check
@@ -234,9 +246,10 @@ TEST(CrashInjectionTest, TornStoreAcceptsAppendsAfterRepair) {
 
 // Flip one bit at every byte offset (cycling through bit positions so
 // all eight are exercised): recovery must never crash and must never
-// deliver a record that differs from what was written.
-TEST(CrashInjectionTest, BitFlipSweepNeverResurrectsCorruptRecords) {
-  SweptStore swept = BuildSweptStore("flip_sweep", 3);
+// deliver a record that differs from what was written. Codec-
+// independent like the truncation sweep.
+void RunBitFlipSweep(PayloadCodec codec, const std::string& name) {
+  SweptStore swept = BuildSweptStore(name, 3, codec);
   const size_t header_end = swept.boundaries[0];
   const size_t size = static_cast<size_t>(swept.wal->size());
 
@@ -259,6 +272,14 @@ TEST(CrashInjectionTest, BitFlipSweepNeverResurrectsCorruptRecords) {
     ExpectPrefixOfOriginals(got, swept.originals, context);
     EXPECT_LT(got.size(), swept.originals.size()) << context;
   }
+}
+
+TEST(CrashInjectionTest, BitFlipSweepNeverResurrectsBinaryRecords) {
+  RunBitFlipSweep(PayloadCodec::kBinary, "flip_sweep_bin");
+}
+
+TEST(CrashInjectionTest, BitFlipSweepNeverResurrectsTextRecords) {
+  RunBitFlipSweep(PayloadCodec::kText, "flip_sweep_text");
 }
 
 // The harness composes with snapshots: corrupt WAL bytes behind a

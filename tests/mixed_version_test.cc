@@ -1,0 +1,269 @@
+// Mixed-version store tests: a v1 (text-payload) store created by the
+// text codec must open, accept binary appends, and compact under the
+// default (binary) build; the marker negotiation rules must hold; and
+// recovered state must be byte-identical across the version boundary.
+// This is the compatibility contract for stores created by earlier
+// releases ("a v1-format store still opens and round-trips").
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/common/file_io.h"
+#include "src/common/random.h"
+#include "src/privacy/policy_text.h"
+#include "src/provenance/serialize.h"
+#include "src/repo/disease.h"
+#include "src/repo/workload.h"
+#include "src/store/persistent_repository.h"
+#include "src/store/record.h"
+#include "src/store/sharded_repository.h"
+#include "src/store/snapshot.h"
+#include "src/store/wal.h"
+#include "src/workflow/serialize.h"
+
+namespace paw {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("paw_mixed_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string Marker(const std::string& dir) {
+  return ReadFileToString(dir + "/PAWSTORE").value_or("<missing>");
+}
+
+StoreOptions TextOptions() {
+  StoreOptions options;
+  options.codec = PayloadCodec::kText;
+  return options;
+}
+
+/// Serialized entries in LSN order for byte-for-byte comparison.
+std::vector<std::string> Dump(const Repository& repo) {
+  std::vector<std::string> out;
+  for (int id = 0; id < repo.num_specs(); ++id) {
+    out.push_back(Serialize(repo.entry(id).spec) +
+                  SerializePolicy(repo.entry(id).policy));
+  }
+  for (int id = 0; id < repo.num_executions(); ++id) {
+    out.push_back(
+        SerializeExecution(repo.execution(ExecutionId(id)).exec));
+  }
+  return out;
+}
+
+/// Builds a v1 store: text codec, marker "pawstore 1".
+std::vector<std::string> BuildV1Store(const std::string& dir,
+                                      int executions) {
+  auto store = PersistentRepository::Init(dir, TextOptions());
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  auto spec = BuildDiseaseSpec();
+  EXPECT_TRUE(store.value()
+                  .AddSpecification(std::move(spec).value(),
+                                    DiseasePolicy())
+                  .ok());
+  for (int i = 0; i < executions; ++i) {
+    auto exec = RunDiseaseExecution(store.value().repo().entry(0).spec);
+    EXPECT_TRUE(
+        store.value().AddExecution(0, std::move(exec).value()).ok());
+  }
+  EXPECT_TRUE(store.value().Sync().ok());
+  return Dump(store.value().repo());
+}
+
+TEST(MixedVersionTest, TextCodecInitWritesV1Marker) {
+  const std::string dir = TestDir("v1_marker");
+  BuildV1Store(dir, 1);
+  EXPECT_EQ(Marker(dir), "pawstore 1\n");
+  // A text-codec reopen leaves the marker alone.
+  auto reopened = PersistentRepository::Open(dir, TextOptions());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().format_version(), 1);
+  EXPECT_EQ(Marker(dir), "pawstore 1\n");
+}
+
+TEST(MixedVersionTest, V1StoreOpensUnderBinaryBuildAndUpgradesMarker) {
+  const std::string dir = TestDir("v1_open");
+  const std::vector<std::string> before = BuildV1Store(dir, 3);
+
+  // Default (binary-codec) open: state recovered byte-for-byte, marker
+  // bumped to v2 before any append could write a binary record.
+  auto reopened = PersistentRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().format_version(), 2);
+  EXPECT_EQ(Marker(dir), "pawstore 2\n");
+  EXPECT_EQ(Dump(reopened.value().repo()), before);
+}
+
+TEST(MixedVersionTest, FailedOpenDoesNotUpgradeMarker) {
+  // A diagnostic open of a broken v1 store must not mutate it: the
+  // marker bump commits only after recovery succeeds.
+  const std::string dir = TestDir("failed_open");
+  BuildV1Store(dir, 1);
+  // Corrupt the WAL header (atomically written, so this models media
+  // damage); recovery must fail with a Status.
+  auto contents = ReadFileToString(dir + "/wal.log");
+  ASSERT_TRUE(contents.ok());
+  std::string damaged = contents.value();
+  damaged[4] = static_cast<char>(damaged[4] ^ 0xFF);  // header CRC byte
+  ASSERT_TRUE(AtomicWriteFile(dir + "/wal.log", damaged).ok());
+  EXPECT_FALSE(PersistentRepository::Open(dir).ok());
+  EXPECT_EQ(Marker(dir), "pawstore 1\n");
+  // Restore the WAL: the store opens and only now upgrades.
+  ASSERT_TRUE(AtomicWriteFile(dir + "/wal.log", contents.value()).ok());
+  ASSERT_TRUE(PersistentRepository::Open(dir).ok());
+  EXPECT_EQ(Marker(dir), "pawstore 2\n");
+}
+
+TEST(MixedVersionTest, MixedWalReplaysTextThenBinaryRecords) {
+  const std::string dir = TestDir("mixed_wal");
+  std::vector<std::string> before = BuildV1Store(dir, 2);
+  {
+    // Ingest under the binary codec: the WAL now holds text records
+    // followed by binary records.
+    auto store = PersistentRepository::Open(dir);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 2; ++i) {
+      auto exec = RunDiseaseExecution(store.value().repo().entry(0).spec);
+      ASSERT_TRUE(
+          store.value().AddExecution(0, std::move(exec).value()).ok());
+    }
+    ASSERT_TRUE(store.value().Sync().ok());
+    before = Dump(store.value().repo());
+  }
+  // Prove the WAL is genuinely mixed-version.
+  {
+    WalReplay replay;
+    auto wal = WriteAheadLog::Open(dir + "/wal.log", &replay);
+    ASSERT_TRUE(wal.ok());
+    int text_records = 0, binary_records = 0;
+    for (const Record& r : replay.records) {
+      if (r.type == RecordType::kSpec || r.type == RecordType::kExecution) {
+        ++text_records;
+      }
+      if (r.type == RecordType::kSpecV2 ||
+          r.type == RecordType::kExecutionV2) {
+        ++binary_records;
+      }
+    }
+    EXPECT_EQ(text_records, 3);   // spec + 2 executions from the v1 run
+    EXPECT_EQ(binary_records, 2); // the binary-codec ingest
+  }
+  auto reopened = PersistentRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().repo().num_executions(), 4);
+  EXPECT_EQ(Dump(reopened.value().repo()), before);
+}
+
+TEST(MixedVersionTest, CompactionUpgradesRecordsToBinary) {
+  const std::string dir = TestDir("compact_upgrade");
+  std::vector<std::string> before = BuildV1Store(dir, 3);
+  {
+    auto store = PersistentRepository::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value().Compact().ok());
+  }
+  // The snapshot now holds only binary records.
+  auto snapshot = FindLatestSnapshot(dir);
+  ASSERT_TRUE(snapshot.ok());
+  auto contents = ReadFileToString(snapshot.value().path);
+  ASSERT_TRUE(contents.ok());
+  RecordReader reader(contents.value());
+  Record record;
+  ASSERT_EQ(reader.Next(&record), ReadOutcome::kRecord);
+  EXPECT_EQ(record.type, RecordType::kSnapshotHeader);
+  int binary_records = 0, text_records = 0;
+  while (reader.Next(&record) == ReadOutcome::kRecord) {
+    if (record.type == RecordType::kSpecV2 ||
+        record.type == RecordType::kExecutionV2) {
+      ++binary_records;
+    } else {
+      ++text_records;
+    }
+  }
+  EXPECT_EQ(text_records, 0);
+  EXPECT_EQ(binary_records, 4);  // spec + 3 executions, all re-encoded
+
+  // And the upgraded store still recovers the identical state.
+  auto reopened = PersistentRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(Dump(reopened.value().repo()), before);
+  EXPECT_EQ(reopened.value().recovery().records_replayed, 0u);
+}
+
+TEST(MixedVersionTest, TextCodecKeepsWritingIntoV2Store) {
+  // Writing text records into a v2 store is legal (v2 readers accept
+  // both); the marker must not be downgraded.
+  const std::string dir = TestDir("text_into_v2");
+  {
+    auto store = PersistentRepository::Init(dir);  // v2 marker
+    ASSERT_TRUE(store.ok());
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(
+        store.value().AddSpecification(std::move(spec).value()).ok());
+  }
+  {
+    auto store = PersistentRepository::Open(dir, TextOptions());
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(store.value().format_version(), 2);
+    auto exec = RunDiseaseExecution(store.value().repo().entry(0).spec);
+    ASSERT_TRUE(
+        store.value().AddExecution(0, std::move(exec).value()).ok());
+    ASSERT_TRUE(store.value().Sync().ok());
+  }
+  EXPECT_EQ(Marker(dir), "pawstore 2\n");
+  auto reopened = PersistentRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value().repo().num_executions(), 1);
+}
+
+TEST(MixedVersionTest, ShardedV1StoreUpgradesShardByShard) {
+  const std::string dir = TestDir("sharded_v1");
+  std::vector<std::string> before;
+  {
+    auto store = ShardedRepository::Init(dir, 3, TextOptions());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    Rng rng(21);
+    for (int i = 0; i < 4; ++i) {
+      auto spec = GenerateSpec(WorkloadParams{}, &rng,
+                               "mixed" + std::to_string(i));
+      ASSERT_TRUE(spec.ok());
+      auto ref = store.value().AddSpecification(std::move(spec).value());
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      const Specification& stored =
+          store.value().shard(ref.value().shard).repo().entry(
+              ref.value().id).spec;
+      auto exec = GenerateExecution(stored, &rng);
+      ASSERT_TRUE(exec.ok());
+      ASSERT_TRUE(store.value()
+                      .AddExecution(ref.value(), std::move(exec).value())
+                      .ok());
+    }
+    ASSERT_TRUE(store.value().Sync().ok());
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(store.value().shard(s).format_version(), 1);
+      before.push_back(
+          ReadFileToString(store.value().shard(s).dir() + "/PAWSTORE")
+              .value_or(""));
+    }
+  }
+  // Reopen under the binary default: every shard upgrades.
+  auto reopened = ShardedRepository::Open(dir, {}, /*threads=*/3);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(reopened.value().shard(s).format_version(), 2);
+  }
+  EXPECT_EQ(reopened.value().num_specs(), 4);
+  EXPECT_EQ(reopened.value().num_executions(), 4);
+}
+
+}  // namespace
+}  // namespace paw

@@ -403,23 +403,32 @@ TEST(StoreTest, EmptyInputValuesSurviveRestart) {
   EXPECT_EQ(exec.item(item.value()).value, "");
 }
 
-TEST(StoreTest, SemicolonLabelRejectedWithoutLogging) {
-  // ';' is the list separator inside labels=/keywords= fields, so a
-  // label containing it would *parse* after replay — but as two
-  // labels. The round-trip verify gate must reject it up front.
+/// A one-workflow spec whose edge label embeds ';' (the text format's
+/// list separator).
+Result<Specification> SemicolonSpec() {
   SpecBuilder builder("semi");
   WorkflowId w = builder.AddWorkflow("W1", "top", 0);
-  ASSERT_TRUE(builder.SetRoot(w).ok());
+  EXPECT_TRUE(builder.SetRoot(w).ok());
   ModuleId in = builder.AddInput(w, "I");
   ModuleId m1 = builder.AddModule(w, "M1", "Work", {});
   ModuleId out = builder.AddOutput(w, "O");
-  ASSERT_TRUE(builder.Connect(in, m1, {"age;zip"}).ok());
-  ASSERT_TRUE(builder.Connect(m1, out, {"result"}).ok());
-  auto spec = std::move(builder).Build();
+  EXPECT_TRUE(builder.Connect(in, m1, {"age;zip"}).ok());
+  EXPECT_TRUE(builder.Connect(m1, out, {"result"}).ok());
+  return std::move(builder).Build();
+}
+
+TEST(StoreTest, SemicolonLabelRejectedByTextCodecWithoutLogging) {
+  // ';' is the list separator inside the text format's labels= and
+  // keywords= fields, so a label containing it would *parse* after
+  // replay — but as two labels. The round-trip verify gate must reject
+  // it up front when the store writes text payloads.
+  auto spec = SemicolonSpec();
   ASSERT_TRUE(spec.ok()) << spec.status().ToString();
 
   const std::string dir = TestDir("semicolon");
-  auto store = PersistentRepository::Init(dir);
+  StoreOptions options;
+  options.codec = PayloadCodec::kText;
+  auto store = PersistentRepository::Init(dir, options);
   ASSERT_TRUE(store.ok());
   const uint64_t lsn_before = store.value().lsn();
   auto added = store.value().AddSpecification(std::move(spec).value());
@@ -427,17 +436,42 @@ TEST(StoreTest, SemicolonLabelRejectedWithoutLogging) {
   EXPECT_TRUE(added.status().IsInvalidArgument());
   EXPECT_EQ(store.value().lsn(), lsn_before);
   // The store stays healthy.
-  auto reopened = PersistentRepository::Open(dir);
+  auto reopened = PersistentRepository::Open(dir, options);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(reopened.value().repo().num_specs(), 0);
 }
 
-TEST(StoreTest, UnreplayableExecutionRejectedWithoutLogging) {
+TEST(StoreTest, SemicolonLabelSurvivesRestartUnderBinaryCodec) {
+  // The binary codec carries raw string bytes, so the same label the
+  // text codec must refuse round-trips verbatim.
+  auto spec = SemicolonSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  const std::string dir = TestDir("semicolon_binary");
+  auto store = PersistentRepository::Init(dir);  // binary by default
+  ASSERT_TRUE(store.ok());
+  auto added = store.value().AddSpecification(std::move(spec).value());
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+
+  auto reopened = PersistentRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const Specification& recovered = reopened.value().repo().entry(0).spec;
+  auto m1 = recovered.FindModule("M1");
+  ASSERT_TRUE(m1.ok());
+  auto in_edges = recovered.InEdges(m1.value());
+  ASSERT_EQ(in_edges.size(), 1u);
+  EXPECT_EQ(in_edges[0]->labels,
+            std::vector<std::string>{"age;zip"});
+}
+
+TEST(StoreTest, UnreplayableExecutionRejectedByTextCodecWithoutLogging) {
   // A raw newline inside an item value breaks the line-oriented text
   // payload; the decode-verify gate must reject it *before* it
   // reaches the WAL, leaving the store healthy.
   const std::string dir = TestDir("unreplayable");
-  auto store = PersistentRepository::Init(dir);
+  StoreOptions options;
+  options.codec = PayloadCodec::kText;
+  auto store = PersistentRepository::Init(dir, options);
   ASSERT_TRUE(store.ok());
   auto spec = BuildDiseaseSpec();
   ASSERT_TRUE(spec.ok());
@@ -457,9 +491,36 @@ TEST(StoreTest, UnreplayableExecutionRejectedWithoutLogging) {
   ASSERT_TRUE(good.ok());
   ASSERT_TRUE(
       store.value().AddExecution(0, std::move(good).value()).ok());
-  auto reopened = PersistentRepository::Open(dir);
+  auto reopened = PersistentRepository::Open(dir, options);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(reopened.value().repo().num_executions(), 1);
+}
+
+TEST(StoreTest, NewlineValueSurvivesRestartUnderBinaryCodec) {
+  // The same raw-newline value the text codec must refuse is a plain
+  // byte to the binary codec.
+  const std::string dir = TestDir("newline_binary");
+  auto store = PersistentRepository::Init(dir);  // binary by default
+  ASSERT_TRUE(store.ok());
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  ASSERT_TRUE(
+      store.value().AddSpecification(std::move(spec).value()).ok());
+  ValueMap inputs = DiseaseInputs();
+  inputs["SNPs"] = "line1\nline2";
+  FunctionRegistry fns = BuildDiseaseFunctions();
+  auto exec = Execute(store.value().repo().entry(0).spec, fns, inputs);
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(
+      store.value().AddExecution(0, std::move(exec).value()).ok());
+
+  auto reopened = PersistentRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const Execution& recovered =
+      reopened.value().repo().execution(ExecutionId(0)).exec;
+  auto item = recovered.FindItemByLabel("SNPs");
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(recovered.item(item.value()).value, "line1\nline2");
 }
 
 TEST(StoreTest, CrashBetweenSnapshotAndLogSwapSkipsCoveredRecords) {
@@ -654,17 +715,34 @@ TEST(StoreFuzzTest, ExecutionPayloadsRoundTripExactly) {
     const int spec_id = static_cast<int>(rng.Uniform(1000));
     const std::string payload =
         EncodeExecutionPayload(spec_id, exec.value());
-    int decoded_id = -1;
-    std::string exec_text;
-    ASSERT_TRUE(
-        DecodeExecutionPayload(payload, &decoded_id, &exec_text).ok());
-    EXPECT_EQ(decoded_id, spec_id);
-    auto replayed = ParseExecution(exec_text, spec.value());
+    auto decoded = DecodeExecutionPayload(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().spec_id, spec_id);
+    auto replayed = ParseExecution(decoded.value().exec_text, spec.value());
     ASSERT_TRUE(replayed.ok())
         << "trial=" << trial << ": " << replayed.status().ToString();
     EXPECT_EQ(EncodeExecutionPayload(spec_id, replayed.value()), payload)
         << "trial=" << trial;
   }
+}
+
+// Satellite: the v1 decoder rejects spec ids that overflow int32 (they
+// could only appear via corruption that slipped past the CRC, or a
+// buggy writer).
+TEST(StoreFuzzTest, ExecutionPayloadSpecIdOverflowRejected) {
+  std::string payload;
+  PutFixed32(&payload, 0x80000000u);  // > INT32_MAX
+  payload += "execution spec=\"x\"\n";
+  EXPECT_TRUE(DecodeExecutionPayload(payload).status().IsInvalidArgument());
+  EXPECT_TRUE(DecodeExecutionSpecId(RecordType::kExecution, payload)
+                  .status()
+                  .IsInvalidArgument());
+
+  std::string binary;
+  PutVarint32(&binary, 0xFFFFFFFFu);  // > INT32_MAX
+  EXPECT_TRUE(DecodeExecutionSpecId(RecordType::kExecutionV2, binary)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(StoreTest, WalRecordsCarryMonotonicLsns) {

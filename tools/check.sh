@@ -43,13 +43,41 @@ TORN_WAL="$(ls -S "$SMOKE_DIR"/shards/shard-*/wal.log | head -1)"
 truncate -s -3 "$TORN_WAL"
 "$PAWCTL" open "$SMOKE_DIR/shards" threads=4 | tee "$SMOKE_DIR/open.out"
 grep -q "torn tail" "$SMOKE_DIR/open.out"
-# The repaired store keeps accepting writes.
-"$PAWCTL" ingest "$SMOKE_DIR/shards" "$SMOKE_DIR/demo.paw" runs=2
+# The repaired store keeps accepting writes (through the writer queues
+# and with group-committed durability, to exercise both knobs).
+"$PAWCTL" ingest "$SMOKE_DIR/shards" "$SMOKE_DIR/demo.paw" runs=2 threads=4 sync=each
+
+echo "== pawctl migrate smoke =="
+# A v1 (text-payload) store must open under the v2 build and migrate
+# to all-binary payloads in place. (codec=text on ingest keeps the
+# store at v1 — a default-codec open would already upgrade the marker.)
+"$PAWCTL" init "$SMOKE_DIR/v1store" codec=text
+"$PAWCTL" ingest "$SMOKE_DIR/v1store" "$SMOKE_DIR/demo.paw" runs=5 codec=text
+grep -q "pawstore 1" "$SMOKE_DIR/v1store/PAWSTORE"
+"$PAWCTL" migrate "$SMOKE_DIR/v1store"
+grep -q "pawstore 2" "$SMOKE_DIR/v1store/PAWSTORE"
+"$PAWCTL" open "$SMOKE_DIR/v1store" | tee "$SMOKE_DIR/migrate.out"
+grep -q "executions:  5" "$SMOKE_DIR/migrate.out"
+
+echo "== bench smoke (BENCH_store.json) =="
+if [[ -x "$BUILD_DIR/bench_store" ]]; then
+  BENCH_BIN="$(pwd)/$BUILD_DIR/bench_store"
+  (cd "$SMOKE_DIR" && "$BENCH_BIN" --smoke)
+  test -s "$SMOKE_DIR/BENCH_store.json"
+  grep -q '"experiment":"e10e"' "$SMOKE_DIR/BENCH_store.json"
+  grep -q '"experiment":"e10f"' "$SMOKE_DIR/BENCH_store.json"
+  cp "$SMOKE_DIR/BENCH_store.json" "$BUILD_DIR/BENCH_store.json"
+  echo "perf trajectory written to $BUILD_DIR/BENCH_store.json"
+else
+  echo "bench_store not built (no google-benchmark); skipping"
+fi
 
 echo "== asan+ubsan store tests =="
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 cmake -B "$ASAN_BUILD_DIR" -S . -DPAW_SANITIZE=ON
-SAN_TESTS=(store_test sharded_store_test crash_injection_test record_test thread_pool_test)
+SAN_TESTS=(store_test sharded_store_test crash_injection_test record_test
+           thread_pool_test crc32_test codec_v2_test wal_group_commit_test
+           mixed_version_test)
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
   echo "-- $t (asan+ubsan)"

@@ -13,23 +13,36 @@
 //                                        access level
 //
 // Persistent store commands (see tools/README.md, "Store format"):
-//   pawctl init <dir> [shards=N]         create an empty store directory;
+//   pawctl init <dir> [shards=N] [codec=binary|text]
+//                                        create an empty store directory;
 //                                        with shards=N, a sharded store of
-//                                        N shard subdirectories
+//                                        N shard subdirectories; codec=text
+//                                        writes v1 text payloads
 //   pawctl open <dir> [threads=N]        recover a store (shards in
 //                                        parallel), print its stats
-//   pawctl ingest <dir> <spec.paw> [runs=N]
+//   pawctl ingest <dir> <spec.paw> [runs=N] [threads=N] [sync=each|batch]
+//                 [codec=binary|text]
 //                                        add a spec (reused if already
 //                                        stored under the same name) and
-//                                        run N executions into the store
+//                                        run N executions into the store;
+//                                        threads>1 drives the sharded
+//                                        writer queues, sync=each makes
+//                                        every append durable before ack
+//                                        (group-committed)
 //   pawctl compact <dir> [threads=N]     snapshot + truncate the log(s)
+//   pawctl migrate <dir> [threads=N]     rewrite a v1 (text) store as v2
+//                                        (binary): bump the format marker,
+//                                        re-encode all records into binary
+//                                        snapshots, truncate the logs
 //
-// open/ingest/compact auto-detect whether <dir> is a single-directory
-// or a sharded store.
+// open/ingest/compact/migrate auto-detect whether <dir> is a
+// single-directory or a sharded store.
 
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
 
@@ -170,6 +183,33 @@ int CmdSearch(const char* path, const char* level_str, int argc,
   return 0;
 }
 
+/// Parses a `key=value` string option into `*out`; `*matched` says
+/// whether the key was present at all.
+bool ParseStrOption(const char* arg, const char* key, std::string* out,
+                    bool* matched) {
+  const size_t key_len = std::strlen(key);
+  *matched = std::strncmp(arg, key, key_len) == 0 && arg[key_len] == '=';
+  if (!*matched) return true;
+  *out = arg + key_len + 1;
+  return true;
+}
+
+/// Parses a `codec=binary|text` option into `*codec`.
+bool ParseCodecOption(const char* arg, PayloadCodec* codec, bool* matched) {
+  std::string v;
+  ParseStrOption(arg, "codec", &v, matched);
+  if (!*matched) return true;
+  if (v == "binary") {
+    *codec = PayloadCodec::kBinary;
+  } else if (v == "text") {
+    *codec = PayloadCodec::kText;
+  } else {
+    std::fprintf(stderr, "error: codec must be binary or text: %s\n", arg);
+    return false;
+  }
+  return true;
+}
+
 /// Parses a `key=N` option into `*out`; returns false (with a message)
 /// when `arg` has the key but a value outside `[lo, hi]`. `*matched`
 /// says whether the key was present at all.
@@ -193,6 +233,8 @@ bool ParseIntOption(const char* arg, const char* key, long lo, long hi,
 void PrintStoreStats(const PersistentRepository& store) {
   const auto& r = store.recovery();
   std::printf("store %s\n", store.dir().c_str());
+  std::printf("  format:      v%d (%s payloads)\n", store.format_version(),
+              store.format_version() >= 2 ? "binary-capable" : "text");
   std::printf("  specs:       %d\n", store.repo().num_specs());
   std::printf("  executions:  %d\n", store.repo().num_executions());
   std::printf("  lsn:         %llu\n",
@@ -242,27 +284,35 @@ void PrintShardedStats(const ShardedRepository& store) {
 
 int CmdInit(const char* dir, int argc, char** argv) {
   long shards = 0;
+  StoreOptions options;
   for (int i = 0; i < argc; ++i) {
     bool matched = false;
     if (!ParseIntOption(argv[i], "shards", 1, ShardedRepository::kMaxShards,
                         &shards, &matched)) {
       return 1;
     }
+    if (matched) continue;
+    if (!ParseCodecOption(argv[i], &options.codec, &matched)) return 1;
     if (!matched) {
       std::fprintf(stderr, "error: unknown init option %s\n", argv[i]);
       return 1;
     }
   }
+  const char* codec_name =
+      options.codec == PayloadCodec::kBinary ? "binary" : "text";
   if (shards > 0) {
-    auto store = ShardedRepository::Init(dir, static_cast<int>(shards));
+    auto store =
+        ShardedRepository::Init(dir, static_cast<int>(shards), options);
     if (!store.ok()) return Fail(store.status());
-    std::printf("initialized empty sharded store in %s (%ld shard(s))\n",
-                dir, shards);
+    std::printf(
+        "initialized empty sharded store in %s (%ld shard(s), %s codec)\n",
+        dir, shards, codec_name);
     return 0;
   }
-  auto store = PersistentRepository::Init(dir);
+  auto store = PersistentRepository::Init(dir, options);
   if (!store.ok()) return Fail(store.status());
-  std::printf("initialized empty store in %s\n", dir);
+  std::printf("initialized empty store in %s (%s codec)\n", dir,
+              codec_name);
   return 0;
 }
 
@@ -315,8 +365,12 @@ int RunIngest(const Specification& spec, int runs, AddExec&& add_exec) {
 }
 
 int CmdIngestSharded(const char* dir, Specification parsed, int runs,
-                     long threads) {
-  auto store = ShardedRepository::Open(dir, {}, static_cast<int>(threads));
+                     long threads, StoreOptions options) {
+  // threads > 1 also sizes the writer pool, so appends drain through
+  // the per-shard queues instead of blocking the caller thread.
+  if (threads > 1) options.writer_threads = static_cast<int>(threads);
+  auto store =
+      ShardedRepository::Open(dir, options, static_cast<int>(threads));
   if (!store.ok()) return Fail(store.status());
   // Reuse a previously ingested spec of the same name, else store it.
   ShardedRepository::SpecRef ref;
@@ -335,10 +389,37 @@ int CmdIngestSharded(const char* dir, Specification parsed, int runs,
   }
   const Specification& spec =
       store.value().shard(ref.shard).repo().entry(ref.id).spec;
-  if (int rc = RunIngest(spec, runs, [&](Execution exec) {
-        return store.value().AddExecution(ref, std::move(exec));
-      });
-      rc != 0) {
+  if (threads > 1) {
+    // Pipeline through the async writer queues: keep a window of
+    // outstanding appends so the drain can batch them (one buffered
+    // write + one group fsync per batch under sync=each) while the
+    // caller thread generates the next executions.
+    constexpr size_t kMaxWindow = 512;
+    FunctionRegistry fns;
+    std::deque<std::future<Result<ExecutionId>>> window;
+    auto reap_front = [&window]() -> Status {
+      Status status = window.front().get().status();
+      window.pop_front();
+      return status;
+    };
+    for (int i = 0; i < runs; ++i) {
+      std::string suffix = "#";
+      suffix += std::to_string(i);
+      auto exec = Execute(spec, fns, DefaultInputs(spec, suffix));
+      if (!exec.ok()) return Fail(exec.status());
+      window.push_back(
+          store.value().AddExecutionAsync(ref, std::move(exec).value()));
+      if (window.size() >= kMaxWindow) {
+        if (Status s = reap_front(); !s.ok()) return Fail(s);
+      }
+    }
+    while (!window.empty()) {
+      if (Status s = reap_front(); !s.ok()) return Fail(s);
+    }
+  } else if (int rc = RunIngest(spec, runs, [&](Execution exec) {
+               return store.value().AddExecution(ref, std::move(exec));
+             });
+             rc != 0) {
     return rc;
   }
   auto synced = store.value().Sync();
@@ -356,6 +437,7 @@ int CmdIngestSharded(const char* dir, Specification parsed, int runs,
 int CmdIngest(const char* dir, const char* path, int argc, char** argv) {
   long runs = 1;
   long threads = 1;
+  StoreOptions options;
   for (int i = 0; i < argc; ++i) {
     bool matched = false;
     if (!ParseIntOption(argv[i], "runs", 0, 1000000, &runs, &matched)) {
@@ -365,19 +447,34 @@ int CmdIngest(const char* dir, const char* path, int argc, char** argv) {
     if (!ParseIntOption(argv[i], "threads", 1, 256, &threads, &matched)) {
       return 1;
     }
-    if (!matched) {
-      std::fprintf(stderr, "error: unknown ingest option %s\n", argv[i]);
-      return 1;
+    if (matched) continue;
+    std::string sync;
+    ParseStrOption(argv[i], "sync", &sync, &matched);
+    if (matched) {
+      if (sync == "each") {
+        options.sync_each_append = true;
+      } else if (sync == "batch") {
+        options.sync_each_append = false;
+      } else {
+        std::fprintf(stderr, "error: sync must be each or batch: %s\n",
+                     argv[i]);
+        return 1;
+      }
+      continue;
     }
+    if (!ParseCodecOption(argv[i], &options.codec, &matched)) return 1;
+    if (matched) continue;
+    std::fprintf(stderr, "error: unknown ingest option %s\n", argv[i]);
+    return 1;
   }
   auto parsed = LoadSpec(path);
   if (!parsed.ok()) return Fail(parsed.status());
   if (ShardedRepository::IsShardedStore(dir)) {
     return CmdIngestSharded(dir, std::move(parsed).value(),
-                            static_cast<int>(runs), threads);
+                            static_cast<int>(runs), threads, options);
   }
 
-  auto store = PersistentRepository::Open(dir);
+  auto store = PersistentRepository::Open(dir, options);
   if (!store.ok()) return Fail(store.status());
   // Reuse a previously ingested spec of the same name, else store it.
   int spec_id;
@@ -439,6 +536,38 @@ int CmdCompact(const char* dir, int argc, char** argv) {
   return 0;
 }
 
+int CmdMigrate(const char* dir, int argc, char** argv) {
+  long threads = 1;
+  if (int rc = ParseThreads(argc, argv, &threads); rc != 0) return rc;
+  // Opening with the (default) binary codec bumps a v1 marker to v2;
+  // compacting then re-encodes every record into a binary snapshot and
+  // truncates the text WAL — after which no v1 payload remains on disk.
+  if (ShardedRepository::IsShardedStore(dir)) {
+    auto store = ShardedRepository::Open(dir, {}, static_cast<int>(threads));
+    if (!store.ok()) return Fail(store.status());
+    const int entries =
+        store.value().num_specs() + store.value().num_executions();
+    auto compacted = store.value().Compact(static_cast<int>(threads));
+    if (!compacted.ok()) return Fail(compacted);
+    std::printf(
+        "migrated sharded store %s to format v2: re-encoded %d "
+        "entries into %d binary shard snapshot(s)\n",
+        dir, entries, store.value().num_shards());
+    return 0;
+  }
+  auto store = PersistentRepository::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  const int entries = store.value().repo().num_specs() +
+                      store.value().repo().num_executions();
+  auto compacted = store.value().Compact();
+  if (!compacted.ok()) return Fail(compacted);
+  std::printf(
+      "migrated store %s to format v2: re-encoded %d entries into a "
+      "binary snapshot\n",
+      dir, entries);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: pawctl demo\n"
@@ -446,10 +575,12 @@ int Usage() {
                "       pawctl show <spec.paw>\n"
                "       pawctl run <spec.paw> [label=value ...]\n"
                "       pawctl search <spec.paw> <level> <term> ...\n"
-               "       pawctl init <dir> [shards=N]\n"
+               "       pawctl init <dir> [shards=N] [codec=binary|text]\n"
                "       pawctl open <dir> [threads=N]\n"
-               "       pawctl ingest <dir> <spec.paw> [runs=N] [threads=N]\n"
-               "       pawctl compact <dir> [threads=N]\n");
+               "       pawctl ingest <dir> <spec.paw> [runs=N] [threads=N]"
+               " [sync=each|batch] [codec=binary|text]\n"
+               "       pawctl compact <dir> [threads=N]\n"
+               "       pawctl migrate <dir> [threads=N]\n");
   return 2;
 }
 
@@ -478,6 +609,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "compact" && argc >= 3) {
     return CmdCompact(argv[2], argc - 3, argv + 3);
+  }
+  if (cmd == "migrate" && argc >= 3) {
+    return CmdMigrate(argv[2], argc - 3, argv + 3);
   }
   return Usage();
 }
