@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -102,6 +103,13 @@ Status RemoveFileIfExists(const std::string& path) {
   fs::remove(path, ec);
   if (ec) return Status::Internal("remove " + path + ": " + ec.message());
   return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + " -> " + to);
+  }
+  return SyncParentDir(to);
 }
 
 Result<AppendOnlyFile> AppendOnlyFile::Open(const std::string& path) {

@@ -39,6 +39,11 @@ Result<std::vector<std::string>> ListDir(const std::string& dir);
 /// \brief Deletes the file at `path`; ok if it does not exist.
 Status RemoveFileIfExists(const std::string& path);
 
+/// \brief Atomically renames `from` to `to` (same directory or same
+/// file system) and fsyncs the destination's parent directory so the
+/// rename survives a crash.
+Status RenameFile(const std::string& from, const std::string& to);
+
 /// \brief An append-only file descriptor (the WAL's backing handle).
 ///
 /// Appends buffer in user space; `Flush` pushes them to the OS and

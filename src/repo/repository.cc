@@ -39,6 +39,15 @@ Result<int> Repository::FindSpec(std::string_view name) const {
   return Status::NotFound("no spec named '" + std::string(name) + "'");
 }
 
+RepositoryView Repository::View() const {
+  RepositoryView view;
+  view.specs.reserve(specs_.size());
+  for (const auto& e : specs_) view.specs.push_back(e.get());
+  view.execs.reserve(execs_.size());
+  for (const auto& e : execs_) view.execs.push_back(e.get());
+  return view;
+}
+
 std::vector<ExecutionId> Repository::ExecutionsOf(int spec_id) const {
   std::vector<ExecutionId> out;
   for (const auto& e : execs_) {

@@ -57,6 +57,20 @@ struct ExecutionEntry {
   PersistMeta persist;
 };
 
+/// \brief A pinned, point-in-time view of a repository.
+///
+/// Entries live behind `unique_ptr` (stable addresses) and are never
+/// mutated after insertion, so a consistent view is just the entry
+/// pointers captured at the cut: it stays valid — and frozen — while
+/// new entries are appended behind it. This is what lets a background
+/// snapshot writer walk the repository while a writer thread keeps
+/// ingesting. Capturing must not race an in-flight mutation (same
+/// single-writer contract as `AddSpecification`/`AddExecution`).
+struct RepositoryView {
+  std::vector<const SpecEntry*> specs;
+  std::vector<const ExecutionEntry*> execs;
+};
+
 /// \brief In-memory repository of specifications and executions.
 class Repository {
  public:
@@ -84,6 +98,10 @@ class Repository {
 
   /// \brief Executions of one specification.
   std::vector<ExecutionId> ExecutionsOf(int spec_id) const;
+
+  /// \brief Captures a pinned view of every entry currently stored
+  /// (see `RepositoryView` for the consistency contract).
+  RepositoryView View() const;
 
   /// \brief Stamps durability metadata on a spec entry; id must be in
   /// range. Called by the persistent store layer after logging.

@@ -1,6 +1,11 @@
 #include "src/store/persistent_repository.h"
 
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
 #include "src/common/file_io.h"
+#include "src/common/thread_pool.h"
 #include "src/provenance/serialize.h"
 #include "src/store/codec.h"
 #include "src/store/snapshot.h"
@@ -16,7 +21,6 @@ constexpr std::string_view kMarkerName = "PAWSTORE";
 /// store that may contain records it cannot parse.
 constexpr std::string_view kMarkerV1 = "pawstore 1\n";
 constexpr std::string_view kMarkerV2 = "pawstore 2\n";
-constexpr std::string_view kWalName = "wal.log";
 // Manifest of a *sharded* store root (src/store/sharded_repository.h);
 // a single-directory store must never be created inside one.
 constexpr std::string_view kShardManifestName = "PAWSHARDS";
@@ -25,14 +29,11 @@ std::string MarkerPath(const std::string& dir) {
   return dir + "/" + std::string(kMarkerName);
 }
 
-std::string WalPath(const std::string& dir) {
-  return dir + "/" + std::string(kWalName);
-}
-
 /// Deletes `<name>.tmp` leftovers of interrupted `AtomicWriteFile`
 /// calls (a crash between temp write and rename, e.g. mid-compaction
-/// snapshot). They are never valid store state — the rename is the
-/// commit point — so reclaiming them on open is always safe.
+/// snapshot or manifest bump). They are never valid store state — the
+/// rename is the commit point — so reclaiming them on open is always
+/// safe.
 Status RemoveStaleTempFiles(const std::string& dir) {
   PAW_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir));
   for (const std::string& name : names) {
@@ -43,7 +44,44 @@ Status RemoveStaleTempFiles(const std::string& dir) {
   return Status::OK();
 }
 
+WalOptions WalOptionsFrom(const StoreOptions& options) {
+  WalOptions wal_options;
+  wal_options.sync_each_append = options.sync_each_append;
+  wal_options.segment_bytes = options.segment_bytes;
+  return wal_options;
+}
+
 }  // namespace
+
+/// Shared between the store handle and the snapshot worker; heap-held
+/// so a running compaction survives moves of the store object.
+struct PersistentRepository::CompactState {
+  std::mutex mu;
+  std::condition_variable cv;
+  /// True from cut-pin to publish (background) / for the whole call
+  /// (inline). Guarded by `mu`.
+  bool running = false;
+  /// Result of the most recently finished compaction. Guarded by `mu`.
+  Status last;
+  /// LSN covered by the newest installed snapshot.
+  std::atomic<uint64_t> snapshot_lsn{0};
+  /// Oldest segment seq the last installed compaction kept; sealed
+  /// segments awaiting compaction exist iff the WAL's active seq
+  /// exceeds this (the background auto-trigger's cue).
+  std::atomic<uint64_t> installed_seq{1};
+  /// Lazily created one-thread snapshot worker. Declared last: its
+  /// destructor drains in-flight work while the rest of the state is
+  /// still alive.
+  std::unique_ptr<ThreadPool> worker;
+};
+
+PersistentRepository::PersistentRepository(std::string dir,
+                                           WriteAheadLog wal,
+                                           Options options)
+    : dir_(std::move(dir)),
+      wal_(std::move(wal)),
+      options_(std::move(options)),
+      state_(std::make_shared<CompactState>()) {}
 
 Result<PersistentRepository> PersistentRepository::Init(
     const std::string& dir, Options options) {
@@ -59,12 +97,10 @@ Result<PersistentRepository> PersistentRepository::Init(
   const bool binary = options.codec == PayloadCodec::kBinary;
   PAW_RETURN_NOT_OK(
       AtomicWriteFile(MarkerPath(dir), binary ? kMarkerV2 : kMarkerV1));
-  WriteAheadLog::Options wal_options;
-  wal_options.sync_each_append = options.sync_each_append;
   PAW_ASSIGN_OR_RETURN(
       WriteAheadLog wal,
-      WriteAheadLog::Create(WalPath(dir), /*base_lsn=*/0, wal_options));
-  PersistentRepository store(dir, std::move(wal), options);
+      WriteAheadLog::Create(dir, /*base_lsn=*/0, WalOptionsFrom(options)));
+  PersistentRepository store(dir, std::move(wal), std::move(options));
   store.format_version_ = binary ? 2 : 1;
   return store;
 }
@@ -89,7 +125,7 @@ Result<PersistentRepository> PersistentRepository::Open(
       format_version == 1 && options.codec == PayloadCodec::kBinary;
 
   // A crash between AtomicWriteFile's temp write and rename (snapshot
-  // mid-compaction, marker, manifest) leaves a `*.tmp` behind; reclaim
+  // mid-compaction, marker, manifests) leaves a `*.tmp` behind; reclaim
   // it before snapshot discovery so it can never accumulate or be
   // mistaken for store state.
   PAW_RETURN_NOT_OK(RemoveStaleTempFiles(dir));
@@ -107,16 +143,19 @@ Result<PersistentRepository> PersistentRepository::Open(
     return snapshot.status();
   }
 
-  // Replay the log suffix the snapshot does not cover.
-  WriteAheadLog::Options wal_options;
-  wal_options.sync_each_append = options.sync_each_append;
+  // Replay the log suffix the snapshot does not cover: every surviving
+  // segment in seq order (wal.h validates the chain and repairs a torn
+  // tail).
   WalReplay replay;
   PAW_ASSIGN_OR_RETURN(
       WriteAheadLog wal,
-      WriteAheadLog::Open(WalPath(dir), &replay, wal_options));
+      WriteAheadLog::Open(dir, &replay, WalOptionsFrom(options)));
   recovery.torn_tail = replay.torn_tail;
   recovery.dropped_bytes = replay.dropped_bytes;
   recovery.tail_error = replay.tail_error;
+  recovery.wal_segments = replay.segments;
+  recovery.stale_segments_removed = replay.stale_segments_removed;
+  recovery.dropped_records = replay.dropped_records;
   for (size_t i = 0; i < replay.records.size(); ++i) {
     const uint64_t record_lsn = replay.base_lsn + i + 1;
     if (record_lsn <= recovery.snapshot_lsn) {
@@ -145,9 +184,12 @@ Result<PersistentRepository> PersistentRepository::Open(
     format_version = 2;
   }
 
-  PersistentRepository store(dir, std::move(wal), options);
+  PersistentRepository store(dir, std::move(wal), std::move(options));
   store.repo_ = std::move(repo);
-  store.snapshot_lsn_ = recovery.snapshot_lsn;
+  store.state_->snapshot_lsn.store(recovery.snapshot_lsn,
+                                   std::memory_order_release);
+  store.state_->installed_seq.store(replay.first_seq,
+                                    std::memory_order_release);
   store.format_version_ = format_version;
   store.recovery_ = std::move(recovery);
   return store;
@@ -274,33 +316,144 @@ Result<ExecutionId> PersistentRepository::AddExecution(int spec_id,
   return id;
 }
 
-Status PersistentRepository::Compact() {
-  // Make everything the snapshot will cover durable first.
-  PAW_RETURN_NOT_OK(wal_.Sync());
-  const uint64_t covered = wal_.last_lsn();
+Result<PersistentRepository::CompactJob>
+PersistentRepository::PrepareCompaction() {
+  // The rotation cut: everything logged so far is sealed (and durable
+  // — Rotate fsyncs before the new segment exists); appends from here
+  // on land in the fresh active segment and stay out of the snapshot.
+  PAW_ASSIGN_OR_RETURN(WalRotation rotation, wal_.Rotate());
+  CompactJob job;
+  job.dir = dir_;
+  job.codec = options_.codec;
+  // Pin the covered prefix: entry pointers are stable and entries
+  // immutable once inserted, so this view stays consistent while the
+  // writer keeps appending behind it.
+  job.view = repo_.View();
+  job.covered = rotation.end_lsn;
+  job.keep_seq = rotation.active_seq;
+  job.hook = options_.compaction_hook;
+  return job;
+}
+
+Status PersistentRepository::ExecuteCompactionJob(const CompactJob& job,
+                                                  CompactState* state) {
+  if (job.hook) job.hook(CompactionPhase::kSnapshot);
   // Snapshot records are re-encoded with the configured codec, so
   // compacting is also how a v1 store's records upgrade to binary.
   PAW_RETURN_NOT_OK(
-      WriteSnapshot(dir_, repo_, covered, options_.codec).status());
-  // Start a fresh log. A crash before this point leaves the old log in
-  // place; recovery then skips records the new snapshot already covers.
-  WriteAheadLog::Options wal_options;
-  wal_options.sync_each_append = options_.sync_each_append;
-  PAW_ASSIGN_OR_RETURN(
-      WriteAheadLog fresh,
-      WriteAheadLog::Create(WalPath(dir_), covered, wal_options));
-  wal_ = std::move(fresh);
-  snapshot_lsn_ = covered;
-  return RemoveSnapshotsBefore(dir_, covered);
+      WriteSnapshot(job.dir, job.view, job.covered, job.codec).status());
+  if (job.hook) job.hook(CompactionPhase::kInstall);
+  // The manifest bump is the commit point of segment deletion: after
+  // it, recovery reclaims segments below keep_seq; before it, they are
+  // still live (and merely redundant with the snapshot).
+  PAW_RETURN_NOT_OK(WriteWalManifest(job.dir, job.keep_seq));
+  if (job.hook) job.hook(CompactionPhase::kCleanup);
+  // Unlink oldest-first so any crash leaves a contiguous segment
+  // suffix; stragglers are reclaimed on the next open anyway.
+  PAW_ASSIGN_OR_RETURN(std::vector<WalSegmentFile> segments,
+                       ListWalSegments(job.dir));
+  for (const WalSegmentFile& segment : segments) {
+    if (segment.seq < job.keep_seq) {
+      PAW_RETURN_NOT_OK(RemoveFileIfExists(segment.path));
+    }
+  }
+  PAW_RETURN_NOT_OK(RemoveSnapshotsBefore(job.dir, job.covered));
+  // Publish coverage before the kDone hook so observers released by it
+  // already see the new snapshot LSN.
+  state->snapshot_lsn.store(job.covered, std::memory_order_release);
+  state->installed_seq.store(job.keep_seq, std::memory_order_release);
+  if (job.hook) job.hook(CompactionPhase::kDone);
+  return Status::OK();
+}
+
+Status PersistentRepository::Compact() {
+  // Join any background compaction first; this inline one supersedes
+  // its result.
+  (void)WaitForCompaction();
+  CompactState* state = state_.get();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->running = true;
+  }
+  auto job = PrepareCompaction();
+  const Status result =
+      job.ok() ? ExecuteCompactionJob(job.value(), state) : job.status();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->running = false;
+    state->last = result;
+  }
+  state->cv.notify_all();
+  return result;
+}
+
+Status PersistentRepository::CompactAsync() {
+  CompactState* state = state_.get();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->running) return Status::OK();  // already in flight
+    state->running = true;
+  }
+  auto job = PrepareCompaction();
+  if (!job.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->running = false;
+      state->last = job.status();
+    }
+    state->cv.notify_all();
+    return job.status();
+  }
+  if (state->worker == nullptr) {
+    state->worker = std::make_unique<ThreadPool>(1);
+  }
+  // The task owns a self-contained job plus the heap-pinned state; it
+  // never touches the (movable) store object.
+  state->worker->Submit([job = std::move(job).value(), state]() {
+    const Status result = ExecuteCompactionJob(job, state);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->running = false;
+      state->last = result;
+    }
+    state->cv.notify_all();
+  });
+  return Status::OK();
+}
+
+Status PersistentRepository::WaitForCompaction() {
+  CompactState* state = state_.get();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [state] { return !state->running; });
+  return state->last;
+}
+
+bool PersistentRepository::compaction_running() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->running;
+}
+
+uint64_t PersistentRepository::snapshot_lsn() const {
+  return state_->snapshot_lsn.load(std::memory_order_acquire);
 }
 
 Status PersistentRepository::Sync() { return wal_.Sync(); }
 
 Status PersistentRepository::MaybeAutoCompact() {
-  if (options_.snapshot_every == 0) return Status::OK();
-  if (records_since_snapshot() < options_.snapshot_every) {
-    return Status::OK();
+  const bool records_due =
+      options_.snapshot_every > 0 &&
+      records_since_snapshot() >= options_.snapshot_every;
+  if (options_.background_compaction) {
+    // Size-based rotations also count: fold sealed segments into a
+    // snapshot as soon as they appear, without stalling the writer.
+    const bool segments_due =
+        options_.segment_bytes > 0 &&
+        wal_.active_seq() >
+            state_->installed_seq.load(std::memory_order_acquire);
+    if (!records_due && !segments_due) return Status::OK();
+    return CompactAsync();
   }
+  if (!records_due) return Status::OK();
   return Compact();
 }
 

@@ -228,9 +228,7 @@ void ShardedRepository::StartWriterPool() {
       num_shards(), std::min(options_.writer_threads, num_shards()));
 }
 
-void ShardedRepository::Enqueue(
-    int shard,
-    std::function<std::function<void(const Status&)>()> op) {
+void ShardedRepository::Enqueue(int shard, std::unique_ptr<PendingOp> op) {
   WriterState* ws = writer_.get();
   ShardQueue* q = &ws->queues[static_cast<size_t>(shard)];
   {
@@ -240,7 +238,14 @@ void ShardedRepository::Enqueue(
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(q->mu);
-    q->ops.push_back(std::move(op));
+    // Intrusive push: the node is the queue entry, no container churn.
+    PendingOp* node = op.release();
+    if (q->tail == nullptr) {
+      q->head = node;
+    } else {
+      q->tail->next = node;
+    }
+    q->tail = node;
     if (!q->scheduled) {
       q->scheduled = true;
       schedule = true;
@@ -254,27 +259,36 @@ void ShardedRepository::Enqueue(
   // around does not invalidate an in-flight drain.
   ws->pool.Submit([ws, q, target, group_sync] {
     for (;;) {
-      std::deque<std::function<std::function<void(const Status&)>()>> batch;
+      PendingOp* batch = nullptr;
       {
         std::lock_guard<std::mutex> lock(q->mu);
-        if (q->ops.empty()) {
+        if (q->head == nullptr) {
           q->scheduled = false;
           return;
         }
-        batch.swap(q->ops);
+        batch = q->head;
+        q->head = nullptr;
+        q->tail = nullptr;
       }
       // Apply the whole batch with buffered appends, then make it
       // durable with a single fdatasync, then acknowledge: a waiter's
       // future never completes before its record is where the store's
       // durability mode promises.
-      std::vector<std::function<void(const Status&)>> completions;
-      completions.reserve(batch.size());
-      for (auto& op : batch) completions.push_back(op());
+      int64_t count = 0;
+      for (PendingOp* op = batch; op != nullptr; op = op->next) {
+        op->Run(target);
+        ++count;
+      }
       const Status sync = group_sync ? target->Sync() : Status::OK();
-      for (auto& done : completions) done(sync);
+      for (PendingOp* op = batch; op != nullptr;) {
+        PendingOp* next = op->next;
+        op->Complete(sync);
+        delete op;
+        op = next;
+      }
       {
         std::lock_guard<std::mutex> lock(ws->mu);
-        ws->pending_ops -= static_cast<int64_t>(batch.size());
+        ws->pending_ops -= count;
         if (ws->pending_ops == 0) ws->drained_cv.notify_all();
       }
     }
@@ -287,6 +301,69 @@ void ShardedRepository::Drain() {
   writer_->drained_cv.wait(lock,
                            [this] { return writer_->pending_ops == 0; });
 }
+
+/// A queued specification append: payload + promise in one block.
+struct ShardedRepository::SpecOp : ShardedRepository::PendingOp {
+  SpecOp(int shard_index, Specification s, PolicySet p)
+      : shard(shard_index), spec(std::move(s)), policy(std::move(p)) {}
+
+  int shard;
+  Specification spec;
+  PolicySet policy;
+  Result<SpecRef> result{Status::Internal("op not run")};
+  std::promise<Result<SpecRef>> promise;
+
+  void Run(PersistentRepository* target) override {
+    auto id = target->AddSpecification(std::move(spec), std::move(policy));
+    result = id.ok() ? Result<SpecRef>(SpecRef{shard, id.value()})
+                     : Result<SpecRef>(id.status());
+  }
+  void Complete(const Status& sync) override {
+    if (result.ok() && !sync.ok()) {
+      promise.set_value(sync);
+    } else {
+      promise.set_value(std::move(result));
+    }
+  }
+};
+
+/// A queued execution append.
+struct ShardedRepository::ExecOp : ShardedRepository::PendingOp {
+  ExecOp(SpecRef r, Execution e) : ref(r), exec(std::move(e)) {}
+
+  SpecRef ref;
+  Execution exec;
+  Result<ExecutionId> result{Status::Internal("op not run")};
+  std::promise<Result<ExecutionId>> promise;
+
+  void Run(PersistentRepository* target) override {
+    result = target->AddExecution(ref.id, std::move(exec));
+  }
+  void Complete(const Status& sync) override {
+    if (result.ok() && !sync.ok()) {
+      promise.set_value(sync);
+    } else {
+      promise.set_value(std::move(result));
+    }
+  }
+};
+
+/// A queued compaction cut: riding the shard queue serializes the cut
+/// (WAL rotation + pinned view) with that shard's appends; the shard's
+/// own snapshot worker does the heavy part afterwards, off the queue.
+struct ShardedRepository::CompactOp : ShardedRepository::PendingOp {
+  Status result;
+
+  void Run(PersistentRepository* target) override {
+    result = target->CompactAsync();
+  }
+  void Complete(const Status& sync) override {
+    // Cut errors surface through the shard's WaitForCompaction (the
+    // shard records them as its last compaction status); the group
+    // sync status belongs to the append ops in the batch.
+    (void)sync;
+  }
+};
 
 Result<ShardedRepository::SpecRef> ShardedRepository::AddSpecification(
     Specification spec, PolicySet policy) {
@@ -318,67 +395,80 @@ std::future<Result<ShardedRepository::SpecRef>>
 ShardedRepository::AddSpecificationAsync(Specification spec,
                                          PolicySet policy) {
   const int shard = ShardOf(spec.name(), num_shards());
-  auto promise =
-      std::make_shared<std::promise<Result<SpecRef>>>();
-  std::future<Result<SpecRef>> future = promise->get_future();
-  PersistentRepository* target = shards_[static_cast<size_t>(shard)].get();
   if (writer_ == nullptr) {
+    PersistentRepository* target = shards_[static_cast<size_t>(shard)].get();
+    std::promise<Result<SpecRef>> promise;
+    std::future<Result<SpecRef>> future = promise.get_future();
     auto id = target->AddSpecification(std::move(spec), std::move(policy));
-    promise->set_value(id.ok() ? Result<SpecRef>(SpecRef{shard, id.value()})
-                               : Result<SpecRef>(id.status()));
+    promise.set_value(id.ok() ? Result<SpecRef>(SpecRef{shard, id.value()})
+                              : Result<SpecRef>(id.status()));
     return future;
   }
-  // Payloads travel behind shared_ptr because std::function requires a
-  // copyable callable; nothing is actually copied at runtime.
-  auto spec_ptr = std::make_shared<Specification>(std::move(spec));
-  auto policy_ptr = std::make_shared<PolicySet>(std::move(policy));
-  Enqueue(shard, [target, shard, promise, spec_ptr, policy_ptr]()
-              -> std::function<void(const Status&)> {
-    auto id = target->AddSpecification(std::move(*spec_ptr),
-                                       std::move(*policy_ptr));
-    auto result = std::make_shared<Result<SpecRef>>(
-        id.ok() ? Result<SpecRef>(SpecRef{shard, id.value()})
-                : Result<SpecRef>(id.status()));
-    return [promise, result](const Status& sync) {
-      if (result->ok() && !sync.ok()) {
-        promise->set_value(sync);
-      } else {
-        promise->set_value(std::move(*result));
-      }
-    };
-  });
+  auto op = std::make_unique<SpecOp>(shard, std::move(spec),
+                                     std::move(policy));
+  std::future<Result<SpecRef>> future = op->promise.get_future();
+  Enqueue(shard, std::move(op));
   return future;
 }
 
 std::future<Result<ExecutionId>> ShardedRepository::AddExecutionAsync(
     SpecRef ref, Execution exec) {
-  auto promise = std::make_shared<std::promise<Result<ExecutionId>>>();
-  std::future<Result<ExecutionId>> future = promise->get_future();
   if (ref.shard < 0 || ref.shard >= num_shards()) {
-    promise->set_value(
+    std::promise<Result<ExecutionId>> promise;
+    std::future<Result<ExecutionId>> future = promise.get_future();
+    promise.set_value(
         Status::NotFound("unknown shard " + std::to_string(ref.shard)));
     return future;
   }
-  PersistentRepository* target =
-      shards_[static_cast<size_t>(ref.shard)].get();
   if (writer_ == nullptr) {
-    promise->set_value(target->AddExecution(ref.id, std::move(exec)));
+    PersistentRepository* target =
+        shards_[static_cast<size_t>(ref.shard)].get();
+    std::promise<Result<ExecutionId>> promise;
+    std::future<Result<ExecutionId>> future = promise.get_future();
+    promise.set_value(target->AddExecution(ref.id, std::move(exec)));
     return future;
   }
-  auto exec_ptr = std::make_shared<Execution>(std::move(exec));
-  Enqueue(ref.shard, [target, ref, promise, exec_ptr]()
-              -> std::function<void(const Status&)> {
-    auto result = std::make_shared<Result<ExecutionId>>(
-        target->AddExecution(ref.id, std::move(*exec_ptr)));
-    return [promise, result](const Status& sync) {
-      if (result->ok() && !sync.ok()) {
-        promise->set_value(sync);
-      } else {
-        promise->set_value(std::move(*result));
-      }
-    };
-  });
+  auto op = std::make_unique<ExecOp>(ref, std::move(exec));
+  std::future<Result<ExecutionId>> future = op->promise.get_future();
+  Enqueue(ref.shard, std::move(op));
   return future;
+}
+
+Status ShardedRepository::CompactAsync() {
+  if (writer_ == nullptr) {
+    // No queues to serialize against: the caller owns the writer role,
+    // so take every shard's cut inline; the snapshot workers still run
+    // in the background.
+    for (auto& shard : shards_) {
+      PAW_RETURN_NOT_OK(shard->CompactAsync());
+    }
+    return Status::OK();
+  }
+  for (int i = 0; i < num_shards(); ++i) {
+    Enqueue(i, std::make_unique<CompactOp>());
+  }
+  return Status::OK();
+}
+
+Status ShardedRepository::WaitForCompaction() {
+  // First the queues (so every enqueued cut has been taken), then the
+  // per-shard snapshot workers.
+  Drain();
+  Status first;
+  for (int i = 0; i < num_shards(); ++i) {
+    Status s = shards_[static_cast<size_t>(i)]->WaitForCompaction();
+    if (!s.ok() && first.ok()) {
+      first = Status(s.code(), ShardDirName(i) + ": " + s.message());
+    }
+  }
+  return first;
+}
+
+bool ShardedRepository::compaction_running() const {
+  for (const auto& shard : shards_) {
+    if (shard->compaction_running()) return true;
+  }
+  return false;
 }
 
 Result<ShardedRepository::SpecRef> ShardedRepository::FindSpec(

@@ -13,9 +13,9 @@
 ///                                     pawshards 1
 ///                                     shards=<N>
 ///                                     epoch=<E>
-///   <dir>/shard-0000/               full paw store (PAWSTORE, wal.log,
-///   ...                             snapshot-<lsn>.paws)
-///   <dir>/shard-<N-1 zero-padded>/
+///   <dir>/shard-0000/               full paw store (PAWSTORE, PAWWAL,
+///   ...                             wal-<seq>.log segments,
+///   <dir>/shard-<N-1 zero-padded>/  snapshot-<lsn>.paws)
 /// \endcode
 ///
 /// **Routing.** A specification lives on shard
@@ -61,23 +61,31 @@
 /// then completes the futures — N queued appends cost one fsync
 /// instead of N. With `writer_threads == 0` (default) no pool exists
 /// and every call is synchronous on the caller thread, exactly as
-/// before.
+/// before. Queue entries are intrusive single-allocation nodes (the
+/// op's payload, promise, and queue link in one block) rather than
+/// `std::function` chains of `shared_ptr`s, keeping the per-append
+/// allocation count flat on the hot ingest path.
+///
+/// **Background compaction.** `CompactAsync` rides the same queues: a
+/// compaction-cut op is enqueued per shard, so the cut (WAL rotation +
+/// pinned repository view, see persistent_repository.h) is serialized
+/// with that shard's appends, and each shard's snapshot worker then
+/// runs concurrently with further ingest. `WaitForCompaction` drains
+/// the queues and joins every shard's worker.
 ///
 /// **Concurrency contract.** Any number of threads may enqueue
-/// appends concurrently. Everything else — reading shard state
-/// (`shard(i)`, `repo()`, `FindSpec`, `num_specs`), `Compact`, and
-/// `Sync` — requires quiescence: no append may be in flight and no
-/// other thread may enqueue until the call returns. `Drain()` (and a
-/// resolved future) is the barrier callers use to establish that;
-/// `Compact`/`Sync` drain internally, but that only covers ops
-/// enqueued *before* the call — enqueueing concurrently with them is
-/// undefined behavior, exactly like the pre-existing two-live-handles
-/// caveat.
+/// appends concurrently, and `CompactAsync` may be called while they
+/// do. Everything else — reading shard state (`shard(i)`, `repo()`,
+/// `FindSpec`, `num_specs`), `Compact`, and `Sync` — requires
+/// quiescence: no append may be in flight and no other thread may
+/// enqueue until the call returns. `Drain()` (and a resolved future)
+/// is the barrier callers use to establish that; `Compact`/`Sync`
+/// drain internally, but that only covers ops enqueued *before* the
+/// call — enqueueing concurrently with them is undefined behavior,
+/// exactly like the pre-existing two-live-handles caveat.
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -179,8 +187,26 @@ class ShardedRepository {
   Result<SpecRef> FindSpec(std::string_view name) const;
 
   /// \brief Snapshots + truncates every shard, up to `threads` at a
-  /// time. Returns the first shard error, if any.
+  /// time. Returns the first shard error, if any. Requires quiescence
+  /// (drains internally); for compaction concurrent with ingest use
+  /// `CompactAsync`.
   Status Compact(int threads = 1);
+
+  /// \brief Starts a background compaction of every shard and returns
+  /// without waiting for the snapshots. The per-shard cut is enqueued
+  /// on the shard's writer queue (serialized with appends), so this is
+  /// safe to call while other threads keep enqueueing; each shard's
+  /// snapshot worker then runs alongside further ingest. Without a
+  /// writer pool the cuts are taken inline (the snapshot work is still
+  /// backgrounded).
+  Status CompactAsync();
+
+  /// \brief Drains the writer queues, joins every shard's snapshot
+  /// worker, and returns the first shard's compaction error, if any.
+  Status WaitForCompaction();
+
+  /// \brief True while any shard's compaction is active.
+  bool compaction_running() const;
 
   /// \brief Forces every shard's logged records to stable storage.
   Status Sync();
@@ -217,13 +243,30 @@ class ShardedRepository {
   static bool IsShardedStore(const std::string& dir);
 
  private:
+  /// One queued writer op: payload, promise, and the intrusive queue
+  /// link in a single heap block (plus the promise's shared state),
+  /// replacing the previous `std::function`-of-`shared_ptr`s design
+  /// that cost several allocations per append. Subclasses hold the op
+  /// payload by value; `Run` performs the append against the shard and
+  /// stashes the result, and `Complete` — called after the batch's
+  /// group sync with the sync status — fulfills the promise.
+  struct PendingOp {
+    PendingOp* next = nullptr;  // intrusive FIFO link
+    virtual ~PendingOp() = default;
+    virtual void Run(PersistentRepository* shard) = 0;
+    virtual void Complete(const Status& sync) = 0;
+  };
+  struct SpecOp;
+  struct ExecOp;
+  struct CompactOp;
+
   /// One shard's append queue. Heap-held (array behind unique_ptr) so
   /// drain tasks can hold stable pointers across moves of the owner.
   struct ShardQueue {
     std::mutex mu;
-    /// Each op performs the append and returns a completion that is
-    /// invoked *after* the batch's group sync with the sync status.
-    std::deque<std::function<std::function<void(const Status&)>()>> ops;
+    /// Intrusive FIFO of ops awaiting the next drain.
+    PendingOp* head = nullptr;
+    PendingOp* tail = nullptr;
     /// True while a drain task for this queue is scheduled or running;
     /// guarantees the single-writer-per-shard invariant.
     bool scheduled = false;
@@ -246,15 +289,13 @@ class ShardedRepository {
   };
 
   ShardedRepository(std::string dir, Options options)
-      : dir_(std::move(dir)), options_(options) {}
+      : dir_(std::move(dir)), options_(std::move(options)) {}
 
   /// Spins up the writer pool when `options_.writer_threads > 0`.
   void StartWriterPool();
 
   /// Enqueues `op` on shard `shard`'s queue and schedules a drain.
-  void Enqueue(
-      int shard,
-      std::function<std::function<void(const Status&)>()> op);
+  void Enqueue(int shard, std::unique_ptr<PendingOp> op);
 
   /// Store options as passed down to individual shards (per-append
   /// sync is lifted to the batch level when a writer pool exists).

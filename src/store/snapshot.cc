@@ -41,24 +41,28 @@ std::string SnapshotFileName(uint64_t lsn) {
 Result<SnapshotInfo> WriteSnapshot(const std::string& dir,
                                    const Repository& repo, uint64_t lsn,
                                    PayloadCodec codec) {
+  return WriteSnapshot(dir, repo.View(), lsn, codec);
+}
+
+Result<SnapshotInfo> WriteSnapshot(const std::string& dir,
+                                   const RepositoryView& view, uint64_t lsn,
+                                   PayloadCodec codec) {
   const bool binary = codec == PayloadCodec::kBinary;
   std::string stream;
   std::string header_payload;
   PutFixed64(&header_payload, lsn);
   AppendRecord(RecordType::kSnapshotHeader, header_payload, &stream);
-  for (int id = 0; id < repo.num_specs(); ++id) {
-    const SpecEntry& entry = repo.entry(id);
+  for (const SpecEntry* entry : view.specs) {
     AppendRecord(binary ? RecordType::kSpecV2 : RecordType::kSpec,
-                 binary ? EncodeSpecPayloadV2(entry.spec, entry.policy)
-                        : EncodeSpecPayload(entry.spec, entry.policy),
+                 binary ? EncodeSpecPayloadV2(entry->spec, entry->policy)
+                        : EncodeSpecPayload(entry->spec, entry->policy),
                  &stream);
   }
-  for (int id = 0; id < repo.num_executions(); ++id) {
-    const ExecutionEntry& entry = repo.execution(ExecutionId(id));
+  for (const ExecutionEntry* entry : view.execs) {
     AppendRecord(
         binary ? RecordType::kExecutionV2 : RecordType::kExecution,
-        binary ? EncodeExecutionPayloadV2(entry.spec_id, entry.exec)
-               : EncodeExecutionPayload(entry.spec_id, entry.exec),
+        binary ? EncodeExecutionPayloadV2(entry->spec_id, entry->exec)
+               : EncodeExecutionPayload(entry->spec_id, entry->exec),
         &stream);
   }
   SnapshotInfo info;

@@ -44,6 +44,14 @@ Result<SnapshotInfo> WriteSnapshot(const std::string& dir,
                                    const Repository& repo, uint64_t lsn,
                                    PayloadCodec codec = PayloadCodec::kBinary);
 
+/// \brief Same, over a pinned `RepositoryView` — the background
+/// compaction path: the view freezes the covered prefix, so the
+/// snapshot is consistent even while a writer thread keeps appending
+/// to the live repository behind it.
+Result<SnapshotInfo> WriteSnapshot(const std::string& dir,
+                                   const RepositoryView& view, uint64_t lsn,
+                                   PayloadCodec codec = PayloadCodec::kBinary);
+
 /// \brief Highest-LSN snapshot under `dir`; NotFound when none exists.
 Result<SnapshotInfo> FindLatestSnapshot(const std::string& dir);
 

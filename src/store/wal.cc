@@ -1,59 +1,323 @@
 #include "src/store/wal.h"
 
-namespace paw {
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 
-Result<WriteAheadLog> WriteAheadLog::Create(const std::string& path,
-                                            uint64_t base_lsn,
-                                            Options options) {
-  std::string header_payload;
-  PutFixed64(&header_payload, base_lsn);
-  std::string frame;
-  AppendRecord(RecordType::kWalHeader, header_payload, &frame);
-  // Temp-write + rename: replacing an existing log (compaction) leaves
-  // either the old log or the new header-only log, never a hybrid.
-  PAW_RETURN_NOT_OK(AtomicWriteFile(path, frame));
-  PAW_ASSIGN_OR_RETURN(AppendOnlyFile file, AppendOnlyFile::Open(path));
-  return WriteAheadLog(std::move(file), base_lsn, base_lsn, options);
+namespace paw {
+namespace {
+
+constexpr std::string_view kManifestName = "PAWWAL";
+constexpr std::string_view kManifestMagic = "pawwal 1";
+constexpr std::string_view kSegmentPrefix = "wal-";
+constexpr std::string_view kSegmentSuffix = ".log";
+constexpr size_t kSegmentSeqDigits = 8;
+/// Pre-segmentation layout: one `wal.log`, upgraded in place on Open.
+constexpr std::string_view kLegacyName = "wal.log";
+
+std::string ManifestPath(const std::string& dir) {
+  return dir + "/" + std::string(kManifestName);
 }
 
-Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path,
+/// Parses "wal-<seq>.log" into its seq; false otherwise. Seqs are
+/// zero-padded to 8 digits but snprintf widens past 99,999,999, so
+/// accept 8..19 digits — a store that rotates past 1e8 segments must
+/// not have its newer segments become invisible to recovery.
+bool ParseSegmentName(const std::string& name, uint64_t* seq) {
+  const size_t overhead = kSegmentPrefix.size() + kSegmentSuffix.size();
+  if (name.size() < overhead + kSegmentSeqDigits ||
+      name.size() > overhead + 19) {
+    return false;
+  }
+  if (name.compare(0, kSegmentPrefix.size(), kSegmentPrefix) != 0) {
+    return false;
+  }
+  if (name.compare(name.size() - kSegmentSuffix.size(),
+                   kSegmentSuffix.size(), kSegmentSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = kSegmentPrefix.size();
+       i < name.size() - kSegmentSuffix.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  if (value == 0) return false;  // seqs start at 1
+  *seq = value;
+  return true;
+}
+
+/// The header-only contents a fresh segment starts with.
+std::string SegmentHeaderFrame(uint64_t base_lsn) {
+  std::string payload;
+  PutFixed64(&payload, base_lsn);
+  std::string frame;
+  AppendRecord(RecordType::kWalHeader, payload, &frame);
+  return frame;
+}
+
+/// Creates `wal-<seq>.log` with base `base_lsn` (atomically) and opens
+/// it for append.
+Result<AppendOnlyFile> CreateSegment(const std::string& dir, uint64_t seq,
+                                     uint64_t base_lsn) {
+  const std::string path = dir + "/" + WalSegmentFileName(seq);
+  // Temp-write + rename: a crash leaves either no segment or a whole
+  // header-only segment, never a torn header.
+  PAW_RETURN_NOT_OK(AtomicWriteFile(path, SegmentHeaderFrame(base_lsn)));
+  return AppendOnlyFile::Open(path);
+}
+
+/// Parses a segment file's header record; returns its base LSN and
+/// positions `reader` past the header.
+Result<uint64_t> ReadSegmentHeader(RecordReader* reader,
+                                   const std::string& path) {
+  Record record;
+  if (reader->Next(&record) != ReadOutcome::kRecord ||
+      record.type != RecordType::kWalHeader) {
+    return Status::FailedPrecondition("not a WAL segment: " + path);
+  }
+  size_t pos = 0;
+  uint64_t base = 0;
+  if (!GetFixed64(record.payload, &pos, &base) ||
+      pos != record.payload.size()) {
+    return Status::FailedPrecondition("corrupt WAL segment header: " + path);
+  }
+  return base;
+}
+
+}  // namespace
+
+std::string WalSegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+Result<std::vector<WalSegmentFile>> ListWalSegments(const std::string& dir) {
+  PAW_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDir(dir));
+  std::vector<WalSegmentFile> out;
+  for (const std::string& name : names) {
+    uint64_t seq = 0;
+    if (!ParseSegmentName(name, &seq)) continue;
+    out.push_back({seq, dir + "/" + name});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WalSegmentFile& a, const WalSegmentFile& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+Result<uint64_t> ReadWalManifest(const std::string& dir) {
+  auto contents = ReadFileToString(ManifestPath(dir));
+  if (!contents.ok()) {
+    return Status::NotFound(dir + " has no " + std::string(kManifestName) +
+                            " manifest");
+  }
+  // Strict parse: the manifest gates segment deletion, so junk is
+  // corruption, not something to guess around.
+  const std::string& text = contents.value();
+  const std::string expect_prefix = std::string(kManifestMagic) + "\nfirst=";
+  if (text.compare(0, expect_prefix.size(), expect_prefix) != 0) {
+    return Status::FailedPrecondition("corrupt WAL manifest in " + dir);
+  }
+  const std::string value =
+      text.substr(expect_prefix.size(),
+                  text.size() - expect_prefix.size() -
+                      (text.back() == '\n' ? 1 : 0));
+  if (value.empty()) {
+    return Status::FailedPrecondition("corrupt WAL manifest in " + dir);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end != value.c_str() + value.size() || parsed == 0) {
+    return Status::FailedPrecondition("bad WAL manifest first= in " + dir);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+Status WriteWalManifest(const std::string& dir, uint64_t first_seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\nfirst=%llu\n",
+                std::string(kManifestMagic).c_str(),
+                static_cast<unsigned long long>(first_seq));
+  return AtomicWriteFile(ManifestPath(dir), buf);
+}
+
+Result<WriteAheadLog> WriteAheadLog::Create(const std::string& dir,
+                                            uint64_t base_lsn,
+                                            Options options) {
+  PAW_ASSIGN_OR_RETURN(std::vector<WalSegmentFile> existing,
+                       ListWalSegments(dir));
+  if (!existing.empty() || PathExists(dir + "/" + std::string(kLegacyName))) {
+    return Status::AlreadyExists(dir + " already contains a WAL");
+  }
+  // Segment before manifest: Open reconstructs a missing manifest from
+  // the segment files, but a manifest without segments is an error.
+  PAW_ASSIGN_OR_RETURN(AppendOnlyFile file,
+                       CreateSegment(dir, /*seq=*/1, base_lsn));
+  PAW_RETURN_NOT_OK(WriteWalManifest(dir, /*first_seq=*/1));
+  return WriteAheadLog(std::move(file), dir, /*seq=*/1, base_lsn, base_lsn,
+                       options);
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
                                           WalReplay* replay,
                                           Options options) {
-  PAW_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
-  RecordReader reader(contents);
-  Record record;
-  ReadOutcome outcome = reader.Next(&record);
-  if (outcome != ReadOutcome::kRecord ||
-      record.type != RecordType::kWalHeader) {
-    return Status::FailedPrecondition("not a WAL file: " + path);
-  }
-  {
-    size_t pos = 0;
-    uint64_t base = 0;
-    if (!GetFixed64(record.payload, &pos, &base) ||
-        pos != record.payload.size()) {
-      return Status::FailedPrecondition("corrupt WAL header: " + path);
+  *replay = WalReplay{};
+
+  PAW_ASSIGN_OR_RETURN(std::vector<WalSegmentFile> segments,
+                       ListWalSegments(dir));
+  const std::string legacy_path = dir + "/" + std::string(kLegacyName);
+  if (PathExists(legacy_path)) {
+    if (!segments.empty()) {
+      // Only external interference can produce this mix (the upgrade
+      // rename is atomic); picking either side could drop records.
+      return Status::FailedPrecondition(
+          dir + " holds both a legacy wal.log and WAL segments");
     }
-    replay->base_lsn = base;
+    PAW_RETURN_NOT_OK(
+        RenameFile(legacy_path, dir + "/" + WalSegmentFileName(1)));
+    segments.push_back({1, dir + "/" + WalSegmentFileName(1)});
+    replay->legacy_upgraded = true;
   }
-  replay->records.clear();
-  replay->torn_tail = false;
-  replay->dropped_bytes = 0;
-  replay->tail_error.clear();
-  while ((outcome = reader.Next(&record)) == ReadOutcome::kRecord) {
-    replay->records.push_back(std::move(record));
+  if (segments.empty()) {
+    return Status::NotFound("no WAL in " + dir);
   }
-  if (outcome == ReadOutcome::kTornTail) {
+
+  uint64_t first = 0;
+  auto manifest = ReadWalManifest(dir);
+  if (manifest.ok()) {
+    first = manifest.value();
+  } else if (manifest.status().IsNotFound()) {
+    // Crash window of Create / legacy upgrade: reconstruct and heal.
+    first = segments.front().seq;
+    PAW_RETURN_NOT_OK(WriteWalManifest(dir, first));
+  } else {
+    return manifest.status();
+  }
+
+  // Reclaim segments a finished compaction already logically deleted
+  // (crash between the manifest bump and the unlinks).
+  size_t keep_from = 0;
+  while (keep_from < segments.size() && segments[keep_from].seq < first) {
+    PAW_RETURN_NOT_OK(RemoveFileIfExists(segments[keep_from].path));
+    ++replay->stale_segments_removed;
+    ++keep_from;
+  }
+  segments.erase(segments.begin(),
+                 segments.begin() + static_cast<ptrdiff_t>(keep_from));
+  if (segments.empty()) {
+    return Status::FailedPrecondition(
+        dir + ": WAL manifest names segment " + std::to_string(first) +
+        " but no segment at or past it exists");
+  }
+  // Seqs must be contiguous from `first`: a hole means a live segment
+  // was deleted out from under the store.
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].seq != first + i) {
+      return Status::FailedPrecondition(
+          dir + ": missing WAL segment " +
+          WalSegmentFileName(first + i));
+    }
+  }
+
+  // Replay in seq order, verifying the base-LSN chain. Damage in a
+  // *sealed* segment (fsync'd at seal, so never a plain crash
+  // artifact) is repaired to the clean prefix: everything from the
+  // damage on — including every later segment — is dropped, never
+  // spliced over the hole.
+  uint64_t running_end = 0;
+  uint64_t active_base = 0;
+  size_t active_index = segments.size() - 1;
+
+  // Deletes segments[j0..] and accounts their contents as dropped.
+  auto drop_segments_from = [&](size_t j0) -> Status {
+    for (size_t j = j0; j < segments.size(); ++j) {
+      auto lost = ReadFileToString(segments[j].path);
+      if (lost.ok()) {
+        replay->dropped_bytes += lost.value().size();
+        RecordReader lost_reader(lost.value());
+        Record lost_record;
+        uint64_t seg_records = 0;
+        while (lost_reader.Next(&lost_record) == ReadOutcome::kRecord) {
+          ++seg_records;
+        }
+        // The segment's own kWalHeader is framing, not data.
+        replay->dropped_records += seg_records > 0 ? seg_records - 1 : 0;
+      }
+      PAW_RETURN_NOT_OK(RemoveFileIfExists(segments[j].path));
+    }
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const WalSegmentFile& seg = segments[i];
+    PAW_ASSIGN_OR_RETURN(std::string contents,
+                         ReadFileToString(seg.path));
+    RecordReader reader(contents);
+    PAW_ASSIGN_OR_RETURN(const uint64_t base,
+                         ReadSegmentHeader(&reader, seg.path));
+    if (i == 0) {
+      replay->base_lsn = base;
+      running_end = base;
+    } else if (base < running_end) {
+      // Overlapping LSNs cannot come from any crash ordering: refuse
+      // rather than guess which copy of a record is real.
+      return Status::FailedPrecondition(
+          seg.path + ": segment chain overlap (base " +
+          std::to_string(base) + ", already replayed through " +
+          std::to_string(running_end) + ")");
+    } else if (base > running_end) {
+      // Gap: the tail of the previous (sealed) segment is missing —
+      // e.g. truncation that happened to land on a record boundary.
+      // Clean prefix: drop this segment and everything after it.
+      replay->torn_tail = true;
+      replay->tail_error =
+          seg.path + ": segment chain gap (base " + std::to_string(base) +
+          ", previous segment ends at " + std::to_string(running_end) +
+          "); dropping this and later segments";
+      PAW_RETURN_NOT_OK(drop_segments_from(i));
+      active_index = i - 1;
+      break;
+    }
+    active_base = base;
+    Record record;
+    ReadOutcome outcome;
+    while ((outcome = reader.Next(&record)) == ReadOutcome::kRecord) {
+      replay->records.push_back(std::move(record));
+      ++running_end;
+    }
+    if (outcome != ReadOutcome::kTornTail) continue;
+
     replay->torn_tail = true;
-    replay->dropped_bytes = reader.dropped_bytes();
+    replay->dropped_bytes += reader.dropped_bytes();
     replay->tail_error = reader.tail_error();
     // Repair: drop the tail so the next append starts a clean frame.
-    PAW_RETURN_NOT_OK(
-        TruncateFile(path, static_cast<int64_t>(reader.valid_bytes())));
+    PAW_RETURN_NOT_OK(TruncateFile(
+        seg.path, static_cast<int64_t>(reader.valid_bytes())));
+    if (i + 1 < segments.size()) {
+      replay->tail_error =
+          seg.path + ": " + replay->tail_error +
+          " (torn sealed segment; dropping later segments)";
+      PAW_RETURN_NOT_OK(drop_segments_from(i + 1));
+    }
+    active_index = i;
+    break;
   }
-  PAW_ASSIGN_OR_RETURN(AppendOnlyFile file, AppendOnlyFile::Open(path));
-  const uint64_t last = replay->base_lsn + replay->records.size();
-  return WriteAheadLog(std::move(file), replay->base_lsn, last, options);
+  segments.resize(active_index + 1);
+
+  replay->segments = static_cast<int>(segments.size());
+  replay->first_seq = first;
+
+  const WalSegmentFile& active = segments.back();
+  PAW_ASSIGN_OR_RETURN(AppendOnlyFile file,
+                       AppendOnlyFile::Open(active.path));
+  return WriteAheadLog(std::move(file), dir, active.seq, active_base,
+                       running_end, options);
 }
 
 Result<uint64_t> WriteAheadLog::Append(RecordType type,
@@ -87,6 +351,10 @@ Result<uint64_t> WriteAheadLog::Append(RecordType type,
       // plus any concurrent arrivals) and commit it as one batch.
       r->writer_active = true;
       const uint64_t batch_seq = r->next_batch_seq++;
+      // Every staged frame is in `pending`, so the last assigned LSN
+      // is exactly the end of the batch being cut.
+      const uint64_t batch_end_lsn =
+          r->last_lsn.load(std::memory_order_relaxed);
       std::string batch;
       batch.swap(r->pending);
       lock.unlock();
@@ -95,15 +363,28 @@ Result<uint64_t> WriteAheadLog::Append(RecordType type,
         s = r->options.sync_each_append ? r->file.Sync() : r->file.Flush();
       }
       lock.lock();
-      r->writer_active = false;
       if (!s.ok()) {
+        r->writer_active = false;
         r->error = s;
         r->cv.notify_all();
         return s;
       }
       r->committed_seq = batch_seq;
+      r->committed_lsn = batch_end_lsn;
       r->size_bytes.fetch_add(static_cast<int64_t>(batch.size()),
                               std::memory_order_acq_rel);
+      // Size-based rotation: seal while still holding the writer slot,
+      // so frames staged by concurrent appenders (which belong to the
+      // *next* batch) land in the fresh segment.
+      if (r->options.segment_bytes > 0 &&
+          static_cast<uint64_t>(
+              r->size_bytes.load(std::memory_order_relaxed)) >=
+              r->options.segment_bytes) {
+        // The caller's record is already committed; a rotation failure
+        // poisons the log for *future* ops but this append succeeded.
+        (void)RotateLocked(lock);
+      }
+      r->writer_active = false;
       r->cv.notify_all();
     } else {
       r->cv.wait(lock);
@@ -125,6 +406,8 @@ Status WriteAheadLog::Sync() {
   r->writer_active = true;
   const bool have_batch = !r->pending.empty();
   const uint64_t batch_seq = have_batch ? r->next_batch_seq++ : 0;
+  const uint64_t batch_end_lsn =
+      r->last_lsn.load(std::memory_order_relaxed);
   std::string batch;
   batch.swap(r->pending);
   lock.unlock();
@@ -139,11 +422,59 @@ Status WriteAheadLog::Sync() {
   }
   if (have_batch) {
     r->committed_seq = batch_seq;
+    r->committed_lsn = batch_end_lsn;
     r->size_bytes.fetch_add(static_cast<int64_t>(batch.size()),
                             std::memory_order_acq_rel);
   }
   r->cv.notify_all();
   return s;
+}
+
+Result<WalRotation> WriteAheadLog::Rotate() {
+  Rep* r = rep_.get();
+  std::unique_lock<std::mutex> lock(r->mu);
+  if (!r->error.ok()) return r->error;
+  while (r->writer_active) {
+    r->cv.wait(lock);
+    if (!r->error.ok()) return r->error;
+  }
+  r->writer_active = true;
+  Status s = RotateLocked(lock);
+  r->writer_active = false;
+  r->cv.notify_all();
+  PAW_RETURN_NOT_OK(s);
+  WalRotation rotation;
+  rotation.active_seq = r->seq.load(std::memory_order_relaxed);
+  rotation.sealed_seq = rotation.active_seq - 1;
+  rotation.end_lsn = r->base_lsn.load(std::memory_order_relaxed);
+  return rotation;
+}
+
+Status WriteAheadLog::RotateLocked(std::unique_lock<std::mutex>& lock) {
+  Rep* r = rep_.get();
+  // Frames still staged in `pending` belong to batches after this cut;
+  // they will be written to the new segment, whose base is exactly the
+  // last committed LSN — the chain stays dense.
+  const uint64_t end_lsn = r->committed_lsn;
+  const uint64_t new_seq = r->seq.load(std::memory_order_relaxed) + 1;
+  lock.unlock();
+  // Seal: everything in the old segment is durable before the next
+  // segment exists, so a torn tail can only ever appear in the active
+  // (last) segment — the invariant recovery relies on.
+  Status s = r->file.Sync();
+  Result<AppendOnlyFile> next = s.ok()
+                                    ? CreateSegment(r->dir, new_seq, end_lsn)
+                                    : Result<AppendOnlyFile>(s);
+  lock.lock();
+  if (!next.ok()) {
+    r->error = next.status();
+    return next.status();
+  }
+  r->file = std::move(next).value();
+  r->seq.store(new_seq, std::memory_order_release);
+  r->base_lsn.store(end_lsn, std::memory_order_release);
+  r->size_bytes.store(r->file.size(), std::memory_order_release);
+  return Status::OK();
 }
 
 }  // namespace paw

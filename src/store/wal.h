@@ -2,20 +2,51 @@
 #define PAW_STORE_WAL_H_
 
 /// \file wal.h
-/// \brief Append-only write-ahead log with torn-tail recovery and
-/// group commit.
+/// \brief Segmented append-only write-ahead log with torn-tail
+/// recovery, group commit, and rotation.
 ///
-/// The log is a flat file of records (record.h). The first record is
-/// always a `kWalHeader` whose payload holds the file's *base LSN*: the
-/// number of records that had already been folded into a snapshot when
-/// this log file was started. Record `i` (0-based, header excluded)
-/// therefore has LSN `base + i + 1`, and LSNs stay monotonic across
-/// compactions even though compaction replaces the file.
+/// The log of a store directory is a sequence of *segment* files
+/// `wal-<seq>.log` (seq zero-padded to 8 digits, starting at 1) plus a
+/// `PAWWAL` manifest naming the oldest live segment:
 ///
-/// `Open` replays the existing file before allowing appends: a torn
-/// tail (crash mid-append) is detected via the per-record checksums,
-/// reported in `WalReplay`, and physically truncated away so the next
-/// append lands on a clean boundary.
+/// \code
+///   <dir>/PAWWAL            pawwal 1
+///                           first=<seq>
+///   <dir>/wal-00000007.log  sealed segment
+///   <dir>/wal-00000008.log  active segment (highest seq)
+/// \endcode
+///
+/// Each segment is a flat file of records (record.h) whose first record
+/// is a `kWalHeader` carrying the segment's *base LSN*: the number of
+/// records logged before this segment was started. Record `i` of a
+/// segment (0-based, header excluded) has LSN `base + i + 1`; segments
+/// chain — segment `k+1`'s base equals segment `k`'s end — so LSNs stay
+/// monotonic and dense across rotations and compactions.
+///
+/// **Rotation.** Only the highest-numbered segment (the *active* one)
+/// accepts appends. `Rotate` — or, with `Options::segment_bytes` set, a
+/// commit that pushes the active segment past the threshold — seals the
+/// active segment (flush + fdatasync, so sealed segments never carry a
+/// torn tail after a crash) and starts `wal-<seq+1>.log`. Sealed
+/// segments are immutable; a background snapshot can read or cover them
+/// while appends keep landing in the active segment, and once a
+/// snapshot covers them they are deleted by bumping the manifest's
+/// `first` (atomic) and unlinking oldest-first, so every crash point
+/// leaves a recoverable store.
+///
+/// **Recovery.** `Open` reads the manifest (reconstructing it from the
+/// segment files when absent — the crash window of a legacy upgrade),
+/// reclaims stale segments below `first`, requires seqs `first..max` to
+/// be contiguous, verifies the base-LSN chain, and replays all segments
+/// in order. A torn tail in the active segment is the signature of a
+/// crash mid-append: it is reported and physically truncated away. A
+/// torn tail in a *sealed* segment can only be media corruption (seals
+/// fsync); recovery then keeps the clean prefix — the tail is truncated,
+/// every later segment is dropped, and the repaired segment becomes
+/// active — never resurrecting records past the damage.
+///
+/// A legacy single-file `wal.log` (pre-segmentation layout) is upgraded
+/// in place on `Open` by renaming it to `wal-00000001.log`.
 ///
 /// **Group commit.** `Append` and `Sync` are thread-safe. Concurrent
 /// appenders stage frames into a shared buffer under a mutex; one
@@ -42,19 +73,56 @@
 
 namespace paw {
 
-/// \brief What `WriteAheadLog::Open` found in an existing log file.
+/// \brief File name of WAL segment `seq` ("wal-00000007.log").
+std::string WalSegmentFileName(uint64_t seq);
+
+/// \brief A WAL segment file found on disk.
+struct WalSegmentFile {
+  uint64_t seq = 0;
+  std::string path;
+};
+
+/// \brief Segment files under `dir`, sorted by seq (empty when none).
+Result<std::vector<WalSegmentFile>> ListWalSegments(const std::string& dir);
+
+/// \brief Reads `<dir>/PAWWAL` and returns its `first` seq; NotFound
+/// when the manifest is absent, FailedPrecondition when malformed.
+Result<uint64_t> ReadWalManifest(const std::string& dir);
+
+/// \brief Atomically (re)writes `<dir>/PAWWAL` with `first=first_seq`.
+/// This is the commit point of segment deletion: recovery ignores (and
+/// reclaims) segments below `first`.
+Status WriteWalManifest(const std::string& dir, uint64_t first_seq);
+
+/// \brief What `WriteAheadLog::Open` recovered from a log directory.
 struct WalReplay {
-  /// LSN of the last record already covered by a snapshot when the
-  /// file was started.
+  /// LSN of the last record logged before the oldest surviving
+  /// segment was started (== that segment's header base).
   uint64_t base_lsn = 0;
-  /// Whole, checksum-valid records after the header, in append order.
+  /// Whole, checksum-valid records across all segments, in append
+  /// order. Record `i` has LSN `base_lsn + i + 1`.
   std::vector<Record> records;
-  /// True when the file ended in a torn (partially written) record.
+  /// True when recovery hit a torn (partially written or corrupted)
+  /// record — in the active segment, a crash mid-append; in a sealed
+  /// segment, media corruption that also drops every later segment.
   bool torn_tail = false;
-  /// Bytes of torn tail dropped by repair truncation.
+  /// Bytes dropped by repair truncation (plus the bytes of any later
+  /// segments dropped after a mid-chain tear).
   uint64_t dropped_bytes = 0;
   /// Human-readable reason the tail was rejected.
   std::string tail_error;
+  /// Whole records lost from segments after a mid-chain tear (always 0
+  /// for a plain crash, which can only tear the active segment).
+  uint64_t dropped_records = 0;
+  /// Live segment files after recovery (>= 1).
+  int segments = 0;
+  /// Seq of the oldest live segment after recovery.
+  uint64_t first_seq = 0;
+  /// Segments below the manifest's `first` reclaimed on open (a crash
+  /// between the manifest bump and the unlinks of a compaction).
+  int stale_segments_removed = 0;
+  /// True when a legacy single-file `wal.log` was upgraded in place.
+  bool legacy_upgraded = false;
 };
 
 /// \brief Knobs of the write-ahead log.
@@ -63,22 +131,39 @@ struct WalOptions {
   /// *group*, not per record); off by default — callers batch with
   /// explicit `Sync()`.
   bool sync_each_append = false;
+  /// When > 0, a commit that leaves the active segment at or past this
+  /// many bytes seals it and rotates to a fresh segment. 0 disables
+  /// size-based rotation (segments then rotate only via `Rotate`).
+  uint64_t segment_bytes = 0;
 };
 
-/// \brief The write-ahead log of one store directory.
+/// \brief What `WriteAheadLog::Rotate` just did.
+struct WalRotation {
+  /// Seq of the segment sealed by this rotation.
+  uint64_t sealed_seq = 0;
+  /// Seq of the new active segment (`sealed_seq + 1`).
+  uint64_t active_seq = 0;
+  /// LSN of the last record in the sealed segment == base LSN of the
+  /// new active segment. Everything up to here is in sealed segments.
+  uint64_t end_lsn = 0;
+};
+
+/// \brief The segmented write-ahead log of one store directory.
 class WriteAheadLog {
  public:
   using Options = WalOptions;
 
-  /// \brief Creates (or truncates) `path` as an empty log whose first
-  /// record will carry `base_lsn`.
-  static Result<WriteAheadLog> Create(const std::string& path,
+  /// \brief Creates an empty log in `dir`: manifest `first=1` and
+  /// segment 1 whose header carries `base_lsn`. Fails if `dir` already
+  /// holds segments.
+  static Result<WriteAheadLog> Create(const std::string& dir,
                                       uint64_t base_lsn,
                                       Options options = {});
 
-  /// \brief Opens an existing log, replays it into `*replay`, repairs
-  /// any torn tail, and positions for append.
-  static Result<WriteAheadLog> Open(const std::string& path,
+  /// \brief Opens the log in `dir`, replays every live segment into
+  /// `*replay`, repairs any torn tail, and positions for append on the
+  /// active segment.
+  static Result<WriteAheadLog> Open(const std::string& dir,
                                     WalReplay* replay,
                                     Options options = {});
 
@@ -91,46 +176,77 @@ class WriteAheadLog {
   /// \brief Pushes appended bytes to stable storage. Thread-safe.
   Status Sync();
 
+  /// \brief Seals the active segment (flush + fdatasync) and starts the
+  /// next one. Thread-safe with concurrent `Append`s: frames staged
+  /// before the rotation land in the sealed segment, frames staged
+  /// after land in the new one. This is the cut point of a compaction —
+  /// the returned `end_lsn` is exactly what a snapshot taken now
+  /// covers.
+  Result<WalRotation> Rotate();
+
   /// \brief LSN of the most recently staged record (== total records
-  /// ever logged by this store, across compactions). `base_lsn()` when
-  /// the file is empty. Under concurrent appends this is a snapshot;
-  /// use the LSN returned by `Append` for the caller's own record.
+  /// ever logged by this store, across compactions). Under concurrent
+  /// appends this is a snapshot; use the LSN returned by `Append` for
+  /// the caller's own record.
   uint64_t last_lsn() const {
     return rep_->last_lsn.load(std::memory_order_acquire);
   }
 
-  /// \brief Base LSN recorded in this file's header.
-  uint64_t base_lsn() const { return rep_->base_lsn; }
+  /// \brief Base LSN of the *active* segment (the LSN rotation sealed
+  /// everything up to).
+  uint64_t base_lsn() const {
+    return rep_->base_lsn.load(std::memory_order_acquire);
+  }
 
-  /// \brief Committed file size in bytes (excludes frames still being
-  /// staged by in-flight appends).
+  /// \brief Seq of the active segment. Sealed segments awaiting
+  /// compaction exist iff this exceeds the manifest's `first`.
+  uint64_t active_seq() const {
+    return rep_->seq.load(std::memory_order_acquire);
+  }
+
+  /// \brief Committed size of the *active* segment in bytes (excludes
+  /// frames still being staged by in-flight appends).
   int64_t size_bytes() const {
     return rep_->size_bytes.load(std::memory_order_acquire);
   }
 
-  const std::string& path() const { return rep_->path; }
+  /// \brief Directory holding manifest + segments.
+  const std::string& dir() const { return rep_->dir; }
+
+  /// \brief Path of the active segment file. Under concurrent rotation
+  /// this is a snapshot; meant for stats and tests.
+  std::string path() const {
+    std::lock_guard<std::mutex> lock(rep_->mu);
+    return rep_->file.path();
+  }
 
  private:
   /// Heap-held so the log stays movable while carrying a mutex, and so
   /// waiting followers keep a stable address to block on.
   struct Rep {
-    Rep(AppendOnlyFile f, uint64_t base, uint64_t last, Options opts)
+    Rep(AppendOnlyFile f, std::string d, uint64_t segment_seq,
+        uint64_t base, uint64_t last, Options opts)
         : file(std::move(f)),
-          path(file.path()),
-          base_lsn(base),
+          dir(std::move(d)),
           options(opts),
+          seq(segment_seq),
+          base_lsn(base),
           last_lsn(last),
           size_bytes(file.size()) {}
 
-    AppendOnlyFile file;
-    std::string path;
-    uint64_t base_lsn;
+    AppendOnlyFile file;  // active segment
+    std::string dir;
     Options options;
 
-    std::mutex mu;
+    mutable std::mutex mu;
     std::condition_variable cv;
+    std::atomic<uint64_t> seq;
+    std::atomic<uint64_t> base_lsn;
     std::atomic<uint64_t> last_lsn;
     std::atomic<int64_t> size_bytes;
+    /// LSN of the last record handed to the file (== last_lsn once all
+    /// staged frames commit). Rotation seals exactly up to here.
+    uint64_t committed_lsn = 0;
     /// Frames staged but not yet handed to the file.
     std::string pending;
     /// Commit-group bookkeeping: a staged frame belongs to batch
@@ -138,16 +254,26 @@ class WriteAheadLog {
     /// and bumps it, and `committed_seq` trails behind as batches land.
     uint64_t next_batch_seq = 1;
     uint64_t committed_seq = 0;
-    /// True while some thread is doing file I/O (leader or Sync).
+    /// True while some thread is doing file I/O (leader, Sync, Rotate).
     bool writer_active = false;
     /// Sticky: a failed write poisons the log (mirrors AppendOnlyFile).
     Status error;
   };
 
-  WriteAheadLog(AppendOnlyFile file, uint64_t base_lsn, uint64_t last_lsn,
-                Options options)
-      : rep_(std::make_unique<Rep>(std::move(file), base_lsn, last_lsn,
-                                   options)) {}
+  WriteAheadLog(AppendOnlyFile file, std::string dir, uint64_t seq,
+                uint64_t base_lsn, uint64_t last_lsn, Options options)
+      : rep_(std::make_unique<Rep>(std::move(file), std::move(dir), seq,
+                                   base_lsn, last_lsn, options)) {
+    rep_->committed_lsn = last_lsn;
+  }
+
+  /// Seals the active segment and opens the next. Caller holds the
+  /// writer slot with `lock` on `rep_->mu`. `pending` may be non-empty:
+  /// staged-but-unwritten frames belong to batches after the cut and
+  /// are later written to the *new* segment, whose base is the last
+  /// committed LSN — exactly what keeps the chain dense. Do not flush
+  /// them into the sealed segment here.
+  Status RotateLocked(std::unique_lock<std::mutex>& lock);
 
   std::unique_ptr<Rep> rep_;
 };

@@ -1,12 +1,23 @@
-// Crash-injection sweep over the persistent store's WAL.
+// Crash-injection sweeps over the persistent store's WAL.
 //
-// A `FaultyFile` captures a healthy WAL and then reproduces crash
-// artifacts from it: truncation at byte K (crash mid-append) and
-// single-bit flips (silent corruption). The sweep covers *every* byte
-// offset of a small log and asserts the recovery invariant: `Open`
-// either replays a clean prefix of the original records or repairs the
-// torn tail down to the last whole record — it never crashes and never
-// resurrects a record that was not fully, correctly written.
+// Byte-level sweeps: a `FaultyFile` captures a healthy WAL segment and
+// reproduces crash artifacts from it — truncation at byte K (crash
+// mid-append) and single-bit flips (silent corruption) — at *every*
+// byte offset, asserting the recovery invariant: `Open` either replays
+// a clean prefix of the original records or repairs the torn tail down
+// to the last whole record; it never crashes and never resurrects a
+// record that was not fully, correctly written. The sweeps also run
+// against multi-segment logs, where damage in a *sealed* segment must
+// drop everything past it (clean prefix) rather than splice later
+// segments over the hole.
+//
+// Kill-point sweeps: background compaction runs the crash-ordered
+// sequence rotate → snapshot → manifest-bump → segment-delete. The
+// `StoreOptions::compaction_hook` pauses the snapshot worker at each
+// phase boundary while the harness copies the whole store directory —
+// a faithful crash image of that kill point — and every image must
+// recover *all* records that were durable when the compaction started
+// (no committed LSN is ever lost), for both codecs and both layouts.
 //
 // The WAL header frame is written atomically (temp file + rename), so a
 // real crash cannot tear it; cuts and flips inside the header model
@@ -20,6 +31,7 @@
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/file_io.h"
@@ -27,6 +39,7 @@
 #include "src/provenance/serialize.h"
 #include "src/store/persistent_repository.h"
 #include "src/store/record.h"
+#include "src/store/sharded_repository.h"
 #include "src/workflow/builder.h"
 #include "src/workflow/serialize.h"
 
@@ -42,10 +55,18 @@ std::string TestDir(const std::string& name) {
   return dir.string();
 }
 
+/// Path of the store's active (highest-seq) WAL segment.
+std::string ActiveWal(const std::string& dir) {
+  auto segments = ListWalSegments(dir);
+  EXPECT_TRUE(segments.ok() && !segments.value().empty())
+      << "no WAL segments under " << dir;
+  return segments.value().back().path;
+}
+
 /// A deliberately tiny spec so the per-byte sweep over its WAL stays
 /// fast (the whole log is ~1 KB).
-Specification TinySpec() {
-  SpecBuilder b("tiny");
+Specification NamedSpec(const std::string& name) {
+  SpecBuilder b(name);
   WorkflowId w = b.AddWorkflow("W1", "top", 0);
   EXPECT_TRUE(b.SetRoot(w).ok());
   ModuleId in = b.AddInput(w);
@@ -57,6 +78,8 @@ Specification TinySpec() {
   EXPECT_TRUE(spec.ok()) << spec.status().ToString();
   return std::move(spec).value();
 }
+
+Specification TinySpec() { return NamedSpec("tiny"); }
 
 /// The store under test plus everything the sweep needs to check
 /// recovered state against the original.
@@ -96,7 +119,7 @@ SweptStore BuildSweptStore(const std::string& name, int executions,
     }
     EXPECT_TRUE(store.value().Sync().ok());
   }
-  auto wal = FaultyFile::Capture(out.dir + "/wal.log");
+  auto wal = FaultyFile::Capture(ActiveWal(out.dir));
   EXPECT_TRUE(wal.ok()) << wal.status().ToString();
   out.wal.emplace(std::move(wal).value());
 
@@ -195,7 +218,7 @@ void RunTruncationSweep(PayloadCodec codec, const std::string& name) {
     EXPECT_EQ(got.size(), whole) << context;
     if (!on_boundary) {
       // Repair truncated the torn tail back to the last whole record.
-      EXPECT_EQ(static_cast<size_t>(fs::file_size(swept.dir + "/wal.log")),
+      EXPECT_EQ(static_cast<size_t>(fs::file_size(swept.wal->path())),
                 swept.boundaries[whole])
           << context;
     }
@@ -294,7 +317,7 @@ TEST(CrashInjectionTest, SnapshotShieldsRecoveryFromStaleWalDamage) {
     // Snapshot covers the spec; the WAL is truncated to empty.
     ASSERT_TRUE(store.value().Compact().ok());
   }
-  auto wal = FaultyFile::Capture(dir + "/wal.log");
+  auto wal = FaultyFile::Capture(ActiveWal(dir));
   ASSERT_TRUE(wal.ok());
   // Cut into the (fresh) header: the WAL is unreadable, so Open fails —
   // but it must fail with a Status even though a snapshot exists.
@@ -306,6 +329,431 @@ TEST(CrashInjectionTest, SnapshotShieldsRecoveryFromStaleWalDamage) {
   auto store = PersistentRepository::Open(dir);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   EXPECT_EQ(store.value().repo().num_specs(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction kill-point sweeps: crash images of every phase boundary in
+// the rotate → snapshot → manifest-bump → segment-delete sequence.
+// ---------------------------------------------------------------------------
+
+std::string PhaseName(CompactionPhase phase) {
+  switch (phase) {
+    case CompactionPhase::kSnapshot: return "snapshot";
+    case CompactionPhase::kInstall: return "install";
+    case CompactionPhase::kCleanup: return "cleanup";
+    case CompactionPhase::kDone: return "done";
+  }
+  return "unknown";
+}
+
+/// Copies a whole store directory (a crash image: at a phase boundary
+/// the worker is paused inside the hook, so nothing mutates the source
+/// while we copy).
+void CopyDir(const std::string& src, const std::string& dst) {
+  std::error_code ec;
+  fs::create_directories(dst, ec);
+  ASSERT_FALSE(ec) << dst << ": " << ec.message();
+  fs::copy(src, dst,
+           fs::copy_options::recursive | fs::copy_options::overwrite_existing,
+           ec);
+  ASSERT_FALSE(ec) << src << " -> " << dst << ": " << ec.message();
+}
+
+/// A hook that snapshots the store directory at each phase boundary.
+struct PhaseImageCapture {
+  std::string store_dir;
+  std::string image_root;
+  std::string tag;  // distinguishes successive compactions
+  std::vector<std::pair<std::string, std::string>> images;  // phase, path
+
+  std::function<void(CompactionPhase)> Hook() {
+    return [this](CompactionPhase phase) {
+      const std::string label = tag + PhaseName(phase);
+      const std::string dst = image_root + "/" + label;
+      CopyDir(store_dir, dst);
+      images.emplace_back(PhaseName(phase), dst);
+    };
+  }
+};
+
+void RunCompactionKillPointSweep(PayloadCodec codec,
+                                 const std::string& name) {
+  const std::string dir = TestDir(name);
+  const std::string image_root = TestDir(name + "_images");
+  PhaseImageCapture capture;
+  capture.store_dir = dir;
+  capture.image_root = image_root;
+
+  StoreOptions options;
+  options.codec = codec;
+  options.compaction_hook = capture.Hook();
+
+  std::vector<std::string> originals;
+  {
+    auto store = PersistentRepository::Init(dir, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    auto sid = store.value().AddSpecification(TinySpec());
+    ASSERT_TRUE(sid.ok()) << sid.status().ToString();
+    const Specification& spec = store.value().repo().entry(0).spec;
+    originals.push_back(Serialize(spec));
+    FunctionRegistry fns;
+    for (int i = 0; i < 3; ++i) {
+      auto exec = Execute(spec, fns, {{"x", "kp" + std::to_string(i)}});
+      ASSERT_TRUE(exec.ok());
+      originals.push_back(SerializeExecution(exec.value()));
+      ASSERT_TRUE(
+          store.value().AddExecution(0, std::move(exec).value()).ok());
+    }
+    // Everything below is durable before the compaction starts: the
+    // invariant under test is that no kill point loses any of it.
+    ASSERT_TRUE(store.value().Sync().ok());
+    ASSERT_TRUE(store.value().CompactAsync().ok());
+    ASSERT_TRUE(store.value().WaitForCompaction().ok());
+    EXPECT_EQ(store.value().snapshot_lsn(), originals.size());
+  }
+  ASSERT_EQ(capture.images.size(), 4u);
+
+  for (const auto& [phase, image] : capture.images) {
+    const std::string context = "kill point: " + phase;
+    auto store = PersistentRepository::Open(image, options);
+    ASSERT_TRUE(store.ok()) << context << ": " << store.status().ToString();
+    // No committed LSN is ever lost: every record durable at the cut
+    // recovers, with its LSN intact, at every kill point.
+    std::vector<std::string> got = Recovered(store.value());
+    ASSERT_EQ(got.size(), originals.size()) << context;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], originals[i]) << context << " entry " << i;
+    }
+    EXPECT_EQ(store.value().lsn(), originals.size()) << context;
+    EXPECT_FALSE(store.value().recovery().torn_tail) << context;
+    if (phase == "snapshot") {
+      // Rotation happened but no snapshot exists yet: pure replay.
+      EXPECT_EQ(store.value().recovery().records_replayed,
+                originals.size())
+          << context;
+    } else {
+      // Snapshot installed; segment records it covers are skipped.
+      EXPECT_EQ(store.value().recovery().snapshot_lsn, originals.size())
+          << context;
+    }
+    if (phase == "cleanup") {
+      // Manifest bumped, unlinks not yet run: the stale segment must
+      // be reclaimed on open.
+      EXPECT_GE(store.value().recovery().stale_segments_removed, 1)
+          << context;
+    }
+    // The image is not just readable — it is a working store.
+    FunctionRegistry fns;
+    auto exec = Execute(store.value().repo().entry(0).spec, fns,
+                        {{"x", "post-crash"}});
+    ASSERT_TRUE(exec.ok()) << context;
+    ASSERT_TRUE(
+        store.value().AddExecution(0, std::move(exec).value()).ok())
+        << context;
+    ASSERT_TRUE(store.value().Sync().ok()) << context;
+    auto reopened = PersistentRepository::Open(image, options);
+    ASSERT_TRUE(reopened.ok()) << context;
+    EXPECT_EQ(reopened.value().lsn(), originals.size() + 1) << context;
+  }
+}
+
+TEST(CompactionKillPointTest, SweepRecoversAllRecordsBinaryCodec) {
+  RunCompactionKillPointSweep(PayloadCodec::kBinary, "kp_bin");
+}
+
+TEST(CompactionKillPointTest, SweepRecoversAllRecordsTextCodec) {
+  RunCompactionKillPointSweep(PayloadCodec::kText, "kp_text");
+}
+
+/// Serialized per-shard entries of a sharded store, in shard order.
+std::vector<std::vector<std::string>> RecoveredSharded(
+    const ShardedRepository& store) {
+  std::vector<std::vector<std::string>> out;
+  for (int i = 0; i < store.num_shards(); ++i) {
+    out.push_back(Recovered(store.shard(i)));
+  }
+  return out;
+}
+
+void RunShardedKillPointSweep(PayloadCodec codec, const std::string& name) {
+  constexpr int kShards = 2;
+  const std::string dir = TestDir(name);
+  const std::string image_root = TestDir(name + "_images");
+  PhaseImageCapture capture;
+  capture.store_dir = dir;
+  capture.image_root = image_root;
+
+  StoreOptions options;
+  options.codec = codec;
+  options.compaction_hook = capture.Hook();
+
+  std::vector<std::vector<std::string>> originals;
+  {
+    auto store = ShardedRepository::Init(dir, kShards, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    FunctionRegistry fns;
+    // Enough specs that (with crc routing) both shards hold data.
+    for (int i = 0; i < 6; ++i) {
+      auto ref = store.value().AddSpecification(
+          NamedSpec("kp_spec_" + std::to_string(i)));
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      const Specification& spec = store.value()
+                                      .shard(ref.value().shard)
+                                      .repo()
+                                      .entry(ref.value().id)
+                                      .spec;
+      auto exec = Execute(spec, fns, {{"x", "v" + std::to_string(i)}});
+      ASSERT_TRUE(exec.ok());
+      ASSERT_TRUE(store.value()
+                      .AddExecution(ref.value(), std::move(exec).value())
+                      .ok());
+    }
+    for (int i = 0; i < kShards; ++i) {
+      ASSERT_GT(store.value().shard(i).repo().num_specs(), 0)
+          << "routing left shard " << i << " empty";
+    }
+    ASSERT_TRUE(store.value().Sync().ok());
+    originals = RecoveredSharded(store.value());
+
+    // Drive one shard's compaction at a time so each captured image is
+    // deterministic (only the paused worker could be mutating files).
+    for (int i = 0; i < kShards; ++i) {
+      capture.tag = "shard" + std::to_string(i) + "_";
+      ASSERT_TRUE(store.value().shard(i).CompactAsync().ok());
+      ASSERT_TRUE(store.value().shard(i).WaitForCompaction().ok());
+    }
+  }
+  ASSERT_EQ(capture.images.size(), 4u * kShards);
+
+  for (const auto& [phase, image] : capture.images) {
+    const std::string context = "kill point: " + image;
+    auto store = ShardedRepository::Open(image, options, kShards);
+    ASSERT_TRUE(store.ok()) << context << ": " << store.status().ToString();
+    EXPECT_EQ(RecoveredSharded(store.value()), originals) << context;
+    // The image is not just readable — it keeps accepting writes.
+    FunctionRegistry fns;
+    auto ref = store.value().FindSpec("kp_spec_0");
+    ASSERT_TRUE(ref.ok()) << context;
+    const Specification& spec = store.value()
+                                    .shard(ref.value().shard)
+                                    .repo()
+                                    .entry(ref.value().id)
+                                    .spec;
+    auto exec = Execute(spec, fns, {{"x", "post-crash"}});
+    ASSERT_TRUE(exec.ok()) << context;
+    ASSERT_TRUE(store.value()
+                    .AddExecution(ref.value(), std::move(exec).value())
+                    .ok())
+        << context;
+    ASSERT_TRUE(store.value().Sync().ok()) << context;
+  }
+}
+
+TEST(CompactionKillPointTest, ShardedSweepRecoversAllRecordsBinaryCodec) {
+  RunShardedKillPointSweep(PayloadCodec::kBinary, "kp_sharded_bin");
+}
+
+TEST(CompactionKillPointTest, ShardedSweepRecoversAllRecordsTextCodec) {
+  RunShardedKillPointSweep(PayloadCodec::kText, "kp_sharded_text");
+}
+
+// ---------------------------------------------------------------------------
+// Multi-segment byte sweeps: damage inside sealed segments.
+// ---------------------------------------------------------------------------
+
+/// Builds a store whose WAL spans several segments (tiny rotation
+/// threshold), all records synced.
+struct SegmentedStore {
+  std::string dir;
+  StoreOptions options;
+  std::vector<std::string> originals;  // LSN order
+  std::vector<WalSegmentFile> segments;
+};
+
+SegmentedStore BuildSegmentedStore(const std::string& name,
+                                   PayloadCodec codec) {
+  SegmentedStore out;
+  out.dir = TestDir(name);
+  out.options.codec = codec;
+  out.options.segment_bytes = 150;  // a couple of records per segment
+  {
+    auto store = PersistentRepository::Init(out.dir, out.options);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    auto sid = store.value().AddSpecification(TinySpec());
+    EXPECT_TRUE(sid.ok()) << sid.status().ToString();
+    const Specification& spec = store.value().repo().entry(0).spec;
+    out.originals.push_back(Serialize(spec));
+    FunctionRegistry fns;
+    for (int i = 0; i < 8; ++i) {
+      auto exec =
+          Execute(spec, fns, {{"x", "seg" + std::to_string(i)}});
+      EXPECT_TRUE(exec.ok());
+      out.originals.push_back(SerializeExecution(exec.value()));
+      EXPECT_TRUE(
+          store.value().AddExecution(0, std::move(exec).value()).ok());
+    }
+    EXPECT_TRUE(store.value().Sync().ok());
+  }
+  auto segments = ListWalSegments(out.dir);
+  EXPECT_TRUE(segments.ok());
+  out.segments = segments.value();
+  EXPECT_GE(out.segments.size(), 3u) << "threshold produced too few segments";
+  return out;
+}
+
+/// Records (LSNs, header excluded) wholly contained in the first
+/// `segment_index` + the first `cut` bytes of segment `segment_index`,
+/// plus whether the cut lands on a record boundary of that segment.
+void ClassifySegmentCut(const std::vector<std::string>& pristine,
+                        size_t segment_index, size_t cut,
+                        size_t* whole_records, bool* on_boundary,
+                        size_t* header_end) {
+  *whole_records = 0;
+  for (size_t s = 0; s < segment_index; ++s) {
+    RecordReader reader(pristine[s]);
+    Record record;
+    bool header = true;
+    while (reader.Next(&record) == ReadOutcome::kRecord) {
+      if (!header) ++*whole_records;
+      header = false;
+    }
+  }
+  RecordReader reader(pristine[segment_index]);
+  Record record;
+  *on_boundary = false;
+  *header_end = 0;
+  bool header = true;
+  std::vector<size_t> boundaries;
+  while (reader.Next(&record) == ReadOutcome::kRecord) {
+    if (header) {
+      *header_end = reader.valid_bytes();
+      header = false;
+    } else {
+      boundaries.push_back(reader.valid_bytes());
+    }
+  }
+  size_t in_segment = 0;
+  if (cut >= *header_end) *on_boundary = cut == *header_end;
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    if (boundaries[i] <= cut) in_segment = i + 1;
+    if (boundaries[i] == cut) *on_boundary = true;
+  }
+  *whole_records += in_segment;
+}
+
+// Truncate a *sealed* (non-final) segment at every byte offset: the
+// clean-prefix contract — recover exactly the records before the
+// damage, drop every later segment, never resurrect, keep working.
+void RunSealedSegmentTruncationSweep(PayloadCodec codec,
+                                     const std::string& name) {
+  SegmentedStore swept = BuildSegmentedStore(name, codec);
+  // Damage the middle sealed segment.
+  const size_t target = swept.segments.size() / 2;
+  ASSERT_GT(target, 0u);
+  ASSERT_LT(target, swept.segments.size() - 1);
+
+  // Pristine bytes of every segment, for restore + classification.
+  std::vector<std::string> pristine;
+  std::vector<FaultyFile> files;
+  for (const WalSegmentFile& seg : swept.segments) {
+    auto f = FaultyFile::Capture(seg.path);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    pristine.push_back(f.value().pristine());
+    files.push_back(std::move(f).value());
+  }
+
+  const size_t size = pristine[target].size();
+  for (size_t cut = 0; cut < size; cut += 7) {  // stride: keep it fast
+    // Recovery may truncate the target and delete later segments;
+    // restore the full chain (and manifest semantics are untouched —
+    // the manifest only names `first`).
+    for (FaultyFile& f : files) ASSERT_TRUE(f.Restore().ok());
+    ASSERT_TRUE(files[target].TruncateAt(cut).ok());
+
+    auto store = PersistentRepository::Open(swept.dir, swept.options);
+    const std::string context = "sealed cut=" + std::to_string(cut);
+    size_t whole = 0, header_end = 0;
+    bool on_boundary = false;
+    ClassifySegmentCut(pristine, target, cut, &whole, &on_boundary,
+                       &header_end);
+    if (cut < header_end) {
+      // Damaged segment header: corruption, fail with a Status.
+      EXPECT_FALSE(store.ok()) << context;
+      continue;
+    }
+    ASSERT_TRUE(store.ok()) << context << ": " << store.status().ToString();
+    // A cut strictly inside a sealed segment always tears (even on a
+    // record boundary, the chain to the next segment breaks — records
+    // after the cut are gone, so the next segment's base mismatches...
+    // unless recovery drops later segments, which is exactly what it
+    // must do).
+    std::vector<std::string> got = Recovered(store.value());
+    ExpectPrefixOfOriginals(got, swept.originals, context);
+    EXPECT_EQ(got.size(), whole) << context;
+    EXPECT_EQ(store.value().lsn(), whole) << context;
+    EXPECT_TRUE(store.value().recovery().torn_tail) << context;
+    // Later segments were dropped, not spliced over the hole.
+    EXPECT_GT(store.value().recovery().dropped_bytes, 0u) << context;
+    // The repaired store accepts appends.
+    if (store.value().repo().num_specs() > 0) {
+      FunctionRegistry fns;
+      auto exec = Execute(store.value().repo().entry(0).spec, fns,
+                          {{"x", "post-crash"}});
+      ASSERT_TRUE(exec.ok()) << context;
+      ASSERT_TRUE(
+          store.value().AddExecution(0, std::move(exec).value()).ok())
+          << context;
+      ASSERT_TRUE(store.value().Sync().ok()) << context;
+      auto reopened = PersistentRepository::Open(swept.dir, swept.options);
+      ASSERT_TRUE(reopened.ok()) << context;
+      EXPECT_EQ(reopened.value().lsn(), whole + 1) << context;
+    }
+  }
+}
+
+TEST(CrashInjectionTest, SealedSegmentTruncationSweepBinaryCodec) {
+  RunSealedSegmentTruncationSweep(PayloadCodec::kBinary, "sealed_bin");
+}
+
+TEST(CrashInjectionTest, SealedSegmentTruncationSweepTextCodec) {
+  RunSealedSegmentTruncationSweep(PayloadCodec::kText, "sealed_text");
+}
+
+// Bit flips inside a sealed segment: CRC catches them; everything from
+// the flipped record on (including later segments) is dropped.
+TEST(CrashInjectionTest, SealedSegmentBitFlipKeepsCleanPrefix) {
+  SegmentedStore swept = BuildSegmentedStore("sealed_flip",
+                                             PayloadCodec::kBinary);
+  const size_t target = swept.segments.size() / 2;
+  std::vector<FaultyFile> files;
+  std::vector<std::string> pristine;
+  for (const WalSegmentFile& seg : swept.segments) {
+    auto f = FaultyFile::Capture(seg.path);
+    ASSERT_TRUE(f.ok());
+    pristine.push_back(f.value().pristine());
+    files.push_back(std::move(f).value());
+  }
+  const size_t size = pristine[target].size();
+  for (size_t offset = 0; offset < size; offset += 11) {
+    const int bit = static_cast<int>(offset % 8);
+    for (FaultyFile& f : files) ASSERT_TRUE(f.Restore().ok());
+    ASSERT_TRUE(files[target].FlipBit(offset, bit).ok());
+    auto store = PersistentRepository::Open(swept.dir, swept.options);
+    const std::string context = "flip offset=" + std::to_string(offset);
+    size_t whole = 0, header_end = 0;
+    bool on_boundary = false;
+    ClassifySegmentCut(pristine, target, offset, &whole, &on_boundary,
+                       &header_end);
+    if (offset < header_end) {
+      EXPECT_FALSE(store.ok()) << context;
+      continue;
+    }
+    ASSERT_TRUE(store.ok()) << context << ": " << store.status().ToString();
+    EXPECT_TRUE(store.value().recovery().torn_tail) << context;
+    std::vector<std::string> got = Recovered(store.value());
+    ExpectPrefixOfOriginals(got, swept.originals, context);
+    EXPECT_LT(got.size(), swept.originals.size()) << context;
+  }
 }
 
 }  // namespace

@@ -40,6 +40,14 @@ std::string Marker(const std::string& dir) {
   return ReadFileToString(dir + "/PAWSTORE").value_or("<missing>");
 }
 
+/// Path of the store's active (highest-seq) WAL segment.
+std::string WalFile(const std::string& dir) {
+  auto segments = ListWalSegments(dir);
+  EXPECT_TRUE(segments.ok() && !segments.value().empty())
+      << "no WAL segments under " << dir;
+  return segments.value().back().path;
+}
+
 StoreOptions TextOptions() {
   StoreOptions options;
   options.codec = PayloadCodec::kText;
@@ -110,15 +118,16 @@ TEST(MixedVersionTest, FailedOpenDoesNotUpgradeMarker) {
   BuildV1Store(dir, 1);
   // Corrupt the WAL header (atomically written, so this models media
   // damage); recovery must fail with a Status.
-  auto contents = ReadFileToString(dir + "/wal.log");
+  const std::string wal_path = WalFile(dir);
+  auto contents = ReadFileToString(wal_path);
   ASSERT_TRUE(contents.ok());
   std::string damaged = contents.value();
   damaged[4] = static_cast<char>(damaged[4] ^ 0xFF);  // header CRC byte
-  ASSERT_TRUE(AtomicWriteFile(dir + "/wal.log", damaged).ok());
+  ASSERT_TRUE(AtomicWriteFile(wal_path, damaged).ok());
   EXPECT_FALSE(PersistentRepository::Open(dir).ok());
   EXPECT_EQ(Marker(dir), "pawstore 1\n");
   // Restore the WAL: the store opens and only now upgrades.
-  ASSERT_TRUE(AtomicWriteFile(dir + "/wal.log", contents.value()).ok());
+  ASSERT_TRUE(AtomicWriteFile(wal_path, contents.value()).ok());
   ASSERT_TRUE(PersistentRepository::Open(dir).ok());
   EXPECT_EQ(Marker(dir), "pawstore 2\n");
 }
@@ -142,7 +151,7 @@ TEST(MixedVersionTest, MixedWalReplaysTextThenBinaryRecords) {
   // Prove the WAL is genuinely mixed-version.
   {
     WalReplay replay;
-    auto wal = WriteAheadLog::Open(dir + "/wal.log", &replay);
+    auto wal = WriteAheadLog::Open(dir, &replay);
     ASSERT_TRUE(wal.ok());
     int text_records = 0, binary_records = 0;
     for (const Record& r : replay.records) {

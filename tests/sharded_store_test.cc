@@ -308,7 +308,11 @@ TEST(ShardedStoreTest, TornShardIsRepairedWithoutDisturbingOthers) {
   }
   // Crash: tear a few bytes off one shard's WAL tail.
   const std::string wal =
-      dir + "/" + ShardedRepository::ShardDirName(torn_shard) + "/wal.log";
+      ListWalSegments(dir + "/" +
+                      ShardedRepository::ShardDirName(torn_shard))
+          .value()
+          .back()
+          .path;
   {
     std::error_code ec;
     const auto size = fs::file_size(wal, ec);

@@ -38,7 +38,15 @@ std::string TestDir(const std::string& name) {
   return dir.string();
 }
 
-std::string WalFile(const std::string& dir) { return dir + "/wal.log"; }
+/// Path of the store's *active* WAL segment (the highest seq). With
+/// default options a store has exactly one live segment between
+/// compactions, so this is "the log" most assertions mean.
+std::string WalFile(const std::string& dir) {
+  auto segments = ListWalSegments(dir);
+  EXPECT_TRUE(segments.ok() && !segments.value().empty())
+      << "no WAL segments under " << dir;
+  return segments.value().back().path;
+}
 
 int64_t FileSize(const std::string& path) {
   return static_cast<int64_t>(fs::file_size(path));
@@ -761,7 +769,7 @@ TEST(StoreTest, WalRecordsCarryMonotonicLsns) {
   // After compaction at LSN 1, the next record is LSN 2 in a log whose
   // base is 1.
   WalReplay replay;
-  auto wal = WriteAheadLog::Open(WalFile(dir), &replay);
+  auto wal = WriteAheadLog::Open(dir, &replay);
   ASSERT_TRUE(wal.ok());
   EXPECT_EQ(replay.base_lsn, 1u);
   EXPECT_EQ(replay.records.size(), 1u);

@@ -29,8 +29,8 @@ std::string TestDir(const std::string& name) {
 }
 
 TEST(WalGroupCommitTest, AppendReturnsMonotonicLsnsSingleThread) {
-  const std::string path = TestDir("single") + "/wal.log";
-  auto wal = WriteAheadLog::Create(path, /*base_lsn=*/5);
+  const std::string dir = TestDir("single");
+  auto wal = WriteAheadLog::Create(dir, /*base_lsn=*/5);
   ASSERT_TRUE(wal.ok());
   for (uint64_t i = 1; i <= 10; ++i) {
     auto lsn = wal.value().Append(RecordType::kExecutionV2,
@@ -42,7 +42,7 @@ TEST(WalGroupCommitTest, AppendReturnsMonotonicLsnsSingleThread) {
   ASSERT_TRUE(wal.value().Sync().ok());
 
   WalReplay replay;
-  auto reopened = WriteAheadLog::Open(path, &replay);
+  auto reopened = WriteAheadLog::Open(dir, &replay);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(replay.base_lsn, 5u);
   ASSERT_EQ(replay.records.size(), 10u);
@@ -54,8 +54,8 @@ TEST(WalGroupCommitTest, AppendReturnsMonotonicLsnsSingleThread) {
 TEST(WalGroupCommitTest, ConcurrentAppendersGetUniqueLsnsInFileOrder) {
   constexpr int kThreads = 8;
   constexpr int kPerThread = 250;
-  const std::string path = TestDir("concurrent") + "/wal.log";
-  auto wal = WriteAheadLog::Create(path, 0);
+  const std::string dir = TestDir("concurrent");
+  auto wal = WriteAheadLog::Create(dir, 0);
   ASSERT_TRUE(wal.ok());
 
   // Every appender records the LSN it was handed for each payload.
@@ -95,7 +95,7 @@ TEST(WalGroupCommitTest, ConcurrentAppendersGetUniqueLsnsInFileOrder) {
   // Replay: record i carries LSN i+1, and its payload must be exactly
   // what the appender holding that LSN wrote.
   WalReplay replay;
-  auto reopened = WriteAheadLog::Open(path, &replay);
+  auto reopened = WriteAheadLog::Open(dir, &replay);
   ASSERT_TRUE(reopened.ok());
   ASSERT_EQ(replay.records.size(),
             static_cast<size_t>(kThreads) * kPerThread);
@@ -112,10 +112,10 @@ TEST(WalGroupCommitTest, ConcurrentDurableAppendersSurviveReplay) {
   // batch before followers return).
   constexpr int kThreads = 4;
   constexpr int kPerThread = 50;
-  const std::string path = TestDir("durable") + "/wal.log";
+  const std::string dir = TestDir("durable");
   WalOptions options;
   options.sync_each_append = true;
-  auto wal = WriteAheadLog::Create(path, 0, options);
+  auto wal = WriteAheadLog::Create(dir, 0, options);
   ASSERT_TRUE(wal.ok());
   std::vector<std::thread> threads;
   std::atomic<int> failures{0};
@@ -133,7 +133,7 @@ TEST(WalGroupCommitTest, ConcurrentDurableAppendersSurviveReplay) {
   ASSERT_EQ(failures.load(), 0);
 
   WalReplay replay;
-  auto reopened = WriteAheadLog::Open(path, &replay);
+  auto reopened = WriteAheadLog::Open(dir, &replay);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(replay.records.size(),
             static_cast<size_t>(kThreads) * kPerThread);
@@ -141,8 +141,8 @@ TEST(WalGroupCommitTest, ConcurrentDurableAppendersSurviveReplay) {
 }
 
 TEST(WalGroupCommitTest, RepeatedSyncIsIdempotent) {
-  const std::string path = TestDir("sync") + "/wal.log";
-  auto wal = WriteAheadLog::Create(path, 0);
+  const std::string dir = TestDir("sync");
+  auto wal = WriteAheadLog::Create(dir, 0);
   ASSERT_TRUE(wal.ok());
   ASSERT_TRUE(wal.value().Append(RecordType::kSpecV2, "x").ok());
   ASSERT_TRUE(wal.value().Sync().ok());
@@ -152,6 +152,209 @@ TEST(WalGroupCommitTest, RepeatedSyncIsIdempotent) {
   auto lsn = wal.value().Append(RecordType::kSpecV2, "y");
   ASSERT_TRUE(lsn.ok());
   EXPECT_EQ(lsn.value(), 2u);
+}
+
+TEST(WalSegmentTest, ExplicitRotateChainsSegments) {
+  const std::string dir = TestDir("rotate");
+  auto wal = WriteAheadLog::Create(dir, /*base_lsn=*/0);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal.value().active_seq(), 1u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wal.value().Append(RecordType::kSpecV2, "a").ok());
+  }
+  auto rotation = wal.value().Rotate();
+  ASSERT_TRUE(rotation.ok()) << rotation.status().ToString();
+  EXPECT_EQ(rotation.value().sealed_seq, 1u);
+  EXPECT_EQ(rotation.value().active_seq, 2u);
+  EXPECT_EQ(rotation.value().end_lsn, 3u);
+  EXPECT_EQ(wal.value().active_seq(), 2u);
+  EXPECT_EQ(wal.value().base_lsn(), 3u);
+  // LSNs keep counting across the rotation.
+  auto lsn = wal.value().Append(RecordType::kSpecV2, "b");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.value(), 4u);
+  ASSERT_TRUE(wal.value().Sync().ok());
+
+  // Both segment files exist; replay walks the chain in order.
+  EXPECT_TRUE(fs::exists(dir + "/" + WalSegmentFileName(1)));
+  EXPECT_TRUE(fs::exists(dir + "/" + WalSegmentFileName(2)));
+  WalReplay replay;
+  auto reopened = WriteAheadLog::Open(dir, &replay);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replay.segments, 2);
+  EXPECT_EQ(replay.base_lsn, 0u);
+  ASSERT_EQ(replay.records.size(), 4u);
+  EXPECT_EQ(replay.records[3].payload, "b");
+  EXPECT_EQ(reopened.value().last_lsn(), 4u);
+  EXPECT_EQ(reopened.value().active_seq(), 2u);
+}
+
+TEST(WalSegmentTest, SizeThresholdRotatesAutomatically) {
+  const std::string dir = TestDir("auto_rotate");
+  WalOptions options;
+  options.segment_bytes = 256;
+  auto wal = WriteAheadLog::Create(dir, 0, options);
+  ASSERT_TRUE(wal.ok());
+  const std::string payload(100, 'p');
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(wal.value().Append(RecordType::kExecutionV2, payload).ok());
+  }
+  ASSERT_TRUE(wal.value().Sync().ok());
+  EXPECT_GT(wal.value().active_seq(), 2u);
+  // Every record survives across all segments, in LSN order.
+  WalReplay replay;
+  auto reopened = WriteAheadLog::Open(dir, &replay, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replay.records.size(), 12u);
+  EXPECT_EQ(replay.segments, static_cast<int>(wal.value().active_seq()));
+  EXPECT_EQ(reopened.value().last_lsn(), 12u);
+}
+
+TEST(WalSegmentTest, ConcurrentAppendersSurviveRotations) {
+  // Appenders race while segments seal under them (tiny threshold plus
+  // explicit rotations): every acked LSN must replay with its payload,
+  // in order, across the whole chain.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  const std::string dir = TestDir("concurrent_rotate");
+  WalOptions options;
+  options.segment_bytes = 1024;
+  auto wal = WriteAheadLog::Create(dir, 0, options);
+  ASSERT_TRUE(wal.ok());
+  std::vector<std::map<uint64_t, std::string>> seen(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string payload =
+            "r" + std::to_string(t) + ":" + std::to_string(i) +
+            std::string(32, '.');
+        auto lsn = wal.value().Append(RecordType::kExecutionV2, payload);
+        if (!lsn.ok()) {
+          ++failures;
+          return;
+        }
+        seen[static_cast<size_t>(t)][lsn.value()] = payload;
+      }
+    });
+  }
+  // An explicit rotation racing the appenders (the background
+  // compaction cut) must not lose or reorder anything either.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wal.value().Rotate().ok());
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_TRUE(wal.value().Sync().ok());
+
+  std::map<uint64_t, std::string> by_lsn;
+  for (const auto& m : seen) {
+    for (const auto& [lsn, payload] : m) {
+      ASSERT_EQ(by_lsn.count(lsn), 0u) << "duplicate LSN " << lsn;
+      by_lsn[lsn] = payload;
+    }
+  }
+  ASSERT_EQ(by_lsn.size(), static_cast<size_t>(kThreads) * kPerThread);
+
+  WalReplay replay;
+  auto reopened = WriteAheadLog::Open(dir, &replay, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_GT(replay.segments, 1);
+  ASSERT_EQ(replay.records.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  for (size_t i = 0; i < replay.records.size(); ++i) {
+    const uint64_t lsn = i + 1;
+    ASSERT_TRUE(by_lsn.count(lsn));
+    EXPECT_EQ(replay.records[i].payload, by_lsn[lsn]) << "lsn=" << lsn;
+  }
+}
+
+TEST(WalSegmentTest, ListingAcceptsSeqsWiderThanThePadding) {
+  // Filenames zero-pad to 8 digits but widen past 99,999,999; the
+  // parser must not make such segments invisible to recovery.
+  const std::string dir = TestDir("wide_seq");
+  ASSERT_TRUE(AtomicWriteFile(dir + "/" + WalSegmentFileName(7), "x").ok());
+  ASSERT_TRUE(
+      AtomicWriteFile(dir + "/" + WalSegmentFileName(100000000), "x").ok());
+  EXPECT_EQ(WalSegmentFileName(100000000), "wal-100000000.log");
+  ASSERT_TRUE(AtomicWriteFile(dir + "/wal-junk.log", "x").ok());
+  ASSERT_TRUE(AtomicWriteFile(dir + "/wal-00000000.log", "x").ok());  // seq 0
+  auto segments = ListWalSegments(dir);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments.value().size(), 2u);
+  EXPECT_EQ(segments.value()[0].seq, 7u);
+  EXPECT_EQ(segments.value()[1].seq, 100000000u);
+}
+
+TEST(WalSegmentTest, ManifestBumpReclaimsStaleSegments) {
+  // Crash window of a compaction: the manifest names a newer first
+  // segment but the unlinks never ran. Open must reclaim the stale
+  // files and replay only from `first`.
+  const std::string dir = TestDir("stale");
+  auto wal = WriteAheadLog::Create(dir, 0);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value().Append(RecordType::kSpecV2, "old").ok());
+  ASSERT_TRUE(wal.value().Rotate().ok());
+  ASSERT_TRUE(wal.value().Append(RecordType::kSpecV2, "new").ok());
+  ASSERT_TRUE(wal.value().Sync().ok());
+  ASSERT_TRUE(WriteWalManifest(dir, 2).ok());
+
+  WalReplay replay;
+  auto reopened = WriteAheadLog::Open(dir, &replay);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replay.stale_segments_removed, 1);
+  EXPECT_EQ(replay.first_seq, 2u);
+  // Only the live segment's record replays; its LSN is preserved.
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].payload, "new");
+  EXPECT_EQ(replay.base_lsn, 1u);
+  EXPECT_FALSE(fs::exists(dir + "/" + WalSegmentFileName(1)));
+}
+
+TEST(WalSegmentTest, MissingLiveSegmentIsCorruption) {
+  const std::string dir = TestDir("hole");
+  auto wal = WriteAheadLog::Create(dir, 0);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value().Append(RecordType::kSpecV2, "a").ok());
+  ASSERT_TRUE(wal.value().Rotate().ok());
+  ASSERT_TRUE(wal.value().Append(RecordType::kSpecV2, "b").ok());
+  ASSERT_TRUE(wal.value().Rotate().ok());
+  ASSERT_TRUE(wal.value().Sync().ok());
+  // Deleting a *live* middle segment (no manifest bump) is a hole the
+  // chain check must refuse — silently skipping it would resurrect
+  // later records with wrong LSNs.
+  ASSERT_TRUE(RemoveFileIfExists(dir + "/" + WalSegmentFileName(2)).ok());
+  WalReplay replay;
+  EXPECT_FALSE(WriteAheadLog::Open(dir, &replay).ok());
+}
+
+TEST(WalSegmentTest, LegacySingleFileLayoutUpgradesInPlace) {
+  const std::string dir = TestDir("legacy");
+  // Build a segmented log, then dress it up as the old layout: one
+  // `wal.log`, no manifest.
+  auto wal = WriteAheadLog::Create(dir, /*base_lsn=*/7);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value().Append(RecordType::kSpecV2, "x").ok());
+  ASSERT_TRUE(wal.value().Sync().ok());
+  ASSERT_TRUE(RenameFile(dir + "/" + WalSegmentFileName(1),
+                         dir + "/wal.log").ok());
+  ASSERT_TRUE(RemoveFileIfExists(dir + "/PAWWAL").ok());
+
+  WalReplay replay;
+  auto reopened = WriteAheadLog::Open(dir, &replay);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(replay.legacy_upgraded);
+  EXPECT_EQ(replay.base_lsn, 7u);
+  ASSERT_EQ(replay.records.size(), 1u);
+  // The layout is now segmented: manifest + wal-00000001.log.
+  EXPECT_TRUE(fs::exists(dir + "/" + WalSegmentFileName(1)));
+  EXPECT_FALSE(fs::exists(dir + "/wal.log"));
+  ASSERT_TRUE(ReadWalManifest(dir).ok());
+  // And it keeps appending where the legacy file left off.
+  auto lsn = reopened.value().Append(RecordType::kSpecV2, "y");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.value(), 9u);
 }
 
 }  // namespace

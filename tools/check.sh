@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Single CI entry point: tier-1 configure/build/test, a pawctl smoke
 # test of the demo pipeline and both store layouts (single + sharded,
-# including a kill-and-reopen crash drill), and an ASan+UBSan build of
-# the store/crash test binaries.
+# including kill-and-reopen crash drills — one against the sharded
+# WAL tail, one against background compaction mid-flight), an
+# ASan+UBSan build of the store/crash test binaries, and a TSan build
+# of the concurrency suites (group-commit WAL, writer queues,
+# background compaction).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,13 +42,33 @@ echo "== pawctl sharded smoke =="
 "$PAWCTL" ingest "$SMOKE_DIR/shards" "$SMOKE_DIR/demo.paw" runs=4
 # Kill-and-reopen drill: tear bytes off the tail of the busiest shard's
 # WAL (a crash mid-append) and require recovery to repair and report it.
-TORN_WAL="$(ls -S "$SMOKE_DIR"/shards/shard-*/wal.log | head -1)"
+TORN_WAL="$(ls -S "$SMOKE_DIR"/shards/shard-*/wal-*.log | head -1)"
 truncate -s -3 "$TORN_WAL"
 "$PAWCTL" open "$SMOKE_DIR/shards" threads=4 | tee "$SMOKE_DIR/open.out"
 grep -q "torn tail" "$SMOKE_DIR/open.out"
 # The repaired store keeps accepting writes (through the writer queues
 # and with group-committed durability, to exercise both knobs).
 "$PAWCTL" ingest "$SMOKE_DIR/shards" "$SMOKE_DIR/demo.paw" runs=2 threads=4 sync=each
+
+echo "== background compaction kill-and-reopen drill =="
+# Ingest with tiny segments and background folds, kill -9 mid-flight —
+# the crash can land anywhere in the rotate→snapshot→seal-delete
+# window — then require recovery, further ingest, and a background
+# compact to all succeed on whatever the crash left behind.
+"$PAWCTL" init "$SMOKE_DIR/bg"
+"$PAWCTL" ingest "$SMOKE_DIR/bg" "$SMOKE_DIR/demo.paw" runs=400 \
+  segbytes=20000 every=50 compact=background &
+INGEST_PID=$!
+sleep 0.4
+kill -9 "$INGEST_PID" 2>/dev/null || true
+wait "$INGEST_PID" 2>/dev/null || true
+"$PAWCTL" status "$SMOKE_DIR/bg"
+"$PAWCTL" open "$SMOKE_DIR/bg" | tee "$SMOKE_DIR/bg_open.out"
+grep -q "segments:" "$SMOKE_DIR/bg_open.out"
+"$PAWCTL" ingest "$SMOKE_DIR/bg" "$SMOKE_DIR/demo.paw" runs=5 \
+  segbytes=20000 compact=background
+"$PAWCTL" compact "$SMOKE_DIR/bg" mode=background
+"$PAWCTL" open "$SMOKE_DIR/bg"
 
 echo "== pawctl migrate smoke =="
 # A v1 (text-payload) store must open under the v2 build and migrate
@@ -66,6 +89,7 @@ if [[ -x "$BUILD_DIR/bench_store" ]]; then
   test -s "$SMOKE_DIR/BENCH_store.json"
   grep -q '"experiment":"e10e"' "$SMOKE_DIR/BENCH_store.json"
   grep -q '"experiment":"e10f"' "$SMOKE_DIR/BENCH_store.json"
+  grep -q '"experiment":"e10g"' "$SMOKE_DIR/BENCH_store.json"
   cp "$SMOKE_DIR/BENCH_store.json" "$BUILD_DIR/BENCH_store.json"
   echo "perf trajectory written to $BUILD_DIR/BENCH_store.json"
 else
@@ -74,14 +98,28 @@ fi
 
 echo "== asan+ubsan store tests =="
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
-cmake -B "$ASAN_BUILD_DIR" -S . -DPAW_SANITIZE=ON
+cmake -B "$ASAN_BUILD_DIR" -S . -DPAW_SANITIZE=address
 SAN_TESTS=(store_test sharded_store_test crash_injection_test record_test
            thread_pool_test crc32_test codec_v2_test wal_group_commit_test
-           mixed_version_test)
+           mixed_version_test background_compaction_test)
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
   echo "-- $t (asan+ubsan)"
   "$ASAN_BUILD_DIR/$t" --gtest_brief=1
+done
+
+echo "== tsan concurrency tests =="
+# The suites that genuinely race threads: group-commit WAL (appenders +
+# rotation), sharded writer queues, and background compaction
+# (snapshot worker vs live appends over the pinned view).
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+cmake -B "$TSAN_BUILD_DIR" -S . -DPAW_SANITIZE=thread
+TSAN_TESTS=(wal_group_commit_test sharded_store_test
+            background_compaction_test thread_pool_test)
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target "${TSAN_TESTS[@]}"
+for t in "${TSAN_TESTS[@]}"; do
+  echo "-- $t (tsan)"
+  "$TSAN_BUILD_DIR/$t" --gtest_brief=1
 done
 
 echo "== OK =="

@@ -20,22 +20,35 @@
 //                                        writes v1 text payloads
 //   pawctl open <dir> [threads=N]        recover a store (shards in
 //                                        parallel), print its stats
+//   pawctl status <dir>                  inspect segment/LSN/manifest
+//                                        state from the files alone (no
+//                                        recovery, no epoch bump)
 //   pawctl ingest <dir> <spec.paw> [runs=N] [threads=N] [sync=each|batch]
-//                 [codec=binary|text]
+//                 [codec=binary|text] [segbytes=N] [every=N]
+//                 [compact=background|inline]
 //                                        add a spec (reused if already
 //                                        stored under the same name) and
 //                                        run N executions into the store;
 //                                        threads>1 drives the sharded
 //                                        writer queues, sync=each makes
 //                                        every append durable before ack
-//                                        (group-committed)
-//   pawctl compact <dir> [threads=N]     snapshot + truncate the log(s)
+//                                        (group-committed); segbytes=N
+//                                        rotates WAL segments at N bytes,
+//                                        every=N auto-compacts each N
+//                                        records, compact=background runs
+//                                        those folds on the snapshot
+//                                        worker while ingest continues
+//   pawctl compact <dir> [threads=N] [mode=background|inline]
+//                                        snapshot + truncate the log(s);
+//                                        mode=background takes the cut
+//                                        without blocking appends and
+//                                        waits for the snapshot worker
 //   pawctl migrate <dir> [threads=N]     rewrite a v1 (text) store as v2
 //                                        (binary): bump the format marker,
 //                                        re-encode all records into binary
 //                                        snapshots, truncate the logs
 //
-// open/ingest/compact/migrate auto-detect whether <dir> is a
+// open/status/ingest/compact/migrate auto-detect whether <dir> is a
 // single-directory or a sharded store.
 
 #include <cstdio>
@@ -51,7 +64,9 @@
 #include "src/query/keyword_search.h"
 #include "src/repo/disease.h"
 #include "src/store/persistent_repository.h"
+#include "src/store/record.h"
 #include "src/store/sharded_repository.h"
+#include "src/store/snapshot.h"
 #include "src/workflow/hierarchy.h"
 #include "src/workflow/serialize.h"
 #include "src/workflow/view.h"
@@ -242,6 +257,10 @@ void PrintStoreStats(const PersistentRepository& store) {
   std::printf("  wal suffix:  %llu record(s) past snapshot lsn %llu\n",
               static_cast<unsigned long long>(store.records_since_snapshot()),
               static_cast<unsigned long long>(r.snapshot_lsn));
+  std::printf("  segments:    %d live (active seq %llu)%s\n",
+              r.wal_segments,
+              static_cast<unsigned long long>(store.wal().active_seq()),
+              r.stale_segments_removed > 0 ? " [stale reclaimed]" : "");
   std::printf("  approx mem:  %lld bytes\n",
               static_cast<long long>(store.repo().ApproxBytes()));
   std::printf("  recovery:    %llu replayed, %llu skipped\n",
@@ -346,6 +365,93 @@ int CmdOpen(const char* dir, int argc, char** argv) {
   return 0;
 }
 
+/// Prints segment/LSN/manifest state of one store directory from the
+/// files alone — no recovery, no replay, no manifest mutation, so it
+/// is safe to run against a store another process has open (the
+/// answer is a snapshot, racing writers may move it).
+int PrintDirStatus(const std::string& dir, const char* indent) {
+  auto marker = ReadFileToString(dir + "/PAWSTORE");
+  if (marker.ok()) {
+    std::string m = marker.value();
+    while (!m.empty() && m.back() == '\n') m.pop_back();
+    std::printf("%sformat:    %s\n", indent, m.c_str());
+  }
+  auto snapshot = FindLatestSnapshot(dir);
+  if (snapshot.ok()) {
+    auto bytes = ReadFileToString(snapshot.value().path);
+    std::printf("%ssnapshot:  lsn %llu (%zu bytes)\n", indent,
+                static_cast<unsigned long long>(snapshot.value().lsn),
+                bytes.ok() ? bytes.value().size() : size_t{0});
+  } else {
+    std::printf("%ssnapshot:  none\n", indent);
+  }
+  auto manifest = ReadWalManifest(dir);
+  if (manifest.ok()) {
+    std::printf("%smanifest:  first=%llu\n", indent,
+                static_cast<unsigned long long>(manifest.value()));
+  } else {
+    std::printf("%smanifest:  %s\n", indent,
+                manifest.status().IsNotFound() ? "missing (legacy layout?)"
+                                               : "corrupt");
+  }
+  auto segments = ListWalSegments(dir);
+  if (!segments.ok()) return Fail(segments.status());
+  for (size_t i = 0; i < segments.value().size(); ++i) {
+    const WalSegmentFile& segment = segments.value()[i];
+    // Parse the segment header (base LSN) and count whole records.
+    auto contents = ReadFileToString(segment.path);
+    if (!contents.ok()) return Fail(contents.status());
+    RecordReader reader(contents.value());
+    Record record;
+    uint64_t base = 0;
+    uint64_t records = 0;
+    bool header_ok = false;
+    if (reader.Next(&record) == ReadOutcome::kRecord &&
+        record.type == RecordType::kWalHeader) {
+      size_t pos = 0;
+      header_ok = GetFixed64(record.payload, &pos, &base);
+    }
+    while (reader.Next(&record) == ReadOutcome::kRecord) ++records;
+    std::printf(
+        "%swal-%08llu: base %llu, %llu record(s), %zu bytes%s%s%s\n",
+        indent, static_cast<unsigned long long>(segment.seq),
+        static_cast<unsigned long long>(base),
+        static_cast<unsigned long long>(records), contents.value().size(),
+        i + 1 == segments.value().size() ? " [active]" : " [sealed]",
+        header_ok ? "" : " [bad header]",
+        reader.dropped_bytes() > 0 ? " [torn tail]" : "");
+  }
+  if (segments.value().empty() && PathExists(dir + "/wal.log")) {
+    std::printf("%swal.log:   legacy single-file layout (upgrades on "
+                "next open)\n",
+                indent);
+  }
+  return 0;
+}
+
+int CmdStatus(const char* dir) {
+  if (ShardedRepository::IsShardedStore(dir)) {
+    auto manifest = ReadShardManifest(dir);
+    if (!manifest.ok()) return Fail(manifest.status());
+    std::printf("sharded store %s\n", dir);
+    std::printf("  shards:    %d\n", manifest.value().shards);
+    std::printf("  epoch:     %llu\n",
+                static_cast<unsigned long long>(manifest.value().epoch));
+    for (int i = 0; i < manifest.value().shards; ++i) {
+      const std::string shard_dir =
+          std::string(dir) + "/" + ShardedRepository::ShardDirName(i);
+      std::printf("  %s:\n", ShardedRepository::ShardDirName(i).c_str());
+      if (int rc = PrintDirStatus(shard_dir, "    "); rc != 0) return rc;
+    }
+    return 0;
+  }
+  if (!PathExists(std::string(dir) + "/PAWSTORE")) {
+    return Fail(Status::NotFound(std::string(dir) + " is not a paw store"));
+  }
+  std::printf("store %s\n", dir);
+  return PrintDirStatus(dir, "  ");
+}
+
 /// Runs `runs` executions of `spec` through `add_exec` (shared by the
 /// single and sharded ingest paths). Inputs are varied per run so
 /// repeated ingests do not produce identical provenance.
@@ -393,28 +499,43 @@ int CmdIngestSharded(const char* dir, Specification parsed, int runs,
     // Pipeline through the async writer queues: keep a window of
     // outstanding appends so the drain can batch them (one buffered
     // write + one group fsync per batch under sync=each) while the
-    // caller thread generates the next executions.
+    // caller thread generates the next executions. Every future is
+    // checked — including the tail drained after the pipeline window
+    // closes — so a queued append that fails late (e.g. a poisoned
+    // WAL after an I/O error) still turns into a nonzero exit.
     constexpr size_t kMaxWindow = 512;
     FunctionRegistry fns;
     std::deque<std::future<Result<ExecutionId>>> window;
-    auto reap_front = [&window]() -> Status {
+    size_t failed = 0;
+    Status first_error;
+    auto reap_front = [&] {
       Status status = window.front().get().status();
       window.pop_front();
-      return status;
+      if (!status.ok()) {
+        ++failed;
+        if (first_error.ok()) first_error = status;
+      }
     };
-    for (int i = 0; i < runs; ++i) {
+    for (int i = 0; i < runs && failed == 0; ++i) {
       std::string suffix = "#";
       suffix += std::to_string(i);
       auto exec = Execute(spec, fns, DefaultInputs(spec, suffix));
-      if (!exec.ok()) return Fail(exec.status());
+      if (!exec.ok()) {
+        while (!window.empty()) reap_front();
+        return Fail(exec.status());
+      }
       window.push_back(
           store.value().AddExecutionAsync(ref, std::move(exec).value()));
-      if (window.size() >= kMaxWindow) {
-        if (Status s = reap_front(); !s.ok()) return Fail(s);
-      }
+      if (window.size() >= kMaxWindow) reap_front();
     }
-    while (!window.empty()) {
-      if (Status s = reap_front(); !s.ok()) return Fail(s);
+    while (!window.empty()) reap_front();
+    if (failed > 0) {
+      std::fprintf(
+          stderr,
+          "error: %zu queued append(s) failed (sticky store error; "
+          "first failure: %s)\n",
+          failed, first_error.ToString().c_str());
+      return 1;
     }
   } else if (int rc = RunIngest(spec, runs, [&](Execution exec) {
                return store.value().AddExecution(ref, std::move(exec));
@@ -424,6 +545,9 @@ int CmdIngestSharded(const char* dir, Specification parsed, int runs,
   }
   auto synced = store.value().Sync();
   if (!synced.ok()) return Fail(synced);
+  if (Status s = store.value().WaitForCompaction(); !s.ok()) {
+    return Fail(s);
+  }
   std::printf(
       "ingested %d execution(s); %s lsn now %llu (epoch %llu, global %llu)\n",
       runs, ShardedRepository::ShardDirName(ref.shard).c_str(),
@@ -464,6 +588,38 @@ int CmdIngest(const char* dir, const char* path, int argc, char** argv) {
     }
     if (!ParseCodecOption(argv[i], &options.codec, &matched)) return 1;
     if (matched) continue;
+    long segbytes = 0;
+    if (!ParseIntOption(argv[i], "segbytes", 1, 1L << 30, &segbytes,
+                        &matched)) {
+      return 1;
+    }
+    if (matched) {
+      options.segment_bytes = static_cast<uint64_t>(segbytes);
+      continue;
+    }
+    long every = 0;
+    if (!ParseIntOption(argv[i], "every", 1, 1000000, &every, &matched)) {
+      return 1;
+    }
+    if (matched) {
+      options.snapshot_every = static_cast<uint64_t>(every);
+      continue;
+    }
+    std::string compact_mode;
+    ParseStrOption(argv[i], "compact", &compact_mode, &matched);
+    if (matched) {
+      if (compact_mode == "background") {
+        options.background_compaction = true;
+      } else if (compact_mode == "inline") {
+        options.background_compaction = false;
+      } else {
+        std::fprintf(stderr,
+                     "error: compact must be background or inline: %s\n",
+                     argv[i]);
+        return 1;
+      }
+      continue;
+    }
     std::fprintf(stderr, "error: unknown ingest option %s\n", argv[i]);
     return 1;
   }
@@ -500,6 +656,9 @@ int CmdIngest(const char* dir, const char* path, int argc, char** argv) {
   }
   auto synced = store.value().Sync();
   if (!synced.ok()) return Fail(synced);
+  if (Status s = store.value().WaitForCompaction(); !s.ok()) {
+    return Fail(s);
+  }
   std::printf("ingested %ld execution(s) of spec %d; store lsn now %llu\n",
               runs, spec_id,
               static_cast<unsigned long long>(store.value().lsn()));
@@ -508,7 +667,32 @@ int CmdIngest(const char* dir, const char* path, int argc, char** argv) {
 
 int CmdCompact(const char* dir, int argc, char** argv) {
   long threads = 1;
-  if (int rc = ParseThreads(argc, argv, &threads); rc != 0) return rc;
+  bool background = false;
+  for (int i = 0; i < argc; ++i) {
+    bool matched = false;
+    if (!ParseIntOption(argv[i], "threads", 1, 256, &threads, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    std::string mode;
+    ParseStrOption(argv[i], "mode", &mode, &matched);
+    if (matched) {
+      if (mode == "background") {
+        background = true;
+      } else if (mode == "inline") {
+        background = false;
+      } else {
+        std::fprintf(stderr,
+                     "error: mode must be background or inline: %s\n",
+                     argv[i]);
+        return 1;
+      }
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown compact option %s\n", argv[i]);
+    return 1;
+  }
+  const char* mode_name = background ? "background" : "inline";
   if (ShardedRepository::IsShardedStore(dir)) {
     auto store = ShardedRepository::Open(dir, {}, static_cast<int>(threads));
     if (!store.ok()) return Fail(store.status());
@@ -516,23 +700,40 @@ int CmdCompact(const char* dir, int argc, char** argv) {
     for (int i = 0; i < store.value().num_shards(); ++i) {
       before += store.value().shard(i).records_since_snapshot();
     }
-    auto compacted = store.value().Compact(static_cast<int>(threads));
-    if (!compacted.ok()) return Fail(compacted);
+    if (background) {
+      // The cut is non-blocking (appends could continue right after
+      // CompactAsync returns); the CLI then waits so its exit code
+      // reflects the snapshot workers' outcome.
+      if (Status s = store.value().CompactAsync(); !s.ok()) return Fail(s);
+      if (Status s = store.value().WaitForCompaction(); !s.ok()) {
+        return Fail(s);
+      }
+    } else if (Status s = store.value().Compact(static_cast<int>(threads));
+               !s.ok()) {
+      return Fail(s);
+    }
     std::printf(
-        "compacted %s: folded %llu record(s) into %d shard snapshot(s) "
-        "(%ld thread(s))\n",
-        dir, static_cast<unsigned long long>(before),
+        "compacted %s (%s): folded %llu record(s) into %d shard "
+        "snapshot(s) (%ld thread(s))\n",
+        dir, mode_name, static_cast<unsigned long long>(before),
         store.value().num_shards(), threads);
     return 0;
   }
   auto store = PersistentRepository::Open(dir);
   if (!store.ok()) return Fail(store.status());
   const uint64_t before = store.value().records_since_snapshot();
-  auto compacted = store.value().Compact();
-  if (!compacted.ok()) return Fail(compacted);
-  std::printf("compacted %s: folded %llu record(s) into snapshot lsn %llu\n",
-              dir, static_cast<unsigned long long>(before),
-              static_cast<unsigned long long>(store.value().lsn()));
+  if (background) {
+    if (Status s = store.value().CompactAsync(); !s.ok()) return Fail(s);
+    if (Status s = store.value().WaitForCompaction(); !s.ok()) {
+      return Fail(s);
+    }
+  } else if (Status s = store.value().Compact(); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf(
+      "compacted %s (%s): folded %llu record(s) into snapshot lsn %llu\n",
+      dir, mode_name, static_cast<unsigned long long>(before),
+      static_cast<unsigned long long>(store.value().lsn()));
   return 0;
 }
 
@@ -577,9 +778,12 @@ int Usage() {
                "       pawctl search <spec.paw> <level> <term> ...\n"
                "       pawctl init <dir> [shards=N] [codec=binary|text]\n"
                "       pawctl open <dir> [threads=N]\n"
+               "       pawctl status <dir>\n"
                "       pawctl ingest <dir> <spec.paw> [runs=N] [threads=N]"
-               " [sync=each|batch] [codec=binary|text]\n"
-               "       pawctl compact <dir> [threads=N]\n"
+               " [sync=each|batch] [codec=binary|text] [segbytes=N]"
+               " [every=N] [compact=background|inline]\n"
+               "       pawctl compact <dir> [threads=N]"
+               " [mode=background|inline]\n"
                "       pawctl migrate <dir> [threads=N]\n");
   return 2;
 }
@@ -603,6 +807,9 @@ int main(int argc, char** argv) {
   }
   if (cmd == "open" && argc >= 3) {
     return CmdOpen(argv[2], argc - 3, argv + 3);
+  }
+  if (cmd == "status" && argc >= 3) {
+    return CmdStatus(argv[2]);
   }
   if (cmd == "ingest" && argc >= 4) {
     return CmdIngest(argv[2], argv[3], argc - 4, argv + 4);
