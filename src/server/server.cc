@@ -1,0 +1,1434 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/common/thread_pool.h"
+#include "src/privacy/access_control.h"
+#include "src/privacy/data_privacy.h"
+#include "src/privacy/policy_text.h"
+#include "src/provenance/serialize.h"
+#include "src/query/engine.h"
+#include "src/server/wire.h"
+#include "src/store/sharded_repository.h"
+#include "src/workflow/serialize.h"
+
+namespace paw {
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status ErrnoStatus(const std::string& op) {
+  return Status::Internal(op + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl O_NONBLOCK");
+  }
+  return Status::OK();
+}
+
+// ---- Poller ----------------------------------------------------------------
+
+/// One readiness event; read interest is always on.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+/// Minimal readiness-multiplexer interface so the event loop runs
+/// unchanged over epoll (Linux default) and poll(2) (portable
+/// fallback, also selectable for tests via `ServerOptions::use_poll`).
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual Status Add(int fd, bool want_write) = 0;
+  virtual Status Mod(int fd, bool want_write) = 0;
+  virtual void Del(int fd) = 0;
+  virtual Result<std::vector<PollEvent>> Wait(int timeout_ms) = 0;
+};
+
+class PollPoller : public Poller {
+ public:
+  Status Add(int fd, bool want_write) override {
+    interest_[fd] = want_write;
+    return Status::OK();
+  }
+  Status Mod(int fd, bool want_write) override {
+    interest_[fd] = want_write;
+    return Status::OK();
+  }
+  void Del(int fd) override { interest_.erase(fd); }
+
+  Result<std::vector<PollEvent>> Wait(int timeout_ms) override {
+    fds_.clear();
+    for (const auto& [fd, want_write] : interest_) {
+      short events = POLLIN;
+      if (want_write) events |= POLLOUT;
+      fds_.push_back(pollfd{fd, events, 0});
+    }
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return std::vector<PollEvent>{};
+      return ErrnoStatus("poll");
+    }
+    std::vector<PollEvent> out;
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      PollEvent e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<int, bool> interest_;
+  std::vector<pollfd> fds_;
+};
+
+#ifdef __linux__
+class EpollPoller : public Poller {
+ public:
+  static Result<std::unique_ptr<EpollPoller>> Create() {
+    int fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("epoll_create1");
+    return std::unique_ptr<EpollPoller>(new EpollPoller(fd));
+  }
+  ~EpollPoller() override { ::close(epfd_); }
+
+  Status Add(int fd, bool want_write) override {
+    return Ctl(EPOLL_CTL_ADD, fd, want_write);
+  }
+  Status Mod(int fd, bool want_write) override {
+    return Ctl(EPOLL_CTL_MOD, fd, want_write);
+  }
+  void Del(int fd) override {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  Result<std::vector<PollEvent>> Wait(int timeout_ms) override {
+    epoll_event events[128];
+    const int n = ::epoll_wait(epfd_, events, 128, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return std::vector<PollEvent>{};
+      return ErrnoStatus("epoll_wait");
+    }
+    std::vector<PollEvent> out;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      PollEvent e;
+      e.fd = events[i].data.fd;
+      e.readable = (events[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      e.writable = (events[i].events & EPOLLOUT) != 0;
+      e.error = (events[i].events & EPOLLERR) != 0;
+      out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  explicit EpollPoller(int fd) : epfd_(fd) {}
+  Status Ctl(int op, int fd, bool want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_, op, fd, &ev) != 0) {
+      return ErrnoStatus("epoll_ctl");
+    }
+    return Status::OK();
+  }
+  int epfd_;
+};
+#endif  // __linux__
+
+/// Backpressure limits: a client that pipelines without ever reading
+/// responses (or floods frames faster than the store drains them)
+/// would otherwise grow the connection's queues without bound. Beyond
+/// these caps the connection is dropped — protocol abuse, not load.
+constexpr size_t kMaxQueuedFrames = 16384;
+constexpr size_t kMaxOutputBacklogBytes = 64u << 20;
+
+Result<std::unique_ptr<Poller>> MakePoller(bool use_poll) {
+#ifdef __linux__
+  if (!use_poll) {
+    auto poller = EpollPoller::Create();
+    if (!poller.ok()) return poller.status();
+    return std::unique_ptr<Poller>(std::move(poller).value());
+  }
+#else
+  (void)use_poll;
+#endif
+  return std::unique_ptr<Poller>(std::make_unique<PollPoller>());
+}
+
+// ---- Store abstraction ------------------------------------------------------
+
+/// Where a stored spec lives (store-layout-neutral).
+struct SpecLoc {
+  int shard = 0;
+  int id = -1;
+};
+
+/// Uniform server-side facade over the two store layouts. The server's
+/// lease discipline (see server.h) supplies the concurrency contract:
+/// `AddExecutionAsync` may be called concurrently (shared lease),
+/// everything else only under the exclusive lease after `Drain`.
+class ServerStore {
+ public:
+  virtual ~ServerStore() = default;
+  virtual int num_shards() const = 0;
+  virtual const Repository& repo(int shard) const = 0;
+  /// Exclusive lease only.
+  virtual Result<SpecLoc> AddSpec(Specification spec, PolicySet policy) = 0;
+  /// Shared lease; ack implies the store's durability mode.
+  virtual StoreFuture<ExecutionId> AddExecutionAsync(const SpecLoc& loc,
+                                                     Execution exec) = 0;
+  virtual void Drain() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Compact() = 0;
+  /// Shard LSN rendered globally (epoch-prefixed for sharded stores).
+  /// An atomic read — safe to call concurrently with appends.
+  virtual uint64_t GlobalLsn(int shard) const = 0;
+};
+
+/// Single-directory store: appends are serialized on an internal
+/// mutex (the underlying repository is single-writer); with
+/// `sync_each_append` the WAL's own group commit still collapses the
+/// fsyncs of concurrently blocked callers.
+class SingleServerStore : public ServerStore {
+ public:
+  explicit SingleServerStore(PersistentRepository store)
+      : store_(std::move(store)) {}
+
+  int num_shards() const override { return 1; }
+  const Repository& repo(int) const override { return store_.repo(); }
+
+  Result<SpecLoc> AddSpec(Specification spec, PolicySet policy) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto id = store_.AddSpecification(std::move(spec), std::move(policy));
+    if (!id.ok()) return id.status();
+    return SpecLoc{0, id.value()};
+  }
+
+  StoreFuture<ExecutionId> AddExecutionAsync(const SpecLoc& loc,
+                                             Execution exec) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return MakeReadyFuture<ExecutionId>(
+        store_.AddExecution(loc.id, std::move(exec)));
+  }
+
+  void Drain() override {}
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.Sync();
+  }
+  Status Compact() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.Compact();
+  }
+  uint64_t GlobalLsn(int) const override { return store_.lsn(); }
+
+ private:
+  std::mutex mu_;
+  PersistentRepository store_;
+};
+
+/// Sharded store: appends ride the per-shard writer queues, so many
+/// connections' requests batch into one group commit per shard drain.
+class ShardedServerStore : public ServerStore {
+ public:
+  explicit ShardedServerStore(ShardedRepository store)
+      : store_(std::move(store)) {}
+
+  int num_shards() const override { return store_.num_shards(); }
+  const Repository& repo(int shard) const override {
+    return store_.shard(shard).repo();
+  }
+
+  Result<SpecLoc> AddSpec(Specification spec, PolicySet policy) override {
+    auto ref = store_.AddSpecification(std::move(spec), std::move(policy));
+    if (!ref.ok()) return ref.status();
+    return SpecLoc{ref.value().shard, ref.value().id};
+  }
+
+  StoreFuture<ExecutionId> AddExecutionAsync(const SpecLoc& loc,
+                                             Execution exec) override {
+    return store_.AddExecutionAsync({loc.shard, loc.id}, std::move(exec));
+  }
+
+  void Drain() override { store_.Drain(); }
+  Status Sync() override { return store_.Sync(); }
+  Status Compact() override {
+    PAW_RETURN_NOT_OK(store_.CompactAsync());
+    return store_.WaitForCompaction();
+  }
+  uint64_t GlobalLsn(int shard) const override {
+    return ShardedRepository::EpochLsn(store_.epoch(),
+                                       store_.shard(shard).lsn());
+  }
+
+ private:
+  ShardedRepository store_;
+};
+
+// ---- Connection ------------------------------------------------------------
+
+/// Per-connection state. The event loop owns `fd`, `in`, `out`, and
+/// `want_write`; everything under `mu` is shared with the worker that
+/// processes this connection's frames.
+struct Connection {
+  int fd = -1;
+  int64_t last_active_ms = 0;
+
+  // Event-loop-only:
+  std::string in;
+  std::string out;
+  bool want_write = false;
+
+  std::mutex mu;
+  /// Parsed frames awaiting processing (FIFO).
+  std::deque<wire::Frame> frames;
+  /// True while a worker task owns this connection's frame queue —
+  /// frames of one connection are processed serially, in order.
+  bool processing = false;
+  /// Responses produced by the worker, awaiting the event loop.
+  std::string pending_out;
+  /// Set by the event loop when it drops the connection; the worker
+  /// then discards output instead of queueing it.
+  bool closed = false;
+  /// Set by the worker on fatal protocol errors: flush, then close.
+  /// Atomic because the worker writes it outside `mu` while the event
+  /// loop polls it.
+  std::atomic<bool> close_after_flush{false};
+
+  // Session state (worker-only once handshake frames are serialized).
+  bool hello_done = false;
+  uint8_t version = wire::kProtocolVersion;
+  bool authed = false;
+  PrincipalId principal;
+  AccessLevel level = 0;
+};
+
+}  // namespace
+
+// ---- PawServer::Impl --------------------------------------------------------
+
+struct PawServer::Impl {
+  std::string dir;
+  ServerOptions options;
+
+  std::unique_ptr<ServerStore> store;
+  AccessControl acl;
+  AccessLevel admin_level = 100;
+
+  /// The store lease: appends take it shared, queries / spec ingest /
+  /// status / compaction take it exclusive (and drain first), which
+  /// yields a quiescent store for reads without stalling the append
+  /// path against anything but actual queries.
+  std::shared_mutex lease;
+
+  /// name -> location + pinned entry pointer (entries are immutable
+  /// and address-stable, so a registry hit never touches the shard's
+  /// entry vector — the part that races with appends).
+  std::mutex reg_mu;
+  struct SpecInfo {
+    SpecLoc loc;
+    const SpecEntry* entry = nullptr;
+  };
+  std::unordered_map<std::string, SpecInfo> registry;
+
+  /// Per-shard query engines, rebuilt lazily (exclusive lease) when
+  /// the shard grew since the last build; rebuilding also resets the
+  /// per-engine result cache, so stale answers cannot be served.
+  std::vector<std::unique_ptr<QueryEngine>> engines;
+  std::vector<int64_t> engine_counts;
+
+  int listen_fd = -1;
+  int port = 0;
+  int wake_read = -1;
+  int wake_write = -1;
+  /// Reserved descriptor sacrificed to accept-and-close when the
+  /// process runs out of fds (see AcceptAll).
+  int reserve_fd = -1;
+  std::unique_ptr<Poller> poller;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  std::atomic<int> live_conns{0};
+
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+  Stats stats;
+
+  /// Workers before loop_thread: the loop must still be alive while
+  /// workers run; destruction order (reverse) tears the loop down
+  /// after the pool drained.
+  std::unique_ptr<ThreadPool> workers;
+  std::thread loop_thread;
+
+  ~Impl() { StopInternal(); }
+
+  // ---- lifecycle ----
+
+  Status Listen() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) return ErrnoStatus("socket");
+    int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options.port));
+    if (::inet_pton(AF_INET, options.bind_address.c_str(),
+                    &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad bind address " +
+                                     options.bind_address);
+    }
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return ErrnoStatus("bind " + options.bind_address + ":" +
+                         std::to_string(options.port));
+    }
+    if (::listen(listen_fd, 128) != 0) return ErrnoStatus("listen");
+    PAW_RETURN_NOT_OK(SetNonBlocking(listen_fd));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      return ErrnoStatus("getsockname");
+    }
+    port = ntohs(bound.sin_port);
+    return Status::OK();
+  }
+
+  void StopInternal() {
+    if (stopped.exchange(true)) return;
+    stopping.store(true, std::memory_order_release);
+    Wake();
+    if (loop_thread.joinable()) loop_thread.join();
+    // Drain workers (their output goes nowhere now, but queued writer
+    // ops must land before the store closes).
+    workers.reset();
+    if (store != nullptr) {
+      store->Drain();
+      (void)store->Sync();
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+    if (reserve_fd >= 0) ::close(reserve_fd);
+    listen_fd = wake_read = wake_write = reserve_fd = -1;
+  }
+
+  void Wake() {
+    if (wake_write < 0) return;
+    const char byte = 1;
+    (void)!::write(wake_write, &byte, 1);
+  }
+
+  // ---- registry / engines ----
+
+  void BuildRegistry() {
+    std::lock_guard<std::mutex> lock(reg_mu);
+    registry.clear();
+    for (int s = 0; s < store->num_shards(); ++s) {
+      const Repository& r = repo(s);
+      for (int id = 0; id < r.num_specs(); ++id) {
+        const SpecEntry& entry = r.entry(id);
+        registry[entry.spec.name()] = SpecInfo{{s, id}, &entry};
+      }
+    }
+  }
+
+  const Repository& repo(int shard) const { return store->repo(shard); }
+
+  Result<SpecInfo> FindSpec(const std::string& name) {
+    std::lock_guard<std::mutex> lock(reg_mu);
+    auto it = registry.find(name);
+    if (it == registry.end()) {
+      return Status::NotFound("no spec named \"" + name + "\"");
+    }
+    return it->second;
+  }
+
+  /// Exclusive lease + drained store required.
+  void RefreshEnginesLocked() {
+    engines.resize(static_cast<size_t>(store->num_shards()));
+    engine_counts.resize(static_cast<size_t>(store->num_shards()), -1);
+    for (int s = 0; s < store->num_shards(); ++s) {
+      const Repository& r = repo(s);
+      const int64_t count = int64_t{r.num_specs()} * (INT32_MAX / 2) +
+                            r.num_executions();
+      if (engines[static_cast<size_t>(s)] == nullptr ||
+          engine_counts[static_cast<size_t>(s)] != count) {
+        engines[static_cast<size_t>(s)] =
+            std::make_unique<QueryEngine>(r, acl);
+        engine_counts[static_cast<size_t>(s)] = count;
+      }
+    }
+  }
+
+  // ---- event loop ----
+
+  void Loop() {
+    while (!stopping.load(std::memory_order_acquire)) {
+      const int timeout = options.idle_timeout_ms > 0
+                              ? std::min(options.idle_timeout_ms, 250)
+                              : 500;
+      auto events = poller->Wait(timeout);
+      if (!events.ok()) {
+        PAW_LOG(kError) << "pawd poller: " << events.status().ToString();
+        break;
+      }
+      for (const PollEvent& e : events.value()) {
+        if (e.fd == listen_fd) {
+          AcceptAll();
+        } else if (e.fd == wake_read) {
+          char buf[256];
+          while (::read(wake_read, buf, sizeof(buf)) > 0) {
+          }
+        } else {
+          auto it = conns.find(e.fd);
+          if (it == conns.end()) continue;
+          std::shared_ptr<Connection> conn = it->second;
+          if (e.error) {
+            Close(conn);
+            continue;
+          }
+          bool alive = true;
+          if (e.readable) alive = ReadConn(conn);
+          if (alive && e.writable) WriteConn(conn);
+        }
+      }
+      FlushPending();
+      if (options.idle_timeout_ms > 0) CloseIdle();
+    }
+    // Shutdown: best-effort flush of completed responses, then close.
+    FlushPending();
+    for (auto& [fd, conn] : conns) {
+      (void)fd;
+      if (!conn->out.empty()) {
+        (void)!::write(conn->fd, conn->out.data(), conn->out.size());
+      }
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->closed = true;
+      ::close(conn->fd);
+    }
+    conns.clear();
+  }
+
+  void AcceptAll() {
+    for (;;) {
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EMFILE || errno == ENFILE) {
+          // Out of descriptors with a connection still pending: under
+          // level-triggered polling the listen fd would stay readable
+          // and spin the loop. Briefly close the reserve fd, accept
+          // the connection, and close it — the peer sees a reset
+          // instead of the server burning a core.
+          if (reserve_fd >= 0) {
+            ::close(reserve_fd);
+            reserve_fd = -1;
+            const int victim = ::accept(listen_fd, nullptr, nullptr);
+            if (victim >= 0) ::close(victim);
+            reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+            continue;
+          }
+        }
+        return;
+      }
+      if (!SetNonBlocking(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      conn->last_active_ms = NowMs();
+      if (!poller->Add(fd, false).ok()) {
+        ::close(fd);
+        continue;
+      }
+      conns[fd] = std::move(conn);
+      live_conns.fetch_add(1, std::memory_order_relaxed);
+      stats.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Returns false when the connection was closed.
+  bool ReadConn(const std::shared_ptr<Connection>& conn) {
+    char buf[64 << 10];
+    for (;;) {
+      const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn->in.append(buf, static_cast<size_t>(n));
+        conn->last_active_ms = NowMs();
+        continue;
+      }
+      if (n == 0) {  // peer closed
+        Close(conn);
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      Close(conn);
+      return false;
+    }
+    // Parse as many whole frames as arrived.
+    bool dispatched = false;
+    size_t parsed = 0;
+    for (;;) {
+      wire::Frame frame;
+      size_t consumed = 0;
+      std::string error;
+      const wire::ParseResult result = wire::ParseFrame(
+          std::string_view(conn->in).substr(parsed), &frame, &consumed,
+          &error);
+      if (result == wire::ParseResult::kNeedMore) break;
+      if (result == wire::ParseResult::kBad) {
+        stats.bad_frames.fetch_add(1, std::memory_order_relaxed);
+        PAW_LOG(kWarning) << "pawd: closing connection on bad frame: "
+                          << error;
+        Close(conn);
+        return false;
+      }
+      parsed += consumed;
+      stats.frames_received.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->frames.push_back(std::move(frame));
+      if (!conn->processing) {
+        conn->processing = true;
+        dispatched = true;
+      }
+    }
+    if (parsed > 0) conn->in.erase(0, parsed);
+    // Backpressure: a peer that floods requests or never reads its
+    // responses does not get to grow our queues without bound.
+    {
+      size_t queued, backlog;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        queued = conn->frames.size();
+        backlog = conn->pending_out.size();
+      }
+      backlog += conn->out.size() + conn->in.size();
+      if (queued > kMaxQueuedFrames || backlog > kMaxOutputBacklogBytes) {
+        PAW_LOG(kWarning)
+            << "pawd: dropping connection over backpressure limits ("
+            << queued << " queued frames, " << backlog
+            << " backlog bytes)";
+        Close(conn);
+        return false;
+      }
+    }
+    if (dispatched) {
+      std::shared_ptr<Connection> c = conn;
+      workers->Submit([this, c] { ProcessConnection(c); });
+    }
+    return true;
+  }
+
+  void WriteConn(const std::shared_ptr<Connection>& conn) {
+    while (!conn->out.empty()) {
+      const ssize_t n =
+          ::write(conn->fd, conn->out.data(), conn->out.size());
+      if (n > 0) {
+        conn->out.erase(0, static_cast<size_t>(n));
+        conn->last_active_ms = NowMs();
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      Close(conn);
+      return;
+    }
+    bool close_now = false;
+    if (conn->out.empty()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      close_now = conn->close_after_flush && conn->pending_out.empty();
+    }
+    if (close_now) {
+      Close(conn);
+      return;
+    }
+    UpdateInterest(conn);
+  }
+
+  /// Moves worker output into the event-loop write buffers.
+  void FlushPending() {
+    for (auto it = conns.begin(); it != conns.end();) {
+      std::shared_ptr<Connection> conn = it->second;
+      ++it;
+      bool try_write = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->pending_out.empty()) {
+          conn->out.append(conn->pending_out);
+          conn->pending_out.clear();
+          try_write = true;
+        } else if (conn->close_after_flush && conn->out.empty()) {
+          try_write = true;  // nothing to send; WriteConn will close
+        }
+      }
+      if (try_write) WriteConn(conn);  // may Close(conn)
+    }
+  }
+
+  void UpdateInterest(const std::shared_ptr<Connection>& conn) {
+    const bool want_write = !conn->out.empty();
+    if (want_write != conn->want_write) {
+      conn->want_write = want_write;
+      (void)poller->Mod(conn->fd, want_write);
+    }
+  }
+
+  void CloseIdle() {
+    const int64_t now = NowMs();
+    std::vector<std::shared_ptr<Connection>> idle;
+    for (auto& [fd, conn] : conns) {
+      (void)fd;
+      bool busy;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        busy = conn->processing || !conn->frames.empty() ||
+               !conn->pending_out.empty();
+      }
+      if (!busy && conn->out.empty() &&
+          now - conn->last_active_ms > options.idle_timeout_ms) {
+        idle.push_back(conn);
+      }
+    }
+    for (auto& conn : idle) {
+      stats.idle_closed.fetch_add(1, std::memory_order_relaxed);
+      Close(conn);
+    }
+  }
+
+  void Close(const std::shared_ptr<Connection>& conn) {
+    auto it = conns.find(conn->fd);
+    if (it == conns.end()) return;
+    conns.erase(it);
+    poller->Del(conn->fd);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->closed = true;
+    }
+    ::close(conn->fd);
+    live_conns.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // ---- request processing (worker threads) ----
+
+  void ProcessConnection(const std::shared_ptr<Connection>& conn) {
+    for (;;) {
+      std::vector<wire::Frame> batch;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->frames.empty() || conn->closed ||
+            conn->close_after_flush) {
+          conn->processing = false;
+          return;
+        }
+        batch.assign(std::make_move_iterator(conn->frames.begin()),
+                     std::make_move_iterator(conn->frames.end()));
+        conn->frames.clear();
+      }
+      std::string out;
+      HandleBatch(conn.get(), batch, &out);
+      bool fatal;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (!conn->closed) conn->pending_out.append(out);
+        fatal = conn->close_after_flush;
+      }
+      Wake();
+      if (fatal) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->processing = false;
+        return;
+      }
+    }
+  }
+
+  void Respond(Connection* conn, const wire::Frame& request,
+               const Status& status, std::string body, std::string* out) {
+    wire::Frame resp;
+    resp.version = conn->hello_done ? conn->version
+                                    : wire::kProtocolVersion;
+    resp.opcode = request.opcode;
+    resp.request_id = request.request_id;
+    wire::AppendResponseStatus(status, &resp.payload);
+    if (status.ok()) resp.payload.append(body);
+    AppendFrame(resp, out);
+    stats.responses_sent.fetch_add(1, std::memory_order_relaxed);
+    if (status.IsPermissionDenied()) {
+      stats.permission_denied.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void HandleBatch(Connection* conn,
+                   std::vector<wire::Frame>& batch, std::string* out) {
+    size_t i = 0;
+    while (i < batch.size()) {
+      // Gate: handshake and session checks happen in frame order on
+      // this (single) worker, so a pipelined HELLO/AUTH prefix is
+      // processed before the ops behind it.
+      const wire::Frame& frame = batch[i];
+      if (!conn->hello_done && frame.opcode != wire::Opcode::kHello) {
+        Respond(conn, frame,
+                Status::FailedPrecondition(
+                    "first frame on a connection must be HELLO"),
+                "", out);
+        conn->close_after_flush = true;
+        return;
+      }
+      if (conn->hello_done && frame.version != conn->version) {
+        Respond(conn, frame,
+                Status::FailedPrecondition(
+                    "frame version " + std::to_string(frame.version) +
+                    " does not match negotiated version " +
+                    std::to_string(conn->version)),
+                "", out);
+        conn->close_after_flush = true;
+        return;
+      }
+      if (frame.opcode == wire::Opcode::kAddExecution && conn->authed) {
+        // Batch the whole pipelined run of appends: enqueue all, then
+        // await acks in order — one shared lease acquisition, and the
+        // store's group commit amortizes the fsyncs.
+        size_t j = i;
+        while (j < batch.size() &&
+               batch[j].opcode == wire::Opcode::kAddExecution &&
+               batch[j].version == conn->version) {
+          ++j;
+        }
+        HandleAddExecutionRun(conn, batch, i, j, out);
+        i = j;
+        continue;
+      }
+      HandleFrame(conn, frame, out);
+      ++i;
+    }
+  }
+
+  void HandleFrame(Connection* conn, const wire::Frame& frame,
+                   std::string* out) {
+    switch (frame.opcode) {
+      case wire::Opcode::kHello:
+        return HandleHello(conn, frame, out);
+      case wire::Opcode::kAuth:
+        return HandleAuth(conn, frame, out);
+      default:
+        break;
+    }
+    if (!conn->authed) {
+      Respond(conn, frame,
+              Status::PermissionDenied(
+                  std::string(wire::OpcodeName(frame.opcode)) +
+                  " requires AUTH"),
+              "", out);
+      return;
+    }
+    switch (frame.opcode) {
+      case wire::Opcode::kAddSpec:
+        return HandleAddSpec(conn, frame, out);
+      case wire::Opcode::kAddExecution: {
+        std::vector<wire::Frame> one{frame};
+        return HandleAddExecutionRun(conn, one, 0, 1, out);
+      }
+      case wire::Opcode::kGetSpec:
+        return HandleGetSpec(conn, frame, out);
+      case wire::Opcode::kGetExecution:
+        return HandleGetExecution(conn, frame, out);
+      case wire::Opcode::kKeywordSearch:
+        return HandleSearch(conn, frame, out);
+      case wire::Opcode::kStructuralQuery:
+        return HandleStructural(conn, frame, out);
+      case wire::Opcode::kLineage:
+        return HandleLineage(conn, frame, out);
+      case wire::Opcode::kStatus:
+        return HandleStatus(conn, frame, out);
+      case wire::Opcode::kCompact:
+        return HandleCompact(conn, frame, out);
+      default:
+        Respond(conn, frame,
+                Status::Unimplemented("unhandled opcode"), "", out);
+    }
+  }
+
+  void HandleHello(Connection* conn, const wire::Frame& frame,
+                   std::string* out) {
+    if (conn->hello_done) {
+      Respond(conn, frame,
+              Status::FailedPrecondition("duplicate HELLO"), "", out);
+      conn->close_after_flush = true;
+      return;
+    }
+    auto req = wire::DecodeHelloRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      conn->close_after_flush = true;
+      return;
+    }
+    const uint8_t lo =
+        std::max(req.value().min_version, wire::kMinProtocolVersion);
+    const uint8_t hi =
+        std::min(req.value().max_version, wire::kProtocolVersion);
+    if (lo > hi) {
+      Respond(conn, frame,
+              Status::FailedPrecondition(
+                  "no common protocol version: server speaks [" +
+                  std::to_string(wire::kMinProtocolVersion) + ", " +
+                  std::to_string(wire::kProtocolVersion) +
+                  "], client offered [" +
+                  std::to_string(req.value().min_version) + ", " +
+                  std::to_string(req.value().max_version) + "]"),
+              "", out);
+      conn->close_after_flush = true;
+      return;
+    }
+    conn->hello_done = true;
+    conn->version = hi;
+    wire::HelloResponse resp;
+    resp.version = hi;
+    resp.server_name = options.server_name;
+    Respond(conn, frame, Status::OK(), EncodeHelloResponse(resp), out);
+  }
+
+  void HandleAuth(Connection* conn, const wire::Frame& frame,
+                  std::string* out) {
+    auto req = wire::DecodeAuthRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      return;
+    }
+    auto principal = acl.Find(req.value().principal);
+    if (!principal.ok()) {
+      stats.auth_failures.fetch_add(1, std::memory_order_relaxed);
+      Respond(conn, frame,
+              Status::PermissionDenied("unknown principal \"" +
+                                       req.value().principal + "\""),
+              "", out);
+      return;
+    }
+    conn->authed = true;
+    conn->principal = principal.value().id;
+    conn->level = principal.value().level;
+    wire::AuthResponse resp;
+    resp.principal_id = principal.value().id.value();
+    resp.level = principal.value().level;
+    Respond(conn, frame, Status::OK(), EncodeAuthResponse(resp), out);
+  }
+
+  void HandleAddSpec(Connection* conn, const wire::Frame& frame,
+                     std::string* out) {
+    auto req = wire::DecodeAddSpecRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      return;
+    }
+    auto spec = ParseSpecification(req.value().spec_text);
+    if (!spec.ok()) {
+      Respond(conn, frame, spec.status(), "", out);
+      return;
+    }
+    PolicySet policy;
+    if (!req.value().policy_text.empty()) {
+      auto parsed = ParsePolicy(req.value().policy_text, spec.value());
+      if (!parsed.ok()) {
+        Respond(conn, frame, parsed.status(), "", out);
+        return;
+      }
+      policy = std::move(parsed).value();
+    }
+    const std::string name = spec.value().name();
+    std::unique_lock<std::shared_mutex> exclusive(lease);
+    store->Drain();
+    if (FindSpec(name).ok()) {
+      exclusive.unlock();
+      Respond(conn, frame,
+              Status::AlreadyExists("spec \"" + name +
+                                    "\" is already stored"),
+              "", out);
+      return;
+    }
+    auto loc = store->AddSpec(std::move(spec).value(), std::move(policy));
+    if (!loc.ok()) {
+      exclusive.unlock();
+      Respond(conn, frame, loc.status(), "", out);
+      return;
+    }
+    const SpecEntry& entry = repo(loc.value().shard).entry(loc.value().id);
+    {
+      std::lock_guard<std::mutex> lock(reg_mu);
+      registry[name] = SpecInfo{loc.value(), &entry};
+    }
+    wire::AddSpecResponse resp;
+    resp.shard = loc.value().shard;
+    resp.spec_id = loc.value().id;
+    resp.global_lsn = store->GlobalLsn(loc.value().shard);
+    exclusive.unlock();
+    Respond(conn, frame, Status::OK(), EncodeAddSpecResponse(resp), out);
+  }
+
+  /// Handles frames [begin, end) of `batch`, all kAddExecution: parse
+  /// and enqueue every append first (one shared lease hold), then
+  /// await and emit the acknowledgments in order.
+  void HandleAddExecutionRun(Connection* conn,
+                             std::vector<wire::Frame>& batch, size_t begin,
+                             size_t end, std::string* out) {
+    struct Prepared {
+      size_t index;
+      SpecLoc loc;
+      int shard = 0;
+      Execution exec;
+      StoreFuture<ExecutionId> future;
+    };
+    std::vector<Prepared> run;
+    run.reserve(end - begin);
+    // Parse off-lock: registry entries are address-stable and specs
+    // immutable, so execution texts resolve without touching the
+    // store's entry vectors.
+    std::vector<std::pair<size_t, Status>> failures;
+    for (size_t i = begin; i < end; ++i) {
+      auto req = wire::DecodeAddExecutionRequest(batch[i].payload);
+      if (!req.ok()) {
+        failures.emplace_back(i, req.status());
+        continue;
+      }
+      auto info = FindSpec(req.value().spec_name);
+      if (!info.ok()) {
+        failures.emplace_back(i, info.status());
+        continue;
+      }
+      auto exec =
+          ParseExecution(req.value().exec_text, info.value().entry->spec);
+      if (!exec.ok()) {
+        failures.emplace_back(i, exec.status());
+        continue;
+      }
+      Prepared p{i, info.value().loc, info.value().loc.shard,
+                 std::move(exec).value(), {}};
+      run.push_back(std::move(p));
+    }
+    {
+      std::shared_lock<std::shared_mutex> shared(lease);
+      for (Prepared& p : run) {
+        p.future = store->AddExecutionAsync(p.loc, std::move(p.exec));
+      }
+    }
+    // Emit responses in request order (failures interleaved).
+    size_t fi = 0, ri = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (fi < failures.size() && failures[fi].first == i) {
+        Respond(conn, batch[i], failures[fi].second, "", out);
+        ++fi;
+        continue;
+      }
+      Prepared& p = run[ri++];
+      auto id = p.future.get();
+      if (!id.ok()) {
+        Respond(conn, batch[i], id.status(), "", out);
+        continue;
+      }
+      wire::AddExecutionResponse resp;
+      resp.shard = p.shard;
+      resp.exec_id = id.value().value();
+      resp.global_lsn = store->GlobalLsn(p.shard);
+      Respond(conn, batch[i], Status::OK(),
+              EncodeAddExecutionResponse(resp), out);
+    }
+  }
+
+  void HandleGetSpec(Connection* conn, const wire::Frame& frame,
+                     std::string* out) {
+    auto req = wire::DecodeGetSpecRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      return;
+    }
+    auto info = FindSpec(req.value().spec_name);
+    if (!info.ok()) {
+      Respond(conn, frame, info.status(), "", out);
+      return;
+    }
+    const SpecEntry& entry = *info.value().entry;
+    // A spec's full text reveals every level of the hierarchy, so it
+    // is only served to principals whose access view covers all of it.
+    auto view = acl.AccessViewFor(conn->principal, entry.spec,
+                                  entry.hierarchy);
+    if (!view.ok()) {
+      Respond(conn, frame, view.status(), "", out);
+      return;
+    }
+    if (view.value() != entry.hierarchy.FullPrefix()) {
+      Respond(conn, frame,
+              Status::PermissionDenied(
+                  "access view at level " + std::to_string(conn->level) +
+                  " does not cover the full specification"),
+              "", out);
+      return;
+    }
+    wire::GetSpecResponse resp;
+    resp.spec_text = Serialize(entry.spec);
+    resp.policy_text = SerializePolicy(entry.policy);
+    Respond(conn, frame, Status::OK(), EncodeGetSpecResponse(resp), out);
+  }
+
+  void HandleGetExecution(Connection* conn, const wire::Frame& frame,
+                          std::string* out) {
+    auto req = wire::DecodeGetExecutionRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      return;
+    }
+    auto info = FindSpec(req.value().spec_name);
+    if (!info.ok()) {
+      Respond(conn, frame, info.status(), "", out);
+      return;
+    }
+    std::unique_lock<std::shared_mutex> exclusive(lease);
+    store->Drain();
+    const Repository& r = repo(info.value().loc.shard);
+    std::vector<ExecutionId> execs =
+        r.ExecutionsOf(info.value().loc.id);
+    if (req.value().ordinal < 0 ||
+        static_cast<size_t>(req.value().ordinal) >= execs.size()) {
+      exclusive.unlock();
+      Respond(conn, frame,
+              Status::NotFound(
+                  "spec \"" + req.value().spec_name + "\" has " +
+                  std::to_string(execs.size()) + " execution(s); no #" +
+                  std::to_string(req.value().ordinal)),
+              "", out);
+      return;
+    }
+    const ExecutionEntry& ee =
+        r.execution(execs[static_cast<size_t>(req.value().ordinal)]);
+    const PolicySet& policy = info.value().entry->policy;
+    // Re-render the execution with every item value the principal may
+    // not see replaced by the mask — identity and structure stay
+    // queryable, contents stay hidden (data privacy, paper Sec. 3).
+    MaskingReport report =
+        ComputeMasking(ee.exec, policy.data, conn->level);
+    Execution masked(info.value().entry->spec);
+    for (const ExecNode& node : ee.exec.nodes()) {
+      masked.AddNode(node.kind, node.module, node.process_id,
+                     node.enclosing);
+    }
+    for (const DataItem& item : ee.exec.items()) {
+      const bool visible =
+          report.visible[static_cast<size_t>(item.id.value())];
+      masked.AddItem(item.label, item.producer,
+                     visible ? item.value : std::string(kMaskedValue));
+    }
+    const Digraph& g = ee.exec.graph();
+    for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+      for (NodeIndex v : g.OutNeighbors(u)) {
+        (void)masked.AddFlow(ExecNodeId(u), ExecNodeId(v),
+                             ee.exec.ItemsOn(ExecNodeId(u),
+                                             ExecNodeId(v)));
+      }
+    }
+    exclusive.unlock();
+    wire::GetExecutionResponse resp;
+    resp.exec_text = SerializeExecution(masked);
+    resp.num_masked = report.num_masked;
+    Respond(conn, frame, Status::OK(), EncodeGetExecutionResponse(resp),
+            out);
+  }
+
+  void HandleSearch(Connection* conn, const wire::Frame& frame,
+                    std::string* out) {
+    auto req = wire::DecodeSearchRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      return;
+    }
+    std::unique_lock<std::shared_mutex> exclusive(lease);
+    store->Drain();
+    RefreshEnginesLocked();
+    std::vector<wire::SearchHit> hits;
+    for (int s = 0; s < store->num_shards(); ++s) {
+      auto answers = engines[static_cast<size_t>(s)]->Search(
+          conn->principal, req.value().terms);
+      if (!answers.ok()) {
+        exclusive.unlock();
+        Respond(conn, frame, answers.status(), "", out);
+        return;
+      }
+      const Repository& r = repo(s);
+      for (const KeywordAnswer& answer : answers.value()) {
+        wire::SearchHit hit;
+        const Specification& spec = r.entry(answer.spec_id).spec;
+        hit.spec_name = spec.name();
+        hit.score = answer.score;
+        hit.view_size = answer.view_size;
+        for (ModuleId m : answer.matched) {
+          hit.matched.push_back(spec.module(m).code);
+        }
+        hits.push_back(std::move(hit));
+      }
+    }
+    exclusive.unlock();
+    // Merge across shards: scores share one TF-IDF scale per shard, so
+    // the cross-shard order is approximate; ties break toward smaller
+    // views exactly as the per-shard ranking does.
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const wire::SearchHit& a, const wire::SearchHit& b) {
+                       if (a.score != b.score) return a.score > b.score;
+                       return a.view_size < b.view_size;
+                     });
+    wire::SearchResponse resp;
+    resp.hits = std::move(hits);
+    Respond(conn, frame, Status::OK(), EncodeSearchResponse(resp), out);
+  }
+
+  void HandleStructural(Connection* conn, const wire::Frame& frame,
+                        std::string* out) {
+    auto req = wire::DecodeStructuralRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      return;
+    }
+    auto info = FindSpec(req.value().spec_name);
+    if (!info.ok()) {
+      Respond(conn, frame, info.status(), "", out);
+      return;
+    }
+    StructuralPattern pattern;
+    for (const std::string& term : req.value().var_terms) {
+      pattern.vars.push_back(NodePredicate{term});
+    }
+    const int n_vars = static_cast<int>(pattern.vars.size());
+    for (const wire::StructuralRequest::Edge& edge : req.value().edges) {
+      if (edge.from >= n_vars || edge.to >= n_vars) {
+        Respond(conn, frame,
+                Status::InvalidArgument("pattern edge references an "
+                                        "unknown variable"),
+                "", out);
+        return;
+      }
+      pattern.edges.push_back(
+          PatternEdge{edge.from, edge.to, edge.transitive});
+    }
+    std::unique_lock<std::shared_mutex> exclusive(lease);
+    store->Drain();
+    RefreshEnginesLocked();
+    auto matches =
+        engines[static_cast<size_t>(info.value().loc.shard)]->Structural(
+            conn->principal, info.value().loc.id, pattern);
+    if (!matches.ok()) {
+      exclusive.unlock();
+      Respond(conn, frame, matches.status(), "", out);
+      return;
+    }
+    wire::StructuralResponse resp;
+    const Specification& spec = info.value().entry->spec;
+    for (const PatternMatch& match : matches.value()) {
+      std::vector<std::string> codes;
+      for (ModuleId m : match.binding) {
+        codes.push_back(spec.module(m).code);
+      }
+      resp.matches.push_back(std::move(codes));
+    }
+    exclusive.unlock();
+    Respond(conn, frame, Status::OK(), EncodeStructuralResponse(resp),
+            out);
+  }
+
+  void HandleLineage(Connection* conn, const wire::Frame& frame,
+                     std::string* out) {
+    auto req = wire::DecodeLineageRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      return;
+    }
+    auto info = FindSpec(req.value().spec_name);
+    if (!info.ok()) {
+      Respond(conn, frame, info.status(), "", out);
+      return;
+    }
+    std::unique_lock<std::shared_mutex> exclusive(lease);
+    store->Drain();
+    RefreshEnginesLocked();
+    const Repository& r = repo(info.value().loc.shard);
+    std::vector<ExecutionId> execs = r.ExecutionsOf(info.value().loc.id);
+    if (req.value().ordinal < 0 ||
+        static_cast<size_t>(req.value().ordinal) >= execs.size()) {
+      exclusive.unlock();
+      Respond(conn, frame,
+              Status::NotFound("no execution #" +
+                               std::to_string(req.value().ordinal) +
+                               " of \"" + req.value().spec_name + "\""),
+              "", out);
+      return;
+    }
+    auto answer =
+        engines[static_cast<size_t>(info.value().loc.shard)]->Lineage(
+            conn->principal,
+            execs[static_cast<size_t>(req.value().ordinal)],
+            DataItemId(req.value().item));
+    if (!answer.ok()) {
+      exclusive.unlock();
+      Respond(conn, frame, answer.status(), "", out);
+      return;
+    }
+    wire::LineageResponse resp;
+    resp.zoom_steps = answer.value().zoom_steps;
+    const Specification& spec = info.value().entry->spec;
+    for (WorkflowId w : answer.value().prefix) {
+      resp.prefix_codes.push_back(spec.workflow(w).code);
+    }
+    resp.rows = std::move(answer.value().rows);
+    exclusive.unlock();
+    Respond(conn, frame, Status::OK(), EncodeLineageResponse(resp), out);
+  }
+
+  void HandleStatus(Connection* conn, const wire::Frame& frame,
+                    std::string* out) {
+    std::unique_lock<std::shared_mutex> exclusive(lease);
+    store->Drain();
+    wire::StatusResponse resp;
+    resp.shards = store->num_shards();
+    for (int s = 0; s < store->num_shards(); ++s) {
+      resp.specs += repo(s).num_specs();
+      resp.executions += repo(s).num_executions();
+    }
+    resp.principals = acl.size();
+    resp.connections = live_conns.load(std::memory_order_relaxed);
+    std::string text = options.server_name + ": " +
+                       std::to_string(resp.shards) + " shard(s), " +
+                       std::to_string(resp.specs) + " spec(s), " +
+                       std::to_string(resp.executions) +
+                       " execution(s)";
+    for (int s = 0; s < store->num_shards(); ++s) {
+      text += "\nshard " + std::to_string(s) + ": lsn " +
+              std::to_string(store->GlobalLsn(s));
+    }
+    resp.text = std::move(text);
+    exclusive.unlock();
+    Respond(conn, frame, Status::OK(), EncodeStatusResponse(resp), out);
+  }
+
+  void HandleCompact(Connection* conn, const wire::Frame& frame,
+                     std::string* out) {
+    if (conn->level < admin_level) {
+      Respond(conn, frame,
+              Status::PermissionDenied(
+                  "COMPACT requires level >= " +
+                  std::to_string(admin_level) + " (session level " +
+                  std::to_string(conn->level) + ")"),
+              "", out);
+      return;
+    }
+    std::unique_lock<std::shared_mutex> exclusive(lease);
+    store->Drain();
+    const Status status = store->Compact();
+    exclusive.unlock();
+    Respond(conn, frame, status, "", out);
+  }
+};
+
+// ---- PawServer --------------------------------------------------------------
+
+PawServer::PawServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+PawServer::~PawServer() { Stop(); }
+
+void PawServer::Stop() { impl_->StopInternal(); }
+
+int PawServer::port() const { return impl_->port; }
+
+int PawServer::connections() const {
+  return impl_->live_conns.load(std::memory_order_relaxed);
+}
+
+const PawServer::Stats& PawServer::stats() const { return impl_->stats; }
+
+Result<std::unique_ptr<PawServer>> PawServer::Start(const std::string& dir,
+                                                    ServerOptions options) {
+  auto impl = std::make_unique<Impl>();
+  impl->dir = dir;
+  impl->admin_level = options.admin_level;
+
+  // Open (and lock) the store; layout auto-detected.
+  if (ShardedRepository::IsShardedStore(dir)) {
+    auto store = ShardedRepository::Open(dir, options.store,
+                                         options.open_threads);
+    if (!store.ok()) return store.status();
+    impl->store =
+        std::make_unique<ShardedServerStore>(std::move(store).value());
+  } else {
+    auto store = PersistentRepository::Open(dir, options.store);
+    if (!store.ok()) return store.status();
+    impl->store =
+        std::make_unique<SingleServerStore>(std::move(store).value());
+  }
+
+  // Principal registry.
+  if (options.principals.empty()) {
+    options.principals.push_back(
+        ServerPrincipal{"admin", options.admin_level, ""});
+  }
+  for (const ServerPrincipal& p : options.principals) {
+    auto id = impl->acl.AddPrincipal(p.name, p.level, p.group);
+    if (!id.ok()) return id.status();
+  }
+
+  impl->options = std::move(options);
+  impl->BuildRegistry();
+
+  PAW_RETURN_NOT_OK(impl->Listen());
+  impl->reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return ErrnoStatus("pipe");
+  impl->wake_read = pipe_fds[0];
+  impl->wake_write = pipe_fds[1];
+  PAW_RETURN_NOT_OK(SetNonBlocking(impl->wake_read));
+  PAW_RETURN_NOT_OK(SetNonBlocking(impl->wake_write));
+
+  PAW_ASSIGN_OR_RETURN(impl->poller, MakePoller(impl->options.use_poll));
+  PAW_RETURN_NOT_OK(impl->poller->Add(impl->listen_fd, false));
+  PAW_RETURN_NOT_OK(impl->poller->Add(impl->wake_read, false));
+
+  impl->workers = std::make_unique<ThreadPool>(
+      std::max(1, impl->options.worker_threads));
+  Impl* raw = impl.get();
+  impl->loop_thread = std::thread([raw] { raw->Loop(); });
+
+  return std::unique_ptr<PawServer>(new PawServer(std::move(impl)));
+}
+
+}  // namespace paw

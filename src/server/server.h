@@ -1,0 +1,145 @@
+#ifndef PAW_SERVER_SERVER_H_
+#define PAW_SERVER_SERVER_H_
+
+/// \file server.h
+/// \brief `pawd` — the multi-user provenance server.
+///
+/// Fronts a persistent store (single-directory or sharded, auto-
+/// detected) and the privacy-aware query engine over the binary wire
+/// protocol of `src/server/wire.h`. The design is a classic reactor:
+///
+///  - One *event-loop thread* owns the listening socket and every
+///    connection fd, multiplexed through epoll (default on Linux) or
+///    a portable `poll` fallback (`ServerOptions::use_poll`). It
+///    reads bytes, parses frames, flushes responses, enforces idle
+///    timeouts, and closes connections on protocol corruption (a bad
+///    magic/CRC poisons the stream — there is no way to resync).
+///  - A fixed *worker pool* executes requests. Frames of one
+///    connection are processed serially and in order (so a pipelined
+///    ADD_SPEC → ADD_EXECUTION sequence works), while different
+///    connections run in parallel.
+///
+/// **Sessions and privacy.** A connection must HELLO (version
+/// negotiation) and then AUTH as a registered principal before any
+/// other opcode is accepted. Every query runs through the privacy
+/// engine *as that principal*: keyword search and structural matching
+/// are confined to the principal's access views, lineage rows are
+/// masked and zoomed per policy, GET_SPEC requires the principal's
+/// access view to cover the whole specification, and GET_EXECUTION
+/// masks item values above the principal's level. COMPACT requires
+/// `admin_level`.
+///
+/// **Write path.** ADD_EXECUTION requests are parsed off-lock and
+/// enqueued onto the store's per-shard writer queues, so many
+/// connections ride one group commit; when the store was opened with
+/// `sync_each_append`, a request is acknowledged only after its batch
+/// fdatasync'd — an acked write survives `kill -9`. Consecutive
+/// pipelined ADD_EXECUTIONs of one connection are enqueued as a batch
+/// before the first acknowledgment is awaited, which is what makes
+/// pipelining >> sync round trips (bench/bench_server.cc, E11).
+///
+/// **Concurrency model.** Appends hold a *shared* store lease;
+/// queries, spec ingestion, status and compaction take the lease
+/// *exclusively* and drain the writer queues first, giving them a
+/// quiescent store (the `ShardedRepository` read contract) without
+/// stalling the append fast path against anything but actual queries.
+/// Per-shard query engines are rebuilt lazily when the shard changed
+/// since the last query.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/persistent_repository.h"
+#include "src/workflow/spec.h"
+
+namespace paw {
+
+/// \brief One principal the server will accept AUTH for.
+struct ServerPrincipal {
+  std::string name;
+  AccessLevel level = 0;
+  /// Cache/sharing group (two principals share cached answers only
+  /// within one group + level).
+  std::string group;
+};
+
+/// \brief Knobs of a `PawServer`.
+struct ServerOptions {
+  /// Address to bind; loopback by default.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (see `PawServer::port`).
+  int port = 0;
+  /// Request worker threads.
+  int worker_threads = 4;
+  /// Threads used to recover the store on startup.
+  int open_threads = 4;
+  /// Store knobs. `sync_each_append` decides whether an ADD ack
+  /// implies durability (pawctl serve turns it on by default);
+  /// `writer_threads` sizes the sharded store's writer pool.
+  StoreOptions store;
+  /// Principals accepted by AUTH. When empty, a single "admin" at
+  /// `admin_level` is registered so a fresh server is reachable.
+  std::vector<ServerPrincipal> principals;
+  /// Close connections idle longer than this; 0 disables.
+  int idle_timeout_ms = 0;
+  /// Force the portable poll(2) backend instead of epoll.
+  bool use_poll = false;
+  /// Minimum level for COMPACT.
+  AccessLevel admin_level = 100;
+  /// Reported in the HELLO response.
+  std::string server_name = "pawd";
+};
+
+/// \brief The provenance server. Start it, read `port()`, connect
+/// `PawClient`s; destruction (or `Stop`) shuts down gracefully —
+/// in-flight requests finish, acknowledged writes are durable per the
+/// store's sync mode, and the store closes cleanly (releasing the
+/// store-dir lock).
+class PawServer {
+ public:
+  /// \brief Observability counters (monotonic; read with `stats`).
+  struct Stats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> frames_received{0};
+    std::atomic<uint64_t> bad_frames{0};
+    std::atomic<uint64_t> responses_sent{0};
+    std::atomic<uint64_t> auth_failures{0};
+    std::atomic<uint64_t> permission_denied{0};
+    std::atomic<uint64_t> idle_closed{0};
+  };
+
+  /// \brief Opens (and locks) the store under `dir`, binds the
+  /// socket, and spawns the event loop + workers. The store layout
+  /// (single vs sharded) is auto-detected.
+  static Result<std::unique_ptr<PawServer>> Start(const std::string& dir,
+                                                  ServerOptions options);
+
+  ~PawServer();
+  PawServer(const PawServer&) = delete;
+  PawServer& operator=(const PawServer&) = delete;
+
+  /// \brief Stops accepting, flushes what can be flushed, joins the
+  /// loop and the workers. Idempotent.
+  void Stop();
+
+  /// \brief The bound TCP port (the actual one when `options.port` was 0).
+  int port() const;
+
+  /// \brief Live connection count.
+  int connections() const;
+
+  const Stats& stats() const;
+
+ private:
+  struct Impl;
+  explicit PawServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace paw
+
+#endif  // PAW_SERVER_SERVER_H_

@@ -1,0 +1,107 @@
+#include "src/store/lock_file.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace paw {
+namespace {
+
+std::string LockPath(const std::string& dir) {
+  return dir + "/" + kStoreLockFileName;
+}
+
+/// Reads the holder pid recorded in the lock file; 0 when unreadable.
+long long ReadHolderPid(int fd) {
+  char buf[64] = {0};
+  const ssize_t n = ::pread(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return 0;
+  long long pid = 0;
+  if (std::sscanf(buf, "pid %lld", &pid) != 1) return 0;
+  return pid;
+}
+
+}  // namespace
+
+Result<StoreDirLock> StoreDirLock::Acquire(const std::string& dir) {
+  std::string path = LockPath(dir);
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    const long long holder = ReadHolderPid(fd);
+    ::close(fd);
+    if (err == EWOULDBLOCK) {
+      std::string who = holder > 0 ? " (held by pid " +
+                                         std::to_string(holder) + ")"
+                                   : "";
+      return Status::FailedPrecondition(
+          dir + " is locked by another live process" + who +
+          "; refusing a second read-write open");
+    }
+    return Status::Internal("flock " + path + ": " + std::strerror(err));
+  }
+  // Record the holder for diagnostics. Failure to write is not fatal:
+  // the kernel lock is what excludes.
+  char buf[64];
+  const int len = std::snprintf(buf, sizeof(buf), "pid %lld\n",
+                                static_cast<long long>(::getpid()));
+  if (::ftruncate(fd, 0) == 0 && len > 0) {
+    (void)!::pwrite(fd, buf, static_cast<size_t>(len), 0);
+  }
+  return StoreDirLock(std::move(path), fd);
+}
+
+Result<StoreLockProbe> StoreDirLock::Probe(const std::string& dir) {
+  StoreLockProbe probe;
+  const std::string path = LockPath(dir);
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return probe;  // never locked
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_SH | LOCK_NB) == 0) {
+    ::flock(fd, LOCK_UN);
+  } else if (errno == EWOULDBLOCK) {
+    probe.held = true;
+    probe.holder_pid = ReadHolderPid(fd);
+  } else {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("flock " + path + ": " + std::strerror(err));
+  }
+  ::close(fd);
+  return probe;
+}
+
+StoreDirLock::StoreDirLock(StoreDirLock&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+StoreDirLock& StoreDirLock::operator=(StoreDirLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StoreDirLock::~StoreDirLock() { Release(); }
+
+void StoreDirLock::Release() {
+  if (fd_ < 0) return;
+  ::flock(fd_, LOCK_UN);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace paw

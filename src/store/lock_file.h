@@ -1,0 +1,78 @@
+#ifndef PAW_STORE_LOCK_FILE_H_
+#define PAW_STORE_LOCK_FILE_H_
+
+/// \file lock_file.h
+/// \brief Store-directory ownership lock.
+///
+/// Two processes opening the same store directory read-write is
+/// undefined behavior (both would append to the same WAL). The lock
+/// turns that into a clean `FailedPrecondition` at `Open`/`Init` time:
+/// every read-write open takes an exclusive `flock` on `<dir>/LOCK`
+/// and holds it for the life of the store handle. `flock` locks die
+/// with the process, so a `kill -9`'d server never leaves a stale
+/// lock behind — the next open simply succeeds.
+///
+/// The file's contents (`pid <n>`) are advisory diagnostics only: the
+/// kernel lock is what excludes, the pid is what error messages and
+/// `pawctl status` report. Read-only inspection (`pawctl status`)
+/// probes with a shared non-blocking lock via `Probe` and merely warns.
+
+#include <string>
+
+#include "src/common/status.h"
+
+namespace paw {
+
+/// \brief File name of the lock inside a store directory.
+inline constexpr const char* kStoreLockFileName = "LOCK";
+
+/// \brief What `StoreDirLock::Probe` found out about a directory.
+struct StoreLockProbe {
+  /// True when some live process holds the exclusive lock.
+  bool held = false;
+  /// Pid recorded by the holder (0 when unknown / not held).
+  long long holder_pid = 0;
+};
+
+/// \brief An exclusive, process-lifetime lock on one store directory.
+///
+/// Movable, not copyable; releases on destruction. Holding the lock
+/// object is what keeps the flock alive — the store embeds it.
+class StoreDirLock {
+ public:
+  /// \brief Takes the exclusive lock on `<dir>/LOCK` (creating the
+  /// file if needed) without blocking. `FailedPrecondition` — naming
+  /// the holder's pid — when another live process holds it.
+  static Result<StoreDirLock> Acquire(const std::string& dir);
+
+  /// \brief Non-destructively checks whether some process holds the
+  /// exclusive lock on `<dir>/LOCK`. Never blocks; a missing lock
+  /// file reports not-held.
+  static Result<StoreLockProbe> Probe(const std::string& dir);
+
+  StoreDirLock() = default;
+  StoreDirLock(StoreDirLock&& other) noexcept;
+  StoreDirLock& operator=(StoreDirLock&& other) noexcept;
+  StoreDirLock(const StoreDirLock&) = delete;
+  StoreDirLock& operator=(const StoreDirLock&) = delete;
+  ~StoreDirLock();
+
+  /// \brief True while this object holds a lock.
+  bool held() const { return fd_ >= 0; }
+
+  /// \brief Releases the lock early (no-op when not held).
+  void Release();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  StoreDirLock(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace paw
+
+#endif  // PAW_STORE_LOCK_FILE_H_

@@ -94,6 +94,9 @@ Result<PersistentRepository> PersistentRepository::Init(
         dir + " is a sharded store root; init its shards via "
         "ShardedRepository");
   }
+  // Claim the directory before creating any store file, so two
+  // concurrent Inits cannot interleave.
+  PAW_ASSIGN_OR_RETURN(StoreDirLock lock, StoreDirLock::Acquire(dir));
   const bool binary = options.codec == PayloadCodec::kBinary;
   PAW_RETURN_NOT_OK(
       AtomicWriteFile(MarkerPath(dir), binary ? kMarkerV2 : kMarkerV1));
@@ -101,6 +104,7 @@ Result<PersistentRepository> PersistentRepository::Init(
       WriteAheadLog wal,
       WriteAheadLog::Create(dir, /*base_lsn=*/0, WalOptionsFrom(options)));
   PersistentRepository store(dir, std::move(wal), std::move(options));
+  store.lock_ = std::move(lock);
   store.format_version_ = binary ? 2 : 1;
   return store;
 }
@@ -123,6 +127,10 @@ Result<PersistentRepository> PersistentRepository::Open(
   // below), so a failed or diagnostic open never mutates the store.
   const bool upgrade_marker =
       format_version == 1 && options.codec == PayloadCodec::kBinary;
+
+  // Exclude other read-write openers before the first mutation below
+  // (temp reclaim, torn-tail repair, marker bump all rewrite files).
+  PAW_ASSIGN_OR_RETURN(StoreDirLock lock, StoreDirLock::Acquire(dir));
 
   // A crash between AtomicWriteFile's temp write and rename (snapshot
   // mid-compaction, marker, manifests) leaves a `*.tmp` behind; reclaim
@@ -185,6 +193,7 @@ Result<PersistentRepository> PersistentRepository::Open(
   }
 
   PersistentRepository store(dir, std::move(wal), std::move(options));
+  store.lock_ = std::move(lock);
   store.repo_ = std::move(repo);
   store.state_->snapshot_lsn.store(recovery.snapshot_lsn,
                                    std::memory_order_release);

@@ -50,6 +50,7 @@
 #include "src/common/status.h"
 #include "src/repo/repository.h"
 #include "src/store/codec.h"
+#include "src/store/lock_file.h"
 #include "src/store/wal.h"
 
 namespace paw {
@@ -252,6 +253,12 @@ class PersistentRepository {
   Status MaybeAutoCompact();
 
   std::string dir_;
+  /// Exclusive flock on `<dir>/LOCK`, held for the life of the handle:
+  /// a second read-write open of the same directory — by this or any
+  /// other process — fails cleanly instead of corrupting the WAL. The
+  /// kernel releases it on any process death, so crashes never leave a
+  /// stale lock.
+  StoreDirLock lock_;
   Repository repo_;
   WriteAheadLog wal_;
   Options options_;

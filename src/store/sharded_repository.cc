@@ -138,11 +138,15 @@ Result<ShardedRepository> ShardedRepository::Init(const std::string& dir,
     return Status::AlreadyExists(
         dir + " already contains a single-directory paw store");
   }
+  // Claim the root before writing anything (Open does the same, so two
+  // processes cannot race an Init against an Open).
+  PAW_ASSIGN_OR_RETURN(StoreDirLock lock, StoreDirLock::Acquire(dir));
   // Manifest first (epoch 1), then the shards: the manifest is the
   // double-init guard, and a crash mid-init leaves a store that fails
   // to open (missing shard) rather than one that half-exists.
   PAW_RETURN_NOT_OK(WriteShardManifest(dir, {num_shards, /*epoch=*/1}));
   ShardedRepository store(dir, options);
+  store.lock_ = std::move(lock);
   store.epoch_ = 1;
   store.recovery_.epoch = 1;
   store.shards_.reserve(static_cast<size_t>(num_shards));
@@ -161,6 +165,9 @@ Result<ShardedRepository> ShardedRepository::Open(const std::string& dir,
                                                   Options options,
                                                   int threads) {
   PAW_ASSIGN_OR_RETURN(ShardManifest manifest, ReadShardManifest(dir));
+  // The root lock comes before the epoch bump: a second live opener
+  // must fail cleanly rather than burn an epoch and fight over shards.
+  PAW_ASSIGN_OR_RETURN(StoreDirLock lock, StoreDirLock::Acquire(dir));
   // Claim the next epoch *before* any shard is touched; after a crash
   // anywhere past this point, the next open claims a larger epoch, so
   // epoch-prefixed LSNs never repeat even if shard recovery rolls a
@@ -176,6 +183,7 @@ Result<ShardedRepository> ShardedRepository::Open(const std::string& dir,
   PAW_RETURN_NOT_OK(WriteShardManifest(dir, manifest));
 
   ShardedRepository store(dir, options);
+  store.lock_ = std::move(lock);
   store.epoch_ = manifest.epoch;
   store.recovery_.epoch = manifest.epoch;
   store.recovery_.threads = std::max(1, std::min(threads, manifest.shards));
@@ -228,7 +236,8 @@ void ShardedRepository::StartWriterPool() {
       num_shards(), std::min(options_.writer_threads, num_shards()));
 }
 
-void ShardedRepository::Enqueue(int shard, std::unique_ptr<PendingOp> op) {
+void ShardedRepository::Enqueue(int shard, store_detail::PendingOp* op) {
+  using store_detail::PendingOp;
   WriterState* ws = writer_.get();
   ShardQueue* q = &ws->queues[static_cast<size_t>(shard)];
   {
@@ -239,13 +248,12 @@ void ShardedRepository::Enqueue(int shard, std::unique_ptr<PendingOp> op) {
   {
     std::lock_guard<std::mutex> lock(q->mu);
     // Intrusive push: the node is the queue entry, no container churn.
-    PendingOp* node = op.release();
     if (q->tail == nullptr) {
-      q->head = node;
+      q->head = op;
     } else {
-      q->tail->next = node;
+      q->tail->next = op;
     }
-    q->tail = node;
+    q->tail = op;
     if (!q->scheduled) {
       q->scheduled = true;
       schedule = true;
@@ -281,9 +289,13 @@ void ShardedRepository::Enqueue(int shard, std::unique_ptr<PendingOp> op) {
       }
       const Status sync = group_sync ? target->Sync() : Status::OK();
       for (PendingOp* op = batch; op != nullptr;) {
+        // Read the link before MarkDone: the moment `done` flips, a
+        // waiting future may consume the result, unref, and free the
+        // node from under us.
         PendingOp* next = op->next;
         op->Complete(sync);
-        delete op;
+        op->MarkDone();
+        op->Unref();
         op = next;
       }
       {
@@ -302,16 +314,14 @@ void ShardedRepository::Drain() {
                            [this] { return writer_->pending_ops == 0; });
 }
 
-/// A queued specification append: payload + promise in one block.
-struct ShardedRepository::SpecOp : ShardedRepository::PendingOp {
+/// A queued specification append: payload + result slot in one block.
+struct ShardedRepository::SpecOp : store_detail::ResultOp<SpecRef> {
   SpecOp(int shard_index, Specification s, PolicySet p)
       : shard(shard_index), spec(std::move(s)), policy(std::move(p)) {}
 
   int shard;
   Specification spec;
   PolicySet policy;
-  Result<SpecRef> result{Status::Internal("op not run")};
-  std::promise<Result<SpecRef>> promise;
 
   void Run(PersistentRepository* target) override {
     auto id = target->AddSpecification(std::move(spec), std::move(policy));
@@ -319,39 +329,29 @@ struct ShardedRepository::SpecOp : ShardedRepository::PendingOp {
                      : Result<SpecRef>(id.status());
   }
   void Complete(const Status& sync) override {
-    if (result.ok() && !sync.ok()) {
-      promise.set_value(sync);
-    } else {
-      promise.set_value(std::move(result));
-    }
+    if (result.ok() && !sync.ok()) result = sync;
   }
 };
 
 /// A queued execution append.
-struct ShardedRepository::ExecOp : ShardedRepository::PendingOp {
+struct ShardedRepository::ExecOp : store_detail::ResultOp<ExecutionId> {
   ExecOp(SpecRef r, Execution e) : ref(r), exec(std::move(e)) {}
 
   SpecRef ref;
   Execution exec;
-  Result<ExecutionId> result{Status::Internal("op not run")};
-  std::promise<Result<ExecutionId>> promise;
 
   void Run(PersistentRepository* target) override {
     result = target->AddExecution(ref.id, std::move(exec));
   }
   void Complete(const Status& sync) override {
-    if (result.ok() && !sync.ok()) {
-      promise.set_value(sync);
-    } else {
-      promise.set_value(std::move(result));
-    }
+    if (result.ok() && !sync.ok()) result = sync;
   }
 };
 
 /// A queued compaction cut: riding the shard queue serializes the cut
 /// (WAL rotation + pinned view) with that shard's appends; the shard's
 /// own snapshot worker does the heavy part afterwards, off the queue.
-struct ShardedRepository::CompactOp : ShardedRepository::PendingOp {
+struct ShardedRepository::CompactOp : store_detail::PendingOp {
   Status result;
 
   void Run(PersistentRepository* target) override {
@@ -391,46 +391,41 @@ Result<ExecutionId> ShardedRepository::AddExecution(SpecRef ref,
       ref.id, std::move(exec));
 }
 
-std::future<Result<ShardedRepository::SpecRef>>
+StoreFuture<ShardedRepository::SpecRef>
 ShardedRepository::AddSpecificationAsync(Specification spec,
                                          PolicySet policy) {
   const int shard = ShardOf(spec.name(), num_shards());
   if (writer_ == nullptr) {
     PersistentRepository* target = shards_[static_cast<size_t>(shard)].get();
-    std::promise<Result<SpecRef>> promise;
-    std::future<Result<SpecRef>> future = promise.get_future();
     auto id = target->AddSpecification(std::move(spec), std::move(policy));
-    promise.set_value(id.ok() ? Result<SpecRef>(SpecRef{shard, id.value()})
-                              : Result<SpecRef>(id.status()));
-    return future;
+    return MakeReadyFuture<SpecRef>(id.ok()
+                                    ? Result<SpecRef>(SpecRef{shard,
+                                                              id.value()})
+                                    : Result<SpecRef>(id.status()));
   }
-  auto op = std::make_unique<SpecOp>(shard, std::move(spec),
-                                     std::move(policy));
-  std::future<Result<SpecRef>> future = op->promise.get_future();
-  Enqueue(shard, std::move(op));
+  auto* op = new SpecOp(shard, std::move(spec), std::move(policy));
+  op->refs.store(2, std::memory_order_relaxed);  // queue + future
+  StoreFuture<SpecRef> future{op};
+  Enqueue(shard, op);
   return future;
 }
 
-std::future<Result<ExecutionId>> ShardedRepository::AddExecutionAsync(
+StoreFuture<ExecutionId> ShardedRepository::AddExecutionAsync(
     SpecRef ref, Execution exec) {
   if (ref.shard < 0 || ref.shard >= num_shards()) {
-    std::promise<Result<ExecutionId>> promise;
-    std::future<Result<ExecutionId>> future = promise.get_future();
-    promise.set_value(
+    return MakeReadyFuture<ExecutionId>(
         Status::NotFound("unknown shard " + std::to_string(ref.shard)));
-    return future;
   }
   if (writer_ == nullptr) {
     PersistentRepository* target =
         shards_[static_cast<size_t>(ref.shard)].get();
-    std::promise<Result<ExecutionId>> promise;
-    std::future<Result<ExecutionId>> future = promise.get_future();
-    promise.set_value(target->AddExecution(ref.id, std::move(exec)));
-    return future;
+    return MakeReadyFuture<ExecutionId>(
+        target->AddExecution(ref.id, std::move(exec)));
   }
-  auto op = std::make_unique<ExecOp>(ref, std::move(exec));
-  std::future<Result<ExecutionId>> future = op->promise.get_future();
-  Enqueue(ref.shard, std::move(op));
+  auto* op = new ExecOp(ref, std::move(exec));
+  op->refs.store(2, std::memory_order_relaxed);  // queue + future
+  StoreFuture<ExecutionId> future{op};
+  Enqueue(ref.shard, op);
   return future;
 }
 
@@ -445,7 +440,7 @@ Status ShardedRepository::CompactAsync() {
     return Status::OK();
   }
   for (int i = 0; i < num_shards(); ++i) {
-    Enqueue(i, std::make_unique<CompactOp>());
+    Enqueue(i, new CompactOp());
   }
   return Status::OK();
 }

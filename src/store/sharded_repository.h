@@ -51,20 +51,22 @@
 /// appends are routed through one FIFO queue per shard and drained by
 /// a shared writer pool, so ingest fans out across shards instead of
 /// serializing on the caller thread. `AddSpecificationAsync` /
-/// `AddExecutionAsync` enqueue and return a future; the synchronous
-/// `AddSpecification` / `AddExecution` also go through the queue (and
-/// wait), which keeps every shard single-writer — at most one drain
-/// task runs per shard at a time, and ops within a shard apply in
-/// enqueue order. When the store was opened with `sync_each_append`,
-/// the drain group-commits durability: it applies every queued op of
-/// the batch with buffered writes, issues **one** fdatasync, and only
-/// then completes the futures — N queued appends cost one fsync
-/// instead of N. With `writer_threads == 0` (default) no pool exists
-/// and every call is synchronous on the caller thread, exactly as
-/// before. Queue entries are intrusive single-allocation nodes (the
-/// op's payload, promise, and queue link in one block) rather than
-/// `std::function` chains of `shared_ptr`s, keeping the per-append
-/// allocation count flat on the hot ingest path.
+/// `AddExecutionAsync` enqueue and return a `StoreFuture`; the
+/// synchronous `AddSpecification` / `AddExecution` also go through the
+/// queue (and wait), which keeps every shard single-writer — at most
+/// one drain task runs per shard at a time, and ops within a shard
+/// apply in enqueue order. When the store was opened with
+/// `sync_each_append`, the drain group-commits durability: it applies
+/// every queued op of the batch with buffered writes, issues **one**
+/// fdatasync, and only then completes the futures — N queued appends
+/// cost one fsync instead of N. With `writer_threads == 0` (default)
+/// no pool exists and every call is synchronous on the caller thread,
+/// exactly as before. Queue entries are intrusive single-allocation
+/// nodes: the op's payload, its result slot, the completion flag the
+/// future blocks on (C++20 atomic wait), and the queue link all live
+/// in one heap block — no `std::promise` shared state, no
+/// `std::function` chains, exactly one allocation per append on the
+/// hot ingest path.
 ///
 /// **Background compaction.** `CompactAsync` rides the same queues: a
 /// compaction-cut op is enqueued per shard, so the cut (WAL rotation +
@@ -84,17 +86,20 @@
 /// call — enqueueing concurrently with them is undefined behavior,
 /// exactly like the pre-existing two-live-handles caveat.
 
+#include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
+#include "src/store/lock_file.h"
 #include "src/store/persistent_repository.h"
 
 namespace paw {
@@ -112,6 +117,127 @@ Result<ShardManifest> ReadShardManifest(const std::string& dir);
 /// \brief Atomically (re)writes `<dir>/PAWSHARDS`.
 Status WriteShardManifest(const std::string& dir,
                           const ShardManifest& manifest);
+
+namespace store_detail {
+
+/// \brief One queued writer op: payload, result slot, completion flag,
+/// and the intrusive queue link in a single heap block.
+///
+/// Completion is intrusive: `done` flips to 1 after the batch's group
+/// sync and waiters block on it with C++20 atomic wait — there is no
+/// `std::promise` (whose shared state is a separate allocation) behind
+/// a `StoreFuture`. Ownership is a 2-way refcount: the drain loop holds
+/// one reference, the future (if any) the other; whoever lets go last
+/// frees the node, so a dropped future never dangles and a completed
+/// queue never leaks.
+struct PendingOp {
+  PendingOp* next = nullptr;  // intrusive FIFO link
+  /// 0 until the op's result is final; flips once, then notifies.
+  std::atomic<uint32_t> done{0};
+  /// Live references: the queue, plus the future when one is attached.
+  std::atomic<uint32_t> refs{1};
+
+  virtual ~PendingOp() = default;
+  /// Applies the op against its shard and stashes the result.
+  virtual void Run(PersistentRepository* shard) = 0;
+  /// Folds the batch's group-sync status into the stashed result;
+  /// called exactly once, before `MarkDone`.
+  virtual void Complete(const Status& sync) = 0;
+
+  void MarkDone() {
+    done.store(1, std::memory_order_release);
+    done.notify_all();
+  }
+  void WaitDone() const {
+    while (done.load(std::memory_order_acquire) == 0) {
+      done.wait(0, std::memory_order_acquire);
+    }
+  }
+  void Unref() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+};
+
+/// \brief An op whose completion yields a `Result<T>`.
+template <typename T>
+struct ResultOp : PendingOp {
+  Result<T> result{Status::Internal("op not run")};
+};
+
+/// \brief A never-enqueued op carrying an already-final result; backs
+/// `MakeReadyFuture`.
+template <typename T>
+struct ReadyOp : ResultOp<T> {
+  void Run(PersistentRepository*) override {}
+  void Complete(const Status&) override {}
+};
+
+}  // namespace store_detail
+
+/// \brief A one-shot future for a queued writer op, backed by the op
+/// node itself (see `store_detail::PendingOp` — no promise shared
+/// state). Movable, not copyable; `get()` blocks until the op's batch
+/// committed (and, under `sync_each_append`, synced), then consumes
+/// the result. Dropping an unresolved future is safe.
+template <typename T>
+class StoreFuture {
+ public:
+  StoreFuture() = default;
+  StoreFuture(StoreFuture&& other) noexcept
+      : op_(std::exchange(other.op_, nullptr)) {}
+  StoreFuture& operator=(StoreFuture&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      op_ = std::exchange(other.op_, nullptr);
+    }
+    return *this;
+  }
+  StoreFuture(const StoreFuture&) = delete;
+  StoreFuture& operator=(const StoreFuture&) = delete;
+  ~StoreFuture() { Reset(); }
+
+  /// \brief True until `get()` consumes the result.
+  bool valid() const { return op_ != nullptr; }
+
+  /// \brief Blocks until the op completes; may be called once.
+  Result<T> get() {
+    assert(op_ != nullptr);
+    op_->WaitDone();
+    Result<T> out = std::move(op_->result);
+    Reset();
+    return out;
+  }
+
+  /// \brief Blocks until the op completes without consuming it.
+  void wait() const {
+    if (op_ != nullptr) op_->WaitDone();
+  }
+
+  /// \brief Internal: adopts one reference to `op`. Only the store's
+  /// writer-queue plumbing constructs futures from op nodes.
+  explicit StoreFuture(store_detail::ResultOp<T>* op) : op_(op) {}
+
+ private:
+  void Reset() {
+    if (op_ != nullptr) {
+      op_->Unref();
+      op_ = nullptr;
+    }
+  }
+
+  store_detail::ResultOp<T>* op_ = nullptr;
+};
+
+/// \brief Wraps an already-known result as a resolved `StoreFuture`
+/// (the inline append path, early-error paths, and callers — like the
+/// server's single-directory store — that complete synchronously).
+template <typename T>
+StoreFuture<T> MakeReadyFuture(Result<T> result) {
+  auto* op = new store_detail::ReadyOp<T>();
+  op->result = std::move(result);
+  op->MarkDone();
+  return StoreFuture<T>(op);
+}
 
 /// \brief Durable repository partitioned across shard directories.
 class ShardedRepository {
@@ -171,12 +297,11 @@ class ShardedRepository {
   /// and returns immediately; the result arrives via the future. With
   /// `writer_threads == 0` the append runs inline (the future is
   /// already ready on return).
-  std::future<Result<SpecRef>> AddSpecificationAsync(Specification spec,
-                                                     PolicySet policy = {});
+  StoreFuture<SpecRef> AddSpecificationAsync(Specification spec,
+                                             PolicySet policy = {});
 
   /// \brief Enqueues an execution append; see `AddSpecificationAsync`.
-  std::future<Result<ExecutionId>> AddExecutionAsync(SpecRef ref,
-                                                     Execution exec);
+  StoreFuture<ExecutionId> AddExecutionAsync(SpecRef ref, Execution exec);
 
   /// \brief Blocks until every enqueued append has been applied (and,
   /// under `sync_each_append`, made durable). No-op without a writer
@@ -243,19 +368,6 @@ class ShardedRepository {
   static bool IsShardedStore(const std::string& dir);
 
  private:
-  /// One queued writer op: payload, promise, and the intrusive queue
-  /// link in a single heap block (plus the promise's shared state),
-  /// replacing the previous `std::function`-of-`shared_ptr`s design
-  /// that cost several allocations per append. Subclasses hold the op
-  /// payload by value; `Run` performs the append against the shard and
-  /// stashes the result, and `Complete` — called after the batch's
-  /// group sync with the sync status — fulfills the promise.
-  struct PendingOp {
-    PendingOp* next = nullptr;  // intrusive FIFO link
-    virtual ~PendingOp() = default;
-    virtual void Run(PersistentRepository* shard) = 0;
-    virtual void Complete(const Status& sync) = 0;
-  };
   struct SpecOp;
   struct ExecOp;
   struct CompactOp;
@@ -265,8 +377,8 @@ class ShardedRepository {
   struct ShardQueue {
     std::mutex mu;
     /// Intrusive FIFO of ops awaiting the next drain.
-    PendingOp* head = nullptr;
-    PendingOp* tail = nullptr;
+    store_detail::PendingOp* head = nullptr;
+    store_detail::PendingOp* tail = nullptr;
     /// True while a drain task for this queue is scheduled or running;
     /// guarantees the single-writer-per-shard invariant.
     bool scheduled = false;
@@ -294,14 +406,20 @@ class ShardedRepository {
   /// Spins up the writer pool when `options_.writer_threads > 0`.
   void StartWriterPool();
 
-  /// Enqueues `op` on shard `shard`'s queue and schedules a drain.
-  void Enqueue(int shard, std::unique_ptr<PendingOp> op);
+  /// Enqueues `op` on shard `shard`'s queue (taking the queue's
+  /// reference) and schedules a drain.
+  void Enqueue(int shard, store_detail::PendingOp* op);
 
   /// Store options as passed down to individual shards (per-append
   /// sync is lifted to the batch level when a writer pool exists).
   Options ShardOptions() const;
 
   std::string dir_;
+  /// Exclusive flock on the *root* directory (each shard additionally
+  /// holds its own): a second read-write open fails before it can bump
+  /// the epoch or touch any shard. Released by the kernel on process
+  /// death, so a kill -9 leaves no stale lock.
+  StoreDirLock lock_;
   Options options_;
   std::vector<std::unique_ptr<PersistentRepository>> shards_;
   uint64_t epoch_ = 0;

@@ -44,31 +44,80 @@ Result<SnapshotInfo> WriteSnapshot(const std::string& dir,
   return WriteSnapshot(dir, repo.View(), lsn, codec);
 }
 
+namespace {
+
+/// Bytes buffered in user space before the snapshot stream is pushed
+/// to the OS. Bounds snapshot memory by the largest single record plus
+/// this constant instead of the whole store's encoded size.
+constexpr int64_t kSnapshotFlushBytes = 1 << 20;
+
+/// Appends one record frame to the temp file, flushing when the
+/// user-space buffer passes the threshold. `scratch` is reused across
+/// calls so the per-record allocation amortizes away.
+Status StreamRecord(AppendOnlyFile* file, RecordType type,
+                    std::string&& payload, std::string* scratch,
+                    int64_t* buffered) {
+  scratch->clear();
+  AppendRecord(type, payload, scratch);
+  PAW_RETURN_NOT_OK(file->Append(*scratch));
+  *buffered += static_cast<int64_t>(scratch->size());
+  if (*buffered >= kSnapshotFlushBytes) {
+    PAW_RETURN_NOT_OK(file->Flush());
+    *buffered = 0;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<SnapshotInfo> WriteSnapshot(const std::string& dir,
                                    const RepositoryView& view, uint64_t lsn,
                                    PayloadCodec codec) {
   const bool binary = codec == PayloadCodec::kBinary;
-  std::string stream;
-  std::string header_payload;
-  PutFixed64(&header_payload, lsn);
-  AppendRecord(RecordType::kSnapshotHeader, header_payload, &stream);
-  for (const SpecEntry* entry : view.specs) {
-    AppendRecord(binary ? RecordType::kSpecV2 : RecordType::kSpec,
-                 binary ? EncodeSpecPayloadV2(entry->spec, entry->policy)
-                        : EncodeSpecPayload(entry->spec, entry->policy),
-                 &stream);
-  }
-  for (const ExecutionEntry* entry : view.execs) {
-    AppendRecord(
-        binary ? RecordType::kExecutionV2 : RecordType::kExecution,
-        binary ? EncodeExecutionPayloadV2(entry->spec_id, entry->exec)
-               : EncodeExecutionPayload(entry->spec_id, entry->exec),
-        &stream);
-  }
   SnapshotInfo info;
   info.lsn = lsn;
   info.path = dir + "/" + SnapshotFileName(lsn);
-  PAW_RETURN_NOT_OK(AtomicWriteFile(info.path, stream));
+  // Stream records straight to the temp file instead of encoding the
+  // whole repository into one in-memory string first — a multi-GB
+  // store must not need a multi-GB snapshot buffer. The temp path is
+  // the same `<path>.tmp` AtomicWriteFile uses, so the stale-temp
+  // reclaim on open covers a crash mid-stream; the rename after the
+  // final Sync is what publishes the snapshot atomically.
+  const std::string tmp = info.path + ".tmp";
+  PAW_RETURN_NOT_OK(RemoveFileIfExists(tmp));
+  auto opened = AppendOnlyFile::Open(tmp);
+  if (!opened.ok()) return opened.status();
+  {
+    AppendOnlyFile file = std::move(opened).value();
+    std::string scratch;
+    int64_t buffered = 0;
+    std::string header_payload;
+    PutFixed64(&header_payload, lsn);
+    Status st = StreamRecord(&file, RecordType::kSnapshotHeader,
+                             std::move(header_payload), &scratch, &buffered);
+    for (const SpecEntry* entry : view.specs) {
+      if (!st.ok()) break;
+      st = StreamRecord(
+          &file, binary ? RecordType::kSpecV2 : RecordType::kSpec,
+          binary ? EncodeSpecPayloadV2(entry->spec, entry->policy)
+                 : EncodeSpecPayload(entry->spec, entry->policy),
+          &scratch, &buffered);
+    }
+    for (const ExecutionEntry* entry : view.execs) {
+      if (!st.ok()) break;
+      st = StreamRecord(
+          &file, binary ? RecordType::kExecutionV2 : RecordType::kExecution,
+          binary ? EncodeExecutionPayloadV2(entry->spec_id, entry->exec)
+                 : EncodeExecutionPayload(entry->spec_id, entry->exec),
+          &scratch, &buffered);
+    }
+    if (st.ok()) st = file.Sync();
+    if (!st.ok()) {
+      (void)RemoveFileIfExists(tmp);
+      return st;
+    }
+  }
+  PAW_RETURN_NOT_OK(RenameFile(tmp, info.path));
   return info;
 }
 

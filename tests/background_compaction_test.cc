@@ -25,6 +25,7 @@
 #include "src/store/wal.h"
 #include "src/workflow/builder.h"
 #include "src/workflow/serialize.h"
+#include "tests/store_test_util.h"
 
 namespace paw {
 namespace {
@@ -144,6 +145,7 @@ TEST(BackgroundCompactionTest, AppendsContinueWhileSnapshotWorkerRuns) {
   ASSERT_TRUE(store.value().Sync().ok());
 
   const std::vector<std::string> expected = Dump(store.value().repo());
+  CloseStore(&store);
   auto reopened = PersistentRepository::Open(dir, {});
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(reopened.value().recovery().snapshot_lsn, cut_lsn);
@@ -223,6 +225,7 @@ void RunRepeatedCompactAsyncStress(PayloadCodec codec,
   // The reopened store equals the linearized append set exactly.
   const std::vector<std::string> expected = Dump(store.value().repo());
   EXPECT_EQ(expected.size(), static_cast<size_t>(kRecords) + 1);
+  CloseStore(&store);
   auto reopened = PersistentRepository::Open(dir, options);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(Dump(reopened.value().repo()), expected);
@@ -260,6 +263,7 @@ TEST(BackgroundCompactionTest, SegmentBytesAutoTriggerFoldsInBackground) {
   ASSERT_TRUE(store.value().Sync().ok());
 
   const std::vector<std::string> expected = Dump(store.value().repo());
+  CloseStore(&store);
   auto reopened = PersistentRepository::Open(dir, options);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(Dump(reopened.value().repo()), expected);
@@ -284,6 +288,7 @@ TEST(BackgroundCompactionTest, SnapshotEveryAutoTriggerRunsInBackground) {
   EXPECT_GT(store.value().snapshot_lsn(), 0u);
   ASSERT_TRUE(store.value().Sync().ok());
   const std::vector<std::string> expected = Dump(store.value().repo());
+  CloseStore(&store);
   auto reopened = PersistentRepository::Open(dir, options);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(Dump(reopened.value().repo()), expected);
@@ -312,6 +317,7 @@ TEST(BackgroundCompactionTest, LegacySingleFileStoreOpensAndCompacts) {
   EXPECT_EQ(Dump(reopened.value().repo()), expected);
   EXPECT_EQ(reopened.value().recovery().wal_segments, 1);
   ASSERT_TRUE(reopened.value().Compact().ok());
+  CloseStore(&reopened);
   auto again = PersistentRepository::Open(dir, {});
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(Dump(again.value().repo()), expected);
@@ -359,7 +365,7 @@ TEST(ShardedBackgroundCompactionTest, QueuedAppendsFlowWhileWorkersPaused) {
 
   // Queued appends still drain to completion while every worker is
   // paused mid-compaction: ingest is not hostage to snapshotting.
-  std::vector<std::future<Result<ExecutionId>>> futures;
+  std::vector<StoreFuture<ExecutionId>> futures;
   for (int i = 0; i < 20; ++i) {
     const auto& ref = refs[static_cast<size_t>(i) % refs.size()];
     futures.push_back(store.value().AddExecutionAsync(
@@ -376,6 +382,7 @@ TEST(ShardedBackgroundCompactionTest, QueuedAppendsFlowWhileWorkersPaused) {
   ASSERT_TRUE(store.value().Sync().ok());
   EXPECT_EQ(store.value().num_executions(), 20);
 
+  CloseStore(&store);
   auto reopened = ShardedRepository::Open(dir, {}, kShards);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(reopened.value().num_specs(), kShards);
@@ -474,7 +481,7 @@ TEST(ShardedBackgroundCompactionTest, DurableIngestWithBackgroundFolds) {
                                     .repo()
                                     .entry(ref.value().id)
                                     .spec;
-    std::vector<std::future<Result<ExecutionId>>> futures;
+    std::vector<StoreFuture<ExecutionId>> futures;
     for (int i = 0; i < 50; ++i) {
       futures.push_back(store.value().AddExecutionAsync(
           ref.value(), MakeExec(spec, "dur" + std::to_string(i))));

@@ -42,6 +42,7 @@
 #include "src/store/sharded_repository.h"
 #include "src/workflow/builder.h"
 #include "src/workflow/serialize.h"
+#include "tests/store_test_util.h"
 
 namespace paw {
 namespace {
@@ -451,6 +452,7 @@ void RunCompactionKillPointSweep(PayloadCodec codec,
         store.value().AddExecution(0, std::move(exec).value()).ok())
         << context;
     ASSERT_TRUE(store.value().Sync().ok()) << context;
+    CloseStore(&store);
     auto reopened = PersistentRepository::Open(image, options);
     ASSERT_TRUE(reopened.ok()) << context;
     EXPECT_EQ(reopened.value().lsn(), originals.size() + 1) << context;
@@ -704,6 +706,7 @@ void RunSealedSegmentTruncationSweep(PayloadCodec codec,
           store.value().AddExecution(0, std::move(exec).value()).ok())
           << context;
       ASSERT_TRUE(store.value().Sync().ok()) << context;
+      CloseStore(&store);
       auto reopened = PersistentRepository::Open(swept.dir, swept.options);
       ASSERT_TRUE(reopened.ok()) << context;
       EXPECT_EQ(reopened.value().lsn(), whole + 1) << context;

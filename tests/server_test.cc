@@ -1,0 +1,415 @@
+// End-to-end pawd server tests: in-process server + PawClient over
+// real sockets. Covers session gating (HELLO/AUTH ordering, version
+// negotiation), per-principal privacy filtering of search / lineage /
+// get-spec / get-execution, concurrent pipelined ingest from several
+// clients, durability of acked writes across a server restart, the
+// poll(2) backend, idle timeouts, admin-gated compaction, and the
+// store-dir lock honored while a server runs.
+
+#include "src/server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/client/paw_client.h"
+#include "src/common/file_io.h"
+#include "src/provenance/executor.h"
+#include "src/provenance/serialize.h"
+#include "src/privacy/policy_text.h"
+#include "src/repo/disease.h"
+#include "src/server/wire.h"
+#include "src/store/sharded_repository.h"
+#include "src/workflow/serialize.h"
+
+namespace paw {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("paw_server_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// alice sees level 0, bob level 2 (the disease spec's deepest level),
+/// root level 100 (admin).
+ServerOptions TestOptions() {
+  ServerOptions options;
+  options.store.sync_each_append = true;
+  options.store.writer_threads = 2;
+  options.worker_threads = 4;
+  options.principals = {
+      {"alice", 0, "lab-a"}, {"bob", 2, "lab-b"}, {"root", 100, ""}};
+  return options;
+}
+
+std::string DiseaseSpecText() {
+  auto spec = BuildDiseaseSpec();
+  EXPECT_TRUE(spec.ok());
+  return Serialize(spec.value());
+}
+
+std::string DiseasePolicyText() {
+  auto spec = BuildDiseaseSpec();
+  EXPECT_TRUE(spec.ok());
+  return SerializePolicy(DiseasePolicy());
+}
+
+/// One serialized execution of the disease spec with per-run inputs.
+std::string DiseaseExecText(const Specification& spec, int run) {
+  FunctionRegistry fns = BuildDiseaseFunctions();
+  ValueMap inputs = DiseaseInputs();
+  inputs["SNPs"] = "rs" + std::to_string(run);
+  auto exec = Execute(spec, fns, inputs);
+  EXPECT_TRUE(exec.ok());
+  return SerializeExecution(exec.value());
+}
+
+/// Starts a server over a fresh 4-shard store and uploads the disease
+/// spec + policy as root.
+struct Fixture {
+  std::string dir;
+  std::unique_ptr<PawServer> server;
+  Specification spec;
+
+  static Fixture Create(const std::string& name, ServerOptions options,
+                        int shards = 4) {
+    Fixture f;
+    f.dir = TestDir(name);
+    {
+      auto init = ShardedRepository::Init(f.dir, shards);
+      EXPECT_TRUE(init.ok()) << init.status().ToString();
+    }
+    auto server = PawServer::Start(f.dir, std::move(options));
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    f.server = std::move(server).value();
+    auto spec = BuildDiseaseSpec();
+    EXPECT_TRUE(spec.ok());
+    f.spec = std::move(spec).value();
+    return f;
+  }
+
+  Result<PawClient> Client(const std::string& user) {
+    auto client = PawClient::Connect("127.0.0.1", server->port());
+    if (!client.ok()) return client.status();
+    PAW_RETURN_NOT_OK(client.value().Auth(user));
+    return client;
+  }
+
+  void UploadSpec() {
+    auto client = Client("root");
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto added =
+        client.value().AddSpec(DiseaseSpecText(), DiseasePolicyText());
+    ASSERT_TRUE(added.ok()) << added.status().ToString();
+  }
+};
+
+TEST(ServerTest, StartsOnEphemeralPortAndStops) {
+  Fixture f = Fixture::Create("start_stop", TestOptions());
+  EXPECT_GT(f.server->port(), 0);
+  f.server->Stop();
+  f.server->Stop();  // idempotent
+}
+
+TEST(ServerTest, HelloNegotiatesVersionAndAuthGatesEverything) {
+  Fixture f = Fixture::Create("handshake", TestOptions());
+  // Connect performs HELLO; server echoes its name + version.
+  auto client = PawClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_EQ(client.value().version(), wire::kProtocolVersion);
+  EXPECT_EQ(client.value().server_name(), "pawd");
+
+  // Any op before AUTH is denied.
+  auto status = client.value().GetStatus();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.status().IsPermissionDenied());
+
+  // Unknown principal is denied; a real one binds.
+  EXPECT_TRUE(client.value().Auth("mallory").IsPermissionDenied());
+  EXPECT_TRUE(client.value().Auth("alice").ok());
+  EXPECT_TRUE(client.value().GetStatus().ok());
+}
+
+TEST(ServerTest, DisjointVersionRangeIsRejected) {
+  Fixture f = Fixture::Create("version", TestOptions());
+  PawClientOptions options;
+  options.min_version = 200;
+  options.max_version = 201;
+  auto client =
+      PawClient::Connect("127.0.0.1", f.server->port(), options);
+  ASSERT_FALSE(client.ok());
+  EXPECT_TRUE(client.status().IsFailedPrecondition())
+      << client.status().ToString();
+}
+
+TEST(ServerTest, AddSpecOnceThenDuplicateRejected) {
+  Fixture f = Fixture::Create("add_spec", TestOptions());
+  auto client = f.Client("root");
+  ASSERT_TRUE(client.ok());
+  auto added =
+      client.value().AddSpec(DiseaseSpecText(), DiseasePolicyText());
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_GE(added.value().spec_id, 0);
+  auto duplicate = client.value().AddSpec(DiseaseSpecText(), "");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_TRUE(duplicate.status().IsAlreadyExists());
+}
+
+TEST(ServerTest, PrivacyFilteringDiffersPerPrincipal) {
+  Fixture f = Fixture::Create("privacy", TestOptions());
+  f.UploadSpec();
+  auto root = f.Client("root");
+  ASSERT_TRUE(root.ok());
+  auto ack = root.value().AddExecution(f.spec.name(),
+                                       DiseaseExecText(f.spec, 0));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+
+  auto alice = f.Client("alice");
+  auto bob = f.Client("bob");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(bob.ok());
+
+  // Keyword search: "omim" lives below level-0 visibility, so alice
+  // gets nothing while bob gets a view.
+  auto alice_hits = alice.value().Search({"omim"});
+  auto bob_hits = bob.value().Search({"omim"});
+  ASSERT_TRUE(alice_hits.ok());
+  ASSERT_TRUE(bob_hits.ok());
+  EXPECT_TRUE(alice_hits.value().hits.empty());
+  ASSERT_FALSE(bob_hits.value().hits.empty());
+  EXPECT_EQ(bob_hits.value().hits[0].spec_name, f.spec.name());
+
+  // GetSpec: full text requires the access view to cover everything.
+  auto alice_spec = alice.value().GetSpec(f.spec.name());
+  ASSERT_FALSE(alice_spec.ok());
+  EXPECT_TRUE(alice_spec.status().IsPermissionDenied());
+  auto bob_spec = bob.value().GetSpec(f.spec.name());
+  ASSERT_TRUE(bob_spec.ok()) << bob_spec.status().ToString();
+  EXPECT_NE(bob_spec.value().spec_text.find("disease susceptibility"),
+            std::string::npos);
+  EXPECT_FALSE(bob_spec.value().policy_text.empty());
+
+  // GetExecution: SNPs requires level 2 — masked for alice, plain for
+  // bob.
+  auto alice_exec = alice.value().GetExecution(f.spec.name(), 0);
+  ASSERT_TRUE(alice_exec.ok()) << alice_exec.status().ToString();
+  EXPECT_GT(alice_exec.value().num_masked, 0);
+  // The SNPs item itself must carry the mask for alice (derived
+  // lower-level items may legitimately embed input text — masking is
+  // per item label, exactly the paper's data-privacy model).
+  const auto snps_value = [](const std::string& text) -> std::string {
+    const size_t label = text.find("label=\"SNPs\"");
+    if (label == std::string::npos) return "<no SNPs item>";
+    const size_t value = text.find("value=\"", label);
+    if (value == std::string::npos) return "<no value field>";
+    const size_t start = value + 7;
+    const size_t end = text.find('"', start);
+    return text.substr(start, end - start);
+  };
+  EXPECT_EQ(snps_value(alice_exec.value().exec_text), "<masked>");
+  auto bob_exec = bob.value().GetExecution(f.spec.name(), 0);
+  ASSERT_TRUE(bob_exec.ok());
+  EXPECT_EQ(bob_exec.value().num_masked, 0);
+  EXPECT_EQ(snps_value(bob_exec.value().exec_text), "rs0");
+
+  // Lineage of the final result: alice's rows mask the sensitive
+  // values bob can read.
+  auto item = [&](PawClient& c) {
+    // The disease pipeline's final item is the last one; lineage of
+    // item 0 (the SNPs input) keeps the test independent of pipeline
+    // length.
+    return c.Lineage(f.spec.name(), 0, 0);
+  };
+  auto alice_lineage = item(alice.value());
+  auto bob_lineage = item(bob.value());
+  ASSERT_TRUE(alice_lineage.ok()) << alice_lineage.status().ToString();
+  ASSERT_TRUE(bob_lineage.ok()) << bob_lineage.status().ToString();
+  const auto joined = [](const wire::LineageResponse& r) {
+    std::string all;
+    for (const std::string& row : r.rows) all += row + "\n";
+    return all;
+  };
+  EXPECT_NE(joined(alice_lineage.value()).find("<masked>"),
+            std::string::npos);
+  EXPECT_EQ(joined(bob_lineage.value()).find("<masked>"),
+            std::string::npos)
+      << joined(bob_lineage.value());
+}
+
+TEST(ServerTest, StructuralQueryConfinedToPrincipalView) {
+  Fixture f = Fixture::Create("structural", TestOptions());
+  f.UploadSpec();
+
+  wire::StructuralRequest request;
+  request.spec_name = BuildDiseaseSpec().value().name();
+  request.var_terms = {"expand", "omim"};
+  request.edges = {{0, 1, true}};
+
+  auto bob = f.Client("bob");
+  ASSERT_TRUE(bob.ok());
+  auto bob_matches = bob.value().Structural(request);
+  ASSERT_TRUE(bob_matches.ok()) << bob_matches.status().ToString();
+  EXPECT_FALSE(bob_matches.value().matches.empty());
+
+  auto alice = f.Client("alice");
+  ASSERT_TRUE(alice.ok());
+  auto alice_matches = alice.value().Structural(request);
+  // Level 0 cannot see the modules the pattern names: either no match
+  // or an explicit error, never bob's bindings.
+  if (alice_matches.ok()) {
+    EXPECT_TRUE(alice_matches.value().matches.empty());
+  }
+}
+
+TEST(ServerTest, ConcurrentPipelinedClientsIngestEverything) {
+  Fixture f = Fixture::Create("concurrent", TestOptions());
+  f.UploadSpec();
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 20;
+
+  // Pre-serialize executions outside the timed/threaded section.
+  std::vector<std::vector<std::string>> texts(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      texts[c].push_back(DiseaseExecText(f.spec, c * kPerClient + i));
+    }
+  }
+  const std::string name = f.spec.name();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = f.Client(c % 2 == 0 ? "root" : "bob");
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      std::vector<PawTicket> tickets;
+      for (const std::string& text : texts[c]) {
+        auto ticket = client.value().SendAddExecution(name, text);
+        if (!ticket.ok()) {
+          ++failures;
+          return;
+        }
+        tickets.push_back(ticket.value());
+      }
+      for (PawTicket ticket : tickets) {
+        auto ack = client.value().AwaitAddExecution(ticket);
+        if (!ack.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto root = f.Client("root");
+  ASSERT_TRUE(root.ok());
+  auto status = root.value().GetStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().executions, kClients * kPerClient);
+
+  // Acked writes survive a clean server shutdown and reopen.
+  f.server->Stop();
+  f.server.reset();
+  auto reopened = ShardedRepository::Open(f.dir, {}, 4);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().num_executions(), kClients * kPerClient);
+}
+
+TEST(ServerTest, CompactRequiresAdminLevel) {
+  Fixture f = Fixture::Create("compact", TestOptions());
+  f.UploadSpec();
+  auto bob = f.Client("bob");
+  ASSERT_TRUE(bob.ok());
+  EXPECT_TRUE(bob.value().Compact().IsPermissionDenied());
+  auto root = f.Client("root");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root.value().Compact().ok());
+}
+
+TEST(ServerTest, PollBackendServesRequests) {
+  ServerOptions options = TestOptions();
+  options.use_poll = true;
+  Fixture f = Fixture::Create("poll_backend", std::move(options));
+  f.UploadSpec();
+  auto client = f.Client("root");
+  ASSERT_TRUE(client.ok());
+  auto ack = client.value().AddExecution(f.spec.name(),
+                                         DiseaseExecText(f.spec, 1));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  auto status = client.value().GetStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().executions, 1);
+}
+
+TEST(ServerTest, SingleDirectoryStoreIsServable) {
+  const std::string dir = TestDir("single_dir");
+  {
+    auto init = PersistentRepository::Init(dir);
+    ASSERT_TRUE(init.ok());
+  }
+  auto server = PawServer::Start(dir, TestOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = PawClient::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().Auth("root").ok());
+  auto added = client.value().AddSpec(DiseaseSpecText(), "");
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(added.value().shard, 0);
+  auto spec = BuildDiseaseSpec();
+  auto ack = client.value().AddExecution(
+      spec.value().name(), DiseaseExecText(spec.value(), 5));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+}
+
+TEST(ServerTest, IdleConnectionsAreClosed) {
+  ServerOptions options = TestOptions();
+  options.idle_timeout_ms = 100;
+  Fixture f = Fixture::Create("idle", std::move(options));
+  auto client = f.Client("root");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value().GetStatus().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  // The server dropped us; the next call fails on transport.
+  auto status = client.value().GetStatus();
+  EXPECT_FALSE(status.ok());
+  EXPECT_GE(f.server->stats().idle_closed.load(), 1u);
+}
+
+TEST(ServerTest, StoreDirLockHeldWhileServing) {
+  Fixture f = Fixture::Create("lock", TestOptions());
+  // The server holds the store-dir lock: a second read-write open
+  // must fail while it runs, and succeed after it stops.
+  auto second = ShardedRepository::Open(f.dir);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsFailedPrecondition());
+  f.server->Stop();
+  f.server.reset();
+  EXPECT_TRUE(ShardedRepository::Open(f.dir).ok());
+}
+
+TEST(ServerTest, ErrorsForUnknownSpecAndOrdinals) {
+  Fixture f = Fixture::Create("errors", TestOptions());
+  f.UploadSpec();
+  auto root = f.Client("root");
+  ASSERT_TRUE(root.ok());
+  auto missing = root.value().AddExecution("no such spec", "x");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+  auto exec = root.value().GetExecution(f.spec.name(), 7);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_TRUE(exec.status().IsNotFound());
+  auto malformed =
+      root.value().AddExecution(f.spec.name(), "not an execution");
+  EXPECT_FALSE(malformed.ok());
+}
+
+}  // namespace
+}  // namespace paw

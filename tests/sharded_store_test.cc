@@ -20,6 +20,7 @@
 #include "src/repo/disease.h"
 #include "src/repo/workload.h"
 #include "src/workflow/serialize.h"
+#include "tests/store_test_util.h"
 
 namespace paw {
 namespace {
@@ -434,7 +435,7 @@ std::vector<ShardedRepository::SpecRef> SeedAsync(
     EXPECT_TRUE(ref.ok()) << ref.status().ToString();
     refs.push_back(ref.value());
   }
-  std::vector<std::future<Result<ExecutionId>>> futures;
+  std::vector<StoreFuture<ExecutionId>> futures;
   for (const auto& ref : refs) {
     const Specification& spec =
         store->shard(ref.shard).repo().entry(ref.id).spec;
@@ -520,7 +521,7 @@ TEST(ShardedWriterQueueTest, ManyCallerThreadsFanOutSafely) {
   std::vector<std::thread> callers;
   for (int c = 0; c < kCallers; ++c) {
     callers.emplace_back([&, c] {
-      std::vector<std::future<Result<ExecutionId>>> futures;
+      std::vector<StoreFuture<ExecutionId>> futures;
       for (int i = 0; i < kPerCaller; ++i) {
         const auto& ref =
             refs[static_cast<size_t>((c + i) % refs.size())];
@@ -539,6 +540,7 @@ TEST(ShardedWriterQueueTest, ManyCallerThreadsFanOutSafely) {
   ASSERT_TRUE(store.value().Sync().ok());
   EXPECT_EQ(store.value().num_executions(), kCallers * kPerCaller);
 
+  CloseStore(&store);
   auto reopened = ShardedRepository::Open(dir, {}, 4);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(reopened.value().num_executions(), kCallers * kPerCaller);
@@ -562,7 +564,7 @@ TEST(ShardedWriterQueueTest, GroupSyncAcksAreDurable) {
     const Specification& stored =
         store.value().shard(ref.value().shard).repo().entry(
             ref.value().id).spec;
-    std::vector<std::future<Result<ExecutionId>>> futures;
+    std::vector<StoreFuture<ExecutionId>> futures;
     for (int i = 0; i < 20; ++i) {
       auto exec = GenerateExecution(stored, &rng);
       ASSERT_TRUE(exec.ok());
@@ -595,7 +597,7 @@ TEST(ShardedWriterQueueTest, CompactDrainsQueuedAppendsFirst) {
   const Specification& stored =
       store.value().shard(ref.value().shard).repo().entry(
           ref.value().id).spec;
-  std::vector<std::future<Result<ExecutionId>>> futures;
+  std::vector<StoreFuture<ExecutionId>> futures;
   for (int i = 0; i < 10; ++i) {
     auto exec = GenerateExecution(stored, &rng);
     ASSERT_TRUE(exec.ok());
@@ -611,6 +613,7 @@ TEST(ShardedWriterQueueTest, CompactDrainsQueuedAppendsFirst) {
   EXPECT_EQ(
       store.value().shard(ref.value().shard).records_since_snapshot(),
       0u);
+  CloseStore(&store);
   auto reopened = ShardedRepository::Open(dir);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(reopened.value().num_executions(), 10);

@@ -1,0 +1,152 @@
+// Store-directory lock tests: acquisition, conflict, probe, release
+// on destruction/move, and the integration with both store layouts
+// (a second live read-write open must fail cleanly).
+
+#include "src/store/lock_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "src/common/file_io.h"
+#include "src/store/persistent_repository.h"
+#include "src/store/sharded_repository.h"
+
+namespace paw {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("paw_lock_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(StoreLockTest, AcquireCreatesLockFileAndExcludesSecondAcquire) {
+  const std::string dir = TestDir("basic");
+  auto lock = StoreDirLock::Acquire(dir);
+  ASSERT_TRUE(lock.ok()) << lock.status().ToString();
+  EXPECT_TRUE(lock.value().held());
+  EXPECT_TRUE(PathExists(dir + "/" + kStoreLockFileName));
+
+  // flock conflicts apply per open file description, so even within
+  // one process a second Acquire must fail — exactly what a second
+  // store handle would do.
+  auto second = StoreDirLock::Acquire(dir);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsFailedPrecondition());
+  EXPECT_NE(second.status().message().find("pid"), std::string::npos);
+}
+
+TEST(StoreLockTest, ReleaseAndDestructionFreeTheLock) {
+  const std::string dir = TestDir("release");
+  {
+    auto lock = StoreDirLock::Acquire(dir);
+    ASSERT_TRUE(lock.ok());
+  }  // destroyed
+  auto again = StoreDirLock::Acquire(dir);
+  ASSERT_TRUE(again.ok());
+  again.value().Release();
+  EXPECT_FALSE(again.value().held());
+  auto third = StoreDirLock::Acquire(dir);
+  EXPECT_TRUE(third.ok());
+}
+
+TEST(StoreLockTest, MoveTransfersOwnership) {
+  const std::string dir = TestDir("move");
+  auto lock = StoreDirLock::Acquire(dir);
+  ASSERT_TRUE(lock.ok());
+  StoreDirLock moved = std::move(lock).value();
+  EXPECT_TRUE(moved.held());
+  EXPECT_FALSE(StoreDirLock::Acquire(dir).ok());
+  moved.Release();
+  EXPECT_TRUE(StoreDirLock::Acquire(dir).ok());
+}
+
+TEST(StoreLockTest, ProbeReportsHolderWithoutTakingTheLock) {
+  const std::string dir = TestDir("probe");
+  // No lock file yet: not held.
+  auto probe = StoreDirLock::Probe(dir);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe.value().held);
+
+  auto lock = StoreDirLock::Acquire(dir);
+  ASSERT_TRUE(lock.ok());
+  probe = StoreDirLock::Probe(dir);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_TRUE(probe.value().held);
+  EXPECT_GT(probe.value().holder_pid, 0);
+
+  // Probing did not steal or break the lock.
+  EXPECT_FALSE(StoreDirLock::Acquire(dir).ok());
+  lock.value().Release();
+  probe = StoreDirLock::Probe(dir);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe.value().held);
+}
+
+TEST(StoreLockTest, SecondOpenOfSingleStoreFails) {
+  const std::string dir = TestDir("single_store");
+  auto store = PersistentRepository::Init(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  auto second = PersistentRepository::Open(dir);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsFailedPrecondition());
+
+  // Releasing the first handle frees the directory.
+  { PersistentRepository closed = std::move(store).value(); }
+  EXPECT_TRUE(PersistentRepository::Open(dir).ok());
+}
+
+TEST(StoreLockTest, SecondOpenOfShardedStoreFailsBeforeEpochBump) {
+  const std::string dir = TestDir("sharded_store");
+  auto store = ShardedRepository::Init(dir, 2);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  const uint64_t epoch_before = store.value().epoch();
+
+  auto second = ShardedRepository::Open(dir);
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsFailedPrecondition());
+  // The refused open must not have burned an epoch (the lock is taken
+  // before the manifest bump).
+  auto manifest = ReadShardManifest(dir);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().epoch, epoch_before);
+
+  { ShardedRepository closed = std::move(store).value(); }
+  auto reopened = ShardedRepository::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value().epoch(), epoch_before + 1);
+}
+
+TEST(StoreLockTest, MovedStoreHandleKeepsTheLock) {
+  const std::string dir = TestDir("moved_handle");
+  auto store = PersistentRepository::Init(dir);
+  ASSERT_TRUE(store.ok());
+  PersistentRepository moved = std::move(store).value();
+  // The moved-to handle still owns the directory.
+  EXPECT_FALSE(PersistentRepository::Open(dir).ok());
+  ASSERT_TRUE(moved.Sync().ok());
+}
+
+TEST(StoreLockTest, CopiedDirectoryIsNotLocked) {
+  // Crash-image workflows copy store directories wholesale; a copied
+  // LOCK file carries no kernel lock, so the copy opens fine even
+  // while the original is held.
+  const std::string dir = TestDir("copy_src");
+  const std::string copy = TestDir("copy_dst");
+  auto store = PersistentRepository::Init(dir);
+  ASSERT_TRUE(store.ok());
+  fs::remove_all(copy);
+  fs::copy(dir, copy, fs::copy_options::recursive);
+  auto opened = PersistentRepository::Open(copy);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+}
+
+}  // namespace
+}  // namespace paw

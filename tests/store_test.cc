@@ -24,6 +24,7 @@
 #include "src/store/wal.h"
 #include "src/workflow/builder.h"
 #include "src/workflow/serialize.h"
+#include "tests/store_test_util.h"
 
 namespace paw {
 namespace {
@@ -92,6 +93,7 @@ TEST(StoreTest, InitCreatesEmptyStore) {
   EXPECT_EQ(store.value().lsn(), 0u);
   EXPECT_EQ(store.value().repo().num_specs(), 0);
 
+  CloseStore(&store);
   auto reopened = PersistentRepository::Open(dir);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(reopened.value().repo().num_specs(), 0);
@@ -444,6 +446,7 @@ TEST(StoreTest, SemicolonLabelRejectedByTextCodecWithoutLogging) {
   EXPECT_TRUE(added.status().IsInvalidArgument());
   EXPECT_EQ(store.value().lsn(), lsn_before);
   // The store stays healthy.
+  CloseStore(&store);
   auto reopened = PersistentRepository::Open(dir, options);
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ(reopened.value().repo().num_specs(), 0);
@@ -461,6 +464,7 @@ TEST(StoreTest, SemicolonLabelSurvivesRestartUnderBinaryCodec) {
   auto added = store.value().AddSpecification(std::move(spec).value());
   ASSERT_TRUE(added.ok()) << added.status().ToString();
 
+  CloseStore(&store);
   auto reopened = PersistentRepository::Open(dir);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   const Specification& recovered = reopened.value().repo().entry(0).spec;
@@ -499,6 +503,7 @@ TEST(StoreTest, UnreplayableExecutionRejectedByTextCodecWithoutLogging) {
   ASSERT_TRUE(good.ok());
   ASSERT_TRUE(
       store.value().AddExecution(0, std::move(good).value()).ok());
+  CloseStore(&store);
   auto reopened = PersistentRepository::Open(dir, options);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ(reopened.value().repo().num_executions(), 1);
@@ -522,6 +527,7 @@ TEST(StoreTest, NewlineValueSurvivesRestartUnderBinaryCodec) {
   ASSERT_TRUE(
       store.value().AddExecution(0, std::move(exec).value()).ok());
 
+  CloseStore(&store);
   auto reopened = PersistentRepository::Open(dir);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   const Execution& recovered =

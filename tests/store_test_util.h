@@ -1,0 +1,26 @@
+#ifndef PAW_TESTS_STORE_TEST_UTIL_H_
+#define PAW_TESTS_STORE_TEST_UTIL_H_
+
+/// \file store_test_util.h
+/// \brief Helpers shared by the persistent-store test suites.
+
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace paw {
+
+/// \brief Destroys a live store handle in place — releasing its WAL fd
+/// and the exclusive directory lock — so a test may legitimately
+/// reopen the directory while the `Result` wrapper stays in scope.
+/// (Two live read-write handles to one store directory are an error,
+/// enforced by `StoreDirLock`.)
+template <typename T>
+void CloseStore(Result<T>* store) {
+  T closed = std::move(*store).value();
+  (void)closed;
+}
+
+}  // namespace paw
+
+#endif  // PAW_TESTS_STORE_TEST_UTIL_H_

@@ -2,10 +2,12 @@
 # Single CI entry point: tier-1 configure/build/test, a pawctl smoke
 # test of the demo pipeline and both store layouts (single + sharded,
 # including kill-and-reopen crash drills — one against the sharded
-# WAL tail, one against background compaction mid-flight), an
-# ASan+UBSan build of the store/crash test binaries, and a TSan build
-# of the concurrency suites (group-commit WAL, writer queues,
-# background compaction).
+# WAL tail, one against background compaction mid-flight), a pawd
+# server drill (socket ingest, per-principal query filtering, kill -9
+# durability, lock-file liveness), bench smoke runs (store E10 +
+# server E11), an ASan+UBSan build of the store/server test binaries,
+# and a TSan build of the concurrency suites (group-commit WAL, writer
+# queues, background compaction, server).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -70,6 +72,40 @@ grep -q "segments:" "$SMOKE_DIR/bg_open.out"
 "$PAWCTL" compact "$SMOKE_DIR/bg" mode=background
 "$PAWCTL" open "$SMOKE_DIR/bg"
 
+echo "== pawd server smoke drill =="
+# Start a pawd over a fresh sharded store, ingest through the socket
+# with pipelining and durable acks, query it, then kill -9 the server
+# and require (a) the reopened store to hold every acked write and
+# (b) the store-dir lock to have died with the process.
+"$PAWCTL" init "$SMOKE_DIR/srv" shards=4
+"$PAWCTL" serve "$SMOKE_DIR/srv" port=0 writers=4 \
+  auth=admin:100,alice:0 > "$SMOKE_DIR/serve.out" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 100); do
+  grep -q "listening on port" "$SMOKE_DIR/serve.out" && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$SMOKE_DIR/serve.out")"
+test -n "$PORT"
+"$PAWCTL" put "localhost:$PORT" "$SMOKE_DIR/demo.paw" runs=40 \
+  pipeline=16 user=admin | tee "$SMOKE_DIR/put.out"
+grep -q "acked 40 execution(s)" "$SMOKE_DIR/put.out"
+"$PAWCTL" query "localhost:$PORT" omim user=admin | tee "$SMOKE_DIR/q_admin.out"
+grep -q "disease susceptibility" "$SMOKE_DIR/q_admin.out"
+# Privacy filtering differs per principal: level-0 alice must not see
+# the level-2 module the admin query surfaced.
+"$PAWCTL" query "localhost:$PORT" omim user=alice | tee "$SMOKE_DIR/q_alice.out"
+grep -q "no results" "$SMOKE_DIR/q_alice.out"
+# status must warn that a live pawd holds the store-dir lock.
+"$PAWCTL" status "$SMOKE_DIR/srv" | tee "$SMOKE_DIR/srv_status.out"
+grep -q "lock:      HELD" "$SMOKE_DIR/srv_status.out"
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+# The kernel released the flock with the process; recovery sees every
+# acked write (put completed before the kill, so all 40 must be there).
+"$PAWCTL" open "$SMOKE_DIR/srv" threads=4 | tee "$SMOKE_DIR/srv_open.out"
+grep -q "executions:  40" "$SMOKE_DIR/srv_open.out"
+
 echo "== pawctl migrate smoke =="
 # A v1 (text-payload) store must open under the v2 build and migrate
 # to all-binary payloads in place. (codec=text on ingest keeps the
@@ -96,12 +132,28 @@ else
   echo "bench_store not built (no google-benchmark); skipping"
 fi
 
+echo "== bench_server smoke (BENCH_server.json, E11) =="
+if [[ -x "$BUILD_DIR/bench_server" ]]; then
+  BENCH_BIN="$(pwd)/$BUILD_DIR/bench_server"
+  (cd "$SMOKE_DIR" && "$BENCH_BIN" --smoke | tee bench_server.out)
+  test -s "$SMOKE_DIR/BENCH_server.json"
+  grep -q '"experiment":"e11"' "$SMOKE_DIR/BENCH_server.json"
+  grep -q '"mode":"pipelined"' "$SMOKE_DIR/BENCH_server.json"
+  # Acceptance: pipelined >= 3x sync at 8 connections in smoke mode.
+  grep -q ">= 3x: yes" "$SMOKE_DIR/bench_server.out"
+  cp "$SMOKE_DIR/BENCH_server.json" "$BUILD_DIR/BENCH_server.json"
+  echo "server perf written to $BUILD_DIR/BENCH_server.json"
+else
+  echo "bench_server not built (no google-benchmark); skipping"
+fi
+
 echo "== asan+ubsan store tests =="
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 cmake -B "$ASAN_BUILD_DIR" -S . -DPAW_SANITIZE=address
 SAN_TESTS=(store_test sharded_store_test crash_injection_test record_test
            thread_pool_test crc32_test codec_v2_test wal_group_commit_test
-           mixed_version_test background_compaction_test)
+           mixed_version_test background_compaction_test wire_test
+           server_test store_lock_test)
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
   echo "-- $t (asan+ubsan)"
@@ -115,7 +167,7 @@ echo "== tsan concurrency tests =="
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "$TSAN_BUILD_DIR" -S . -DPAW_SANITIZE=thread
 TSAN_TESTS=(wal_group_commit_test sharded_store_test
-            background_compaction_test thread_pool_test)
+            background_compaction_test thread_pool_test server_test)
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
   echo "-- $t (tsan)"

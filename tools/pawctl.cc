@@ -48,21 +48,47 @@
 //                                        re-encode all records into binary
 //                                        snapshots, truncate the logs
 //
+// Server commands (see tools/README.md, "pawd server"):
+//   pawctl serve <dir> [port=N] [bind=ADDR] [shards=N] [workers=N]
+//                [writers=N] [threads=N] [sync=each|batch]
+//                [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]
+//                                        serve the store over the binary
+//                                        wire protocol (pawd); creates the
+//                                        store first when <dir> is empty
+//                                        (sharded with shards=N). sync=each
+//                                        (default) makes every acked write
+//                                        durable; auth registers the
+//                                        principals AUTH accepts (default
+//                                        admin:100). Runs until SIGINT.
+//   pawctl connect <host:port> [user=NAME]
+//                                        HELLO + AUTH + STATUS round trip
+//   pawctl put <host:port> <spec.paw> [runs=N] [user=NAME] [pipeline=N]
+//              [policy=FILE]            remote ingest: store the spec, then
+//                                        run N executions through pipelined
+//                                        ADD_EXECUTION (window pipeline=N)
+//   pawctl query <host:port> <term> [term ...] [user=NAME]
+//                                        keyword search as the principal
+//
 // open/status/ingest/compact/migrate auto-detect whether <dir> is a
 // single-directory or a sharded store.
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <fstream>
-#include <future>
 #include <sstream>
 #include <string>
 
+#include "src/client/paw_client.h"
 #include "src/provenance/executor.h"
 #include "src/provenance/serialize.h"
 #include "src/query/keyword_search.h"
 #include "src/repo/disease.h"
+#include "src/server/server.h"
+#include "src/store/lock_file.h"
 #include "src/store/persistent_repository.h"
 #include "src/store/record.h"
 #include "src/store/sharded_repository.h"
@@ -429,11 +455,30 @@ int PrintDirStatus(const std::string& dir, const char* indent) {
   return 0;
 }
 
+/// Warns when a live process (typically a `pawd`) holds the store-dir
+/// lock. Status itself stays read-only-safe, but mutating commands
+/// would refuse, and the numbers below are a racing snapshot.
+void WarnIfLocked(const char* dir) {
+  auto probe = StoreDirLock::Probe(dir);
+  if (probe.ok() && probe.value().held) {
+    if (probe.value().holder_pid > 0) {
+      std::printf(
+          "  lock:      HELD by live pid %lld (a pawd or other writer; "
+          "read-only snapshot below)\n",
+          probe.value().holder_pid);
+    } else {
+      std::printf("  lock:      HELD by a live process (read-only "
+                  "snapshot below)\n");
+    }
+  }
+}
+
 int CmdStatus(const char* dir) {
   if (ShardedRepository::IsShardedStore(dir)) {
     auto manifest = ReadShardManifest(dir);
     if (!manifest.ok()) return Fail(manifest.status());
     std::printf("sharded store %s\n", dir);
+    WarnIfLocked(dir);
     std::printf("  shards:    %d\n", manifest.value().shards);
     std::printf("  epoch:     %llu\n",
                 static_cast<unsigned long long>(manifest.value().epoch));
@@ -449,6 +494,7 @@ int CmdStatus(const char* dir) {
     return Fail(Status::NotFound(std::string(dir) + " is not a paw store"));
   }
   std::printf("store %s\n", dir);
+  WarnIfLocked(dir);
   return PrintDirStatus(dir, "  ");
 }
 
@@ -505,7 +551,7 @@ int CmdIngestSharded(const char* dir, Specification parsed, int runs,
     // WAL after an I/O error) still turns into a nonzero exit.
     constexpr size_t kMaxWindow = 512;
     FunctionRegistry fns;
-    std::deque<std::future<Result<ExecutionId>>> window;
+    std::deque<StoreFuture<ExecutionId>> window;
     size_t failed = 0;
     Status first_error;
     auto reap_front = [&] {
@@ -769,6 +815,358 @@ int CmdMigrate(const char* dir, int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Server / client commands
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+/// Parses "name:level[:group]" into a ServerPrincipal.
+bool ParsePrincipalSpec(const std::string& text, ServerPrincipal* out) {
+  const size_t first = text.find(':');
+  if (first == std::string::npos || first == 0) return false;
+  out->name = text.substr(0, first);
+  const size_t second = text.find(':', first + 1);
+  const std::string level_str =
+      second == std::string::npos
+          ? text.substr(first + 1)
+          : text.substr(first + 1, second - first - 1);
+  char* end = nullptr;
+  const long level = std::strtol(level_str.c_str(), &end, 10);
+  if (end == level_str.c_str() || *end != '\0') return false;
+  out->level = static_cast<AccessLevel>(level);
+  out->group = second == std::string::npos ? "" : text.substr(second + 1);
+  return true;
+}
+
+int CmdServe(const char* dir, int argc, char** argv) {
+  ServerOptions options;
+  options.store.sync_each_append = true;  // acked => durable
+  long shards = 0;
+  long writers = 4;
+  long workers = 4;
+  long threads = 4;
+  std::vector<ServerPrincipal> principals;
+  for (int i = 0; i < argc; ++i) {
+    bool matched = false;
+    long port = 0;
+    if (!ParseIntOption(argv[i], "port", 0, 65535, &port, &matched)) {
+      return 1;
+    }
+    if (matched) {
+      options.port = static_cast<int>(port);
+      continue;
+    }
+    std::string bind;
+    ParseStrOption(argv[i], "bind", &bind, &matched);
+    if (matched) {
+      options.bind_address = bind;
+      continue;
+    }
+    if (!ParseIntOption(argv[i], "shards", 1, ShardedRepository::kMaxShards,
+                        &shards, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseIntOption(argv[i], "writers", 0, 256, &writers, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseIntOption(argv[i], "workers", 1, 256, &workers, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseIntOption(argv[i], "threads", 1, 256, &threads, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    long idle = 0;
+    if (!ParseIntOption(argv[i], "idle", 0, 86400000, &idle, &matched)) {
+      return 1;
+    }
+    if (matched) {
+      options.idle_timeout_ms = static_cast<int>(idle);
+      continue;
+    }
+    long admin = 0;
+    if (!ParseIntOption(argv[i], "admin", 0, 1000000, &admin, &matched)) {
+      return 1;
+    }
+    if (matched) {
+      options.admin_level = static_cast<AccessLevel>(admin);
+      continue;
+    }
+    std::string sync;
+    ParseStrOption(argv[i], "sync", &sync, &matched);
+    if (matched) {
+      if (sync == "each") {
+        options.store.sync_each_append = true;
+      } else if (sync == "batch") {
+        options.store.sync_each_append = false;
+      } else {
+        std::fprintf(stderr, "error: sync must be each or batch: %s\n",
+                     argv[i]);
+        return 1;
+      }
+      continue;
+    }
+    std::string auth;
+    ParseStrOption(argv[i], "auth", &auth, &matched);
+    if (matched) {
+      size_t start = 0;
+      while (start <= auth.size()) {
+        const size_t comma = auth.find(',', start);
+        const std::string one =
+            auth.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        ServerPrincipal p;
+        if (!ParsePrincipalSpec(one, &p)) {
+          std::fprintf(stderr,
+                       "error: auth entries are name:level[:group]: %s\n",
+                       one.c_str());
+          return 1;
+        }
+        principals.push_back(std::move(p));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "poll") == 0) {
+      options.use_poll = true;
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown serve option %s\n", argv[i]);
+    return 1;
+  }
+
+  // Create the store on first serve of an empty directory. For an
+  // existing store the on-disk layout wins: shards=N cannot re-shard,
+  // so a mismatch is reported rather than silently ignored.
+  const bool exists = ShardedRepository::IsShardedStore(dir) ||
+                      PathExists(std::string(dir) + "/PAWSTORE");
+  if (exists && shards > 0) {
+    int on_disk = 0;
+    if (auto manifest = ReadShardManifest(dir); manifest.ok()) {
+      on_disk = manifest.value().shards;
+    }
+    if (on_disk != shards) {
+      std::fprintf(stderr,
+                   "warning: %s already holds a %s store; shards=%ld "
+                   "ignored (the layout is fixed at init)\n",
+                   dir,
+                   on_disk > 0
+                       ? (std::to_string(on_disk) + "-shard").c_str()
+                       : "single-directory",
+                   shards);
+    }
+  }
+  if (!exists) {
+    if (shards > 0) {
+      auto init = ShardedRepository::Init(dir, static_cast<int>(shards));
+      if (!init.ok()) return Fail(init.status());
+      std::printf("initialized sharded store in %s (%ld shards)\n", dir,
+                  shards);
+    } else {
+      auto init = PersistentRepository::Init(dir);
+      if (!init.ok()) return Fail(init.status());
+      std::printf("initialized store in %s\n", dir);
+    }
+  }
+
+  options.worker_threads = static_cast<int>(workers);
+  options.open_threads = static_cast<int>(threads);
+  options.store.writer_threads = static_cast<int>(writers);
+  options.principals = std::move(principals);
+
+  auto server = PawServer::Start(dir, std::move(options));
+  if (!server.ok()) return Fail(server.status());
+  std::printf("pawd listening on port %d (store %s)\n",
+              server.value()->port(), dir);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  // Poll the flag rather than pause(): the kernel may deliver the
+  // signal to any of the server's threads, in which case pause() on
+  // this one would never return.
+  while (g_stop_requested == 0) {
+    usleep(50 * 1000);
+  }
+  std::printf("pawd: shutting down\n");
+  server.value()->Stop();
+  return 0;
+}
+
+/// Splits "host:port"; returns false on malformed input.
+bool ParseHostPort(const std::string& text, std::string* host, int* port) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  *host = text.substr(0, colon);
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str() + colon + 1, &end, 10);
+  if (end == text.c_str() + colon + 1 || *end != '\0' || parsed < 1 ||
+      parsed > 65535) {
+    return false;
+  }
+  *port = static_cast<int>(parsed);
+  return true;
+}
+
+/// Shared tail-arg parse for the client commands: user=NAME plus any
+/// command-specific int options the caller already consumed.
+Result<PawClient> ConnectAndAuth(const std::string& target,
+                                 const std::string& user) {
+  std::string host;
+  int port = 0;
+  if (!ParseHostPort(target, &host, &port)) {
+    return Status::InvalidArgument("target must be host:port: " + target);
+  }
+  auto client = PawClient::Connect(host, port);
+  if (!client.ok()) return client.status();
+  PAW_RETURN_NOT_OK(client.value().Auth(user));
+  return client;
+}
+
+int CmdConnect(const char* target, int argc, char** argv) {
+  std::string user = "admin";
+  for (int i = 0; i < argc; ++i) {
+    bool matched = false;
+    ParseStrOption(argv[i], "user", &user, &matched);
+    if (!matched) {
+      std::fprintf(stderr, "error: unknown connect option %s\n", argv[i]);
+      return 1;
+    }
+  }
+  auto client = ConnectAndAuth(target, user);
+  if (!client.ok()) return Fail(client.status());
+  std::printf("connected to %s (protocol v%d) as %s\n",
+              client.value().server_name().c_str(),
+              client.value().version(), user.c_str());
+  auto status = client.value().GetStatus();
+  if (!status.ok()) return Fail(status.status());
+  std::printf("%s\n", status.value().text.c_str());
+  std::printf("principals: %d, connections: %d\n",
+              status.value().principals, status.value().connections);
+  return 0;
+}
+
+int CmdPut(const char* target, const char* path, int argc, char** argv) {
+  std::string user = "admin";
+  long runs = 1;
+  long pipeline = 32;
+  std::string policy_path;
+  for (int i = 0; i < argc; ++i) {
+    bool matched = false;
+    ParseStrOption(argv[i], "user", &user, &matched);
+    if (matched) continue;
+    if (!ParseIntOption(argv[i], "runs", 0, 1000000, &runs, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseIntOption(argv[i], "pipeline", 1, 4096, &pipeline,
+                        &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    ParseStrOption(argv[i], "policy", &policy_path, &matched);
+    if (matched) continue;
+    std::fprintf(stderr, "error: unknown put option %s\n", argv[i]);
+    return 1;
+  }
+  auto parsed = LoadSpec(path);
+  if (!parsed.ok()) return Fail(parsed.status());
+  const Specification& spec = parsed.value();
+
+  std::string policy_text;
+  if (!policy_path.empty()) {
+    auto contents = ReadFileToString(policy_path);
+    if (!contents.ok()) return Fail(contents.status());
+    policy_text = std::move(contents).value();
+  }
+
+  auto client = ConnectAndAuth(target, user);
+  if (!client.ok()) return Fail(client.status());
+
+  auto added = client.value().AddSpec(Serialize(spec), policy_text);
+  if (added.ok()) {
+    std::printf("stored spec \"%s\" as shard %d id %d\n",
+                spec.name().c_str(), added.value().shard,
+                added.value().spec_id);
+  } else if (added.status().IsAlreadyExists()) {
+    std::printf("spec \"%s\" already stored\n", spec.name().c_str());
+  } else {
+    return Fail(added.status());
+  }
+
+  // Pipelined remote ingest: keep `pipeline` appends in flight so the
+  // server batches them into shared group commits. Every ticket is
+  // awaited — an acked run is durable per the server's sync mode.
+  FunctionRegistry fns;
+  std::deque<PawTicket> window;
+  long acked = 0;
+  auto reap_front = [&]() -> Status {
+    auto ack = client.value().AwaitAddExecution(window.front());
+    window.pop_front();
+    if (ack.ok()) ++acked;
+    return ack.status();
+  };
+  for (long i = 0; i < runs; ++i) {
+    std::string suffix = "#";
+    suffix += std::to_string(i);
+    auto exec = Execute(spec, fns, DefaultInputs(spec, suffix));
+    if (!exec.ok()) return Fail(exec.status());
+    auto ticket = client.value().SendAddExecution(
+        spec.name(), SerializeExecution(exec.value()));
+    if (!ticket.ok()) return Fail(ticket.status());
+    window.push_back(ticket.value());
+    if (window.size() >= static_cast<size_t>(pipeline)) {
+      if (Status s = reap_front(); !s.ok()) return Fail(s);
+    }
+  }
+  while (!window.empty()) {
+    if (Status s = reap_front(); !s.ok()) return Fail(s);
+  }
+  std::printf("acked %ld execution(s) of \"%s\" (pipeline %ld)\n", acked,
+              spec.name().c_str(), pipeline);
+  return 0;
+}
+
+int CmdQuery(const char* target, int argc, char** argv) {
+  std::string user = "admin";
+  std::vector<std::string> terms;
+  for (int i = 0; i < argc; ++i) {
+    bool matched = false;
+    ParseStrOption(argv[i], "user", &user, &matched);
+    if (matched) continue;
+    terms.emplace_back(argv[i]);
+  }
+  if (terms.empty()) {
+    std::fprintf(stderr, "error: query needs at least one term\n");
+    return 1;
+  }
+  auto client = ConnectAndAuth(target, user);
+  if (!client.ok()) return Fail(client.status());
+  auto answers = client.value().Search(terms);
+  if (!answers.ok()) return Fail(answers.status());
+  if (answers.value().hits.empty()) {
+    std::printf("no results for this principal's view\n");
+    return 0;
+  }
+  for (const wire::SearchHit& hit : answers.value().hits) {
+    std::printf("%-32s score %.4f view %d modules:", hit.spec_name.c_str(),
+                hit.score, hit.view_size);
+    for (const std::string& code : hit.matched) {
+      std::printf(" %s", code.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: pawctl demo\n"
@@ -784,7 +1182,15 @@ int Usage() {
                " [every=N] [compact=background|inline]\n"
                "       pawctl compact <dir> [threads=N]"
                " [mode=background|inline]\n"
-               "       pawctl migrate <dir> [threads=N]\n");
+               "       pawctl migrate <dir> [threads=N]\n"
+               "       pawctl serve <dir> [port=N] [bind=ADDR] [shards=N]"
+               " [workers=N] [writers=N] [threads=N] [sync=each|batch]"
+               " [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]\n"
+               "       pawctl connect <host:port> [user=NAME]\n"
+               "       pawctl put <host:port> <spec.paw> [runs=N]"
+               " [user=NAME] [pipeline=N] [policy=FILE]\n"
+               "       pawctl query <host:port> <term> [term ...]"
+               " [user=NAME]\n");
   return 2;
 }
 
@@ -819,6 +1225,18 @@ int main(int argc, char** argv) {
   }
   if (cmd == "migrate" && argc >= 3) {
     return CmdMigrate(argv[2], argc - 3, argv + 3);
+  }
+  if (cmd == "serve" && argc >= 3) {
+    return CmdServe(argv[2], argc - 3, argv + 3);
+  }
+  if (cmd == "connect" && argc >= 3) {
+    return CmdConnect(argv[2], argc - 3, argv + 3);
+  }
+  if (cmd == "put" && argc >= 4) {
+    return CmdPut(argv[2], argv[3], argc - 4, argv + 4);
+  }
+  if (cmd == "query" && argc >= 4) {
+    return CmdQuery(argv[2], argc - 3, argv + 3);
   }
   return Usage();
 }
