@@ -275,6 +275,12 @@ Result<wire::StatusResponse> PawClient::GetStatus() {
   return wire::DecodeStatusResponse(result.first, result.second);
 }
 
+Result<wire::MetricsResponse> PawClient::Metrics() {
+  PAW_ASSIGN_OR_RETURN(auto result,
+                       rep_->Call(wire::Opcode::kMetrics, ""));
+  return wire::DecodeMetricsResponse(result.first, result.second);
+}
+
 Status PawClient::Compact() {
   return rep_->Call(wire::Opcode::kCompact, "").status();
 }

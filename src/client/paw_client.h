@@ -86,6 +86,8 @@ class PawClient {
   Result<wire::LineageResponse> Lineage(const std::string& spec_name,
                                         int ordinal, int item);
   Result<wire::StatusResponse> GetStatus();
+  /// \brief Fetches the server's metrics-registry snapshot (METRICS).
+  Result<wire::MetricsResponse> Metrics();
   Status Compact();
 
   // ---- Pipelined calls ----

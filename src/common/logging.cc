@@ -1,11 +1,43 @@
 #include "src/common/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 namespace paw {
 namespace {
 LogLevel g_level = LogLevel::kWarning;
+
+/// Steady-clock origin shared by every line, captured on first use so
+/// timestamps read as seconds since process start.
+std::chrono::steady_clock::time_point LogEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       LogEpoch())
+      .count();
+}
+
+/// Small sequential per-thread id, assigned on the thread's first log
+/// line (readable, unlike the raw pthread handle).
+int ThreadLogId() {
+  static std::atomic<int> next{1};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// Formats the shared `TS tTID` part of the line prefix.
+std::string PrefixStamp() {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f t%d", MonotonicSeconds(),
+                ThreadLogId());
+  return buf;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,7 +61,8 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  stream_ << "[" << LevelName(level) << " " << PrefixStamp() << " " << file
+          << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
@@ -38,8 +71,8 @@ LogMessage::~LogMessage() {
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
                                  const char* condition) {
-  stream_ << "[FATAL " << file << ":" << line << "] check failed: "
-          << condition << " ";
+  stream_ << "[FATAL " << PrefixStamp() << " " << file << ":" << line
+          << "] check failed: " << condition << " ";
 }
 
 FatalLogMessage::~FatalLogMessage() {

@@ -7,6 +7,19 @@
 /// The library is quiet by default (`kWarning`); benchmarks and examples can
 /// raise verbosity. `PAW_CHECK` is for invariant violations that indicate a
 /// bug in the library itself, never for user errors (those get `Status`).
+///
+/// **Line format.** Every line is prefixed
+///
+/// \code
+///   [LEVEL TS tTID file:line] message
+/// \endcode
+///
+/// where `TS` is a monotonic (steady-clock) timestamp in seconds since
+/// process start with microsecond resolution (e.g. `12.004317`) —
+/// monotonic so deltas between lines are meaningful even when the wall
+/// clock steps — and `TID` is a small sequential id assigned to each
+/// logging thread on its first line (stable for the thread's lifetime,
+/// so interleaved server/worker output can be teased apart).
 
 #include <sstream>
 #include <string>

@@ -1,0 +1,392 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/store/record.h"
+
+namespace paw {
+namespace {
+
+Status Malformed(const char* what) {
+  return Status::FailedPrecondition(
+      std::string("malformed metrics snapshot: ") + what);
+}
+
+/// Splits "family{labels}" into its parts; `labels` is empty (and
+/// `*has_labels` false) for an unlabeled name.
+void SplitName(std::string_view name, std::string_view* family,
+               std::string_view* labels, bool* has_labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    *family = name;
+    *labels = {};
+    *has_labels = false;
+    return;
+  }
+  *family = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+  *has_labels = true;
+}
+
+/// Formats a double the way the exposition and pretty-printers want
+/// it: plain decimal, trailing zeros trimmed, "+Inf" for infinity.
+std::string FormatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(double first_bound, double growth, int num_buckets) {
+  if (num_buckets < 1) num_buckets = 1;
+  if (num_buckets > kMaxBuckets) num_buckets = kMaxBuckets;
+  if (first_bound <= 0) first_bound = 1;
+  if (growth <= 1) growth = 2;
+  num_buckets_ = num_buckets;
+  double bound = first_bound;
+  for (int i = 0; i < num_buckets_; ++i) {
+    bounds_[i] = bound;
+    bound *= growth;
+  }
+  for (Stripe& stripe : stripes_) {
+    for (int i = 0; i <= kMaxBuckets; ++i) {
+      stripe.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Overflow bucket: no upper bound to interpolate toward — clamp
+    // to the last finite bound (the observation is at least that).
+    if (i >= bounds.size()) return bounds.back();
+    const double upper = bounds[i];
+    const double lower = i == 0 ? 0 : bounds[i - 1];
+    const double into =
+        (target - static_cast<double>(cumulative)) /
+        static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, into));
+  }
+  return bounds.back();
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::SumCounters(std::string_view prefix) const {
+  uint64_t total = 0;
+  for (const MetricSample& sample : samples) {
+    if (sample.kind == MetricSample::Kind::kCounter &&
+        sample.name.compare(0, prefix.size(), prefix) == 0) {
+      total += sample.counter;
+    }
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind == MetricSample::Kind::kCounter) {
+      return *it->second.counter;
+    }
+    // Kind mismatch: hand back a live-but-unlisted dummy rather than
+    // aliasing another kind or crashing.
+    return counters_.emplace_back();
+  }
+  Counter& counter = counters_.emplace_back();
+  Entry entry;
+  entry.kind = MetricSample::Kind::kCounter;
+  entry.counter = &counter;
+  entries_.emplace(std::string(name), entry);
+  return counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind == MetricSample::Kind::kGauge) {
+      return *it->second.gauge;
+    }
+    return gauges_.emplace_back();
+  }
+  Gauge& gauge = gauges_.emplace_back();
+  Entry entry;
+  entry.kind = MetricSample::Kind::kGauge;
+  entry.gauge = &gauge;
+  entries_.emplace(std::string(name), entry);
+  return gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         double first_bound, double growth,
+                                         int num_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind == MetricSample::Kind::kHistogram) {
+      return *it->second.histogram;
+    }
+    return histograms_.emplace_back(first_bound, growth, num_buckets);
+  }
+  Histogram& histogram =
+      histograms_.emplace_back(first_bound, growth, num_buckets);
+  Entry entry;
+  entry.kind = MetricSample::Kind::kHistogram;
+  entry.histogram = &histogram;
+  entries_.emplace(std::string(name), entry);
+  return histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.samples.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample sample;
+    sample.kind = entry.kind;
+    sample.name = name;
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.counter = entry.counter->value();
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.gauge = entry.gauge->value();
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        sample.histogram.bounds.reserve(
+            static_cast<size_t>(h.num_buckets()));
+        for (int i = 0; i < h.num_buckets(); ++i) {
+          sample.histogram.bounds.push_back(h.bound(i));
+        }
+        sample.histogram.buckets.reserve(
+            static_cast<size_t>(h.num_buckets()) + 1);
+        for (int i = 0; i <= h.num_buckets(); ++i) {
+          sample.histogram.buckets.push_back(h.bucket_count(i));
+        }
+        sample.histogram.count = h.count();
+        sample.histogram.sum = h.sum();
+        break;
+      }
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::string EncodeMetricsSnapshot(const MetricsSnapshot& snapshot) {
+  std::string out;
+  PutVarint64(&out, snapshot.samples.size());
+  for (const MetricSample& sample : snapshot.samples) {
+    out.push_back(static_cast<char>(sample.kind));
+    PutLengthPrefixed(&out, sample.name);
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        PutVarint64(&out, sample.counter);
+        break;
+      case MetricSample::Kind::kGauge:
+        PutVarint64(&out, ZigZag64(sample.gauge));
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const HistogramData& h = sample.histogram;
+        PutVarint32(&out, static_cast<uint32_t>(h.bounds.size()));
+        for (double bound : h.bounds) {
+          uint64_t bits = 0;
+          static_assert(sizeof(bits) == sizeof(bound));
+          std::memcpy(&bits, &bound, sizeof(bits));
+          PutFixed64(&out, bits);
+        }
+        for (uint64_t b : h.buckets) PutVarint64(&out, b);
+        PutVarint64(&out, h.count);
+        uint64_t sum_bits = 0;
+        std::memcpy(&sum_bits, &h.sum, sizeof(sum_bits));
+        PutFixed64(&out, sum_bits);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<MetricsSnapshot> DecodeMetricsSnapshot(std::string_view payload,
+                                              size_t* offset) {
+  MetricsSnapshot snapshot;
+  uint64_t n = 0;
+  if (!GetVarint64(payload, offset, &n)) return Malformed("sample count");
+  // Bound the reserve by what the payload could plausibly hold (each
+  // sample is at least 3 bytes), so a corrupt count cannot OOM us.
+  if (n > payload.size()) return Malformed("implausible sample count");
+  snapshot.samples.reserve(n);
+  for (uint64_t s = 0; s < n; ++s) {
+    MetricSample sample;
+    if (*offset >= payload.size()) return Malformed("truncated sample");
+    const uint8_t kind = static_cast<uint8_t>(payload[(*offset)++]);
+    if (kind > static_cast<uint8_t>(MetricSample::Kind::kHistogram)) {
+      return Malformed("unknown metric kind");
+    }
+    sample.kind = static_cast<MetricSample::Kind>(kind);
+    std::string_view name;
+    if (!GetLengthPrefixed(payload, offset, &name)) {
+      return Malformed("metric name");
+    }
+    sample.name.assign(name);
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        if (!GetVarint64(payload, offset, &sample.counter)) {
+          return Malformed("counter value");
+        }
+        break;
+      case MetricSample::Kind::kGauge: {
+        uint64_t zz = 0;
+        if (!GetVarint64(payload, offset, &zz)) {
+          return Malformed("gauge value");
+        }
+        sample.gauge = UnZigZag64(zz);
+        break;
+      }
+      case MetricSample::Kind::kHistogram: {
+        HistogramData& h = sample.histogram;
+        uint32_t num_bounds = 0;
+        if (!GetVarint32(payload, offset, &num_bounds) ||
+            num_bounds > Histogram::kMaxBuckets) {
+          return Malformed("histogram bucket count");
+        }
+        h.bounds.reserve(num_bounds);
+        for (uint32_t i = 0; i < num_bounds; ++i) {
+          uint64_t bits = 0;
+          if (!GetFixed64(payload, offset, &bits)) {
+            return Malformed("histogram bound");
+          }
+          double bound = 0;
+          std::memcpy(&bound, &bits, sizeof(bound));
+          h.bounds.push_back(bound);
+        }
+        h.buckets.reserve(num_bounds + 1);
+        for (uint32_t i = 0; i <= num_bounds; ++i) {
+          uint64_t b = 0;
+          if (!GetVarint64(payload, offset, &b)) {
+            return Malformed("histogram bucket");
+          }
+          h.buckets.push_back(b);
+        }
+        if (!GetVarint64(payload, offset, &h.count)) {
+          return Malformed("histogram count");
+        }
+        uint64_t sum_bits = 0;
+        if (!GetFixed64(payload, offset, &sum_bits)) {
+          return Malformed("histogram sum");
+        }
+        std::memcpy(&h.sum, &sum_bits, sizeof(h.sum));
+        break;
+      }
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSample& sample : snapshot.samples) {
+    std::string_view family, labels;
+    bool has_labels = false;
+    SplitName(sample.name, &family, &labels, &has_labels);
+    if (family != last_family) {
+      last_family.assign(family);
+      out += "# TYPE ";
+      out += family;
+      switch (sample.kind) {
+        case MetricSample::Kind::kCounter:
+          out += " counter\n";
+          break;
+        case MetricSample::Kind::kGauge:
+          out += " gauge\n";
+          break;
+        case MetricSample::Kind::kHistogram:
+          out += " histogram\n";
+          break;
+      }
+    }
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        out += sample.name;
+        out += " " + std::to_string(sample.counter) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += sample.name;
+        out += " " + std::to_string(sample.gauge) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const HistogramData& h = sample.histogram;
+        // `_bucket{...,le="bound"}` series are cumulative per the
+        // Prometheus exposition format.
+        uint64_t cumulative = 0;
+        auto bucket_line = [&](const std::string& le, uint64_t value) {
+          out += family;
+          out += "_bucket{";
+          if (has_labels) {
+            out += labels;
+            out += ",";
+          }
+          out += "le=\"" + le + "\"} " + std::to_string(value) + "\n";
+        };
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+          cumulative += h.buckets[i];
+          bucket_line(
+              i < h.bounds.size() ? FormatDouble(h.bounds[i]) : "+Inf",
+              cumulative);
+        }
+        auto series = [&](const char* suffix, const std::string& value) {
+          out += family;
+          out += suffix;
+          if (has_labels) {
+            out += "{";
+            out += labels;
+            out += "}";
+          }
+          out += " " + value + "\n";
+        };
+        series("_sum", FormatDouble(h.sum));
+        series("_count", std::to_string(h.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace paw

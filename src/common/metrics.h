@@ -1,0 +1,318 @@
+#ifndef PAW_COMMON_METRICS_H_
+#define PAW_COMMON_METRICS_H_
+
+/// \file metrics.h
+/// \brief Process-wide registry of lock-free counters, gauges, and
+/// fixed-bucket latency histograms.
+///
+/// Design goals, in order:
+///
+///   1. **Hot-path cost is one relaxed atomic add.** `Counter::Add`,
+///      `Gauge::Add/Set`, and `Histogram::Observe` never take a mutex
+///      and never allocate. Bucket selection is a handful of float
+///      compares against a fixed bound table. Counter and histogram
+///      storage is striped across cache-line-padded per-thread slots,
+///      so concurrent writers do not bounce a shared line between
+///      cores; readers sum the stripes.
+///   2. **Registration is once, at first use.** Call sites hold a
+///      function-local `static Counter&` (etc.) obtained from
+///      `MetricsRegistry::Global()`; the registry's mutex is paid only
+///      on that first call. Metric objects live in deques inside the
+///      registry, so their addresses are stable for the process
+///      lifetime.
+///   3. **Compile-out.** Building with `-DPAW_NO_METRICS` turns the
+///      update methods into empty inlines; the registry, snapshot,
+///      codec, and exposition stay available (they just report an
+///      empty/zero registry), so the METRICS wire surface keeps
+///      working in instrumentation-free builds.
+///
+/// **Naming convention** (documented in tools/README.md): metric names
+/// are `paw_<layer>_<name>` with a unit suffix — `_total` for
+/// monotonic counters, `_bytes` for sizes, `_seconds` for durations.
+/// Labels are baked into the name Prometheus-style, e.g.
+/// `paw_server_requests_total{opcode="add_execution"}`; the registry
+/// itself is a flat name → metric map and does not interpret labels.
+///
+/// **Histograms** have exponential bucket upper bounds
+/// `first_bound * growth^i` for `i` in `[0, num_buckets)` plus an
+/// implicit +Inf overflow bucket. Observations are recorded as a
+/// relaxed add on the owning bucket plus relaxed adds on the total
+/// count and sum. Percentiles (p50/p90/p99) are extracted at snapshot
+/// time by a cumulative walk with linear interpolation inside the
+/// target bucket — the usual Prometheus `histogram_quantile` estimate,
+/// computed client-side.
+///
+/// **Snapshots** (`MetricsRegistry::Snapshot`) read every atomic with
+/// relaxed loads; a snapshot taken under concurrent updates is a
+/// per-metric-consistent view (each value is some value the metric
+/// held during the call), which is all a monitoring surface needs.
+/// Snapshots can be serialized to a compact varint wire form
+/// (`EncodeMetricsSnapshot` / `DecodeMetricsSnapshot`) — the payload
+/// of the METRICS opcode — and rendered as Prometheus-style text
+/// exposition (`RenderPrometheusText`).
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace paw {
+
+namespace metrics_internal {
+
+/// Counters and histograms stripe their storage so concurrent writers
+/// on different threads land on different cache lines — a shared
+/// single atomic bounces its line between cores at high request
+/// rates, which showed up as measurable (~3%) server throughput loss.
+/// Each thread is assigned a stripe on first use (sequential id mod
+/// kStripes); readers sum across stripes.
+inline constexpr int kStripes = 8;
+
+inline int StripeIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(id % static_cast<unsigned>(kStripes));
+}
+
+/// One cache line per stripe, so stripes never false-share.
+struct alignas(64) PaddedAtomicU64 {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace metrics_internal
+
+/// \brief A monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+#ifndef PAW_NO_METRICS
+    stripes_[metrics_internal::StripeIndex()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const auto& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  metrics_internal::PaddedAtomicU64 stripes_[metrics_internal::kStripes];
+};
+
+/// \brief A value that can go up and down (queue depths, live
+/// connection counts).
+class Gauge {
+ public:
+  void Set(int64_t value) {
+#ifndef PAW_NO_METRICS
+    value_.store(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  void Add(int64_t delta) {
+#ifndef PAW_NO_METRICS
+    value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief A fixed-bucket histogram with exponential bucket bounds.
+///
+/// Bucket `i` (for `i < num_buckets`) counts observations `<=
+/// first_bound * growth^i`; one extra overflow bucket counts the rest.
+/// The sum is kept in fixed-point micro-units so it fits a relaxed
+/// 64-bit add.
+class Histogram {
+ public:
+  static constexpr int kMaxBuckets = 48;
+
+  /// Bounds for durations observed in seconds: 10us .. ~170s.
+  static constexpr double kLatencyFirstBound = 1e-5;
+  static constexpr double kLatencyGrowth = 2.0;
+  static constexpr int kLatencyBuckets = 24;
+
+  Histogram(double first_bound, double growth, int num_buckets);
+
+  void Observe(double value) {
+#ifndef PAW_NO_METRICS
+    int i = 0;
+    while (i < num_buckets_ && value > bounds_[i]) ++i;
+    Stripe& stripe = stripes_[metrics_internal::StripeIndex()];
+    stripe.buckets[i].fetch_add(1, std::memory_order_relaxed);
+    stripe.count.fetch_add(1, std::memory_order_relaxed);
+    stripe.sum_micro.fetch_add(ToMicro(value), std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  int num_buckets() const { return num_buckets_; }
+  double bound(int i) const { return bounds_[i]; }
+  /// Count in bucket `i`; `i == num_buckets()` is the overflow bucket.
+  uint64_t bucket_count(int i) const {
+    uint64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      total += stripe.buckets[i].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      total += stripe.count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  double sum() const {
+    uint64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      total += stripe.sum_micro.load(std::memory_order_relaxed);
+    }
+    return static_cast<double>(total) / 1e6;
+  }
+
+ private:
+  static uint64_t ToMicro(double value) {
+    if (value <= 0) return 0;
+    return static_cast<uint64_t>(value * 1e6 + 0.5);
+  }
+
+  /// Per-stripe bucket array + count + sum: a thread's Observe touches
+  /// only its own stripe's lines (the shared bounds table is read-only).
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> buckets[kMaxBuckets + 1];
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_micro{0};
+  };
+
+  int num_buckets_;
+  double bounds_[kMaxBuckets];
+  Stripe stripes_[metrics_internal::kStripes];
+};
+
+/// \brief Point-in-time copy of one histogram, with percentile
+/// extraction.
+struct HistogramData {
+  std::vector<double> bounds;     ///< upper bounds, ascending
+  std::vector<uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+  uint64_t count = 0;
+  double sum = 0;
+
+  /// Estimated value at quantile `q` in [0, 1] (0.5 = median), by
+  /// cumulative bucket walk + linear interpolation within the target
+  /// bucket. Observations past the last bound clamp to it. Returns 0
+  /// for an empty histogram.
+  double Quantile(double q) const;
+};
+
+/// \brief Point-in-time copy of one registered metric.
+struct MetricSample {
+  enum class Kind : uint8_t {
+    kCounter = 0,
+    kGauge = 1,
+    kHistogram = 2,
+  };
+
+  Kind kind = Kind::kCounter;
+  std::string name;
+  uint64_t counter = 0;  ///< kCounter
+  int64_t gauge = 0;     ///< kGauge
+  HistogramData histogram;  ///< kHistogram
+};
+
+/// \brief Point-in-time copy of the whole registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// First sample whose name is exactly `name`, or nullptr.
+  const MetricSample* Find(std::string_view name) const;
+  /// Sum of `counter` over every sample whose name starts with
+  /// `prefix` (for collapsing a labeled family, e.g. all
+  /// `paw_server_requests_total{...}` cells).
+  uint64_t SumCounters(std::string_view prefix) const;
+};
+
+/// \brief The process-wide metric registry.
+///
+/// `Get*` registers on first use and returns a reference that stays
+/// valid for the process lifetime; subsequent calls with the same name
+/// return the same object. Names must be used consistently — asking
+/// for an existing name with a different kind returns a detached
+/// dummy metric (never crashes, never aliases the other kind).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name, double first_bound,
+                          double growth, int num_buckets);
+  /// Histogram with the standard latency-in-seconds bucket layout.
+  Histogram& GetLatencyHistogram(std::string_view name) {
+    return GetHistogram(name, Histogram::kLatencyFirstBound,
+                        Histogram::kLatencyGrowth,
+                        Histogram::kLatencyBuckets);
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Testing only: forgets every registered metric. References handed
+  /// out earlier keep pointing at live (but unlisted) objects.
+  void ResetForTesting();
+
+ private:
+  struct Entry {
+    MetricSample::Kind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  // Deques: stable addresses across growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+/// \brief Serializes a snapshot to the compact varint wire form (the
+/// METRICS opcode payload body).
+std::string EncodeMetricsSnapshot(const MetricsSnapshot& snapshot);
+
+/// \brief Decodes `EncodeMetricsSnapshot` output starting at
+/// `*offset`; advances `*offset` past the snapshot.
+Result<MetricsSnapshot> DecodeMetricsSnapshot(std::string_view payload,
+                                              size_t* offset);
+
+/// \brief Renders a snapshot as Prometheus-style text exposition:
+/// `# TYPE` lines per metric family, `_bucket{le="..."}` /
+/// `_sum` / `_count` series per histogram. Labels already baked into
+/// a metric's name are preserved (the `le` label is spliced in).
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace paw
+
+#endif  // PAW_COMMON_METRICS_H_

@@ -2,11 +2,22 @@
 
 #include <cmath>
 
+#include "src/common/metrics.h"
 #include "src/graph/algorithms.h"
 
 namespace paw {
+namespace {
+
+Counter& DpDrawsTotal() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_privacy_dp_draws_total");
+  return c;
+}
+
+}  // namespace
 
 double LaplaceNoise::Sample() {
+  DpDrawsTotal().Add();
   // Inverse CDF: u uniform in (-1/2, 1/2); x = -b * sgn(u) * ln(1-2|u|).
   double u = rng_.UniformDouble() - 0.5;
   double sign = u < 0 ? -1.0 : 1.0;

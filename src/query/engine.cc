@@ -3,12 +3,31 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
 #include "src/privacy/data_privacy.h"
 #include "src/provenance/lineage.h"
 
 namespace paw {
 namespace {
+
+Counter& ViewComputationsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_privacy_view_computations_total");
+  return c;
+}
+
+Counter& ZoomOutStepsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_privacy_zoom_out_steps_total");
+  return c;
+}
+
+Counter& LineageConesTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_privacy_lineage_cones_total");
+  return c;
+}
 
 /// Serializes keyword answers for the result cache.
 std::string SerializeAnswers(const Repository& repo,
@@ -72,6 +91,9 @@ Result<LineageAnswer> QueryEngine::RenderCone(
       ExecZoomOutResult zoomed,
       ZoomOutExecution(exec, spec_entry.hierarchy, spec_entry.policy,
                        p.level));
+  LineageConesTotal().Add();
+  ZoomOutStepsTotal().Add(static_cast<uint64_t>(
+      zoomed.steps > 0 ? zoomed.steps : 0));
 
   // 2. Restrict to the cone.
   std::vector<bool> in_cone(static_cast<size_t>(exec.num_nodes()), false);
@@ -191,6 +213,7 @@ Result<std::vector<PatternMatch>> QueryEngine::Structural(
   Prefix access = entry.hierarchy.AccessPrefix(entry.spec, p.level);
   PAW_ASSIGN_OR_RETURN(
       SpecView view, ExpandPrefix(entry.spec, entry.hierarchy, access));
+  ViewComputationsTotal().Add();
   return MatchPattern(view, pattern);
 }
 

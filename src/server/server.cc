@@ -13,8 +13,10 @@
 #endif
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -23,7 +25,9 @@
 #include <unordered_map>
 
 #include "src/common/logging.h"
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
+#include "src/common/timer.h"
 #include "src/privacy/access_control.h"
 #include "src/privacy/data_privacy.h"
 #include "src/privacy/policy_text.h"
@@ -40,6 +44,143 @@ int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FormatMs(int64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(us) / 1e3);
+  return buf;
+}
+
+// ---- Metrics ---------------------------------------------------------------
+
+constexpr size_t kNumOpcodes =
+    static_cast<size_t>(wire::Opcode::kMetrics) + 1;
+
+std::string OpcodeMetricName(const char* family, size_t op) {
+  return std::string(family) + "{opcode=\"" +
+         std::string(wire::OpcodeName(static_cast<wire::Opcode>(op))) +
+         "\"}";
+}
+
+/// Per-opcode counter family: the full array registers on first use so
+/// the per-request path is an index + relaxed add, never the registry
+/// mutex.
+Counter& RequestsTotal(wire::Opcode op) {
+  static std::array<Counter*, kNumOpcodes>& counters = *[] {
+    auto* a = new std::array<Counter*, kNumOpcodes>();
+    for (size_t i = 0; i < kNumOpcodes; ++i) {
+      (*a)[i] = &MetricsRegistry::Global().GetCounter(
+          OpcodeMetricName("paw_server_requests_total", i));
+    }
+    return a;
+  }();
+  const size_t i = static_cast<size_t>(op);
+  return *counters[i < kNumOpcodes ? i : 0];
+}
+
+Counter& RequestErrorsTotal(wire::Opcode op) {
+  static std::array<Counter*, kNumOpcodes>& counters = *[] {
+    auto* a = new std::array<Counter*, kNumOpcodes>();
+    for (size_t i = 0; i < kNumOpcodes; ++i) {
+      (*a)[i] = &MetricsRegistry::Global().GetCounter(
+          OpcodeMetricName("paw_server_errors_total", i));
+    }
+    return a;
+  }();
+  const size_t i = static_cast<size_t>(op);
+  return *counters[i < kNumOpcodes ? i : 0];
+}
+
+Histogram& RequestSeconds(wire::Opcode op) {
+  static std::array<Histogram*, kNumOpcodes>& hists = *[] {
+    auto* a = new std::array<Histogram*, kNumOpcodes>();
+    for (size_t i = 0; i < kNumOpcodes; ++i) {
+      (*a)[i] = &MetricsRegistry::Global().GetLatencyHistogram(
+          OpcodeMetricName("paw_server_request_seconds", i));
+    }
+    return a;
+  }();
+  const size_t i = static_cast<size_t>(op);
+  return *hists[i < kNumOpcodes ? i : 0];
+}
+
+Counter& BytesInTotal() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_server_bytes_in_total");
+  return c;
+}
+
+Counter& BytesOutTotal() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_server_bytes_out_total");
+  return c;
+}
+
+Gauge& ConnectionsGauge() {
+  static Gauge& g =
+      MetricsRegistry::Global().GetGauge("paw_server_connections");
+  return g;
+}
+
+Counter& ConnectionsTotal() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_server_connections_total");
+  return c;
+}
+
+Counter& BackpressureDropsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_server_backpressure_drops_total");
+  return c;
+}
+
+Counter& AuthSessionsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_server_auth_sessions_total");
+  return c;
+}
+
+Counter& AuthFailuresTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_server_auth_failures_total");
+  return c;
+}
+
+Counter& BadFramesTotal() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_server_bad_frames_total");
+  return c;
+}
+
+Counter& IdleClosedTotal() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_server_idle_closed_total");
+  return c;
+}
+
+Counter& SlowQueriesTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_server_slow_queries_total");
+  return c;
+}
+
+Counter& EngineRebuildsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_query_engine_rebuilds_total");
+  return c;
+}
+
+Histogram& EngineRebuildSeconds() {
+  static Histogram& h = MetricsRegistry::Global().GetLatencyHistogram(
+      "paw_query_engine_rebuild_seconds");
+  return h;
 }
 
 Status ErrnoStatus(const std::string& op) {
@@ -305,12 +446,35 @@ class ShardedServerStore : public ServerStore {
 
 // ---- Connection ------------------------------------------------------------
 
+/// A parsed frame plus the monotonic microsecond stamp of when the
+/// event loop finished parsing it — the start of the request's
+/// latency span (queueing behind earlier frames counts as latency).
+struct PendingFrame {
+  wire::Frame frame;
+  int64_t recv_us = 0;
+};
+
+/// Timestamps of the current request's milestones, carried on the
+/// connection (frames of one connection are processed serially by one
+/// worker, so a single slot suffices). `recv_us` is always stamped;
+/// handlers that take the store lease stamp `lease_us`, engine-backed
+/// handlers stamp `engine_us` after the engine returned, and
+/// `Respond` stamps `reply_us` and closes the span.
+struct RequestTrace {
+  int64_t recv_us = 0;
+  int64_t lease_us = 0;
+  int64_t engine_us = 0;
+  int64_t reply_us = 0;
+};
+
 /// Per-connection state. The event loop owns `fd`, `in`, `out`, and
 /// `want_write`; everything under `mu` is shared with the worker that
 /// processes this connection's frames.
 struct Connection {
   int fd = -1;
   int64_t last_active_ms = 0;
+  /// Monotonic stamp of the accept(2), for connection-age traces.
+  int64_t accept_us = 0;
 
   // Event-loop-only:
   std::string in;
@@ -319,7 +483,7 @@ struct Connection {
 
   std::mutex mu;
   /// Parsed frames awaiting processing (FIFO).
-  std::deque<wire::Frame> frames;
+  std::deque<PendingFrame> frames;
   /// True while a worker task owns this connection's frame queue —
   /// frames of one connection are processed serially, in order.
   bool processing = false;
@@ -339,6 +503,10 @@ struct Connection {
   bool authed = false;
   PrincipalId principal;
   AccessLevel level = 0;
+  /// Principal name from the AUTH request (slow-query log attribution).
+  std::string principal_name;
+  /// Milestones of the request currently being handled.
+  RequestTrace trace;
 };
 
 }  // namespace
@@ -352,6 +520,16 @@ struct PawServer::Impl {
   std::unique_ptr<ServerStore> store;
   AccessControl acl;
   AccessLevel admin_level = 100;
+  /// Effective slow-query threshold (ms); < 0 disables the log.
+  int slow_query_ms = 100;
+  /// Slow-query log rate limit, per opcode: micros timestamp of the
+  /// last emitted line (0 = never), and how many slow requests were
+  /// counted but not logged since then. A deep pipelined burst makes
+  /// every queued request "slow" at once; logging each one would flood
+  /// stderr and distort the very latencies being reported. Per-opcode
+  /// so one noisy opcode cannot silence the others.
+  std::atomic<int64_t> slow_log_last_us[kNumOpcodes] = {};
+  std::atomic<uint64_t> slow_log_suppressed{0};
 
   /// The store lease: appends take it shared, queries / spec ingest /
   /// status / compaction take it exclusive (and drain first), which
@@ -490,9 +668,13 @@ struct PawServer::Impl {
                             r.num_executions();
       if (engines[static_cast<size_t>(s)] == nullptr ||
           engine_counts[static_cast<size_t>(s)] != count) {
+        Timer rebuild_timer;
         engines[static_cast<size_t>(s)] =
             std::make_unique<QueryEngine>(r, acl);
         engine_counts[static_cast<size_t>(s)] = count;
+        EngineRebuildSeconds().Observe(rebuild_timer.ElapsedMicros() /
+                                       1e6);
+        EngineRebuildsTotal().Add();
       }
     }
   }
@@ -576,6 +758,7 @@ struct PawServer::Impl {
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
       conn->last_active_ms = NowMs();
+      conn->accept_us = NowMicros();
       if (!poller->Add(fd, false).ok()) {
         ::close(fd);
         continue;
@@ -583,6 +766,8 @@ struct PawServer::Impl {
       conns[fd] = std::move(conn);
       live_conns.fetch_add(1, std::memory_order_relaxed);
       stats.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      ConnectionsTotal().Add();
+      ConnectionsGauge().Add(1);
     }
   }
 
@@ -594,6 +779,7 @@ struct PawServer::Impl {
       if (n > 0) {
         conn->in.append(buf, static_cast<size_t>(n));
         conn->last_active_ms = NowMs();
+        BytesInTotal().Add(static_cast<uint64_t>(n));
         continue;
       }
       if (n == 0) {  // peer closed
@@ -618,6 +804,7 @@ struct PawServer::Impl {
       if (result == wire::ParseResult::kNeedMore) break;
       if (result == wire::ParseResult::kBad) {
         stats.bad_frames.fetch_add(1, std::memory_order_relaxed);
+        BadFramesTotal().Add();
         PAW_LOG(kWarning) << "pawd: closing connection on bad frame: "
                           << error;
         Close(conn);
@@ -626,7 +813,7 @@ struct PawServer::Impl {
       parsed += consumed;
       stats.frames_received.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(conn->mu);
-      conn->frames.push_back(std::move(frame));
+      conn->frames.push_back(PendingFrame{std::move(frame), NowMicros()});
       if (!conn->processing) {
         conn->processing = true;
         dispatched = true;
@@ -644,6 +831,7 @@ struct PawServer::Impl {
       }
       backlog += conn->out.size() + conn->in.size();
       if (queued > kMaxQueuedFrames || backlog > kMaxOutputBacklogBytes) {
+        BackpressureDropsTotal().Add();
         PAW_LOG(kWarning)
             << "pawd: dropping connection over backpressure limits ("
             << queued << " queued frames, " << backlog
@@ -666,6 +854,7 @@ struct PawServer::Impl {
       if (n > 0) {
         conn->out.erase(0, static_cast<size_t>(n));
         conn->last_active_ms = NowMs();
+        BytesOutTotal().Add(static_cast<uint64_t>(n));
         continue;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -731,6 +920,7 @@ struct PawServer::Impl {
     }
     for (auto& conn : idle) {
       stats.idle_closed.fetch_add(1, std::memory_order_relaxed);
+      IdleClosedTotal().Add();
       Close(conn);
     }
   }
@@ -746,13 +936,14 @@ struct PawServer::Impl {
     }
     ::close(conn->fd);
     live_conns.fetch_sub(1, std::memory_order_relaxed);
+    ConnectionsGauge().Add(-1);
   }
 
   // ---- request processing (worker threads) ----
 
   void ProcessConnection(const std::shared_ptr<Connection>& conn) {
     for (;;) {
-      std::vector<wire::Frame> batch;
+      std::vector<PendingFrame> batch;
       {
         std::lock_guard<std::mutex> lock(conn->mu);
         if (conn->frames.empty() || conn->closed ||
@@ -783,6 +974,7 @@ struct PawServer::Impl {
 
   void Respond(Connection* conn, const wire::Frame& request,
                const Status& status, std::string body, std::string* out) {
+    const size_t result_bytes = body.size();
     wire::Frame resp;
     resp.version = conn->hello_done ? conn->version
                                     : wire::kProtocolVersion;
@@ -795,16 +987,66 @@ struct PawServer::Impl {
     if (status.IsPermissionDenied()) {
       stats.permission_denied.fetch_add(1, std::memory_order_relaxed);
     }
+    // Request accounting + slow-query log: the span runs from frame
+    // parse (queueing behind earlier pipelined frames included) to
+    // the response hitting the output buffer.
+    conn->trace.reply_us = NowMicros();
+    const int64_t span_us = conn->trace.reply_us - conn->trace.recv_us;
+    RequestsTotal(request.opcode).Add();
+    if (!status.ok()) RequestErrorsTotal(request.opcode).Add();
+    RequestSeconds(request.opcode)
+        .Observe(static_cast<double>(span_us) / 1e6);
+    if (slow_query_ms >= 0 && span_us > int64_t{slow_query_ms} * 1000) {
+      SlowQueriesTotal().Add();
+      // At most one line per opcode per second; the counter above still
+      // sees every slow request, and the next emitted line carries the
+      // number of lines elided since the last one.
+      const size_t op_i = static_cast<size_t>(request.opcode);
+      std::atomic<int64_t>& last_us =
+          slow_log_last_us[op_i < kNumOpcodes ? op_i : 0];
+      int64_t last = last_us.load(std::memory_order_relaxed);
+      const bool emit =
+          (last == 0 || conn->trace.reply_us - last >= 1000000) &&
+          last_us.compare_exchange_strong(last, conn->trace.reply_us,
+                                          std::memory_order_relaxed);
+      if (!emit) {
+        slow_log_suppressed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      const uint64_t suppressed =
+          slow_log_suppressed.exchange(0, std::memory_order_relaxed);
+      std::string spans;
+      if (conn->trace.lease_us >= conn->trace.recv_us &&
+          conn->trace.lease_us > 0) {
+        spans += " lease_wait_ms=" +
+                 FormatMs(conn->trace.lease_us - conn->trace.recv_us);
+        if (conn->trace.engine_us >= conn->trace.lease_us) {
+          spans += " engine_ms=" + FormatMs(conn->trace.engine_us -
+                                            conn->trace.lease_us);
+        }
+      }
+      PAW_LOG(kWarning)
+          << "pawd: slow request id=" << request.request_id
+          << " opcode=" << wire::OpcodeName(request.opcode)
+          << " principal="
+          << (conn->principal_name.empty() ? "-" : conn->principal_name)
+          << " duration_ms=" << FormatMs(span_us)
+          << " result_bytes=" << result_bytes << spans
+          << (suppressed != 0
+                  ? " suppressed=" + std::to_string(suppressed)
+                  : "");
+    }
   }
 
   void HandleBatch(Connection* conn,
-                   std::vector<wire::Frame>& batch, std::string* out) {
+                   std::vector<PendingFrame>& batch, std::string* out) {
     size_t i = 0;
     while (i < batch.size()) {
       // Gate: handshake and session checks happen in frame order on
       // this (single) worker, so a pipelined HELLO/AUTH prefix is
       // processed before the ops behind it.
-      const wire::Frame& frame = batch[i];
+      const wire::Frame& frame = batch[i].frame;
+      conn->trace = RequestTrace{batch[i].recv_us, 0, 0, 0};
       if (!conn->hello_done && frame.opcode != wire::Opcode::kHello) {
         Respond(conn, frame,
                 Status::FailedPrecondition(
@@ -829,8 +1071,8 @@ struct PawServer::Impl {
         // store's group commit amortizes the fsyncs.
         size_t j = i;
         while (j < batch.size() &&
-               batch[j].opcode == wire::Opcode::kAddExecution &&
-               batch[j].version == conn->version) {
+               batch[j].frame.opcode == wire::Opcode::kAddExecution &&
+               batch[j].frame.version == conn->version) {
           ++j;
         }
         HandleAddExecutionRun(conn, batch, i, j, out);
@@ -864,7 +1106,8 @@ struct PawServer::Impl {
       case wire::Opcode::kAddSpec:
         return HandleAddSpec(conn, frame, out);
       case wire::Opcode::kAddExecution: {
-        std::vector<wire::Frame> one{frame};
+        std::vector<PendingFrame> one;
+        one.push_back(PendingFrame{frame, conn->trace.recv_us});
         return HandleAddExecutionRun(conn, one, 0, 1, out);
       }
       case wire::Opcode::kGetSpec:
@@ -881,6 +1124,8 @@ struct PawServer::Impl {
         return HandleStatus(conn, frame, out);
       case wire::Opcode::kCompact:
         return HandleCompact(conn, frame, out);
+      case wire::Opcode::kMetrics:
+        return HandleMetrics(conn, frame, out);
       default:
         Respond(conn, frame,
                 Status::Unimplemented("unhandled opcode"), "", out);
@@ -936,6 +1181,7 @@ struct PawServer::Impl {
     auto principal = acl.Find(req.value().principal);
     if (!principal.ok()) {
       stats.auth_failures.fetch_add(1, std::memory_order_relaxed);
+      AuthFailuresTotal().Add();
       Respond(conn, frame,
               Status::PermissionDenied("unknown principal \"" +
                                        req.value().principal + "\""),
@@ -945,6 +1191,8 @@ struct PawServer::Impl {
     conn->authed = true;
     conn->principal = principal.value().id;
     conn->level = principal.value().level;
+    conn->principal_name = req.value().principal;
+    AuthSessionsTotal().Add();
     wire::AuthResponse resp;
     resp.principal_id = principal.value().id.value();
     resp.level = principal.value().level;
@@ -975,6 +1223,7 @@ struct PawServer::Impl {
     const std::string name = spec.value().name();
     std::unique_lock<std::shared_mutex> exclusive(lease);
     store->Drain();
+    conn->trace.lease_us = NowMicros();
     if (FindSpec(name).ok()) {
       exclusive.unlock();
       Respond(conn, frame,
@@ -1006,7 +1255,7 @@ struct PawServer::Impl {
   /// and enqueue every append first (one shared lease hold), then
   /// await and emit the acknowledgments in order.
   void HandleAddExecutionRun(Connection* conn,
-                             std::vector<wire::Frame>& batch, size_t begin,
+                             std::vector<PendingFrame>& batch, size_t begin,
                              size_t end, std::string* out) {
     struct Prepared {
       size_t index;
@@ -1022,7 +1271,7 @@ struct PawServer::Impl {
     // store's entry vectors.
     std::vector<std::pair<size_t, Status>> failures;
     for (size_t i = begin; i < end; ++i) {
-      auto req = wire::DecodeAddExecutionRequest(batch[i].payload);
+      auto req = wire::DecodeAddExecutionRequest(batch[i].frame.payload);
       if (!req.ok()) {
         failures.emplace_back(i, req.status());
         continue;
@@ -1042,31 +1291,35 @@ struct PawServer::Impl {
                  std::move(exec).value(), {}};
       run.push_back(std::move(p));
     }
+    int64_t lease_us = 0;
     {
       std::shared_lock<std::shared_mutex> shared(lease);
+      lease_us = NowMicros();
       for (Prepared& p : run) {
         p.future = store->AddExecutionAsync(p.loc, std::move(p.exec));
       }
     }
-    // Emit responses in request order (failures interleaved).
+    // Emit responses in request order (failures interleaved). Each
+    // frame gets its own latency span (its parse stamp to its ack).
     size_t fi = 0, ri = 0;
     for (size_t i = begin; i < end; ++i) {
+      conn->trace = RequestTrace{batch[i].recv_us, lease_us, 0, 0};
       if (fi < failures.size() && failures[fi].first == i) {
-        Respond(conn, batch[i], failures[fi].second, "", out);
+        Respond(conn, batch[i].frame, failures[fi].second, "", out);
         ++fi;
         continue;
       }
       Prepared& p = run[ri++];
       auto id = p.future.get();
       if (!id.ok()) {
-        Respond(conn, batch[i], id.status(), "", out);
+        Respond(conn, batch[i].frame, id.status(), "", out);
         continue;
       }
       wire::AddExecutionResponse resp;
       resp.shard = p.shard;
       resp.exec_id = id.value().value();
       resp.global_lsn = store->GlobalLsn(p.shard);
-      Respond(conn, batch[i], Status::OK(),
+      Respond(conn, batch[i].frame, Status::OK(),
               EncodeAddExecutionResponse(resp), out);
     }
   }
@@ -1120,6 +1373,7 @@ struct PawServer::Impl {
     }
     std::unique_lock<std::shared_mutex> exclusive(lease);
     store->Drain();
+    conn->trace.lease_us = NowMicros();
     const Repository& r = repo(info.value().loc.shard);
     std::vector<ExecutionId> execs =
         r.ExecutionsOf(info.value().loc.id);
@@ -1179,6 +1433,7 @@ struct PawServer::Impl {
     std::unique_lock<std::shared_mutex> exclusive(lease);
     store->Drain();
     RefreshEnginesLocked();
+    conn->trace.lease_us = NowMicros();
     std::vector<wire::SearchHit> hits;
     for (int s = 0; s < store->num_shards(); ++s) {
       auto answers = engines[static_cast<size_t>(s)]->Search(
@@ -1201,6 +1456,7 @@ struct PawServer::Impl {
         hits.push_back(std::move(hit));
       }
     }
+    conn->trace.engine_us = NowMicros();
     exclusive.unlock();
     // Merge across shards: scores share one TF-IDF scale per shard, so
     // the cross-shard order is approximate; ties break toward smaller
@@ -1246,9 +1502,11 @@ struct PawServer::Impl {
     std::unique_lock<std::shared_mutex> exclusive(lease);
     store->Drain();
     RefreshEnginesLocked();
+    conn->trace.lease_us = NowMicros();
     auto matches =
         engines[static_cast<size_t>(info.value().loc.shard)]->Structural(
             conn->principal, info.value().loc.id, pattern);
+    conn->trace.engine_us = NowMicros();
     if (!matches.ok()) {
       exclusive.unlock();
       Respond(conn, frame, matches.status(), "", out);
@@ -1283,6 +1541,7 @@ struct PawServer::Impl {
     std::unique_lock<std::shared_mutex> exclusive(lease);
     store->Drain();
     RefreshEnginesLocked();
+    conn->trace.lease_us = NowMicros();
     const Repository& r = repo(info.value().loc.shard);
     std::vector<ExecutionId> execs = r.ExecutionsOf(info.value().loc.id);
     if (req.value().ordinal < 0 ||
@@ -1300,6 +1559,7 @@ struct PawServer::Impl {
             conn->principal,
             execs[static_cast<size_t>(req.value().ordinal)],
             DataItemId(req.value().item));
+    conn->trace.engine_us = NowMicros();
     if (!answer.ok()) {
       exclusive.unlock();
       Respond(conn, frame, answer.status(), "", out);
@@ -1320,6 +1580,7 @@ struct PawServer::Impl {
                     std::string* out) {
     std::unique_lock<std::shared_mutex> exclusive(lease);
     store->Drain();
+    conn->trace.lease_us = NowMicros();
     wire::StatusResponse resp;
     resp.shards = store->num_shards();
     for (int s = 0; s < store->num_shards(); ++s) {
@@ -1355,9 +1616,20 @@ struct PawServer::Impl {
     }
     std::unique_lock<std::shared_mutex> exclusive(lease);
     store->Drain();
+    conn->trace.lease_us = NowMicros();
     const Status status = store->Compact();
     exclusive.unlock();
     Respond(conn, frame, status, "", out);
+  }
+
+  /// METRICS: a registry snapshot. Reads only relaxed atomics, so it
+  /// deliberately skips the lease — observability must stay cheap and
+  /// must work while the store is busy.
+  void HandleMetrics(Connection* conn, const wire::Frame& frame,
+                     std::string* out) {
+    wire::MetricsResponse resp;
+    resp.snapshot = MetricsRegistry::Global().Snapshot();
+    Respond(conn, frame, Status::OK(), EncodeMetricsResponse(resp), out);
   }
 };
 
@@ -1406,6 +1678,12 @@ Result<std::unique_ptr<PawServer>> PawServer::Start(const std::string& dir,
     auto id = impl->acl.AddPrincipal(p.name, p.level, p.group);
     if (!id.ok()) return id.status();
   }
+
+  // One knob for both layers: a non-default store threshold wins when
+  // the server-level one was left alone.
+  impl->slow_query_ms = options.slow_query_ms != 100
+                            ? options.slow_query_ms
+                            : options.store.slow_query_ms;
 
   impl->options = std::move(options);
   impl->BuildRegistry();

@@ -86,6 +86,13 @@ struct ServerOptions {
   std::vector<ServerPrincipal> principals;
   /// Close connections idle longer than this; 0 disables.
   int idle_timeout_ms = 0;
+  /// Slow-query log threshold: requests whose parse-to-reply span
+  /// exceeds this many milliseconds are logged at warning level with
+  /// request id, opcode, principal, duration, and result size (plus
+  /// the lease/engine trace spans when the handler stamped them).
+  /// < 0 disables. Left at the default, `Start` mirrors
+  /// `store.slow_query_ms` here so one knob configures both layers.
+  int slow_query_ms = 100;
   /// Force the portable poll(2) backend instead of epoll.
   bool use_poll = false;
   /// Minimum level for COMPACT.

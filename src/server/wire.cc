@@ -40,7 +40,7 @@ bool PlausibleCount(std::string_view buf, size_t offset, int n) {
 
 bool IsValidOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kHello) &&
-         op <= static_cast<uint8_t>(Opcode::kCompact);
+         op <= static_cast<uint8_t>(Opcode::kMetrics);
 }
 
 std::string_view OpcodeName(Opcode op) {
@@ -56,6 +56,7 @@ std::string_view OpcodeName(Opcode op) {
     case Opcode::kLineage: return "lineage";
     case Opcode::kStatus: return "status";
     case Opcode::kCompact: return "compact";
+    case Opcode::kMetrics: return "metrics";
   }
   return "unknown";
 }
@@ -675,6 +676,23 @@ Result<StatusResponse> DecodeStatusResponse(std::string_view payload,
       offset != payload.size()) {
     return Malformed("status response");
   }
+  return resp;
+}
+
+// ---- Metrics ----------------------------------------------------------------
+
+std::string EncodeMetricsResponse(const MetricsResponse& resp) {
+  return EncodeMetricsSnapshot(resp.snapshot);
+}
+
+Result<MetricsResponse> DecodeMetricsResponse(std::string_view payload,
+                                              size_t offset) {
+  MetricsResponse resp;
+  auto snapshot = DecodeMetricsSnapshot(payload, &offset);
+  if (!snapshot.ok() || offset != payload.size()) {
+    return Malformed("metrics response");
+  }
+  resp.snapshot = std::move(snapshot).value();
   return resp;
 }
 

@@ -45,6 +45,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 
 namespace paw {
@@ -80,6 +81,7 @@ enum class Opcode : uint8_t {
   kLineage = 9,      ///< provenance of one data item, masked + zoomed
   kStatus = 10,      ///< server / store statistics
   kCompact = 11,     ///< fold WALs into snapshots (admin only)
+  kMetrics = 12,     ///< snapshot of the process metrics registry
 };
 
 /// \brief True iff `op` names a known opcode.
@@ -333,6 +335,15 @@ struct StatusResponse {
 std::string EncodeStatusResponse(const StatusResponse& resp);
 Result<StatusResponse> DecodeStatusResponse(std::string_view payload,
                                             size_t offset);
+
+/// \brief `kMetrics` response body (request payload is empty): the
+/// varint-encoded registry snapshot (src/common/metrics.h codec).
+struct MetricsResponse {
+  MetricsSnapshot snapshot;
+};
+std::string EncodeMetricsResponse(const MetricsResponse& resp);
+Result<MetricsResponse> DecodeMetricsResponse(std::string_view payload,
+                                              size_t offset);
 
 }  // namespace wire
 }  // namespace paw

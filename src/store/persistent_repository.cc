@@ -5,7 +5,9 @@
 #include <mutex>
 
 #include "src/common/file_io.h"
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
+#include "src/common/timer.h"
 #include "src/provenance/serialize.h"
 #include "src/store/codec.h"
 #include "src/store/snapshot.h"
@@ -13,6 +15,41 @@
 
 namespace paw {
 namespace {
+
+Counter& CompactionsTotal() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_store_compactions_total");
+  return c;
+}
+
+Counter& RecoveryRecordsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_store_recovery_records_total");
+  return c;
+}
+
+Histogram& RecoverySeconds() {
+  static Histogram& h = MetricsRegistry::Global().GetLatencyHistogram(
+      "paw_store_recovery_seconds");
+  return h;
+}
+
+Histogram& CompactionPhaseSeconds(CompactionPhase phase) {
+  static Histogram& snapshot =
+      MetricsRegistry::Global().GetLatencyHistogram(
+          "paw_store_compaction_seconds{phase=\"snapshot\"}");
+  static Histogram& install =
+      MetricsRegistry::Global().GetLatencyHistogram(
+          "paw_store_compaction_seconds{phase=\"install\"}");
+  static Histogram& cleanup =
+      MetricsRegistry::Global().GetLatencyHistogram(
+          "paw_store_compaction_seconds{phase=\"cleanup\"}");
+  switch (phase) {
+    case CompactionPhase::kSnapshot: return snapshot;
+    case CompactionPhase::kInstall: return install;
+    default: return cleanup;
+  }
+}
 
 constexpr std::string_view kMarkerName = "PAWSTORE";
 /// v1: every record is a text payload. v2: records may also be binary
@@ -140,6 +177,7 @@ Result<PersistentRepository> PersistentRepository::Open(
 
   RecoveryInfo recovery;
   Repository repo;
+  Timer recovery_timer;
 
   // Seed from the newest snapshot, if any; LoadSnapshot stamps the
   // recovered entries' persistence metadata.
@@ -184,6 +222,9 @@ Result<PersistentRepository> PersistentRepository::Open(
           MakePersistMeta(record_lsn, replay.records[i].payload, "wal"));
     }
   }
+
+  RecoverySeconds().Observe(recovery_timer.ElapsedMicros() / 1e6);
+  RecoveryRecordsTotal().Add(recovery.records_replayed);
 
   // Recovery succeeded; commit the marker bump before handing out a
   // handle that could append a binary record to a v1-marked store.
@@ -347,16 +388,23 @@ PersistentRepository::PrepareCompaction() {
 Status PersistentRepository::ExecuteCompactionJob(const CompactJob& job,
                                                   CompactState* state) {
   if (job.hook) job.hook(CompactionPhase::kSnapshot);
+  Timer phase_timer;
   // Snapshot records are re-encoded with the configured codec, so
   // compacting is also how a v1 store's records upgrade to binary.
   PAW_RETURN_NOT_OK(
       WriteSnapshot(job.dir, job.view, job.covered, job.codec).status());
+  CompactionPhaseSeconds(CompactionPhase::kSnapshot)
+      .Observe(phase_timer.ElapsedMicros() / 1e6);
   if (job.hook) job.hook(CompactionPhase::kInstall);
+  phase_timer.Reset();
   // The manifest bump is the commit point of segment deletion: after
   // it, recovery reclaims segments below keep_seq; before it, they are
   // still live (and merely redundant with the snapshot).
   PAW_RETURN_NOT_OK(WriteWalManifest(job.dir, job.keep_seq));
+  CompactionPhaseSeconds(CompactionPhase::kInstall)
+      .Observe(phase_timer.ElapsedMicros() / 1e6);
   if (job.hook) job.hook(CompactionPhase::kCleanup);
+  phase_timer.Reset();
   // Unlink oldest-first so any crash leaves a contiguous segment
   // suffix; stragglers are reclaimed on the next open anyway.
   PAW_ASSIGN_OR_RETURN(std::vector<WalSegmentFile> segments,
@@ -367,10 +415,13 @@ Status PersistentRepository::ExecuteCompactionJob(const CompactJob& job,
     }
   }
   PAW_RETURN_NOT_OK(RemoveSnapshotsBefore(job.dir, job.covered));
+  CompactionPhaseSeconds(CompactionPhase::kCleanup)
+      .Observe(phase_timer.ElapsedMicros() / 1e6);
   // Publish coverage before the kDone hook so observers released by it
   // already see the new snapshot LSN.
   state->snapshot_lsn.store(job.covered, std::memory_order_release);
   state->installed_seq.store(job.keep_seq, std::memory_order_release);
+  CompactionsTotal().Add();
   if (job.hook) job.hook(CompactionPhase::kDone);
   return Status::OK();
 }

@@ -6,11 +6,18 @@
 
 #include "src/common/crc32.h"
 #include "src/common/file_io.h"
+#include "src/common/metrics.h"
 #include "src/common/strings.h"
 #include "src/common/thread_pool.h"
 
 namespace paw {
 namespace {
+
+Gauge& QueueDepthGauge() {
+  static Gauge& g =
+      MetricsRegistry::Global().GetGauge("paw_store_queue_depth");
+  return g;
+}
 
 constexpr std::string_view kManifestName = "PAWSHARDS";
 constexpr std::string_view kManifestMagic = "pawshards 1";
@@ -244,6 +251,7 @@ void ShardedRepository::Enqueue(int shard, store_detail::PendingOp* op) {
     std::lock_guard<std::mutex> lock(ws->mu);
     ++ws->pending_ops;
   }
+  QueueDepthGauge().Add(1);
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(q->mu);
@@ -298,6 +306,7 @@ void ShardedRepository::Enqueue(int shard, store_detail::PendingOp* op) {
         op->Unref();
         op = next;
       }
+      QueueDepthGauge().Add(-static_cast<int64_t>(count));
       {
         std::lock_guard<std::mutex> lock(ws->mu);
         ws->pending_ops -= count;

@@ -5,8 +5,45 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/metrics.h"
+#include "src/common/timer.h"
+
 namespace paw {
 namespace {
+
+Counter& WalAppendsTotal() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_wal_appends_total");
+  return c;
+}
+
+Counter& WalRotationsTotal() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_wal_rotations_total");
+  return c;
+}
+
+/// Records per committed group-commit batch: 1, 2, 4, ... 32768.
+Histogram& WalBatchRecords() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "paw_wal_batch_records", /*first_bound=*/1, /*growth=*/2,
+      /*num_buckets=*/16);
+  return h;
+}
+
+Histogram& WalFsyncSeconds() {
+  static Histogram& h =
+      MetricsRegistry::Global().GetLatencyHistogram("paw_wal_fsync_seconds");
+  return h;
+}
+
+/// fdatasync with its duration observed into the fsync histogram.
+Status TimedSync(AppendOnlyFile* file) {
+  Timer timer;
+  Status s = file->Sync();
+  WalFsyncSeconds().Observe(timer.ElapsedMicros() / 1e6);
+  return s;
+}
 
 constexpr std::string_view kManifestName = "PAWWAL";
 constexpr std::string_view kManifestMagic = "pawwal 1";
@@ -342,6 +379,8 @@ Result<uint64_t> WriteAheadLog::Append(RecordType type,
   const uint64_t lsn =
       r->last_lsn.fetch_add(1, std::memory_order_acq_rel) + 1;
   r->pending += frame;
+  ++r->pending_records;
+  WalAppendsTotal().Add();
   const uint64_t my_seq = r->next_batch_seq;
 
   while (r->committed_seq < my_seq) {
@@ -357,10 +396,14 @@ Result<uint64_t> WriteAheadLog::Append(RecordType type,
           r->last_lsn.load(std::memory_order_relaxed);
       std::string batch;
       batch.swap(r->pending);
+      const uint64_t batch_records = r->pending_records;
+      r->pending_records = 0;
       lock.unlock();
+      WalBatchRecords().Observe(static_cast<double>(batch_records));
       Status s = r->file.Append(batch);
       if (s.ok()) {
-        s = r->options.sync_each_append ? r->file.Sync() : r->file.Flush();
+        s = r->options.sync_each_append ? TimedSync(&r->file)
+                                        : r->file.Flush();
       }
       lock.lock();
       if (!s.ok()) {
@@ -410,9 +453,14 @@ Status WriteAheadLog::Sync() {
       r->last_lsn.load(std::memory_order_relaxed);
   std::string batch;
   batch.swap(r->pending);
+  const uint64_t batch_records = r->pending_records;
+  r->pending_records = 0;
   lock.unlock();
+  if (have_batch) {
+    WalBatchRecords().Observe(static_cast<double>(batch_records));
+  }
   Status s = have_batch ? r->file.Append(batch) : Status::OK();
-  if (s.ok()) s = r->file.Sync();
+  if (s.ok()) s = TimedSync(&r->file);
   lock.lock();
   r->writer_active = false;
   if (!s.ok()) {
@@ -461,7 +509,7 @@ Status WriteAheadLog::RotateLocked(std::unique_lock<std::mutex>& lock) {
   // Seal: everything in the old segment is durable before the next
   // segment exists, so a torn tail can only ever appear in the active
   // (last) segment — the invariant recovery relies on.
-  Status s = r->file.Sync();
+  Status s = TimedSync(&r->file);
   Result<AppendOnlyFile> next = s.ok()
                                     ? CreateSegment(r->dir, new_seq, end_lsn)
                                     : Result<AppendOnlyFile>(s);
@@ -474,6 +522,7 @@ Status WriteAheadLog::RotateLocked(std::unique_lock<std::mutex>& lock) {
   r->seq.store(new_seq, std::memory_order_release);
   r->base_lsn.store(end_lsn, std::memory_order_release);
   r->size_bytes.store(r->file.size(), std::memory_order_release);
+  WalRotationsTotal().Add();
   return Status::OK();
 }
 

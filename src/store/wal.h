@@ -249,6 +249,9 @@ class WriteAheadLog {
     uint64_t committed_lsn = 0;
     /// Frames staged but not yet handed to the file.
     std::string pending;
+    /// Record count behind `pending` (the group-commit batch-size
+    /// metric needs records, not bytes).
+    uint64_t pending_records = 0;
     /// Commit-group bookkeeping: a staged frame belongs to batch
     /// `next_batch_seq`; the leader that cuts a batch takes that seq
     /// and bumps it, and `committed_seq` trails behind as batches land.

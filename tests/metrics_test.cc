@@ -1,0 +1,330 @@
+// Metrics registry tests: counter/gauge/histogram semantics, bucket
+// boundary placement, percentile extraction, concurrent updates (the
+// TSan suite runs this binary), snapshot consistency, the varint
+// snapshot codec, and the Prometheus text exposition.
+//
+// The registry is process-global, so every test uses metric names
+// under a test-unique prefix and asserts via Find/SumCounters rather
+// than on registry size.
+
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace paw {
+namespace {
+
+TEST(CounterTest, AddsAndReads) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test_counter_basic");
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, SameNameReturnsSameObject) {
+  Counter& a = MetricsRegistry::Global().GetCounter("test_counter_shared");
+  Counter& b = MetricsRegistry::Global().GetCounter("test_counter_shared");
+  EXPECT_EQ(&a, &b);
+  a.Add(7);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(CounterTest, KindMismatchReturnsDetachedDummy) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test_kind_clash");
+  c.Add(5);
+  // Asking for the same name as a gauge must not alias the counter.
+  Gauge& g = MetricsRegistry::Global().GetGauge("test_kind_clash");
+  g.Set(-3);
+  EXPECT_EQ(c.value(), 5u);
+  // The registered entry keeps its original kind.
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const MetricSample* sample = snap.Find("test_kind_clash");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(sample->counter, 5u);
+}
+
+TEST(GaugeTest, SetAndAddGoBothWays) {
+  Gauge& g = MetricsRegistry::Global().GetGauge("test_gauge_basic");
+  g.Set(10);
+  g.Add(-4);
+  EXPECT_EQ(g.value(), 6);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -4);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // first=1, growth=2, 4 buckets: bounds 1, 2, 4, 8 (+Inf overflow).
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test_hist_bounds", 1, 2, 4);
+  ASSERT_EQ(h.num_buckets(), 4);
+  EXPECT_DOUBLE_EQ(h.bound(0), 1);
+  EXPECT_DOUBLE_EQ(h.bound(1), 2);
+  EXPECT_DOUBLE_EQ(h.bound(2), 4);
+  EXPECT_DOUBLE_EQ(h.bound(3), 8);
+
+  h.Observe(0.5);  // <= 1        -> bucket 0
+  h.Observe(1.0);  // == bound 0  -> bucket 0 (bounds are inclusive)
+  h.Observe(1.5);  //             -> bucket 1
+  h.Observe(2.0);  // == bound 1  -> bucket 1
+  h.Observe(8.0);  // == bound 3  -> bucket 3
+  h.Observe(9.0);  // > last      -> overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 8.0 + 9.0, 1e-6);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  HistogramData data;
+  data.bounds = {1, 2, 4, 8};
+  // 10 observations in (1, 2], 10 in (2, 4].
+  data.buckets = {0, 10, 10, 0, 0};
+  data.count = 20;
+  data.sum = 0;
+
+  // Median: target = 10 lands exactly at the end of bucket 1 -> 2.
+  EXPECT_DOUBLE_EQ(data.Quantile(0.5), 2.0);
+  // q=0.25 -> target 5, halfway through (1, 2] -> 1.5.
+  EXPECT_DOUBLE_EQ(data.Quantile(0.25), 1.5);
+  // q=0.75 -> target 15, halfway through (2, 4] -> 3.
+  EXPECT_DOUBLE_EQ(data.Quantile(0.75), 3.0);
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(data.Quantile(-1), data.Quantile(0));
+  EXPECT_DOUBLE_EQ(data.Quantile(2), data.Quantile(1));
+}
+
+TEST(HistogramTest, QuantileOverflowClampsToLastBound) {
+  HistogramData data;
+  data.bounds = {1, 2};
+  data.buckets = {0, 0, 5};  // everything past the last bound
+  data.count = 5;
+  EXPECT_DOUBLE_EQ(data.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(data.Quantile(0.99), 2.0);
+}
+
+TEST(HistogramTest, QuantileEmptyIsZero) {
+  HistogramData data;
+  EXPECT_DOUBLE_EQ(data.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, LatencyLayoutCoversMicrosecondsToMinutes) {
+  Histogram& h =
+      MetricsRegistry::Global().GetLatencyHistogram("test_hist_latency");
+  ASSERT_EQ(h.num_buckets(), Histogram::kLatencyBuckets);
+  EXPECT_DOUBLE_EQ(h.bound(0), Histogram::kLatencyFirstBound);
+  // Last bound ~ 10us * 2^23 ≈ 84s: minutes-scale tail still lands in
+  // a finite bucket.
+  EXPECT_GT(h.bound(h.num_buckets() - 1), 60.0);
+}
+
+TEST(MetricsConcurrencyTest, ParallelUpdatesLoseNothing) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test_conc_counter");
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test_conc_gauge");
+  Histogram& hist =
+      MetricsRegistry::Global().GetHistogram("test_conc_hist", 1, 2, 8);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        gauge.Add(t % 2 == 0 ? 1 : -1);
+        hist.Observe(static_cast<double>(i % 10));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(gauge.value(), 0);  // equal +1/-1 threads
+  EXPECT_EQ(hist.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (int i = 0; i <= hist.num_buckets(); ++i) {
+    bucket_total += hist.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+TEST(MetricsConcurrencyTest, SnapshotUnderConcurrentUpdates) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test_conc_snap_counter");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_acquire)) counter.Add();
+  });
+  std::thread registrar([&] {
+    for (int i = 0; i < 200; ++i) {
+      MetricsRegistry::Global().GetCounter("test_conc_snap_extra_" +
+                                           std::to_string(i));
+    }
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    const MetricSample* sample = snap.Find("test_conc_snap_counter");
+    ASSERT_NE(sample, nullptr);
+    // Counter is monotonic, so successive snapshots must never go back.
+    EXPECT_GE(sample->counter, last);
+    last = sample->counter;
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  registrar.join();
+}
+
+TEST(MetricsSnapshotTest, SortedFindAndPrefixSum) {
+  MetricsRegistry::Global()
+      .GetCounter("test_snap_family{opcode=\"a\"}")
+      .Add(3);
+  MetricsRegistry::Global()
+      .GetCounter("test_snap_family{opcode=\"b\"}")
+      .Add(4);
+  MetricsRegistry::Global().GetGauge("test_snap_gauge").Set(-17);
+
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  // Map-backed registry: snapshot comes out name-sorted.
+  for (size_t i = 1; i < snap.samples.size(); ++i) {
+    EXPECT_LT(snap.samples[i - 1].name, snap.samples[i].name);
+  }
+  EXPECT_EQ(snap.SumCounters("test_snap_family"), 7u);
+  const MetricSample* gauge = snap.Find("test_snap_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->gauge, -17);
+  EXPECT_EQ(snap.Find("test_snap_missing"), nullptr);
+}
+
+MetricsSnapshot MakeMixedSnapshot() {
+  MetricsSnapshot snap;
+  MetricSample counter;
+  counter.kind = MetricSample::Kind::kCounter;
+  counter.name = "test_codec_requests_total{opcode=\"add\"}";
+  counter.counter = 123456789;
+  snap.samples.push_back(counter);
+
+  MetricSample gauge;
+  gauge.kind = MetricSample::Kind::kGauge;
+  gauge.name = "test_codec_gauge";
+  gauge.gauge = -42;
+  snap.samples.push_back(gauge);
+
+  MetricSample hist;
+  hist.kind = MetricSample::Kind::kHistogram;
+  hist.name = "test_codec_seconds";
+  hist.histogram.bounds = {0.001, 0.01, 0.1};
+  hist.histogram.buckets = {5, 10, 2, 1};
+  hist.histogram.count = 18;
+  hist.histogram.sum = 0.625;
+  snap.samples.push_back(hist);
+  return snap;
+}
+
+TEST(MetricsCodecTest, RoundTripsMixedSnapshot) {
+  const MetricsSnapshot original = MakeMixedSnapshot();
+  const std::string encoded = EncodeMetricsSnapshot(original);
+
+  size_t offset = 0;
+  Result<MetricsSnapshot> decoded = DecodeMetricsSnapshot(encoded, &offset);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(offset, encoded.size());
+  ASSERT_EQ(decoded.value().samples.size(), original.samples.size());
+  for (size_t i = 0; i < original.samples.size(); ++i) {
+    const MetricSample& want = original.samples[i];
+    const MetricSample& got = decoded.value().samples[i];
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.counter, want.counter);
+    EXPECT_EQ(got.gauge, want.gauge);
+    EXPECT_EQ(got.histogram.bounds, want.histogram.bounds);
+    EXPECT_EQ(got.histogram.buckets, want.histogram.buckets);
+    EXPECT_EQ(got.histogram.count, want.histogram.count);
+    EXPECT_DOUBLE_EQ(got.histogram.sum, want.histogram.sum);
+  }
+}
+
+TEST(MetricsCodecTest, RejectsTruncation) {
+  const std::string encoded = EncodeMetricsSnapshot(MakeMixedSnapshot());
+  // Every strict prefix must decode to an error, never crash or spin.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    size_t offset = 0;
+    Result<MetricsSnapshot> decoded =
+        DecodeMetricsSnapshot(encoded.substr(0, len), &offset);
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(MetricsCodecTest, RejectsUnknownKind) {
+  MetricsSnapshot snap;
+  MetricSample sample;
+  sample.kind = MetricSample::Kind::kCounter;
+  sample.name = "test_codec_kind";
+  snap.samples.push_back(sample);
+  std::string encoded = EncodeMetricsSnapshot(snap);
+  encoded[1] = static_cast<char>(9);  // kind byte follows the count varint
+  size_t offset = 0;
+  EXPECT_FALSE(DecodeMetricsSnapshot(encoded, &offset).ok());
+}
+
+TEST(MetricsExpositionTest, RendersFamiliesBucketsAndLabels) {
+  const std::string text = RenderPrometheusText(MakeMixedSnapshot());
+  EXPECT_NE(text.find("# TYPE test_codec_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("test_codec_requests_total{opcode=\"add\"} 123456789\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_codec_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("test_codec_gauge -42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_codec_seconds histogram\n"),
+            std::string::npos);
+  // Bucket series are cumulative; overflow renders as le="+Inf".
+  EXPECT_NE(text.find("test_codec_seconds_bucket{le=\"0.001\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_codec_seconds_bucket{le=\"0.01\"} 15\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_codec_seconds_bucket{le=\"0.1\"} 17\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_codec_seconds_bucket{le=\"+Inf\"} 18\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_codec_seconds_sum 0.625\n"), std::string::npos);
+  EXPECT_NE(text.find("test_codec_seconds_count 18\n"), std::string::npos);
+}
+
+TEST(MetricsExpositionTest, SplicesLeIntoExistingLabels) {
+  MetricsSnapshot snap;
+  MetricSample hist;
+  hist.kind = MetricSample::Kind::kHistogram;
+  hist.name = "test_expo_seconds{shard=\"3\"}";
+  hist.histogram.bounds = {1};
+  hist.histogram.buckets = {2, 0};
+  hist.histogram.count = 2;
+  hist.histogram.sum = 1.0;
+  snap.samples.push_back(hist);
+
+  const std::string text = RenderPrometheusText(snap);
+  EXPECT_NE(text.find("test_expo_seconds_bucket{shard=\"3\",le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_seconds_sum{shard=\"3\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_seconds_count{shard=\"3\"} 2\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace paw

@@ -17,6 +17,7 @@
 
 #include "src/client/paw_client.h"
 #include "src/common/file_io.h"
+#include "src/common/metrics.h"
 #include "src/provenance/executor.h"
 #include "src/provenance/serialize.h"
 #include "src/privacy/policy_text.h"
@@ -393,6 +394,114 @@ TEST(ServerTest, StoreDirLockHeldWhileServing) {
   f.server->Stop();
   f.server.reset();
   EXPECT_TRUE(ShardedRepository::Open(f.dir).ok());
+}
+
+TEST(ServerTest, MetricsOpcodeCountsAdvance) {
+  Fixture f = Fixture::Create("metrics", TestOptions());
+  f.UploadSpec();
+  auto root = f.Client("root");
+  ASSERT_TRUE(root.ok());
+
+  // Metrics (like everything else) requires AUTH.
+  auto bare = PawClient::Connect("127.0.0.1", f.server->port());
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare.value().Metrics().status().IsPermissionDenied());
+
+  auto before = root.value().Metrics();
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  const MetricsSnapshot& pre = before.value().snapshot;
+
+  // Pipelined adds plus queries, then a second snapshot: the deltas
+  // must reflect exactly what this test sent (metrics are process-
+  // global, so assert on deltas, never absolutes).
+  constexpr int kAdds = 5;
+  std::vector<PawTicket> tickets;
+  for (int i = 0; i < kAdds; ++i) {
+    auto ticket = root.value().SendAddExecution(
+        f.spec.name(), DiseaseExecText(f.spec, 100 + i));
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(ticket.value());
+  }
+  for (PawTicket ticket : tickets) {
+    ASSERT_TRUE(root.value().AwaitAddExecution(ticket).ok());
+  }
+  ASSERT_TRUE(root.value().Search({"omim"}).ok());
+  ASSERT_TRUE(root.value().GetStatus().ok());
+
+  auto after = root.value().Metrics();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  const MetricsSnapshot& post = after.value().snapshot;
+
+  const auto delta = [&](const std::string& name) -> uint64_t {
+    const MetricSample* b = pre.Find(name);
+    const MetricSample* a = post.Find(name);
+    EXPECT_NE(a, nullptr) << name;
+    if (a == nullptr) return 0;
+    return a->counter - (b != nullptr ? b->counter : 0);
+  };
+  EXPECT_EQ(delta("paw_server_requests_total{opcode=\"add_execution\"}"),
+            static_cast<uint64_t>(kAdds));
+  EXPECT_EQ(delta("paw_server_requests_total{opcode=\"keyword_search\"}"),
+            1u);
+  EXPECT_EQ(delta("paw_server_requests_total{opcode=\"status\"}"), 1u);
+  // The METRICS request itself is counted (the first snapshot call).
+  EXPECT_GE(delta("paw_server_requests_total{opcode=\"metrics\"}"), 1u);
+  // Store-layer instrumentation advanced under the adds.
+  EXPECT_GE(delta("paw_wal_appends_total"), static_cast<uint64_t>(kAdds));
+  const MetricSample* fsync_pre = pre.Find("paw_wal_fsync_seconds");
+  const MetricSample* fsync_post = post.Find("paw_wal_fsync_seconds");
+  ASSERT_NE(fsync_post, nullptr);
+  EXPECT_GT(fsync_post->histogram.count,
+            fsync_pre != nullptr ? fsync_pre->histogram.count : 0);
+
+  // Per-opcode latency histograms recorded each request and expose a
+  // sane percentile spread.
+  const MetricSample* latency =
+      post.Find("paw_server_request_seconds{opcode=\"add_execution\"}");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->histogram.count, static_cast<uint64_t>(kAdds));
+  EXPECT_GT(latency->histogram.Quantile(0.99), 0.0);
+  EXPECT_LE(latency->histogram.Quantile(0.5),
+            latency->histogram.Quantile(0.99));
+
+  // Bytes flowed both ways; the connection gauge sees live sessions.
+  const MetricSample* bytes_in = post.Find("paw_server_bytes_in_total");
+  const MetricSample* bytes_out = post.Find("paw_server_bytes_out_total");
+  ASSERT_NE(bytes_in, nullptr);
+  ASSERT_NE(bytes_out, nullptr);
+  EXPECT_GT(bytes_in->counter, 0u);
+  EXPECT_GT(bytes_out->counter, 0u);
+  const MetricSample* conns = post.Find("paw_server_connections");
+  ASSERT_NE(conns, nullptr);
+  EXPECT_GE(conns->gauge, 1);
+}
+
+TEST(ServerTest, SlowQueryLogFiresAtZeroThreshold) {
+  ServerOptions options = TestOptions();
+  options.slow_query_ms = 0;  // every request with a nonzero span logs
+  Fixture f = Fixture::Create("slow_query", std::move(options));
+  f.UploadSpec();
+  auto root = f.Client("root");
+  ASSERT_TRUE(root.ok());
+
+  Counter& slow =
+      MetricsRegistry::Global().GetCounter("paw_server_slow_queries_total");
+  const uint64_t slow_before = slow.value();
+
+  ::testing::internal::CaptureStderr();
+  // A synced append takes at least one fsync — comfortably over 0 ms.
+  auto ack = root.value().AddExecution(f.spec.name(),
+                                       DiseaseExecText(f.spec, 500));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  // Give the worker a beat to flush the warning line.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::string log = ::testing::internal::GetCapturedStderr();
+
+  EXPECT_NE(log.find("slow request"), std::string::npos) << log;
+  EXPECT_NE(log.find("opcode=add_execution"), std::string::npos) << log;
+  EXPECT_NE(log.find("principal=root"), std::string::npos) << log;
+  EXPECT_NE(log.find("duration_ms="), std::string::npos) << log;
+  EXPECT_GT(slow.value(), slow_before);
 }
 
 TEST(ServerTest, ErrorsForUnknownSpecAndOrdinals) {

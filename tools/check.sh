@@ -3,11 +3,13 @@
 # test of the demo pipeline and both store layouts (single + sharded,
 # including kill-and-reopen crash drills — one against the sharded
 # WAL tail, one against background compaction mid-flight), a pawd
-# server drill (socket ingest, per-principal query filtering, kill -9
-# durability, lock-file liveness), bench smoke runs (store E10 +
-# server E11), an ASan+UBSan build of the store/server test binaries,
-# and a TSan build of the concurrency suites (group-commit WAL, writer
-# queues, background compaction, server).
+# server drill (socket ingest, per-principal query filtering, a
+# METRICS-over-the-wire check, kill -9 durability, lock-file liveness),
+# bench smoke runs (store E10 + server E11, the latter gated <= 5%
+# instrumentation overhead against a PAW_NO_METRICS baseline build),
+# an ASan+UBSan build of the store/server test binaries, and a TSan
+# build of the concurrency suites (group-commit WAL, writer queues,
+# background compaction, server, metrics registry).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -99,6 +101,26 @@ grep -q "no results" "$SMOKE_DIR/q_alice.out"
 # status must warn that a live pawd holds the store-dir lock.
 "$PAWCTL" status "$SMOKE_DIR/srv" | tee "$SMOKE_DIR/srv_status.out"
 grep -q "lock:      HELD" "$SMOKE_DIR/srv_status.out"
+# The METRICS surface reflects the socket ingest that just ran:
+# per-opcode request counters and a nonzero WAL fsync p99 (serve
+# defaults to sync=each, so the puts paid real fsyncs).
+"$PAWCTL" connect "localhost:$PORT" user=admin metrics \
+  | tee "$SMOKE_DIR/metrics.out"
+grep -q 'paw_server_requests_total{opcode="add_execution"}' \
+  "$SMOKE_DIR/metrics.out"
+FSYNC_P99="$(awk '/^paw_wal_fsync_seconds /{
+  for (i = 1; i <= NF; i++)
+    if ($i ~ /^p99=/) { sub("p99=", "", $i); print $i }
+}' "$SMOKE_DIR/metrics.out")"
+test -n "$FSYNC_P99"
+awk -v v="$FSYNC_P99" 'BEGIN { exit !(v > 0) }'
+# The raw flag emits Prometheus text exposition. (Dump to a file
+# before grepping: grep -q on the pipe would quit at the first match
+# and kill pawctl with EPIPE, which pipefail turns into a failure.)
+"$PAWCTL" connect "localhost:$PORT" user=admin metrics --raw \
+  > "$SMOKE_DIR/metrics_raw.out"
+grep -q "^# TYPE paw_server_requests_total counter" \
+  "$SMOKE_DIR/metrics_raw.out"
 kill -9 "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 # The kernel released the flock with the process; recovery sees every
@@ -135,12 +157,62 @@ fi
 echo "== bench_server smoke (BENCH_server.json, E11) =="
 if [[ -x "$BUILD_DIR/bench_server" ]]; then
   BENCH_BIN="$(pwd)/$BUILD_DIR/bench_server"
+  # Full instrumented smoke run first: produces BENCH_server.json and
+  # the pipelined-vs-sync acceptance line.
   (cd "$SMOKE_DIR" && "$BENCH_BIN" --smoke | tee bench_server.out)
   test -s "$SMOKE_DIR/BENCH_server.json"
   grep -q '"experiment":"e11"' "$SMOKE_DIR/BENCH_server.json"
   grep -q '"mode":"pipelined"' "$SMOKE_DIR/BENCH_server.json"
   # Acceptance: pipelined >= 3x sync at 8 connections in smoke mode.
   grep -q ">= 3x: yes" "$SMOKE_DIR/bench_server.out"
+  # Overhead gate: the same bench from a PAW_NO_METRICS build (update
+  # paths compiled out) measures what the instrumentation costs; the
+  # instrumented build must stay within 5% of it. Shared CI machines
+  # make any single-run comparison hopeless — throughput swings +-10%
+  # over seconds from external load — so the gate alternates several
+  # short --gate-only runs of each binary and compares the per-build
+  # BEST run (the throughput ceiling): a load burst only lowers
+  # samples, and alternation gives both builds equal shots at a clean
+  # window, while a genuine hot-path regression caps the instrumented
+  # ceiling across every run. One retry absorbs a pathologically busy
+  # window.
+  NOMETRICS_BUILD_DIR="${NOMETRICS_BUILD_DIR:-build-nometrics}"
+  cmake -B "$NOMETRICS_BUILD_DIR" -S . -DPAW_NO_METRICS=ON
+  cmake --build "$NOMETRICS_BUILD_DIR" -j "$JOBS" --target bench_server
+  BASE_BIN="$(pwd)/$NOMETRICS_BUILD_DIR/bench_server"
+  gate_attempt() {
+    : > "$SMOKE_DIR/gate_base.out"
+    : > "$SMOKE_DIR/gate_inst.out"
+    local t
+    for t in 1 2 3 4 5; do
+      (cd "$SMOKE_DIR" && \
+        BENCH_JSON="$SMOKE_DIR/BENCH_server_nometrics.json" \
+        "$BASE_BIN" --smoke --gate-only >> gate_base.out)
+      (cd "$SMOKE_DIR" && \
+        BENCH_JSON="$SMOKE_DIR/BENCH_server_gate.json" \
+        "$BENCH_BIN" --smoke --gate-only >> gate_inst.out)
+    done
+    local base_best inst_best
+    base_best="$(awk '/^e11 gate/{if ($4 > m) m = $4} END{print m}' \
+      "$SMOKE_DIR/gate_base.out")"
+    inst_best="$(awk '/^e11 gate/{if ($4 > m) m = $4} END{print m}' \
+      "$SMOKE_DIR/gate_inst.out")"
+    awk -v b="$base_best" -v i="$inst_best" 'BEGIN {
+      if (b <= 0 || i <= 0) { print "overhead gate: missing data"; exit }
+      verdict = (i >= 0.95 * b) ? "(<= 5%: yes)" : "(> 5%)"
+      fmt = "e11 instrumentation overhead (best of 5 alternated runs,"
+      fmt = fmt " %.0f vs %.0f ops/s): %.1f%% %s\n"
+      printf fmt, i, b, (1 - i / b) * 100, verdict
+    }' | tee "$SMOKE_DIR/bench_gate.out"
+    grep -qF "<= 5%: yes" "$SMOKE_DIR/bench_gate.out"
+  }
+  if ! gate_attempt; then
+    echo "overhead gate failed; retrying once (noisy machine)"
+    gate_attempt
+  fi
+  # Acceptance: metrics instrumentation costs <= 5% vs the
+  # PAW_NO_METRICS baseline.
+  grep -qF "<= 5%: yes" "$SMOKE_DIR/bench_gate.out"
   cp "$SMOKE_DIR/BENCH_server.json" "$BUILD_DIR/BENCH_server.json"
   echo "server perf written to $BUILD_DIR/BENCH_server.json"
 else
@@ -153,7 +225,7 @@ cmake -B "$ASAN_BUILD_DIR" -S . -DPAW_SANITIZE=address
 SAN_TESTS=(store_test sharded_store_test crash_injection_test record_test
            thread_pool_test crc32_test codec_v2_test wal_group_commit_test
            mixed_version_test background_compaction_test wire_test
-           server_test store_lock_test)
+           server_test store_lock_test metrics_test)
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
   echo "-- $t (asan+ubsan)"
@@ -167,7 +239,8 @@ echo "== tsan concurrency tests =="
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "$TSAN_BUILD_DIR" -S . -DPAW_SANITIZE=thread
 TSAN_TESTS=(wal_group_commit_test sharded_store_test
-            background_compaction_test thread_pool_test server_test)
+            background_compaction_test thread_pool_test server_test
+            metrics_test)
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
   echo "-- $t (tsan)"

@@ -60,8 +60,14 @@
 //                                        durable; auth registers the
 //                                        principals AUTH accepts (default
 //                                        admin:100). Runs until SIGINT.
-//   pawctl connect <host:port> [user=NAME]
-//                                        HELLO + AUTH + STATUS round trip
+//   pawctl connect <host:port> [user=NAME] [metrics [--raw]]
+//                                        HELLO + AUTH + STATUS round trip;
+//                                        with `metrics`, fetch the METRICS
+//                                        snapshot instead and pretty-print
+//                                        per-opcode counts, p50/p90/p99
+//                                        latencies, and WAL / compaction /
+//                                        queue metrics (--raw dumps the
+//                                        Prometheus text exposition)
 //   pawctl put <host:port> <spec.paw> [runs=N] [user=NAME] [pipeline=N]
 //              [policy=FILE]            remote ingest: store the spec, then
 //                                        run N executions through pipelined
@@ -72,17 +78,20 @@
 // open/status/ingest/compact/migrate auto-detect whether <dir> is a
 // single-directory or a sharded store.
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <deque>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "src/client/paw_client.h"
+#include "src/common/metrics.h"
 #include "src/provenance/executor.h"
 #include "src/provenance/serialize.h"
 #include "src/query/keyword_search.h"
@@ -405,9 +414,17 @@ int PrintDirStatus(const std::string& dir, const char* indent) {
   auto snapshot = FindLatestSnapshot(dir);
   if (snapshot.ok()) {
     auto bytes = ReadFileToString(snapshot.value().path);
-    std::printf("%ssnapshot:  lsn %llu (%zu bytes)\n", indent,
+    std::string age;
+    struct stat st;
+    if (::stat(snapshot.value().path.c_str(), &st) == 0) {
+      age = ", age " +
+            std::to_string(
+                static_cast<long long>(::time(nullptr) - st.st_mtime)) +
+            "s";
+    }
+    std::printf("%ssnapshot:  lsn %llu (%zu bytes%s)\n", indent,
                 static_cast<unsigned long long>(snapshot.value().lsn),
-                bytes.ok() ? bytes.value().size() : size_t{0});
+                bytes.ok() ? bytes.value().size() : size_t{0}, age.c_str());
   } else {
     std::printf("%ssnapshot:  none\n", indent);
   }
@@ -422,6 +439,8 @@ int PrintDirStatus(const std::string& dir, const char* indent) {
   }
   auto segments = ListWalSegments(dir);
   if (!segments.ok()) return Fail(segments.status());
+  uint64_t total_records = 0;
+  size_t total_bytes = 0;
   for (size_t i = 0; i < segments.value().size(); ++i) {
     const WalSegmentFile& segment = segments.value()[i];
     // Parse the segment header (base LSN) and count whole records.
@@ -438,6 +457,8 @@ int PrintDirStatus(const std::string& dir, const char* indent) {
       header_ok = GetFixed64(record.payload, &pos, &base);
     }
     while (reader.Next(&record) == ReadOutcome::kRecord) ++records;
+    total_records += records;
+    total_bytes += contents.value().size();
     std::printf(
         "%swal-%08llu: base %llu, %llu record(s), %zu bytes%s%s%s\n",
         indent, static_cast<unsigned long long>(segment.seq),
@@ -447,6 +468,11 @@ int PrintDirStatus(const std::string& dir, const char* indent) {
         header_ok ? "" : " [bad header]",
         reader.dropped_bytes() > 0 ? " [torn tail]" : "");
   }
+  // Disk-metric roll-up: what a monitoring check wants in one line.
+  std::printf("%sdisk:      %zu segment(s), %zu WAL bytes, %llu "
+              "record(s) past snapshot\n",
+              indent, segments.value().size(), total_bytes,
+              static_cast<unsigned long long>(total_records));
   if (segments.value().empty() && PathExists(dir + "/wal.log")) {
     std::printf("%swal.log:   legacy single-file layout (upgrades on "
                 "next open)\n",
@@ -1031,18 +1057,64 @@ Result<PawClient> ConnectAndAuth(const std::string& target,
   return client;
 }
 
+/// Pretty-prints a metrics snapshot: one line per metric, histograms
+/// with count/sum and client-side p50/p90/p99 (so a shell check can
+/// awk a percentile straight out of the output). `raw` dumps the
+/// Prometheus text exposition instead.
+int PrintMetrics(const MetricsSnapshot& snapshot, bool raw) {
+  if (raw) {
+    std::fputs(RenderPrometheusText(snapshot).c_str(), stdout);
+    return 0;
+  }
+  for (const MetricSample& s : snapshot.samples) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        std::printf("%-56s %llu\n", s.name.c_str(),
+                    static_cast<unsigned long long>(s.counter));
+        break;
+      case MetricSample::Kind::kGauge:
+        std::printf("%-56s %lld\n", s.name.c_str(),
+                    static_cast<long long>(s.gauge));
+        break;
+      case MetricSample::Kind::kHistogram:
+        std::printf(
+            "%-56s count=%llu sum=%.6f p50=%.9g p90=%.9g p99=%.9g\n",
+            s.name.c_str(),
+            static_cast<unsigned long long>(s.histogram.count),
+            s.histogram.sum, s.histogram.Quantile(0.5),
+            s.histogram.Quantile(0.9), s.histogram.Quantile(0.99));
+        break;
+    }
+  }
+  return 0;
+}
+
 int CmdConnect(const char* target, int argc, char** argv) {
   std::string user = "admin";
+  bool metrics = false;
+  bool raw = false;
   for (int i = 0; i < argc; ++i) {
     bool matched = false;
     ParseStrOption(argv[i], "user", &user, &matched);
-    if (!matched) {
-      std::fprintf(stderr, "error: unknown connect option %s\n", argv[i]);
-      return 1;
+    if (matched) continue;
+    if (std::strcmp(argv[i], "metrics") == 0) {
+      metrics = true;
+      continue;
     }
+    if (metrics && std::strcmp(argv[i], "--raw") == 0) {
+      raw = true;
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown connect option %s\n", argv[i]);
+    return 1;
   }
   auto client = ConnectAndAuth(target, user);
   if (!client.ok()) return Fail(client.status());
+  if (metrics) {
+    auto snapshot = client.value().Metrics();
+    if (!snapshot.ok()) return Fail(snapshot.status());
+    return PrintMetrics(snapshot.value().snapshot, raw);
+  }
   std::printf("connected to %s (protocol v%d) as %s\n",
               client.value().server_name().c_str(),
               client.value().version(), user.c_str());
@@ -1186,7 +1258,8 @@ int Usage() {
                "       pawctl serve <dir> [port=N] [bind=ADDR] [shards=N]"
                " [workers=N] [writers=N] [threads=N] [sync=each|batch]"
                " [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]\n"
-               "       pawctl connect <host:port> [user=NAME]\n"
+               "       pawctl connect <host:port> [user=NAME]"
+               " [metrics [--raw]]\n"
                "       pawctl put <host:port> <spec.paw> [runs=N]"
                " [user=NAME] [pipeline=N] [policy=FILE]\n"
                "       pawctl query <host:port> <term> [term ...]"
