@@ -7,13 +7,21 @@
 
 namespace paw {
 
-void InvertedIndex::Build(const Repository& repo) {
+void InvertedIndex::Build(const Repository& repo) { Build(repo.View()); }
+
+void InvertedIndex::Build(const RepositoryView& view) {
   postings_.clear();
   df_.clear();
   num_postings_ = 0;
-  num_docs_ = repo.num_specs();
-  for (int s = 0; s < repo.num_specs(); ++s) {
-    const SpecEntry& entry = repo.entry(s);
+  num_docs_ = 0;
+  ExtendTo(view);
+}
+
+void InvertedIndex::ExtendTo(const RepositoryView& view) {
+  // Spec ids are dense and increasing, so appending the delta keeps
+  // every posting list sorted by spec id.
+  for (int s = num_docs_; s < view.num_specs(); ++s) {
+    const SpecEntry& entry = view.entry(s);
     std::set<std::string> seen_in_doc;
     for (const Module& m : entry.spec.modules()) {
       AccessLevel level = entry.spec.workflow(m.workflow).required_level;
@@ -31,6 +39,7 @@ void InvertedIndex::Build(const Repository& repo) {
     }
     for (const std::string& t : seen_in_doc) ++df_[t];
   }
+  num_docs_ = std::max(num_docs_, view.num_specs());
 }
 
 const std::vector<Posting>& InvertedIndex::Lookup(

@@ -30,10 +30,25 @@ struct Posting {
 };
 
 /// \brief Token -> postings over a whole repository.
+///
+/// Specs are append-only and densely numbered, so the index maintains
+/// itself incrementally: `ExtendTo` indexes only the specs added since
+/// the last build, keeping every posting list sorted by spec id without
+/// a re-sort. A from-scratch `Build` and a sequence of `ExtendTo` calls
+/// over the same specs produce identical indexes (fuzz-checked in
+/// tests/inverted_index_test.cc).
 class InvertedIndex {
  public:
   /// \brief (Re)builds the index from scratch.
   void Build(const Repository& repo);
+
+  /// \brief (Re)builds the index from scratch over a pinned view.
+  void Build(const RepositoryView& view);
+
+  /// \brief Indexes specs `[num_docs(), view.num_specs())` — the delta
+  /// appended since the index was last built/extended. No-op when the
+  /// index already covers the view's cut.
+  void ExtendTo(const RepositoryView& view);
 
   /// \brief Postings of `token` (already lowercased by tokenization).
   const std::vector<Posting>& Lookup(const std::string& token) const;

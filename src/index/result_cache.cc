@@ -8,9 +8,17 @@ ResultCache::ResultCache(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity)) {}
 
 std::optional<std::string> ResultCache::Get(const std::string& group,
-                                            const std::string& key) {
+                                            const std::string& key,
+                                            uint64_t epoch) {
   auto it = entries_.find(FullKey(group, key));
   if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch) {
+    // Stale cut: the store mutated since this answer was computed.
+    lru_.erase(it->second);
+    entries_.erase(it);
     ++stats_.misses;
     return std::nullopt;
   }
@@ -20,11 +28,12 @@ std::optional<std::string> ResultCache::Get(const std::string& group,
 }
 
 void ResultCache::Put(const std::string& group, const std::string& key,
-                      std::string value) {
+                      std::string value, uint64_t epoch) {
   std::string full = FullKey(group, key);
   auto it = entries_.find(full);
   if (it != entries_.end()) {
     it->second->value = std::move(value);
+    it->second->epoch = epoch;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -34,7 +43,7 @@ void ResultCache::Put(const std::string& group, const std::string& key,
     lru_.pop_back();
     ++stats_.evictions;
   }
-  lru_.push_front(Entry{full, std::move(value)});
+  lru_.push_front(Entry{full, std::move(value), epoch});
   entries_[full] = lru_.begin();
 }
 

@@ -10,6 +10,7 @@
 /// engine derives from group *and* access level). Experiment E9 measures
 /// hit rates under Zipf query mixes.
 
+#include <cstdint>
 #include <list>
 #include <optional>
 #include <string>
@@ -31,18 +32,29 @@ struct CacheStats {
 };
 
 /// \brief An LRU map from (group, key) to serialized answers.
+///
+/// Entries are stamped with the repository epoch they were computed at;
+/// a `Get` whose `epoch` differs from the stored stamp is a miss and
+/// drops the stale entry, so the cache self-invalidates as the store
+/// mutates instead of serving answers from a dead cut. Callers that do
+/// not version their data may leave the epoch at its default (0 == 0
+/// always matches).
 class ResultCache {
  public:
   /// Creates a cache holding at most `capacity` entries (>= 1).
   explicit ResultCache(size_t capacity);
 
-  /// \brief Returns the cached answer, refreshing recency; nullopt on miss.
+  /// \brief Returns the cached answer, refreshing recency; nullopt on
+  /// miss. An entry stored at a different epoch is erased and counted
+  /// as a miss.
   std::optional<std::string> Get(const std::string& group,
-                                 const std::string& key);
+                                 const std::string& key,
+                                 uint64_t epoch = 0);
 
-  /// \brief Inserts/overwrites an answer, evicting the LRU entry if full.
+  /// \brief Inserts/overwrites an answer stamped with `epoch`, evicting
+  /// the LRU entry if full.
   void Put(const std::string& group, const std::string& key,
-           std::string value);
+           std::string value, uint64_t epoch = 0);
 
   /// \brief Drops every entry of one group (e.g. after a policy change).
   void InvalidateGroup(const std::string& group);
@@ -54,6 +66,7 @@ class ResultCache {
   struct Entry {
     std::string full_key;
     std::string value;
+    uint64_t epoch = 0;
   };
 
   static std::string FullKey(const std::string& group,

@@ -1,6 +1,7 @@
 #include "src/query/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "src/common/metrics.h"
@@ -29,18 +30,84 @@ Counter& LineageConesTotal() {
   return c;
 }
 
-/// Serializes keyword answers for the result cache.
-std::string SerializeAnswers(const Repository& repo,
-                             const std::vector<KeywordAnswer>& answers) {
+Counter& CacheHitsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_query_cache_hits_total");
+  return c;
+}
+
+Counter& CacheMissesTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_query_cache_misses_total");
+  return c;
+}
+
+Counter& EngineCatchupsTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_query_engine_catchups_total");
+  return c;
+}
+
+/// Serializes keyword answers for the result cache. The encoding is
+/// lossless (`DeserializeAnswers` round-trips it) so cache hits return
+/// real answers instead of merely skipping the re-insert.
+///
+/// Per answer: `spec_id|prefix ids|matched ids|view_size|score;` with
+/// comma-separated id lists and 17 significant digits for the score.
+std::string SerializeAnswers(const std::vector<KeywordAnswer>& answers) {
   std::ostringstream os;
+  os.precision(17);
   for (const KeywordAnswer& a : answers) {
-    os << repo.entry(a.spec_id).spec.name() << "|";
+    os << a.spec_id << '|';
+    bool first = true;
     for (WorkflowId w : a.prefix) {
-      os << repo.entry(a.spec_id).spec.workflow(w).code << ",";
+      if (!first) os << ',';
+      first = false;
+      os << w.value();
     }
-    os << "|" << a.score << ";";
+    os << '|';
+    first = true;
+    for (ModuleId m : a.matched) {
+      if (!first) os << ',';
+      first = false;
+      os << m.value();
+    }
+    os << '|' << a.view_size << '|' << a.score << ';';
   }
   return os.str();
+}
+
+Result<std::vector<int32_t>> ParseIdList(const std::string& field) {
+  std::vector<int32_t> out;
+  if (field.empty()) return out;
+  for (const std::string& part : Split(field, ',')) {
+    out.push_back(static_cast<int32_t>(std::atoi(part.c_str())));
+  }
+  return out;
+}
+
+Result<std::vector<KeywordAnswer>> DeserializeAnswers(
+    const std::string& blob) {
+  std::vector<KeywordAnswer> answers;
+  for (const std::string& rec : Split(blob, ';')) {
+    if (rec.empty()) continue;
+    std::vector<std::string> fields = Split(rec, '|');
+    if (fields.size() != 5) {
+      return Status::Internal("malformed cached answer record");
+    }
+    KeywordAnswer a;
+    a.spec_id = std::atoi(fields[0].c_str());
+    PAW_ASSIGN_OR_RETURN(std::vector<int32_t> prefix_ids,
+                         ParseIdList(fields[1]));
+    for (int32_t v : prefix_ids) a.prefix.insert(WorkflowId(v));
+    PAW_ASSIGN_OR_RETURN(std::vector<int32_t> matched_ids,
+                         ParseIdList(fields[2]));
+    for (int32_t v : matched_ids) a.matched.push_back(ModuleId(v));
+    a.view_size = std::atoi(fields[3].c_str());
+    a.score = std::strtod(fields[4].c_str(), nullptr);
+    answers.push_back(std::move(a));
+  }
+  return answers;
 }
 
 }  // namespace
@@ -51,12 +118,31 @@ QueryEngine::QueryEngine(const Repository& repo, const AccessControl& acl,
       acl_(acl),
       options_(options),
       cache_(options.cache_capacity) {
-  RefreshIndexes();
+  view_ = repo_.View();
+  index_.Build(view_);
+  scorer_.Build(index_);
 }
 
-void QueryEngine::RefreshIndexes() {
-  index_.Build(repo_);
-  scorer_.Build(index_);
+void QueryEngine::CatchUp() {
+  // Freshness floor: the epoch observed at request entry. The served cut
+  // may be newer (another catch-up can slip in), never older.
+  const uint64_t target = repo_.mutation_epoch();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (view_.epoch >= target) return;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (view_.epoch >= target) return;
+  repo_.ExtendView(&view_);
+  index_.ExtendTo(view_);
+  EngineCatchupsTotal().Add();
+}
+
+void QueryEngine::RefreshIndexes() { CatchUp(); }
+
+CacheStats QueryEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.stats();
 }
 
 Result<std::string> QueryEngine::CacheGroup(PrincipalId principal) const {
@@ -69,15 +155,33 @@ Result<std::vector<KeywordAnswer>> QueryEngine::Search(
   PAW_ASSIGN_OR_RETURN(Principal p, acl_.Get(principal));
   PAW_ASSIGN_OR_RETURN(std::string group, CacheGroup(principal));
   std::string key = "kw:" + Join(terms, ",");
-  // The cache stores a serialized digest to validate reuse; answers are
-  // recomputed only on miss.
-  bool cached = cache_.Get(group, key).has_value();
+  CatchUp();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Keyword answers depend only on the cut's spec slice, and specs are
+  // append-only — so the spec count is the answer-invalidating epoch.
+  // Execution ingest leaves cached keyword answers live.
+  const uint64_t cache_epoch = static_cast<uint64_t>(view_.num_specs());
+  std::optional<std::string> hit;
+  {
+    std::lock_guard<std::mutex> cl(cache_mu_);
+    hit = cache_.Get(group, key, cache_epoch);
+  }
+  if (hit.has_value()) {
+    auto cached = DeserializeAnswers(*hit);
+    if (cached.ok()) {
+      CacheHitsTotal().Add();
+      return cached;
+    }
+    // Unreadable entry (should not happen): fall through and recompute.
+  }
+  CacheMissesTotal().Add();
   PAW_ASSIGN_OR_RETURN(
       std::vector<KeywordAnswer> answers,
-      KeywordSearch(repo_, &index_, &scorer_, terms, p.level,
+      KeywordSearch(view_, &index_, &scorer_, terms, p.level,
                     options_.search));
-  if (!cached) {
-    cache_.Put(group, key, SerializeAnswers(repo_, answers));
+  {
+    std::lock_guard<std::mutex> cl(cache_mu_);
+    cache_.Put(group, key, SerializeAnswers(answers), cache_epoch);
   }
   return answers;
 }
@@ -150,17 +254,43 @@ Result<LineageAnswer> QueryEngine::Lineage(PrincipalId principal,
                                            ExecutionId exec_id,
                                            DataItemId item) {
   PAW_ASSIGN_OR_RETURN(Principal p, acl_.Get(principal));
-  if (exec_id.value() < 0 || exec_id.value() >= repo_.num_executions()) {
+  CatchUp();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (exec_id.value() < 0 || exec_id.value() >= view_.num_executions()) {
     return Status::NotFound("unknown execution");
   }
-  const ExecutionEntry& entry = repo_.execution(exec_id);
-  const SpecEntry& spec_entry = repo_.entry(entry.spec_id);
+  const ExecutionEntry& entry = view_.execution(exec_id);
+  const SpecEntry& spec_entry = view_.entry(entry.spec_id);
   const Execution& exec = entry.exec;
   if (item.value() < 0 || item.value() >= exec.num_items()) {
     return Status::NotFound("unknown data item");
   }
   PAW_ASSIGN_OR_RETURN(LineageResult cone, ProvenanceOf(exec, item));
   return RenderCone(spec_entry, exec, p, cone.nodes, item);
+}
+
+Result<const ExecutionEntry*> QueryEngine::ExecutionByOrdinal(int spec_id,
+                                                              int ordinal) {
+  if (ordinal < 0) return Status::InvalidArgument("negative ordinal");
+  CatchUp();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (spec_id < 0 || spec_id >= view_.num_specs()) {
+    return Status::NotFound("unknown spec");
+  }
+  int seen = 0;
+  for (const ExecutionEntry* e : view_.execs) {
+    if (e->spec_id != spec_id) continue;
+    if (seen == ordinal) return e;
+    ++seen;
+  }
+  return Status::NotFound("has " + std::to_string(seen) +
+                          " execution(s); no #" + std::to_string(ordinal));
+}
+
+const SpecEntry* QueryEngine::SpecEntryAt(int spec_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (spec_id < 0 || spec_id >= view_.num_specs()) return nullptr;
+  return view_.specs[static_cast<size_t>(spec_id)];
 }
 
 Result<std::vector<QueryEngine::ExecutionSearchResult>>
@@ -172,10 +302,12 @@ QueryEngine::SearchExecutions(PrincipalId principal,
       provenance_var >= static_cast<int>(pattern.vars.size())) {
     return Status::InvalidArgument("provenance_var out of range");
   }
+  CatchUp();
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<ExecutionSearchResult> results;
-  for (int e = 0; e < repo_.num_executions(); ++e) {
-    const ExecutionEntry& entry = repo_.execution(ExecutionId(e));
-    const SpecEntry& spec_entry = repo_.entry(entry.spec_id);
+  for (int e = 0; e < view_.num_executions(); ++e) {
+    const ExecutionEntry& entry = view_.execution(ExecutionId(e));
+    const SpecEntry& spec_entry = view_.entry(entry.spec_id);
     const Execution& exec = entry.exec;
     // Visibility: only modules inside the principal's access view may
     // participate in a match.
@@ -206,10 +338,12 @@ QueryEngine::SearchExecutions(PrincipalId principal,
 Result<std::vector<PatternMatch>> QueryEngine::Structural(
     PrincipalId principal, int spec_id, const StructuralPattern& pattern) {
   PAW_ASSIGN_OR_RETURN(Principal p, acl_.Get(principal));
-  if (spec_id < 0 || spec_id >= repo_.num_specs()) {
+  CatchUp();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (spec_id < 0 || spec_id >= view_.num_specs()) {
     return Status::NotFound("unknown spec");
   }
-  const SpecEntry& entry = repo_.entry(spec_id);
+  const SpecEntry& entry = view_.entry(spec_id);
   Prefix access = entry.hierarchy.AccessPrefix(entry.spec, p.level);
   PAW_ASSIGN_OR_RETURN(
       SpecView view, ExpandPrefix(entry.spec, entry.hierarchy, access));

@@ -9,7 +9,18 @@
 /// takes a principal; answers never reveal anything beyond the
 /// principal's access view and the spec's policy. Group-partitioned LRU
 /// caching accelerates repeated queries within one privacy context.
+///
+/// Concurrency (MVCC read path): the engine pins a `RepositoryView` and
+/// serves every query from that cut. Before serving it catches up to the
+/// repository's current mutation epoch by extending the view and applying
+/// index deltas (never a from-scratch rebuild) under a writer lock;
+/// serving itself holds only a reader lock, so queries run concurrently
+/// with each other and with single-writer repository appends. A query
+/// observes a cut at least as fresh as the epoch at its arrival.
 
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -42,16 +53,22 @@ struct LineageAnswer {
 };
 
 /// \brief Privacy-preserving query engine over one repository.
+///
+/// Thread-safe: query entry points may be called concurrently with each
+/// other and with appends to the underlying repository (single-writer).
 class QueryEngine {
  public:
   QueryEngine(const Repository& repo, const AccessControl& acl,
               EngineOptions options = {});
 
-  /// \brief Rebuilds indexes after repository changes.
+  /// \brief Catches the pinned view and indexes up to the repository's
+  /// current mutation epoch by applying deltas. Queries call this
+  /// implicitly; it exists for callers that want to pay the catch-up
+  /// cost eagerly. Cheap no-op when already current.
   void RefreshIndexes();
 
   /// \brief Keyword search at the principal's level; cached per
-  /// (group, level).
+  /// (group, level), invalidated when the cut's spec slice grows.
   Result<std::vector<KeywordAnswer>> Search(
       PrincipalId principal, const std::vector<std::string>& terms);
 
@@ -64,6 +81,18 @@ class QueryEngine {
   /// specification.
   Result<std::vector<PatternMatch>> Structural(
       PrincipalId principal, int spec_id, const StructuralPattern& pattern);
+
+  /// \brief Pinned-cut lookup of the `ordinal`-th execution of a spec.
+  /// The returned entry pointer is immutable and address-stable, so it
+  /// stays valid after the call. NotFound when the spec has fewer than
+  /// `ordinal + 1` executions at the engine's cut.
+  Result<const ExecutionEntry*> ExecutionByOrdinal(int spec_id,
+                                                   int ordinal);
+
+  /// \brief Pinned-cut spec entry pointer, or nullptr when `spec_id` is
+  /// beyond the engine's current cut. The entry is immutable and
+  /// address-stable, so the pointer stays valid after the call.
+  const SpecEntry* SpecEntryAt(int spec_id) const;
 
   /// \brief One hit of an execution search.
   struct ExecutionSearchResult {
@@ -85,13 +114,21 @@ class QueryEngine {
       PrincipalId principal, const StructuralPattern& pattern,
       int provenance_var);
 
-  const CacheStats& cache_stats() const { return cache_.stats(); }
+  /// \brief Snapshot of the cache counters.
+  CacheStats cache_stats() const;
+
+  /// \brief The keyword index. Quiescent-only: do not touch while other
+  /// threads may be querying (catch-up mutates the index in place).
   const InvertedIndex& index() const { return index_; }
 
  private:
   /// Cache partition tag: group + level (two principals share answers
   /// only when both match).
   Result<std::string> CacheGroup(PrincipalId principal) const;
+
+  /// Advances the pinned view/index to cover at least `repo_`'s epoch
+  /// as observed on entry. See class comment.
+  void CatchUp();
 
   /// Shared answer rendering: zoom out for structural policy, restrict
   /// to `cone_nodes`, mask values; `item` (when valid) is appended as an
@@ -105,8 +142,17 @@ class QueryEngine {
   const Repository& repo_;
   const AccessControl& acl_;
   EngineOptions options_;
+
+  /// Reader/writer lock over the pinned view and indexes: exclusive for
+  /// catch-up (view extension + index deltas), shared for serving.
+  mutable std::shared_mutex mu_;
+  RepositoryView view_;
   InvertedIndex index_;
   TfIdfScorer scorer_;
+
+  /// The result cache has its own lock so cache bookkeeping never
+  /// serializes whole queries.
+  mutable std::mutex cache_mu_;
   ResultCache cache_;
 };
 

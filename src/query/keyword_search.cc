@@ -138,16 +138,24 @@ Result<std::vector<KeywordAnswer>> KeywordSearch(
     const Repository& repo, const InvertedIndex* index,
     const TfIdfScorer* scorer, const std::vector<std::string>& terms,
     AccessLevel level, const KeywordSearchOptions& options) {
+  return KeywordSearch(repo.View(), index, scorer, terms, level, options);
+}
+
+Result<std::vector<KeywordAnswer>> KeywordSearch(
+    const RepositoryView& view, const InvertedIndex* index,
+    const TfIdfScorer* scorer, const std::vector<std::string>& terms,
+    AccessLevel level, const KeywordSearchOptions& options) {
   std::vector<int> candidates;
   if (options.use_index && index != nullptr) {
     candidates = index->CandidateSpecs(terms, level);
   } else {
-    for (int s = 0; s < repo.num_specs(); ++s) candidates.push_back(s);
+    for (int s = 0; s < view.num_specs(); ++s) candidates.push_back(s);
   }
 
   std::vector<KeywordAnswer> answers;
   for (int s : candidates) {
-    const SpecEntry& entry = repo.entry(s);
+    if (s >= view.num_specs()) continue;  // index ahead of the pinned cut
+    const SpecEntry& entry = view.entry(s);
     auto minimal =
         MinimalCoveringPrefixes(entry.spec, entry.hierarchy, terms, level,
                                 options.max_enumerated_prefixes);

@@ -63,8 +63,17 @@ Result<Prefix> GreedyCoveringPrefix(const Specification& spec,
                                     const std::vector<std::string>& terms,
                                     AccessLevel level);
 
-/// \brief Repository-wide search: prune specs via `index` (if given),
+/// \brief Search over a pinned view: prune specs via `index` (if given),
 /// compute minimal views, rank with TF-IDF (ties: smaller views first).
+/// The index must cover at least the view's cut; candidates beyond the
+/// cut are skipped, so an index slightly ahead of the view is safe.
+Result<std::vector<KeywordAnswer>> KeywordSearch(
+    const RepositoryView& view, const InvertedIndex* index,
+    const TfIdfScorer* scorer, const std::vector<std::string>& terms,
+    AccessLevel level, const KeywordSearchOptions& options = {});
+
+/// \brief Repository-wide search over the current contents (captures a
+/// view internally; quiescent or single-writer callers only).
 Result<std::vector<KeywordAnswer>> KeywordSearch(
     const Repository& repo, const InvertedIndex* index,
     const TfIdfScorer* scorer, const std::vector<std::string>& terms,

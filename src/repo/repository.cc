@@ -4,32 +4,62 @@
 
 namespace paw {
 
+Repository::Repository(Repository&& other) noexcept
+    : specs_(std::move(other.specs_)), execs_(std::move(other.execs_)) {
+  spec_count_.store(other.spec_count_.load());
+  exec_count_.store(other.exec_count_.load());
+  mutation_epoch_.store(other.mutation_epoch_.load());
+  other.spec_count_.store(0);
+  other.exec_count_.store(0);
+  other.mutation_epoch_.store(0);
+}
+
+Repository& Repository::operator=(Repository&& other) noexcept {
+  if (this != &other) {
+    specs_ = std::move(other.specs_);
+    execs_ = std::move(other.execs_);
+    spec_count_.store(other.spec_count_.load());
+    exec_count_.store(other.exec_count_.load());
+    mutation_epoch_.store(other.mutation_epoch_.load());
+    other.spec_count_.store(0);
+    other.exec_count_.store(0);
+    other.mutation_epoch_.store(0);
+  }
+  return *this;
+}
+
 Result<int> Repository::AddSpecification(Specification spec,
                                          PolicySet policy) {
   PAW_RETURN_NOT_OK(ValidateSpecification(spec));
   PAW_RETURN_NOT_OK(ValidatePolicy(spec, policy));
   auto entry = std::make_unique<SpecEntry>();
-  entry->id = static_cast<int>(specs_.size());
   entry->spec = std::move(spec);
   entry->hierarchy = ExpansionHierarchy::Build(entry->spec);
   entry->policy = std::move(policy);
+  std::lock_guard<std::mutex> lock(view_mu_);
+  const int id = static_cast<int>(specs_.size());
+  entry->id = id;
   specs_.push_back(std::move(entry));
-  return specs_.back()->id;
+  spec_count_.store(id + 1, std::memory_order_release);
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return id;
 }
 
 Result<ExecutionId> Repository::AddExecution(int spec_id, Execution exec) {
-  if (spec_id < 0 || spec_id >= num_specs()) {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  if (spec_id < 0 || spec_id >= static_cast<int>(specs_.size())) {
     return Status::NotFound("unknown spec id");
   }
   if (&exec.spec() != &specs_[static_cast<size_t>(spec_id)]->spec) {
     return Status::InvalidArgument(
         "execution does not belong to the given specification");
   }
-  auto entry = std::make_unique<ExecutionEntry>(ExecutionEntry{
-      ExecutionId(static_cast<int32_t>(execs_.size())), spec_id,
-      std::move(exec), PersistMeta{}});
-  execs_.push_back(std::move(entry));
-  return execs_.back()->id;
+  const ExecutionId id(static_cast<int32_t>(execs_.size()));
+  execs_.push_back(std::make_unique<ExecutionEntry>(
+      ExecutionEntry{id, spec_id, std::move(exec), PersistMeta{}}));
+  exec_count_.store(id.value() + 1, std::memory_order_release);
+  mutation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return id;
 }
 
 Result<int> Repository::FindSpec(std::string_view name) const {
@@ -41,11 +71,21 @@ Result<int> Repository::FindSpec(std::string_view name) const {
 
 RepositoryView Repository::View() const {
   RepositoryView view;
-  view.specs.reserve(specs_.size());
-  for (const auto& e : specs_) view.specs.push_back(e.get());
-  view.execs.reserve(execs_.size());
-  for (const auto& e : execs_) view.execs.push_back(e.get());
+  ExtendView(&view);
   return view;
+}
+
+void Repository::ExtendView(RepositoryView* view) const {
+  std::lock_guard<std::mutex> lock(view_mu_);
+  view->specs.reserve(specs_.size());
+  for (size_t i = view->specs.size(); i < specs_.size(); ++i) {
+    view->specs.push_back(specs_[i].get());
+  }
+  view->execs.reserve(execs_.size());
+  for (size_t i = view->execs.size(); i < execs_.size(); ++i) {
+    view->execs.push_back(execs_[i].get());
+  }
+  view->epoch = mutation_epoch_.load(std::memory_order_relaxed);
 }
 
 std::vector<ExecutionId> Repository::ExecutionsOf(int spec_id) const {

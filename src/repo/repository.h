@@ -8,8 +8,20 @@
 /// privacy policies) and provenance graphs of their executions. Address
 /// stability: entries live behind unique_ptr, so views and executions may
 /// hold pointers to their specifications across insertions.
+///
+/// Concurrency model (MVCC read path): the repository is append-only and
+/// entries are immutable once inserted (persist metadata excepted, see
+/// below). A small internal mutex guards only the entry-pointer vectors,
+/// so readers capture a pinned `RepositoryView` — a consistent cut —
+/// without ever blocking the writer for more than a pointer push. A
+/// monotonic `mutation_epoch()` is bumped on every append; a view records
+/// the epoch of its cut, which is what index/cache layers use to decide
+/// staleness (replacing ad-hoc count heuristics).
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +38,12 @@ namespace paw {
 ///
 /// Entries added to a plain in-memory `Repository` keep the defaults:
 /// lsn 0 and an empty locator mean "volatile, never persisted".
+///
+/// Persist metadata is the one post-insert mutation: the store writer
+/// stamps it between appending an entry and acking the append. Readers
+/// on the MVCC view path must not touch `persist` of entries they did
+/// not observe acked (query handlers never read it; compaction drains
+/// writers first).
 struct PersistMeta {
   /// LSN of the record that persisted this entry. For entries
   /// recovered from a snapshot this is the snapshot's covered LSN (an
@@ -63,45 +81,110 @@ struct ExecutionEntry {
 /// mutated after insertion, so a consistent view is just the entry
 /// pointers captured at the cut: it stays valid — and frozen — while
 /// new entries are appended behind it. This is what lets a background
-/// snapshot writer walk the repository while a writer thread keeps
-/// ingesting. Capturing must not race an in-flight mutation (same
-/// single-writer contract as `AddSpecification`/`AddExecution`).
+/// snapshot writer (or a query engine) walk the repository while a
+/// writer thread keeps ingesting. Capture via `Repository::View()` is
+/// thread-safe against concurrent appends; `Repository::ExtendView`
+/// advances an existing view to a newer cut in place.
+///
+/// The view mirrors the repository's read accessors so query code can
+/// be written once against either. `epoch` is the repository mutation
+/// epoch at the cut; because both entry kinds are append-only, the
+/// spec/execution counts of a view also identify the cut's spec slice
+/// and execution slice individually.
 struct RepositoryView {
   std::vector<const SpecEntry*> specs;
   std::vector<const ExecutionEntry*> execs;
+  /// Repository mutation epoch at the instant of capture.
+  uint64_t epoch = 0;
+
+  int num_specs() const { return static_cast<int>(specs.size()); }
+  int num_executions() const { return static_cast<int>(execs.size()); }
+
+  /// \brief Entry accessor; id must be within the cut.
+  const SpecEntry& entry(int id) const {
+    return *specs[static_cast<size_t>(id)];
+  }
+
+  /// \brief Execution accessor; id must be within the cut.
+  const ExecutionEntry& execution(ExecutionId id) const {
+    return *execs[static_cast<size_t>(id.value())];
+  }
+
+  /// \brief Executions of one specification, within the cut.
+  std::vector<ExecutionId> ExecutionsOf(int spec_id) const {
+    std::vector<ExecutionId> out;
+    for (const ExecutionEntry* e : execs) {
+      if (e->spec_id == spec_id) out.push_back(e->id);
+    }
+    return out;
+  }
 };
 
 /// \brief In-memory repository of specifications and executions.
+///
+/// Appends are single-writer (the store layer serializes them); reads
+/// through pinned views are safe from any thread concurrently with the
+/// writer. The bare `entry()`/`execution()` accessors index the live
+/// vectors and remain quiescent-only — concurrent code must go through
+/// a captured `RepositoryView`.
 class Repository {
  public:
+  Repository() = default;
+
+  /// Moves are setup-time-only (store open/handoff): they must not race
+  /// any other access — the synchronization state is not transferred,
+  /// the moved-to repository starts with a fresh mutex.
+  Repository(Repository&& other) noexcept;
+  Repository& operator=(Repository&& other) noexcept;
+
   /// \brief Stores a specification (with optional policy); returns its id.
   Result<int> AddSpecification(Specification spec, PolicySet policy = {});
 
   /// \brief Stores an execution of spec `spec_id`.
   Result<ExecutionId> AddExecution(int spec_id, Execution exec);
 
-  int num_specs() const { return static_cast<int>(specs_.size()); }
-  int num_executions() const { return static_cast<int>(execs_.size()); }
+  int num_specs() const {
+    return spec_count_.load(std::memory_order_acquire);
+  }
+  int num_executions() const {
+    return exec_count_.load(std::memory_order_acquire);
+  }
 
-  /// \brief Entry accessor; id must be in range.
+  /// \brief Monotonic counter bumped on every successful append (spec or
+  /// execution). Index and cache layers compare epochs to detect
+  /// staleness; equal epochs imply identical contents.
+  uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Entry accessor; id must be in range. Quiescent-only (see
+  /// class comment); concurrent readers use a view.
   const SpecEntry& entry(int id) const {
     return *specs_[static_cast<size_t>(id)];
   }
 
-  /// \brief Execution accessor; id must be in range.
+  /// \brief Execution accessor; id must be in range. Quiescent-only.
   const ExecutionEntry& execution(ExecutionId id) const {
     return *execs_[static_cast<size_t>(id.value())];
   }
 
-  /// \brief Entry lookup by specification name.
+  /// \brief Entry lookup by specification name. Quiescent-only.
   Result<int> FindSpec(std::string_view name) const;
 
-  /// \brief Executions of one specification.
+  /// \brief Executions of one specification. Quiescent-only.
   std::vector<ExecutionId> ExecutionsOf(int spec_id) const;
 
   /// \brief Captures a pinned view of every entry currently stored
-  /// (see `RepositoryView` for the consistency contract).
+  /// (see `RepositoryView` for the consistency contract). Safe to call
+  /// concurrently with appends.
   RepositoryView View() const;
+
+  /// \brief Advances `view` in place to the repository's current cut,
+  /// appending pointers for entries added since the view was captured.
+  /// Existing elements are untouched, so `[0, old size)` slices of the
+  /// view remain valid pinned cuts. Safe to call concurrently with
+  /// appends; the caller owns synchronization of `view` itself.
+  void ExtendView(RepositoryView* view) const;
 
   /// \brief Stamps durability metadata on a spec entry; id must be in
   /// range. Called by the persistent store layer after logging.
@@ -122,8 +205,15 @@ class Repository {
   int64_t ApproxBytes() const;
 
  private:
+  /// Guards the entry vectors (growth and pointer capture) and the
+  /// epoch bump, so a captured view plus its epoch form a consistent
+  /// cut. Never held across I/O or entry construction.
+  mutable std::mutex view_mu_;
   std::vector<std::unique_ptr<SpecEntry>> specs_;
   std::vector<std::unique_ptr<ExecutionEntry>> execs_;
+  std::atomic<int> spec_count_{0};
+  std::atomic<int> exec_count_{0};
+  std::atomic<uint64_t> mutation_epoch_{0};
 };
 
 }  // namespace paw

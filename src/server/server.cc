@@ -183,6 +183,27 @@ Histogram& EngineRebuildSeconds() {
   return h;
 }
 
+/// Lease accounting: E12 and the concurrent server test assert that the
+/// exclusive counter stays flat across a query-only phase — the proof
+/// that reads no longer serialize against ingest.
+Counter& LeaseSharedTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_server_lease_shared_total");
+  return c;
+}
+
+Counter& LeaseExclusiveTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_server_lease_exclusive_total");
+  return c;
+}
+
+Histogram& LeaseWaitSeconds() {
+  static Histogram& h = MetricsRegistry::Global().GetLatencyHistogram(
+      "paw_server_lease_wait_seconds");
+  return h;
+}
+
 Status ErrnoStatus(const std::string& op) {
   return Status::Internal(op + ": " + std::strerror(errno));
 }
@@ -344,8 +365,11 @@ struct SpecLoc {
 
 /// Uniform server-side facade over the two store layouts. The server's
 /// lease discipline (see server.h) supplies the concurrency contract:
-/// `AddExecutionAsync` may be called concurrently (shared lease),
-/// everything else only under the exclusive lease after `Drain`.
+/// `AddExecutionAsync` may be called concurrently (shared lease), and
+/// `repo()` reads are safe concurrently with appends when they go
+/// through pinned `RepositoryView`s (which is how the query engines
+/// read); `AddSpec`/`Compact` run only under the exclusive lease after
+/// `Drain`.
 class ServerStore {
  public:
   virtual ~ServerStore() = default;
@@ -531,10 +555,11 @@ struct PawServer::Impl {
   std::atomic<int64_t> slow_log_last_us[kNumOpcodes] = {};
   std::atomic<uint64_t> slow_log_suppressed{0};
 
-  /// The store lease: appends take it shared, queries / spec ingest /
-  /// status / compaction take it exclusive (and drain first), which
-  /// yields a quiescent store for reads without stalling the append
-  /// path against anything but actual queries.
+  /// The store lease: appends AND queries take it shared — queries
+  /// serve from per-engine pinned MVCC views, so they need no quiescent
+  /// store. Only spec ingest and compaction take it exclusive (and
+  /// drain first): ADD_SPEC because the registry pin requires a settled
+  /// entry vector, COMPACT because it folds store files under readers.
   std::shared_mutex lease;
 
   /// name -> location + pinned entry pointer (entries are immutable
@@ -547,11 +572,11 @@ struct PawServer::Impl {
   };
   std::unordered_map<std::string, SpecInfo> registry;
 
-  /// Per-shard query engines, rebuilt lazily (exclusive lease) when
-  /// the shard grew since the last build; rebuilding also resets the
-  /// per-engine result cache, so stale answers cannot be served.
+  /// Per-shard query engines, built once at startup. Each engine pins
+  /// its own MVCC view of the shard and catches up incrementally (by
+  /// the repository mutation epoch) inside its query entry points, so
+  /// the server never rebuilds or swaps engines while serving.
   std::vector<std::unique_ptr<QueryEngine>> engines;
-  std::vector<int64_t> engine_counts;
 
   int listen_fd = -1;
   int port = 0;
@@ -658,25 +683,39 @@ struct PawServer::Impl {
     return it->second;
   }
 
-  /// Exclusive lease + drained store required.
-  void RefreshEnginesLocked() {
+  /// Builds the per-shard engines once, at startup (store quiescent).
+  /// From then on engines maintain themselves with view/index deltas;
+  /// there is no rebuild-on-dirty path (and no count heuristic to get
+  /// it wrong) on the serving side.
+  void BuildEngines() {
     engines.resize(static_cast<size_t>(store->num_shards()));
-    engine_counts.resize(static_cast<size_t>(store->num_shards()), -1);
     for (int s = 0; s < store->num_shards(); ++s) {
-      const Repository& r = repo(s);
-      const int64_t count = int64_t{r.num_specs()} * (INT32_MAX / 2) +
-                            r.num_executions();
-      if (engines[static_cast<size_t>(s)] == nullptr ||
-          engine_counts[static_cast<size_t>(s)] != count) {
-        Timer rebuild_timer;
-        engines[static_cast<size_t>(s)] =
-            std::make_unique<QueryEngine>(r, acl);
-        engine_counts[static_cast<size_t>(s)] = count;
-        EngineRebuildSeconds().Observe(rebuild_timer.ElapsedMicros() /
-                                       1e6);
-        EngineRebuildsTotal().Add();
-      }
+      Timer rebuild_timer;
+      engines[static_cast<size_t>(s)] =
+          std::make_unique<QueryEngine>(repo(s), acl);
+      EngineRebuildSeconds().Observe(rebuild_timer.ElapsedMicros() / 1e6);
+      EngineRebuildsTotal().Add();
     }
+  }
+
+  /// Lease acquisition helpers: count by kind and record the wait, so
+  /// the exclusive-counter delta proves which paths take which lease.
+  std::shared_lock<std::shared_mutex> SharedLease() {
+    const int64_t start = NowMicros();
+    std::shared_lock<std::shared_mutex> lock(lease);
+    LeaseSharedTotal().Add();
+    LeaseWaitSeconds().Observe(
+        static_cast<double>(NowMicros() - start) / 1e6);
+    return lock;
+  }
+
+  std::unique_lock<std::shared_mutex> ExclusiveLease() {
+    const int64_t start = NowMicros();
+    std::unique_lock<std::shared_mutex> lock(lease);
+    LeaseExclusiveTotal().Add();
+    LeaseWaitSeconds().Observe(
+        static_cast<double>(NowMicros() - start) / 1e6);
+    return lock;
   }
 
   // ---- event loop ----
@@ -1221,7 +1260,9 @@ struct PawServer::Impl {
       policy = std::move(parsed).value();
     }
     const std::string name = spec.value().name();
-    std::unique_lock<std::shared_mutex> exclusive(lease);
+    // Exclusive: the registry pin below indexes the shard's entry
+    // vector, which must not race concurrent appends.
+    std::unique_lock<std::shared_mutex> exclusive = ExclusiveLease();
     store->Drain();
     conn->trace.lease_us = NowMicros();
     if (FindSpec(name).ok()) {
@@ -1293,7 +1334,7 @@ struct PawServer::Impl {
     }
     int64_t lease_us = 0;
     {
-      std::shared_lock<std::shared_mutex> shared(lease);
+      std::shared_lock<std::shared_mutex> shared = SharedLease();
       lease_us = NowMicros();
       for (Prepared& p : run) {
         p.future = store->AddExecutionAsync(p.loc, std::move(p.exec));
@@ -1371,25 +1412,24 @@ struct PawServer::Impl {
       Respond(conn, frame, info.status(), "", out);
       return;
     }
-    std::unique_lock<std::shared_mutex> exclusive(lease);
-    store->Drain();
+    // Shared lease: the lookup runs on the engine's pinned cut, and the
+    // returned entry is immutable/address-stable, so the lease drops as
+    // soon as the pointer is in hand.
+    std::shared_lock<std::shared_mutex> shared = SharedLease();
     conn->trace.lease_us = NowMicros();
-    const Repository& r = repo(info.value().loc.shard);
-    std::vector<ExecutionId> execs =
-        r.ExecutionsOf(info.value().loc.id);
-    if (req.value().ordinal < 0 ||
-        static_cast<size_t>(req.value().ordinal) >= execs.size()) {
-      exclusive.unlock();
+    auto found = engines[static_cast<size_t>(info.value().loc.shard)]
+                     ->ExecutionByOrdinal(info.value().loc.id,
+                                          req.value().ordinal);
+    shared.unlock();
+    if (!found.ok()) {
       Respond(conn, frame,
-              Status::NotFound(
-                  "spec \"" + req.value().spec_name + "\" has " +
-                  std::to_string(execs.size()) + " execution(s); no #" +
-                  std::to_string(req.value().ordinal)),
+              Status(found.status().code(),
+                     "spec \"" + req.value().spec_name + "\" " +
+                         found.status().message()),
               "", out);
       return;
     }
-    const ExecutionEntry& ee =
-        r.execution(execs[static_cast<size_t>(req.value().ordinal)]);
+    const ExecutionEntry& ee = *found.value();
     const PolicySet& policy = info.value().entry->policy;
     // Re-render the execution with every item value the principal may
     // not see replaced by the mask — identity and structure stay
@@ -1415,7 +1455,6 @@ struct PawServer::Impl {
                                              ExecNodeId(v)));
       }
     }
-    exclusive.unlock();
     wire::GetExecutionResponse resp;
     resp.exec_text = SerializeExecution(masked);
     resp.num_masked = report.num_masked;
@@ -1430,23 +1469,27 @@ struct PawServer::Impl {
       Respond(conn, frame, req.status(), "", out);
       return;
     }
-    std::unique_lock<std::shared_mutex> exclusive(lease);
-    store->Drain();
-    RefreshEnginesLocked();
+    // Shared lease: each shard's engine serves from its pinned cut and
+    // catches up to the current epoch itself — searches run concurrently
+    // with pipelined ingest and with each other.
+    std::shared_lock<std::shared_mutex> shared = SharedLease();
     conn->trace.lease_us = NowMicros();
     std::vector<wire::SearchHit> hits;
     for (int s = 0; s < store->num_shards(); ++s) {
-      auto answers = engines[static_cast<size_t>(s)]->Search(
-          conn->principal, req.value().terms);
+      QueryEngine* engine = engines[static_cast<size_t>(s)].get();
+      auto answers = engine->Search(conn->principal, req.value().terms);
       if (!answers.ok()) {
-        exclusive.unlock();
+        shared.unlock();
         Respond(conn, frame, answers.status(), "", out);
         return;
       }
-      const Repository& r = repo(s);
       for (const KeywordAnswer& answer : answers.value()) {
+        // Answers come from the engine's cut, so the entry is always
+        // within it; render via the cut, never the live vectors.
+        const SpecEntry* entry = engine->SpecEntryAt(answer.spec_id);
+        if (entry == nullptr) continue;
         wire::SearchHit hit;
-        const Specification& spec = r.entry(answer.spec_id).spec;
+        const Specification& spec = entry->spec;
         hit.spec_name = spec.name();
         hit.score = answer.score;
         hit.view_size = answer.view_size;
@@ -1457,7 +1500,7 @@ struct PawServer::Impl {
       }
     }
     conn->trace.engine_us = NowMicros();
-    exclusive.unlock();
+    shared.unlock();
     // Merge across shards: scores share one TF-IDF scale per shard, so
     // the cross-shard order is approximate; ties break toward smaller
     // views exactly as the per-shard ranking does.
@@ -1499,16 +1542,14 @@ struct PawServer::Impl {
       pattern.edges.push_back(
           PatternEdge{edge.from, edge.to, edge.transitive});
     }
-    std::unique_lock<std::shared_mutex> exclusive(lease);
-    store->Drain();
-    RefreshEnginesLocked();
+    std::shared_lock<std::shared_mutex> shared = SharedLease();
     conn->trace.lease_us = NowMicros();
     auto matches =
         engines[static_cast<size_t>(info.value().loc.shard)]->Structural(
             conn->principal, info.value().loc.id, pattern);
     conn->trace.engine_us = NowMicros();
+    shared.unlock();
     if (!matches.ok()) {
-      exclusive.unlock();
       Respond(conn, frame, matches.status(), "", out);
       return;
     }
@@ -1521,7 +1562,6 @@ struct PawServer::Impl {
       }
       resp.matches.push_back(std::move(codes));
     }
-    exclusive.unlock();
     Respond(conn, frame, Status::OK(), EncodeStructuralResponse(resp),
             out);
   }
@@ -1538,15 +1578,14 @@ struct PawServer::Impl {
       Respond(conn, frame, info.status(), "", out);
       return;
     }
-    std::unique_lock<std::shared_mutex> exclusive(lease);
-    store->Drain();
-    RefreshEnginesLocked();
+    std::shared_lock<std::shared_mutex> shared = SharedLease();
     conn->trace.lease_us = NowMicros();
-    const Repository& r = repo(info.value().loc.shard);
-    std::vector<ExecutionId> execs = r.ExecutionsOf(info.value().loc.id);
-    if (req.value().ordinal < 0 ||
-        static_cast<size_t>(req.value().ordinal) >= execs.size()) {
-      exclusive.unlock();
+    QueryEngine* engine =
+        engines[static_cast<size_t>(info.value().loc.shard)].get();
+    auto found = engine->ExecutionByOrdinal(info.value().loc.id,
+                                            req.value().ordinal);
+    if (!found.ok()) {
+      shared.unlock();
       Respond(conn, frame,
               Status::NotFound("no execution #" +
                                std::to_string(req.value().ordinal) +
@@ -1554,14 +1593,11 @@ struct PawServer::Impl {
               "", out);
       return;
     }
-    auto answer =
-        engines[static_cast<size_t>(info.value().loc.shard)]->Lineage(
-            conn->principal,
-            execs[static_cast<size_t>(req.value().ordinal)],
-            DataItemId(req.value().item));
+    auto answer = engine->Lineage(conn->principal, found.value()->id,
+                                  DataItemId(req.value().item));
     conn->trace.engine_us = NowMicros();
+    shared.unlock();
     if (!answer.ok()) {
-      exclusive.unlock();
       Respond(conn, frame, answer.status(), "", out);
       return;
     }
@@ -1572,14 +1608,14 @@ struct PawServer::Impl {
       resp.prefix_codes.push_back(spec.workflow(w).code);
     }
     resp.rows = std::move(answer.value().rows);
-    exclusive.unlock();
     Respond(conn, frame, Status::OK(), EncodeLineageResponse(resp), out);
   }
 
   void HandleStatus(Connection* conn, const wire::Frame& frame,
                     std::string* out) {
-    std::unique_lock<std::shared_mutex> exclusive(lease);
-    store->Drain();
+    // Shared lease; counts are atomic reads. Ops still queued behind
+    // the writers are not counted yet — acked appends always are.
+    std::shared_lock<std::shared_mutex> shared = SharedLease();
     conn->trace.lease_us = NowMicros();
     wire::StatusResponse resp;
     resp.shards = store->num_shards();
@@ -1599,7 +1635,7 @@ struct PawServer::Impl {
               std::to_string(store->GlobalLsn(s));
     }
     resp.text = std::move(text);
-    exclusive.unlock();
+    shared.unlock();
     Respond(conn, frame, Status::OK(), EncodeStatusResponse(resp), out);
   }
 
@@ -1614,7 +1650,9 @@ struct PawServer::Impl {
               "", out);
       return;
     }
-    std::unique_lock<std::shared_mutex> exclusive(lease);
+    // Exclusive: compaction folds store files and must not run under
+    // concurrent readers or writers.
+    std::unique_lock<std::shared_mutex> exclusive = ExclusiveLease();
     store->Drain();
     conn->trace.lease_us = NowMicros();
     const Status status = store->Compact();
@@ -1687,6 +1725,7 @@ Result<std::unique_ptr<PawServer>> PawServer::Start(const std::string& dir,
 
   impl->options = std::move(options);
   impl->BuildRegistry();
+  impl->BuildEngines();
 
   PAW_RETURN_NOT_OK(impl->Listen());
   impl->reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);

@@ -38,13 +38,18 @@
 /// before the first acknowledgment is awaited, which is what makes
 /// pipelining >> sync round trips (bench/bench_server.cc, E11).
 ///
-/// **Concurrency model.** Appends hold a *shared* store lease;
-/// queries, spec ingestion, status and compaction take the lease
-/// *exclusively* and drain the writer queues first, giving them a
-/// quiescent store (the `ShardedRepository` read contract) without
-/// stalling the append fast path against anything but actual queries.
-/// Per-shard query engines are rebuilt lazily when the shard changed
-/// since the last query.
+/// **Concurrency model (MVCC read path).** Appends AND queries hold a
+/// *shared* store lease: each shard's query engine pins an MVCC read
+/// view of the repository and serves from that cut, catching up to the
+/// repository's mutation epoch with view/index deltas before each
+/// query — searches never drain writer queues and run concurrently
+/// with pipelined ingest (bench/bench_server.cc, E12). A query
+/// observes a cut at least as fresh as every append acknowledged
+/// before it was issued (read-your-writes per connection). Only
+/// ADD_SPEC and COMPACT take the lease *exclusively* and drain first:
+/// spec ingestion pins registry entries from the live entry vectors,
+/// and compaction folds store files under the readers' feet. See
+/// tools/README.md for the per-opcode lease table.
 
 #include <atomic>
 #include <cstdint>

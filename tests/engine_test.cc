@@ -174,5 +174,109 @@ TEST_F(EngineTest, IndexIsBuilt) {
   EXPECT_EQ(engine_->index().num_docs(), 1);
 }
 
+TEST_F(EngineTest, CacheHitServesIdenticalAnswers) {
+  auto first = engine_->Search(owner_, {"disorder"});
+  ASSERT_TRUE(first.ok());
+  ASSERT_FALSE(first.value().empty());
+  EXPECT_EQ(engine_->cache_stats().hits, 0);
+  auto second = engine_->Search(owner_, {"disorder"});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine_->cache_stats().hits, 1);
+  // The hit is served from the serialized cache entry; it must decode
+  // to exactly what the cold query computed.
+  ASSERT_EQ(second.value().size(), first.value().size());
+  for (size_t i = 0; i < first.value().size(); ++i) {
+    const KeywordAnswer& a = first.value()[i];
+    const KeywordAnswer& b = second.value()[i];
+    EXPECT_EQ(b.spec_id, a.spec_id);
+    EXPECT_EQ(b.prefix, a.prefix);
+    EXPECT_EQ(b.matched, a.matched);
+    EXPECT_EQ(b.view_size, a.view_size);
+    EXPECT_DOUBLE_EQ(b.score, a.score);
+  }
+}
+
+TEST_F(EngineTest, SpecAppendInvalidatesCachedAnswers) {
+  ASSERT_TRUE(engine_->Search(owner_, {"disorder"}).ok());
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  // A second copy of the spec (the in-memory repository does not
+  // enforce unique names): the same query must now return two answers,
+  // so the cached one is unusable.
+  ASSERT_TRUE(
+      repo_.AddSpecification(std::move(spec).value(), DiseasePolicy())
+          .ok());
+  auto after = engine_->Search(owner_, {"disorder"});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().size(), 2u);
+  EXPECT_EQ(engine_->cache_stats().hits, 0);
+}
+
+TEST_F(EngineTest, ExecutionAppendKeepsKeywordCacheHot) {
+  ASSERT_TRUE(engine_->Search(owner_, {"disorder"}).ok());
+  // Keyword answers depend only on the spec slice of the cut, so
+  // execution ingest must not cost cache hits (E12's workload).
+  auto exec = RunDiseaseExecution(repo_.entry(spec_id_).spec);
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(repo_.AddExecution(spec_id_, std::move(exec).value()).ok());
+  ASSERT_TRUE(engine_->Search(owner_, {"disorder"}).ok());
+  EXPECT_EQ(engine_->cache_stats().hits, 1);
+}
+
+TEST_F(EngineTest, CatchesUpToAppendsAfterConstruction) {
+  // Spec + execution appended after the engine pinned its view: every
+  // entry point must observe them (delta catch-up, not a rebuild).
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  int sid =
+      repo_.AddSpecification(std::move(spec).value(), DiseasePolicy())
+          .value();
+  auto exec = RunDiseaseExecution(repo_.entry(sid).spec);
+  ASSERT_TRUE(exec.ok());
+  ExecutionId eid =
+      repo_.AddExecution(sid, std::move(exec).value()).value();
+
+  auto found = engine_->ExecutionByOrdinal(sid, 0);
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  EXPECT_EQ(found.value()->id, eid);
+  EXPECT_FALSE(engine_->ExecutionByOrdinal(sid, 1).ok());
+  ASSERT_NE(engine_->SpecEntryAt(sid), nullptr);
+  EXPECT_EQ(engine_->SpecEntryAt(sid)->id, sid);
+  EXPECT_EQ(engine_->SpecEntryAt(99), nullptr);
+  auto lineage = engine_->Lineage(owner_, eid, DataItemId(19));
+  EXPECT_TRUE(lineage.ok()) << lineage.status().ToString();
+}
+
+TEST_F(EngineTest, IncrementalAnswersMatchFreshEngine) {
+  // Append more entries, query the long-lived engine (delta catch-up),
+  // and compare against an engine built from scratch on the final
+  // repository state.
+  for (int i = 0; i < 3; ++i) {
+    auto spec = BuildDiseaseSpec();
+    ASSERT_TRUE(spec.ok());
+    int sid =
+        repo_.AddSpecification(std::move(spec).value(), DiseasePolicy())
+            .value();
+    auto exec = RunDiseaseExecution(repo_.entry(sid).spec);
+    ASSERT_TRUE(exec.ok());
+    ASSERT_TRUE(repo_.AddExecution(sid, std::move(exec).value()).ok());
+  }
+  QueryEngine fresh(repo_, acl_);
+  for (const char* term : {"disorder", "database queries", "reformat"}) {
+    auto incremental = engine_->Search(owner_, {term});
+    auto baseline = fresh.Search(owner_, {term});
+    ASSERT_TRUE(incremental.ok());
+    ASSERT_TRUE(baseline.ok());
+    ASSERT_EQ(incremental.value().size(), baseline.value().size())
+        << term;
+    for (size_t i = 0; i < baseline.value().size(); ++i) {
+      EXPECT_EQ(incremental.value()[i].spec_id,
+                baseline.value()[i].spec_id);
+      EXPECT_DOUBLE_EQ(incremental.value()[i].score,
+                       baseline.value()[i].score);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace paw

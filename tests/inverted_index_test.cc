@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
+#include "src/common/strings.h"
 #include "src/repo/disease.h"
 #include "src/repo/workload.h"
 
@@ -97,6 +101,94 @@ TEST(InvertedIndexMultiSpecTest, DfCountsSpecsNotOccurrences) {
   // kw0 (the most popular Zipf keyword) should be in most specs.
   EXPECT_GE(index.DocumentFrequency("kw0"), 2);
   EXPECT_LE(index.DocumentFrequency("kw0"), 4);
+}
+
+// Every token of every module of every spec in the cut — the complete
+// vocabulary the index could contain (it indexes module names +
+// keywords, both via Tokenize).
+std::set<std::string> AllTokens(const RepositoryView& view) {
+  std::set<std::string> tokens;
+  for (int s = 0; s < view.num_specs(); ++s) {
+    for (const Module& m : view.entry(s).spec.modules()) {
+      for (const std::string& t : Tokenize(m.name)) tokens.insert(t);
+      for (const std::string& k : m.keywords) {
+        for (const std::string& t : Tokenize(k)) tokens.insert(t);
+      }
+    }
+  }
+  return tokens;
+}
+
+void ExpectIndexesEqual(const InvertedIndex& a, const InvertedIndex& b,
+                        const RepositoryView& view) {
+  EXPECT_EQ(a.num_docs(), b.num_docs());
+  EXPECT_EQ(a.num_tokens(), b.num_tokens());
+  EXPECT_EQ(a.num_postings(), b.num_postings());
+  for (const std::string& token : AllTokens(view)) {
+    EXPECT_EQ(a.DocumentFrequency(token), b.DocumentFrequency(token))
+        << "df mismatch for token " << token;
+    const auto& pa = a.Lookup(token);
+    const auto& pb = b.Lookup(token);
+    ASSERT_EQ(pa.size(), pb.size()) << "postings mismatch for " << token;
+    for (size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].spec_id, pb[i].spec_id);
+      EXPECT_EQ(pa[i].module.value(), pb[i].module.value());
+      EXPECT_EQ(pa[i].level, pb[i].level);
+      EXPECT_EQ(pa[i].tf, pb[i].tf);
+    }
+  }
+}
+
+// Incremental maintenance fuzz: interleave appends with ExtendTo calls
+// at random cut points and check the delta-maintained index is
+// identical to a from-scratch build at every step.
+TEST(InvertedIndexIncrementalTest, ExtendToMatchesFromScratchBuild) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Repository repo;
+    Rng rng(seed);
+    WorkloadParams params;
+    params.vocabulary = 8;  // force cross-spec token collisions
+    InvertedIndex incremental;
+    incremental.Build(repo.View());
+    int added = 0;
+    for (int round = 0; round < 6; ++round) {
+      const int batch = static_cast<int>(rng.Uniform(3));  // 0..2 specs
+      for (int i = 0; i < batch; ++i) {
+        auto spec = GenerateSpec(params, &rng,
+                                 "s" + std::to_string(seed) + "_" +
+                                     std::to_string(added++));
+        ASSERT_TRUE(spec.ok());
+        ASSERT_TRUE(repo.AddSpecification(std::move(spec).value()).ok());
+      }
+      RepositoryView view = repo.View();
+      incremental.ExtendTo(view);
+      InvertedIndex fresh;
+      fresh.Build(view);
+      ExpectIndexesEqual(incremental, fresh, view);
+    }
+    EXPECT_EQ(incremental.num_docs(), repo.num_specs());
+  }
+}
+
+// ExtendTo to an older cut (index already past it) is a no-op, not a
+// partial rewind.
+TEST(InvertedIndexIncrementalTest, ExtendToOlderCutIsNoop) {
+  Repository repo;
+  Rng rng(11);
+  auto s0 = GenerateSpec(WorkloadParams{}, &rng, "a");
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(repo.AddSpecification(std::move(s0).value()).ok());
+  RepositoryView old_view = repo.View();
+  auto s1 = GenerateSpec(WorkloadParams{}, &rng, "b");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(repo.AddSpecification(std::move(s1).value()).ok());
+
+  InvertedIndex index;
+  index.Build(repo.View());
+  const int64_t postings = index.num_postings();
+  index.ExtendTo(old_view);
+  EXPECT_EQ(index.num_docs(), 2);
+  EXPECT_EQ(index.num_postings(), postings);
 }
 
 }  // namespace

@@ -86,6 +86,80 @@ TEST(RepositoryTest, AddressStabilityAcrossInsertions) {
   EXPECT_EQ(before, &repo.entry(sid).spec);
 }
 
+TEST(RepositoryTest, MutationEpochAdvancesOnEveryAppend) {
+  Repository repo;
+  EXPECT_EQ(repo.mutation_epoch(), 0u);
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  int sid = repo.AddSpecification(std::move(spec).value()).value();
+  EXPECT_EQ(repo.mutation_epoch(), 1u);
+  auto exec = RunDiseaseExecution(repo.entry(sid).spec);
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(repo.AddExecution(sid, std::move(exec).value()).ok());
+  EXPECT_EQ(repo.mutation_epoch(), 2u);
+  // Rejected appends leave the epoch untouched.
+  PolicySet bad;
+  bad.module_reqs.push_back({"M404", 2, 1});
+  auto spec2 = BuildDiseaseSpec();
+  ASSERT_TRUE(spec2.ok());
+  ASSERT_FALSE(repo.AddSpecification(std::move(spec2).value(), bad).ok());
+  EXPECT_EQ(repo.mutation_epoch(), 2u);
+}
+
+TEST(RepositoryTest, ViewIsAStableCut) {
+  Repository repo;
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  int sid = repo.AddSpecification(std::move(spec).value()).value();
+  auto exec = RunDiseaseExecution(repo.entry(sid).spec);
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(repo.AddExecution(sid, std::move(exec).value()).ok());
+
+  RepositoryView view = repo.View();
+  EXPECT_EQ(view.epoch, repo.mutation_epoch());
+  EXPECT_EQ(view.num_specs(), 1);
+  EXPECT_EQ(view.num_executions(), 1);
+  EXPECT_EQ(view.ExecutionsOf(sid).size(), 1u);
+
+  // Later appends do not leak into the pinned cut.
+  auto exec2 = RunDiseaseExecution(repo.entry(sid).spec);
+  ASSERT_TRUE(exec2.ok());
+  ASSERT_TRUE(repo.AddExecution(sid, std::move(exec2).value()).ok());
+  EXPECT_EQ(view.num_executions(), 1);
+  EXPECT_LT(view.epoch, repo.mutation_epoch());
+}
+
+TEST(RepositoryTest, ExtendViewCatchesUpIncrementally) {
+  Repository repo;
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  int sid = repo.AddSpecification(std::move(spec).value()).value();
+  RepositoryView view = repo.View();
+  const SpecEntry* pinned = view.specs[0];
+
+  Rng rng(3);
+  for (int i = 0; i < 4; ++i) {
+    auto s = GenerateSpec(WorkloadParams{}, &rng, "s" + std::to_string(i));
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(repo.AddSpecification(std::move(s).value()).ok());
+    auto e = RunDiseaseExecution(repo.entry(sid).spec);
+    ASSERT_TRUE(e.ok());
+    ASSERT_TRUE(repo.AddExecution(sid, std::move(e).value()).ok());
+  }
+  repo.ExtendView(&view);
+  EXPECT_EQ(view.epoch, repo.mutation_epoch());
+  EXPECT_EQ(view.num_specs(), repo.num_specs());
+  EXPECT_EQ(view.num_executions(), repo.num_executions());
+  // Extension appends; already-captured pointers are untouched.
+  EXPECT_EQ(view.specs[0], pinned);
+  EXPECT_EQ(view.ExecutionsOf(sid).size(), 4u);
+
+  // Extending a current view is a no-op.
+  const uint64_t epoch = view.epoch;
+  repo.ExtendView(&view);
+  EXPECT_EQ(view.epoch, epoch);
+}
+
 TEST(RepositoryTest, ApproxBytesGrows) {
   Repository repo;
   int64_t empty = repo.ApproxBytes();

@@ -67,6 +67,44 @@ TEST(ResultCacheTest, CapacityOneStillWorks) {
   EXPECT_TRUE(cache.Get("g", "b").has_value());
 }
 
+TEST(ResultCacheTest, EpochMatchServesHit) {
+  ResultCache cache(4);
+  cache.Put("g", "q", "answer", /*epoch=*/7);
+  auto hit = cache.Get("g", "q", /*epoch=*/7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "answer");
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(ResultCacheTest, EpochMismatchIsAMissAndEvicts) {
+  ResultCache cache(4);
+  cache.Put("g", "q", "stale", /*epoch=*/7);
+  EXPECT_FALSE(cache.Get("g", "q", /*epoch=*/8).has_value());
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 1);
+  // The stale entry is gone, not just skipped: a later lookup at the
+  // original epoch misses too.
+  EXPECT_FALSE(cache.Get("g", "q", /*epoch=*/7).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, OverwriteRestampsEpoch) {
+  ResultCache cache(4);
+  cache.Put("g", "q", "old", /*epoch=*/1);
+  cache.Put("g", "q", "new", /*epoch=*/2);
+  EXPECT_FALSE(cache.Get("g", "q", /*epoch=*/1).has_value());
+  cache.Put("g", "q", "new", /*epoch=*/2);
+  auto hit = cache.Get("g", "q", /*epoch=*/2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "new");
+}
+
+TEST(ResultCacheTest, DefaultEpochZeroKeepsLegacyBehavior) {
+  ResultCache cache(4);
+  cache.Put("g", "q", "answer");
+  EXPECT_TRUE(cache.Get("g", "q").has_value());
+}
+
 TEST(ResultCacheTest, HitRate) {
   ResultCache cache(4);
   cache.Put("g", "a", "1");

@@ -324,6 +324,130 @@ TEST(ServerTest, ConcurrentPipelinedClientsIngestEverything) {
   EXPECT_EQ(reopened.value().num_executions(), kClients * kPerClient);
 }
 
+// The MVCC read-path acceptance test: queries run *while* pipelined
+// ingest is in flight, every query succeeds, and the exclusive store
+// lease is never taken during the mixed phase (only ADD_SPEC and
+// COMPACT take it; both happen before the brackets). Run under TSan by
+// tools/check.sh, this is also the data-race check for concurrent
+// engine catch-up against repository appends.
+TEST(ServerTest, QueriesRunConcurrentlyWithIngestOnSharedLease) {
+  Fixture f = Fixture::Create("mvcc_mixed", TestOptions());
+  f.UploadSpec();
+  const std::string name = f.spec.name();
+
+  // Seed one acked execution so ordinal 0 and its lineage exist for
+  // every query issued below, whatever the interleaving.
+  {
+    auto seed = f.Client("root");
+    ASSERT_TRUE(seed.ok());
+    auto ack = seed.value().AddExecution(name, DiseaseExecText(f.spec, 0));
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  }
+
+  constexpr int kWriters = 2;
+  constexpr int kPerWriter = 40;
+  constexpr int kQueryThreads = 2;
+  constexpr int kQueriesPerThread = 45;
+  constexpr int kWindow = 16;
+
+  std::vector<std::vector<std::string>> texts(kWriters);
+  for (int c = 0; c < kWriters; ++c) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      texts[c].push_back(DiseaseExecText(f.spec, 1 + c * kPerWriter + i));
+    }
+  }
+
+  MetricsSnapshot pre;
+  {
+    auto client = f.Client("root");
+    ASSERT_TRUE(client.ok());
+    auto resp = client.value().Metrics();
+    ASSERT_TRUE(resp.ok());
+    pre = std::move(resp.value().snapshot);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kWriters; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = f.Client("root");
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      std::vector<PawTicket> in_flight;
+      for (const std::string& text : texts[c]) {
+        auto ticket = client.value().SendAddExecution(name, text);
+        if (!ticket.ok()) {
+          ++failures;
+          return;
+        }
+        in_flight.push_back(ticket.value());
+        if (in_flight.size() >= kWindow) {
+          if (!client.value().AwaitAddExecution(in_flight.front()).ok()) {
+            ++failures;
+            return;
+          }
+          in_flight.erase(in_flight.begin());
+        }
+      }
+      for (PawTicket ticket : in_flight) {
+        if (!client.value().AwaitAddExecution(ticket).ok()) ++failures;
+      }
+    });
+  }
+  for (int q = 0; q < kQueryThreads; ++q) {
+    threads.emplace_back([&, q] {
+      auto client = f.Client(q % 2 == 0 ? "root" : "bob");
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        bool ok = false;
+        switch (i % 3) {
+          case 0:
+            ok = client.value().Search({"disorder"}).ok();
+            break;
+          case 1:
+            ok = client.value().GetExecution(name, 0).ok();
+            break;
+          default:
+            ok = client.value().Lineage(name, 0, 19).ok();
+            break;
+        }
+        if (!ok) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto post_client = f.Client("root");
+  ASSERT_TRUE(post_client.ok());
+  auto post_resp = post_client.value().Metrics();
+  ASSERT_TRUE(post_resp.ok());
+  const MetricsSnapshot& post = post_resp.value().snapshot;
+
+  // Queries and appends both ride the shared lease; nothing in the
+  // mixed phase may have taken the exclusive (writer) lease.
+  EXPECT_EQ(post.SumCounters("paw_server_lease_exclusive_total"),
+            pre.SumCounters("paw_server_lease_exclusive_total"));
+  EXPECT_GT(post.SumCounters("paw_server_lease_shared_total"),
+            pre.SumCounters("paw_server_lease_shared_total"));
+  // The repeated keyword search stays cached across execution ingest.
+  EXPECT_GT(post.SumCounters("paw_query_cache_hits_total"),
+            pre.SumCounters("paw_query_cache_hits_total"));
+
+  // Everything acked landed.
+  auto status = post_client.value().GetStatus();
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value().executions, 1 + kWriters * kPerWriter);
+}
+
 TEST(ServerTest, CompactRequiresAdminLevel) {
   Fixture f = Fixture::Create("compact", TestOptions());
   f.UploadSpec();

@@ -3,9 +3,10 @@
 # test of the demo pipeline and both store layouts (single + sharded,
 # including kill-and-reopen crash drills — one against the sharded
 # WAL tail, one against background compaction mid-flight), a pawd
-# server drill (socket ingest, per-principal query filtering, a
+# server drill (socket ingest, per-principal query filtering, queries
+# concurrent with a pipelined ingest on the MVCC read path, a
 # METRICS-over-the-wire check, kill -9 durability, lock-file liveness),
-# bench smoke runs (store E10 + server E11, the latter gated <= 5%
+# bench smoke runs (store E10 + server E11/E12, the latter gated <= 5%
 # instrumentation overhead against a PAW_NO_METRICS baseline build),
 # an ASan+UBSan build of the store/server test binaries, and a TSan
 # build of the concurrency suites (group-commit WAL, writer queues,
@@ -121,12 +122,27 @@ awk -v v="$FSYNC_P99" 'BEGIN { exit !(v > 0) }'
   > "$SMOKE_DIR/metrics_raw.out"
 grep -q "^# TYPE paw_server_requests_total counter" \
   "$SMOKE_DIR/metrics_raw.out"
+# Mixed read/write drill (MVCC read path): queries run while a
+# pipelined ingest is in flight and must succeed with the same
+# per-principal filtering — queries ride the shared lease and serve
+# from pinned engine views instead of draining the writer queues.
+"$PAWCTL" put "localhost:$PORT" "$SMOKE_DIR/demo.paw" runs=300 \
+  pipeline=16 user=admin > "$SMOKE_DIR/put_mid.out" &
+PUT_PID=$!
+"$PAWCTL" query "localhost:$PORT" omim user=admin \
+  | tee "$SMOKE_DIR/q_mid_admin.out"
+grep -q "disease susceptibility" "$SMOKE_DIR/q_mid_admin.out"
+"$PAWCTL" query "localhost:$PORT" omim user=alice \
+  > "$SMOKE_DIR/q_mid_alice.out"
+grep -q "no results" "$SMOKE_DIR/q_mid_alice.out"
+wait "$PUT_PID"
+grep -q "acked 300 execution(s)" "$SMOKE_DIR/put_mid.out"
 kill -9 "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 # The kernel released the flock with the process; recovery sees every
-# acked write (put completed before the kill, so all 40 must be there).
+# acked write (both puts completed before the kill: 40 + 300).
 "$PAWCTL" open "$SMOKE_DIR/srv" threads=4 | tee "$SMOKE_DIR/srv_open.out"
-grep -q "executions:  40" "$SMOKE_DIR/srv_open.out"
+grep -q "executions:  340" "$SMOKE_DIR/srv_open.out"
 
 echo "== pawctl migrate smoke =="
 # A v1 (text-payload) store must open under the v2 build and migrate
@@ -165,6 +181,12 @@ if [[ -x "$BUILD_DIR/bench_server" ]]; then
   grep -q '"mode":"pipelined"' "$SMOKE_DIR/BENCH_server.json"
   # Acceptance: pipelined >= 3x sync at 8 connections in smoke mode.
   grep -q ">= 3x: yes" "$SMOKE_DIR/bench_server.out"
+  # E12 (mixed read/write) ran and its hard acceptance held: query
+  # phases never took the exclusive store lease.
+  grep -q '"experiment":"e12"' "$SMOKE_DIR/BENCH_server.json"
+  grep -q "^e12 query p99 under ingest:" "$SMOKE_DIR/bench_server.out"
+  grep -q "queries never took the writer lease: yes" \
+    "$SMOKE_DIR/bench_server.out"
   # Overhead gate: the same bench from a PAW_NO_METRICS build (update
   # paths compiled out) measures what the instrumentation costs; the
   # instrumented build must stay within 5% of it. Shared CI machines
