@@ -23,6 +23,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -31,9 +33,12 @@
 
 #include "src/client/paw_client.h"
 #include "src/common/metrics.h"
+#include "src/common/random.h"
 #include "src/common/timer.h"
+#include "src/privacy/policy_text.h"
 #include "src/provenance/executor.h"
 #include "src/provenance/serialize.h"
+#include "src/repo/workload.h"
 #include "src/workflow/builder.h"
 #include "src/server/server.h"
 #include "src/store/sharded_repository.h"
@@ -397,15 +402,462 @@ class IngestLoad {
   std::atomic<long> ops_{0};
 };
 
+// ---------------------------------------------------------------------
+// E13: multi-tenant capacity model. Hundreds of principals with
+// distinct levels and cache groups, zipfian spec popularity, and a
+// YCSB-style mixed op ratio (40% LINEAGE / 25% STRUCTURAL / 15%
+// KEYWORD_SEARCH / 15% GET_EXECUTION / 5% ADD_EXECUTION) driven
+// through pawd at bench scale. Each cell sweeps the popularity skew;
+// the whole table runs twice, privacy-view cache off then on, so
+// BENCH_server.json records the cache win (and hit rates) per cell.
+// Tenant specs come from the hierarchical workload generator with
+// depth-3 expansion and structural privacy requirements, so every
+// uncached lineage/structural answer pays real zoom-out work — the
+// per-query cost the memoized view layer is built to remove.
+
+struct E13Cell {
+  double qps = 0;
+  double lineage_p50_us = 0, lineage_p99_us = 0;
+  double structural_p50_us = 0, structural_p99_us = 0;
+  double search_p50_us = 0, getexec_p50_us = 0;
+  double ops = 0;
+  long writes = 0;
+};
+
+struct E13Tenants {
+  std::vector<std::string> spec_names;
+  std::vector<std::vector<std::string>> exec_texts;  // per spec
+  std::vector<std::string> keywords;                 // query vocabulary
+  std::vector<int> exec_counts;                      // per spec, at ingest end
+  int num_principals = 0;
+  int hot_ordinals = 8;  // lineage/get target the latest N runs
+};
+
+/// Untimed steady-state warmup, run once per server phase: one
+/// representative principal per popular (group, level) combination
+/// touches every spec's structural view, hot lineage cones, and
+/// keyword vocabulary head. Both phases pay the same pass, so the
+/// timed cells compare steady states — engine catch-up, the keyword
+/// result cache, and (when enabled) the memoized privacy views are
+/// warm rather than billed to whichever cell happens to run first.
+void WarmE13(int port, const E13Tenants& tenants) {
+  for (int who = 0; who < std::min(tenants.num_principals, 8); ++who) {
+    auto client = PawClient::Connect("127.0.0.1", port);
+    if (!client.ok() ||
+        !client.value().Auth("t" + std::to_string(who)).ok()) {
+      std::fprintf(stderr, "e13 warmup connect failed\n");
+      std::exit(1);
+    }
+    for (size_t s = 0; s < tenants.spec_names.size(); ++s) {
+      const std::string& spec = tenants.spec_names[s];
+      wire::StructuralRequest req;
+      req.spec_name = spec;
+      req.var_terms = {tenants.keywords[0], tenants.keywords[1]};
+      req.edges = {{0, 1, true}};
+      (void)client.value().Structural(req);
+      const int hot =
+          std::min(tenants.exec_counts[s], tenants.hot_ordinals);
+      for (int o = 0; o < std::min(hot, 4); ++o) {
+        (void)client.value().Lineage(spec, o, 0);
+        (void)client.value().GetExecution(spec, o);
+      }
+    }
+    for (int k = 0; k < 4; ++k) {
+      (void)client.value().Search({tenants.keywords[static_cast<size_t>(k)]});
+    }
+  }
+}
+
+/// One mixed-op client cell: `connections` sessions, each AUTHed as a
+/// zipf-popular principal, issuing `ops_per_conn` zipf-routed ops.
+E13Cell RunE13Cell(int port, const E13Tenants& tenants, double skew,
+                   int connections, int ops_per_conn, uint64_t seed) {
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> lineage_lat(
+      static_cast<size_t>(connections)),
+      structural_lat(static_cast<size_t>(connections)),
+      search_lat(static_cast<size_t>(connections)),
+      getexec_lat(static_cast<size_t>(connections));
+  std::atomic<int> failures{0};
+  std::atomic<long> writes{0};
+  std::atomic<long> total_ops{0};
+  Timer timer;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
+      // Session principal: zipf-popular, so at high skew most traffic
+      // shares few cache groups — the many-users-one-view case.
+      const size_t who = rng.Zipf(
+          static_cast<size_t>(tenants.num_principals), skew);
+      auto client = PawClient::Connect("127.0.0.1", port);
+      if (!client.ok() ||
+          !client.value().Auth("t" + std::to_string(who)).ok()) {
+        ++failures;
+        return;
+      }
+      const size_t num_specs = tenants.spec_names.size();
+      long my_writes = 0, my_ops = 0;
+      Timer clock;
+      for (int i = 0; i < ops_per_conn; ++i) {
+        size_t s = rng.Zipf(num_specs, skew);
+        if (tenants.exec_counts[s] == 0) s = 0;
+        const std::string& spec = tenants.spec_names[s];
+        const double kind = rng.UniformDouble();
+        const double start = clock.ElapsedMicros();
+        bool ok = false;
+        std::vector<double>* bucket = nullptr;
+        if (kind < 0.40) {
+          // Ordinal popularity is zipf over the spec's hot window
+          // (recent-hot shape: provenance queries concentrate on the
+          // latest runs).
+          const int ordinal = static_cast<int>(rng.Zipf(
+              static_cast<size_t>(std::min(tenants.exec_counts[s],
+                                           tenants.hot_ordinals)),
+              skew));
+          ok = client.value().Lineage(spec, ordinal, 0).ok();
+          bucket = &lineage_lat[static_cast<size_t>(c)];
+        } else if (kind < 0.65) {
+          wire::StructuralRequest req;
+          req.spec_name = spec;
+          req.var_terms = {
+              tenants.keywords[rng.Zipf(tenants.keywords.size(), skew)],
+              tenants.keywords[rng.Zipf(tenants.keywords.size(), skew)]};
+          req.edges = {{0, 1, true}};
+          ok = client.value().Structural(req).ok();
+          bucket = &structural_lat[static_cast<size_t>(c)];
+        } else if (kind < 0.80) {
+          ok = client.value()
+                   .Search({tenants.keywords[rng.Zipf(
+                       tenants.keywords.size(), skew)]})
+                   .ok();
+          bucket = &search_lat[static_cast<size_t>(c)];
+        } else if (kind < 0.95) {
+          const int ordinal = static_cast<int>(rng.Zipf(
+              static_cast<size_t>(std::min(tenants.exec_counts[s],
+                                           tenants.hot_ordinals)),
+              skew));
+          ok = client.value().GetExecution(spec, ordinal).ok();
+          bucket = &getexec_lat[static_cast<size_t>(c)];
+        } else {
+          const auto& pool = tenants.exec_texts[s];
+          auto ticket = client.value().SendAddExecution(
+              spec, pool[rng.Uniform(pool.size())]);
+          ok = ticket.ok() &&
+               client.value().AwaitAddExecution(ticket.value()).ok();
+          if (ok) ++my_writes;
+        }
+        if (!ok) {
+          ++failures;
+          return;
+        }
+        ++my_ops;
+        if (bucket != nullptr) {
+          bucket->push_back(clock.ElapsedMicros() - start);
+        }
+      }
+      writes += my_writes;
+      total_ops += my_ops;
+    });
+  }
+  for (auto& t : threads) t.join();
+  E13Cell cell;
+  cell.ops = static_cast<double>(total_ops.load());
+  cell.qps = cell.ops / (timer.ElapsedMicros() / 1e6);
+  cell.writes = writes.load();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "e13 cell failed (%d client errors)\n",
+                 failures.load());
+    std::exit(1);
+  }
+  auto merge = [connections](std::vector<std::vector<double>>& per_conn) {
+    std::vector<double> all;
+    for (int c = 0; c < connections; ++c) {
+      all.insert(all.end(), per_conn[static_cast<size_t>(c)].begin(),
+                 per_conn[static_cast<size_t>(c)].end());
+    }
+    return all;
+  };
+  std::vector<double> lin = merge(lineage_lat);
+  std::vector<double> str = merge(structural_lat);
+  std::vector<double> srch = merge(search_lat);
+  std::vector<double> gete = merge(getexec_lat);
+  cell.lineage_p50_us = Percentile(&lin, 0.50);
+  cell.lineage_p99_us = Percentile(&lin, 0.99);
+  cell.structural_p50_us = Percentile(&str, 0.50);
+  cell.structural_p99_us = Percentile(&str, 0.99);
+  cell.search_p50_us = Percentile(&srch, 0.50);
+  cell.getexec_p50_us = Percentile(&gete, 0.50);
+  return cell;
+}
+
+int RunE13(bool smoke, bool no_view_cache, BenchJson* json) {
+  const int num_specs = smoke ? 6 : 24;
+  const int num_groups = smoke ? 4 : 12;
+  const int num_principals = smoke ? 24 : 240;
+  const int records = smoke ? 600 : 100000;
+  const int query_conns = smoke ? 4 : 16;
+  const int ops_per_conn = smoke ? 120 : 600;
+  const int pipeline_window = 64;
+  const double ingest_skew = 1.0;
+  const std::vector<double> skews = {0.0, 1.1};
+
+  std::printf("=== E13: multi-tenant capacity model (%d principals, "
+              "%d specs, %d records) ===\n",
+              num_principals, num_specs, records);
+
+  // ---- Tenants: hierarchical specs with privacy policies ----
+  // Deep specs (depth 4, ~half the modules composite) make the
+  // uncached path honest: AccessPrefix + ExpandPrefix and
+  // ZoomOutExecution walk a multi-level hierarchy, so a fresh
+  // structural/lineage answer costs real view computation — the work
+  // the memo layer exists to amortize across principals.
+  Rng rng(20260808);
+  WorkloadParams params;
+  params.depth = 4;
+  params.modules_per_workflow = 6;
+  params.composite_prob = 0.55;
+  params.vocabulary = 40;
+  params.max_level = 3;
+  std::vector<Specification> specs;
+  std::vector<std::string> policy_texts;
+  E13Tenants tenants;
+  tenants.num_principals = num_principals;
+  tenants.hot_ordinals = smoke ? 8 : 32;
+  for (int k = 0; k < params.vocabulary; ++k) {
+    tenants.keywords.push_back("kw" + std::to_string(k));
+  }
+  for (int s = 0; s < num_specs; ++s) {
+    auto spec = GenerateSpec(params, &rng,
+                             "capacity tenant " + std::to_string(s));
+    if (!spec.ok()) {
+      std::fprintf(stderr, "e13 spec: %s\n",
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    // Distinct per-tenant policy: everything defaults to level-1 data
+    // (level-0 principals see masked values), plus structural
+    // requirements between modules of one non-root workflow — pairs a
+    // composite collapse can always hide, so zoom-out succeeds and
+    // does real work for principals below level 2.
+    PolicySet policy;
+    policy.data.default_level = 1 + s % 2;
+    std::map<int32_t, std::vector<const Module*>> by_workflow;
+    for (const Module& m : spec.value().modules()) {
+      if (m.kind == ModuleKind::kAtomic &&
+          m.workflow != spec.value().root()) {
+        by_workflow[m.workflow.value()].push_back(&m);
+      }
+    }
+    for (const auto& [wf, mods] : by_workflow) {
+      if (mods.size() < 2) continue;
+      StructuralPrivacyRequirement req;
+      req.src_code = mods.front()->code;
+      req.dst_code = mods.back()->code;
+      req.required_level = 2;
+      policy.structural_reqs.push_back(req);
+      if (policy.structural_reqs.size() >= 2) break;
+    }
+    policy_texts.push_back(SerializePolicy(policy));
+    tenants.spec_names.push_back(spec.value().name());
+    specs.push_back(std::move(spec).value());
+  }
+
+  // ---- Principals: level and group vary independently ----
+  // Popularity (zipf over the index) decreases with i; levels are
+  // assigned so the *popular* principals are the high-level power
+  // users whose expanded views are large — the views worth memoizing.
+  // Groups cycle independently of level.
+  std::vector<ServerPrincipal> principals = {{"bench", 100, ""}};
+  for (int i = 0; i < num_principals; ++i) {
+    principals.push_back({"t" + std::to_string(i),
+                          3 - (i / num_groups) % 4,
+                          "g" + std::to_string(i % num_groups)});
+  }
+
+  const std::string dir = FreshDir("e13");
+  {
+    auto init = ShardedRepository::Init(dir, 8);
+    if (!init.ok()) {
+      std::fprintf(stderr, "e13 init: %s\n",
+                   init.status().ToString().c_str());
+      return 1;
+    }
+  }
+  auto start_server = [&](bool cache_on)
+      -> std::unique_ptr<PawServer> {
+    ServerOptions options;
+    options.store.sync_each_append = true;
+    options.store.writer_threads = 8;
+    options.worker_threads = 12;
+    options.principals = principals;
+    options.enable_view_cache = cache_on;
+    options.slow_query_ms = -1;  // cold deep-spec queries are expected
+    auto server = PawServer::Start(dir, std::move(options));
+    if (!server.ok()) {
+      std::fprintf(stderr, "e13 start: %s\n",
+                   server.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(server.value());
+  };
+
+  // Phase 1 server runs with the cache off; it also absorbs the bulk
+  // ingest so both phases query the same store.
+  std::unique_ptr<PawServer> server = start_server(false);
+  {
+    auto client = PawClient::Connect("127.0.0.1", server->port());
+    if (!client.ok() || !client.value().Auth("bench").ok()) return 1;
+    for (int s = 0; s < num_specs; ++s) {
+      auto added =
+          client.value().AddSpec(Serialize(specs[static_cast<size_t>(s)]),
+                                 policy_texts[static_cast<size_t>(s)]);
+      if (!added.ok()) {
+        std::fprintf(stderr, "e13 add spec: %s\n",
+                     added.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::string> pool;
+      for (int i = 0; i < 8; ++i) {
+        auto exec =
+            GenerateExecution(specs[static_cast<size_t>(s)], &rng);
+        if (!exec.ok()) {
+          std::fprintf(stderr, "e13 exec: %s\n",
+                       exec.status().ToString().c_str());
+          return 1;
+        }
+        pool.push_back(SerializeExecution(exec.value()));
+      }
+      tenants.exec_texts.push_back(std::move(pool));
+    }
+    // Zipf-popular bulk ingest, pipelined through one connection.
+    tenants.exec_counts.assign(static_cast<size_t>(num_specs), 0);
+    std::vector<PawTicket> in_flight;
+    Timer ingest_timer;
+    for (int r = 0; r < records; ++r) {
+      const size_t s =
+          rng.Zipf(static_cast<size_t>(num_specs), ingest_skew);
+      const auto& pool = tenants.exec_texts[s];
+      auto ticket = client.value().SendAddExecution(
+          tenants.spec_names[s], pool[rng.Uniform(pool.size())]);
+      if (!ticket.ok()) {
+        std::fprintf(stderr, "e13 ingest send failed\n");
+        return 1;
+      }
+      ++tenants.exec_counts[s];
+      in_flight.push_back(ticket.value());
+      if (in_flight.size() >= static_cast<size_t>(pipeline_window)) {
+        if (!client.value().AwaitAddExecution(in_flight.front()).ok()) {
+          std::fprintf(stderr, "e13 ingest ack failed\n");
+          return 1;
+        }
+        in_flight.erase(in_flight.begin());
+      }
+    }
+    for (PawTicket t : in_flight) {
+      if (!client.value().AwaitAddExecution(t).ok()) return 1;
+    }
+    std::printf("e13 ingest: %d records in %.1fs\n", records,
+                ingest_timer.ElapsedMicros() / 1e6);
+  }
+
+  // ---- The capacity table: skew sweep x cache off/on ----
+  std::map<std::pair<int, double>, E13Cell> results;  // (cache_on, skew)
+  for (const bool cache_on : no_view_cache
+                                 ? std::vector<bool>{false}
+                                 : std::vector<bool>{false, true}) {
+    if (cache_on) {
+      // Same store, fresh server with memoization enabled. Engines are
+      // rebuilt (new cache namespaces), so the phase starts cold.
+      server->Stop();
+      server.reset();
+      server = start_server(true);
+    }
+    WarmE13(server->port(), tenants);
+    for (const double skew : skews) {
+      MetricsSnapshot pre = FetchMetrics(server->port());
+      E13Cell cell =
+          RunE13Cell(server->port(), tenants, skew, query_conns,
+                     ops_per_conn, /*seed=*/4242 + (cache_on ? 1 : 0));
+      MetricsSnapshot post = FetchMetrics(server->port());
+      const uint64_t view_hits = CounterDelta(
+          pre, post, "paw_privacy_view_cache_hits_total");
+      const uint64_t view_misses = CounterDelta(
+          pre, post, "paw_privacy_view_cache_misses_total");
+      const double hit_rate =
+          view_hits + view_misses > 0
+              ? static_cast<double>(view_hits) /
+                    static_cast<double>(view_hits + view_misses)
+              : 0.0;
+      results[{cache_on ? 1 : 0, skew}] = cell;
+      std::printf(
+          "e13 cache=%-3s skew=%.2f  %7.0f q/s  lineage p50 %7.0f us  "
+          "structural p50 %7.0f us  view-cache hit rate %.2f "
+          "(%llu/%llu)\n",
+          cache_on ? "on" : "off", skew, cell.qps, cell.lineage_p50_us,
+          cell.structural_p50_us, hit_rate,
+          static_cast<unsigned long long>(view_hits),
+          static_cast<unsigned long long>(view_hits + view_misses));
+      json->Add(
+          BenchJson::Row("e13")
+              .Str("view_cache", cache_on ? "on" : "off")
+              .Num("skew", skew)
+              .Num("principals", num_principals)
+              .Num("specs", num_specs)
+              .Num("records", records)
+              .Num("connections", query_conns)
+              .Num("ops", cell.ops)
+              .Num("writes", static_cast<double>(cell.writes))
+              .Num("qps", cell.qps)
+              .Num("lineage_p50_us", cell.lineage_p50_us)
+              .Num("lineage_p99_us", cell.lineage_p99_us)
+              .Num("structural_p50_us", cell.structural_p50_us)
+              .Num("structural_p99_us", cell.structural_p99_us)
+              .Num("search_p50_us", cell.search_p50_us)
+              .Num("getexec_p50_us", cell.getexec_p50_us)
+              .Num("d_view_cache_hits", static_cast<double>(view_hits))
+              .Num("d_view_cache_misses",
+                   static_cast<double>(view_misses))
+              .Num("view_cache_hit_rate", hit_rate));
+    }
+  }
+
+  int rc = 0;
+  if (!no_view_cache) {
+    const E13Cell& off = results[{0, skews.back()}];
+    const E13Cell& on = results[{1, skews.back()}];
+    const double lineage_speedup =
+        on.lineage_p50_us > 0 ? off.lineage_p50_us / on.lineage_p50_us
+                              : 0.0;
+    const double structural_speedup =
+        on.structural_p50_us > 0
+            ? off.structural_p50_us / on.structural_p50_us
+            : 0.0;
+    std::printf(
+        "e13 view-cache p50 speedup at skew %.2f: lineage %.2fx, "
+        "structural %.2fx %s\n",
+        skews.back(), lineage_speedup, structural_speedup,
+        lineage_speedup >= 3.0 && structural_speedup >= 3.0
+            ? "(>= 3x: yes)"
+            : "(< 3x)");
+  }
+
+  server->Stop();
+  server.reset();
+  fs::remove_all(dir);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool gate_only = false;
+  bool no_view_cache = false;
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--gate-only") == 0) gate_only = true;
+    if (std::strcmp(argv[i], "--no-view-cache") == 0) no_view_cache = true;
     if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
       baseline_path = argv[i] + 11;
     }
@@ -675,15 +1127,28 @@ int main(int argc, char** argv) {
 
     const double ratio =
         idle.p99_us > 0 ? busy.p99_us / idle.p99_us : 0.0;
-    // Informational target: on a multi-core host the pinned-view read
-    // path keeps this near 1x; a 1-core CI box adds genuine CPU
-    // contention (writers and queries share the core), so the gate is
-    // advisory rather than a hard failure.
-    std::printf(
-        "e12 query p99 under ingest: %.0f us vs idle %.0f us = %.2fx "
-        "%s\n",
-        busy.p99_us, idle.p99_us, ratio,
-        ratio <= 2.0 ? "(<= 2x: yes)" : "(> 2x: cpu contention)");
+    // The "p99 within ~2x of idle" target only means something when
+    // queries and writers can actually run in parallel. On a 1-core
+    // host they time-share the core, so under-ingest p99 is pure CPU
+    // contention and the check would cry wolf — skip it with a reason.
+    // On multi-core the pinned-view read path keeps the ratio near 1x,
+    // so there the check is a hard gate.
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores <= 1) {
+      std::printf(
+          "e12 query p99 under ingest: %.0f us vs idle %.0f us = %.2fx "
+          "(2x check skipped: hardware_concurrency()=%u — writers and "
+          "queries share one core, p99 is pure cpu contention)\n",
+          busy.p99_us, idle.p99_us, ratio, cores);
+    } else {
+      const bool within = ratio <= 2.0;
+      std::printf(
+          "e12 query p99 under ingest: %.0f us vs idle %.0f us = %.2fx "
+          "%s\n",
+          busy.p99_us, idle.p99_us, ratio,
+          within ? "(<= 2x: yes)" : "(> 2x: FAIL on multi-core host)");
+      if (!within) gate_rc = 1;
+    }
 
     const uint64_t exclusive_delta = CounterDelta(
         pre_idle, post_busy, "paw_server_lease_exclusive_total");
@@ -694,6 +1159,13 @@ int main(int argc, char** argv) {
                                "yes)"
                              : "(QUERY TOOK EXCLUSIVE LEASE)");
     if (exclusive_delta != 0) gate_rc = 1;
+  }
+
+  // E13 runs against its own store + server (the E11 server above
+  // stays idle meanwhile). `--no-view-cache` restricts it to the
+  // memoization-off phase — the baseline half of the comparison.
+  if (!gate_only) {
+    if (RunE13(smoke, no_view_cache, &json) != 0) gate_rc = 1;
   }
 
   const char* json_path = std::getenv("BENCH_JSON");

@@ -1,0 +1,179 @@
+#ifndef PAW_INDEX_SHARDED_LRU_H_
+#define PAW_INDEX_SHARDED_LRU_H_
+
+/// \file sharded_lru.h
+/// \brief A generic sharded LRU cache with a byte budget.
+///
+/// The process-wide caches (privacy views, and anything that follows)
+/// need a container that many query threads can hit concurrently without
+/// serializing on one lock, and that bounds *memory*, not entry count —
+/// cached views vary from a few hundred bytes to megabytes. Keys hash to
+/// one of `num_shards` independent shards, each a classic
+/// list-plus-hash-map LRU guarded by its own mutex; the byte budget is
+/// split evenly across shards and enforced by evicting from each shard's
+/// cold end on insert.
+///
+/// Values must be cheap to copy (the intended use stores
+/// `std::shared_ptr<const T>`). `Get` returns a copy, so a returned value
+/// stays alive even if the entry is evicted a nanosecond later.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace paw {
+
+template <typename Value>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    size_t entries = 0;
+    size_t bytes = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit ShardedLruCache(size_t byte_budget, size_t num_shards = 16)
+      : shards_(num_shards == 0 ? 1 : num_shards) {
+    set_byte_budget(byte_budget);
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// \brief Looks up `key`, promoting it to most-recently-used.
+  std::optional<Value> Get(const std::string& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+    return it->second->value;
+  }
+
+  /// \brief Inserts or replaces `key`; evicts cold entries while the
+  /// shard is over its share of the byte budget. An entry larger than a
+  /// whole shard budget is still admitted (alone) so oversized views are
+  /// cached rather than thrashing on recompute.
+  void Put(const std::string& key, Value value, size_t bytes) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      s.bytes -= it->second->bytes;
+      s.lru.erase(it->second);
+      s.map.erase(it);
+    }
+    s.lru.push_front(Node{key, std::move(value), bytes});
+    s.map[key] = s.lru.begin();
+    s.bytes += bytes;
+    const size_t budget = per_shard_budget_.load(std::memory_order_relaxed);
+    while (s.bytes > budget && s.lru.size() > 1) {
+      const Node& cold = s.lru.back();
+      s.bytes -= cold.bytes;
+      s.map.erase(cold.key);
+      s.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// \brief Drops `key` if present.
+  bool Erase(const std::string& key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    s.bytes -= it->second->bytes;
+    s.lru.erase(it->second);
+    s.map.erase(it);
+    return true;
+  }
+
+  /// \brief Drops every entry for which `pred(key, value)` holds;
+  /// returns how many were dropped. O(entries) — meant for rare,
+  /// targeted invalidation, not the hot path.
+  template <typename Pred>
+  size_t EraseIf(Pred pred) {
+    size_t dropped = 0;
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (auto it = s.lru.begin(); it != s.lru.end();) {
+        if (pred(it->key, it->value)) {
+          s.bytes -= it->bytes;
+          s.map.erase(it->key);
+          it = s.lru.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return dropped;
+  }
+
+  void Clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      s.lru.clear();
+      s.map.clear();
+      s.bytes = 0;
+    }
+  }
+
+  /// \brief Adjusts the byte budget; enforced lazily on the next inserts.
+  void set_byte_budget(size_t byte_budget) {
+    byte_budget_.store(byte_budget, std::memory_order_relaxed);
+    per_shard_budget_.store(
+        byte_budget / shards_.size() + (byte_budget % shards_.size() != 0),
+        std::memory_order_relaxed);
+  }
+
+  size_t byte_budget() const {
+    return byte_budget_.load(std::memory_order_relaxed);
+  }
+
+  Stats stats() const {
+    Stats st;
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      st.entries += s.map.size();
+      st.bytes += s.bytes;
+    }
+    return st;
+  }
+
+ private:
+  struct Node {
+    std::string key;
+    Value value;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Node> lru;  // front = hottest
+    std::unordered_map<std::string, typename std::list<Node>::iterator> map;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  std::atomic<size_t> byte_budget_{0};
+  std::atomic<size_t> per_shard_budget_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace paw
+
+#endif  // PAW_INDEX_SHARDED_LRU_H_

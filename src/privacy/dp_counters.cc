@@ -25,11 +25,29 @@ double LaplaceNoise::Sample() {
   return -b_ * sign * std::log1p(-mag);
 }
 
+uint64_t ProvenanceCounter::QueryId(const std::string& principal,
+                                    const std::string& counter) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  mix(principal);
+  h ^= 0;
+  h *= 1099511628211ULL;
+  mix(counter);
+  return h;
+}
+
 Result<int64_t> ProvenanceCounter::CountModuleActivations(
     const std::string& code) const {
+  // Pin a cut: appends may land concurrently; iterate the pinned slice.
+  const RepositoryView view = repo_->View();
   int64_t count = 0;
-  for (int e = 0; e < repo_->num_executions(); ++e) {
-    const Execution& exec = repo_->execution(ExecutionId(e)).exec;
+  for (int e = 0; e < view.num_executions(); ++e) {
+    const Execution& exec = view.execution(ExecutionId(e)).exec;
     for (const ExecNode& n : exec.nodes()) {
       if ((n.kind == ExecNodeKind::kAtomic ||
            n.kind == ExecNodeKind::kBegin) &&
@@ -44,9 +62,10 @@ Result<int64_t> ProvenanceCounter::CountModuleActivations(
 
 Result<int64_t> ProvenanceCounter::CountLabelProductions(
     const std::string& label) const {
+  const RepositoryView view = repo_->View();
   int64_t count = 0;
-  for (int e = 0; e < repo_->num_executions(); ++e) {
-    const Execution& exec = repo_->execution(ExecutionId(e)).exec;
+  for (int e = 0; e < view.num_executions(); ++e) {
+    const Execution& exec = view.execution(ExecutionId(e)).exec;
     for (const DataItem& d : exec.items()) {
       if (d.label == label) {
         ++count;
@@ -59,9 +78,10 @@ Result<int64_t> ProvenanceCounter::CountLabelProductions(
 
 Result<int64_t> ProvenanceCounter::CountContributions(
     const std::string& src_code, const std::string& dst_code) const {
+  const RepositoryView view = repo_->View();
   int64_t count = 0;
-  for (int e = 0; e < repo_->num_executions(); ++e) {
-    const Execution& exec = repo_->execution(ExecutionId(e)).exec;
+  for (int e = 0; e < view.num_executions(); ++e) {
+    const Execution& exec = view.execution(ExecutionId(e)).exec;
     // Locate activations of each module in this execution.
     ExecNodeId src, dst;
     for (const ExecNode& n : exec.nodes()) {

@@ -42,12 +42,25 @@ class LaplaceNoise {
 
 /// \brief Counting queries over a repository's executions, exact or
 /// epsilon-DP via the Laplace mechanism.
+///
+/// Thread-safe against concurrent single-writer appends: every count
+/// pins an MVCC `RepositoryView` and iterates that cut, so a counter may
+/// run while ingest bumps the mutation epoch (same discipline as the
+/// query engine). Two concurrent counts may observe different cuts;
+/// each cut is internally consistent.
 class ProvenanceCounter {
  public:
   /// Binds to `repo`; `seed` fixes the noise stream for replayability of
   /// the *experiment* (a production deployment would use fresh draws).
   ProvenanceCounter(const Repository& repo, uint64_t seed)
       : repo_(&repo), seed_(seed) {}
+
+  /// \brief Stable query id for a (principal, counter) pair — the same
+  /// pair always maps to the same id, so re-asking a noisy count
+  /// returns the identical draw (no privacy-budget leak through
+  /// repeated sampling). FNV-1a over `principal + '\0' + counter`.
+  static uint64_t QueryId(const std::string& principal,
+                          const std::string& counter);
 
   /// \brief Exact number of executions that activated module `code`.
   Result<int64_t> CountModuleActivations(const std::string& code) const;

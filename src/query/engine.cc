@@ -117,10 +117,30 @@ QueryEngine::QueryEngine(const Repository& repo, const AccessControl& acl,
     : repo_(repo),
       acl_(acl),
       options_(options),
+      view_ns_(PrivacyViewCache::NewNamespace()),
       cache_(options.cache_capacity) {
   view_ = repo_.View();
   index_.Build(view_);
   scorer_.Build(index_);
+}
+
+QueryEngine::~QueryEngine() {
+  if (PrivacyViewCache* vc = view_cache()) {
+    vc->InvalidateNamespace(view_ns_);
+  }
+}
+
+PrivacyViewCache* QueryEngine::view_cache() const {
+  if (!options_.view_cache) return nullptr;
+  return options_.view_cache_instance != nullptr
+             ? options_.view_cache_instance
+             : &PrivacyViewCache::Global();
+}
+
+void QueryEngine::InvalidateSpecViews(int spec_id) {
+  if (PrivacyViewCache* vc = view_cache()) {
+    vc->InvalidateSpec(view_ns_, spec_id);
+  }
 }
 
 void QueryEngine::CatchUp() {
@@ -187,17 +207,34 @@ Result<std::vector<KeywordAnswer>> QueryEngine::Search(
 }
 
 Result<LineageAnswer> QueryEngine::RenderCone(
-    const SpecEntry& spec_entry, const Execution& exec,
-    const Principal& p, const std::vector<ExecNodeId>& cone_nodes,
-    DataItemId item) const {
-  // 1. Structural zoom-out from the principal's access view.
-  PAW_ASSIGN_OR_RETURN(
-      ExecZoomOutResult zoomed,
-      ZoomOutExecution(exec, spec_entry.hierarchy, spec_entry.policy,
-                       p.level));
+    const SpecEntry& spec_entry, int spec_id, ExecutionId exec_id,
+    const Execution& exec, const Principal& p,
+    const std::vector<ExecNodeId>& cone_nodes, DataItemId item,
+    uint64_t cut_epoch) const {
+  // 1. Structural zoom-out from the principal's access view — memoized
+  // per (execution, cache-group): the result depends only on the
+  // immutable execution entry, the spec's policy, and the level.
+  PrivacyViewCache* vc = view_cache();
+  const std::string cache_group = p.group + "@" + std::to_string(p.level);
+  std::shared_ptr<const ExecZoomOutResult> zoomed_ptr;
+  if (vc != nullptr) {
+    zoomed_ptr = vc->GetExecZoom(view_ns_, exec_id, cache_group, cut_epoch);
+  }
+  if (zoomed_ptr == nullptr) {
+    PAW_ASSIGN_OR_RETURN(
+        ExecZoomOutResult fresh,
+        ZoomOutExecution(exec, spec_entry.hierarchy, spec_entry.policy,
+                         p.level));
+    ZoomOutStepsTotal().Add(static_cast<uint64_t>(
+        fresh.steps > 0 ? fresh.steps : 0));
+    zoomed_ptr = std::make_shared<const ExecZoomOutResult>(std::move(fresh));
+    if (vc != nullptr) {
+      vc->PutExecZoom(view_ns_, exec_id, spec_id, cache_group, cut_epoch,
+                      zoomed_ptr);
+    }
+  }
+  const ExecZoomOutResult& zoomed = *zoomed_ptr;
   LineageConesTotal().Add();
-  ZoomOutStepsTotal().Add(static_cast<uint64_t>(
-      zoomed.steps > 0 ? zoomed.steps : 0));
 
   // 2. Restrict to the cone.
   std::vector<bool> in_cone(static_cast<size_t>(exec.num_nodes()), false);
@@ -266,7 +303,8 @@ Result<LineageAnswer> QueryEngine::Lineage(PrincipalId principal,
     return Status::NotFound("unknown data item");
   }
   PAW_ASSIGN_OR_RETURN(LineageResult cone, ProvenanceOf(exec, item));
-  return RenderCone(spec_entry, exec, p, cone.nodes, item);
+  return RenderCone(spec_entry, entry.spec_id, exec_id, exec, p, cone.nodes,
+                    item, view_.epoch);
 }
 
 Result<const ExecutionEntry*> QueryEngine::ExecutionByOrdinal(int spec_id,
@@ -329,7 +367,8 @@ QueryEngine::SearchExecutions(PrincipalId principal,
                          ProvenanceOfNode(exec, target));
     PAW_ASSIGN_OR_RETURN(
         hit.provenance,
-        RenderCone(spec_entry, exec, p, cone.nodes, DataItemId()));
+        RenderCone(spec_entry, entry.spec_id, ExecutionId(e), exec, p,
+                   cone.nodes, DataItemId(), view_.epoch));
     results.push_back(std::move(hit));
   }
   return results;
@@ -344,11 +383,53 @@ Result<std::vector<PatternMatch>> QueryEngine::Structural(
     return Status::NotFound("unknown spec");
   }
   const SpecEntry& entry = view_.entry(spec_id);
-  Prefix access = entry.hierarchy.AccessPrefix(entry.spec, p.level);
-  PAW_ASSIGN_OR_RETURN(
-      SpecView view, ExpandPrefix(entry.spec, entry.hierarchy, access));
-  ViewComputationsTotal().Add();
-  return MatchPattern(view, pattern);
+  // The access view depends only on the immutable spec entry and the
+  // principal's cache group — memoize it and run the pattern match
+  // against the shared copy.
+  PrivacyViewCache* vc = view_cache();
+  const std::string cache_group = p.group + "@" + std::to_string(p.level);
+  std::shared_ptr<const SpecView> view;
+  if (vc != nullptr) {
+    view = vc->GetSpecView(view_ns_, spec_id, cache_group, view_.epoch);
+  }
+  if (view == nullptr) {
+    Prefix access = entry.hierarchy.AccessPrefix(entry.spec, p.level);
+    PAW_ASSIGN_OR_RETURN(
+        SpecView fresh, ExpandPrefix(entry.spec, entry.hierarchy, access));
+    ViewComputationsTotal().Add();
+    view = std::make_shared<const SpecView>(std::move(fresh));
+    if (vc != nullptr) {
+      vc->PutSpecView(view_ns_, spec_id, cache_group, view_.epoch, view);
+    }
+  }
+  return MatchPattern(*view, pattern);
+}
+
+Result<std::shared_ptr<const MaskingReport>> QueryEngine::ExecutionMask(
+    PrincipalId principal, ExecutionId exec_id) {
+  PAW_ASSIGN_OR_RETURN(Principal p, acl_.Get(principal));
+  CatchUp();
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (exec_id.value() < 0 || exec_id.value() >= view_.num_executions()) {
+    return Status::NotFound("unknown execution");
+  }
+  const ExecutionEntry& entry = view_.execution(exec_id);
+  const SpecEntry& spec_entry = view_.entry(entry.spec_id);
+  PrivacyViewCache* vc = view_cache();
+  const std::string cache_group = p.group + "@" + std::to_string(p.level);
+  std::shared_ptr<const MaskingReport> mask;
+  if (vc != nullptr) {
+    mask = vc->GetMasking(view_ns_, exec_id, cache_group, view_.epoch);
+  }
+  if (mask == nullptr) {
+    mask = std::make_shared<const MaskingReport>(
+        ComputeMasking(entry.exec, spec_entry.policy.data, p.level));
+    if (vc != nullptr) {
+      vc->PutMasking(view_ns_, exec_id, entry.spec_id, cache_group,
+                     view_.epoch, mask);
+    }
+  }
+  return mask;
 }
 
 }  // namespace paw

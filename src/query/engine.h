@@ -28,6 +28,8 @@
 #include "src/index/inverted_index.h"
 #include "src/index/result_cache.h"
 #include "src/privacy/access_control.h"
+#include "src/privacy/data_privacy.h"
+#include "src/privacy/view_cache.h"
 #include "src/query/keyword_search.h"
 #include "src/query/structural_query.h"
 #include "src/query/zoom_out.h"
@@ -39,6 +41,11 @@ namespace paw {
 struct EngineOptions {
   size_t cache_capacity = 256;
   KeywordSearchOptions search;
+  /// Memoize computed privacy views (zoom-outs, access views, masks) in
+  /// the process-wide `PrivacyViewCache`. Off = recompute per query.
+  bool view_cache = true;
+  /// Cache instance override (tests); nullptr = the Global() cache.
+  PrivacyViewCache* view_cache_instance = nullptr;
 };
 
 /// \brief A lineage answer rendered for one principal.
@@ -60,6 +67,10 @@ class QueryEngine {
  public:
   QueryEngine(const Repository& repo, const AccessControl& acl,
               EngineOptions options = {});
+
+  /// Retires this engine's view-cache namespace so stale entries from a
+  /// torn-down engine can never be served to a successor.
+  ~QueryEngine();
 
   /// \brief Catches the pinned view and indexes up to the repository's
   /// current mutation epoch by applying deltas. Queries call this
@@ -114,6 +125,19 @@ class QueryEngine {
       PrincipalId principal, const StructuralPattern& pattern,
       int provenance_var);
 
+  /// \brief Per-item visibility mask of one execution for the principal,
+  /// served from the privacy-view cache when possible. The mask depends
+  /// only on the immutable execution entry and the principal's cache
+  /// group, so hits are exact.
+  Result<std::shared_ptr<const MaskingReport>> ExecutionMask(
+      PrincipalId principal, ExecutionId exec_id);
+
+  /// \brief Evicts every memoized view derived from `spec_id` (its
+  /// access/structural views and its executions' zoom-outs/masks). The
+  /// ADD_SPEC path calls this when the spec slice grows — the epoch-floor
+  /// discipline that keeps views hot across *execution* ingest.
+  void InvalidateSpecViews(int spec_id);
+
   /// \brief Snapshot of the cache counters.
   CacheStats cache_stats() const;
 
@@ -130,18 +154,28 @@ class QueryEngine {
   /// as observed on entry. See class comment.
   void CatchUp();
 
-  /// Shared answer rendering: zoom out for structural policy, restrict
-  /// to `cone_nodes`, mask values; `item` (when valid) is appended as an
-  /// explicit final row.
-  Result<LineageAnswer> RenderCone(const SpecEntry& spec_entry,
+  /// Shared answer rendering: zoom out for structural policy (memoized
+  /// per (exec, cache-group) when the view cache is on), restrict to
+  /// `cone_nodes`, mask values; `item` (when valid) is appended as an
+  /// explicit final row. `cut_epoch` is the serving cut's epoch, the
+  /// floor stamped on any cached zoom-out.
+  Result<LineageAnswer> RenderCone(const SpecEntry& spec_entry, int spec_id,
+                                   ExecutionId exec_id,
                                    const Execution& exec,
                                    const Principal& principal,
                                    const std::vector<ExecNodeId>& cone_nodes,
-                                   DataItemId item) const;
+                                   DataItemId item,
+                                   uint64_t cut_epoch) const;
+
+  /// The view cache to consult, or nullptr when memoization is off.
+  PrivacyViewCache* view_cache() const;
 
   const Repository& repo_;
   const AccessControl& acl_;
   EngineOptions options_;
+
+  /// This engine's namespace in the process-wide privacy-view cache.
+  const uint64_t view_ns_;
 
   /// Reader/writer lock over the pinned view and indexes: exclusive for
   /// catch-up (view extension + index deltas), shared for serving.

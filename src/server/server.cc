@@ -688,11 +688,16 @@ struct PawServer::Impl {
   /// there is no rebuild-on-dirty path (and no count heuristic to get
   /// it wrong) on the serving side.
   void BuildEngines() {
+    if (options.view_cache_bytes > 0) {
+      PrivacyViewCache::Global().set_byte_budget(options.view_cache_bytes);
+    }
+    EngineOptions engine_options;
+    engine_options.view_cache = options.enable_view_cache;
     engines.resize(static_cast<size_t>(store->num_shards()));
     for (int s = 0; s < store->num_shards(); ++s) {
       Timer rebuild_timer;
       engines[static_cast<size_t>(s)] =
-          std::make_unique<QueryEngine>(repo(s), acl);
+          std::make_unique<QueryEngine>(repo(s), acl, engine_options);
       EngineRebuildSeconds().Observe(rebuild_timer.ElapsedMicros() / 1e6);
       EngineRebuildsTotal().Add();
     }
@@ -1284,6 +1289,11 @@ struct PawServer::Impl {
       std::lock_guard<std::mutex> lock(reg_mu);
       registry[name] = SpecInfo{loc.value(), &entry};
     }
+    // Epoch-floor discipline: a spec-affecting append drops any memoized
+    // views keyed by this spec id (defensive — ids are append-only, so
+    // the slot should be empty) while every other spec's views stay hot.
+    engines[static_cast<size_t>(loc.value().shard)]->InvalidateSpecViews(
+        loc.value().id);
     wire::AddSpecResponse resp;
     resp.shard = loc.value().shard;
     resp.spec_id = loc.value().id;
@@ -1417,11 +1427,12 @@ struct PawServer::Impl {
     // soon as the pointer is in hand.
     std::shared_lock<std::shared_mutex> shared = SharedLease();
     conn->trace.lease_us = NowMicros();
-    auto found = engines[static_cast<size_t>(info.value().loc.shard)]
-                     ->ExecutionByOrdinal(info.value().loc.id,
-                                          req.value().ordinal);
-    shared.unlock();
+    QueryEngine* engine =
+        engines[static_cast<size_t>(info.value().loc.shard)].get();
+    auto found = engine->ExecutionByOrdinal(info.value().loc.id,
+                                            req.value().ordinal);
     if (!found.ok()) {
+      shared.unlock();
       Respond(conn, frame,
               Status(found.status().code(),
                      "spec \"" + req.value().spec_name + "\" " +
@@ -1430,12 +1441,20 @@ struct PawServer::Impl {
       return;
     }
     const ExecutionEntry& ee = *found.value();
-    const PolicySet& policy = info.value().entry->policy;
+    // Per-item visibility from the privacy-view cache: the mask set
+    // depends only on the immutable execution entry and the
+    // principal's cache group, so repeated GET_EXECUTIONs skip
+    // ComputeMasking entirely.
+    auto mask = engine->ExecutionMask(conn->principal, ee.id);
+    shared.unlock();
+    if (!mask.ok()) {
+      Respond(conn, frame, mask.status(), "", out);
+      return;
+    }
     // Re-render the execution with every item value the principal may
     // not see replaced by the mask — identity and structure stay
     // queryable, contents stay hidden (data privacy, paper Sec. 3).
-    MaskingReport report =
-        ComputeMasking(ee.exec, policy.data, conn->level);
+    const MaskingReport& report = *mask.value();
     Execution masked(info.value().entry->spec);
     for (const ExecNode& node : ee.exec.nodes()) {
       masked.AddNode(node.kind, node.module, node.process_id,

@@ -104,6 +104,13 @@ struct ServerOptions {
   AccessLevel admin_level = 100;
   /// Reported in the HELLO response.
   std::string server_name = "pawd";
+  /// Memoize computed privacy views (zoom-outs, access views, mask
+  /// sets) in the process-wide `PrivacyViewCache`. Off = recompute per
+  /// query (bench_server --no-view-cache measures the difference).
+  bool enable_view_cache = true;
+  /// Byte budget for the privacy-view cache; 0 keeps the cache's
+  /// current budget (default 64 MiB).
+  size_t view_cache_bytes = 0;
 };
 
 /// \brief The provenance server. Start it, read `port()`, connect

@@ -23,6 +23,17 @@ Counter& WalRotationsTotal() {
   return c;
 }
 
+/// Bytes copied into the staging buffer *while holding the group-commit
+/// mutex* (`pending += frame`). The remaining per-append cost the
+/// writer-queue work left on the table — bench_store's E10f derives a
+/// copy-cost line from this so the "measure before optimizing" question
+/// has numbers.
+Counter& WalFrameStageCopyBytesTotal() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_wal_frame_stage_copy_bytes_total");
+  return c;
+}
+
 /// Records per committed group-commit batch: 1, 2, 4, ... 32768.
 Histogram& WalBatchRecords() {
   static Histogram& h = MetricsRegistry::Global().GetHistogram(
@@ -381,6 +392,7 @@ Result<uint64_t> WriteAheadLog::Append(RecordType type,
   r->pending += frame;
   ++r->pending_records;
   WalAppendsTotal().Add();
+  WalFrameStageCopyBytesTotal().Add(frame.size());
   const uint64_t my_seq = r->next_batch_seq;
 
   while (r->committed_seq < my_seq) {

@@ -6,8 +6,11 @@
 
 #include <memory>
 
+#include "src/common/random.h"
 #include "src/privacy/data_privacy.h"
+#include "src/privacy/view_cache.h"
 #include "src/repo/disease.h"
+#include "src/repo/workload.h"
 
 namespace paw {
 namespace {
@@ -276,6 +279,201 @@ TEST_F(EngineTest, IncrementalAnswersMatchFreshEngine) {
                        baseline.value()[i].score);
     }
   }
+}
+
+TEST_F(EngineTest, ViewCacheStaysHotAcrossExecutionIngest) {
+  // Memoized views depend only on immutable spec/execution entries, so
+  // execution ingest (the E13 steady state) must not cost view-cache
+  // misses.
+  PrivacyViewCache local;
+  EngineOptions opts;
+  opts.view_cache_instance = &local;
+  QueryEngine engine(repo_, acl_, opts);
+  StructuralPattern pattern;
+  pattern.vars = {{"expand snp"}, {"consult external"}};
+  pattern.edges = {{0, 1, true}};
+  ASSERT_TRUE(engine.Lineage(analyst_, exec_id_, DataItemId(19)).ok());
+  ASSERT_TRUE(engine.Structural(analyst_, spec_id_, pattern).ok());
+  const uint64_t cold_misses = local.stats().misses;
+
+  auto exec = RunDiseaseExecution(repo_.entry(spec_id_).spec);
+  ASSERT_TRUE(exec.ok());
+  ASSERT_TRUE(repo_.AddExecution(spec_id_, std::move(exec).value()).ok());
+
+  ASSERT_TRUE(engine.Lineage(analyst_, exec_id_, DataItemId(19)).ok());
+  ASSERT_TRUE(engine.Structural(analyst_, spec_id_, pattern).ok());
+  EXPECT_EQ(local.stats().misses, cold_misses);
+  EXPECT_GE(local.stats().hits, 2u);
+}
+
+TEST_F(EngineTest, InvalidateSpecViewsEvictsOnlyThatSpec) {
+  auto spec = BuildDiseaseSpec();
+  ASSERT_TRUE(spec.ok());
+  const int sid2 =
+      repo_.AddSpecification(std::move(spec).value(), DiseasePolicy())
+          .value();
+  auto exec = RunDiseaseExecution(repo_.entry(sid2).spec);
+  ASSERT_TRUE(exec.ok());
+  const ExecutionId eid2 =
+      repo_.AddExecution(sid2, std::move(exec).value()).value();
+
+  PrivacyViewCache local;
+  EngineOptions opts;
+  opts.view_cache_instance = &local;
+  QueryEngine engine(repo_, acl_, opts);
+  ASSERT_TRUE(engine.Lineage(analyst_, exec_id_, DataItemId(19)).ok());
+  ASSERT_TRUE(engine.Lineage(analyst_, eid2, DataItemId(19)).ok());
+
+  engine.InvalidateSpecViews(spec_id_);
+  const uint64_t misses = local.stats().misses;
+  // The untouched spec's views are still hot...
+  ASSERT_TRUE(engine.Lineage(analyst_, eid2, DataItemId(19)).ok());
+  EXPECT_EQ(local.stats().misses, misses);
+  // ...while the invalidated spec's views recompute exactly once.
+  ASSERT_TRUE(engine.Lineage(analyst_, exec_id_, DataItemId(19)).ok());
+  EXPECT_EQ(local.stats().misses, misses + 1);
+  ASSERT_TRUE(engine.Lineage(analyst_, exec_id_, DataItemId(19)).ok());
+  EXPECT_EQ(local.stats().misses, misses + 1);
+}
+
+TEST_F(EngineTest, ExecutionMaskIsCachedPerGroup) {
+  PrivacyViewCache local;
+  EngineOptions opts;
+  opts.view_cache_instance = &local;
+  QueryEngine engine(repo_, acl_, opts);
+  auto first = engine.ExecutionMask(analyst_, exec_id_);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = engine.ExecutionMask(analyst_, exec_id_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(local.stats().hits, 1u);
+  EXPECT_EQ(second.value()->visible, first.value()->visible);
+  // A different level is a different cache group — and a different
+  // mask.
+  auto for_owner = engine.ExecutionMask(owner_, exec_id_);
+  ASSERT_TRUE(for_owner.ok());
+  EXPECT_GT(for_owner.value()->num_visible, first.value()->num_visible);
+  EXPECT_FALSE(engine.ExecutionMask(analyst_, ExecutionId(99)).ok());
+}
+
+// Randomized equivalence: a view-cache-enabled engine and a
+// cache-disabled engine must give byte-identical answers across random
+// policy / level / principal / query mixes over generated workloads.
+TEST(EngineViewCacheFuzzTest, CachedAnswersMatchUncached) {
+  Repository repo;
+  AccessControl acl;
+  Rng rng(20260808);
+  WorkloadParams params;
+  params.depth = 3;
+  params.modules_per_workflow = 5;
+  params.composite_prob = 0.5;
+  params.vocabulary = 12;
+  params.max_level = 3;
+  std::vector<int> spec_ids;
+  for (int s = 0; s < 3; ++s) {
+    auto spec =
+        GenerateSpec(params, &rng, "fuzz spec " + std::to_string(s));
+    ASSERT_TRUE(spec.ok());
+    // Random per-spec policy: data level 1 or 2, plus a structural
+    // requirement inside one non-root workflow when available.
+    PolicySet policy;
+    policy.data.default_level = 1 + s % 2;
+    const Module* src = nullptr;
+    const Module* dst = nullptr;
+    for (const Module& m : spec.value().modules()) {
+      if (m.kind == ModuleKind::kAtomic &&
+          m.workflow != spec.value().root()) {
+        if (src == nullptr || m.workflow != src->workflow) {
+          src = &m;
+          dst = nullptr;
+        } else {
+          dst = &m;
+        }
+      }
+    }
+    if (src != nullptr && dst != nullptr) {
+      policy.structural_reqs.push_back(
+          {src->code, dst->code, /*required_level=*/2});
+    }
+    const int sid =
+        repo.AddSpecification(std::move(spec).value(), std::move(policy))
+            .value();
+    spec_ids.push_back(sid);
+    for (int e = 0; e < 2; ++e) {
+      auto exec = GenerateExecution(repo.entry(sid).spec, &rng);
+      ASSERT_TRUE(exec.ok());
+      ASSERT_TRUE(repo.AddExecution(sid, std::move(exec).value()).ok());
+    }
+  }
+  std::vector<PrincipalId> principals;
+  for (int level = 0; level <= 3; ++level) {
+    for (const char* group : {"ga", "gb"}) {
+      principals.push_back(
+          acl.AddPrincipal(std::string(group) + std::to_string(level),
+                           level, group)
+              .value());
+    }
+  }
+
+  PrivacyViewCache local;
+  EngineOptions cached_opts;
+  cached_opts.view_cache_instance = &local;
+  QueryEngine cached(repo, acl, cached_opts);
+  EngineOptions plain_opts;
+  plain_opts.view_cache = false;
+  QueryEngine plain(repo, acl, plain_opts);
+
+  Rng fuzz(99);
+  for (int i = 0; i < 150; ++i) {
+    const PrincipalId p =
+        principals[fuzz.Uniform(principals.size())];
+    switch (fuzz.Uniform(3)) {
+      case 0: {
+        const int sid =
+            spec_ids[fuzz.Uniform(spec_ids.size())];
+        StructuralPattern pattern;
+        pattern.vars = {{"kw" + std::to_string(fuzz.Uniform(12))},
+                        {"kw" + std::to_string(fuzz.Uniform(12))}};
+        pattern.edges = {{0, 1, fuzz.Uniform(2) == 0}};
+        auto a = cached.Structural(p, sid, pattern);
+        auto b = plain.Structural(p, sid, pattern);
+        ASSERT_EQ(a.ok(), b.ok());
+        if (!a.ok()) break;
+        ASSERT_EQ(a.value().size(), b.value().size());
+        for (size_t m = 0; m < a.value().size(); ++m) {
+          EXPECT_EQ(a.value()[m].binding, b.value()[m].binding);
+        }
+        break;
+      }
+      case 1: {
+        const ExecutionId e(static_cast<int32_t>(
+            fuzz.Uniform(static_cast<uint64_t>(repo.num_executions()))));
+        auto a = cached.Lineage(p, e, DataItemId(0));
+        auto b = plain.Lineage(p, e, DataItemId(0));
+        ASSERT_EQ(a.ok(), b.ok()) << a.status().ToString() << " vs "
+                                  << b.status().ToString();
+        if (!a.ok()) break;
+        EXPECT_EQ(a.value().prefix, b.value().prefix);
+        EXPECT_EQ(a.value().zoom_steps, b.value().zoom_steps);
+        EXPECT_EQ(a.value().rows, b.value().rows);
+        break;
+      }
+      case 2: {
+        const ExecutionId e(static_cast<int32_t>(
+            fuzz.Uniform(static_cast<uint64_t>(repo.num_executions()))));
+        auto a = cached.ExecutionMask(p, e);
+        auto b = plain.ExecutionMask(p, e);
+        ASSERT_EQ(a.ok(), b.ok());
+        if (!a.ok()) break;
+        EXPECT_EQ(a.value()->visible, b.value()->visible);
+        EXPECT_EQ(a.value()->num_masked, b.value()->num_masked);
+        EXPECT_EQ(a.value()->num_visible, b.value()->num_visible);
+        break;
+      }
+    }
+  }
+  // The mix repeats (principal-group, entry) pairs, so the cached
+  // engine must actually have served from the cache.
+  EXPECT_GT(local.stats().hits, 0u);
 }
 
 }  // namespace

@@ -5,9 +5,11 @@
 # WAL tail, one against background compaction mid-flight), a pawd
 # server drill (socket ingest, per-principal query filtering, queries
 # concurrent with a pipelined ingest on the MVCC read path, a
-# METRICS-over-the-wire check, kill -9 durability, lock-file liveness),
-# bench smoke runs (store E10 + server E11/E12, the latter gated <= 5%
-# instrumentation overhead against a PAW_NO_METRICS baseline build),
+# METRICS-over-the-wire check, a repeated-lineage check that must hit
+# the memoized privacy-view cache, kill -9 durability, lock-file
+# liveness), bench smoke runs (store E10 + server E11/E12/E13, E11
+# gated <= 5% instrumentation overhead against a PAW_NO_METRICS
+# baseline build, E13 gated >= 3x cached lineage/structural p50),
 # an ASan+UBSan build of the store/server test binaries, and a TSan
 # build of the concurrency suites (group-commit WAL, writer queues,
 # background compaction, server, metrics registry).
@@ -122,6 +124,23 @@ awk -v v="$FSYNC_P99" 'BEGIN { exit !(v > 0) }'
   > "$SMOKE_DIR/metrics_raw.out"
 grep -q "^# TYPE paw_server_requests_total counter" \
   "$SMOKE_DIR/metrics_raw.out"
+# Memoized privacy views: the same lineage query twice — the second
+# answer must be served from the view cache (nonzero hits counter) and
+# be byte-identical to the first.
+"$PAWCTL" connect "localhost:$PORT" user=admin \
+  'lineage=disease susceptibility' ordinal=0 item=19 \
+  | tee "$SMOKE_DIR/lineage1.out"
+grep -q "lineage of item 19" "$SMOKE_DIR/lineage1.out"
+"$PAWCTL" connect "localhost:$PORT" user=admin \
+  'lineage=disease susceptibility' ordinal=0 item=19 \
+  > "$SMOKE_DIR/lineage2.out"
+diff "$SMOKE_DIR/lineage1.out" "$SMOKE_DIR/lineage2.out"
+"$PAWCTL" connect "localhost:$PORT" user=admin metrics \
+  > "$SMOKE_DIR/metrics_vc.out"
+VC_HITS="$(awk '/^paw_privacy_view_cache_hits_total/{print $2}' \
+  "$SMOKE_DIR/metrics_vc.out")"
+test -n "$VC_HITS"
+awk -v v="$VC_HITS" 'BEGIN { exit !(v > 0) }'
 # Mixed read/write drill (MVCC read path): queries run while a
 # pipelined ingest is in flight and must succeed with the same
 # per-principal filtering — queries ride the shared lease and serve
@@ -187,6 +206,14 @@ if [[ -x "$BUILD_DIR/bench_server" ]]; then
   grep -q "^e12 query p99 under ingest:" "$SMOKE_DIR/bench_server.out"
   grep -q "queries never took the writer lease: yes" \
     "$SMOKE_DIR/bench_server.out"
+  # E13 (multi-tenant capacity) ran both phases and recorded per-cell
+  # view-cache hit-rate deltas; the memoized views delivered >= 3x on
+  # lineage and structural p50 at high skew.
+  grep -q '"experiment":"e13"' "$SMOKE_DIR/BENCH_server.json"
+  grep -q '"view_cache":"on"' "$SMOKE_DIR/BENCH_server.json"
+  grep -q '"view_cache_hit_rate"' "$SMOKE_DIR/BENCH_server.json"
+  grep -q "^e13 view-cache p50 speedup.*(>= 3x: yes)" \
+    "$SMOKE_DIR/bench_server.out"
   # Overhead gate: the same bench from a PAW_NO_METRICS build (update
   # paths compiled out) measures what the instrumentation costs; the
   # instrumented build must stay within 5% of it. Shared CI machines
@@ -247,7 +274,8 @@ cmake -B "$ASAN_BUILD_DIR" -S . -DPAW_SANITIZE=address
 SAN_TESTS=(store_test sharded_store_test crash_injection_test record_test
            thread_pool_test crc32_test codec_v2_test wal_group_commit_test
            mixed_version_test background_compaction_test wire_test
-           server_test store_lock_test metrics_test)
+           server_test store_lock_test metrics_test view_cache_test
+           dp_counters_test)
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
   echo "-- $t (asan+ubsan)"
@@ -262,7 +290,7 @@ TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "$TSAN_BUILD_DIR" -S . -DPAW_SANITIZE=thread
 TSAN_TESTS=(wal_group_commit_test sharded_store_test
             background_compaction_test thread_pool_test server_test
-            metrics_test)
+            metrics_test view_cache_test dp_counters_test)
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
   echo "-- $t (tsan)"

@@ -52,6 +52,7 @@
 //   pawctl serve <dir> [port=N] [bind=ADDR] [shards=N] [workers=N]
 //                [writers=N] [threads=N] [sync=each|batch]
 //                [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]
+//                [viewcache=on|off] [viewcache-mb=N]
 //                                        serve the store over the binary
 //                                        wire protocol (pawd); creates the
 //                                        store first when <dir> is empty
@@ -59,15 +60,24 @@
 //                                        (default) makes every acked write
 //                                        durable; auth registers the
 //                                        principals AUTH accepts (default
-//                                        admin:100). Runs until SIGINT.
+//                                        admin:100); viewcache toggles the
+//                                        memoized privacy-view cache (on by
+//                                        default, byte budget viewcache-mb
+//                                        MiB). Runs until SIGINT.
 //   pawctl connect <host:port> [user=NAME] [metrics [--raw]]
+//                  [lineage=SPEC [ordinal=N] [item=N]]
 //                                        HELLO + AUTH + STATUS round trip;
 //                                        with `metrics`, fetch the METRICS
 //                                        snapshot instead and pretty-print
 //                                        per-opcode counts, p50/p90/p99
 //                                        latencies, and WAL / compaction /
 //                                        queue metrics (--raw dumps the
-//                                        Prometheus text exposition)
+//                                        Prometheus text exposition); with
+//                                        `lineage=SPEC`, run one LINEAGE
+//                                        query for run `ordinal`'s item
+//                                        `item` rendered through the authed
+//                                        principal's privacy view (repeats
+//                                        hit the server's view cache)
 //   pawctl put <host:port> <spec.paw> [runs=N] [user=NAME] [pipeline=N]
 //              [policy=FILE]            remote ingest: store the spec, then
 //                                        run N executions through pipelined
@@ -965,6 +975,30 @@ int CmdServe(const char* dir, int argc, char** argv) {
       options.use_poll = true;
       continue;
     }
+    std::string viewcache;
+    ParseStrOption(argv[i], "viewcache", &viewcache, &matched);
+    if (matched) {
+      if (viewcache == "on") {
+        options.enable_view_cache = true;
+      } else if (viewcache == "off") {
+        options.enable_view_cache = false;
+      } else {
+        std::fprintf(stderr, "error: viewcache must be on or off: %s\n",
+                     argv[i]);
+        return 1;
+      }
+      continue;
+    }
+    long viewcache_mb = 0;
+    if (!ParseIntOption(argv[i], "viewcache-mb", 1, 1 << 20,
+                        &viewcache_mb, &matched)) {
+      return 1;
+    }
+    if (matched) {
+      options.view_cache_bytes =
+          static_cast<size_t>(viewcache_mb) << 20;
+      continue;
+    }
     std::fprintf(stderr, "error: unknown serve option %s\n", argv[i]);
     return 1;
   }
@@ -1093,9 +1127,24 @@ int CmdConnect(const char* target, int argc, char** argv) {
   std::string user = "admin";
   bool metrics = false;
   bool raw = false;
+  std::string lineage_spec;
+  long ordinal = 0;
+  long item = 0;
   for (int i = 0; i < argc; ++i) {
     bool matched = false;
     ParseStrOption(argv[i], "user", &user, &matched);
+    if (matched) continue;
+    ParseStrOption(argv[i], "lineage", &lineage_spec, &matched);
+    if (matched) continue;
+    if (!ParseIntOption(argv[i], "ordinal", 0, 1000000000, &ordinal,
+                        &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (!ParseIntOption(argv[i], "item", 0, 1000000000, &item,
+                        &matched)) {
+      return 1;
+    }
     if (matched) continue;
     if (std::strcmp(argv[i], "metrics") == 0) {
       metrics = true;
@@ -1114,6 +1163,28 @@ int CmdConnect(const char* target, int argc, char** argv) {
     auto snapshot = client.value().Metrics();
     if (!snapshot.ok()) return Fail(snapshot.status());
     return PrintMetrics(snapshot.value().snapshot, raw);
+  }
+  if (!lineage_spec.empty()) {
+    // One LINEAGE round trip as the authed principal: the answer is
+    // rendered through that principal's privacy view, so repeating the
+    // command exercises the server's memoized view cache (check the
+    // paw_privacy_view_cache_* counters via `metrics`).
+    auto answer = client.value().Lineage(
+        lineage_spec, static_cast<int>(ordinal), static_cast<int>(item));
+    if (!answer.ok()) return Fail(answer.status());
+    std::printf("lineage of item %ld in %s run %ld (as %s, %d zoom-out "
+                "steps, prefix {",
+                item, lineage_spec.c_str(), ordinal, user.c_str(),
+                answer.value().zoom_steps);
+    for (size_t i = 0; i < answer.value().prefix_codes.size(); ++i) {
+      std::printf("%s%s", i > 0 ? "," : "",
+                  answer.value().prefix_codes[i].c_str());
+    }
+    std::printf("}):\n");
+    for (const std::string& row : answer.value().rows) {
+      std::printf("  %s\n", row.c_str());
+    }
+    return 0;
   }
   std::printf("connected to %s (protocol v%d) as %s\n",
               client.value().server_name().c_str(),
@@ -1257,9 +1328,11 @@ int Usage() {
                "       pawctl migrate <dir> [threads=N]\n"
                "       pawctl serve <dir> [port=N] [bind=ADDR] [shards=N]"
                " [workers=N] [writers=N] [threads=N] [sync=each|batch]"
-               " [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]\n"
+               " [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]"
+               " [viewcache=on|off] [viewcache-mb=N]\n"
                "       pawctl connect <host:port> [user=NAME]"
-               " [metrics [--raw]]\n"
+               " [metrics [--raw]]"
+               " [lineage=SPEC [ordinal=N] [item=N]]\n"
                "       pawctl put <host:port> <spec.paw> [runs=N]"
                " [user=NAME] [pipeline=N] [policy=FILE]\n"
                "       pawctl query <host:port> <term> [term ...]"
