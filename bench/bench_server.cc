@@ -266,12 +266,14 @@ struct QueryCellResult {
   double p99_us = 0;
 };
 
-/// E12 query side: `connections` client threads, each alternating
+/// E12/E14 query side: `connections` client threads, each alternating
 /// KEYWORD_SEARCH (hits every tenant spec via the "worker" module
 /// token — the cached path) with GET_EXECUTION ordinal 0 (uncached
 /// pinned-view lookup). One warmup search per connection pays the
-/// engine's one-time view catch-up outside the timed loop.
-QueryCellResult RunQueryCell(int port,
+/// engine's one-time view catch-up outside the timed loop. Connection
+/// c dials ports[c mod #ports], so a multi-node port list spreads the
+/// same client population across a leader and its followers (E14).
+QueryCellResult RunQueryCell(const std::vector<int>& ports,
                              const std::vector<std::string>& spec_names,
                              int connections, int queries_per_conn) {
   std::vector<std::thread> threads;
@@ -281,6 +283,7 @@ QueryCellResult RunQueryCell(int port,
   Timer timer;
   for (int c = 0; c < connections; ++c) {
     threads.emplace_back([&, c] {
+      const int port = ports[static_cast<size_t>(c) % ports.size()];
       auto client = PawClient::Connect("127.0.0.1", port);
       if (!client.ok() || !client.value().Auth("bench").ok()) {
         ++failures;
@@ -849,6 +852,234 @@ int RunE13(bool smoke, bool no_view_cache, BenchJson* json) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------
+// E14: follower read capacity. One leader ingests a corpus while N
+// WAL-shipping followers subscribe and replay; once they converge, the
+// same query population runs twice — all connections on the leader,
+// then fanned across leader + followers. On a multi-core host the fan
+// phase should scale aggregate q/s with node count (each pawd owns its
+// engines and pinned views); on a 1-core CI box every node shares the
+// core, so the scaling row is advisory there. The leader's
+// paw_repl_lag_seconds histogram (observed at ack time: now minus the
+// batch's send timestamp) is the replication-freshness artifact.
+
+int RunE14(bool smoke, BenchJson* json) {
+  const int kShards = 4;
+  const int num_followers = smoke ? 1 : 2;
+  const int kTenants = 4;
+  const int records = smoke ? 300 : 2000;
+  const int query_conns = smoke ? 2 : 4;
+  const int queries_per_conn = smoke ? 100 : 300;
+  const int pipeline_window = 64;
+
+  std::printf("=== E14: follower read capacity (1 leader + %d "
+              "follower%s, %d records) ===\n",
+              num_followers, num_followers == 1 ? "" : "s", records);
+
+  const std::string leader_dir = FreshDir("e14_leader");
+  {
+    auto init = ShardedRepository::Init(leader_dir, kShards);
+    if (!init.ok()) {
+      std::fprintf(stderr, "e14 init: %s\n",
+                   init.status().ToString().c_str());
+      return 1;
+    }
+  }
+  auto leader_options = [] {
+    ServerOptions options;
+    options.store.sync_each_append = true;
+    options.store.writer_threads = 4;
+    options.worker_threads = 8;
+    options.principals = {{"bench", 100, ""}};
+    return options;
+  };
+  auto leader = PawServer::Start(leader_dir, leader_options());
+  if (!leader.ok()) {
+    std::fprintf(stderr, "e14 leader start: %s\n",
+                 leader.status().ToString().c_str());
+    return 1;
+  }
+  const int leader_port = leader.value()->port();
+
+  // Tenant specs + pipelined ingest, same compact shape as E11.
+  std::vector<std::string> spec_names;
+  std::vector<std::vector<std::string>> exec_texts;
+  {
+    auto client = PawClient::Connect("127.0.0.1", leader_port);
+    if (!client.ok() || !client.value().Auth("bench").ok()) return 1;
+    FunctionRegistry fns;
+    for (int t = 0; t < kTenants; ++t) {
+      const std::string name = "repl tenant " + std::to_string(t);
+      SpecBuilder builder(name);
+      WorkflowId w = builder.AddWorkflow("W1", "top", 0);
+      if (!builder.SetRoot(w).ok()) return 1;
+      ModuleId in = builder.AddInput(w);
+      ModuleId work = builder.AddModule(w, "M1", "ingest worker");
+      ModuleId out = builder.AddOutput(w);
+      if (!builder.Connect(in, work, {"x"}).ok()) return 1;
+      if (!builder.Connect(work, out, {"y"}).ok()) return 1;
+      auto spec = std::move(builder).Build();
+      if (!spec.ok()) return 1;
+      auto added = client.value().AddSpec(Serialize(spec.value()), "");
+      if (!added.ok()) {
+        std::fprintf(stderr, "e14 add spec: %s\n",
+                     added.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<std::string> pool;
+      for (int i = 0; i < 8; ++i) {
+        auto exec = Execute(spec.value(), fns,
+                            {{"x", "value-" + std::to_string(i)}});
+        if (!exec.ok()) return 1;
+        pool.push_back(SerializeExecution(exec.value()));
+      }
+      spec_names.push_back(name);
+      exec_texts.push_back(std::move(pool));
+    }
+    std::vector<PawTicket> in_flight;
+    for (int r = 0; r < records; ++r) {
+      const size_t t = static_cast<size_t>(r) % spec_names.size();
+      auto ticket = client.value().SendAddExecution(
+          spec_names[t],
+          exec_texts[t][static_cast<size_t>(r) % exec_texts[t].size()]);
+      if (!ticket.ok()) return 1;
+      in_flight.push_back(ticket.value());
+      if (in_flight.size() >= static_cast<size_t>(pipeline_window)) {
+        if (!client.value().AwaitAddExecution(in_flight.front()).ok()) {
+          return 1;
+        }
+        in_flight.erase(in_flight.begin());
+      }
+    }
+    for (PawTicket t : in_flight) {
+      if (!client.value().AwaitAddExecution(t).ok()) return 1;
+    }
+  }
+
+  // Followers: fresh stores, SUBSCRIBE to the leader, replay the WAL
+  // stream through the recovery path. Catch-up is detected over the
+  // wire: each follower's STATUS execution count must reach the
+  // leader's corpus.
+  std::vector<std::unique_ptr<PawServer>> followers;
+  std::vector<std::string> follower_dirs;
+  std::vector<int> all_ports = {leader_port};
+  for (int i = 0; i < num_followers; ++i) {
+    const std::string fdir = FreshDir("e14_follower" + std::to_string(i));
+    {
+      // Scoped: the Init handle holds the store-dir lock.
+      auto init = ShardedRepository::Init(fdir, kShards);
+      if (!init.ok()) return 1;
+    }
+    ServerOptions options = leader_options();
+    options.follow_host = "127.0.0.1";
+    options.follow_port = leader_port;
+    options.follow_principal = "bench";
+    auto follower = PawServer::Start(fdir, std::move(options));
+    if (!follower.ok()) {
+      std::fprintf(stderr, "e14 follower start: %s\n",
+                   follower.status().ToString().c_str());
+      return 1;
+    }
+    all_ports.push_back(follower.value()->port());
+    follower_dirs.push_back(fdir);
+    followers.push_back(std::move(follower).value());
+  }
+  Timer catch_up;
+  for (const auto& follower : followers) {
+    auto client = PawClient::Connect("127.0.0.1", follower->port());
+    if (!client.ok() || !client.value().Auth("bench").ok()) return 1;
+    for (;;) {
+      auto status = client.value().GetStatus();
+      if (status.ok() && status.value().executions >= records) break;
+      if (catch_up.ElapsedMicros() > 120e6) {
+        std::fprintf(stderr, "e14 follower never caught up\n");
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  std::printf("e14 catch-up: %d followers replayed %d records in %.2fs\n",
+              num_followers, records, catch_up.ElapsedMicros() / 1e6);
+
+  // Same query population, leader-only vs fanned across all nodes.
+  QueryCellResult leader_only = RunQueryCell(
+      {leader_port}, spec_names, query_conns, queries_per_conn);
+  QueryCellResult fanned = RunQueryCell(all_ports, spec_names,
+                                        query_conns, queries_per_conn);
+  std::printf(
+      "e14 leader-only  nodes=1  %8.0f q/s  p50 %7.0f us  p99 %7.0f us\n",
+      leader_only.qps, leader_only.p50_us, leader_only.p99_us);
+  std::printf(
+      "e14 fanned       nodes=%zu  %8.0f q/s  p50 %7.0f us  p99 %7.0f us\n",
+      all_ports.size(), fanned.qps, fanned.p50_us, fanned.p99_us);
+  const double scaling =
+      leader_only.qps > 0 ? fanned.qps / leader_only.qps : 0.0;
+  // Same gating posture as E12: on 1 core all nodes time-share, so
+  // scaling is advisory there; on multi-core the followers genuinely
+  // add engine capacity and fanning the same population must not lose
+  // throughput (>= 1.2x aggregate is a conservative floor for 2+
+  // nodes — real scaling approaches node count).
+  const unsigned cores = std::thread::hardware_concurrency();
+  int rc = 0;
+  if (cores <= 1) {
+    std::printf(
+        "e14 follower scaling: %.2fx aggregate q/s across %zu nodes "
+        "(advisory: 1-core host, all nodes share the core)\n",
+        scaling, all_ports.size());
+  } else {
+    const bool scaled = scaling >= 1.2;
+    std::printf(
+        "e14 follower scaling: %.2fx aggregate q/s across %zu nodes %s\n",
+        scaling, all_ports.size(),
+        scaled ? "(>= 1.2x: yes)" : "(< 1.2x: FAIL on multi-core host)");
+    if (!scaled) rc = 1;
+  }
+
+  // Replication freshness from the leader's own metrics surface.
+  MetricsSnapshot snap = FetchMetrics(leader_port);
+  const MetricSample* lag = snap.Find("paw_repl_lag_seconds");
+  const double lag_p50 =
+      lag != nullptr ? lag->histogram.Quantile(0.50) : 0.0;
+  const double lag_p99 =
+      lag != nullptr ? lag->histogram.Quantile(0.99) : 0.0;
+  std::printf(
+      "e14 paw_repl_lag_seconds: count=%llu p50=%.6fs p99=%.6fs  "
+      "(batches sent %llu, records sent %llu, acks %llu)\n",
+      static_cast<unsigned long long>(
+          lag != nullptr ? lag->histogram.count : 0),
+      lag_p50, lag_p99,
+      static_cast<unsigned long long>(
+          snap.SumCounters("paw_repl_batches_sent_total")),
+      static_cast<unsigned long long>(
+          snap.SumCounters("paw_repl_records_sent_total")),
+      static_cast<unsigned long long>(
+          snap.SumCounters("paw_repl_acks_total")));
+
+  json->Add(BenchJson::Row("e14")
+                .Str("phase", "leader_only")
+                .Num("nodes", 1)
+                .Num("qps", leader_only.qps)
+                .Num("p50_us", leader_only.p50_us)
+                .Num("p99_us", leader_only.p99_us));
+  json->Add(BenchJson::Row("e14")
+                .Str("phase", "fanned")
+                .Num("nodes", static_cast<double>(all_ports.size()))
+                .Num("qps", fanned.qps)
+                .Num("p50_us", fanned.p50_us)
+                .Num("p99_us", fanned.p99_us)
+                .Num("scaling_x", scaling)
+                .Num("repl_lag_p99_s", lag_p99)
+                .Num("repl_lag_count",
+                     static_cast<double>(
+                         lag != nullptr ? lag->histogram.count : 0)));
+
+  for (auto& follower : followers) follower->Stop();
+  leader.value()->Stop();
+  for (const std::string& fdir : follower_dirs) fs::remove_all(fdir);
+  fs::remove_all(leader_dir);
+  return rc;
+}
+
 int main(int argc, char** argv) {
   bool smoke = false;
   bool gate_only = false;
@@ -1076,7 +1307,7 @@ int main(int argc, char** argv) {
 
     MetricsSnapshot pre_idle = FetchMetrics(port);
     QueryCellResult idle =
-        RunQueryCell(port, spec_names, query_conns, queries_per_conn);
+        RunQueryCell({port}, spec_names, query_conns, queries_per_conn);
     MetricsSnapshot post_idle = FetchMetrics(port);
     std::printf(
         "e12 idle    conns=%-2d  %8.0f q/s  p50 %7.0f us  p99 %7.0f us\n",
@@ -1085,7 +1316,7 @@ int main(int argc, char** argv) {
     IngestLoad load(port, spec_names, exec_texts, writer_conns,
                     pipeline_window);
     QueryCellResult busy =
-        RunQueryCell(port, spec_names, query_conns, queries_per_conn);
+        RunQueryCell({port}, spec_names, query_conns, queries_per_conn);
     MetricsSnapshot post_busy = FetchMetrics(port);
     const long writes = load.Stop();
     std::printf(
@@ -1166,6 +1397,12 @@ int main(int argc, char** argv) {
   // memoization-off phase — the baseline half of the comparison.
   if (!gate_only) {
     if (RunE13(smoke, no_view_cache, &json) != 0) gate_rc = 1;
+  }
+
+  // E14 spins up its own leader + followers; the E11 server is idle by
+  // now. Setup failures gate; the scaling row is advisory on 1-core.
+  if (!gate_only) {
+    if (RunE14(smoke, &json) != 0) gate_rc = 1;
   }
 
   const char* json_path = std::getenv("BENCH_JSON");

@@ -9,6 +9,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <unordered_set>
 
 namespace paw {
 namespace {
@@ -24,10 +25,14 @@ struct PawClient::Rep {
   uint8_t version = wire::kProtocolVersion;
   std::string server_name;
   uint64_t next_request_id = 1;
-  /// Pipelined requests sent but not yet awaited.
-  size_t outstanding = 0;
-  /// Responses read while waiting for a different request id.
+  /// Tickets of pipelined requests sent but not yet awaited. Only
+  /// responses matching one of these ids are worth stashing; anything
+  /// else the server sends is dropped (it can never be awaited).
+  std::unordered_set<uint64_t> outstanding;
+  /// Responses read while waiting for a different request id; bounded
+  /// by `max_stashed` — overflow poisons the connection.
   std::unordered_map<uint64_t, wire::Frame> stashed;
+  size_t max_stashed = 4096;
   /// Unconsumed bytes of the read stream.
   std::string in;
   /// Sticky transport/framing error.
@@ -35,6 +40,17 @@ struct PawClient::Rep {
 
   ~Rep() {
     if (fd >= 0) ::close(fd);
+  }
+
+  /// Sets the sticky error and discards state no later call can use:
+  /// stashed responses can never be redeemed once the connection is
+  /// poisoned, and clearing `outstanding` makes every later Await
+  /// fail fast on the sticky error instead of reading the socket.
+  Status Poison(Status status) {
+    error = std::move(status);
+    stashed.clear();
+    outstanding.clear();
+    return error;
   }
 
   Status WriteAll(std::string_view data) {
@@ -45,8 +61,7 @@ struct PawClient::Rep {
       const ssize_t n = ::write(fd, p, left);
       if (n < 0) {
         if (errno == EINTR) continue;
-        error = ErrnoStatus("write");
-        return error;
+        return Poison(ErrnoStatus("write"));
       }
       p += n;
       left -= static_cast<size_t>(n);
@@ -86,24 +101,28 @@ struct PawClient::Rep {
         const wire::ParseResult result =
             wire::ParseFrame(in, &frame, &consumed, &parse_error);
         if (result == wire::ParseResult::kBad) {
-          error = Status::Internal("protocol error: " + parse_error);
-          return error;
+          return Poison(Status::Internal("protocol error: " + parse_error));
         }
         if (result == wire::ParseResult::kNeedMore) break;
         in.erase(0, consumed);
         if (frame.request_id == request_id) return frame;
+        if (outstanding.count(frame.request_id) == 0) continue;
+        if (stashed.size() >= max_stashed) {
+          return Poison(Status::FailedPrecondition(
+              "pipelined response stash overflow (" +
+              std::to_string(stashed.size()) +
+              " unawaited responses); await tickets as they complete"));
+        }
         stashed.emplace(frame.request_id, std::move(frame));
       }
       const ssize_t n = ::read(fd, buf, sizeof(buf));
       if (n == 0) {
-        error = Status::Internal(
-            "connection closed by server while awaiting response");
-        return error;
+        return Poison(Status::Internal(
+            "connection closed by server while awaiting response"));
       }
       if (n < 0) {
         if (errno == EINTR) continue;
-        error = ErrnoStatus("read");
-        return error;
+        return Poison(ErrnoStatus("read"));
       }
       in.append(buf, static_cast<size_t>(n));
     }
@@ -117,14 +136,12 @@ struct PawClient::Rep {
     PAW_RETURN_NOT_OK(SendFrame(opcode, id, std::move(payload)));
     PAW_ASSIGN_OR_RETURN(wire::Frame frame, ReadResponse(id));
     if (frame.opcode != opcode) {
-      error = Status::Internal("response opcode mismatch");
-      return error;
+      return Poison(Status::Internal("response opcode mismatch"));
     }
     size_t offset = 0;
     Status status;
     if (!wire::ReadResponseStatus(frame.payload, &offset, &status)) {
-      error = Status::Internal("malformed response status preamble");
-      return error;
+      return Poison(Status::Internal("malformed response status preamble"));
     }
     PAW_RETURN_NOT_OK(status);
     return std::make_pair(std::move(frame.payload), offset);
@@ -168,6 +185,7 @@ Result<PawClient> PawClient::Connect(const std::string& host, int port,
 
   auto rep = std::make_unique<Rep>();
   rep->fd = fd;
+  rep->max_stashed = options.max_stashed_responses;
   // HELLO is sent with the *offered max* version; the server replies
   // with the negotiated one, which every later frame carries.
   rep->version = options.max_version;
@@ -292,29 +310,84 @@ Result<PawTicket> PawClient::SendAddExecution(
       wire::Opcode::kAddExecution, id,
       wire::EncodeAddExecutionRequest(
           wire::AddExecutionRequest{spec_name, exec_text})));
-  ++rep_->outstanding;
+  rep_->outstanding.insert(id);
   return id;
 }
 
 Result<wire::AddExecutionResponse> PawClient::AwaitAddExecution(
     PawTicket ticket) {
-  if (rep_->outstanding > 0) --rep_->outstanding;
+  PAW_RETURN_NOT_OK(rep_->error);
+  if (rep_->outstanding.erase(ticket) == 0) {
+    // Blocking on a ticket that was never sent (or already redeemed)
+    // would wait forever; fail fast instead.
+    return Status::InvalidArgument("unknown or already-awaited ticket " +
+                                   std::to_string(ticket));
+  }
   PAW_ASSIGN_OR_RETURN(wire::Frame frame, rep_->ReadResponse(ticket));
   if (frame.opcode != wire::Opcode::kAddExecution) {
-    rep_->error = Status::Internal("response opcode mismatch");
-    return rep_->error;
+    return rep_->Poison(Status::Internal("response opcode mismatch"));
   }
   size_t offset = 0;
   Status status;
   if (!wire::ReadResponseStatus(frame.payload, &offset, &status)) {
-    rep_->error = Status::Internal("malformed response status preamble");
-    return rep_->error;
+    return rep_->Poison(
+        Status::Internal("malformed response status preamble"));
   }
   PAW_RETURN_NOT_OK(status);
   return wire::DecodeAddExecutionResponse(frame.payload, offset);
 }
 
-size_t PawClient::pending() const { return rep_->outstanding; }
+size_t PawClient::pending() const { return rep_->outstanding.size(); }
+
+size_t PawClient::stashed() const { return rep_->stashed.size(); }
+
+Result<wire::SubscribeResponse> PawClient::Subscribe(
+    const wire::SubscribeRequest& request) {
+  PAW_ASSIGN_OR_RETURN(
+      auto result,
+      rep_->Call(wire::Opcode::kSubscribe,
+                 wire::EncodeSubscribeRequest(request)));
+  return wire::DecodeSubscribeResponse(result.first, result.second);
+}
+
+Result<wire::Frame> PawClient::ReadPushedFrame() {
+  PAW_RETURN_NOT_OK(rep_->error);
+  char buf[64 << 10];
+  for (;;) {
+    wire::Frame frame;
+    size_t consumed = 0;
+    std::string parse_error;
+    const wire::ParseResult result =
+        wire::ParseFrame(rep_->in, &frame, &consumed, &parse_error);
+    if (result == wire::ParseResult::kBad) {
+      return rep_->Poison(
+          Status::Internal("protocol error: " + parse_error));
+    }
+    if (result == wire::ParseResult::kFrame) {
+      rep_->in.erase(0, consumed);
+      return frame;
+    }
+    const ssize_t n = ::read(rep_->fd, buf, sizeof(buf));
+    if (n == 0) {
+      return rep_->Poison(
+          Status::Internal("connection closed by server"));
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return rep_->Poison(ErrnoStatus("read"));
+    }
+    rep_->in.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Status PawClient::SendRawFrame(wire::Opcode opcode, uint64_t request_id,
+                               std::string payload) {
+  return rep_->SendFrame(opcode, request_id, std::move(payload));
+}
+
+void PawClient::Shutdown() {
+  if (rep_->fd >= 0) ::shutdown(rep_->fd, SHUT_RDWR);
+}
 
 void PawClient::Close() {
   if (rep_->fd >= 0) {

@@ -24,7 +24,13 @@
 ///
 /// A `PawClient` is single-threaded (no internal locking); use one
 /// client per thread. Any transport or framing error poisons the
-/// connection — every later call returns the sticky error.
+/// connection — every later call returns the sticky error
+/// immediately (no further socket I/O), and any stashed out-of-order
+/// responses are discarded. The stash itself is bounded
+/// (`PawClientOptions::max_stashed_responses`): only responses whose
+/// request id matches an outstanding ticket are stashed, and pushing
+/// the stash past the bound poisons the connection instead of growing
+/// without limit.
 
 #include <cstdint>
 #include <memory>
@@ -44,6 +50,10 @@ struct PawClientOptions {
   uint8_t max_version = wire::kProtocolVersion;
   /// Reported to the server in HELLO.
   std::string client_name = "paw-client";
+  /// Cap on responses held for out-of-order pipelined completion; a
+  /// response that would push the stash past this poisons the
+  /// connection (it means tickets are being sent but never awaited).
+  size_t max_stashed_responses = 4096;
 };
 
 /// \brief A pipelined-call ticket; redeem with the matching Await.
@@ -103,6 +113,35 @@ class PawClient {
 
   /// \brief Requests outstanding (sent, not yet awaited).
   size_t pending() const;
+
+  /// \brief Responses stashed for out-of-order pipelined completion.
+  size_t stashed() const;
+
+  // ---- Replication transport (follower side) ----
+
+  /// \brief Attaches this connection to the leader's replication
+  /// stream (requires a prior `Auth` as an admin-level principal).
+  /// After an OK response the connection *inverts*: the leader pushes
+  /// `kReplicate` request frames, read with `ReadPushedFrame` and
+  /// acked with `SendRawFrame`. The ordinary call methods must not be
+  /// used afterwards.
+  Result<wire::SubscribeResponse> Subscribe(
+      const wire::SubscribeRequest& request);
+
+  /// \brief Blocks for the next frame the server pushes (any opcode
+  /// or request id). For subscribed connections only; the stash must
+  /// be empty.
+  Result<wire::Frame> ReadPushedFrame();
+
+  /// \brief Writes one raw frame (used to ack pushed `kReplicate`
+  /// batches with the leader's request id).
+  Status SendRawFrame(wire::Opcode opcode, uint64_t request_id,
+                      std::string payload);
+
+  /// \brief Shuts the socket down (both directions) without closing
+  /// the fd: a thread blocked in `ReadPushedFrame` sees end-of-stream
+  /// and returns. Safe to call from another thread.
+  void Shutdown();
 
   /// \brief Closes the socket; later calls fail.
   void Close();

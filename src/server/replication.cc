@@ -1,0 +1,754 @@
+#include "src/server/replication.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/client/paw_client.h"
+#include "src/common/file_io.h"
+#include "src/common/metrics.h"
+#include "src/store/record.h"
+
+namespace paw {
+namespace {
+
+Counter& ReplBatchesSent() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_repl_batches_sent_total");
+  return c;
+}
+Counter& ReplRecordsSent() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_repl_records_sent_total");
+  return c;
+}
+Counter& ReplAcks() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("paw_repl_acks_total");
+  return c;
+}
+Counter& ReplQuorumTimeouts() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_repl_quorum_timeouts_total");
+  return c;
+}
+Gauge& ReplSubscribers() {
+  static Gauge& g =
+      MetricsRegistry::Global().GetGauge("paw_repl_subscribers");
+  return g;
+}
+/// Commit-to-follower-durable latency, observed on the leader as the
+/// fastest subscriber's ack passes each commit batch.
+Histogram& ReplLagSeconds() {
+  static Histogram& h = MetricsRegistry::Global().GetLatencyHistogram(
+      "paw_repl_lag_seconds");
+  return h;
+}
+Counter& ReplBatchesApplied() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_repl_batches_applied_total");
+  return c;
+}
+Counter& ReplRecordsApplied() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_repl_records_applied_total");
+  return c;
+}
+Counter& ReplReconnects() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "paw_repl_reconnects_total");
+  return c;
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// Reads the base LSN out of a segment file's kWalHeader record
+/// without loading the whole file: frame = u32 len | u32 crc | u8
+/// type | fixed64 base.
+Result<uint64_t> ReadSegmentBase(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + std::strerror(errno));
+  }
+  char buf[kRecordHeaderSize + 8];
+  ssize_t got = 0;
+  while (got < static_cast<ssize_t>(sizeof(buf))) {
+    const ssize_t n =
+        ::pread(fd, buf + got, sizeof(buf) - static_cast<size_t>(got),
+                static_cast<off_t>(got));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    got += n;
+  }
+  ::close(fd);
+  if (got < static_cast<ssize_t>(sizeof(buf))) {
+    return Status::FailedPrecondition("segment " + path +
+                                      " too short for a WAL header");
+  }
+  const std::string_view view(buf, sizeof(buf));
+  size_t offset = 0;
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  uint64_t base = 0;
+  if (!GetFixed32(view, &offset, &len) ||
+      !GetFixed32(view, &offset, &crc) || len != 8 ||
+      static_cast<RecordType>(buf[offset]) != RecordType::kWalHeader) {
+    return Status::FailedPrecondition("segment " + path +
+                                      " does not start with a WAL header");
+  }
+  ++offset;  // type byte
+  if (!GetFixed64(view, &offset, &base)) {
+    return Status::FailedPrecondition("segment " + path +
+                                      " holds a truncated WAL header");
+  }
+  return base;
+}
+
+/// One leader→follower push, pre-encoded.
+struct PendingPush {
+  ReplicationManager::SendFn send;
+  wire::Frame frame;
+};
+
+}  // namespace
+
+// ---- ReplicationManager -----------------------------------------------------
+
+struct ReplicationManager::Subscriber {
+  uint64_t token = 0;
+  std::string name;
+  SendFn send;
+  bool failed = false;
+  /// False until ActivateSubscriber: the SUBSCRIBE response must hit
+  /// the connection's output queue before the first push does.
+  bool active = false;
+  /// Per shard: next LSN to push.
+  std::vector<uint64_t> next;
+  /// Per shard: highest LSN the follower acked durable.
+  std::vector<uint64_t> acked;
+  /// Per shard: end LSNs of pushed-but-unacked batches (the window).
+  std::vector<std::deque<uint64_t>> inflight;
+  /// Per shard: segment seq this subscriber pins (retention floor
+  /// contribution); advanced as acks pass rotation points.
+  std::vector<uint64_t> pin;
+};
+
+struct ReplicationManager::Shard {
+  WriteAheadLog* wal = nullptr;
+  /// Highest LSN the commit sink has seen on disk.
+  uint64_t committed = 0;
+  /// Live ring of recent commit batches (raw record.h frames),
+  /// contiguous; `ring[i]` covers [base, base + count - 1].
+  struct RingEntry {
+    uint64_t base = 0;
+    uint64_t count = 0;
+    std::string frames;
+  };
+  std::deque<RingEntry> ring;
+  size_t ring_bytes = 0;
+  /// (batch end LSN, commit instant) for the lag histogram; popped as
+  /// the fastest subscriber's ack passes each entry.
+  std::deque<std::pair<uint64_t, Clock::time_point>> commit_times;
+  /// Highest LSN any subscriber acked (quorum waits watch this).
+  uint64_t max_acked = 0;
+};
+
+struct ReplicationManager::Rep {
+  ReplicationManagerOptions options;
+  std::vector<Shard> shards;
+
+  mutable std::mutex mu;
+  /// Wakes the sender (new commits, acks freeing window, new subs).
+  std::condition_variable work_cv;
+  /// Wakes quorum waiters (max_acked advanced).
+  std::condition_variable quorum_cv;
+  std::unordered_map<uint64_t, std::unique_ptr<Subscriber>> subscribers;
+  uint64_t next_push_id = 1;
+  bool started = false;
+  bool stop = false;
+  std::thread sender;
+};
+
+ReplicationManager::ReplicationManager(std::vector<WriteAheadLog*> wals,
+                                       ReplicationManagerOptions options)
+    : rep_(std::make_unique<Rep>()) {
+  rep_->options = options;
+  rep_->shards.resize(wals.size());
+  for (size_t i = 0; i < wals.size(); ++i) {
+    rep_->shards[i].wal = wals[i];
+    rep_->shards[i].committed = wals[i]->last_lsn();
+    rep_->shards[i].max_acked = 0;
+  }
+}
+
+ReplicationManager::~ReplicationManager() { Stop(); }
+
+void ReplicationManager::Start() {
+  Rep* r = rep_.get();
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    if (r->started) return;
+    r->started = true;
+    r->stop = false;
+  }
+  for (size_t i = 0; i < r->shards.size(); ++i) {
+    r->shards[i].wal->SetCommitSink(
+        [this, i](uint64_t first_lsn, uint64_t num_records,
+                  std::string_view frames) {
+          Rep* rr = rep_.get();
+          const Clock::time_point now = Clock::now();
+          {
+            std::lock_guard<std::mutex> lock(rr->mu);
+            Shard& sh = rr->shards[i];
+            Shard::RingEntry entry;
+            entry.base = first_lsn;
+            entry.count = num_records;
+            entry.frames.assign(frames.data(), frames.size());
+            sh.ring_bytes += entry.frames.size();
+            sh.ring.push_back(std::move(entry));
+            while (sh.ring_bytes > rr->options.live_buffer_bytes &&
+                   sh.ring.size() > 1) {
+              sh.ring_bytes -= sh.ring.front().frames.size();
+              sh.ring.pop_front();
+            }
+            sh.committed = first_lsn + num_records - 1;
+            sh.commit_times.emplace_back(sh.committed, now);
+            if (sh.commit_times.size() > 4096) sh.commit_times.pop_front();
+          }
+          rr->work_cv.notify_all();
+        });
+  }
+  r->sender = std::thread([this] { SenderLoop(); });
+}
+
+void ReplicationManager::Stop() {
+  Rep* r = rep_.get();
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    if (!r->started) return;
+    r->stop = true;
+  }
+  for (Shard& sh : r->shards) sh.wal->SetCommitSink(nullptr);
+  r->work_cv.notify_all();
+  r->quorum_cv.notify_all();
+  if (r->sender.joinable()) r->sender.join();
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    r->subscribers.clear();
+    r->started = false;
+  }
+  ReplSubscribers().Set(0);
+}
+
+Result<wire::SubscribeResponse> ReplicationManager::AddSubscriber(
+    uint64_t token, const std::string& name,
+    std::vector<uint64_t> last_lsns, SendFn send) {
+  Rep* r = rep_.get();
+  const size_t num_shards = r->shards.size();
+  if (last_lsns.size() != num_shards) {
+    return Status::InvalidArgument(
+        "subscriber reports " + std::to_string(last_lsns.size()) +
+        " shards, leader has " + std::to_string(num_shards));
+  }
+
+  // Pin the retention floor *before* validating the cursor, so
+  // compaction cannot unlink the segments this stream needs between
+  // the check and the first push. Pinning at the oldest segment on
+  // disk is conservative; acks release it as the follower catches up.
+  auto sub = std::make_unique<Subscriber>();
+  sub->token = token;
+  sub->name = name;
+  sub->send = std::move(send);
+  sub->next.resize(num_shards);
+  sub->acked.resize(num_shards);
+  sub->inflight.resize(num_shards);
+  sub->pin.resize(num_shards, WriteAheadLog::kNoRetainFloor);
+
+  wire::SubscribeResponse resp;
+  resp.leader_lsns.resize(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    WriteAheadLog* wal = r->shards[i].wal;
+    PAW_ASSIGN_OR_RETURN(const auto segments,
+                         ListWalSegments(wal->dir()));
+    if (segments.empty()) {
+      return Status::Internal("shard " + std::to_string(i) +
+                              " has no WAL segments");
+    }
+    sub->pin[i] = segments.front().seq;
+    PAW_RETURN_NOT_OK(wal->SetRetainFloor(
+        std::min(wal->retain_floor(), segments.front().seq)));
+    PAW_ASSIGN_OR_RETURN(const uint64_t oldest_base,
+                         ReadSegmentBase(segments.front().path));
+    const uint64_t last = last_lsns[i];
+    const uint64_t tail = wal->last_lsn();
+    if (last > tail) {
+      return Status::InvalidArgument(
+          "follower is ahead of the leader on shard " +
+          std::to_string(i) + " (follower " + std::to_string(last) +
+          ", leader " + std::to_string(tail) +
+          "); refusing to diverge");
+    }
+    if (last < oldest_base) {
+      return Status::FailedPrecondition(
+          "follower too far behind on shard " + std::to_string(i) +
+          " (needs LSN " + std::to_string(last + 1) +
+          ", oldest on disk is " + std::to_string(oldest_base + 1) +
+          "); re-seed from a copy of the leader store");
+    }
+    sub->next[i] = last + 1;
+    sub->acked[i] = last;
+    resp.leader_lsns[i] = tail;
+  }
+
+  size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    if (r->stop) return Status::FailedPrecondition("server stopping");
+    r->subscribers[token] = std::move(sub);
+    count = r->subscribers.size();
+    UpdateFloorsLocked();
+  }
+  ReplSubscribers().Set(static_cast<int64_t>(count));
+  r->work_cv.notify_all();
+  return resp;
+}
+
+void ReplicationManager::ActivateSubscriber(uint64_t token) {
+  Rep* r = rep_.get();
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    auto it = r->subscribers.find(token);
+    if (it == r->subscribers.end()) return;
+    it->second->active = true;
+  }
+  r->work_cv.notify_all();
+}
+
+void ReplicationManager::RemoveSubscriber(uint64_t token) {
+  Rep* r = rep_.get();
+  size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    if (r->subscribers.erase(token) == 0) return;
+    count = r->subscribers.size();
+    UpdateFloorsLocked();
+  }
+  ReplSubscribers().Set(static_cast<int64_t>(count));
+}
+
+void ReplicationManager::HandleAck(uint64_t token,
+                                   const wire::ReplicateResponse& ack) {
+  Rep* r = rep_.get();
+  const Clock::time_point now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    auto it = r->subscribers.find(token);
+    if (it == r->subscribers.end()) return;
+    Subscriber* sub = it->second.get();
+    const int shard = ack.shard;
+    if (shard < 0 || static_cast<size_t>(shard) >= r->shards.size()) {
+      return;
+    }
+    Shard& sh = r->shards[static_cast<size_t>(shard)];
+    if (ack.durable_lsn > sub->acked[static_cast<size_t>(shard)]) {
+      sub->acked[static_cast<size_t>(shard)] = ack.durable_lsn;
+    }
+    std::deque<uint64_t>& window =
+        sub->inflight[static_cast<size_t>(shard)];
+    while (!window.empty() && window.front() <= ack.durable_lsn) {
+      window.pop_front();
+    }
+    // Once the ack clears the active segment's base, only the active
+    // segment can still hold records this subscriber needs.
+    if (ack.durable_lsn >= sh.wal->base_lsn()) {
+      sub->pin[static_cast<size_t>(shard)] = sh.wal->active_seq();
+    }
+    if (ack.durable_lsn > sh.max_acked) {
+      sh.max_acked = ack.durable_lsn;
+      while (!sh.commit_times.empty() &&
+             sh.commit_times.front().first <= ack.durable_lsn) {
+        ReplLagSeconds().Observe(
+            std::chrono::duration<double>(
+                now - sh.commit_times.front().second)
+                .count());
+        sh.commit_times.pop_front();
+      }
+    }
+    UpdateFloorsLocked();
+  }
+  ReplAcks().Add();
+  r->quorum_cv.notify_all();
+  r->work_cv.notify_all();
+}
+
+bool ReplicationManager::WaitForQuorum(int shard, uint64_t lsn,
+                                       int timeout_ms) {
+  Rep* r = rep_.get();
+  if (shard < 0 || static_cast<size_t>(shard) >= r->shards.size()) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(r->mu);
+  const bool ok = r->quorum_cv.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [&] {
+        return r->stop ||
+               r->shards[static_cast<size_t>(shard)].max_acked >= lsn;
+      });
+  const bool reached =
+      ok && r->shards[static_cast<size_t>(shard)].max_acked >= lsn;
+  if (!reached) ReplQuorumTimeouts().Add();
+  return reached;
+}
+
+size_t ReplicationManager::num_subscribers() const {
+  Rep* r = rep_.get();
+  std::lock_guard<std::mutex> lock(r->mu);
+  return r->subscribers.size();
+}
+
+void ReplicationManager::UpdateFloorsLocked() {
+  Rep* r = rep_.get();
+  for (size_t i = 0; i < r->shards.size(); ++i) {
+    uint64_t floor = WriteAheadLog::kNoRetainFloor;
+    for (const auto& [token, sub] : r->subscribers) {
+      if (sub->failed) continue;
+      floor = std::min(floor, sub->pin[i]);
+    }
+    WriteAheadLog* wal = r->shards[i].wal;
+    if (wal->retain_floor() != floor) {
+      // Floor moves are advisory for liveness, not correctness: a
+      // failed write just retains segments longer.
+      (void)wal->SetRetainFloor(floor);
+    }
+  }
+}
+
+bool ReplicationManager::MaybeSendLocked(
+    std::unique_lock<std::mutex>& lock, Subscriber* sub, int shard) {
+  Rep* r = rep_.get();
+  Shard& sh = r->shards[static_cast<size_t>(shard)];
+  const size_t si = static_cast<size_t>(shard);
+  if (sub->failed || !sub->active) return false;
+  if (sub->inflight[si].size() >= r->options.max_unacked_batches) {
+    return false;
+  }
+  const uint64_t next = sub->next[si];
+  if (next > sh.committed) return false;  // caught up
+
+  wire::ReplicateRequest req;
+  req.shard = shard;
+  req.base_lsn = next;
+  size_t bytes = 0;
+
+  const bool ring_covers =
+      !sh.ring.empty() && next >= sh.ring.front().base;
+  if (ring_covers) {
+    // Stream from the in-memory ring: parse the raw commit-batch
+    // frames back into records, skipping any below the cursor.
+    for (const Shard::RingEntry& entry : sh.ring) {
+      if (entry.base + entry.count <= next) continue;
+      RecordReader reader(entry.frames);
+      Record record;
+      uint64_t lsn = entry.base - 1;
+      while (reader.Next(&record) == ReadOutcome::kRecord) {
+        ++lsn;
+        if (lsn < next) continue;
+        if (lsn != req.base_lsn + req.records.size()) break;  // gap
+        bytes += record.payload.size();
+        wire::ReplicateRequest::Rec rec;
+        rec.type = static_cast<uint8_t>(record.type);
+        rec.payload = std::move(record.payload);
+        req.records.push_back(std::move(rec));
+        if (req.records.size() >= r->options.max_batch_records ||
+            bytes >= r->options.max_batch_bytes) {
+          break;
+        }
+      }
+      if (req.records.size() >= r->options.max_batch_records ||
+          bytes >= r->options.max_batch_bytes) {
+        break;
+      }
+    }
+  } else {
+    // Catch-up: stream from segment files, off-lock (disk I/O).
+    const std::string dir = sh.wal->dir();
+    lock.unlock();
+    Result<std::vector<WalSegmentFile>> segments = ListWalSegments(dir);
+    std::string data;
+    uint64_t chosen_base = 0;
+    Status status = segments.status();
+    if (status.ok()) {
+      // The containing segment is the last one whose base is below
+      // the cursor (its records span (base, next segment's base]).
+      const WalSegmentFile* chosen = nullptr;
+      for (const WalSegmentFile& seg : segments.value()) {
+        Result<uint64_t> base = ReadSegmentBase(seg.path);
+        if (!base.ok()) {
+          status = base.status();
+          break;
+        }
+        if (base.value() < next) {
+          chosen = &seg;
+          chosen_base = base.value();
+        } else {
+          break;
+        }
+      }
+      if (status.ok() && chosen == nullptr) {
+        status = Status::FailedPrecondition(
+            "records below LSN " + std::to_string(next) +
+            " are no longer on disk");
+      }
+      if (status.ok()) {
+        Result<std::string> read = ReadFileToString(chosen->path);
+        if (read.ok()) {
+          data = std::move(read.value());
+        } else {
+          status = read.status();
+        }
+      }
+    }
+    if (status.ok()) {
+      RecordReader reader(data);
+      Record record;
+      uint64_t lsn = chosen_base;
+      // A torn tail here just means the active segment grew under the
+      // read; send the clean prefix and loop.
+      while (reader.Next(&record) == ReadOutcome::kRecord) {
+        if (record.type == RecordType::kWalHeader) continue;
+        ++lsn;
+        if (lsn < next) continue;
+        bytes += record.payload.size();
+        wire::ReplicateRequest::Rec rec;
+        rec.type = static_cast<uint8_t>(record.type);
+        rec.payload = std::move(record.payload);
+        req.records.push_back(std::move(rec));
+        if (req.records.size() >= r->options.max_batch_records ||
+            bytes >= r->options.max_batch_bytes) {
+          break;
+        }
+      }
+    }
+    lock.lock();
+    // Re-validate: the subscriber may have been dropped mid-read.
+    auto it = r->subscribers.find(sub->token);
+    if (it == r->subscribers.end() || it->second.get() != sub ||
+        sub->failed || r->stop) {
+      return false;
+    }
+    if (!status.ok()) {
+      sub->failed = true;
+      return false;
+    }
+    if (req.records.empty()) return false;  // racing rotation; retry
+  }
+
+  if (req.records.empty()) return false;
+
+  wire::Frame frame;
+  frame.version = wire::kProtocolVersion;
+  frame.opcode = wire::Opcode::kReplicate;
+  frame.request_id = r->next_push_id++;
+  frame.payload = wire::EncodeReplicateRequest(req);
+  const uint64_t end = req.base_lsn + req.records.size() - 1;
+  sub->next[si] = end + 1;
+  sub->inflight[si].push_back(end);
+  SendFn send = sub->send;
+  const size_t sent_records = req.records.size();
+
+  lock.unlock();
+  const bool delivered = send(std::move(frame));
+  lock.lock();
+  if (delivered) {
+    ReplBatchesSent().Add();
+    ReplRecordsSent().Add(sent_records);
+  } else {
+    auto it = r->subscribers.find(sub->token);
+    if (it != r->subscribers.end() && it->second.get() == sub) {
+      sub->failed = true;
+    }
+  }
+  return delivered;
+}
+
+void ReplicationManager::SenderLoop() {
+  Rep* r = rep_.get();
+  std::unique_lock<std::mutex> lock(r->mu);
+  for (;;) {
+    if (r->stop) return;
+    bool sent = false;
+    // Round-robin one batch per (subscriber, shard) per pass, so a
+    // catching-up follower cannot starve a live one.
+    for (auto& [token, sub] : r->subscribers) {
+      for (size_t i = 0; i < r->shards.size(); ++i) {
+        if (r->stop) return;
+        sent |= MaybeSendLocked(lock, sub.get(), static_cast<int>(i));
+      }
+    }
+    if (!sent) {
+      // Idle or window-stalled: sleep until a commit or ack wakes us.
+      // The timeout bounds the wait against lost wakeups.
+      r->work_cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+}
+
+// ---- ReplicationFollower ----------------------------------------------------
+
+struct ReplicationFollower::Rep {
+  ReplicationFollowerOptions options;
+  LsnsFn lsns;
+  ApplyFn apply;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  bool connected = false;
+  std::string last_error;
+  PawClient* live_client = nullptr;  // for Stop() to shut down
+  std::thread thread;
+};
+
+ReplicationFollower::ReplicationFollower(
+    ReplicationFollowerOptions options, LsnsFn lsns, ApplyFn apply)
+    : rep_(std::make_unique<Rep>()) {
+  rep_->options = std::move(options);
+  rep_->lsns = std::move(lsns);
+  rep_->apply = std::move(apply);
+}
+
+ReplicationFollower::~ReplicationFollower() { Stop(); }
+
+void ReplicationFollower::Start() {
+  rep_->thread = std::thread([this] { Loop(); });
+}
+
+void ReplicationFollower::Stop() {
+  Rep* r = rep_.get();
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    r->stop = true;
+    if (r->live_client != nullptr) {
+      // Unblocks the reader; the loop exits on the resulting error.
+      r->live_client->Shutdown();
+    }
+  }
+  r->cv.notify_all();
+  if (r->thread.joinable()) r->thread.join();
+}
+
+bool ReplicationFollower::connected() const {
+  std::lock_guard<std::mutex> lock(rep_->mu);
+  return rep_->connected;
+}
+
+std::string ReplicationFollower::last_error() const {
+  std::lock_guard<std::mutex> lock(rep_->mu);
+  return rep_->last_error;
+}
+
+void ReplicationFollower::Loop() {
+  Rep* r = rep_.get();
+  bool first = true;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(r->mu);
+      if (r->stop) return;
+      if (!first) {
+        r->cv.wait_for(lock,
+                       std::chrono::milliseconds(r->options.retry_ms),
+                       [&] { return r->stop; });
+        if (r->stop) return;
+      }
+    }
+    if (!first) ReplReconnects().Add();
+    first = false;
+    const Status status = RunOnce();
+    {
+      std::lock_guard<std::mutex> lock(r->mu);
+      r->connected = false;
+      if (!status.ok()) r->last_error = status.message();
+      if (r->stop) return;
+    }
+  }
+}
+
+Status ReplicationFollower::RunOnce() {
+  Rep* r = rep_.get();
+  PawClientOptions copts;
+  copts.client_name = r->options.follower_name;
+  PAW_ASSIGN_OR_RETURN(
+      PawClient client,
+      PawClient::Connect(r->options.leader_host, r->options.leader_port,
+                         copts));
+  PAW_RETURN_NOT_OK(client.Auth(r->options.principal));
+
+  wire::SubscribeRequest sub;
+  sub.last_lsns = r->lsns();
+  sub.follower_name = r->options.follower_name;
+  PAW_ASSIGN_OR_RETURN(const wire::SubscribeResponse resp,
+                       client.Subscribe(sub));
+  (void)resp;
+
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    if (r->stop) return Status::OK();
+    r->connected = true;
+    r->live_client = &client;
+  }
+  // From here the connection is inverted: read leader pushes, apply,
+  // ack. Any error drops the stream; the outer loop reconnects and
+  // re-subscribes from the follower's own durable cursor.
+  Status status = Status::OK();
+  for (;;) {
+    Result<wire::Frame> pushed = client.ReadPushedFrame();
+    if (!pushed.ok()) {
+      status = pushed.status();
+      break;
+    }
+    if (pushed.value().opcode != wire::Opcode::kReplicate) {
+      status = Status::Internal(
+          "unexpected push opcode " +
+          std::string(wire::OpcodeName(pushed.value().opcode)));
+      break;
+    }
+    Result<wire::ReplicateRequest> batch =
+        wire::DecodeReplicateRequest(pushed.value().payload);
+    if (!batch.ok()) {
+      status = batch.status();
+      break;
+    }
+    Result<uint64_t> durable = r->apply(batch.value());
+    if (!durable.ok()) {
+      status = durable.status();
+      break;
+    }
+    ReplBatchesApplied().Add();
+    ReplRecordsApplied().Add(batch.value().records.size());
+    wire::ReplicateResponse ack;
+    ack.shard = batch.value().shard;
+    ack.durable_lsn = durable.value();
+    std::string payload;
+    wire::AppendResponseStatus(Status::OK(), &payload);
+    payload += wire::EncodeReplicateResponse(ack);
+    status = client.SendRawFrame(wire::Opcode::kReplicate,
+                                 pushed.value().request_id,
+                                 std::move(payload));
+    if (!status.ok()) break;
+    {
+      std::lock_guard<std::mutex> lock(r->mu);
+      if (r->stop) break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(r->mu);
+    r->live_client = nullptr;
+    r->connected = false;
+  }
+  return status;
+}
+
+}  // namespace paw

@@ -33,6 +33,7 @@
 #include "src/privacy/policy_text.h"
 #include "src/provenance/serialize.h"
 #include "src/query/engine.h"
+#include "src/server/replication.h"
 #include "src/server/wire.h"
 #include "src/store/sharded_repository.h"
 #include "src/workflow/serialize.h"
@@ -61,7 +62,7 @@ std::string FormatMs(int64_t us) {
 // ---- Metrics ---------------------------------------------------------------
 
 constexpr size_t kNumOpcodes =
-    static_cast<size_t>(wire::Opcode::kMetrics) + 1;
+    static_cast<size_t>(wire::Opcode::kReplicate) + 1;
 
 std::string OpcodeMetricName(const char* family, size_t op) {
   return std::string(family) + "{opcode=\"" +
@@ -386,6 +387,18 @@ class ServerStore {
   /// Shard LSN rendered globally (epoch-prefixed for sharded stores).
   /// An atomic read — safe to call concurrently with appends.
   virtual uint64_t GlobalLsn(int shard) const = 0;
+  /// Raw per-shard WAL LSN — the unit replication speaks (never
+  /// epoch-prefixed). An atomic read.
+  virtual uint64_t ShardLsn(int shard) const = 0;
+  /// One shard's WAL, for commit-sink installation and retention-floor
+  /// moves (replication only).
+  virtual WriteAheadLog* ShardWal(int shard) = 0;
+  /// Follower apply path: appends one replicated record to the shard's
+  /// own WAL with identical framing and replays it (see
+  /// `PersistentRepository::ApplyReplicated`). Caller is the single
+  /// replication apply thread under the server's lease discipline.
+  virtual Result<uint64_t> ApplyReplicated(int shard, RecordType type,
+                                           std::string_view payload) = 0;
 };
 
 /// Single-directory store: appends are serialized on an internal
@@ -424,6 +437,13 @@ class SingleServerStore : public ServerStore {
     return store_.Compact();
   }
   uint64_t GlobalLsn(int) const override { return store_.lsn(); }
+  uint64_t ShardLsn(int) const override { return store_.lsn(); }
+  WriteAheadLog* ShardWal(int) override { return store_.mutable_wal(); }
+  Result<uint64_t> ApplyReplicated(int, RecordType type,
+                                   std::string_view payload) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.ApplyReplicated(type, payload);
+  }
 
  private:
   std::mutex mu_;
@@ -463,6 +483,19 @@ class ShardedServerStore : public ServerStore {
     return ShardedRepository::EpochLsn(store_.epoch(),
                                        store_.shard(shard).lsn());
   }
+  uint64_t ShardLsn(int shard) const override {
+    return store_.shard(shard).lsn();
+  }
+  WriteAheadLog* ShardWal(int shard) override {
+    return store_.shard(shard).mutable_wal();
+  }
+  Result<uint64_t> ApplyReplicated(int shard, RecordType type,
+                                   std::string_view payload) override {
+    // The replication apply thread is the only writer on a follower
+    // (write opcodes are rejected), so bypassing the writer queues
+    // preserves the per-shard single-writer contract.
+    return store_.shard(shard).ApplyReplicated(type, payload);
+  }
 
  private:
   ShardedRepository store_;
@@ -494,11 +527,17 @@ struct RequestTrace {
 /// Per-connection state. The event loop owns `fd`, `in`, `out`, and
 /// `want_write`; everything under `mu` is shared with the worker that
 /// processes this connection's frames.
-struct Connection {
+struct Connection : std::enable_shared_from_this<Connection> {
   int fd = -1;
   int64_t last_active_ms = 0;
   /// Monotonic stamp of the accept(2), for connection-age traces.
   int64_t accept_us = 0;
+  /// Server-unique id; doubles as the replication subscriber token.
+  uint64_t id = 0;
+  /// Set once this connection SUBSCRIBEd as a replication follower:
+  /// its incoming kReplicate frames are acks (not requests), and the
+  /// idle timeout is waived — a caught-up follower is quiet by design.
+  std::atomic<bool> subscriber{false};
 
   // Event-loop-only:
   std::string in;
@@ -578,6 +617,15 @@ struct PawServer::Impl {
   /// the server never rebuilds or swaps engines while serving.
   std::vector<std::unique_ptr<QueryEngine>> engines;
 
+  /// Leader-side replication stream manager (null on followers).
+  std::unique_ptr<ReplicationManager> repl;
+  /// Follower-side connect/subscribe/apply loop (null on leaders).
+  std::unique_ptr<ReplicationFollower> follower;
+  /// True when `options.follow_host` is set: this pawd is a read-only
+  /// replica and rejects write opcodes.
+  bool is_follower = false;
+  std::atomic<uint64_t> next_conn_id{1};
+
   int listen_fd = -1;
   int port = 0;
   int wake_read = -1;
@@ -635,9 +683,15 @@ struct PawServer::Impl {
 
   void StopInternal() {
     if (stopped.exchange(true)) return;
+    // Follower first: its apply thread takes the lease and writes the
+    // store, so it must be quiet before teardown.
+    if (follower != nullptr) follower->Stop();
     stopping.store(true, std::memory_order_release);
     Wake();
     if (loop_thread.joinable()) loop_thread.join();
+    // The sender thread only appends to (now dead) connections; stop
+    // it before the WAL sinks' owner goes away.
+    if (repl != nullptr) repl->Stop();
     // Drain workers (their output goes nowhere now, but queued writer
     // ops must land before the store closes).
     workers.reset();
@@ -801,6 +855,7 @@ struct PawServer::Impl {
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       auto conn = std::make_shared<Connection>();
       conn->fd = fd;
+      conn->id = next_conn_id.fetch_add(1, std::memory_order_relaxed);
       conn->last_active_ms = NowMs();
       conn->accept_us = NowMicros();
       if (!poller->Add(fd, false).ok()) {
@@ -951,13 +1006,21 @@ struct PawServer::Impl {
     std::vector<std::shared_ptr<Connection>> idle;
     for (auto& [fd, conn] : conns) {
       (void)fd;
+      // Replication subscribers are exempt: a fully caught-up follower
+      // exchanges no frames, which is success, not idleness.
+      if (conn->subscriber.load(std::memory_order_relaxed)) continue;
       bool busy;
       {
         std::lock_guard<std::mutex> lock(conn->mu);
         busy = conn->processing || !conn->frames.empty() ||
                !conn->pending_out.empty();
       }
-      if (!busy && conn->out.empty() &&
+      // `in` non-empty means a partially received frame (e.g. a slow
+      // client trickling a pipelined append): the request is in flight
+      // even though no parsed frame is queued yet, so the connection
+      // is NOT idle — closing here would drop an accepted-but-unacked
+      // write mid-upload.
+      if (!busy && conn->in.empty() && conn->out.empty() &&
           now - conn->last_active_ms > options.idle_timeout_ms) {
         idle.push_back(conn);
       }
@@ -974,6 +1037,10 @@ struct PawServer::Impl {
     if (it == conns.end()) return;
     conns.erase(it);
     poller->Del(conn->fd);
+    if (repl != nullptr &&
+        conn->subscriber.load(std::memory_order_relaxed)) {
+      repl->RemoveSubscriber(conn->id);
+    }
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->closed = true;
@@ -981,6 +1048,23 @@ struct PawServer::Impl {
     ::close(conn->fd);
     live_conns.fetch_sub(1, std::memory_order_relaxed);
     ConnectionsGauge().Add(-1);
+  }
+
+  /// Queues one leader-pushed frame on a subscriber connection; called
+  /// from the replication sender thread. Returns false once the
+  /// connection is closing — the manager then fails the subscriber.
+  bool PushFrame(const std::shared_ptr<Connection>& conn,
+                 wire::Frame&& frame) {
+    frame.version = conn->version;
+    std::string bytes;
+    AppendFrame(frame, &bytes);
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->closed || conn->close_after_flush) return false;
+      conn->pending_out.append(bytes);
+    }
+    Wake();
+    return true;
   }
 
   // ---- request processing (worker threads) ----
@@ -1109,7 +1193,16 @@ struct PawServer::Impl {
         conn->close_after_flush = true;
         return;
       }
-      if (frame.opcode == wire::Opcode::kAddExecution && conn->authed) {
+      if (conn->subscriber.load(std::memory_order_relaxed) &&
+          frame.opcode == wire::Opcode::kReplicate) {
+        // Inverted connection: this is the follower's ack to a pushed
+        // batch, not a request — route it, emit no response.
+        HandleReplicateAck(conn, frame);
+        ++i;
+        continue;
+      }
+      if (frame.opcode == wire::Opcode::kAddExecution && conn->authed &&
+          !is_follower) {
         // Batch the whole pipelined run of appends: enqueue all, then
         // await acks in order — one shared lease acquisition, and the
         // store's group commit amortizes the fsyncs.
@@ -1146,6 +1239,27 @@ struct PawServer::Impl {
               "", out);
       return;
     }
+    if (is_follower) {
+      switch (frame.opcode) {
+        case wire::Opcode::kAddSpec:
+        case wire::Opcode::kAddExecution:
+        case wire::Opcode::kCompact:
+        case wire::Opcode::kSubscribe:
+          // Read-only replica: redirect-style rejection naming the
+          // leader, so clients (and operators) know where writes go.
+          Respond(conn, frame,
+                  Status::FailedPrecondition(
+                      std::string(wire::OpcodeName(frame.opcode)) +
+                      " rejected: this pawd is a read-only follower of " +
+                      options.follow_host + ":" +
+                      std::to_string(options.follow_port) +
+                      "; send writes to the leader"),
+                  "", out);
+          return;
+        default:
+          break;
+      }
+    }
     switch (frame.opcode) {
       case wire::Opcode::kAddSpec:
         return HandleAddSpec(conn, frame, out);
@@ -1170,10 +1284,141 @@ struct PawServer::Impl {
         return HandleCompact(conn, frame, out);
       case wire::Opcode::kMetrics:
         return HandleMetrics(conn, frame, out);
+      case wire::Opcode::kSubscribe:
+        return HandleSubscribe(conn, frame, out);
+      case wire::Opcode::kReplicate:
+        // Only valid as an ack on a subscribed connection (routed in
+        // HandleBatch before it gets here).
+        Respond(conn, frame,
+                Status::FailedPrecondition(
+                    "REPLICATE is only valid on a connection that "
+                    "SUBSCRIBEd as a replication follower"),
+                "", out);
+        return;
       default:
         Respond(conn, frame,
                 Status::Unimplemented("unhandled opcode"), "", out);
     }
+  }
+
+  /// SUBSCRIBE: registers the connection as a replication follower.
+  /// The subscriber starts paused in the manager; the response is
+  /// queued on the wire *before* activation, so the first REPLICATE
+  /// push can never overtake the SUBSCRIBE response.
+  void HandleSubscribe(Connection* conn, const wire::Frame& frame,
+                       std::string* out) {
+    if (conn->level < admin_level) {
+      Respond(conn, frame,
+              Status::PermissionDenied(
+                  "SUBSCRIBE requires level >= " +
+                  std::to_string(admin_level) + " (session level " +
+                  std::to_string(conn->level) + ")"),
+              "", out);
+      return;
+    }
+    auto req = wire::DecodeSubscribeRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      return;
+    }
+    wire::SubscribeRequest sreq = std::move(req).value();
+    std::weak_ptr<Connection> weak = conn->shared_from_this();
+    auto resp = repl->AddSubscriber(
+        conn->id, sreq.follower_name, std::move(sreq.last_lsns),
+        [this, weak](wire::Frame&& f) {
+          std::shared_ptr<Connection> c = weak.lock();
+          return c != nullptr && PushFrame(c, std::move(f));
+        });
+    if (!resp.ok()) {
+      Respond(conn, frame, resp.status(), "", out);
+      return;
+    }
+    conn->subscriber.store(true, std::memory_order_relaxed);
+    std::string resp_bytes;
+    Respond(conn, frame, Status::OK(),
+            EncodeSubscribeResponse(resp.value()), &resp_bytes);
+    {
+      // Flush this batch's earlier responses plus ours straight to the
+      // connection, preserving order, then activate — from that point
+      // the sender thread may append pushes behind them.
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->closed) {
+        conn->pending_out.append(*out);
+        out->clear();
+        conn->pending_out.append(resp_bytes);
+      }
+    }
+    Wake();
+    repl->ActivateSubscriber(conn->id);
+  }
+
+  /// A follower's REPLICATE response riding the inverted subscriber
+  /// connection: decode, route to the manager. No response is emitted
+  /// (pushes are leader-initiated).
+  void HandleReplicateAck(Connection* conn, const wire::Frame& frame) {
+    size_t offset = 0;
+    Status status;
+    if (!wire::ReadResponseStatus(frame.payload, &offset, &status) ||
+        !status.ok()) {
+      return;  // follower failed the batch; it will drop and resubscribe
+    }
+    auto ack = wire::DecodeReplicateResponse(frame.payload, offset);
+    if (ack.ok() && repl != nullptr) {
+      repl->HandleAck(conn->id, ack.value());
+    }
+  }
+
+  /// Follower apply path: one pushed batch → the store, under the same
+  /// lease discipline the leader's own write path uses. Returns the
+  /// shard's durable LSN to ack.
+  Result<uint64_t> ApplyReplicatedBatch(const wire::ReplicateRequest& req) {
+    if (req.shard < 0 || req.shard >= store->num_shards()) {
+      return Status::InvalidArgument(
+          "replicated batch for unknown shard " +
+          std::to_string(req.shard));
+    }
+    const uint64_t have = store->ShardLsn(req.shard);
+    // A reconnect can replay records the follower already applied (the
+    // leader streams from segment boundaries): skip the known prefix.
+    size_t skip = 0;
+    if (req.base_lsn <= have) {
+      skip = static_cast<size_t>(have - req.base_lsn) + 1;
+      if (skip >= req.records.size()) return have;
+    } else if (req.base_lsn != have + 1) {
+      return Status::FailedPrecondition(
+          "replication gap: follower at lsn " + std::to_string(have) +
+          ", batch starts at lsn " + std::to_string(req.base_lsn));
+    }
+    for (size_t k = skip; k < req.records.size(); ++k) {
+      const auto& rec = req.records[k];
+      const RecordType type = static_cast<RecordType>(rec.type);
+      if (type == RecordType::kSpec || type == RecordType::kSpecV2) {
+        // Spec appends pin registry entries from the shard's entry
+        // vector — exclusive + drained, exactly like ADD_SPEC.
+        std::unique_lock<std::shared_mutex> exclusive = ExclusiveLease();
+        store->Drain();
+        auto lsn = store->ApplyReplicated(req.shard, type, rec.payload);
+        PAW_RETURN_NOT_OK(lsn.status());
+        const Repository& r = repo(req.shard);
+        const int id = r.num_specs() - 1;
+        const SpecEntry& entry = r.entry(id);
+        {
+          std::lock_guard<std::mutex> lock(reg_mu);
+          registry[entry.spec.name()] = SpecInfo{{req.shard, id}, &entry};
+        }
+        engines[static_cast<size_t>(req.shard)]->InvalidateSpecViews(id);
+      } else {
+        std::shared_lock<std::shared_mutex> shared = SharedLease();
+        auto lsn = store->ApplyReplicated(req.shard, type, rec.payload);
+        PAW_RETURN_NOT_OK(lsn.status());
+      }
+    }
+    // The ack promises durability: force the batch down when the store
+    // is not already syncing each append.
+    if (!options.store.sync_each_append) {
+      PAW_RETURN_NOT_OK(store->Sync());
+    }
+    return store->ShardLsn(req.shard);
   }
 
   void HandleHello(Connection* conn, const wire::Frame& frame,
@@ -1365,6 +1610,24 @@ struct PawServer::Impl {
       if (!id.ok()) {
         Respond(conn, batch[i].frame, id.status(), "", out);
         continue;
+      }
+      if (options.quorum_acks && repl != nullptr) {
+        // acks=quorum: the ack additionally means "a follower has this
+        // durable". Waiting on the shard's current tail is conservative
+        // (it may cover later writes too) but always covers this one.
+        const uint64_t lsn = store->ShardLsn(p.shard);
+        if (!repl->WaitForQuorum(p.shard, lsn,
+                                 options.quorum_timeout_ms)) {
+          Respond(conn, batch[i].frame,
+                  Status::FailedPrecondition(
+                      "quorum ack timeout: the write is durable on the "
+                      "leader, but no follower confirmed shard " +
+                      std::to_string(p.shard) + " lsn " +
+                      std::to_string(lsn) + " within " +
+                      std::to_string(options.quorum_timeout_ms) + " ms"),
+                  "", out);
+          continue;
+        }
       }
       wire::AddExecutionResponse resp;
       resp.shard = p.shard;
@@ -1653,6 +1916,17 @@ struct PawServer::Impl {
       text += "\nshard " + std::to_string(s) + ": lsn " +
               std::to_string(store->GlobalLsn(s));
     }
+    if (is_follower) {
+      text += "\nfollower of " + options.follow_host + ":" +
+              std::to_string(options.follow_port) +
+              (follower != nullptr && follower->connected()
+                   ? " (connected)"
+                   : " (connecting)");
+    } else if (repl != nullptr) {
+      text += "\nreplication: " +
+              std::to_string(repl->num_subscribers()) + " subscriber(s)" +
+              (options.quorum_acks ? ", acks=quorum" : ", acks=local");
+    }
     resp.text = std::move(text);
     shared.unlock();
     Respond(conn, frame, Status::OK(), EncodeStatusResponse(resp), out);
@@ -1762,7 +2036,41 @@ Result<std::unique_ptr<PawServer>> PawServer::Start(const std::string& dir,
   impl->workers = std::make_unique<ThreadPool>(
       std::max(1, impl->options.worker_threads));
   Impl* raw = impl.get();
+
+  // Replication role. A leader always runs the stream manager (its
+  // commit sinks are cheap with zero subscribers), so followers can
+  // attach at any time; a follower starts the connect/apply loop and
+  // flips the server read-only.
+  impl->is_follower = !impl->options.follow_host.empty();
+  if (impl->is_follower) {
+    ReplicationFollowerOptions fopts;
+    fopts.leader_host = impl->options.follow_host;
+    fopts.leader_port = impl->options.follow_port;
+    fopts.principal = impl->options.follow_principal;
+    fopts.follower_name = impl->options.server_name;
+    impl->follower = std::make_unique<ReplicationFollower>(
+        std::move(fopts),
+        [raw] {
+          std::vector<uint64_t> lsns;
+          for (int s = 0; s < raw->store->num_shards(); ++s) {
+            lsns.push_back(raw->store->ShardLsn(s));
+          }
+          return lsns;
+        },
+        [raw](const wire::ReplicateRequest& batch) {
+          return raw->ApplyReplicatedBatch(batch);
+        });
+  } else {
+    std::vector<WriteAheadLog*> wals;
+    for (int s = 0; s < impl->store->num_shards(); ++s) {
+      wals.push_back(impl->store->ShardWal(s));
+    }
+    impl->repl = std::make_unique<ReplicationManager>(std::move(wals));
+    impl->repl->Start();
+  }
+
   impl->loop_thread = std::thread([raw] { raw->Loop(); });
+  if (impl->follower != nullptr) impl->follower->Start();
 
   return std::unique_ptr<PawServer>(new PawServer(std::move(impl)));
 }

@@ -111,6 +111,30 @@ struct ServerOptions {
   /// Byte budget for the privacy-view cache; 0 keeps the cache's
   /// current budget (default 64 MiB).
   size_t view_cache_bytes = 0;
+
+  // ---- Replication (src/server/replication.h) ----
+
+  /// When non-empty, this server starts as a *follower*: it connects
+  /// to the leader at `follow_host:follow_port`, subscribes to its
+  /// WAL stream, applies records into its own store, and serves
+  /// read-only privacy-enforced queries. Write opcodes are rejected
+  /// with a FailedPrecondition naming the leader ("redirect"). Leave
+  /// empty (default) to run as a leader; a leader accepts SUBSCRIBE
+  /// from followers whose principal is at `admin_level`.
+  std::string follow_host;
+  int follow_port = 0;
+  /// Principal the follower authenticates as on the leader (must be
+  /// registered there at `admin_level` or above).
+  std::string follow_principal = "admin";
+  /// Leader ack mode: false = acknowledge ADD_EXECUTION after the
+  /// local WAL commit ("acks=local"); true = additionally wait until
+  /// at least one subscribed follower confirms the record durable
+  /// ("acks=quorum") — a quorum-acked write survives losing the
+  /// leader machine entirely.
+  bool quorum_acks = false;
+  /// Upper bound on one quorum wait; on timeout the ADD_EXECUTION is
+  /// failed back to the client (the record is still durable locally).
+  int quorum_timeout_ms = 5000;
 };
 
 /// \brief The provenance server. Start it, read `port()`, connect

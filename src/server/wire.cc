@@ -40,7 +40,7 @@ bool PlausibleCount(std::string_view buf, size_t offset, int n) {
 
 bool IsValidOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kHello) &&
-         op <= static_cast<uint8_t>(Opcode::kMetrics);
+         op <= static_cast<uint8_t>(Opcode::kReplicate);
 }
 
 std::string_view OpcodeName(Opcode op) {
@@ -57,6 +57,8 @@ std::string_view OpcodeName(Opcode op) {
     case Opcode::kStatus: return "status";
     case Opcode::kCompact: return "compact";
     case Opcode::kMetrics: return "metrics";
+    case Opcode::kSubscribe: return "subscribe";
+    case Opcode::kReplicate: return "replicate";
   }
   return "unknown";
 }
@@ -693,6 +695,117 @@ Result<MetricsResponse> DecodeMetricsResponse(std::string_view payload,
     return Malformed("metrics response");
   }
   resp.snapshot = std::move(snapshot).value();
+  return resp;
+}
+
+// ---- Subscribe --------------------------------------------------------------
+
+std::string EncodeSubscribeRequest(const SubscribeRequest& req) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(req.last_lsns.size()));
+  for (uint64_t lsn : req.last_lsns) PutVarint64(&out, lsn);
+  PutLengthPrefixed(&out, req.follower_name);
+  return out;
+}
+
+Result<SubscribeRequest> DecodeSubscribeRequest(std::string_view payload) {
+  SubscribeRequest req;
+  size_t offset = 0;
+  int n = 0;
+  if (!GetCount(payload, &offset, &n) ||
+      !PlausibleCount(payload, offset, n)) {
+    return Malformed("subscribe request");
+  }
+  req.last_lsns.resize(static_cast<size_t>(n));
+  for (uint64_t& lsn : req.last_lsns) {
+    if (!GetVarint64(payload, &offset, &lsn)) {
+      return Malformed("subscribe request");
+    }
+  }
+  if (!GetString(payload, &offset, &req.follower_name) ||
+      offset != payload.size()) {
+    return Malformed("subscribe request");
+  }
+  return req;
+}
+
+std::string EncodeSubscribeResponse(const SubscribeResponse& resp) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(resp.leader_lsns.size()));
+  for (uint64_t lsn : resp.leader_lsns) PutVarint64(&out, lsn);
+  return out;
+}
+
+Result<SubscribeResponse> DecodeSubscribeResponse(std::string_view payload,
+                                                  size_t offset) {
+  SubscribeResponse resp;
+  int n = 0;
+  if (!GetCount(payload, &offset, &n) ||
+      !PlausibleCount(payload, offset, n)) {
+    return Malformed("subscribe response");
+  }
+  resp.leader_lsns.resize(static_cast<size_t>(n));
+  for (uint64_t& lsn : resp.leader_lsns) {
+    if (!GetVarint64(payload, &offset, &lsn)) {
+      return Malformed("subscribe response");
+    }
+  }
+  if (offset != payload.size()) return Malformed("subscribe response");
+  return resp;
+}
+
+// ---- Replicate --------------------------------------------------------------
+
+std::string EncodeReplicateRequest(const ReplicateRequest& req) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(req.shard));
+  PutVarint64(&out, req.base_lsn);
+  PutVarint32(&out, static_cast<uint32_t>(req.records.size()));
+  for (const ReplicateRequest::Rec& rec : req.records) {
+    out.push_back(static_cast<char>(rec.type));
+    PutLengthPrefixed(&out, rec.payload);
+  }
+  return out;
+}
+
+Result<ReplicateRequest> DecodeReplicateRequest(std::string_view payload) {
+  ReplicateRequest req;
+  size_t offset = 0;
+  int n = 0;
+  if (!GetCount(payload, &offset, &req.shard) ||
+      !GetVarint64(payload, &offset, &req.base_lsn) ||
+      !GetCount(payload, &offset, &n) ||
+      !PlausibleCount(payload, offset, n)) {
+    return Malformed("replicate request");
+  }
+  req.records.resize(static_cast<size_t>(n));
+  for (ReplicateRequest::Rec& rec : req.records) {
+    std::string_view type_byte;
+    if (!GetBytes(payload, &offset, 1, &type_byte) ||
+        !GetString(payload, &offset, &rec.payload)) {
+      return Malformed("replicate request");
+    }
+    rec.type = static_cast<uint8_t>(type_byte[0]);
+  }
+  if (offset != payload.size()) return Malformed("replicate request");
+  return req;
+}
+
+std::string EncodeReplicateResponse(const ReplicateResponse& resp) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(resp.shard));
+  PutVarint64(&out, resp.durable_lsn);
+  return out;
+}
+
+Result<ReplicateResponse> DecodeReplicateResponse(std::string_view payload,
+                                                  size_t offset) {
+  ReplicateResponse resp;
+  if (!GetCount(payload, &offset, &resp.shard) ||
+      !GetVarint64(payload, &offset, &resp.durable_lsn) ||
+      offset != payload.size()) {
+    return Malformed("replicate response");
+  }
   return resp;
 }
 

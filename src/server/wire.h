@@ -82,6 +82,8 @@ enum class Opcode : uint8_t {
   kStatus = 10,      ///< server / store statistics
   kCompact = 11,     ///< fold WALs into snapshots (admin only)
   kMetrics = 12,     ///< snapshot of the process metrics registry
+  kSubscribe = 13,   ///< follower attaches to the replication stream
+  kReplicate = 14,   ///< leader→follower WAL batch; reply acks durability
 };
 
 /// \brief True iff `op` names a known opcode.
@@ -344,6 +346,65 @@ struct MetricsResponse {
 std::string EncodeMetricsResponse(const MetricsResponse& resp);
 Result<MetricsResponse> DecodeMetricsResponse(std::string_view payload,
                                               size_t offset);
+
+// ---- Replication ------------------------------------------------------------
+//
+// A follower connects like any client (HELLO, AUTH as an admin-level
+// principal), then sends one `kSubscribe` carrying its per-shard
+// last-applied WAL LSNs. From the response on, the connection
+// *inverts*: the leader pushes `kReplicate` request frames (each one
+// shard's contiguous record batch) and the follower answers each with
+// a `kReplicate` response frame acking the shard's durable LSN. LSNs
+// here are raw per-shard WAL LSNs, never epoch-prefixed global ones.
+
+/// \brief `kSubscribe` request:
+/// `varint n_shards | n x varint last_lsn | str follower_name`
+/// (`last_lsn` = highest WAL LSN the follower has applied for that
+/// shard; 0 means "from the beginning").
+struct SubscribeRequest {
+  std::vector<uint64_t> last_lsns;
+  std::string follower_name;
+};
+std::string EncodeSubscribeRequest(const SubscribeRequest& req);
+Result<SubscribeRequest> DecodeSubscribeRequest(std::string_view payload);
+
+/// \brief `kSubscribe` response body:
+/// `varint n_shards | n x varint leader_lsn` — the leader's current
+/// per-shard WAL tail, so the follower knows its initial lag.
+struct SubscribeResponse {
+  std::vector<uint64_t> leader_lsns;
+};
+std::string EncodeSubscribeResponse(const SubscribeResponse& resp);
+Result<SubscribeResponse> DecodeSubscribeResponse(std::string_view payload,
+                                                  size_t offset);
+
+/// \brief `kReplicate` request (leader→follower push):
+/// `varint shard | varint base_lsn | varint n |
+///  n x { u8 record_type | str payload }` — `base_lsn` is the WAL LSN
+/// of `records[0]`; the batch is contiguous, so records[i] has LSN
+/// `base_lsn + i`.
+struct ReplicateRequest {
+  struct Rec {
+    uint8_t type = 0;
+    std::string payload;
+  };
+  int shard = 0;
+  uint64_t base_lsn = 0;
+  std::vector<Rec> records;
+};
+std::string EncodeReplicateRequest(const ReplicateRequest& req);
+Result<ReplicateRequest> DecodeReplicateRequest(std::string_view payload);
+
+/// \brief `kReplicate` response body (follower→leader ack):
+/// `varint shard | varint durable_lsn` — every record of that shard up
+/// to `durable_lsn` is applied and durable in the follower's own WAL.
+struct ReplicateResponse {
+  int shard = 0;
+  uint64_t durable_lsn = 0;
+};
+std::string EncodeReplicateResponse(const ReplicateResponse& resp);
+Result<ReplicateResponse> DecodeReplicateResponse(std::string_view payload,
+                                                  size_t offset);
 
 }  // namespace wire
 }  // namespace paw

@@ -366,6 +366,42 @@ Result<ExecutionId> PersistentRepository::AddExecution(int spec_id,
   return id;
 }
 
+Result<uint64_t> PersistentRepository::ApplyReplicated(
+    RecordType type, std::string_view payload) {
+  // Only data records travel the replication stream; headers are
+  // per-segment framing each side generates for itself.
+  if (type != RecordType::kSpec && type != RecordType::kSpecV2 &&
+      type != RecordType::kExecution && type != RecordType::kExecutionV2) {
+    return Status::InvalidArgument(
+        "replicated record has non-data type " +
+        std::to_string(static_cast<int>(type)));
+  }
+  // WAL before memory, like every write path. A record that applied on
+  // the leader applies on a follower whose prefix matches (replay is
+  // deterministic); a failure here means divergence, which poisons the
+  // subscription rather than guessing.
+  Record record;
+  record.type = type;
+  record.payload.assign(payload);
+  PAW_ASSIGN_OR_RETURN(const uint64_t record_lsn,
+                       wal_.Append(type, payload));
+  Status applied = ApplyRecord(record, &repo_);
+  if (!applied.ok()) {
+    return Status::Internal("replicated record failed to apply: " +
+                            applied.message());
+  }
+  if (type == RecordType::kSpec || type == RecordType::kSpecV2) {
+    repo_.SetSpecPersist(repo_.num_specs() - 1,
+                         MakePersistMeta(record_lsn, payload, "wal"));
+  } else {
+    repo_.SetExecutionPersist(
+        ExecutionId(repo_.num_executions() - 1),
+        MakePersistMeta(record_lsn, payload, "wal"));
+  }
+  PAW_RETURN_NOT_OK(MaybeAutoCompact());
+  return record_lsn;
+}
+
 Result<PersistentRepository::CompactJob>
 PersistentRepository::PrepareCompaction() {
   // The rotation cut: everything logged so far is sealed (and durable
@@ -406,11 +442,16 @@ Status PersistentRepository::ExecuteCompactionJob(const CompactJob& job,
   if (job.hook) job.hook(CompactionPhase::kCleanup);
   phase_timer.Reset();
   // Unlink oldest-first so any crash leaves a contiguous segment
-  // suffix; stragglers are reclaimed on the next open anyway.
+  // suffix; stragglers are reclaimed on the next open anyway. Segments
+  // at or above the retention floor stay on disk — a replication
+  // subscriber's checkpoint still references them (read fresh here,
+  // not at the cut: a subscriber may attach mid-compaction).
+  PAW_ASSIGN_OR_RETURN(const uint64_t retain_floor,
+                       ReadWalRetainFloor(job.dir));
   PAW_ASSIGN_OR_RETURN(std::vector<WalSegmentFile> segments,
                        ListWalSegments(job.dir));
   for (const WalSegmentFile& segment : segments) {
-    if (segment.seq < job.keep_seq) {
+    if (segment.seq < job.keep_seq && segment.seq < retain_floor) {
       PAW_RETURN_NOT_OK(RemoveFileIfExists(segment.path));
     }
   }

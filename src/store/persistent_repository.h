@@ -206,8 +206,22 @@ class PersistentRepository {
     return wal_.last_lsn() - snapshot_lsn();
   }
 
+  /// \brief Applies one replicated WAL record: appends it to this
+  /// store's own WAL (identical framing, so the LSN chain matches the
+  /// leader's byte for byte) and replays it through the same path
+  /// recovery uses. Only data record types are accepted. The returned
+  /// LSN must equal the leader's LSN for the record — callers deliver
+  /// contiguously and verify. Same writer contract as AddExecution:
+  /// one thread per store at a time (the replication apply loop).
+  Result<uint64_t> ApplyReplicated(RecordType type,
+                                   std::string_view payload);
+
   /// \brief Read-only view of the store's WAL (segment/LSN state).
   const WriteAheadLog& wal() const { return wal_; }
+
+  /// \brief Mutable WAL access for replication: commit-sink
+  /// installation and retention-floor moves only.
+  WriteAheadLog* mutable_wal() { return &wal_; }
 
   /// \brief How the last `Open` rebuilt state (zeros after `Init`).
   const RecoveryInfo& recovery() const { return recovery_; }

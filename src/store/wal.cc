@@ -58,6 +58,8 @@ Status TimedSync(AppendOnlyFile* file) {
 
 constexpr std::string_view kManifestName = "PAWWAL";
 constexpr std::string_view kManifestMagic = "pawwal 1";
+constexpr std::string_view kRetainFloorName = "PAWREPL";
+constexpr std::string_view kRetainFloorMagic = "pawrepl 1";
 constexpr std::string_view kSegmentPrefix = "wal-";
 constexpr std::string_view kSegmentSuffix = ".log";
 constexpr size_t kSegmentSeqDigits = 8;
@@ -66,6 +68,10 @@ constexpr std::string_view kLegacyName = "wal.log";
 
 std::string ManifestPath(const std::string& dir) {
   return dir + "/" + std::string(kManifestName);
+}
+
+std::string RetainFloorPath(const std::string& dir) {
+  return dir + "/" + std::string(kRetainFloorName);
 }
 
 /// Parses "wal-<seq>.log" into its seq; false otherwise. Seqs are
@@ -195,6 +201,42 @@ Status WriteWalManifest(const std::string& dir, uint64_t first_seq) {
   return AtomicWriteFile(ManifestPath(dir), buf);
 }
 
+Result<uint64_t> ReadWalRetainFloor(const std::string& dir) {
+  auto contents = ReadFileToString(RetainFloorPath(dir));
+  if (!contents.ok()) return WriteAheadLog::kNoRetainFloor;
+  // Strict parse, like the manifest: the floor gates segment deletion.
+  const std::string& text = contents.value();
+  const std::string expect_prefix =
+      std::string(kRetainFloorMagic) + "\nfloor=";
+  if (text.compare(0, expect_prefix.size(), expect_prefix) != 0) {
+    return Status::FailedPrecondition("corrupt WAL retention floor in " +
+                                      dir);
+  }
+  const std::string value =
+      text.substr(expect_prefix.size(),
+                  text.size() - expect_prefix.size() -
+                      (text.back() == '\n' ? 1 : 0));
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || errno != 0 ||
+      end != value.c_str() + value.size() || parsed == 0) {
+    return Status::FailedPrecondition("bad WAL retention floor= in " + dir);
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+Status WriteWalRetainFloor(const std::string& dir, uint64_t floor_seq) {
+  if (floor_seq == WriteAheadLog::kNoRetainFloor) {
+    return RemoveFileIfExists(RetainFloorPath(dir));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\nfloor=%llu\n",
+                std::string(kRetainFloorMagic).c_str(),
+                static_cast<unsigned long long>(floor_seq));
+  return AtomicWriteFile(RetainFloorPath(dir), buf);
+}
+
 Result<WriteAheadLog> WriteAheadLog::Create(const std::string& dir,
                                             uint64_t base_lsn,
                                             Options options) {
@@ -249,11 +291,18 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
   }
 
   // Reclaim segments a finished compaction already logically deleted
-  // (crash between the manifest bump and the unlinks).
+  // (crash between the manifest bump and the unlinks) — except those
+  // the retention floor pins for a replication subscriber, which stay
+  // on disk (streamable) but out of replay (the snapshot covers them).
+  PAW_ASSIGN_OR_RETURN(const uint64_t floor, ReadWalRetainFloor(dir));
   size_t keep_from = 0;
   while (keep_from < segments.size() && segments[keep_from].seq < first) {
-    PAW_RETURN_NOT_OK(RemoveFileIfExists(segments[keep_from].path));
-    ++replay->stale_segments_removed;
+    if (segments[keep_from].seq >= floor) {
+      ++replay->retained_segments;
+    } else {
+      PAW_RETURN_NOT_OK(RemoveFileIfExists(segments[keep_from].path));
+      ++replay->stale_segments_removed;
+    }
     ++keep_from;
   }
   segments.erase(segments.begin(),
@@ -364,8 +413,10 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& dir,
   const WalSegmentFile& active = segments.back();
   PAW_ASSIGN_OR_RETURN(AppendOnlyFile file,
                        AppendOnlyFile::Open(active.path));
-  return WriteAheadLog(std::move(file), dir, active.seq, active_base,
-                       running_end, options);
+  WriteAheadLog log(std::move(file), dir, active.seq, active_base,
+                    running_end, options);
+  log.rep_->retain_floor.store(floor, std::memory_order_release);
+  return log;
 }
 
 Result<uint64_t> WriteAheadLog::Append(RecordType type,
@@ -410,12 +461,18 @@ Result<uint64_t> WriteAheadLog::Append(RecordType type,
       batch.swap(r->pending);
       const uint64_t batch_records = r->pending_records;
       r->pending_records = 0;
+      CommitSink sink = r->commit_sink;
       lock.unlock();
       WalBatchRecords().Observe(static_cast<double>(batch_records));
       Status s = r->file.Append(batch);
       if (s.ok()) {
         s = r->options.sync_each_append ? TimedSync(&r->file)
                                         : r->file.Flush();
+      }
+      // Fork the batch to replication only once it is on disk: a sunk
+      // record is never less durable on the leader than advertised.
+      if (s.ok() && sink) {
+        sink(batch_end_lsn - batch_records + 1, batch_records, batch);
       }
       lock.lock();
       if (!s.ok()) {
@@ -467,12 +524,16 @@ Status WriteAheadLog::Sync() {
   batch.swap(r->pending);
   const uint64_t batch_records = r->pending_records;
   r->pending_records = 0;
+  CommitSink sink = r->commit_sink;
   lock.unlock();
   if (have_batch) {
     WalBatchRecords().Observe(static_cast<double>(batch_records));
   }
   Status s = have_batch ? r->file.Append(batch) : Status::OK();
   if (s.ok()) s = TimedSync(&r->file);
+  if (s.ok() && have_batch && sink) {
+    sink(batch_end_lsn - batch_records + 1, batch_records, batch);
+  }
   lock.lock();
   r->writer_active = false;
   if (!s.ok()) {
@@ -488,6 +549,22 @@ Status WriteAheadLog::Sync() {
   }
   r->cv.notify_all();
   return s;
+}
+
+void WriteAheadLog::SetCommitSink(CommitSink sink) {
+  Rep* r = rep_.get();
+  std::lock_guard<std::mutex> lock(r->mu);
+  r->commit_sink = std::move(sink);
+}
+
+Status WriteAheadLog::SetRetainFloor(uint64_t floor_seq) {
+  Rep* r = rep_.get();
+  // Own mutex: a floor move (subscriber attach / checkpoint advance)
+  // must not stall the group-commit staging path.
+  std::lock_guard<std::mutex> lock(r->floor_mu);
+  PAW_RETURN_NOT_OK(WriteWalRetainFloor(r->dir, floor_seq));
+  r->retain_floor.store(floor_seq, std::memory_order_release);
+  return Status::OK();
 }
 
 Result<WalRotation> WriteAheadLog::Rotate() {

@@ -62,6 +62,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -94,6 +95,16 @@ Result<uint64_t> ReadWalManifest(const std::string& dir);
 /// reclaims) segments below `first`.
 Status WriteWalManifest(const std::string& dir, uint64_t first_seq);
 
+/// \brief Reads `<dir>/PAWREPL` and returns the retention floor: the
+/// lowest segment seq a replication subscriber checkpoint still
+/// references. Returns `WriteAheadLog::kNoRetainFloor` when the file
+/// is absent (nothing pinned), FailedPrecondition when malformed.
+Result<uint64_t> ReadWalRetainFloor(const std::string& dir);
+
+/// \brief Atomically (re)writes `<dir>/PAWREPL` with `floor=floor_seq`;
+/// `WriteAheadLog::kNoRetainFloor` removes the file (releases the pin).
+Status WriteWalRetainFloor(const std::string& dir, uint64_t floor_seq);
+
 /// \brief What `WriteAheadLog::Open` recovered from a log directory.
 struct WalReplay {
   /// LSN of the last record logged before the oldest surviving
@@ -121,6 +132,10 @@ struct WalReplay {
   /// Segments below the manifest's `first` reclaimed on open (a crash
   /// between the manifest bump and the unlinks of a compaction).
   int stale_segments_removed = 0;
+  /// Segments below the manifest's `first` kept on disk because the
+  /// retention floor (`PAWREPL`) still pins them for a replication
+  /// subscriber. They are not replayed — the snapshot covers them.
+  int retained_segments = 0;
   /// True when a legacy single-file `wal.log` was upgraded in place.
   bool legacy_upgraded = false;
 };
@@ -153,6 +168,19 @@ class WriteAheadLog {
  public:
   using Options = WalOptions;
 
+  /// \brief Retention-floor value meaning "nothing pinned" (every seq
+  /// compares below it, so reclaim is unrestricted).
+  static constexpr uint64_t kNoRetainFloor = UINT64_MAX;
+
+  /// \brief Tap on the group-commit leader: called after a batch is on
+  /// disk (post fdatasync when `sync_each_append`, post flush
+  /// otherwise) with the LSN of the batch's first record, the record
+  /// count, and the batch's raw record frames (record.h framing).
+  /// Invocations are serialized and arrive in LSN order — the caller
+  /// holds the writer slot. Replication forks live batches here.
+  using CommitSink = std::function<void(
+      uint64_t first_lsn, uint64_t num_records, std::string_view frames)>;
+
   /// \brief Creates an empty log in `dir`: manifest `first=1` and
   /// segment 1 whose header carries `base_lsn`. Fails if `dir` already
   /// holds segments.
@@ -175,6 +203,22 @@ class WriteAheadLog {
 
   /// \brief Pushes appended bytes to stable storage. Thread-safe.
   Status Sync();
+
+  /// \brief Installs (or clears, with an empty function) the commit
+  /// sink. Thread-safe; takes effect for the next committed batch.
+  void SetCommitSink(CommitSink sink);
+
+  /// \brief Persistently pins segments with seq >= `floor_seq`: neither
+  /// open-time stale reclaim nor compaction cleanup unlinks them even
+  /// after the manifest's `first` moves past them, so a lagging
+  /// replication subscriber can still stream them. `kNoRetainFloor`
+  /// releases the pin. Thread-safe; durable across reopen (`PAWREPL`).
+  Status SetRetainFloor(uint64_t floor_seq);
+
+  /// \brief Current retention floor (`kNoRetainFloor` when unpinned).
+  uint64_t retain_floor() const {
+    return rep_->retain_floor.load(std::memory_order_acquire);
+  }
 
   /// \brief Seals the active segment (flush + fdatasync) and starts the
   /// next one. Thread-safe with concurrent `Append`s: frames staged
@@ -261,6 +305,13 @@ class WriteAheadLog {
     bool writer_active = false;
     /// Sticky: a failed write poisons the log (mirrors AppendOnlyFile).
     Status error;
+    /// Replication tap; copied under `mu`, invoked off-lock by the
+    /// writer that committed the batch (so invocations serialize).
+    CommitSink commit_sink;
+    /// Serializes PAWREPL writes without stalling the staging mutex.
+    std::mutex floor_mu;
+    /// Lowest segment seq pinned on disk for a subscriber checkpoint.
+    std::atomic<uint64_t> retain_floor{kNoRetainFloor};
   };
 
   WriteAheadLog(AppendOnlyFile file, std::string dir, uint64_t seq,

@@ -10,8 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -506,6 +513,190 @@ TEST(ServerTest, IdleConnectionsAreClosed) {
   auto status = client.value().GetStatus();
   EXPECT_FALSE(status.ok());
   EXPECT_GE(f.server->stats().idle_closed.load(), 1u);
+}
+
+TEST(ServerTest, IdleTimeoutSparesAPartiallyReceivedFrame) {
+  // Regression: a client mid-upload (half a frame's bytes on the
+  // socket, e.g. a pipelined append trickling in) is NOT idle. The
+  // old busy check only looked at parsed frames and queued output, so
+  // the idle sweep could close the connection and drop the write.
+  ServerOptions options = TestOptions();
+  options.idle_timeout_ms = 100;
+  Fixture f = Fixture::Create("idle_partial", std::move(options));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(f.server->port()));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  const auto send_all = [&](std::string_view bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                               0);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+  };
+  const auto read_response = [&]() -> wire::Frame {
+    std::string in;
+    char buf[4096];
+    for (;;) {
+      wire::Frame frame;
+      size_t consumed = 0;
+      std::string error;
+      const wire::ParseResult r =
+          wire::ParseFrame(in, &frame, &consumed, &error);
+      if (r == wire::ParseResult::kFrame) return frame;
+      EXPECT_EQ(r, wire::ParseResult::kNeedMore) << error;
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "server closed the connection";
+        return frame;
+      }
+      in.append(buf, static_cast<size_t>(n));
+    }
+  };
+
+  // Handshake: HELLO, then AUTH as root.
+  wire::Frame hello;
+  hello.opcode = wire::Opcode::kHello;
+  hello.request_id = 1;
+  hello.payload = wire::EncodeHelloRequest(
+      {wire::kMinProtocolVersion, wire::kProtocolVersion, "slow-client"});
+  std::string bytes;
+  wire::AppendFrame(hello, &bytes);
+  send_all(bytes);
+  read_response();
+  wire::Frame auth;
+  auth.opcode = wire::Opcode::kAuth;
+  auth.request_id = 2;
+  auth.payload = wire::EncodeAuthRequest({"root"});
+  bytes.clear();
+  wire::AppendFrame(auth, &bytes);
+  send_all(bytes);
+  read_response();
+
+  // Send HALF of a STATUS frame, then go quiet for several timeout
+  // periods. The half frame sits in the server's input buffer; the
+  // idle sweep must not reap the connection under it.
+  wire::Frame status;
+  status.opcode = wire::Opcode::kStatus;
+  status.request_id = 3;
+  bytes.clear();
+  wire::AppendFrame(status, &bytes);
+  send_all(std::string_view(bytes).substr(0, bytes.size() / 2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+
+  // Completing the frame must still yield the response.
+  send_all(std::string_view(bytes).substr(bytes.size() / 2));
+  const wire::Frame resp = read_response();
+  EXPECT_EQ(resp.opcode, wire::Opcode::kStatus);
+  EXPECT_EQ(resp.request_id, 3u);
+  ::close(fd);
+}
+
+TEST(ServerTest, PipelinedStashIsBoundedAndPoisonsOnOverflow) {
+  // Satellite of the replication PR: the client's out-of-order
+  // response stash is bounded. Awaiting only the LAST of many
+  // outstanding tickets forces every earlier response into the stash;
+  // crossing the bound poisons the connection with a sticky error and
+  // every later call fails fast instead of hanging or growing memory.
+  Fixture f = Fixture::Create("stash", TestOptions());
+  f.UploadSpec();
+
+  PawClientOptions options;
+  options.max_stashed_responses = 2;
+  auto client =
+      PawClient::Connect("127.0.0.1", f.server->port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client.value().Auth("root").ok());
+
+  constexpr int kSends = 6;
+  std::vector<PawTicket> tickets;
+  for (int i = 0; i < kSends; ++i) {
+    auto ticket = client.value().SendAddExecution(
+        f.spec.name(), DiseaseExecText(f.spec, 200 + i));
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    tickets.push_back(ticket.value());
+  }
+  EXPECT_EQ(client.value().pending(), static_cast<size_t>(kSends));
+
+  // Awaiting the last ticket stashes responses 1..5 on the way — the
+  // third stashed response crosses max_stashed_responses=2.
+  auto last = client.value().AwaitAddExecution(tickets.back());
+  ASSERT_FALSE(last.ok());
+  EXPECT_TRUE(last.status().IsFailedPrecondition())
+      << last.status().ToString();
+  EXPECT_NE(last.status().message().find("stash"), std::string::npos);
+
+  // Sticky: earlier tickets fail fast with the same error, without
+  // touching the socket, and the stash was discarded.
+  EXPECT_EQ(client.value().stashed(), 0u);
+  auto earlier = client.value().AwaitAddExecution(tickets.front());
+  ASSERT_FALSE(earlier.ok());
+  EXPECT_TRUE(earlier.status().IsFailedPrecondition());
+
+  // The server still applies every sent append (the overflow is a
+  // client-side protection, not a lost write). The sends may still be
+  // draining through the writer queues, so poll.
+  auto check = f.Client("root");
+  ASSERT_TRUE(check.ok());
+  int applied = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto status = check.value().GetStatus();
+    ASSERT_TRUE(status.ok());
+    applied = status.value().executions;
+    if (applied >= kSends) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(applied, kSends);
+}
+
+TEST(ServerTest, PipelinedOutOfOrderAwaitWorksWithinTheBound) {
+  // Out-of-order redemption inside the bound is the supported fast
+  // path: await the last ticket first (stashing the others), then
+  // drain the stash in any order. Unknown or already-redeemed tickets
+  // fail fast instead of blocking on the socket forever.
+  Fixture f = Fixture::Create("stash_ok", TestOptions());
+  f.UploadSpec();
+  auto client = f.Client("root");
+  ASSERT_TRUE(client.ok());
+
+  constexpr int kSends = 4;
+  std::vector<PawTicket> tickets;
+  for (int i = 0; i < kSends; ++i) {
+    auto ticket = client.value().SendAddExecution(
+        f.spec.name(), DiseaseExecText(f.spec, 300 + i));
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  auto last = client.value().AwaitAddExecution(tickets.back());
+  ASSERT_TRUE(last.ok()) << last.status().ToString();
+  EXPECT_EQ(client.value().stashed(), static_cast<size_t>(kSends - 1));
+  for (int i = kSends - 2; i >= 0; --i) {
+    auto ack = client.value().AwaitAddExecution(tickets[i]);
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  }
+  EXPECT_EQ(client.value().stashed(), 0u);
+  EXPECT_EQ(client.value().pending(), 0u);
+
+  // Double-redeem and never-issued tickets are client-side errors.
+  EXPECT_TRUE(client.value()
+                  .AwaitAddExecution(tickets.front())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(client.value()
+                  .AwaitAddExecution(PawTicket{999999})
+                  .status()
+                  .IsInvalidArgument());
+  // The connection itself is still healthy.
+  EXPECT_TRUE(client.value().GetStatus().ok());
 }
 
 TEST(ServerTest, StoreDirLockHeldWhileServing) {

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -327,6 +328,116 @@ TEST(WalSegmentTest, MissingLiveSegmentIsCorruption) {
   ASSERT_TRUE(RemoveFileIfExists(dir + "/" + WalSegmentFileName(2)).ok());
   WalReplay replay;
   EXPECT_FALSE(WriteAheadLog::Open(dir, &replay).ok());
+}
+
+TEST(WalReplicationTest, CommitSinkSeesEveryBatchInLsnOrder) {
+  // The commit sink is the leader-side replication tap: concurrent
+  // appenders ride shared group commits, and the sink must still see a
+  // gapless, ordered LSN stream whose frames re-parse to the payloads
+  // the appenders wrote.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  const std::string dir = TestDir("sink");
+  auto wal = WriteAheadLog::Create(dir, 0);
+  ASSERT_TRUE(wal.ok());
+
+  std::mutex mu;
+  uint64_t next_expected = 1;
+  std::map<uint64_t, std::string> streamed;
+  wal.value().SetCommitSink([&](uint64_t first_lsn, uint64_t num_records,
+                                std::string_view frames) {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(first_lsn, next_expected) << "gap in the sink stream";
+    RecordReader reader(frames);
+    Record record;
+    uint64_t lsn = first_lsn;
+    while (reader.Next(&record) == ReadOutcome::kRecord) {
+      streamed[lsn++] = std::string(record.payload);
+    }
+    EXPECT_EQ(lsn, first_lsn + num_records);
+    next_expected = lsn;
+  });
+
+  std::vector<std::map<uint64_t, std::string>> seen(kThreads);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string payload =
+            "s" + std::to_string(t) + ":" + std::to_string(i);
+        auto lsn = wal.value().Append(RecordType::kExecutionV2, payload);
+        if (!lsn.ok()) {
+          ++failures;
+          return;
+        }
+        seen[static_cast<size_t>(t)][lsn.value()] = payload;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_TRUE(wal.value().Sync().ok());
+  wal.value().SetCommitSink(nullptr);
+
+  // The sink saw exactly the records the appenders were acked for —
+  // same LSNs, same payloads (disk content never lags the sink: the
+  // batch is written and flushed before the sink fires).
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(streamed.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (const auto& m : seen) {
+    for (const auto& [lsn, payload] : m) {
+      ASSERT_TRUE(streamed.count(lsn)) << "lsn " << lsn << " not streamed";
+      EXPECT_EQ(streamed[lsn], payload) << "lsn=" << lsn;
+    }
+  }
+}
+
+TEST(WalReplicationTest, RetainFloorBlocksReclaimUntilReleased) {
+  // A subscriber checkpoint pins sealed segments: the manifest may
+  // move past them, but neither open-time reclaim nor compaction
+  // cleanup may unlink a pinned segment — a lagging follower still
+  // needs to stream it.
+  const std::string dir = TestDir("floor");
+  auto wal = WriteAheadLog::Create(dir, 0);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value().Append(RecordType::kSpecV2, "old").ok());
+  ASSERT_TRUE(wal.value().Rotate().ok());
+  ASSERT_TRUE(wal.value().Append(RecordType::kSpecV2, "new").ok());
+  ASSERT_TRUE(wal.value().Sync().ok());
+  ASSERT_TRUE(wal.value().SetRetainFloor(1).ok());
+  EXPECT_EQ(wal.value().retain_floor(), 1u);
+  // The pin is durable on its own (PAWREPL), independent of the log.
+  auto floor = ReadWalRetainFloor(dir);
+  ASSERT_TRUE(floor.ok());
+  EXPECT_EQ(floor.value(), 1u);
+
+  // Compaction commit point: manifest says first=2, but segment 1 is
+  // pinned. Open must keep the file, skip its records, and report it.
+  ASSERT_TRUE(WriteWalManifest(dir, 2).ok());
+  {
+    WalReplay replay;
+    auto reopened = WriteAheadLog::Open(dir, &replay);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(replay.stale_segments_removed, 0);
+    EXPECT_EQ(replay.retained_segments, 1);
+    ASSERT_EQ(replay.records.size(), 1u);
+    EXPECT_EQ(replay.records[0].payload, "new");
+    EXPECT_TRUE(fs::exists(dir + "/" + WalSegmentFileName(1)));
+    // The reopened log carries the persisted floor.
+    EXPECT_EQ(reopened.value().retain_floor(), 1u);
+
+    // Releasing the pin makes the next open reclaim the segment.
+    ASSERT_TRUE(
+        reopened.value().SetRetainFloor(WriteAheadLog::kNoRetainFloor)
+            .ok());
+  }
+  WalReplay replay;
+  auto reopened = WriteAheadLog::Open(dir, &replay);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(replay.stale_segments_removed, 1);
+  EXPECT_EQ(replay.retained_segments, 0);
+  EXPECT_FALSE(fs::exists(dir + "/" + WalSegmentFileName(1)));
 }
 
 TEST(WalSegmentTest, LegacySingleFileLayoutUpgradesInPlace) {

@@ -394,6 +394,157 @@ TEST(WireBodyTest, BodyDecodersRejectTruncationAndJunk) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Replication codecs (SUBSCRIBE / REPLICATE)
+// ---------------------------------------------------------------------------
+
+TEST(WireReplicationTest, SubscribeRoundTrips) {
+  SubscribeRequest req;
+  req.last_lsns = {0, 17, uint64_t{1} << 50};
+  req.follower_name = "replica\n#2";
+  auto decoded = DecodeSubscribeRequest(EncodeSubscribeRequest(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().last_lsns, req.last_lsns);
+  EXPECT_EQ(decoded.value().follower_name, req.follower_name);
+
+  SubscribeResponse resp;
+  resp.leader_lsns = {123, 0, uint64_t{7} << 33};
+  auto r = DecodeSubscribeResponse(EncodeSubscribeResponse(resp), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().leader_lsns, resp.leader_lsns);
+}
+
+TEST(WireReplicationTest, ReplicateRoundTrips) {
+  ReplicateRequest req;
+  req.shard = 3;
+  req.base_lsn = (uint64_t{1} << 41) + 5;
+  req.records.push_back({2, "spec payload"});
+  req.records.push_back({6, std::string("binary \0 exec", 13)});
+  req.records.push_back({3, ""});
+  auto decoded = DecodeReplicateRequest(EncodeReplicateRequest(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().shard, 3);
+  EXPECT_EQ(decoded.value().base_lsn, req.base_lsn);
+  ASSERT_EQ(decoded.value().records.size(), 3u);
+  EXPECT_EQ(decoded.value().records[0].type, 2);
+  EXPECT_EQ(decoded.value().records[0].payload, "spec payload");
+  EXPECT_EQ(decoded.value().records[1].payload,
+            std::string("binary \0 exec", 13));
+  EXPECT_EQ(decoded.value().records[2].payload, "");
+
+  ReplicateResponse resp{5, uint64_t{9} << 30};
+  auto ack = DecodeReplicateResponse(EncodeReplicateResponse(resp), 0);
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack.value().shard, 5);
+  EXPECT_EQ(ack.value().durable_lsn, resp.durable_lsn);
+}
+
+TEST(WireReplicationTest, FuzzRoundTripRandomBatches) {
+  Rng rng(20260808);
+  for (int iter = 0; iter < 200; ++iter) {
+    ReplicateRequest req;
+    req.shard = static_cast<int>(rng.Uniform(16));
+    req.base_lsn = (static_cast<uint64_t>(rng.Uniform(1 << 20)) << 20) |
+                   rng.Uniform(1 << 20);
+    const int n = rng.Uniform(8);
+    for (int i = 0; i < n; ++i) {
+      ReplicateRequest::Rec rec;
+      rec.type = static_cast<uint8_t>(rng.Uniform(256));
+      const int len = rng.Uniform(200);
+      for (int b = 0; b < len; ++b) {
+        rec.payload.push_back(static_cast<char>(rng.Uniform(256)));
+      }
+      req.records.push_back(std::move(rec));
+    }
+    auto decoded = DecodeReplicateRequest(EncodeReplicateRequest(req));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().shard, req.shard);
+    EXPECT_EQ(decoded.value().base_lsn, req.base_lsn);
+    ASSERT_EQ(decoded.value().records.size(), req.records.size());
+    for (size_t i = 0; i < req.records.size(); ++i) {
+      EXPECT_EQ(decoded.value().records[i].type, req.records[i].type);
+      EXPECT_EQ(decoded.value().records[i].payload,
+                req.records[i].payload);
+    }
+
+    SubscribeRequest sub;
+    const int shards = rng.Uniform(8);
+    for (int s = 0; s < shards; ++s) {
+      sub.last_lsns.push_back(rng.Uniform(1 << 30));
+    }
+    auto sub_decoded = DecodeSubscribeRequest(EncodeSubscribeRequest(sub));
+    ASSERT_TRUE(sub_decoded.ok());
+    EXPECT_EQ(sub_decoded.value().last_lsns, sub.last_lsns);
+  }
+}
+
+TEST(WireReplicationTest, TruncationSweepsFailCleanly) {
+  ReplicateRequest req;
+  req.shard = 1;
+  req.base_lsn = 1000;
+  req.records.push_back({2, "abc"});
+  req.records.push_back({3, "defgh"});
+  const std::string body = EncodeReplicateRequest(req);
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(DecodeReplicateRequest(body.substr(0, cut)).ok()) << cut;
+  }
+  const std::string sub =
+      EncodeSubscribeRequest({{1, 2, 3}, "follower"});
+  for (size_t cut = 0; cut < sub.size(); ++cut) {
+    EXPECT_FALSE(DecodeSubscribeRequest(sub.substr(0, cut)).ok()) << cut;
+  }
+  const std::string sub_resp = EncodeSubscribeResponse({{9, 8}});
+  for (size_t cut = 0; cut < sub_resp.size(); ++cut) {
+    EXPECT_FALSE(DecodeSubscribeResponse(sub_resp.substr(0, cut), 0).ok())
+        << cut;
+  }
+  const std::string ack = EncodeReplicateResponse({2, 777});
+  for (size_t cut = 0; cut < ack.size(); ++cut) {
+    EXPECT_FALSE(DecodeReplicateResponse(ack.substr(0, cut), 0).ok())
+        << cut;
+  }
+}
+
+TEST(WireReplicationTest, ReplicateFrameSurvivesBitFlipSweep) {
+  // A replication push travels inside the same CRC'd frame as every
+  // other message: any single-bit corruption must fail the frame
+  // parse, never deliver an altered batch to the follower's WAL.
+  ReplicateRequest req;
+  req.shard = 0;
+  req.base_lsn = 42;
+  req.records.push_back({6, "execution record payload"});
+  const Frame frame =
+      MakeFrame(Opcode::kReplicate, 9, EncodeReplicateRequest(req));
+  const std::string bytes = Encode(frame);
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      Frame decoded;
+      size_t consumed = 0;
+      std::string error;
+      ASSERT_NE(ParseFrame(flipped, &decoded, &consumed, &error),
+                ParseResult::kFrame)
+          << "flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(WireReplicationTest, FuzzDecodersOnRandomBytes) {
+  Rng rng(555777);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int len = rng.Uniform(150);
+    std::string bytes;
+    for (int i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    (void)DecodeSubscribeRequest(bytes);
+    (void)DecodeSubscribeResponse(bytes, 0);
+    (void)DecodeReplicateRequest(bytes);
+    (void)DecodeReplicateResponse(bytes, 0);
+  }
+}
+
 TEST(WireBodyTest, FuzzBodyDecodersOnRandomBytes) {
   // Random byte soup must never crash a decoder (success is allowed —
   // short random strings can be valid encodings — but is rare).

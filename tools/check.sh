@@ -7,12 +7,15 @@
 # concurrent with a pipelined ingest on the MVCC read path, a
 # METRICS-over-the-wire check, a repeated-lineage check that must hit
 # the memoized privacy-view cache, kill -9 durability, lock-file
-# liveness), bench smoke runs (store E10 + server E11/E12/E13, E11
-# gated <= 5% instrumentation overhead against a PAW_NO_METRICS
+# liveness), a replication drill (leader + WAL-shipping follower with
+# quorum acks, follower queries mid-ingest, write rejection on the
+# follower, kill -9 the leader and promote the follower with no acked
+# write lost), bench smoke runs (store E10 + server E11/E12/E13/E14,
+# E11 gated <= 5% instrumentation overhead against a PAW_NO_METRICS
 # baseline build, E13 gated >= 3x cached lineage/structural p50),
 # an ASan+UBSan build of the store/server test binaries, and a TSan
 # build of the concurrency suites (group-commit WAL, writer queues,
-# background compaction, server, metrics registry).
+# background compaction, server, replication, metrics registry).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -163,6 +166,103 @@ wait "$SERVE_PID" 2>/dev/null || true
 "$PAWCTL" open "$SMOKE_DIR/srv" threads=4 | tee "$SMOKE_DIR/srv_open.out"
 grep -q "executions:  340" "$SMOKE_DIR/srv_open.out"
 
+echo "== pawd replication drill =="
+# Leader with quorum acks + one WAL-shipping follower. Every acked
+# write therefore exists on both nodes, so killing the leader with -9
+# and promoting the follower (reopening its store dir as a plain
+# leader) must lose nothing. Along the way: the follower serves
+# privacy-filtered reads while a pipelined ingest runs on the leader,
+# and rejects writes with a message pointing at the leader.
+"$PAWCTL" init "$SMOKE_DIR/lead" shards=4
+"$PAWCTL" init "$SMOKE_DIR/fol" shards=4
+"$PAWCTL" serve "$SMOKE_DIR/lead" port=0 writers=4 \
+  auth=admin:100,alice:0 acks=quorum quorum-ms=15000 \
+  > "$SMOKE_DIR/lead_serve.out" 2>&1 &
+LEAD_PID=$!
+for _ in $(seq 100); do
+  grep -q "listening on port" "$SMOKE_DIR/lead_serve.out" && break
+  sleep 0.1
+done
+LEAD_PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' \
+  "$SMOKE_DIR/lead_serve.out")"
+test -n "$LEAD_PORT"
+grep -q "acks=quorum" "$SMOKE_DIR/lead_serve.out"
+"$PAWCTL" serve "$SMOKE_DIR/fol" port=0 writers=4 \
+  auth=admin:100,alice:0 follow="localhost:$LEAD_PORT" \
+  follow-principal=admin > "$SMOKE_DIR/fol_serve.out" 2>&1 &
+FOL_PID=$!
+for _ in $(seq 100); do
+  grep -q "listening on port" "$SMOKE_DIR/fol_serve.out" && break
+  sleep 0.1
+done
+FOL_PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' \
+  "$SMOKE_DIR/fol_serve.out")"
+test -n "$FOL_PORT"
+grep -q "follower of" "$SMOKE_DIR/fol_serve.out"
+# Quorum-acked pipelined ingest: each ack means a follower confirmed
+# the write durable, so "acked 40" is itself the replication check.
+"$PAWCTL" put "localhost:$LEAD_PORT" "$SMOKE_DIR/demo.paw" runs=40 \
+  pipeline=16 user=admin | tee "$SMOKE_DIR/repl_put.out"
+grep -q "acked 40 execution(s)" "$SMOKE_DIR/repl_put.out"
+# Query the follower while a second pipelined ingest runs on the
+# leader: same per-principal privacy filtering as the leader.
+"$PAWCTL" put "localhost:$LEAD_PORT" "$SMOKE_DIR/demo.paw" runs=200 \
+  pipeline=16 user=admin > "$SMOKE_DIR/repl_put_mid.out" &
+REPL_PUT_PID=$!
+"$PAWCTL" query "localhost:$FOL_PORT" omim user=admin \
+  | tee "$SMOKE_DIR/repl_q_admin.out"
+grep -q "disease susceptibility" "$SMOKE_DIR/repl_q_admin.out"
+"$PAWCTL" query "localhost:$FOL_PORT" omim user=alice \
+  > "$SMOKE_DIR/repl_q_alice.out"
+grep -q "no results" "$SMOKE_DIR/repl_q_alice.out"
+# Writes to the follower are rejected and point at the leader.
+if "$PAWCTL" put "localhost:$FOL_PORT" "$SMOKE_DIR/demo.paw" runs=1 \
+  user=admin > "$SMOKE_DIR/repl_reject.out" 2>&1; then
+  echo "FAIL: follower accepted a write"
+  exit 1
+fi
+grep -qi "follower" "$SMOKE_DIR/repl_reject.out"
+wait "$REPL_PUT_PID"
+grep -q "acked 200 execution(s)" "$SMOKE_DIR/repl_put_mid.out"
+# The leader's metrics surface reports replication state.
+"$PAWCTL" connect "localhost:$LEAD_PORT" user=admin metrics \
+  > "$SMOKE_DIR/repl_metrics.out"
+grep -q "paw_repl_lag_seconds" "$SMOKE_DIR/repl_metrics.out"
+SUBSCRIBERS="$(awk '/^paw_repl_subscribers/{print $2}' \
+  "$SMOKE_DIR/repl_metrics.out")"
+test "$SUBSCRIBERS" = "1"
+# Partitioned failover: kill -9 the leader mid-life, then the
+# follower, and promote by reopening the follower's store dir. Every
+# quorum-acked write (240 of them) must be there.
+kill -9 "$LEAD_PID" 2>/dev/null || true
+wait "$LEAD_PID" 2>/dev/null || true
+kill -9 "$FOL_PID" 2>/dev/null || true
+wait "$FOL_PID" 2>/dev/null || true
+"$PAWCTL" open "$SMOKE_DIR/fol" threads=4 | tee "$SMOKE_DIR/fol_open.out"
+grep -q "executions:  240" "$SMOKE_DIR/fol_open.out"
+# Promote: serve the follower's store as a plain leader and keep
+# writing — the replicated WAL is byte-compatible with recovery.
+"$PAWCTL" serve "$SMOKE_DIR/fol" port=0 writers=4 \
+  auth=admin:100,alice:0 > "$SMOKE_DIR/promo_serve.out" 2>&1 &
+PROMO_PID=$!
+for _ in $(seq 100); do
+  grep -q "listening on port" "$SMOKE_DIR/promo_serve.out" && break
+  sleep 0.1
+done
+PROMO_PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' \
+  "$SMOKE_DIR/promo_serve.out")"
+test -n "$PROMO_PORT"
+"$PAWCTL" put "localhost:$PROMO_PORT" "$SMOKE_DIR/demo.paw" runs=5 \
+  pipeline=4 user=admin | tee "$SMOKE_DIR/promo_put.out"
+grep -q "acked 5 execution(s)" "$SMOKE_DIR/promo_put.out"
+"$PAWCTL" query "localhost:$PROMO_PORT" omim user=admin \
+  | tee "$SMOKE_DIR/promo_q.out"
+grep -q "disease susceptibility" "$SMOKE_DIR/promo_q.out"
+kill -9 "$PROMO_PID" 2>/dev/null || true
+wait "$PROMO_PID" 2>/dev/null || true
+"$PAWCTL" open "$SMOKE_DIR/fol" threads=4 | tee "$SMOKE_DIR/promo_open.out"
+grep -q "executions:  245" "$SMOKE_DIR/promo_open.out"
+
 echo "== pawctl migrate smoke =="
 # A v1 (text-payload) store must open under the v2 build and migrate
 # to all-binary payloads in place. (codec=text on ingest keeps the
@@ -214,6 +314,14 @@ if [[ -x "$BUILD_DIR/bench_server" ]]; then
   grep -q '"view_cache_hit_rate"' "$SMOKE_DIR/BENCH_server.json"
   grep -q "^e13 view-cache p50 speedup.*(>= 3x: yes)" \
     "$SMOKE_DIR/bench_server.out"
+  # E14 (follower read capacity) ran: followers caught up, the query
+  # population fanned across leader + followers, and the leader's
+  # replication-lag histogram recorded the stream. Scaling itself is
+  # advisory (1-core CI shares the core across nodes).
+  grep -q '"experiment":"e14"' "$SMOKE_DIR/BENCH_server.json"
+  grep -q '"phase":"fanned"' "$SMOKE_DIR/BENCH_server.json"
+  grep -q "^e14 follower scaling:" "$SMOKE_DIR/bench_server.out"
+  grep -q "^e14 paw_repl_lag_seconds: count=" "$SMOKE_DIR/bench_server.out"
   # Overhead gate: the same bench from a PAW_NO_METRICS build (update
   # paths compiled out) measures what the instrumentation costs; the
   # instrumented build must stay within 5% of it. Shared CI machines
@@ -274,8 +382,8 @@ cmake -B "$ASAN_BUILD_DIR" -S . -DPAW_SANITIZE=address
 SAN_TESTS=(store_test sharded_store_test crash_injection_test record_test
            thread_pool_test crc32_test codec_v2_test wal_group_commit_test
            mixed_version_test background_compaction_test wire_test
-           server_test store_lock_test metrics_test view_cache_test
-           dp_counters_test)
+           server_test replication_test store_lock_test metrics_test
+           view_cache_test dp_counters_test)
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
   echo "-- $t (asan+ubsan)"
@@ -284,13 +392,16 @@ done
 
 echo "== tsan concurrency tests =="
 # The suites that genuinely race threads: group-commit WAL (appenders +
-# rotation), sharded writer queues, and background compaction
-# (snapshot worker vs live appends over the pinned view).
+# rotation + the replication commit sink), sharded writer queues,
+# background compaction (snapshot worker vs live appends over the
+# pinned view), and replication (leader sender + follower apply thread
+# vs concurrent ingest and follower-served queries).
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "$TSAN_BUILD_DIR" -S . -DPAW_SANITIZE=thread
 TSAN_TESTS=(wal_group_commit_test sharded_store_test
             background_compaction_test thread_pool_test server_test
-            metrics_test view_cache_test dp_counters_test)
+            replication_test metrics_test view_cache_test
+            dp_counters_test)
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
   echo "-- $t (tsan)"

@@ -53,6 +53,8 @@
 //                [writers=N] [threads=N] [sync=each|batch]
 //                [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]
 //                [viewcache=on|off] [viewcache-mb=N]
+//                [follow=HOST:PORT] [follow-principal=NAME]
+//                [acks=local|quorum] [quorum-ms=N]
 //                                        serve the store over the binary
 //                                        wire protocol (pawd); creates the
 //                                        store first when <dir> is empty
@@ -63,7 +65,15 @@
 //                                        admin:100); viewcache toggles the
 //                                        memoized privacy-view cache (on by
 //                                        default, byte budget viewcache-mb
-//                                        MiB). Runs until SIGINT.
+//                                        MiB). follow=HOST:PORT runs a
+//                                        read-only follower replicating
+//                                        that leader's WAL (authenticating
+//                                        as follow-principal, default
+//                                        admin); acks=quorum makes a leader
+//                                        ack ADD_EXECUTION only after a
+//                                        follower confirmed it durable
+//                                        (waiting at most quorum-ms,
+//                                        default 5000). Runs until SIGINT.
 //   pawctl connect <host:port> [user=NAME] [metrics [--raw]]
 //                  [lineage=SPEC [ordinal=N] [item=N]]
 //                                        HELLO + AUTH + STATUS round trip;
@@ -877,6 +887,8 @@ bool ParsePrincipalSpec(const std::string& text, ServerPrincipal* out) {
   return true;
 }
 
+bool ParseHostPort(const std::string& text, std::string* host, int* port);
+
 int CmdServe(const char* dir, int argc, char** argv) {
   ServerOptions options;
   options.store.sync_each_append = true;  // acked => durable
@@ -999,7 +1011,54 @@ int CmdServe(const char* dir, int argc, char** argv) {
           static_cast<size_t>(viewcache_mb) << 20;
       continue;
     }
+    std::string follow;
+    ParseStrOption(argv[i], "follow", &follow, &matched);
+    if (matched) {
+      if (!ParseHostPort(follow, &options.follow_host,
+                         &options.follow_port)) {
+        std::fprintf(stderr, "error: follow must be host:port: %s\n",
+                     argv[i]);
+        return 1;
+      }
+      continue;
+    }
+    std::string follow_principal;
+    ParseStrOption(argv[i], "follow-principal", &follow_principal,
+                   &matched);
+    if (matched) {
+      options.follow_principal = follow_principal;
+      continue;
+    }
+    std::string acks;
+    ParseStrOption(argv[i], "acks", &acks, &matched);
+    if (matched) {
+      if (acks == "local") {
+        options.quorum_acks = false;
+      } else if (acks == "quorum") {
+        options.quorum_acks = true;
+      } else {
+        std::fprintf(stderr, "error: acks must be local or quorum: %s\n",
+                     argv[i]);
+        return 1;
+      }
+      continue;
+    }
+    long quorum_ms = 0;
+    if (!ParseIntOption(argv[i], "quorum-ms", 1, 3600000, &quorum_ms,
+                        &matched)) {
+      return 1;
+    }
+    if (matched) {
+      options.quorum_timeout_ms = static_cast<int>(quorum_ms);
+      continue;
+    }
     std::fprintf(stderr, "error: unknown serve option %s\n", argv[i]);
+    return 1;
+  }
+  if (options.quorum_acks && !options.follow_host.empty()) {
+    std::fprintf(stderr,
+                 "error: acks=quorum is a leader option; a follower "
+                 "(follow=...) takes no writes\n");
     return 1;
   }
 
@@ -1042,10 +1101,15 @@ int CmdServe(const char* dir, int argc, char** argv) {
   options.store.writer_threads = static_cast<int>(writers);
   options.principals = std::move(principals);
 
+  const std::string role =
+      options.follow_host.empty()
+          ? (options.quorum_acks ? "leader, acks=quorum" : "leader")
+          : "follower of " + options.follow_host + ":" +
+                std::to_string(options.follow_port);
   auto server = PawServer::Start(dir, std::move(options));
   if (!server.ok()) return Fail(server.status());
-  std::printf("pawd listening on port %d (store %s)\n",
-              server.value()->port(), dir);
+  std::printf("pawd listening on port %d (store %s, %s)\n",
+              server.value()->port(), dir, role.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStopSignal);
@@ -1329,7 +1393,9 @@ int Usage() {
                "       pawctl serve <dir> [port=N] [bind=ADDR] [shards=N]"
                " [workers=N] [writers=N] [threads=N] [sync=each|batch]"
                " [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]"
-               " [viewcache=on|off] [viewcache-mb=N]\n"
+               " [viewcache=on|off] [viewcache-mb=N]"
+               " [follow=HOST:PORT] [follow-principal=NAME]"
+               " [acks=local|quorum] [quorum-ms=N]\n"
                "       pawctl connect <host:port> [user=NAME]"
                " [metrics [--raw]]"
                " [lineage=SPEC [ordinal=N] [item=N]]\n"
