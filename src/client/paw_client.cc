@@ -33,6 +33,8 @@ struct PawClient::Rep {
   /// by `max_stashed` — overflow poisons the connection.
   std::unordered_map<uint64_t, wire::Frame> stashed;
   size_t max_stashed = 4096;
+  /// Trace id stamped on the most recent v2 request frame.
+  uint64_t last_trace_id = 0;
   /// Unconsumed bytes of the read stream.
   std::string in;
   /// Sticky transport/framing error.
@@ -70,12 +72,24 @@ struct PawClient::Rep {
   }
 
   Status SendFrame(wire::Opcode opcode, uint64_t request_id,
-                   std::string payload) {
+                   std::string payload, TraceContext ctx = {}) {
     wire::Frame frame;
     frame.version = version;
     frame.opcode = opcode;
     frame.request_id = request_id;
     frame.payload = std::move(payload);
+    if (version >= 2 && opcode != wire::Opcode::kHello) {
+      // Every v2 request carries a trace context: the caller's (an
+      // explicit one, or the thread's current trace when this call is
+      // nested inside one), else a fresh id so the server can stitch
+      // all of this request's spans together.
+      if (!ctx.valid()) ctx = CurrentTraceContext();
+      if (!ctx.valid()) {
+        ctx.trace_id = TraceRecorder::Global().NewTraceId();
+      }
+      frame.trace = ctx;
+      last_trace_id = ctx.trace_id;
+    }
     std::string bytes;
     AppendFrame(frame, &bytes);
     return WriteAll(bytes);
@@ -299,6 +313,16 @@ Result<wire::MetricsResponse> PawClient::Metrics() {
   return wire::DecodeMetricsResponse(result.first, result.second);
 }
 
+Result<wire::TraceDumpResponse> PawClient::TraceDump(
+    const wire::TraceDumpRequest& request) {
+  PAW_ASSIGN_OR_RETURN(
+      auto result, rep_->Call(wire::Opcode::kTraceDump,
+                              wire::EncodeTraceDumpRequest(request)));
+  return wire::DecodeTraceDumpResponse(result.first, result.second);
+}
+
+uint64_t PawClient::last_trace_id() const { return rep_->last_trace_id; }
+
 Status PawClient::Compact() {
   return rep_->Call(wire::Opcode::kCompact, "").status();
 }
@@ -381,8 +405,8 @@ Result<wire::Frame> PawClient::ReadPushedFrame() {
 }
 
 Status PawClient::SendRawFrame(wire::Opcode opcode, uint64_t request_id,
-                               std::string payload) {
-  return rep_->SendFrame(opcode, request_id, std::move(payload));
+                               std::string payload, TraceContext ctx) {
+  return rep_->SendFrame(opcode, request_id, std::move(payload), ctx);
 }
 
 void PawClient::Shutdown() {

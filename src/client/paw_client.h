@@ -98,7 +98,16 @@ class PawClient {
   Result<wire::StatusResponse> GetStatus();
   /// \brief Fetches the server's metrics-registry snapshot (METRICS).
   Result<wire::MetricsResponse> Metrics();
+  /// \brief Fetches spans from the server's flight recorder
+  /// (TRACE_DUMP).
+  Result<wire::TraceDumpResponse> TraceDump(
+      const wire::TraceDumpRequest& request);
   Status Compact();
+
+  /// \brief Trace id stamped on the most recent v2 request frame (0
+  /// on a v1 connection); lets callers correlate a call they just
+  /// made with `TraceDump` output and `trace=` slow-log lines.
+  uint64_t last_trace_id() const;
 
   // ---- Pipelined calls ----
 
@@ -134,9 +143,11 @@ class PawClient {
   Result<wire::Frame> ReadPushedFrame();
 
   /// \brief Writes one raw frame (used to ack pushed `kReplicate`
-  /// batches with the leader's request id).
+  /// batches with the leader's request id). `ctx` rides the v2 trace
+  /// trailer — followers echo the pushed batch's context so the
+  /// leader's ack handling joins the same trace.
   Status SendRawFrame(wire::Opcode opcode, uint64_t request_id,
-                      std::string payload);
+                      std::string payload, TraceContext ctx = {});
 
   /// \brief Shuts the socket down (both directions) without closing
   /// the fd: a thread blocked in `ReadPushedFrame` sees end-of-stream

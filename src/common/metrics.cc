@@ -202,6 +202,14 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snapshot;
 }
 
+void MetricsRegistry::Remove(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    entries_.erase(it);
+  }
+}
+
 void MetricsRegistry::ResetForTesting() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();

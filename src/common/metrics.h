@@ -278,6 +278,13 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Unregisters `name` from future snapshots (e.g. a per-subscriber
+  /// gauge whose subscriber disconnected). The underlying object stays
+  /// alive, so references handed out earlier remain valid; asking for
+  /// the same name again registers a fresh metric. No-op if the name
+  /// was never registered.
+  void Remove(std::string_view name);
+
   /// Testing only: forgets every registered metric. References handed
   /// out earlier keep pointing at live (but unlisted) objects.
   void ResetForTesting();

@@ -48,6 +48,24 @@ Histogram& ReplLagSeconds() {
       "paw_repl_lag_seconds");
   return h;
 }
+/// Per-subscriber replication lag, in committed-but-unacked records.
+/// Name-keyed (not a function-local static): one gauge per follower,
+/// registered on its first ack and *unregistered* when the subscriber
+/// drops, so a departed follower cannot leave a stale series behind
+/// (the aggregate `paw_repl_lag_seconds` histogram had exactly that
+/// bug — it kept reporting the last observation forever).
+std::string SubscriberLagMetricName(const std::string& follower) {
+  std::string label;
+  label.reserve(follower.size());
+  for (const char c : follower) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                      c == '.' || c == ':';
+    label.push_back(safe ? c : '_');
+  }
+  return "paw_repl_subscriber_lag_records{follower=\"" + label + "\"}";
+}
+
 Counter& ReplBatchesApplied() {
   static Counter& c = MetricsRegistry::Global().GetCounter(
       "paw_repl_batches_applied_total");
@@ -147,6 +165,10 @@ struct ReplicationManager::Shard {
     uint64_t base = 0;
     uint64_t count = 0;
     std::string frames;
+    /// Trace context of the first traced record in the batch; stamped
+    /// onto the push frame so follower apply/ack spans join the
+    /// leader-side trace of the write that led the commit batch.
+    TraceContext ctx;
   };
   std::deque<RingEntry> ring;
   size_t ring_bytes = 0;
@@ -198,7 +220,8 @@ void ReplicationManager::Start() {
   for (size_t i = 0; i < r->shards.size(); ++i) {
     r->shards[i].wal->SetCommitSink(
         [this, i](uint64_t first_lsn, uint64_t num_records,
-                  std::string_view frames) {
+                  std::string_view frames,
+                  const std::vector<TraceContext>& traces) {
           Rep* rr = rep_.get();
           const Clock::time_point now = Clock::now();
           {
@@ -208,6 +231,12 @@ void ReplicationManager::Start() {
             entry.base = first_lsn;
             entry.count = num_records;
             entry.frames.assign(frames.data(), frames.size());
+            for (const TraceContext& t : traces) {
+              if (t.valid()) {
+                entry.ctx = t;
+                break;
+              }
+            }
             sh.ring_bytes += entry.frames.size();
             sh.ring.push_back(std::move(entry));
             while (sh.ring_bytes > rr->options.live_buffer_bytes &&
@@ -236,10 +265,17 @@ void ReplicationManager::Stop() {
   r->work_cv.notify_all();
   r->quorum_cv.notify_all();
   if (r->sender.joinable()) r->sender.join();
+  std::vector<std::string> names;
   {
     std::lock_guard<std::mutex> lock(r->mu);
+    for (const auto& [token, sub] : r->subscribers) {
+      names.push_back(sub->name);
+    }
     r->subscribers.clear();
     r->started = false;
+  }
+  for (const std::string& name : names) {
+    MetricsRegistry::Global().Remove(SubscriberLagMetricName(name));
   }
   ReplSubscribers().Set(0);
 }
@@ -331,12 +367,19 @@ void ReplicationManager::ActivateSubscriber(uint64_t token) {
 void ReplicationManager::RemoveSubscriber(uint64_t token) {
   Rep* r = rep_.get();
   size_t count = 0;
+  std::string name;
   {
     std::lock_guard<std::mutex> lock(r->mu);
-    if (r->subscribers.erase(token) == 0) return;
+    auto it = r->subscribers.find(token);
+    if (it == r->subscribers.end()) return;
+    name = it->second->name;
+    r->subscribers.erase(it);
     count = r->subscribers.size();
     UpdateFloorsLocked();
   }
+  // Drop the per-subscriber series: a gone follower must not keep
+  // exporting its last lag value forever.
+  MetricsRegistry::Global().Remove(SubscriberLagMetricName(name));
   ReplSubscribers().Set(static_cast<int64_t>(count));
 }
 
@@ -367,6 +410,17 @@ void ReplicationManager::HandleAck(uint64_t token,
     if (ack.durable_lsn >= sh.wal->base_lsn()) {
       sub->pin[static_cast<size_t>(shard)] = sh.wal->active_seq();
     }
+    // Refresh this follower's own lag series (committed records it
+    // has not yet acked, across every shard). The registry mutex is a
+    // leaf lock, so taking it under `mu` is safe.
+    uint64_t behind = 0;
+    for (size_t i = 0; i < r->shards.size(); ++i) {
+      const uint64_t committed = r->shards[i].committed;
+      if (committed > sub->acked[i]) behind += committed - sub->acked[i];
+    }
+    MetricsRegistry::Global()
+        .GetGauge(SubscriberLagMetricName(sub->name))
+        .Set(static_cast<int64_t>(behind));
     if (ack.durable_lsn > sh.max_acked) {
       sh.max_acked = ack.durable_lsn;
       while (!sh.commit_times.empty() &&
@@ -442,6 +496,10 @@ bool ReplicationManager::MaybeSendLocked(
   req.shard = shard;
   req.base_lsn = next;
   size_t bytes = 0;
+  // Context the push frame carries: the first traced commit batch
+  // contributing records. Disk catch-up pushes carry none — those
+  // batches predate the follower's subscription.
+  TraceContext push_trace;
 
   const bool ring_covers =
       !sh.ring.empty() && next >= sh.ring.front().base;
@@ -450,6 +508,7 @@ bool ReplicationManager::MaybeSendLocked(
     // frames back into records, skipping any below the cursor.
     for (const Shard::RingEntry& entry : sh.ring) {
       if (entry.base + entry.count <= next) continue;
+      if (!push_trace.valid()) push_trace = entry.ctx;
       RecordReader reader(entry.frames);
       Record record;
       uint64_t lsn = entry.base - 1;
@@ -553,14 +612,27 @@ bool ReplicationManager::MaybeSendLocked(
   frame.opcode = wire::Opcode::kReplicate;
   frame.request_id = r->next_push_id++;
   frame.payload = wire::EncodeReplicateRequest(req);
+  frame.trace = push_trace;
   const uint64_t end = req.base_lsn + req.records.size() - 1;
   sub->next[si] = end + 1;
   sub->inflight[si].push_back(end);
   SendFn send = sub->send;
   const size_t sent_records = req.records.size();
+  const uint64_t sent_base = req.base_lsn;
+  const std::string sub_name = sub->name;  // `sub` may die off-lock
 
   lock.unlock();
-  const bool delivered = send(std::move(frame));
+  bool delivered;
+  {
+    // Joins the originating write's trace when the batch has one and
+    // that trace is sampled; otherwise records nothing.
+    ScopedTraceContext push_tl(push_trace);
+    ScopedSpan span("repl.push");
+    span.set_detail("shard=" + std::to_string(shard) + " base=" +
+                    std::to_string(sent_base) + " n=" +
+                    std::to_string(sent_records) + " to=" + sub_name);
+    delivered = send(std::move(frame));
+  }
   lock.lock();
   if (delivered) {
     ReplBatchesSent().Add();
@@ -721,7 +793,21 @@ Status ReplicationFollower::RunOnce() {
       status = batch.status();
       break;
     }
-    Result<uint64_t> durable = r->apply(batch.value());
+    // Adopt the leader's trace for the whole apply+ack step: the
+    // follower samples by the shared trace id, so a sampled write on
+    // the leader yields "repl.apply" spans here under the same id.
+    const TraceContext push_trace = pushed.value().trace;
+    ScopedTraceContext push_tl(push_trace);
+    Result<uint64_t> durable = Status::Internal("apply did not run");
+    {
+      ScopedSpan span("repl.apply");
+      span.set_detail(
+          "shard=" + std::to_string(batch.value().shard) + " base=" +
+          std::to_string(batch.value().base_lsn) + " n=" +
+          std::to_string(batch.value().records.size()));
+      durable = r->apply(batch.value());
+      if (!durable.ok()) span.set_error();
+    }
     if (!durable.ok()) {
       status = durable.status();
       break;
@@ -734,9 +820,11 @@ Status ReplicationFollower::RunOnce() {
     std::string payload;
     wire::AppendResponseStatus(Status::OK(), &payload);
     payload += wire::EncodeReplicateResponse(ack);
+    // Echo the context on the ack so the leader's ack handling (and
+    // its "repl.ack_recv" span) joins the same trace.
     status = client.SendRawFrame(wire::Opcode::kReplicate,
                                  pushed.value().request_id,
-                                 std::move(payload));
+                                 std::move(payload), push_trace);
     if (!status.ok()) break;
     {
       std::lock_guard<std::mutex> lock(r->mu);

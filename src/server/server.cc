@@ -19,13 +19,16 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
 #include "src/privacy/access_control.h"
@@ -62,7 +65,7 @@ std::string FormatMs(int64_t us) {
 // ---- Metrics ---------------------------------------------------------------
 
 constexpr size_t kNumOpcodes =
-    static_cast<size_t>(wire::Opcode::kReplicate) + 1;
+    static_cast<size_t>(wire::Opcode::kTraceDump) + 1;
 
 std::string OpcodeMetricName(const char* family, size_t op) {
   return std::string(family) + "{opcode=\"" +
@@ -568,8 +571,14 @@ struct Connection : std::enable_shared_from_this<Connection> {
   AccessLevel level = 0;
   /// Principal name from the AUTH request (slow-query log attribution).
   std::string principal_name;
+  /// Principal's cache/sharing group (audit-event attribution).
+  std::string group;
   /// Milestones of the request currently being handled.
   RequestTrace trace;
+  /// Trace context of the request currently being handled: the
+  /// client's wire-propagated context, or a server-rooted one when the
+  /// peer sent none (v1 connection).
+  TraceContext trace_ctx;
 };
 
 }  // namespace
@@ -585,14 +594,35 @@ struct PawServer::Impl {
   AccessLevel admin_level = 100;
   /// Effective slow-query threshold (ms); < 0 disables the log.
   int slow_query_ms = 100;
-  /// Slow-query log rate limit, per opcode: micros timestamp of the
-  /// last emitted line (0 = never), and how many slow requests were
-  /// counted but not logged since then. A deep pipelined burst makes
-  /// every queued request "slow" at once; logging each one would flood
-  /// stderr and distort the very latencies being reported. Per-opcode
-  /// so one noisy opcode cannot silence the others.
-  std::atomic<int64_t> slow_log_last_us[kNumOpcodes] = {};
-  std::atomic<uint64_t> slow_log_suppressed{0};
+  /// Slow-query log rate limit, keyed on (opcode, principal): micros
+  /// timestamp of the last emitted line for the key (0 = never), and
+  /// how many slow requests of that key were counted but not logged
+  /// since then. A deep pipelined burst makes every queued request
+  /// "slow" at once; logging each one would flood stderr and distort
+  /// the very latencies being reported. Keying on the principal too
+  /// means one tenant's burst cannot silence another tenant's slow
+  /// queries (and the suppressed= carry stays per-key). Keys hash into
+  /// a fixed table; a collision just makes two keys share one limiter,
+  /// which is benign for a log rate limit.
+  struct SlowLogSlot {
+    std::atomic<int64_t> last_us{0};
+    std::atomic<uint64_t> suppressed{0};
+  };
+  static constexpr size_t kSlowLogSlots = 128;
+  std::array<SlowLogSlot, kSlowLogSlots> slow_log_slots;
+
+  static size_t SlowLogSlotIndex(wire::Opcode op,
+                                 const std::string& principal) {
+    size_t h = std::hash<std::string>{}(principal);
+    h ^= (static_cast<size_t>(op) + 1) * size_t{0x9e3779b97f4a7c15ULL};
+    return h % kSlowLogSlots;
+  }
+
+  /// The "g=<group>@<level>" attribution every audit event carries.
+  static std::string AuditWho(const Connection* conn) {
+    return "g=" + (conn->group.empty() ? std::string("-") : conn->group) +
+           "@" + std::to_string(conn->level);
+  }
 
   /// The store lease: appends AND queries take it shared — queries
   /// serve from per-engine pinned MVCC views, so they need no quiescent
@@ -1108,12 +1138,23 @@ struct PawServer::Impl {
                                     : wire::kProtocolVersion;
     resp.opcode = request.opcode;
     resp.request_id = request.request_id;
+    // Echo the effective context on v2 responses: a client that sent
+    // no explicit id learns which trace the server filed it under.
+    resp.trace = conn->trace_ctx;
     wire::AppendResponseStatus(status, &resp.payload);
     if (status.ok()) resp.payload.append(body);
     AppendFrame(resp, out);
     stats.responses_sent.fetch_add(1, std::memory_order_relaxed);
     if (status.IsPermissionDenied()) {
       stats.permission_denied.fetch_add(1, std::memory_order_relaxed);
+      // Every outright refusal of an authed principal is a privacy
+      // audit event — denial sites are scattered (GET_SPEC coverage,
+      // COMPACT/SUBSCRIBE level checks), so record them centrally.
+      if (conn->authed) {
+        RecordAuditEvent(AuditVerdict::kDenied, conn->principal_name,
+                         static_cast<uint8_t>(request.opcode),
+                         status.message());
+      }
     }
     // Request accounting + slow-query log: the span runs from frame
     // parse (queueing behind earlier pipelined frames included) to
@@ -1124,25 +1165,79 @@ struct PawServer::Impl {
     if (!status.ok()) RequestErrorsTotal(request.opcode).Add();
     RequestSeconds(request.opcode)
         .Observe(static_cast<double>(span_us) / 1e6);
-    if (slow_query_ms >= 0 && span_us > int64_t{slow_query_ms} * 1000) {
+    const bool is_error = !status.ok();
+    const bool is_slow =
+        slow_query_ms >= 0 && span_us > int64_t{slow_query_ms} * 1000;
+#if !defined(PAW_NO_TRACE)
+    // Flight-recorder span family for the request: recorded when the
+    // trace is head-sampled, and always for slow/error requests (the
+    // coarse request spans can be reconstructed here at Respond time
+    // from the RequestTrace stamps; only the sub-layer spans require
+    // the trace to have been sampled up front).
+    TraceRecorder& recorder = TraceRecorder::Global();
+    const TraceContext ctx = conn->trace_ctx;
+    if (ctx.valid() &&
+        (is_slow || is_error || recorder.Sampled(ctx.trace_id))) {
+      const RequestTrace& t = conn->trace;
+      Span root;
+      root.trace_id = ctx.trace_id;
+      root.span_id = recorder.NewSpanId();
+      root.parent_span_id = ctx.span_id;
+      root.start_us = t.recv_us;
+      root.end_us = t.reply_us;
+      root.result_bytes = static_cast<uint32_t>(
+          std::min<size_t>(result_bytes, UINT32_MAX));
+      root.opcode = static_cast<uint8_t>(request.opcode);
+      root.status_code = static_cast<uint8_t>(status.code());
+      root.flags = static_cast<uint8_t>((is_slow ? kSpanFlagSlow : 0) |
+                                        (is_error ? kSpanFlagError : 0));
+      root.set_name(std::string("req.") +
+                    std::string(wire::OpcodeName(request.opcode)));
+      root.set_principal(conn->principal_name);
+      recorder.Record(root);
+      const auto child = [&](std::string_view name, int64_t from,
+                             int64_t to) {
+        Span s;
+        s.trace_id = ctx.trace_id;
+        s.span_id = recorder.NewSpanId();
+        s.parent_span_id = root.span_id;
+        s.start_us = from;
+        s.end_us = to;
+        s.opcode = root.opcode;
+        s.set_name(name);
+        s.set_principal(conn->principal_name);
+        recorder.Record(s);
+      };
+      if (t.lease_us >= t.recv_us && t.lease_us > 0) {
+        child("lease.wait", t.recv_us, t.lease_us);
+        if (t.engine_us >= t.lease_us) {
+          child("engine", t.lease_us, t.engine_us);
+          child("reply", t.engine_us, t.reply_us);
+        } else {
+          child("reply", t.lease_us, t.reply_us);
+        }
+      }
+    }
+#endif
+    if (is_slow) {
       SlowQueriesTotal().Add();
-      // At most one line per opcode per second; the counter above still
-      // sees every slow request, and the next emitted line carries the
-      // number of lines elided since the last one.
-      const size_t op_i = static_cast<size_t>(request.opcode);
-      std::atomic<int64_t>& last_us =
-          slow_log_last_us[op_i < kNumOpcodes ? op_i : 0];
-      int64_t last = last_us.load(std::memory_order_relaxed);
+      // At most one line per (opcode, principal) per second; the
+      // counter above still sees every slow request, and the next
+      // emitted line for the key carries the number of its lines
+      // elided since the last one.
+      SlowLogSlot& slot = slow_log_slots[SlowLogSlotIndex(
+          request.opcode, conn->principal_name)];
+      int64_t last = slot.last_us.load(std::memory_order_relaxed);
       const bool emit =
           (last == 0 || conn->trace.reply_us - last >= 1000000) &&
-          last_us.compare_exchange_strong(last, conn->trace.reply_us,
-                                          std::memory_order_relaxed);
+          slot.last_us.compare_exchange_strong(
+              last, conn->trace.reply_us, std::memory_order_relaxed);
       if (!emit) {
-        slow_log_suppressed.fetch_add(1, std::memory_order_relaxed);
+        slot.suppressed.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       const uint64_t suppressed =
-          slow_log_suppressed.exchange(0, std::memory_order_relaxed);
+          slot.suppressed.exchange(0, std::memory_order_relaxed);
       std::string spans;
       if (conn->trace.lease_us >= conn->trace.recv_us &&
           conn->trace.lease_us > 0) {
@@ -1158,6 +1253,7 @@ struct PawServer::Impl {
           << " opcode=" << wire::OpcodeName(request.opcode)
           << " principal="
           << (conn->principal_name.empty() ? "-" : conn->principal_name)
+          << " trace=" << TraceIdHex(conn->trace_ctx.trace_id)
           << " duration_ms=" << FormatMs(span_us)
           << " result_bytes=" << result_bytes << spans
           << (suppressed != 0
@@ -1175,6 +1271,16 @@ struct PawServer::Impl {
       // processed before the ops behind it.
       const wire::Frame& frame = batch[i].frame;
       conn->trace = RequestTrace{batch[i].recv_us, 0, 0, 0};
+      // Adopt the client's wire-propagated trace context; a v1 peer
+      // stamps none, so the server roots a fresh trace (its own spans
+      // still group even without client correlation). Subscriber acks
+      // keep whatever the follower echoed.
+      TraceContext ctx = frame.trace;
+      if (!ctx.valid() && frame.opcode != wire::Opcode::kReplicate) {
+        ctx.trace_id = TraceRecorder::Global().NewTraceId();
+      }
+      conn->trace_ctx = ctx;
+      ScopedTraceContext scoped_ctx(ctx);
       if (!conn->hello_done && frame.opcode != wire::Opcode::kHello) {
         Respond(conn, frame,
                 Status::FailedPrecondition(
@@ -1284,6 +1390,8 @@ struct PawServer::Impl {
         return HandleCompact(conn, frame, out);
       case wire::Opcode::kMetrics:
         return HandleMetrics(conn, frame, out);
+      case wire::Opcode::kTraceDump:
+        return HandleTraceDump(conn, frame, out);
       case wire::Opcode::kSubscribe:
         return HandleSubscribe(conn, frame, out);
       case wire::Opcode::kReplicate:
@@ -1364,6 +1472,19 @@ struct PawServer::Impl {
     }
     auto ack = wire::DecodeReplicateResponse(frame.payload, offset);
     if (ack.ok() && repl != nullptr) {
+      {
+        // The follower echoed the pushed batch's trace context on its
+        // ack (installed as the thread-local by HandleBatch), so this
+        // span lands in the same trace as the client write it
+        // acknowledges. A point event, recorded BEFORE the ack is
+        // routed: HandleAck may wake a quorum-blocked client, and an
+        // acked client must already find the whole span family in the
+        // flight recorder.
+        ScopedSpan span("repl.ack_recv");
+        span.set_detail("shard=" + std::to_string(ack.value().shard) +
+                        " lsn=" +
+                        std::to_string(ack.value().durable_lsn));
+      }
       repl->HandleAck(conn->id, ack.value());
     }
   }
@@ -1481,6 +1602,7 @@ struct PawServer::Impl {
     conn->principal = principal.value().id;
     conn->level = principal.value().level;
     conn->principal_name = req.value().principal;
+    conn->group = principal.value().group;
     AuthSessionsTotal().Add();
     wire::AuthResponse resp;
     resp.principal_id = principal.value().id.value();
@@ -1558,10 +1680,21 @@ struct PawServer::Impl {
       SpecLoc loc;
       int shard = 0;
       Execution exec;
+      TraceContext ctx;
       StoreFuture<ExecutionId> future;
     };
     std::vector<Prepared> run;
     run.reserve(end - begin);
+    // Per-frame trace contexts, fixed up front so the enqueue below
+    // and the response emission agree on each frame's trace id (a v1
+    // frame gets a server-rooted one here, exactly once).
+    std::vector<TraceContext> ctxs(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      ctxs[i - begin] = batch[i].frame.trace;
+      if (!ctxs[i - begin].valid()) {
+        ctxs[i - begin].trace_id = TraceRecorder::Global().NewTraceId();
+      }
+    }
     // Parse off-lock: registry entries are address-stable and specs
     // immutable, so execution texts resolve without touching the
     // store's entry vectors.
@@ -1584,7 +1717,7 @@ struct PawServer::Impl {
         continue;
       }
       Prepared p{i, info.value().loc, info.value().loc.shard,
-                 std::move(exec).value(), {}};
+                 std::move(exec).value(), ctxs[i - begin], {}};
       run.push_back(std::move(p));
     }
     int64_t lease_us = 0;
@@ -1592,6 +1725,10 @@ struct PawServer::Impl {
       std::shared_lock<std::shared_mutex> shared = SharedLease();
       lease_us = NowMicros();
       for (Prepared& p : run) {
+        // The writer queue captures the thread-local context at
+        // enqueue, so the shard's commit (and the replication stream
+        // behind it) carries this frame's trace id.
+        ScopedTraceContext op_ctx(p.ctx);
         p.future = store->AddExecutionAsync(p.loc, std::move(p.exec));
       }
     }
@@ -1600,6 +1737,7 @@ struct PawServer::Impl {
     size_t fi = 0, ri = 0;
     for (size_t i = begin; i < end; ++i) {
       conn->trace = RequestTrace{batch[i].recv_us, lease_us, 0, 0};
+      conn->trace_ctx = ctxs[i - begin];
       if (fi < failures.size() && failures[fi].first == i) {
         Respond(conn, batch[i].frame, failures[fi].second, "", out);
         ++fi;
@@ -1616,8 +1754,16 @@ struct PawServer::Impl {
         // durable". Waiting on the shard's current tail is conservative
         // (it may cover later writes too) but always covers this one.
         const uint64_t lsn = store->ShardLsn(p.shard);
-        if (!repl->WaitForQuorum(p.shard, lsn,
-                                 options.quorum_timeout_ms)) {
+        bool quorum_ok;
+        {
+          ScopedTraceContext tl(p.ctx);
+          ScopedSpan qspan("quorum.wait");
+          qspan.set_detail("shard=" + std::to_string(p.shard) +
+                           " lsn=" + std::to_string(lsn));
+          quorum_ok = repl->WaitForQuorum(p.shard, lsn,
+                                          options.quorum_timeout_ms);
+        }
+        if (!quorum_ok) {
           Respond(conn, batch[i].frame,
                   Status::FailedPrecondition(
                       "quorum ack timeout: the write is durable on the "
@@ -1670,6 +1816,10 @@ struct PawServer::Impl {
     wire::GetSpecResponse resp;
     resp.spec_text = Serialize(entry.spec);
     resp.policy_text = SerializePolicy(entry.policy);
+    RecordAuditEvent(AuditVerdict::kServed, conn->principal_name,
+                     static_cast<uint8_t>(frame.opcode),
+                     "spec=" + req.value().spec_name + " " +
+                         AuditWho(conn) + " view=full");
     Respond(conn, frame, Status::OK(), EncodeGetSpecResponse(resp), out);
   }
 
@@ -1714,6 +1864,9 @@ struct PawServer::Impl {
       Respond(conn, frame, mask.status(), "", out);
       return;
     }
+    // use_count > 1 means the privacy-view cache also holds this
+    // report — i.e. the mask was served memoized, not recomputed.
+    const bool cache_hit = mask.value().use_count() > 1;
     // Re-render the execution with every item value the principal may
     // not see replaced by the mask — identity and structure stay
     // queryable, contents stay hidden (data privacy, paper Sec. 3).
@@ -1740,6 +1893,16 @@ struct PawServer::Impl {
     wire::GetExecutionResponse resp;
     resp.exec_text = SerializeExecution(masked);
     resp.num_masked = report.num_masked;
+    RecordAuditEvent(
+        report.num_masked > 0 ? AuditVerdict::kMasked
+                              : AuditVerdict::kServed,
+        conn->principal_name, static_cast<uint8_t>(frame.opcode),
+        // Verdict-relevant fields first: the detail buffer is capped,
+        // and a long spec name must not push `masked=` off the end.
+        "masked=" + std::to_string(report.num_masked) +
+            (cache_hit ? " cache=hit " : " cache=miss ") +
+            AuditWho(conn) + " exec=" + req.value().spec_name + "#" +
+            std::to_string(req.value().ordinal));
     Respond(conn, frame, Status::OK(), EncodeGetExecutionResponse(resp),
             out);
   }
@@ -1793,6 +1956,13 @@ struct PawServer::Impl {
                      });
     wire::SearchResponse resp;
     resp.hits = std::move(hits);
+    // Searches are confined to the principal's access views by
+    // construction — served, never masked.
+    RecordAuditEvent(AuditVerdict::kServed, conn->principal_name,
+                     static_cast<uint8_t>(frame.opcode),
+                     "terms=" + std::to_string(req.value().terms.size()) +
+                         " hits=" + std::to_string(resp.hits.size()) +
+                         " " + AuditWho(conn));
     Respond(conn, frame, Status::OK(), EncodeSearchResponse(resp), out);
   }
 
@@ -1844,6 +2014,11 @@ struct PawServer::Impl {
       }
       resp.matches.push_back(std::move(codes));
     }
+    RecordAuditEvent(AuditVerdict::kServed, conn->principal_name,
+                     static_cast<uint8_t>(frame.opcode),
+                     "spec=" + req.value().spec_name + " matches=" +
+                         std::to_string(resp.matches.size()) + " " +
+                         AuditWho(conn));
     Respond(conn, frame, Status::OK(), EncodeStructuralResponse(resp),
             out);
   }
@@ -1890,6 +2065,19 @@ struct PawServer::Impl {
       resp.prefix_codes.push_back(spec.workflow(w).code);
     }
     resp.rows = std::move(answer.value().rows);
+    // A zoomed-out lineage is the structural analogue of masking: the
+    // principal got an answer coarsened to their level.
+    RecordAuditEvent(
+        resp.zoom_steps > 0 ? AuditVerdict::kMasked
+                            : AuditVerdict::kServed,
+        conn->principal_name, static_cast<uint8_t>(frame.opcode),
+        // Verdict-relevant fields first: the detail buffer is capped,
+        // and a long spec name must not push `zoom=` off the end.
+        "zoom=" + std::to_string(resp.zoom_steps) +
+            " rows=" + std::to_string(resp.rows.size()) + " " +
+            AuditWho(conn) + " exec=" + req.value().spec_name + "#" +
+            std::to_string(req.value().ordinal) +
+            " item=" + std::to_string(req.value().item));
     Respond(conn, frame, Status::OK(), EncodeLineageResponse(resp), out);
   }
 
@@ -1962,6 +2150,77 @@ struct PawServer::Impl {
     resp.snapshot = MetricsRegistry::Global().Snapshot();
     Respond(conn, frame, Status::OK(), EncodeMetricsResponse(resp), out);
   }
+
+  /// TRACE_DUMP: a flight-recorder snapshot. Lease-free like METRICS
+  /// (the ring is safe under any store state); requires `admin_level`
+  /// because spans and audit events expose other principals' activity.
+  void HandleTraceDump(Connection* conn, const wire::Frame& frame,
+                       std::string* out) {
+    if (conn->level < admin_level) {
+      Respond(conn, frame,
+              Status::PermissionDenied(
+                  "TRACE_DUMP requires level >= " +
+                  std::to_string(admin_level) + " (session level " +
+                  std::to_string(conn->level) + ")"),
+              "", out);
+      return;
+    }
+    auto req = wire::DecodeTraceDumpRequest(frame.payload);
+    if (!req.ok()) {
+      Respond(conn, frame, req.status(), "", out);
+      return;
+    }
+    const wire::TraceDumpRequest& q = req.value();
+    const std::vector<Span> all = TraceRecorder::Global().Collect();
+    std::vector<Span> matched;
+    switch (q.mode) {
+      case wire::TraceDumpMode::kAll:
+        for (const Span& s : all) {
+          if (s.kind == SpanKind::kSpan) matched.push_back(s);
+        }
+        break;
+      case wire::TraceDumpMode::kAudit:
+        for (const Span& s : all) {
+          if (s.kind == SpanKind::kAudit) matched.push_back(s);
+        }
+        break;
+      case wire::TraceDumpMode::kById:
+        // By id, everything of the trace rides along — spans from any
+        // layer plus the audit events it triggered.
+        for (const Span& s : all) {
+          if (s.trace_id == q.trace_id) matched.push_back(s);
+        }
+        break;
+      case wire::TraceDumpMode::kSlow:
+      case wire::TraceDumpMode::kErrors: {
+        // Two passes: find trace ids carrying the flag, then keep
+        // every span of those traces (the whole tree, not just roots).
+        const uint8_t want = q.mode == wire::TraceDumpMode::kSlow
+                                 ? kSpanFlagSlow
+                                 : kSpanFlagError;
+        std::unordered_set<uint64_t> ids;
+        for (const Span& s : all) {
+          if ((s.flags & want) != 0) ids.insert(s.trace_id);
+        }
+        for (const Span& s : all) {
+          if (ids.count(s.trace_id) != 0) matched.push_back(s);
+        }
+        break;
+      }
+    }
+    wire::TraceDumpResponse resp;
+    const size_t cap = q.max_spans != 0 ? q.max_spans : 4096;
+    if (matched.size() > cap) {
+      // Keep the newest spans — a flight recorder's tail is the part
+      // that explains what just happened.
+      resp.dropped = static_cast<uint32_t>(matched.size() - cap);
+      matched.erase(matched.begin(),
+                    matched.end() - static_cast<ptrdiff_t>(cap));
+    }
+    resp.spans = std::move(matched);
+    Respond(conn, frame, Status::OK(), EncodeTraceDumpResponse(resp),
+            out);
+  }
 };
 
 // ---- PawServer --------------------------------------------------------------
@@ -2015,6 +2274,10 @@ Result<std::unique_ptr<PawServer>> PawServer::Start(const std::string& dir,
   impl->slow_query_ms = options.slow_query_ms != 100
                             ? options.slow_query_ms
                             : options.store.slow_query_ms;
+
+  if (options.trace_sample_n > 0) {
+    TraceRecorder::Global().set_sample_n(options.trace_sample_n);
+  }
 
   impl->options = std::move(options);
   impl->BuildRegistry();

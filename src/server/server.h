@@ -108,6 +108,13 @@ struct ServerOptions {
   /// sets) in the process-wide `PrivacyViewCache`. Off = recompute per
   /// query (bench_server --no-view-cache measures the difference).
   bool enable_view_cache = true;
+  /// Span flight-recorder head sampling: record full sub-layer span
+  /// detail for 1-in-N traces (deterministic by trace id, so leader
+  /// and follower agree); 1 records every trace, 0 keeps the
+  /// recorder's current setting. Slow/error requests always get their
+  /// request-family spans regardless. Applied to
+  /// `TraceRecorder::Global()` at `Start`.
+  uint32_t trace_sample_n = 0;
   /// Byte budget for the privacy-view cache; 0 keeps the cache's
   /// current budget (default 64 MiB).
   size_t view_cache_bytes = 0;

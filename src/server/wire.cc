@@ -40,8 +40,19 @@ bool PlausibleCount(std::string_view buf, size_t offset, int n) {
 
 bool IsValidOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kHello) &&
-         op <= static_cast<uint8_t>(Opcode::kReplicate);
+         op <= static_cast<uint8_t>(Opcode::kTraceDump);
 }
+
+namespace {
+
+/// True iff a frame of this (version, opcode) carries the 16-byte
+/// trace-context trailer after its body. HELLO is exempt: it travels
+/// before the version is agreed.
+bool FrameHasTraceTrailer(uint8_t version, Opcode opcode) {
+  return version >= 2 && opcode != Opcode::kHello;
+}
+
+}  // namespace
 
 std::string_view OpcodeName(Opcode op) {
   switch (op) {
@@ -59,22 +70,28 @@ std::string_view OpcodeName(Opcode op) {
     case Opcode::kMetrics: return "metrics";
     case Opcode::kSubscribe: return "subscribe";
     case Opcode::kReplicate: return "replicate";
+    case Opcode::kTraceDump: return "trace_dump";
   }
   return "unknown";
 }
 
 void AppendFrame(const Frame& frame, std::string* out) {
   // CRC covers version..payload; build that region once, checksum it,
-  // then splice the prefix in front.
+  // then splice the prefix in front. On v2 non-HELLO frames the
+  // trace-context trailer rides inside the payload region (counted and
+  // checksummed like body bytes).
+  const bool trailer = FrameHasTraceTrailer(frame.version, frame.opcode);
   std::string covered;
-  covered.reserve(1 + 1 + 8 + frame.payload.size());
+  covered.reserve(1 + 1 + 8 + frame.payload.size() +
+                  (trailer ? kTraceContextBytes : 0));
   covered.push_back(static_cast<char>(frame.version));
   covered.push_back(static_cast<char>(frame.opcode));
   PutFixed64(&covered, frame.request_id);
   covered.append(frame.payload);
+  if (trailer) AppendTraceContext(frame.trace, &covered);
 
   PutFixed32(out, kMagic);
-  PutFixed32(out, static_cast<uint32_t>(frame.payload.size()));
+  PutFixed32(out, static_cast<uint32_t>(covered.size() - 10));
   PutFixed32(out, Crc32(covered));
   out->append(covered);
 }
@@ -127,7 +144,18 @@ ParseResult ParseFrame(std::string_view buf, Frame* frame,
   frame->opcode = static_cast<Opcode>(opcode);
   size_t id_offset = 2;
   GetFixed64(covered, &id_offset, &frame->request_id);
-  frame->payload.assign(covered.substr(10));
+  std::string_view body = covered.substr(10);
+  frame->trace = TraceContext{};
+  if (FrameHasTraceTrailer(version, frame->opcode)) {
+    if (body.size() < kTraceContextBytes) {
+      *error = "v2 frame too short for trace trailer";
+      return ParseResult::kBad;
+    }
+    ParseTraceContext(body.substr(body.size() - kTraceContextBytes),
+                      &frame->trace);
+    body.remove_suffix(kTraceContextBytes);
+  }
+  frame->payload.assign(body);
   *consumed = total;
   return ParseResult::kFrame;
 }
@@ -806,6 +834,54 @@ Result<ReplicateResponse> DecodeReplicateResponse(std::string_view payload,
       offset != payload.size()) {
     return Malformed("replicate response");
   }
+  return resp;
+}
+
+// ---- TraceDump --------------------------------------------------------------
+
+std::string EncodeTraceDumpRequest(const TraceDumpRequest& req) {
+  std::string out;
+  out.push_back(static_cast<char>(req.mode));
+  PutFixed64(&out, req.trace_id);
+  PutVarint32(&out, req.max_spans);
+  return out;
+}
+
+Result<TraceDumpRequest> DecodeTraceDumpRequest(std::string_view payload) {
+  TraceDumpRequest req;
+  size_t offset = 0;
+  std::string_view mode_byte;
+  if (!GetBytes(payload, &offset, 1, &mode_byte) ||
+      !GetFixed64(payload, &offset, &req.trace_id) ||
+      !GetVarint32(payload, &offset, &req.max_spans) ||
+      offset != payload.size()) {
+    return Malformed("trace_dump request");
+  }
+  const uint8_t mode = static_cast<uint8_t>(mode_byte[0]);
+  if (mode > static_cast<uint8_t>(TraceDumpMode::kAudit)) {
+    return Malformed("trace_dump request");
+  }
+  req.mode = static_cast<TraceDumpMode>(mode);
+  return req;
+}
+
+std::string EncodeTraceDumpResponse(const TraceDumpResponse& resp) {
+  std::string out;
+  PutVarint64(&out, resp.dropped);
+  out += EncodeSpans(resp.spans);
+  return out;
+}
+
+Result<TraceDumpResponse> DecodeTraceDumpResponse(std::string_view payload,
+                                                  size_t offset) {
+  TraceDumpResponse resp;
+  if (!GetVarint64(payload, &offset, &resp.dropped)) {
+    return Malformed("trace_dump response");
+  }
+  auto spans = DecodeSpans(payload, &offset);
+  if (!spans.ok()) return spans.status();
+  if (offset != payload.size()) return Malformed("trace_dump response");
+  resp.spans = std::move(spans).value();
   return resp;
 }
 

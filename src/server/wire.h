@@ -32,6 +32,17 @@
 /// can always frame a future-version stream even when it cannot
 /// interpret it.
 ///
+/// **Trace-context trailer (v2).** On a connection that negotiated
+/// protocol version ≥ 2, every post-HELLO frame — both directions —
+/// carries a 16-byte trailer (`fixed64 trace_id | fixed64 span_id`,
+/// src/common/trace.h) appended after the body. The trailer is part of
+/// the payload for framing purposes (counted by `payload u32`, covered
+/// by the CRC) and is stripped by `ParseFrame` into `Frame::trace`, so
+/// body codecs are identical across versions. HELLO frames never carry
+/// it (negotiation happens before the version is agreed), which is
+/// also why a v1 peer — which never sees a v2 frame — interoperates
+/// unchanged.
+///
 /// **Responses** reuse the request's opcode and request id; every
 /// response payload begins with `varint status_code | str message`
 /// (`str` = varint length + raw bytes, as in the store's v2 codec),
@@ -47,6 +58,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 
 namespace paw {
 namespace wire {
@@ -54,8 +66,10 @@ namespace wire {
 /// \brief Frame magic: "PAW!" little-endian.
 inline constexpr uint32_t kMagic = 0x21574150u;
 
-/// \brief Newest protocol version this build speaks.
-inline constexpr uint8_t kProtocolVersion = 1;
+/// \brief Newest protocol version this build speaks. v2 = v1 plus the
+/// trace-context frame trailer (see file comment); bodies are
+/// unchanged.
+inline constexpr uint8_t kProtocolVersion = 2;
 /// \brief Oldest protocol version this build still accepts.
 inline constexpr uint8_t kMinProtocolVersion = 1;
 
@@ -84,6 +98,7 @@ enum class Opcode : uint8_t {
   kMetrics = 12,     ///< snapshot of the process metrics registry
   kSubscribe = 13,   ///< follower attaches to the replication stream
   kReplicate = 14,   ///< leader→follower WAL batch; reply acks durability
+  kTraceDump = 15,   ///< snapshot of the span flight recorder
 };
 
 /// \brief True iff `op` names a known opcode.
@@ -98,6 +113,9 @@ struct Frame {
   Opcode opcode = Opcode::kHello;
   uint64_t request_id = 0;
   std::string payload;
+  /// Trace-context trailer: filled by `ParseFrame` / consumed by
+  /// `AppendFrame` on v2 non-HELLO frames; all zero otherwise.
+  TraceContext trace;
 };
 
 /// \brief Appends the encoded frame to `out`.
@@ -404,6 +422,39 @@ struct ReplicateResponse {
 };
 std::string EncodeReplicateResponse(const ReplicateResponse& resp);
 Result<ReplicateResponse> DecodeReplicateResponse(std::string_view payload,
+                                                  size_t offset);
+
+// ---- Tracing ----------------------------------------------------------------
+
+/// \brief Which ring entries a `kTraceDump` request selects.
+enum class TraceDumpMode : uint8_t {
+  kAll = 0,     ///< every span in the ring
+  kSlow = 1,    ///< traces whose root span is flagged slow
+  kErrors = 2,  ///< traces whose root span is flagged error
+  kById = 3,    ///< spans of `trace_id` only
+  kAudit = 4,   ///< audit events only
+};
+
+/// \brief `kTraceDump` request:
+/// `u8 mode | fixed64 trace_id | varint max_spans` (`trace_id` only
+/// meaningful for `kById`; `max_spans` 0 = server default).
+struct TraceDumpRequest {
+  TraceDumpMode mode = TraceDumpMode::kAll;
+  uint64_t trace_id = 0;
+  uint32_t max_spans = 0;
+};
+std::string EncodeTraceDumpRequest(const TraceDumpRequest& req);
+Result<TraceDumpRequest> DecodeTraceDumpRequest(std::string_view payload);
+
+/// \brief `kTraceDump` response body: `varint dropped | span list`
+/// (src/common/trace.h codec). `dropped` = spans that matched but were
+/// cut by `max_spans` (oldest first).
+struct TraceDumpResponse {
+  uint64_t dropped = 0;
+  std::vector<Span> spans;
+};
+std::string EncodeTraceDumpResponse(const TraceDumpResponse& resp);
+Result<TraceDumpResponse> DecodeTraceDumpResponse(std::string_view payload,
                                                   size_t offset);
 
 }  // namespace wire

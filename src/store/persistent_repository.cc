@@ -423,6 +423,26 @@ PersistentRepository::PrepareCompaction() {
 
 Status PersistentRepository::ExecuteCompactionJob(const CompactJob& job,
                                                   CompactState* state) {
+  // Compaction phases are always recorded (no sampling gate):
+  // compactions are rare and each one is worth explaining. An inline
+  // COMPACT joins the request's trace; a background auto-compaction
+  // roots a trace of its own.
+  TraceContext trace_ctx = CurrentTraceContext();
+  if (!trace_ctx.valid()) {
+    trace_ctx.trace_id = TraceRecorder::Global().NewTraceId();
+  }
+  const auto phase_span = [&trace_ctx](std::string_view name,
+                                       int64_t start_us) {
+    Span s;
+    s.trace_id = trace_ctx.trace_id;
+    s.span_id = TraceRecorder::Global().NewSpanId();
+    s.parent_span_id = trace_ctx.span_id;
+    s.start_us = start_us;
+    s.end_us = TraceNowMicros();
+    s.set_name(name);
+    TraceRecorder::Global().Record(s);
+  };
+  int64_t phase_start = TraceNowMicros();
   if (job.hook) job.hook(CompactionPhase::kSnapshot);
   Timer phase_timer;
   // Snapshot records are re-encoded with the configured codec, so
@@ -431,6 +451,8 @@ Status PersistentRepository::ExecuteCompactionJob(const CompactJob& job,
       WriteSnapshot(job.dir, job.view, job.covered, job.codec).status());
   CompactionPhaseSeconds(CompactionPhase::kSnapshot)
       .Observe(phase_timer.ElapsedMicros() / 1e6);
+  phase_span("compact.snapshot", phase_start);
+  phase_start = TraceNowMicros();
   if (job.hook) job.hook(CompactionPhase::kInstall);
   phase_timer.Reset();
   // The manifest bump is the commit point of segment deletion: after
@@ -439,6 +461,8 @@ Status PersistentRepository::ExecuteCompactionJob(const CompactJob& job,
   PAW_RETURN_NOT_OK(WriteWalManifest(job.dir, job.keep_seq));
   CompactionPhaseSeconds(CompactionPhase::kInstall)
       .Observe(phase_timer.ElapsedMicros() / 1e6);
+  phase_span("compact.install", phase_start);
+  phase_start = TraceNowMicros();
   if (job.hook) job.hook(CompactionPhase::kCleanup);
   phase_timer.Reset();
   // Unlink oldest-first so any crash leaves a contiguous segment
@@ -458,6 +482,7 @@ Status PersistentRepository::ExecuteCompactionJob(const CompactJob& job,
   PAW_RETURN_NOT_OK(RemoveSnapshotsBefore(job.dir, job.covered));
   CompactionPhaseSeconds(CompactionPhase::kCleanup)
       .Observe(phase_timer.ElapsedMicros() / 1e6);
+  phase_span("compact.cleanup", phase_start);
   // Publish coverage before the kDone hook so observers released by it
   // already see the new snapshot LSN.
   state->snapshot_lsn.store(job.covered, std::memory_order_release);

@@ -254,6 +254,9 @@ void ShardedRepository::StartWriterPool() {
 
 void ShardedRepository::Enqueue(int shard, store_detail::PendingOp* op) {
   using store_detail::PendingOp;
+  // Capture the enqueuing request's trace context here — the drain
+  // runs on a writer thread, and the context must hop with the op.
+  op->trace_ctx = CurrentTraceContext();
   WriterState* ws = writer_.get();
   ShardQueue* q = &ws->queues[static_cast<size_t>(shard)];
   {
@@ -300,10 +303,16 @@ void ShardedRepository::Enqueue(int shard, store_detail::PendingOp* op) {
       // future never completes before its record is where the store's
       // durability mode promises.
       int64_t count = 0;
+      TraceContext sync_ctx;
       for (PendingOp* op = batch; op != nullptr; op = op->next) {
+        ScopedTraceContext op_trace(op->trace_ctx);
         op->Run(target);
+        if (!sync_ctx.valid()) sync_ctx = op->trace_ctx;
         ++count;
       }
+      // The group fdatasync commits the whole batch; attribute its
+      // span to the first traced op (the batch leader's request).
+      ScopedTraceContext sync_trace(sync_ctx);
       const Status sync = group_sync ? target->Sync() : Status::OK();
       for (PendingOp* op = batch; op != nullptr;) {
         // Read the link before MarkDone: the moment `done` flips, a

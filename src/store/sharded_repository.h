@@ -99,6 +99,7 @@
 
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
 #include "src/store/lock_file.h"
 #include "src/store/persistent_repository.h"
 
@@ -132,6 +133,10 @@ namespace store_detail {
 /// queue never leaks.
 struct PendingOp {
   PendingOp* next = nullptr;  // intrusive FIFO link
+  /// Trace context of the enqueuing request (captured by `Enqueue`),
+  /// re-installed on the drain thread around `Run` so WAL/store spans
+  /// of this op join the request's trace across the thread hop.
+  TraceContext trace_ctx;
   /// 0 until the op's result is final; flips once, then notifies.
   std::atomic<uint32_t> done{0};
   /// Live references: the queue, plus the future when one is attached.

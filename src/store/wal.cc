@@ -48,8 +48,12 @@ Histogram& WalFsyncSeconds() {
   return h;
 }
 
-/// fdatasync with its duration observed into the fsync histogram.
+/// fdatasync with its duration observed into the fsync histogram (and,
+/// when the committing thread serves a sampled trace, recorded as a
+/// `wal.fsync` span — the group-commit leader syncs on behalf of the
+/// whole batch, so the span lands in the leading request's trace).
 Status TimedSync(AppendOnlyFile* file) {
+  ScopedSpan span("wal.fsync");
   Timer timer;
   Status s = file->Sync();
   WalFsyncSeconds().Observe(timer.ElapsedMicros() / 1e6);
@@ -442,6 +446,7 @@ Result<uint64_t> WriteAheadLog::Append(RecordType type,
       r->last_lsn.fetch_add(1, std::memory_order_acq_rel) + 1;
   r->pending += frame;
   ++r->pending_records;
+  r->pending_traces.push_back(CurrentTraceContext());
   WalAppendsTotal().Add();
   WalFrameStageCopyBytesTotal().Add(frame.size());
   const uint64_t my_seq = r->next_batch_seq;
@@ -461,6 +466,8 @@ Result<uint64_t> WriteAheadLog::Append(RecordType type,
       batch.swap(r->pending);
       const uint64_t batch_records = r->pending_records;
       r->pending_records = 0;
+      std::vector<TraceContext> batch_traces;
+      batch_traces.swap(r->pending_traces);
       CommitSink sink = r->commit_sink;
       lock.unlock();
       WalBatchRecords().Observe(static_cast<double>(batch_records));
@@ -472,7 +479,8 @@ Result<uint64_t> WriteAheadLog::Append(RecordType type,
       // Fork the batch to replication only once it is on disk: a sunk
       // record is never less durable on the leader than advertised.
       if (s.ok() && sink) {
-        sink(batch_end_lsn - batch_records + 1, batch_records, batch);
+        sink(batch_end_lsn - batch_records + 1, batch_records, batch,
+             batch_traces);
       }
       lock.lock();
       if (!s.ok()) {
@@ -524,6 +532,8 @@ Status WriteAheadLog::Sync() {
   batch.swap(r->pending);
   const uint64_t batch_records = r->pending_records;
   r->pending_records = 0;
+  std::vector<TraceContext> batch_traces;
+  batch_traces.swap(r->pending_traces);
   CommitSink sink = r->commit_sink;
   lock.unlock();
   if (have_batch) {
@@ -532,7 +542,8 @@ Status WriteAheadLog::Sync() {
   Status s = have_batch ? r->file.Append(batch) : Status::OK();
   if (s.ok()) s = TimedSync(&r->file);
   if (s.ok() && have_batch && sink) {
-    sink(batch_end_lsn - batch_records + 1, batch_records, batch);
+    sink(batch_end_lsn - batch_records + 1, batch_records, batch,
+         batch_traces);
   }
   lock.lock();
   r->writer_active = false;

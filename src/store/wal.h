@@ -70,6 +70,7 @@
 
 #include "src/common/file_io.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 #include "src/store/record.h"
 
 namespace paw {
@@ -175,11 +176,15 @@ class WriteAheadLog {
   /// \brief Tap on the group-commit leader: called after a batch is on
   /// disk (post fdatasync when `sync_each_append`, post flush
   /// otherwise) with the LSN of the batch's first record, the record
-  /// count, and the batch's raw record frames (record.h framing).
-  /// Invocations are serialized and arrive in LSN order — the caller
-  /// holds the writer slot. Replication forks live batches here.
+  /// count, the batch's raw record frames (record.h framing), and the
+  /// per-record trace contexts captured at `Append` (one entry per
+  /// record, null contexts for untraced appends). Invocations are
+  /// serialized and arrive in LSN order — the caller holds the writer
+  /// slot. Replication forks live batches here and stamps the stream's
+  /// push frames from the contexts.
   using CommitSink = std::function<void(
-      uint64_t first_lsn, uint64_t num_records, std::string_view frames)>;
+      uint64_t first_lsn, uint64_t num_records, std::string_view frames,
+      const std::vector<TraceContext>& traces)>;
 
   /// \brief Creates an empty log in `dir`: manifest `first=1` and
   /// segment 1 whose header carries `base_lsn`. Fails if `dir` already
@@ -296,6 +301,10 @@ class WriteAheadLog {
     /// Record count behind `pending` (the group-commit batch-size
     /// metric needs records, not bytes).
     uint64_t pending_records = 0;
+    /// Trace context of each staged record (captured from the
+    /// appender's thread-local at `Append`), parallel to the records
+    /// behind `pending`; swapped out with the batch at the cut.
+    std::vector<TraceContext> pending_traces;
     /// Commit-group bookkeeping: a staged frame belongs to batch
     /// `next_batch_seq`; the leader that cuts a batch takes that seq
     /// and bumps it, and `committed_seq` trails behind as batches land.

@@ -306,6 +306,92 @@ TEST(MetricsExpositionTest, RendersFamiliesBucketsAndLabels) {
   EXPECT_NE(text.find("test_codec_seconds_count 18\n"), std::string::npos);
 }
 
+TEST(MetricsExpositionTest, RendersEmptyHistogramWithoutBuckets) {
+  // A histogram cell with no bounds and no buckets (possible in a
+  // decoded snapshot) must render parseable _sum/_count series and no
+  // bucket lines — not a lone +Inf bucket invented from nothing.
+  MetricsSnapshot snap;
+  MetricSample hist;
+  hist.kind = MetricSample::Kind::kHistogram;
+  hist.name = "test_expo_empty_seconds";
+  snap.samples.push_back(hist);
+
+  const std::string text = RenderPrometheusText(snap);
+  EXPECT_NE(text.find("# TYPE test_expo_empty_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("_bucket"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_empty_seconds_sum 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_empty_seconds_count 0\n"),
+            std::string::npos);
+}
+
+TEST(MetricsExpositionTest, RendersNeverIncrementedCounterAsZero) {
+  // Registering a counter and never bumping it still exports the
+  // series at 0 — dashboards need the zero, not a missing series.
+  MetricsRegistry::Global().GetCounter("test_expo_zero_total");
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const MetricSample* cell = snap.Find("test_expo_zero_total");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->counter, 0u);
+  const std::string text = RenderPrometheusText(snap);
+  EXPECT_NE(text.find("test_expo_zero_total 0\n"), std::string::npos);
+  MetricsRegistry::Global().Remove("test_expo_zero_total");
+}
+
+TEST(MetricsExpositionTest, KeepsLabelUnsafeCharsVerbatim) {
+  // The registry does not escape label values; the renderer must pass
+  // quotes and backslashes through untouched rather than mangle the
+  // name trying to be clever.
+  MetricsSnapshot snap;
+  MetricSample counter;
+  counter.kind = MetricSample::Kind::kCounter;
+  counter.name = "test_expo_weird_total{follower=\"a\\\"b\\\\c\"}";
+  counter.counter = 7;
+  snap.samples.push_back(counter);
+
+  const std::string text = RenderPrometheusText(snap);
+  EXPECT_NE(text.find("# TYPE test_expo_weird_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("test_expo_weird_total{follower=\"a\\\"b\\\\c\"} 7\n"),
+      std::string::npos);
+}
+
+TEST(MetricsExpositionTest, TreatsUnterminatedBraceAsUnlabeled) {
+  // A '{' with no closing '}' does not split: the whole string is the
+  // family, rendered verbatim (garbage in, unmangled garbage out).
+  MetricsSnapshot snap;
+  MetricSample counter;
+  counter.kind = MetricSample::Kind::kCounter;
+  counter.name = "test_expo_half{oops";
+  counter.counter = 3;
+  snap.samples.push_back(counter);
+
+  const std::string text = RenderPrometheusText(snap);
+  EXPECT_NE(text.find("# TYPE test_expo_half{oops counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_half{oops 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RemoveDropsSeriesFromSnapshots) {
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test_remove_gauge");
+  gauge.Set(5);
+  EXPECT_NE(MetricsRegistry::Global().Snapshot().Find("test_remove_gauge"),
+            nullptr);
+  MetricsRegistry::Global().Remove("test_remove_gauge");
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().Find("test_remove_gauge"),
+            nullptr);
+  // Removing again is a no-op, the old reference stays usable, and
+  // re-asking registers a fresh zeroed cell.
+  MetricsRegistry::Global().Remove("test_remove_gauge");
+  gauge.Set(7);
+  Gauge& fresh = MetricsRegistry::Global().GetGauge("test_remove_gauge");
+  EXPECT_EQ(fresh.value(), 0);
+  EXPECT_NE(&fresh, &gauge);
+  MetricsRegistry::Global().Remove("test_remove_gauge");
+}
+
 TEST(MetricsExpositionTest, SplicesLeIntoExistingLabels) {
   MetricsSnapshot snap;
   MetricSample hist;

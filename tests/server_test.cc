@@ -819,6 +819,135 @@ TEST(ServerTest, SlowQueryLogFiresAtZeroThreshold) {
   EXPECT_GT(slow.value(), slow_before);
 }
 
+TEST(ServerTest, TraceDumpReturnsRequestSpanTreeAndIsAdminGated) {
+  ServerOptions options = TestOptions();
+  options.trace_sample_n = 1;  // record every trace
+  Fixture f = Fixture::Create("trace_dump", std::move(options));
+  f.UploadSpec();
+  auto root = f.Client("root");
+  ASSERT_TRUE(root.ok());
+
+  auto ack = root.value().AddExecution(f.spec.name(),
+                                       DiseaseExecText(f.spec, 900));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  // The client stamped its own trace id into the v2 frame trailer;
+  // the server's whole span family must land under that id.
+  const uint64_t trace_id = root.value().last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+
+  // TRACE_DUMP exposes every principal's activity: admin only.
+  auto alice = f.Client("alice");
+  ASSERT_TRUE(alice.ok());
+  EXPECT_TRUE(alice.value()
+                  .TraceDump(wire::TraceDumpRequest{})
+                  .status()
+                  .IsPermissionDenied());
+
+  wire::TraceDumpRequest by_id;
+  by_id.mode = wire::TraceDumpMode::kById;
+  by_id.trace_id = trace_id;
+  auto dump = root.value().TraceDump(by_id);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+#if !defined(PAW_NO_TRACE)
+  const Span* req_span = nullptr;
+  for (const Span& s : dump.value().spans) {
+    EXPECT_EQ(s.trace_id, trace_id);
+    if (s.name_view() == "req.add_execution") req_span = &s;
+  }
+  ASSERT_NE(req_span, nullptr);
+  EXPECT_EQ(req_span->principal_view(), "root");
+  EXPECT_GE(req_span->end_us, req_span->start_us);
+  // Milestone children (lease.wait / reply) hang under the root span.
+  bool child_found = false;
+  for (const Span& s : dump.value().spans) {
+    if (s.parent_span_id == req_span->span_id) child_found = true;
+  }
+  EXPECT_TRUE(child_found);
+#endif
+}
+
+TEST(ServerTest, AuditChannelRecordsDeniedAndMaskedAccess) {
+  Fixture f = Fixture::Create("audit", TestOptions());
+  f.UploadSpec();
+  auto root = f.Client("root");
+  ASSERT_TRUE(root.ok());
+  auto ack = root.value().AddExecution(f.spec.name(),
+                                       DiseaseExecText(f.spec, 901));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+
+#if !defined(PAW_NO_METRICS)
+  Counter& denied_total = MetricsRegistry::Global().GetCounter(
+      "paw_audit_events_total{verdict=\"denied\"}");
+  Counter& masked_total = MetricsRegistry::Global().GetCounter(
+      "paw_audit_events_total{verdict=\"masked\"}");
+  const uint64_t denied_before = denied_total.value();
+  const uint64_t masked_before = masked_total.value();
+#endif
+
+  auto alice = f.Client("alice");
+  ASSERT_TRUE(alice.ok());
+  // A refused GET_SPEC is a denied event; a masked GET_EXECUTION is a
+  // masked event (SNPs requires level 2, alice has 0).
+  EXPECT_TRUE(alice.value()
+                  .GetSpec(f.spec.name())
+                  .status()
+                  .IsPermissionDenied());
+  auto exec = alice.value().GetExecution(f.spec.name(), 0);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_GT(exec.value().num_masked, 0);
+
+#if !defined(PAW_NO_METRICS)
+  EXPECT_EQ(denied_total.value(), denied_before + 1);
+  EXPECT_EQ(masked_total.value(), masked_before + 1);
+#endif
+
+#if !defined(PAW_NO_TRACE)
+  wire::TraceDumpRequest req;
+  req.mode = wire::TraceDumpMode::kAudit;
+  auto dump = root.value().TraceDump(req);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  bool denied_found = false;
+  bool masked_found = false;
+  for (const Span& s : dump.value().spans) {
+    EXPECT_EQ(s.kind, SpanKind::kAudit);
+    if (s.principal_view() != "alice") continue;
+    if (s.name_view() == "denied") denied_found = true;
+    if (s.name_view() == "masked") {
+      masked_found = true;
+      EXPECT_NE(s.detail_view().find("masked="), std::string_view::npos);
+      EXPECT_NE(s.detail_view().find("g=lab-a@0"), std::string_view::npos);
+    }
+  }
+  EXPECT_TRUE(denied_found);
+  EXPECT_TRUE(masked_found);
+#endif
+}
+
+TEST(ServerTest, SlowQueryRateLimitIsPerPrincipal) {
+  ServerOptions options = TestOptions();
+  options.slow_query_ms = 0;  // every request with a nonzero span logs
+  Fixture f = Fixture::Create("slow_per_principal", std::move(options));
+  f.UploadSpec();
+  auto alice = f.Client("alice");
+  auto bob = f.Client("bob");
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(bob.ok());
+
+  ::testing::internal::CaptureStderr();
+  // Same opcode back-to-back from two principals: with the old
+  // per-opcode limiter the second line would be suppressed; keyed on
+  // (opcode, principal) both emit.
+  ASSERT_TRUE(alice.value().Search({"omim"}).ok());
+  ASSERT_TRUE(bob.value().Search({"omim"}).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::string log = ::testing::internal::GetCapturedStderr();
+
+  EXPECT_NE(log.find("principal=alice"), std::string::npos) << log;
+  EXPECT_NE(log.find("principal=bob"), std::string::npos) << log;
+  // Slow lines carry the trace id for TRACE_DUMP correlation.
+  EXPECT_NE(log.find(" trace="), std::string::npos) << log;
+}
+
 TEST(ServerTest, ErrorsForUnknownSpecAndOrdinals) {
   Fixture f = Fixture::Create("errors", TestOptions());
   f.UploadSpec();

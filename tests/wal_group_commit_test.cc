@@ -345,9 +345,13 @@ TEST(WalReplicationTest, CommitSinkSeesEveryBatchInLsnOrder) {
   uint64_t next_expected = 1;
   std::map<uint64_t, std::string> streamed;
   wal.value().SetCommitSink([&](uint64_t first_lsn, uint64_t num_records,
-                                std::string_view frames) {
+                                std::string_view frames,
+                                const std::vector<TraceContext>& traces) {
     std::lock_guard<std::mutex> lock(mu);
     ASSERT_EQ(first_lsn, next_expected) << "gap in the sink stream";
+    // One captured trace context per record, always (null ones for
+    // appenders with no current trace, like these).
+    EXPECT_EQ(traces.size(), num_records);
     RecordReader reader(frames);
     Record record;
     uint64_t lsn = first_lsn;

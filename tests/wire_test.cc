@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/crc32.h"
 #include "src/common/random.h"
+#include "src/store/record.h"
 
 namespace paw {
 namespace wire {
@@ -34,7 +36,9 @@ TEST(WireFrameTest, RoundTripsSimpleFrame) {
   const Frame frame =
       MakeFrame(Opcode::kAddExecution, 42, "hello payload");
   const std::string bytes = Encode(frame);
-  ASSERT_EQ(bytes.size(), kFrameHeaderSize + frame.payload.size());
+  // Default frames are v2 and carry the 16-byte trace trailer.
+  ASSERT_EQ(bytes.size(),
+            kFrameHeaderSize + frame.payload.size() + kTraceContextBytes);
 
   Frame decoded;
   size_t consumed = 0;
@@ -47,6 +51,77 @@ TEST(WireFrameTest, RoundTripsSimpleFrame) {
   EXPECT_EQ(decoded.opcode, Opcode::kAddExecution);
   EXPECT_EQ(decoded.request_id, 42u);
   EXPECT_EQ(decoded.payload, "hello payload");
+  EXPECT_EQ(decoded.trace, TraceContext{});
+}
+
+TEST(WireFrameTest, TraceTrailerRoundTrips) {
+  Frame frame = MakeFrame(Opcode::kLineage, 7, "body bytes");
+  frame.trace = TraceContext{0xDEADBEEFCAFEF00Dull, 0x1122334455667788ull};
+  const std::string bytes = Encode(frame);
+  Frame decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseFrame(bytes, &decoded, &consumed, &error),
+            ParseResult::kFrame)
+      << error;
+  EXPECT_EQ(decoded.payload, "body bytes");
+  EXPECT_EQ(decoded.trace.trace_id, frame.trace.trace_id);
+  EXPECT_EQ(decoded.trace.span_id, frame.trace.span_id);
+}
+
+TEST(WireFrameTest, V1FramesCarryNoTrailer) {
+  // A v1 frame (old peer) must be byte-identical to the pre-trailer
+  // format and decode with a null context.
+  Frame frame = MakeFrame(Opcode::kStatus, 3, "xyz");
+  frame.version = 1;
+  frame.trace = TraceContext{123, 456};  // must be ignored on v1
+  const std::string bytes = Encode(frame);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + frame.payload.size());
+  Frame decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseFrame(bytes, &decoded, &consumed, &error),
+            ParseResult::kFrame)
+      << error;
+  EXPECT_EQ(decoded.payload, "xyz");
+  EXPECT_EQ(decoded.trace, TraceContext{});
+}
+
+TEST(WireFrameTest, HelloFramesCarryNoTrailer) {
+  // HELLO travels before the version is agreed, so it is exempt even
+  // when stamped v2 — that is what lets negotiation interoperate.
+  Frame frame = MakeFrame(Opcode::kHello, 1, "hello body");
+  frame.trace = TraceContext{9, 9};
+  const std::string bytes = Encode(frame);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + frame.payload.size());
+  Frame decoded;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ParseFrame(bytes, &decoded, &consumed, &error),
+            ParseResult::kFrame)
+      << error;
+  EXPECT_EQ(decoded.payload, "hello body");
+  EXPECT_EQ(decoded.trace, TraceContext{});
+}
+
+TEST(WireFrameTest, V2FrameTooShortForTrailerIsBad) {
+  // Hand-build a v2 non-HELLO frame whose payload is under 16 bytes:
+  // framing-valid (CRC passes) but trailer-invalid.
+  Frame frame = MakeFrame(Opcode::kStatus, 1, "short");
+  frame.version = 1;  // encode without trailer ...
+  std::string bytes;
+  AppendFrame(frame, &bytes);
+  bytes[12] = 2;  // ... then claim v2 (version byte) and re-CRC
+  std::string covered = bytes.substr(12);
+  std::string crc;
+  PutFixed32(&crc, Crc32(covered));
+  bytes.replace(8, 4, crc);
+  Frame decoded;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(ParseFrame(bytes, &decoded, &consumed, &error),
+            ParseResult::kBad);
+  EXPECT_NE(error.find("trailer"), std::string::npos);
 }
 
 TEST(WireFrameTest, RoundTripsEmptyAndBinaryPayloads) {
@@ -542,6 +617,125 @@ TEST(WireReplicationTest, FuzzDecodersOnRandomBytes) {
     (void)DecodeSubscribeResponse(bytes, 0);
     (void)DecodeReplicateRequest(bytes);
     (void)DecodeReplicateResponse(bytes, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceDump codecs
+// ---------------------------------------------------------------------------
+
+TEST(WireTraceTest, TraceDumpRequestRoundTrips) {
+  for (const TraceDumpRequest req :
+       {TraceDumpRequest{TraceDumpMode::kAll, 0, 0},
+        TraceDumpRequest{TraceDumpMode::kSlow, 0, 100},
+        TraceDumpRequest{TraceDumpMode::kById, 0xABCDEF0123456789ull, 7},
+        TraceDumpRequest{TraceDumpMode::kAudit, 0, 5000}}) {
+    auto decoded = DecodeTraceDumpRequest(EncodeTraceDumpRequest(req));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().mode, req.mode);
+    EXPECT_EQ(decoded.value().trace_id, req.trace_id);
+    EXPECT_EQ(decoded.value().max_spans, req.max_spans);
+  }
+}
+
+TEST(WireTraceTest, TraceDumpRequestRejectsBadMode) {
+  std::string body = EncodeTraceDumpRequest({TraceDumpMode::kAll, 0, 0});
+  body[0] = 9;
+  EXPECT_FALSE(DecodeTraceDumpRequest(body).ok());
+}
+
+TEST(WireTraceTest, TraceDumpResponseRoundTrips) {
+  TraceDumpResponse resp;
+  resp.dropped = 42;
+  Span root;
+  root.trace_id = 0x1111;
+  root.span_id = 0x2222;
+  root.start_us = 1000;
+  root.end_us = 6400;
+  root.result_bytes = 512;
+  root.opcode = 4;
+  root.status_code = 0;
+  root.flags = kSpanFlagSlow;
+  root.set_name("server.add_execution");
+  root.set_principal("alice");
+  root.set_detail("lease_ms=1.2 engine_ms=3");
+  Span audit;
+  audit.trace_id = 0x1111;
+  audit.span_id = 0x3333;
+  audit.parent_span_id = 0x2222;
+  audit.start_us = 2000;
+  audit.end_us = 2000;
+  audit.kind = SpanKind::kAudit;
+  audit.status_code = 1;
+  audit.set_name("masked");
+  audit.set_principal("alice");
+  audit.set_detail("spec=dna group=g@2 masked=3");
+  resp.spans = {root, audit};
+  auto decoded = DecodeTraceDumpResponse(EncodeTraceDumpResponse(resp), 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().dropped, 42u);
+  ASSERT_EQ(decoded.value().spans.size(), 2u);
+  const Span& r = decoded.value().spans[0];
+  EXPECT_EQ(r.trace_id, root.trace_id);
+  EXPECT_EQ(r.span_id, root.span_id);
+  EXPECT_EQ(r.start_us, root.start_us);
+  EXPECT_EQ(r.end_us, root.end_us);
+  EXPECT_EQ(r.result_bytes, root.result_bytes);
+  EXPECT_EQ(r.flags, kSpanFlagSlow);
+  EXPECT_EQ(r.name_view(), "server.add_execution");
+  EXPECT_EQ(r.principal_view(), "alice");
+  EXPECT_EQ(r.detail_view(), "lease_ms=1.2 engine_ms=3");
+  const Span& a = decoded.value().spans[1];
+  EXPECT_EQ(a.kind, SpanKind::kAudit);
+  EXPECT_EQ(a.parent_span_id, root.span_id);
+  EXPECT_EQ(a.detail_view(), "spec=dna group=g@2 masked=3");
+}
+
+TEST(WireTraceTest, SpanCodecTruncatesLongStringsToFieldWidth) {
+  Span s;
+  s.trace_id = 1;
+  s.span_id = 2;
+  s.set_name(std::string(100, 'n'));
+  s.set_principal(std::string(100, 'p'));
+  s.set_detail(std::string(100, 'd'));
+  EXPECT_EQ(s.name_view().size(), sizeof(s.name));
+  EXPECT_EQ(s.principal_view().size(), sizeof(s.principal));
+  EXPECT_EQ(s.detail_view().size(), sizeof(s.detail));
+  TraceDumpResponse resp;
+  resp.spans = {s};
+  auto decoded = DecodeTraceDumpResponse(EncodeTraceDumpResponse(resp), 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().spans[0].name_view(), s.name_view());
+}
+
+TEST(WireTraceTest, TraceDumpTruncationAndFuzz) {
+  TraceDumpResponse resp;
+  resp.dropped = 3;
+  Span s;
+  s.trace_id = 5;
+  s.span_id = 6;
+  s.set_name("wal.fsync");
+  resp.spans = {s, s};
+  const std::string body = EncodeTraceDumpResponse(resp);
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(DecodeTraceDumpResponse(body.substr(0, cut), 0).ok())
+        << cut;
+  }
+  const std::string req_body =
+      EncodeTraceDumpRequest({TraceDumpMode::kById, 77, 10});
+  for (size_t cut = 0; cut < req_body.size(); ++cut) {
+    EXPECT_FALSE(DecodeTraceDumpRequest(req_body.substr(0, cut)).ok())
+        << cut;
+  }
+  Rng rng(424242);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int len = rng.Uniform(150);
+    std::string bytes;
+    for (int i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    (void)DecodeTraceDumpRequest(bytes);
+    (void)DecodeTraceDumpResponse(bytes, 0);
   }
 }
 

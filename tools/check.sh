@@ -9,10 +9,13 @@
 # the memoized privacy-view cache, kill -9 durability, lock-file
 # liveness), a replication drill (leader + WAL-shipping follower with
 # quorum acks, follower queries mid-ingest, write rejection on the
-# follower, kill -9 the leader and promote the follower with no acked
-# write lost), bench smoke runs (store E10 + server E11/E12/E13/E14,
-# E11 gated <= 5% instrumentation overhead against a PAW_NO_METRICS
-# baseline build, E13 gated >= 3x cached lineage/structural p50),
+# follower, a trace drill — a quorum-acked write's trace id must show
+# up in BOTH nodes' TRACE_DUMP output, plus audit-channel and
+# admin-gate checks — then kill -9 the leader and promote the follower
+# with no acked write lost), bench smoke runs (store E10 + server
+# E11/E12/E13/E14, E11 gated <= 5% observability overhead against a
+# PAW_NO_METRICS + PAW_NO_TRACE baseline build, E13 gated >= 3x cached
+# lineage/structural p50),
 # an ASan+UBSan build of the store/server test binaries, and a TSan
 # build of the concurrency suites (group-commit WAL, writer queues,
 # background compaction, server, replication, metrics registry).
@@ -176,7 +179,7 @@ echo "== pawd replication drill =="
 "$PAWCTL" init "$SMOKE_DIR/lead" shards=4
 "$PAWCTL" init "$SMOKE_DIR/fol" shards=4
 "$PAWCTL" serve "$SMOKE_DIR/lead" port=0 writers=4 \
-  auth=admin:100,alice:0 acks=quorum quorum-ms=15000 \
+  auth=admin:100,alice:0 acks=quorum quorum-ms=15000 trace-sample=1 \
   > "$SMOKE_DIR/lead_serve.out" 2>&1 &
 LEAD_PID=$!
 for _ in $(seq 100); do
@@ -189,7 +192,8 @@ test -n "$LEAD_PORT"
 grep -q "acks=quorum" "$SMOKE_DIR/lead_serve.out"
 "$PAWCTL" serve "$SMOKE_DIR/fol" port=0 writers=4 \
   auth=admin:100,alice:0 follow="localhost:$LEAD_PORT" \
-  follow-principal=admin > "$SMOKE_DIR/fol_serve.out" 2>&1 &
+  follow-principal=admin trace-sample=1 \
+  > "$SMOKE_DIR/fol_serve.out" 2>&1 &
 FOL_PID=$!
 for _ in $(seq 100); do
   grep -q "listening on port" "$SMOKE_DIR/fol_serve.out" && break
@@ -228,9 +232,42 @@ grep -q "acked 200 execution(s)" "$SMOKE_DIR/repl_put_mid.out"
 "$PAWCTL" connect "localhost:$LEAD_PORT" user=admin metrics \
   > "$SMOKE_DIR/repl_metrics.out"
 grep -q "paw_repl_lag_seconds" "$SMOKE_DIR/repl_metrics.out"
-SUBSCRIBERS="$(awk '/^paw_repl_subscribers/{print $2}' \
+SUBSCRIBERS="$(awk '/^paw_repl_subscribers /{print $2}' \
   "$SMOKE_DIR/repl_metrics.out")"
 test "$SUBSCRIBERS" = "1"
+# Per-subscriber replication backlog gauge (dropped on disconnect).
+grep -q 'paw_repl_subscriber_lag_records{follower="pawd"}' \
+  "$SMOKE_DIR/repl_metrics.out"
+# Trace drill: both nodes run trace-sample=1, so a quorum-acked write
+# leaves one span tree spanning the wire. Pick the trace id of a
+# leader trace that pushed a replication batch and require the
+# follower recorded its apply span under the SAME id — end-to-end
+# context propagation, asserted from the outside.
+"$PAWCTL" connect "localhost:$LEAD_PORT" user=admin trace \
+  > "$SMOKE_DIR/lead_trace.out"
+grep -q "req.add_execution" "$SMOKE_DIR/lead_trace.out"
+grep -q "wal.fsync" "$SMOKE_DIR/lead_trace.out"
+grep -q "quorum.wait" "$SMOKE_DIR/lead_trace.out"
+TRACE_ID="$(awk '/^trace /{id=$2} /repl\.push/{print id; exit}' \
+  "$SMOKE_DIR/lead_trace.out")"
+test -n "$TRACE_ID"
+"$PAWCTL" connect "localhost:$FOL_PORT" user=admin trace \
+  --id="$TRACE_ID" > "$SMOKE_DIR/fol_trace.out"
+grep -q "trace $TRACE_ID" "$SMOKE_DIR/fol_trace.out"
+grep -q "repl.apply" "$SMOKE_DIR/fol_trace.out"
+# The privacy audit channel on the follower saw both principals'
+# queries (writes are not privacy-enforced reads, so the leader's
+# ingest leaves no audit events — the follower served the queries).
+"$PAWCTL" connect "localhost:$FOL_PORT" user=admin audit \
+  > "$SMOKE_DIR/fol_audit.out"
+grep -Eq "served +admin +keyword_search" "$SMOKE_DIR/fol_audit.out"
+grep -Eq "served +alice +keyword_search" "$SMOKE_DIR/fol_audit.out"
+# TRACE_DUMP is admin-gated: alice gets a permission error.
+if "$PAWCTL" connect "localhost:$LEAD_PORT" user=alice trace \
+  > "$SMOKE_DIR/alice_trace.out" 2>&1; then
+  echo "FAIL: non-admin principal dumped traces"
+  exit 1
+fi
 # Partitioned failover: kill -9 the leader mid-life, then the
 # follower, and promote by reopening the follower's store dir. Every
 # quorum-acked write (240 of them) must be there.
@@ -333,8 +370,12 @@ if [[ -x "$BUILD_DIR/bench_server" ]]; then
   # window, while a genuine hot-path regression caps the instrumented
   # ceiling across every run. One retry absorbs a pathologically busy
   # window.
+  # The baseline compiles out BOTH metrics and the span flight
+  # recorder, so the gate prices the full observability stack
+  # (counters + tracing at default sampling) at once.
   NOMETRICS_BUILD_DIR="${NOMETRICS_BUILD_DIR:-build-nometrics}"
-  cmake -B "$NOMETRICS_BUILD_DIR" -S . -DPAW_NO_METRICS=ON
+  cmake -B "$NOMETRICS_BUILD_DIR" -S . -DPAW_NO_METRICS=ON \
+    -DPAW_NO_TRACE=ON
   cmake --build "$NOMETRICS_BUILD_DIR" -j "$JOBS" --target bench_server
   BASE_BIN="$(pwd)/$NOMETRICS_BUILD_DIR/bench_server"
   gate_attempt() {
@@ -367,8 +408,8 @@ if [[ -x "$BUILD_DIR/bench_server" ]]; then
     echo "overhead gate failed; retrying once (noisy machine)"
     gate_attempt
   fi
-  # Acceptance: metrics instrumentation costs <= 5% vs the
-  # PAW_NO_METRICS baseline.
+  # Acceptance: metrics + tracing cost <= 5% vs the
+  # PAW_NO_METRICS + PAW_NO_TRACE baseline.
   grep -qF "<= 5%: yes" "$SMOKE_DIR/bench_gate.out"
   cp "$SMOKE_DIR/BENCH_server.json" "$BUILD_DIR/BENCH_server.json"
   echo "server perf written to $BUILD_DIR/BENCH_server.json"
@@ -383,7 +424,7 @@ SAN_TESTS=(store_test sharded_store_test crash_injection_test record_test
            thread_pool_test crc32_test codec_v2_test wal_group_commit_test
            mixed_version_test background_compaction_test wire_test
            server_test replication_test store_lock_test metrics_test
-           view_cache_test dp_counters_test)
+           trace_test view_cache_test dp_counters_test)
 cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" --target "${SAN_TESTS[@]}"
 for t in "${SAN_TESTS[@]}"; do
   echo "-- $t (asan+ubsan)"
@@ -400,7 +441,7 @@ TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 cmake -B "$TSAN_BUILD_DIR" -S . -DPAW_SANITIZE=thread
 TSAN_TESTS=(wal_group_commit_test sharded_store_test
             background_compaction_test thread_pool_test server_test
-            replication_test metrics_test view_cache_test
+            replication_test metrics_test trace_test view_cache_test
             dp_counters_test)
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do

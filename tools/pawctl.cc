@@ -54,7 +54,7 @@
 //                [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]
 //                [viewcache=on|off] [viewcache-mb=N]
 //                [follow=HOST:PORT] [follow-principal=NAME]
-//                [acks=local|quorum] [quorum-ms=N]
+//                [acks=local|quorum] [quorum-ms=N] [trace-sample=N]
 //                                        serve the store over the binary
 //                                        wire protocol (pawd); creates the
 //                                        store first when <dir> is empty
@@ -73,8 +73,14 @@
 //                                        ack ADD_EXECUTION only after a
 //                                        follower confirmed it durable
 //                                        (waiting at most quorum-ms,
-//                                        default 5000). Runs until SIGINT.
-//   pawctl connect <host:port> [user=NAME] [metrics [--raw]]
+//                                        default 5000). trace-sample=N
+//                                        records every Nth trace in the
+//                                        span flight recorder (1 = all;
+//                                        slow/error requests always
+//                                        record). Runs until SIGINT.
+//   pawctl connect <host:port> [user=NAME] [metrics [--raw|--watch=N]]
+//                  [trace [--id=HEX|--slow|--errors] [--max=N]]
+//                  [audit [--max=N]]
 //                  [lineage=SPEC [ordinal=N] [item=N]]
 //                                        HELLO + AUTH + STATUS round trip;
 //                                        with `metrics`, fetch the METRICS
@@ -82,7 +88,18 @@
 //                                        per-opcode counts, p50/p90/p99
 //                                        latencies, and WAL / compaction /
 //                                        queue metrics (--raw dumps the
-//                                        Prometheus text exposition); with
+//                                        Prometheus text exposition,
+//                                        --watch=N re-polls every N
+//                                        seconds and prints changed series
+//                                        as deltas/rates); with `trace`,
+//                                        fetch the span flight recorder
+//                                        (TRACE_DUMP, admin only) and
+//                                        render per-trace span trees
+//                                        (--slow / --errors keep flagged
+//                                        traces, --id=HEX one trace); with
+//                                        `audit`, list privacy audit
+//                                        events (verdict, principal,
+//                                        masked counts); with
 //                                        `lineage=SPEC`, run one LINEAGE
 //                                        query for run `ordinal`'s item
 //                                        `item` rendered through the authed
@@ -101,17 +118,23 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "src/client/paw_client.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/provenance/executor.h"
 #include "src/provenance/serialize.h"
 #include "src/query/keyword_search.h"
@@ -1052,6 +1075,15 @@ int CmdServe(const char* dir, int argc, char** argv) {
       options.quorum_timeout_ms = static_cast<int>(quorum_ms);
       continue;
     }
+    long trace_sample = 0;
+    if (!ParseIntOption(argv[i], "trace-sample", 1, 1L << 30,
+                        &trace_sample, &matched)) {
+      return 1;
+    }
+    if (matched) {
+      options.trace_sample_n = static_cast<uint32_t>(trace_sample);
+      continue;
+    }
     std::fprintf(stderr, "error: unknown serve option %s\n", argv[i]);
     return 1;
   }
@@ -1187,10 +1219,195 @@ int PrintMetrics(const MetricsSnapshot& snapshot, bool raw) {
   return 0;
 }
 
+/// Renders TRACE_DUMP spans as per-trace trees: spans grouped by trace
+/// id (in ring order, oldest trace first), children indented under
+/// their parent span, audit events folded in as `audit:<verdict>`
+/// leaves. Durations are wall micros from the span itself.
+void PrintSpanTrees(const std::vector<Span>& spans, uint64_t dropped) {
+  if (spans.empty()) {
+    std::printf("no spans matched (tip: serve trace-sample=1 records "
+                "every request; slow/error requests always record)\n");
+    return;
+  }
+  std::vector<uint64_t> order;
+  std::unordered_map<uint64_t, std::vector<const Span*>> traces;
+  for (const Span& s : spans) {
+    std::vector<const Span*>& bucket = traces[s.trace_id];
+    if (bucket.empty()) order.push_back(s.trace_id);
+    bucket.push_back(&s);
+  }
+  for (const uint64_t trace_id : order) {
+    const std::vector<const Span*>& members = traces[trace_id];
+    std::printf("trace %s  (%zu span%s)\n", TraceIdHex(trace_id).c_str(),
+                members.size(), members.size() == 1 ? "" : "s");
+    std::unordered_map<uint64_t, std::vector<const Span*>> children;
+    std::unordered_map<uint64_t, const Span*> by_id;
+    for (const Span* s : members) by_id[s->span_id] = s;
+    std::vector<const Span*> roots;
+    for (const Span* s : members) {
+      if (s->parent_span_id != 0 &&
+          by_id.count(s->parent_span_id) != 0 &&
+          s->parent_span_id != s->span_id) {
+        children[s->parent_span_id].push_back(s);
+      } else {
+        roots.push_back(s);
+      }
+    }
+    const auto by_start = [](const Span* a, const Span* b) {
+      return a->start_us < b->start_us;
+    };
+    std::sort(roots.begin(), roots.end(), by_start);
+    for (auto& [id, kids] : children) {
+      std::sort(kids.begin(), kids.end(), by_start);
+    }
+    const std::function<void(const Span*, int)> emit =
+        [&](const Span* s, int depth) {
+          std::string label =
+              s->kind == SpanKind::kAudit
+                  ? "audit:" + std::string(s->name_view())
+                  : std::string(s->name_view());
+          const int pad = 26 - depth * 2;
+          std::printf("  %*s%-*s %9.3fms", depth * 2, "",
+                      pad > 0 ? pad : 0, label.c_str(),
+                      static_cast<double>(s->end_us - s->start_us) /
+                          1000.0);
+          if (s->flags & kSpanFlagSlow) std::printf(" [slow]");
+          if (s->flags & kSpanFlagError) std::printf(" [err]");
+          if (!s->principal_view().empty()) {
+            std::printf(" %s", std::string(s->principal_view()).c_str());
+          }
+          if (s->result_bytes != 0) std::printf(" %uB", s->result_bytes);
+          if (!s->detail_view().empty()) {
+            std::printf("  %s", std::string(s->detail_view()).c_str());
+          }
+          std::printf("\n");
+          auto it = children.find(s->span_id);
+          if (it == children.end()) return;
+          for (const Span* kid : it->second) emit(kid, depth + 1);
+        };
+    for (const Span* root : roots) emit(root, 0);
+  }
+  if (dropped > 0) {
+    std::printf("(%llu older matching span%s dropped by the cap)\n",
+                static_cast<unsigned long long>(dropped),
+                dropped == 1 ? "" : "s");
+  }
+}
+
+/// Renders audit events (the privacy audit channel) as a flat table:
+/// verdict, principal, opcode, owning trace, structured detail.
+void PrintAuditEvents(const std::vector<Span>& spans, uint64_t dropped) {
+  if (spans.empty()) {
+    std::printf("no audit events recorded\n");
+    return;
+  }
+  std::printf("%-8s %-16s %-14s %-16s %s\n", "VERDICT", "PRINCIPAL",
+              "OPCODE", "TRACE", "DETAIL");
+  for (const Span& s : spans) {
+    const std::string opcode =
+        wire::IsValidOpcode(s.opcode)
+            ? std::string(
+                  wire::OpcodeName(static_cast<wire::Opcode>(s.opcode)))
+            : std::to_string(s.opcode);
+    std::printf("%-8s %-16s %-14s %-16s %s\n",
+                std::string(s.name_view()).c_str(),
+                std::string(s.principal_view()).c_str(), opcode.c_str(),
+                s.trace_id != 0 ? TraceIdHex(s.trace_id).c_str() : "-",
+                std::string(s.detail_view()).c_str());
+  }
+  if (dropped > 0) {
+    std::printf("(%llu older event%s dropped by the cap)\n",
+                static_cast<unsigned long long>(dropped),
+                dropped == 1 ? "" : "s");
+  }
+}
+
+/// `connect ... metrics --watch=N`: re-polls METRICS every N seconds
+/// and prints only the series that moved — counters and histogram
+/// counts as +delta with a per-second rate, gauges as value (+delta).
+/// Runs until SIGINT.
+int WatchMetrics(PawClient& client, long interval_s) {
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  auto prev = client.Metrics();
+  if (!prev.ok()) return Fail(prev.status());
+  std::printf("watching metrics every %lds (Ctrl-C to stop); changed "
+              "series only, +delta and per-second rates\n",
+              interval_s);
+  std::fflush(stdout);
+  long elapsed = 0;
+  while (g_stop_requested == 0) {
+    for (long i = 0; i < interval_s * 10 && g_stop_requested == 0; ++i) {
+      usleep(100 * 1000);
+    }
+    if (g_stop_requested != 0) break;
+    auto cur = client.Metrics();
+    if (!cur.ok()) return Fail(cur.status());
+    elapsed += interval_s;
+    std::printf("--- +%lds ---\n", elapsed);
+    const MetricsSnapshot& before = prev.value().snapshot;
+    const double secs = static_cast<double>(interval_s);
+    for (const MetricSample& s : cur.value().snapshot.samples) {
+      const MetricSample* was = before.Find(s.name);
+      switch (s.kind) {
+        case MetricSample::Kind::kCounter: {
+          const uint64_t old =
+              (was != nullptr && was->kind == s.kind) ? was->counter : 0;
+          if (s.counter == old) break;
+          const uint64_t delta = s.counter - old;
+          std::printf("%-56s %llu  +%llu (%.1f/s)\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.counter),
+                      static_cast<unsigned long long>(delta),
+                      static_cast<double>(delta) / secs);
+          break;
+        }
+        case MetricSample::Kind::kGauge: {
+          const bool known = was != nullptr && was->kind == s.kind;
+          const int64_t old = known ? was->gauge : 0;
+          if (known && s.gauge == old) break;
+          std::printf("%-56s %lld  (%+lld)\n", s.name.c_str(),
+                      static_cast<long long>(s.gauge),
+                      static_cast<long long>(s.gauge - old));
+          break;
+        }
+        case MetricSample::Kind::kHistogram: {
+          const uint64_t old_count =
+              (was != nullptr && was->kind == s.kind)
+                  ? was->histogram.count
+                  : 0;
+          if (s.histogram.count == old_count) break;
+          const uint64_t delta = s.histogram.count - old_count;
+          const double old_sum =
+              (was != nullptr && was->kind == s.kind) ? was->histogram.sum
+                                                      : 0.0;
+          std::printf(
+              "%-56s count=%llu  +%llu (%.1f/s) interval-mean=%.6f\n",
+              s.name.c_str(),
+              static_cast<unsigned long long>(s.histogram.count),
+              static_cast<unsigned long long>(delta),
+              static_cast<double>(delta) / secs,
+              (s.histogram.sum - old_sum) / static_cast<double>(delta));
+          break;
+        }
+      }
+    }
+    std::fflush(stdout);
+    prev = std::move(cur);
+  }
+  return 0;
+}
+
 int CmdConnect(const char* target, int argc, char** argv) {
   std::string user = "admin";
   bool metrics = false;
   bool raw = false;
+  bool trace = false;
+  bool audit = false;
+  bool slow = false;
+  bool errors = false;
+  std::string trace_id_hex;
+  long watch = 0;
+  long max_spans = 0;
   std::string lineage_spec;
   long ordinal = 0;
   long item = 0;
@@ -1214,19 +1431,81 @@ int CmdConnect(const char* target, int argc, char** argv) {
       metrics = true;
       continue;
     }
+    if (std::strcmp(argv[i], "trace") == 0) {
+      trace = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "audit") == 0) {
+      audit = true;
+      continue;
+    }
     if (metrics && std::strcmp(argv[i], "--raw") == 0) {
       raw = true;
       continue;
     }
+    if (metrics &&
+        !ParseIntOption(argv[i], "--watch", 1, 86400, &watch, &matched)) {
+      return 1;
+    }
+    if (matched) continue;
+    if (trace) {
+      if (std::strcmp(argv[i], "--slow") == 0) {
+        slow = true;
+        continue;
+      }
+      if (std::strcmp(argv[i], "--errors") == 0) {
+        errors = true;
+        continue;
+      }
+      ParseStrOption(argv[i], "--id", &trace_id_hex, &matched);
+      if (matched) continue;
+    }
+    if ((trace || audit) &&
+        !ParseIntOption(argv[i], "--max", 1, 1000000, &max_spans,
+                        &matched)) {
+      return 1;
+    }
+    if (matched) continue;
     std::fprintf(stderr, "error: unknown connect option %s\n", argv[i]);
     return 1;
   }
   auto client = ConnectAndAuth(target, user);
   if (!client.ok()) return Fail(client.status());
   if (metrics) {
+    if (watch > 0) return WatchMetrics(client.value(), watch);
     auto snapshot = client.value().Metrics();
     if (!snapshot.ok()) return Fail(snapshot.status());
     return PrintMetrics(snapshot.value().snapshot, raw);
+  }
+  if (trace || audit) {
+    wire::TraceDumpRequest req;
+    if (audit) {
+      req.mode = wire::TraceDumpMode::kAudit;
+    } else if (!trace_id_hex.empty()) {
+      char* end = nullptr;
+      const unsigned long long id =
+          std::strtoull(trace_id_hex.c_str(), &end, 16);
+      if (end == trace_id_hex.c_str() || *end != '\0' || id == 0) {
+        std::fprintf(stderr, "error: --id must be a hex trace id: %s\n",
+                     trace_id_hex.c_str());
+        return 1;
+      }
+      req.mode = wire::TraceDumpMode::kById;
+      req.trace_id = id;
+    } else if (slow) {
+      req.mode = wire::TraceDumpMode::kSlow;
+    } else if (errors) {
+      req.mode = wire::TraceDumpMode::kErrors;
+    }
+    req.max_spans = static_cast<uint32_t>(max_spans);
+    auto resp = client.value().TraceDump(req);
+    if (!resp.ok()) return Fail(resp.status());
+    if (audit) {
+      PrintAuditEvents(resp.value().spans, resp.value().dropped);
+    } else {
+      PrintSpanTrees(resp.value().spans, resp.value().dropped);
+    }
+    return 0;
   }
   if (!lineage_spec.empty()) {
     // One LINEAGE round trip as the authed principal: the answer is
@@ -1395,9 +1674,11 @@ int Usage() {
                " [auth=name:level[:group],...] [idle=MS] [admin=N] [poll]"
                " [viewcache=on|off] [viewcache-mb=N]"
                " [follow=HOST:PORT] [follow-principal=NAME]"
-               " [acks=local|quorum] [quorum-ms=N]\n"
+               " [acks=local|quorum] [quorum-ms=N] [trace-sample=N]\n"
                "       pawctl connect <host:port> [user=NAME]"
-               " [metrics [--raw]]"
+               " [metrics [--raw|--watch=N]]"
+               " [trace [--id=HEX|--slow|--errors] [--max=N]]"
+               " [audit [--max=N]]"
                " [lineage=SPEC [ordinal=N] [item=N]]\n"
                "       pawctl put <host:port> <spec.paw> [runs=N]"
                " [user=NAME] [pipeline=N] [policy=FILE]\n"
